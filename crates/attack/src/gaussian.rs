@@ -1,0 +1,112 @@
+//! Accidental perturbations: Gaussian sensor noise.
+
+use cpsmon_core::features::is_sensor_column;
+use cpsmon_nn::rng::SmallRng;
+use cpsmon_nn::Matrix;
+
+/// Zero-mean Gaussian noise on sensor-derived features.
+///
+/// `sigma_factor` is the `k` in `σ = k·std`: because inputs are
+/// z-normalized (unit variance per column on training data), the noise
+/// added to each sensor column is simply `N(0, k²)`. Command-derived
+/// columns are left untouched — the paper's environment-noise model only
+/// corrupts sensor data (§III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianNoise {
+    sigma_factor: f64,
+}
+
+impl GaussianNoise {
+    /// Creates a noise model with `σ = sigma_factor · std`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_factor` is negative or non-finite.
+    pub fn new(sigma_factor: f64) -> Self {
+        assert!(
+            sigma_factor.is_finite() && sigma_factor >= 0.0,
+            "sigma factor must be finite and non-negative"
+        );
+        Self { sigma_factor }
+    }
+
+    /// The configured `k` factor.
+    pub fn sigma_factor(&self) -> f64 {
+        self.sigma_factor
+    }
+
+    /// Returns a noisy copy of a normalized feature batch.
+    pub fn apply(&self, x: &Matrix, seed: u64) -> Matrix {
+        let mut rng = SmallRng::new(seed ^ 0x6761_7573_7369_616e);
+        let mut out = x.clone();
+        let cols = out.cols();
+        for r in 0..out.rows() {
+            for (c, v) in out.row_mut(r).iter_mut().enumerate() {
+                debug_assert!(c < cols);
+                if is_sensor_column(c) {
+                    *v += rng.normal_with(0.0, self.sigma_factor);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsmon_core::features::FEATURES_PER_STEP;
+
+    #[test]
+    fn command_columns_untouched() {
+        let x = Matrix::zeros(10, 2 * FEATURES_PER_STEP);
+        let noisy = GaussianNoise::new(1.0).apply(&x, 7);
+        for r in 0..10 {
+            for c in 0..noisy.cols() {
+                if is_sensor_column(c) {
+                    continue;
+                }
+                assert_eq!(noisy.get(r, c), 0.0, "command column {c} was perturbed");
+            }
+        }
+    }
+
+    #[test]
+    fn sensor_columns_perturbed_with_right_scale() {
+        let x = Matrix::zeros(2000, FEATURES_PER_STEP);
+        let noisy = GaussianNoise::new(0.5).apply(&x, 11);
+        let mut values = Vec::new();
+        for r in 0..noisy.rows() {
+            for c in 0..FEATURES_PER_STEP {
+                if is_sensor_column(c) {
+                    values.push(noisy.get(r, c));
+                }
+            }
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let std = (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt();
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((std - 0.5).abs() < 0.02, "std {std}");
+    }
+
+    #[test]
+    fn zero_factor_is_identity() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]]);
+        assert_eq!(GaussianNoise::new(0.0).apply(&x, 3), x);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = Matrix::zeros(5, FEATURES_PER_STEP);
+        let g = GaussianNoise::new(0.3);
+        assert_eq!(g.apply(&x, 9), g.apply(&x, 9));
+        assert_ne!(g.apply(&x, 9), g.apply(&x, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma factor")]
+    fn rejects_negative_factor() {
+        let _ = GaussianNoise::new(-0.1);
+    }
+}

@@ -1,0 +1,51 @@
+//! # cpsmon-attack — input-perturbation toolkit (§III of the paper)
+//!
+//! Implements the three perturbation models the paper stresses its safety
+//! monitors with:
+//!
+//! - [`GaussianNoise`] — *accidental* environment noise: zero-mean Gaussian
+//!   error added to the **sensor-derived** features only, with standard
+//!   deviation expressed as a fraction of each feature's own standard
+//!   deviation (`σ = k·std`, `k ≤ 1`, so the corruption stays below what
+//!   invariant/CUSUM-style detectors would flag).
+//! - [`Fgsm`] — *malicious white-box* perturbations via the Fast Gradient
+//!   Sign Method (Eq. 3–4): `x_adv = x + ε·sign(∇_x J(x, ȳ))`, applied to
+//!   **all** features (sensors and control commands), bounded in `L∞` by ε.
+//! - [`SubstituteAttack`] — *malicious black-box*: train a 2-layer MLP
+//!   (128-64) substitute on query responses from the target monitor, craft
+//!   FGSM perturbations on the substitute, and transfer them to the target.
+//!
+//! All attacks operate in the monitors' normalized feature space (where
+//! every column has unit variance on training data), matching how the
+//! paper applies ε and σ directly to model inputs.
+//!
+//! ## Example
+//!
+//! ```
+//! use cpsmon_attack::{Fgsm, GaussianNoise};
+//! use cpsmon_nn::{GradModel, Matrix, MlpConfig, MlpNet};
+//!
+//! let net = MlpNet::new(&MlpConfig { input_dim: 12, hidden: vec![8], classes: 2, seed: 1 });
+//! let x = Matrix::zeros(4, 12);
+//! let labels = vec![0, 1, 0, 1];
+//!
+//! let adv = Fgsm::new(0.1).attack(&net, &x, &labels);
+//! assert!((&adv - &x).max_abs() <= 0.1 + 1e-12);
+//!
+//! let noisy = GaussianNoise::new(0.5).apply(&x, 42);
+//! assert_eq!(noisy.shape(), x.shape());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod blackbox;
+pub mod fgsm;
+pub mod gaussian;
+pub mod pgd;
+pub mod sweep;
+
+pub use blackbox::SubstituteAttack;
+pub use fgsm::Fgsm;
+pub use gaussian::GaussianNoise;
+pub use pgd::Pgd;
+pub use sweep::{EPSILON_SWEEP, SIGMA_SWEEP};

@@ -1,0 +1,24 @@
+//! The perturbation-strength sweeps used across the paper's figures.
+
+/// Gaussian σ factors (fractions of feature std) of Fig. 5, 6 and 9.
+pub const SIGMA_SWEEP: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
+
+/// FGSM ε values of Fig. 8, 9 and 10.
+pub const EPSILON_SWEEP: [f64; 5] = [0.01, 0.05, 0.1, 0.15, 0.2];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_are_sorted_and_bounded() {
+        for w in SIGMA_SWEEP.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for w in EPSILON_SWEEP.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(SIGMA_SWEEP.iter().all(|&s| s > 0.0 && s <= 1.0));
+        assert!(EPSILON_SWEEP.iter().all(|&e| e > 0.0 && e <= 0.2));
+    }
+}

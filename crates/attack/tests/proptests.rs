@@ -1,0 +1,92 @@
+//! Property-based tests of the attack invariants: perturbation budgets,
+//! sensor-only scope of Gaussian noise, and determinism.
+
+use cpsmon_attack::{Fgsm, GaussianNoise};
+use cpsmon_core::features::{is_sensor_column, FEATURES_PER_STEP};
+use cpsmon_nn::{Matrix, MlpConfig, MlpNet};
+use proptest::prelude::*;
+
+fn batch(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f64..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fgsm_linf_budget_holds(
+        x in batch(5, 2 * FEATURES_PER_STEP),
+        eps in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let net = MlpNet::new(&MlpConfig {
+            input_dim: 2 * FEATURES_PER_STEP,
+            hidden: vec![8],
+            classes: 2,
+            seed,
+        });
+        let labels = vec![1usize; 5];
+        let adv = Fgsm::new(eps).attack(&net, &x, &labels);
+        prop_assert!((&adv - &x).max_abs() <= eps + 1e-12);
+    }
+
+    #[test]
+    fn fgsm_zero_epsilon_is_identity(x in batch(4, FEATURES_PER_STEP), seed in any::<u64>()) {
+        let net = MlpNet::new(&MlpConfig {
+            input_dim: FEATURES_PER_STEP,
+            hidden: vec![6],
+            classes: 2,
+            seed,
+        });
+        let adv = Fgsm::new(0.0).attack(&net, &x, &vec![0; 4]);
+        prop_assert_eq!(adv, x);
+    }
+
+    #[test]
+    fn gaussian_touches_only_sensor_columns(
+        x in batch(6, 3 * FEATURES_PER_STEP),
+        sigma in 0.01f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let noisy = GaussianNoise::new(sigma).apply(&x, seed);
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                if !is_sensor_column(c) {
+                    prop_assert_eq!(noisy.get(r, c), x.get(r, c), "command column {} changed", c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_is_deterministic_per_seed(
+        x in batch(4, FEATURES_PER_STEP),
+        sigma in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let g = GaussianNoise::new(sigma);
+        prop_assert_eq!(g.apply(&x, seed), g.apply(&x, seed));
+    }
+
+    #[test]
+    fn fgsm_perturbation_is_axis_aligned(
+        x in batch(3, FEATURES_PER_STEP),
+        eps in 0.01f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        // Every entry of the delta is in {−ε, 0, +ε} (sign structure).
+        let net = MlpNet::new(&MlpConfig {
+            input_dim: FEATURES_PER_STEP,
+            hidden: vec![6],
+            classes: 2,
+            seed,
+        });
+        let adv = Fgsm::new(eps).attack(&net, &x, &vec![1; 3]);
+        let delta = &adv - &x;
+        for &d in delta.as_slice() {
+            let ok = d.abs() < 1e-12 || (d.abs() - eps).abs() < 1e-9;
+            prop_assert!(ok, "delta {d} is neither 0 nor ±ε");
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Bench target: runs the ablations at quick scale.
+fn main() {
+    cpsmon_bench::run_experiment("ablations_quick", cpsmon_bench::Scale::Quick, |ctx| {
+        cpsmon_bench::experiments::ablations::run(ctx)
+    });
+}

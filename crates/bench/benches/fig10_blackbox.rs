@@ -1,0 +1,6 @@
+//! Bench target: regenerates the fig10_blackbox rows at quick scale.
+fn main() {
+    cpsmon_bench::run_experiment("fig10_blackbox_quick", cpsmon_bench::Scale::Quick, |ctx| {
+        vec![cpsmon_bench::experiments::fig10_blackbox::run(ctx)]
+    });
+}

@@ -1,0 +1,6 @@
+//! Bench target: regenerates the fig2_example rows at quick scale.
+fn main() {
+    cpsmon_bench::run_experiment("fig2_example_quick", cpsmon_bench::Scale::Quick, |ctx| {
+        vec![cpsmon_bench::experiments::fig2_example::run(ctx)]
+    });
+}

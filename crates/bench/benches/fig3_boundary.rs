@@ -1,0 +1,8 @@
+//! Bench target: regenerates the Fig. 3 grid at quick scale.
+fn main() {
+    cpsmon_bench::run_experiment("fig3_boundary_quick", cpsmon_bench::Scale::Quick, |ctx| {
+        let (table, sketch) = cpsmon_bench::experiments::fig3_boundary::run(ctx);
+        println!("{sketch}");
+        vec![table]
+    });
+}

@@ -1,0 +1,6 @@
+//! Bench target: regenerates the fig4_noise_dist rows at quick scale.
+fn main() {
+    cpsmon_bench::run_experiment("fig4_noise_dist_quick", cpsmon_bench::Scale::Quick, |ctx| {
+        vec![cpsmon_bench::experiments::fig4_noise_dist::run(ctx)]
+    });
+}

@@ -1,0 +1,6 @@
+//! Bench target: regenerates the fig5_gaussian rows at quick scale.
+fn main() {
+    cpsmon_bench::run_experiment("fig5_gaussian_quick", cpsmon_bench::Scale::Quick, |ctx| {
+        vec![cpsmon_bench::experiments::fig5_gaussian::run(ctx)]
+    });
+}

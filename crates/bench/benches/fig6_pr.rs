@@ -1,0 +1,6 @@
+//! Bench target: regenerates the fig6_pr rows at quick scale.
+fn main() {
+    cpsmon_bench::run_experiment("fig6_pr_quick", cpsmon_bench::Scale::Quick, |ctx| {
+        vec![cpsmon_bench::experiments::fig6_pr::run(ctx)]
+    });
+}

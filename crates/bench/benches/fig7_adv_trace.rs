@@ -1,0 +1,6 @@
+//! Bench target: regenerates the fig7_adv_trace rows at quick scale.
+fn main() {
+    cpsmon_bench::run_experiment("fig7_adv_trace_quick", cpsmon_bench::Scale::Quick, |ctx| {
+        vec![cpsmon_bench::experiments::fig7_adv_trace::run(ctx)]
+    });
+}

@@ -1,0 +1,6 @@
+//! Bench target: regenerates the fig8_fgsm rows at quick scale.
+fn main() {
+    cpsmon_bench::run_experiment("fig8_fgsm_quick", cpsmon_bench::Scale::Quick, |ctx| {
+        vec![cpsmon_bench::experiments::fig8_fgsm::run(ctx)]
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target: regenerates the Fig. 9 heat-map at quick scale.
+fn main() {
+    cpsmon_bench::run_experiment("fig9_heatmap_quick", cpsmon_bench::Scale::Quick, |ctx| {
+        let (table, summary) = cpsmon_bench::experiments::fig9_heatmap::run(ctx);
+        vec![table, summary]
+    });
+}

@@ -1,0 +1,6 @@
+//! Bench target: gru_extension at quick scale.
+fn main() {
+    cpsmon_bench::run_experiment("gru_extension_quick", cpsmon_bench::Scale::Quick, |ctx| {
+        vec![cpsmon_bench::experiments::gru_extension::run(ctx)]
+    });
+}

@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the pipeline's hot operations: training
+//! steps, inference, and attack crafting for both monitor architectures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cpsmon_attack::Fgsm;
+use cpsmon_nn::rng::SmallRng;
+use cpsmon_nn::{init::random_normal, AdamTrainer, GradModel, LstmConfig, LstmNet, Matrix, MlpConfig, MlpNet};
+
+const BATCH: usize = 128;
+const WINDOW: usize = 6;
+const FEATURES: usize = 6;
+
+fn batch(rows: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = SmallRng::new(seed);
+    let x = random_normal(rows, WINDOW * FEATURES, 1.0, &mut rng);
+    let labels = (0..rows).map(|_| rng.index(2)).collect();
+    (x, labels)
+}
+
+fn paper_mlp() -> MlpNet {
+    MlpNet::new(&MlpConfig { input_dim: WINDOW * FEATURES, hidden: vec![256, 128], classes: 2, seed: 1 })
+}
+
+fn paper_lstm() -> LstmNet {
+    LstmNet::new(&LstmConfig { feature_dim: FEATURES, timesteps: WINDOW, hidden: vec![128, 64], classes: 2, seed: 1 })
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (x, labels) = batch(BATCH, 2);
+    c.bench_function("mlp_train_batch_128", |b| {
+        b.iter_batched(
+            || (paper_mlp(), AdamTrainer::new(paper_mlp().param_count(), 1e-3)),
+            |(mut net, mut tr)| net.train_batch(&x, &labels, None, &mut tr),
+            BatchSize::LargeInput,
+        );
+    });
+    c.bench_function("lstm_train_batch_128", |b| {
+        b.iter_batched(
+            || (paper_lstm(), AdamTrainer::new(paper_lstm().param_count(), 1e-3)),
+            |(mut net, mut tr)| net.train_batch(&x, &labels, None, &mut tr),
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (x, _) = batch(BATCH, 3);
+    let mlp = paper_mlp();
+    let lstm = paper_lstm();
+    c.bench_function("mlp_predict_128", |b| b.iter(|| mlp.predict_labels(&x)));
+    c.bench_function("lstm_predict_128", |b| b.iter(|| lstm.predict_labels(&x)));
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let (x, labels) = batch(BATCH, 4);
+    let mlp = paper_mlp();
+    let lstm = paper_lstm();
+    let fgsm = Fgsm::new(0.1);
+    c.bench_function("fgsm_mlp_128", |b| b.iter(|| fgsm.attack(&mlp, &x, &labels)));
+    c.bench_function("fgsm_lstm_128", |b| b.iter(|| fgsm.attack(&lstm, &x, &labels)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_training, bench_inference, bench_attacks
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Bench target: pgd_extension at quick scale.
+fn main() {
+    cpsmon_bench::run_experiment("pgd_extension_quick", cpsmon_bench::Scale::Quick, |ctx| {
+        vec![cpsmon_bench::experiments::pgd_extension::run(ctx)]
+    });
+}

@@ -1,0 +1,6 @@
+//! Bench target: regenerates the table3 rows at quick scale.
+fn main() {
+    cpsmon_bench::run_experiment("table3_quick", cpsmon_bench::Scale::Quick, |ctx| {
+        vec![cpsmon_bench::experiments::table3::run(ctx)]
+    });
+}

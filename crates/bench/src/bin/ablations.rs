@@ -1,0 +1,7 @@
+//! Runs the ablation studies (semantic weight, window, tolerance,
+//! adversarial training) at CPSMON_SCALE.
+fn main() {
+    cpsmon_bench::run_experiment("ablations", cpsmon_bench::Scale::from_env(), |ctx| {
+        cpsmon_bench::experiments::ablations::run(ctx)
+    });
+}

@@ -1,0 +1,6 @@
+//! Runs the detector_evasion experiment (CPSMON_SCALE=quick|full).
+fn main() {
+    cpsmon_bench::run_experiment("detector_evasion", cpsmon_bench::Scale::from_env(), |ctx| {
+        vec![cpsmon_bench::experiments::detector_evasion::run(ctx)]
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig10_blackbox experiment (CPSMON_SCALE=quick|full).
+fn main() {
+    cpsmon_bench::run_experiment("fig10_blackbox", cpsmon_bench::Scale::from_env(), |ctx| {
+        vec![cpsmon_bench::experiments::fig10_blackbox::run(ctx)]
+    });
+}

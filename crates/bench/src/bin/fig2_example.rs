@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig2_example experiment (CPSMON_SCALE=quick|full).
+fn main() {
+    cpsmon_bench::run_experiment("fig2_example", cpsmon_bench::Scale::from_env(), |ctx| {
+        vec![cpsmon_bench::experiments::fig2_example::run(ctx)]
+    });
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 3 (decision boundaries) at CPSMON_SCALE.
+fn main() {
+    cpsmon_bench::run_experiment("fig3_boundary", cpsmon_bench::Scale::from_env(), |ctx| {
+        let (table, sketch) = cpsmon_bench::experiments::fig3_boundary::run(ctx);
+        println!("{sketch}");
+        vec![table]
+    });
+}

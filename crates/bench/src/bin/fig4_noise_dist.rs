@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig4_noise_dist experiment (CPSMON_SCALE=quick|full).
+fn main() {
+    cpsmon_bench::run_experiment("fig4_noise_dist", cpsmon_bench::Scale::from_env(), |ctx| {
+        vec![cpsmon_bench::experiments::fig4_noise_dist::run(ctx)]
+    });
+}

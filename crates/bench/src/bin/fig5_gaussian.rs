@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig5_gaussian experiment (CPSMON_SCALE=quick|full).
+fn main() {
+    cpsmon_bench::run_experiment("fig5_gaussian", cpsmon_bench::Scale::from_env(), |ctx| {
+        vec![cpsmon_bench::experiments::fig5_gaussian::run(ctx)]
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig6_pr experiment (CPSMON_SCALE=quick|full).
+fn main() {
+    cpsmon_bench::run_experiment("fig6_pr", cpsmon_bench::Scale::from_env(), |ctx| {
+        vec![cpsmon_bench::experiments::fig6_pr::run(ctx)]
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7_adv_trace experiment (CPSMON_SCALE=quick|full).
+fn main() {
+    cpsmon_bench::run_experiment("fig7_adv_trace", cpsmon_bench::Scale::from_env(), |ctx| {
+        vec![cpsmon_bench::experiments::fig7_adv_trace::run(ctx)]
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig8_fgsm experiment (CPSMON_SCALE=quick|full).
+fn main() {
+    cpsmon_bench::run_experiment("fig8_fgsm", cpsmon_bench::Scale::from_env(), |ctx| {
+        vec![cpsmon_bench::experiments::fig8_fgsm::run(ctx)]
+    });
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 9 (robustness-error heat-map) at CPSMON_SCALE.
+fn main() {
+    cpsmon_bench::run_experiment("fig9_heatmap", cpsmon_bench::Scale::from_env(), |ctx| {
+        let (table, summary) = cpsmon_bench::experiments::fig9_heatmap::run(ctx);
+        vec![table, summary]
+    });
+}

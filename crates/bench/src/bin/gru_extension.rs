@@ -1,0 +1,6 @@
+//! Runs the gru_extension experiment (CPSMON_SCALE=quick|full).
+fn main() {
+    cpsmon_bench::run_experiment("gru_extension", cpsmon_bench::Scale::from_env(), |ctx| {
+        vec![cpsmon_bench::experiments::gru_extension::run(ctx)]
+    });
+}

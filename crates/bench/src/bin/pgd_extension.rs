@@ -1,0 +1,6 @@
+//! Runs the pgd_extension experiment (CPSMON_SCALE=quick|full).
+fn main() {
+    cpsmon_bench::run_experiment("pgd_extension", cpsmon_bench::Scale::from_env(), |ctx| {
+        vec![cpsmon_bench::experiments::pgd_extension::run(ctx)]
+    });
+}

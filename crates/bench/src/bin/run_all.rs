@@ -1,0 +1,34 @@
+//! Runs every experiment on one shared context (the cheapest way to
+//! regenerate all paper tables/figures): CPSMON_SCALE=full for the
+//! paper-style run.
+use cpsmon_bench::{experiments as exp, Context, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let ctx = Context::build(scale);
+    let emit = |name: &str, table: &cpsmon_bench::Table| {
+        println!("{table}");
+        table.write_csv(name);
+    };
+    emit("table3", &exp::table3::run(&ctx));
+    emit("fig2_example", &exp::fig2_example::run(&ctx));
+    let (t3, sketch) = exp::fig3_boundary::run(&ctx);
+    println!("{sketch}");
+    emit("fig3_boundary", &t3);
+    emit("fig4_noise_dist", &exp::fig4_noise_dist::run(&ctx));
+    emit("fig5_gaussian", &exp::fig5_gaussian::run(&ctx));
+    emit("fig6_pr", &exp::fig6_pr::run(&ctx));
+    emit("fig7_adv_trace", &exp::fig7_adv_trace::run(&ctx));
+    emit("fig8_fgsm", &exp::fig8_fgsm::run(&ctx));
+    let (t9, summary) = exp::fig9_heatmap::run(&ctx);
+    emit("fig9_heatmap", &t9);
+    emit("fig9_summary", &summary);
+    emit("fig10_blackbox", &exp::fig10_blackbox::run(&ctx));
+    emit("detector_evasion", &exp::detector_evasion::run(&ctx));
+    emit("pgd_extension", &exp::pgd_extension::run(&ctx));
+    for (i, t) in exp::ablations::run(&ctx).iter().enumerate() {
+        emit(&format!("ablation_{i}"), t);
+    }
+    eprintln!("[cpsmon-bench] run_all finished in {:.1?}", started.elapsed());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3 experiment (CPSMON_SCALE=quick|full).
+fn main() {
+    cpsmon_bench::run_experiment("table3", cpsmon_bench::Scale::from_env(), |ctx| {
+        vec![cpsmon_bench::experiments::table3::run(ctx)]
+    });
+}

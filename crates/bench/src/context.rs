@@ -1,0 +1,107 @@
+//! Shared experiment context: campaigns, datasets, and trained monitors.
+
+use crate::scale::Scale;
+use cpsmon_core::{DatasetBuilder, LabeledDataset, MonitorKind, TrainedMonitor};
+use cpsmon_sim::{SimTrace, SimulatorKind};
+
+/// Everything the experiments need for one simulator.
+#[derive(Debug, Clone)]
+pub struct SimContext {
+    /// Which simulator/controller pairing this is.
+    pub kind: SimulatorKind,
+    /// The raw campaign traces (some figures plot trace-level signals).
+    pub traces: Vec<SimTrace>,
+    /// The windowed train/test dataset.
+    pub ds: LabeledDataset,
+    /// All five monitors of Table III, trained on `ds.train`.
+    pub monitors: Vec<TrainedMonitor>,
+}
+
+impl SimContext {
+    /// Looks up a monitor by kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor is missing (cannot happen for contexts built
+    /// by [`Context::build`]).
+    pub fn monitor(&self, kind: MonitorKind) -> &TrainedMonitor {
+        self.monitors
+            .iter()
+            .find(|m| m.kind == kind)
+            .unwrap_or_else(|| panic!("monitor {kind} not trained in this context"))
+    }
+}
+
+/// The full two-simulator experiment context.
+#[derive(Debug, Clone)]
+pub struct Context {
+    /// Scale the context was built at.
+    pub scale: Scale,
+    /// One context per simulator, in paper order (Glucosym, T1DS2013).
+    pub sims: Vec<SimContext>,
+}
+
+impl Context {
+    /// Runs both campaigns, builds datasets, and trains all monitors.
+    ///
+    /// This is the expensive step (seconds at quick scale, minutes at full
+    /// scale); experiments share one context within a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a campaign produces a degenerate dataset — that would be
+    /// a configuration bug, not a runtime condition.
+    pub fn build(scale: Scale) -> Context {
+        let mut sims = Vec::new();
+        for kind in SimulatorKind::ALL {
+            eprintln!("[cpsmon-bench] simulating {kind} campaign ({})...", scale.label());
+            let traces = scale.campaign(kind).run();
+            let ds = DatasetBuilder::new()
+                .seed(2022)
+                .build(&traces)
+                .unwrap_or_else(|e| panic!("campaign for {kind} yielded no usable dataset: {e}"));
+            let cfg = scale.train_config();
+            let monitors = MonitorKind::ALL
+                .iter()
+                .map(|&mk| {
+                    eprintln!("[cpsmon-bench] training {mk} on {kind}...");
+                    mk.train(&ds, &cfg).expect("training cannot fail on a validated dataset")
+                })
+                .collect();
+            sims.push(SimContext { kind, traces, ds, monitors });
+        }
+        Context { scale, sims }
+    }
+
+    /// The context for one simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator is missing from the context.
+    pub fn sim(&self, kind: SimulatorKind) -> &SimContext {
+        self.sims
+            .iter()
+            .find(|s| s.kind == kind)
+            .unwrap_or_else(|| panic!("no context for {kind}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_context_builds_everything() {
+        let ctx = Context::build(Scale::Quick);
+        assert_eq!(ctx.sims.len(), 2);
+        for sim in &ctx.sims {
+            assert_eq!(sim.monitors.len(), 5);
+            assert!(!sim.ds.train.is_empty());
+            assert!(!sim.ds.test.is_empty());
+            // Lookup by kind works for every variant.
+            for mk in MonitorKind::ALL {
+                assert_eq!(sim.monitor(mk).kind, mk);
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! **Threat-model check (§III)** — do the perturbations really evade
+//! classical input-integrity detectors?
+//!
+//! The paper restricts itself to "small changes that cannot be detected by
+//! the current methods for sensor/input error detection and attack
+//! detection, such as invariant detection or change detection techniques
+//! (e.g., CUSUM)", and uses that to justify σ ≤ 1·std and ε ≤ 0.2. This
+//! experiment implements both reference detectors
+//! ([`cpsmon_core::detectors`]) and measures, per perturbation level, the
+//! fraction of test traces each detector flags:
+//!
+//! - a CUSUM on the BG *step delta* (the roughly stationary innovation of
+//!   the sensor stream), calibrated on clean training data;
+//! - an invariant range/rate-of-change check on the raw BG stream.
+//!
+//! Expected shape: FGSM at every ε in the paper's sweep stays invisible;
+//! Gaussian noise evades at small σ and starts to trip the detectors as σ
+//! approaches 1·std — exactly the boundary the paper's threat model draws.
+
+use crate::context::{Context, SimContext};
+use crate::experiments::NOISE_SEED;
+use crate::report::{fmt3, Table};
+use cpsmon_attack::{Fgsm, GaussianNoise, EPSILON_SWEEP, SIGMA_SWEEP};
+use cpsmon_core::detectors::{Cusum, InvariantRange};
+use cpsmon_core::features::FEATURES_PER_STEP;
+use cpsmon_core::MonitorKind;
+use cpsmon_nn::Matrix;
+
+/// Reconstructs each test trace's raw-unit BG stream from (possibly
+/// perturbed) normalized windows, taking the last timestep of each window.
+fn bg_streams(sim: &SimContext, x: &Matrix) -> Vec<Vec<f64>> {
+    let raw = sim.ds.normalizer.inverse(x);
+    let bg_col = raw.cols() - FEATURES_PER_STEP; // last step, feature 0
+    sim.ds
+        .test
+        .samples_by_trace()
+        .into_iter()
+        .map(|(_, idxs)| idxs.into_iter().map(|i| raw.get(i, bg_col)).collect())
+        .collect()
+}
+
+/// Fraction of streams flagged by the given detectors.
+fn flagged_fraction(streams: &[Vec<f64>], cusum_proto: &Cusum, inv: &InvariantRange) -> (f64, f64) {
+    let n = streams.len().max(1) as f64;
+    let mut cusum_hits = 0usize;
+    let mut inv_hits = 0usize;
+    for s in streams {
+        let deltas: Vec<f64> = s.windows(2).map(|w| w[1] - w[0]).collect();
+        let mut cusum = cusum_proto.clone();
+        if cusum.detects(&deltas) {
+            cusum_hits += 1;
+        }
+        if inv.detects(s) {
+            inv_hits += 1;
+        }
+    }
+    (cusum_hits as f64 / n, inv_hits as f64 / n)
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Threat-model check — fraction of traces flagged by CUSUM / invariant detectors ({} scale)",
+            ctx.scale.label()
+        ),
+        &["Simulator", "perturbation", "CUSUM(dBG)", "invariant(BG)"],
+    );
+    for sim in &ctx.sims {
+        // Calibrate the CUSUM on the clean *training* dBG statistics, in
+        // raw units (feature column 2 of the last step).
+        let dbg_col = sim.ds.feature_dim() - FEATURES_PER_STEP + 2;
+        let mean = sim.ds.normalizer.mean()[dbg_col];
+        let std = sim.ds.normalizer.std()[dbg_col].max(1e-6);
+        // Meal-tolerant tuning: postprandial BG legitimately rises by
+        // ~2-3·std(dBG) for an hour, so the textbook (k=0.5, h=5) tuning
+        // alarms on every clean trace. k=2.5, h=10 sits above meal trends
+        // while still accumulating on sustained out-of-model deviations.
+        let cusum = Cusum::new(mean, std, 2.5, 10.0);
+        let inv = InvariantRange::cgm();
+        let mut record = |label: String, x: &Matrix| {
+            let (c, i) = flagged_fraction(&bg_streams(sim, x), &cusum, &inv);
+            table.row(vec![sim.kind.label().to_string(), label, fmt3(c), fmt3(i)]);
+        };
+        record("none".into(), &sim.ds.test.x);
+        for (i, &sigma) in SIGMA_SWEEP.iter().enumerate() {
+            let noisy = GaussianNoise::new(sigma).apply(&sim.ds.test.x, NOISE_SEED ^ i as u64);
+            record(format!("gaussian σ={sigma}std"), &noisy);
+        }
+        let model = sim
+            .monitor(MonitorKind::Mlp)
+            .as_grad_model()
+            .expect("differentiable");
+        for &eps in &EPSILON_SWEEP {
+            let adv = Fgsm::new(eps).attack(model, &sim.ds.test.x, &sim.ds.test.labels);
+            record(format!("fgsm ε={eps}"), &adv);
+        }
+    }
+    table
+}

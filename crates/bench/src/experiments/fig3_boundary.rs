@@ -1,0 +1,86 @@
+//! **Fig. 3** — decision boundaries of the baseline MLP vs the MLP-Custom
+//! monitor.
+//!
+//! The paper shows the Custom monitor learning a cleaner, rule-aligned
+//! boundary. We sweep a 2-D grid over the (normalized) BG level and BG
+//! trend with all other features held at their mean (0 after z-scoring)
+//! and the command fixed at *keep*, and report each model's unsafe region
+//! both as CSV data and as an ASCII sketch.
+
+use crate::context::Context;
+use crate::report::Table;
+use cpsmon_core::features::FEATURES_PER_STEP;
+use cpsmon_core::MonitorKind;
+use cpsmon_nn::Matrix;
+use cpsmon_sim::SimulatorKind;
+
+/// Grid resolution per axis.
+const GRID: usize = 21;
+/// Grid range in normalized units.
+const RANGE: f64 = 2.5;
+
+/// Builds the synthetic window for one grid point: every timestep carries
+/// the same BG level and trend, so the aggregated context matches the
+/// instantaneous one.
+fn grid_window(feature_dim: usize, bg: f64, dbg: f64) -> Vec<f64> {
+    let mut row = vec![0.0; feature_dim];
+    for step in 0..feature_dim / FEATURES_PER_STEP {
+        row[step * FEATURES_PER_STEP] = bg;
+        row[step * FEATURES_PER_STEP + 2] = dbg;
+    }
+    row
+}
+
+/// Runs the experiment: one row per grid point with both models' verdicts.
+pub fn run(ctx: &Context) -> (Table, String) {
+    let sim = ctx.sim(SimulatorKind::Glucosym);
+    let dim = sim.ds.feature_dim();
+    let mut rows = Vec::with_capacity(GRID * GRID);
+    for yi in 0..GRID {
+        for xi in 0..GRID {
+            let bg = -RANGE + 2.0 * RANGE * xi as f64 / (GRID - 1) as f64;
+            let dbg = -RANGE + 2.0 * RANGE * yi as f64 / (GRID - 1) as f64;
+            rows.push(grid_window(dim, bg, dbg));
+        }
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    let grid_x = Matrix::from_rows(&refs);
+    let baseline = sim
+        .monitor(MonitorKind::Mlp)
+        .as_grad_model()
+        .expect("differentiable")
+        .predict_labels(&grid_x);
+    let custom = sim
+        .monitor(MonitorKind::MlpCustom)
+        .as_grad_model()
+        .expect("differentiable")
+        .predict_labels(&grid_x);
+    let mut table = Table::new(
+        format!("Fig 3 — decision boundary grid ({} scale)", ctx.scale.label()),
+        &["bg_z", "dbg_z", "mlp", "mlp_custom"],
+    );
+    let mut sketch = String::new();
+    sketch.push_str("MLP (left) vs MLP-Custom (right); '#' = unsafe, '.' = safe; x: BG z-score, y: dBG z-score\n");
+    for yi in (0..GRID).rev() {
+        let mut left = String::new();
+        let mut right = String::new();
+        for xi in 0..GRID {
+            let i = yi * GRID + xi;
+            left.push(if baseline[i] == 1 { '#' } else { '.' });
+            right.push(if custom[i] == 1 { '#' } else { '.' });
+            let bg = -RANGE + 2.0 * RANGE * xi as f64 / (GRID - 1) as f64;
+            let dbg = -RANGE + 2.0 * RANGE * yi as f64 / (GRID - 1) as f64;
+            table.row(vec![
+                format!("{bg:.2}"),
+                format!("{dbg:.2}"),
+                baseline[i].to_string(),
+                custom[i].to_string(),
+            ]);
+        }
+        sketch.push_str(&left);
+        sketch.push_str("   ");
+        sketch.push_str(&right);
+        sketch.push('\n');
+    }
+    (table, sketch)
+}

@@ -1,0 +1,54 @@
+//! **Fig. 4** — distribution of the test data with and without Gaussian
+//! noise (σ = 0.5·std).
+//!
+//! The paper plots input histograms per simulator to show the corruption
+//! is mild relative to the data spread. We histogram the (normalized) BG
+//! feature of the last window step.
+
+use crate::context::Context;
+use crate::experiments::NOISE_SEED;
+use crate::report::Table;
+use cpsmon_attack::GaussianNoise;
+use cpsmon_core::features::FEATURES_PER_STEP;
+
+/// Histogram bin count.
+const BINS: usize = 15;
+/// Histogram range in normalized units.
+const RANGE: f64 = 3.0;
+
+fn histogram(values: impl Iterator<Item = f64>) -> [usize; BINS] {
+    let mut bins = [0usize; BINS];
+    for v in values {
+        let pos = ((v + RANGE) / (2.0 * RANGE) * BINS as f64).floor();
+        let idx = pos.clamp(0.0, (BINS - 1) as f64) as usize;
+        bins[idx] += 1;
+    }
+    bins
+}
+
+/// Runs the experiment: per simulator, a histogram of the clean vs noisy
+/// BG feature.
+pub fn run(ctx: &Context) -> Table {
+    let mut table = Table::new(
+        format!("Fig 4 — BG feature distribution with/without N(0,(0.5·std)²) ({} scale)", ctx.scale.label()),
+        &["simulator", "bin_center_z", "clean_count", "noisy_count"],
+    );
+    for sim in &ctx.sims {
+        let x = &sim.ds.test.x;
+        let noisy = GaussianNoise::new(0.5).apply(x, NOISE_SEED);
+        // BG of the last timestep.
+        let col = x.cols() - FEATURES_PER_STEP;
+        let clean_h = histogram((0..x.rows()).map(|r| x.get(r, col)));
+        let noisy_h = histogram((0..noisy.rows()).map(|r| noisy.get(r, col)));
+        for b in 0..BINS {
+            let center = -RANGE + (b as f64 + 0.5) * 2.0 * RANGE / BINS as f64;
+            table.row(vec![
+                sim.kind.label().to_string(),
+                format!("{center:.2}"),
+                clean_h[b].to_string(),
+                noisy_h[b].to_string(),
+            ]);
+        }
+    }
+    table
+}

@@ -1,0 +1,38 @@
+//! **Fig. 5** — F1 score of the ML monitors under Gaussian sensor noise
+//! `N(0, (k·std)²)`, `k ∈ {0.1, 0.25, 0.5, 0.75, 1.0}`, both simulators.
+//!
+//! Paper shape: baseline monitors degrade (LSTM worst on Glucosym); the
+//! Custom monitors hold their F1 nearly flat.
+
+use crate::context::Context;
+use crate::experiments::{report_on, ML_KINDS, NOISE_SEED};
+use crate::report::{fmt3, Table};
+use cpsmon_attack::{GaussianNoise, SIGMA_SWEEP};
+
+/// Runs the experiment: one row per simulator × model with the clean F1
+/// and the F1 at each noise level.
+pub fn run(ctx: &Context) -> Table {
+    let mut headers: Vec<String> = vec!["Simulator".into(), "Model".into(), "clean".into()];
+    headers.extend(SIGMA_SWEEP.iter().map(|s| format!("σ={s}std")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Fig 5 — F1 under Gaussian noise ({} scale)", ctx.scale.label()),
+        &header_refs,
+    );
+    for sim in &ctx.sims {
+        for mk in ML_KINDS {
+            let monitor = sim.monitor(mk);
+            let mut cells = vec![
+                sim.kind.label().to_string(),
+                mk.label().to_string(),
+                fmt3(report_on(sim, monitor, &sim.ds.test.x).f1()),
+            ];
+            for (i, &sigma) in SIGMA_SWEEP.iter().enumerate() {
+                let noisy = GaussianNoise::new(sigma).apply(&sim.ds.test.x, NOISE_SEED ^ i as u64);
+                cells.push(fmt3(report_on(sim, monitor, &noisy).f1()));
+            }
+            table.row(cells);
+        }
+    }
+    table
+}

@@ -1,0 +1,50 @@
+//! **Fig. 7** — example input windows of the MLP and LSTM models with and
+//! without white-box FGSM perturbation (ε = 0.2).
+//!
+//! The paper plots the per-step signals to show how small the adversarial
+//! deltas are. We emit the BG/IOB/rate series of one positive test window
+//! (in raw clinical units, de-normalized) clean vs attacked, per model.
+
+use crate::context::Context;
+use crate::report::Table;
+use cpsmon_attack::Fgsm;
+use cpsmon_core::features::FEATURES_PER_STEP;
+use cpsmon_core::MonitorKind;
+use cpsmon_sim::SimulatorKind;
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> Table {
+    let sim = ctx.sim(SimulatorKind::Glucosym);
+    let test = &sim.ds.test;
+    let idx = test
+        .labels
+        .iter()
+        .position(|&l| l == 1)
+        .expect("test set contains positives");
+    let x = test.x.slice_rows(idx, idx + 1);
+    let mut table = Table::new(
+        format!("Fig 7 — example window clean vs FGSM ε=0.2 ({} scale)", ctx.scale.label()),
+        &["model", "step", "bg_clean", "bg_adv", "iob_clean", "iob_adv", "rate_clean", "rate_adv"],
+    );
+    for mk in [MonitorKind::Mlp, MonitorKind::Lstm] {
+        let model = sim.monitor(mk).as_grad_model().expect("differentiable");
+        let adv = Fgsm::new(0.2).attack(model, &x, &[1]);
+        let clean_raw = sim.ds.normalizer.inverse(&x);
+        let adv_raw = sim.ds.normalizer.inverse(&adv);
+        let steps = x.cols() / FEATURES_PER_STEP;
+        for t in 0..steps {
+            let f = |m: &cpsmon_nn::Matrix, k: usize| m.get(0, t * FEATURES_PER_STEP + k);
+            table.row(vec![
+                mk.label().to_string(),
+                t.to_string(),
+                format!("{:.1}", f(&clean_raw, 0)),
+                format!("{:.1}", f(&adv_raw, 0)),
+                format!("{:.2}", f(&clean_raw, 1)),
+                format!("{:.2}", f(&adv_raw, 1)),
+                format!("{:.2}", f(&clean_raw, 4)),
+                format!("{:.2}", f(&adv_raw, 4)),
+            ]);
+        }
+    }
+    table
+}

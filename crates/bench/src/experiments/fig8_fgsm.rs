@@ -1,0 +1,38 @@
+//! **Fig. 8** — F1 score of the ML monitors under white-box FGSM attacks,
+//! ε ∈ {0.01, 0.05, 0.1, 0.15, 0.2}, both simulators.
+//!
+//! Paper shape: baseline F1 collapses with ε; the Custom monitors degrade
+//! far less, and LSTM-Custom ends up best overall.
+
+use crate::context::Context;
+use crate::experiments::{report_on, ML_KINDS};
+use crate::report::{fmt3, Table};
+use cpsmon_attack::{Fgsm, EPSILON_SWEEP};
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> Table {
+    let mut headers: Vec<String> = vec!["Simulator".into(), "Model".into(), "clean".into()];
+    headers.extend(EPSILON_SWEEP.iter().map(|e| format!("ε={e}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Fig 8 — F1 under white-box FGSM ({} scale)", ctx.scale.label()),
+        &header_refs,
+    );
+    for sim in &ctx.sims {
+        for mk in ML_KINDS {
+            let monitor = sim.monitor(mk);
+            let model = monitor.as_grad_model().expect("ML monitors are differentiable");
+            let mut cells = vec![
+                sim.kind.label().to_string(),
+                mk.label().to_string(),
+                fmt3(report_on(sim, monitor, &sim.ds.test.x).f1()),
+            ];
+            for &eps in &EPSILON_SWEEP {
+                let adv = Fgsm::new(eps).attack(model, &sim.ds.test.x, &sim.ds.test.labels);
+                cells.push(fmt3(report_on(sim, monitor, &adv).f1()));
+            }
+            table.row(cells);
+        }
+    }
+    table
+}

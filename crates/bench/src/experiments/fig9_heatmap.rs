@@ -1,0 +1,127 @@
+//! **Fig. 9** — robustness-error (Eq. 5) heat-map of every ML monitor
+//! against Gaussian noise and white-box FGSM, both simulators.
+//!
+//! Paper shape: FGSM ≫ Gaussian for the baselines; baseline LSTM is the
+//! most fragile; the Custom monitors have the smallest errors nearly
+//! everywhere, with average reductions up to 22.2 % (Gaussian) and 54.2 %
+//! (FGSM).
+
+use crate::context::Context;
+use crate::experiments::{ML_KINDS, NOISE_SEED};
+use crate::report::{fmt3, Table};
+use cpsmon_attack::{Fgsm, GaussianNoise, EPSILON_SWEEP, SIGMA_SWEEP};
+use cpsmon_core::robustness_error;
+use cpsmon_core::MonitorKind;
+
+/// The per-cell results, exposed so ablations/summary can reuse them.
+pub struct HeatmapData {
+    /// `(simulator, model, gaussian errors per σ, fgsm errors per ε)`.
+    pub cells: Vec<(String, MonitorKind, Vec<f64>, Vec<f64>)>,
+}
+
+/// Computes the heat-map data.
+pub fn compute(ctx: &Context) -> HeatmapData {
+    let mut cells = Vec::new();
+    for sim in &ctx.sims {
+        for mk in ML_KINDS {
+            let monitor = sim.monitor(mk);
+            let model = monitor.as_grad_model().expect("ML monitors are differentiable");
+            let clean_preds = monitor.predict_x(&sim.ds.test.x);
+            let gaussian: Vec<f64> = SIGMA_SWEEP
+                .iter()
+                .enumerate()
+                .map(|(i, &sigma)| {
+                    let noisy =
+                        GaussianNoise::new(sigma).apply(&sim.ds.test.x, NOISE_SEED ^ i as u64);
+                    robustness_error(&clean_preds, &monitor.predict_x(&noisy))
+                })
+                .collect();
+            let fgsm: Vec<f64> = EPSILON_SWEEP
+                .iter()
+                .map(|&eps| {
+                    let adv = Fgsm::new(eps).attack(model, &sim.ds.test.x, &sim.ds.test.labels);
+                    robustness_error(&clean_preds, &monitor.predict_x(&adv))
+                })
+                .collect();
+            cells.push((sim.kind.label().to_string(), mk, gaussian, fgsm));
+        }
+    }
+    HeatmapData { cells }
+}
+
+/// Mean robustness error over a slice.
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Runs the experiment, returning the heat-map table and a summary table
+/// with the Custom-vs-baseline reduction percentages.
+pub fn run(ctx: &Context) -> (Table, Table) {
+    let data = compute(ctx);
+    let mut headers: Vec<String> = vec!["Simulator".into(), "Model".into()];
+    headers.extend(SIGMA_SWEEP.iter().map(|s| format!("G σ={s}")));
+    headers.extend(EPSILON_SWEEP.iter().map(|e| format!("F ε={e}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Fig 9 — robustness error heat-map ({} scale)", ctx.scale.label()),
+        &header_refs,
+    );
+    for (sim, mk, gaussian, fgsm) in &data.cells {
+        let mut cells = vec![sim.clone(), mk.label().to_string()];
+        cells.extend(gaussian.iter().map(|&v| fmt3(v)));
+        cells.extend(fgsm.iter().map(|&v| fmt3(v)));
+        table.row(cells);
+    }
+    // Summary: average reduction of Custom vs its baseline, per
+    // perturbation family, averaged across models and simulators.
+    let mut summary = Table::new(
+        "Fig 9 summary — robustness-error reduction from semantic loss",
+        &["pair", "perturbation", "baseline mean", "custom mean", "reduction %"],
+    );
+    let pairs = [
+        (MonitorKind::Mlp, MonitorKind::MlpCustom),
+        (MonitorKind::Lstm, MonitorKind::LstmCustom),
+    ];
+    let mut overall: Vec<(String, f64, f64)> = Vec::new();
+    for (base_kind, custom_kind) in pairs {
+        for gaussian_family in [true, false] {
+            let pick = |kind: MonitorKind| -> Vec<f64> {
+                data.cells
+                    .iter()
+                    .filter(|(_, mk, _, _)| *mk == kind)
+                    .flat_map(|(_, _, g, f)| if gaussian_family { g.clone() } else { f.clone() })
+                    .collect()
+            };
+            let base = mean(&pick(base_kind));
+            let custom = mean(&pick(custom_kind));
+            let reduction = if base > 0.0 { (base - custom) / base * 100.0 } else { 0.0 };
+            let family = if gaussian_family { "Gaussian" } else { "FGSM" };
+            summary.row(vec![
+                format!("{} → {}", base_kind.label(), custom_kind.label()),
+                family.to_string(),
+                fmt3(base),
+                fmt3(custom),
+                format!("{reduction:.1}"),
+            ]);
+            overall.push((family.to_string(), base, custom));
+        }
+    }
+    for family in ["Gaussian", "FGSM"] {
+        let fam: Vec<&(String, f64, f64)> = overall.iter().filter(|(f, _, _)| f == family).collect();
+        let base = mean(&fam.iter().map(|(_, b, _)| *b).collect::<Vec<_>>());
+        let custom = mean(&fam.iter().map(|(_, _, c)| *c).collect::<Vec<_>>());
+        let reduction = if base > 0.0 { (base - custom) / base * 100.0 } else { 0.0 };
+        summary.row(vec![
+            "average (all models)".into(),
+            family.into(),
+            fmt3(base),
+            fmt3(custom),
+            format!("{reduction:.1}"),
+        ]);
+    }
+    (table, summary)
+}

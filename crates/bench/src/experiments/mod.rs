@@ -1,0 +1,39 @@
+//! One module per table/figure of the paper, plus ablations.
+//!
+//! Every experiment takes a pre-built [`Context`](crate::Context) and
+//! returns one or more [`Table`](crate::Table)s; binaries print them and
+//! write CSVs. See `DESIGN.md` for the experiment index.
+
+pub mod ablations;
+pub mod detector_evasion;
+pub mod fig10_blackbox;
+pub mod fig2_example;
+pub mod fig3_boundary;
+pub mod fig4_noise_dist;
+pub mod fig5_gaussian;
+pub mod fig6_pr;
+pub mod fig7_adv_trace;
+pub mod fig8_fgsm;
+pub mod fig9_heatmap;
+pub mod gru_extension;
+pub mod pgd_extension;
+pub mod table3;
+
+use crate::context::SimContext;
+use cpsmon_core::monitor::evaluate_predictions;
+use cpsmon_core::metrics::{EvalReport, DEFAULT_TOLERANCE_STEPS};
+use cpsmon_core::{MonitorKind, TrainedMonitor};
+use cpsmon_nn::Matrix;
+
+/// Evaluates a monitor's predictions on a (possibly perturbed) copy of the
+/// test features, scored with the Table II tolerance metric.
+pub(crate) fn report_on(sim: &SimContext, monitor: &TrainedMonitor, x: &Matrix) -> EvalReport {
+    let preds = monitor.predict_x(x);
+    evaluate_predictions(&sim.ds.test, &preds, DEFAULT_TOLERANCE_STEPS)
+}
+
+/// The four ML monitors in figure order.
+pub(crate) const ML_KINDS: [MonitorKind; 4] = MonitorKind::ML;
+
+/// Deterministic per-experiment noise seed.
+pub(crate) const NOISE_SEED: u64 = 0x2022_0625;

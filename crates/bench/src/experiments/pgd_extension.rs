@@ -1,0 +1,47 @@
+//! **Extension — PGD vs FGSM.**
+//!
+//! The paper's conclusion calls for "a more comprehensive investigation of
+//! robustness testing"; the standard next rung on the white-box ladder is
+//! iterative FGSM / PGD (Kurakin et al., cited as [13]). This experiment
+//! compares the robustness error of every ML monitor under FGSM and
+//! 10-step PGD at the same ε budget — PGD should dominate, and the
+//! semantic-loss monitors should retain their relative advantage.
+
+use crate::context::Context;
+use crate::experiments::ML_KINDS;
+use crate::report::{fmt3, Table};
+use cpsmon_attack::{Fgsm, Pgd};
+use cpsmon_core::robustness_error;
+
+/// ε budgets compared.
+const BUDGETS: [f64; 2] = [0.1, 0.2];
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> Table {
+    let mut headers: Vec<String> = vec!["Simulator".into(), "Model".into()];
+    for &eps in &BUDGETS {
+        headers.push(format!("FGSM ε={eps}"));
+        headers.push(format!("PGD ε={eps}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Extension — robustness error, FGSM vs 10-step PGD ({} scale)", ctx.scale.label()),
+        &header_refs,
+    );
+    for sim in &ctx.sims {
+        for mk in ML_KINDS {
+            let monitor = sim.monitor(mk);
+            let model = monitor.as_grad_model().expect("differentiable");
+            let clean = monitor.predict_x(&sim.ds.test.x);
+            let mut cells = vec![sim.kind.label().to_string(), mk.label().to_string()];
+            for &eps in &BUDGETS {
+                let fgsm = Fgsm::new(eps).attack(model, &sim.ds.test.x, &sim.ds.test.labels);
+                cells.push(fmt3(robustness_error(&clean, &monitor.predict_x(&fgsm))));
+                let pgd = Pgd::standard(eps).attack(model, &sim.ds.test.x, &sim.ds.test.labels);
+                cells.push(fmt3(robustness_error(&clean, &monitor.predict_x(&pgd))));
+            }
+            table.row(cells);
+        }
+    }
+    table
+}

@@ -1,0 +1,42 @@
+//! # cpsmon-bench — the experiment harness
+//!
+//! One entry point per table/figure of the paper. Each experiment is
+//! exposed three ways:
+//!
+//! - a library function in [`experiments`] returning a formatted report;
+//! - a binary (`cargo run --release -p cpsmon-bench --bin table3`) that
+//!   runs it at the scale selected by `CPSMON_SCALE` (`quick` or `full`);
+//! - a bench target (`cargo bench -p cpsmon-bench --bench table3`) that
+//!   regenerates the same rows at quick scale.
+//!
+//! Experiment context (campaigns, datasets, trained monitors) is built
+//! once per process by [`context::Context::build`] and shared across
+//! experiments — `run_all` amortizes the training cost over all ten.
+//!
+//! Results are also written as CSV into `results/` at the workspace root.
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+pub mod report;
+pub mod scale;
+
+pub use context::{Context, SimContext};
+pub use report::Table;
+pub use scale::Scale;
+
+/// Shared driver for the experiment binaries and bench targets: builds a
+/// context at `scale`, runs `f`, prints every returned table, and writes
+/// each to `results/<name>[_i].csv`.
+pub fn run_experiment(name: &str, scale: Scale, f: impl Fn(&Context) -> Vec<Table>) {
+    let started = std::time::Instant::now();
+    let ctx = Context::build(scale);
+    let tables = f(&ctx);
+    for (i, table) in tables.iter().enumerate() {
+        println!("{table}");
+        let suffix = if tables.len() > 1 { format!("{name}_{i}") } else { name.to_string() };
+        table.write_csv(&suffix);
+    }
+    eprintln!("[cpsmon-bench] {name} finished in {:.1?}", started.elapsed());
+}

@@ -1,0 +1,342 @@
+//! Labeled, normalized datasets built from simulation campaigns.
+
+use crate::error::CoreError;
+use crate::features::{FeatureConfig, Normalizer, WindowSample};
+use cpsmon_nn::rng::SmallRng;
+use cpsmon_nn::Matrix;
+use cpsmon_sim::hazard::HazardConfig;
+use cpsmon_sim::trace::SimTrace;
+use cpsmon_stl::{ApsContext, ApsRules};
+
+/// A set of monitor samples ready for training or evaluation.
+///
+/// `x` holds *normalized* flattened windows (one row per sample) — the
+/// space in which monitors operate and attacks perturb. Raw-unit values
+/// can be recovered through the split's [`Normalizer`]. The rule contexts
+/// are kept in raw units (rules are specified on physical quantities).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Normalized feature matrix (`N × window·FEATURES_PER_STEP`).
+    pub x: Matrix,
+    /// Eq. 1 labels (0 safe / 1 unsafe).
+    pub labels: Vec<usize>,
+    /// Eq. 2 rule indicators (`1.0` iff any Table I rule fires).
+    pub indicators: Vec<f64>,
+    /// Raw-unit rule contexts, index-aligned with rows of `x`.
+    pub contexts: Vec<ApsContext>,
+    /// Source trace index per sample (campaign order).
+    pub trace_idx: Vec<usize>,
+    /// Window end step per sample.
+    pub steps: Vec<usize>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Fraction of unsafe-labeled samples.
+    pub fn positive_ratio(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().sum::<usize>() as f64 / self.labels.len() as f64
+    }
+
+    /// Groups sample indices by source trace, preserving step order —
+    /// needed by the tolerance-window metrics, which are sequential.
+    pub fn samples_by_trace(&self) -> Vec<(usize, Vec<usize>)> {
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, &t) in self.trace_idx.iter().enumerate() {
+            match groups.last_mut() {
+                Some((last, idxs)) if *last == t => idxs.push(i),
+                _ => groups.push((t, vec![i])),
+            }
+        }
+        groups
+    }
+
+    /// A copy containing only the rows in `idx` (provenance included).
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(idx),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+            indicators: idx.iter().map(|&i| self.indicators[i]).collect(),
+            contexts: idx.iter().map(|&i| self.contexts[i]).collect(),
+            trace_idx: idx.iter().map(|&i| self.trace_idx[i]).collect(),
+            steps: idx.iter().map(|&i| self.steps[i]).collect(),
+        }
+    }
+}
+
+/// A train/test split with its fitted normalizer and provenance config.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledDataset {
+    /// Training samples.
+    pub train: Dataset,
+    /// Held-out samples (split by trace, so no window overlap leaks).
+    pub test: Dataset,
+    /// Normalizer fitted on the *training* rows only.
+    pub normalizer: Normalizer,
+    /// Windowing configuration used.
+    pub feature_config: FeatureConfig,
+    /// Hazard/labeling configuration used.
+    pub hazard_config: HazardConfig,
+    /// Safety-rule parameters the Eq. 2 indicators were computed with (the
+    /// rule-based monitor uses the same set, so knowledge- and data-driven
+    /// monitors see one consistent specification).
+    pub rules: ApsRules,
+}
+
+impl LabeledDataset {
+    /// Features per window row.
+    pub fn feature_dim(&self) -> usize {
+        self.train.x.cols()
+    }
+}
+
+/// Builder turning campaign traces into a [`LabeledDataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetBuilder {
+    feature_config: FeatureConfig,
+    hazard_config: HazardConfig,
+    rules: ApsRules,
+    test_fraction: f64,
+    seed: u64,
+}
+
+impl Default for DatasetBuilder {
+    fn default() -> Self {
+        Self {
+            feature_config: FeatureConfig::default(),
+            hazard_config: HazardConfig::default(),
+            rules: ApsRules::default(),
+            test_fraction: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+impl DatasetBuilder {
+    /// Creates a builder with paper-style defaults (6-step windows, 12-step
+    /// horizon, 70/30 trace-level split).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the windowing configuration.
+    pub fn feature_config(mut self, cfg: FeatureConfig) -> Self {
+        self.feature_config = cfg;
+        self
+    }
+
+    /// Overrides hazard thresholds / prediction horizon.
+    pub fn hazard_config(mut self, cfg: HazardConfig) -> Self {
+        self.hazard_config = cfg;
+        self
+    }
+
+    /// Overrides the Table I rule parameters used for the Eq. 2 indicators
+    /// (and, downstream, the rule-based monitor).
+    pub fn rules(mut self, rules: ApsRules) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Fraction of *traces* reserved for testing.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < f < 1`.
+    pub fn test_fraction(mut self, f: f64) -> Self {
+        assert!(f > 0.0 && f < 1.0, "test fraction must be in (0,1)");
+        self.test_fraction = f;
+        self
+    }
+
+    /// Seed for the trace-level shuffle.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Builds the dataset.
+    ///
+    /// Splitting happens at *trace* granularity: windows from one run never
+    /// appear in both train and test (window overlap would otherwise leak
+    /// test information into training).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyDataset`] if no windows could be extracted;
+    /// [`CoreError::SingleClass`] if all labels agree (degenerate campaign).
+    pub fn build(&self, traces: &[SimTrace]) -> Result<LabeledDataset, CoreError> {
+        let mut samples: Vec<WindowSample> = Vec::new();
+        for (idx, trace) in traces.iter().enumerate() {
+            let labels = self.hazard_config.labels(trace);
+            samples.extend(self.feature_config.windows(trace, &labels, idx));
+        }
+        if samples.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        let positives: usize = samples.iter().map(|s| s.label).sum();
+        if positives == 0 || positives == samples.len() {
+            return Err(CoreError::SingleClass);
+        }
+        // Trace-level split.
+        let mut trace_ids: Vec<usize> = (0..traces.len()).collect();
+        let mut rng = SmallRng::new(self.seed ^ 0x7370_6c69_745f_7367);
+        rng.shuffle(&mut trace_ids);
+        let n_test = ((traces.len() as f64 * self.test_fraction).round() as usize)
+            .clamp(1, traces.len().saturating_sub(1).max(1));
+        let test_set: std::collections::HashSet<usize> =
+            trace_ids.into_iter().take(n_test).collect();
+        let (test_samples, train_samples): (Vec<_>, Vec<_>) =
+            samples.into_iter().partition(|s| test_set.contains(&s.trace_idx));
+        let to_dataset = |samples: &[WindowSample]| {
+            let rows: Vec<&[f64]> = samples.iter().map(|s| s.features.as_slice()).collect();
+            Dataset {
+                x: if rows.is_empty() {
+                    Matrix::zeros(0, 0)
+                } else {
+                    Matrix::from_rows(&rows)
+                },
+                labels: samples.iter().map(|s| s.label).collect(),
+                indicators: Vec::new(), // filled below
+                contexts: samples.iter().map(|s| s.context).collect(),
+                trace_idx: samples.iter().map(|s| s.trace_idx).collect(),
+                steps: samples.iter().map(|s| s.step).collect(),
+            }
+        };
+        let mut train = to_dataset(&train_samples);
+        let mut test = to_dataset(&test_samples);
+        if train.is_empty() || test.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        // Rule indicators from raw contexts.
+        let rules = self.rules;
+        train.indicators = train.contexts.iter().map(|c| f64::from(u8::from(rules.violated(c)))).collect();
+        test.indicators = test.contexts.iter().map(|c| f64::from(u8::from(rules.violated(c)))).collect();
+        // Normalize with train statistics.
+        let normalizer = Normalizer::fit(&train.x);
+        train.x = normalizer.transform(&train.x);
+        test.x = normalizer.transform(&test.x);
+        Ok(LabeledDataset {
+            train,
+            test,
+            normalizer,
+            feature_config: self.feature_config,
+            hazard_config: self.hazard_config,
+            rules,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsmon_sim::{CampaignConfig, SimulatorKind};
+
+    fn campaign() -> Vec<SimTrace> {
+        CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(2)
+            .runs_per_patient(3)
+            .steps(144)
+            .fault_ratio(0.6)
+            .seed(13)
+            .run()
+    }
+
+    #[test]
+    fn build_produces_both_splits() {
+        let ds = DatasetBuilder::new().build(&campaign()).unwrap();
+        assert!(!ds.train.is_empty());
+        assert!(!ds.test.is_empty());
+        assert_eq!(ds.feature_dim(), 36);
+        assert_eq!(ds.train.x.rows(), ds.train.labels.len());
+        assert_eq!(ds.train.labels.len(), ds.train.indicators.len());
+        assert_eq!(ds.train.labels.len(), ds.train.contexts.len());
+    }
+
+    #[test]
+    fn split_is_by_trace() {
+        let ds = DatasetBuilder::new().build(&campaign()).unwrap();
+        let train_traces: std::collections::HashSet<_> = ds.train.trace_idx.iter().collect();
+        let test_traces: std::collections::HashSet<_> = ds.test.trace_idx.iter().collect();
+        assert!(train_traces.is_disjoint(&test_traces));
+    }
+
+    #[test]
+    fn train_features_are_normalized() {
+        let ds = DatasetBuilder::new().build(&campaign()).unwrap();
+        // Column means of the train split should be ~0.
+        let x = &ds.train.x;
+        for c in 0..x.cols() {
+            let mean: f64 = (0..x.rows()).map(|r| x.get(r, c)).sum::<f64>() / x.rows() as f64;
+            assert!(mean.abs() < 1e-8, "column {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn empty_traces_rejected() {
+        let err = DatasetBuilder::new().build(&[]).unwrap_err();
+        assert_eq!(err, CoreError::EmptyDataset);
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        // Fault-free short fasting-like campaign may avoid hazards; if it
+        // doesn't, skip (we only assert the error path when it happens).
+        let traces = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(1)
+            .runs_per_patient(2)
+            .steps(24)
+            .fault_ratio(0.0)
+            .seed(3)
+            .run();
+        match DatasetBuilder::new().build(&traces) {
+            Err(CoreError::SingleClass) => {}
+            Err(e) => panic!("unexpected error {e}"),
+            Ok(ds) => assert!(ds.train.positive_ratio() > 0.0),
+        }
+    }
+
+    #[test]
+    fn subset_preserves_alignment() {
+        let ds = DatasetBuilder::new().build(&campaign()).unwrap();
+        let idx = vec![0, 2, 4];
+        let sub = ds.train.subset(&idx);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.labels[1], ds.train.labels[2]);
+        assert_eq!(sub.x.row(1), ds.train.x.row(2));
+        assert_eq!(sub.steps[2], ds.train.steps[4]);
+    }
+
+    #[test]
+    fn samples_by_trace_groups_contiguously() {
+        let ds = DatasetBuilder::new().build(&campaign()).unwrap();
+        let groups = ds.test.samples_by_trace();
+        let mut seen = std::collections::HashSet::new();
+        for (t, idxs) in &groups {
+            assert!(seen.insert(*t), "trace {t} appears twice");
+            for w in idxs.windows(2) {
+                assert!(ds.test.steps[w[0]] < ds.test.steps[w[1]], "steps out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let traces = campaign();
+        let a = DatasetBuilder::new().seed(4).build(&traces).unwrap();
+        let b = DatasetBuilder::new().seed(4).build(&traces).unwrap();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+}

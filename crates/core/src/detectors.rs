@@ -1,0 +1,193 @@
+//! Classical CPS input-integrity detectors: CUSUM and invariant ranges.
+//!
+//! §III of the paper bounds its threat model by arguing that perturbations
+//! are "small changes that cannot be detected by the current methods for
+//! sensor/input error detection and attack detection, such as invariant
+//! detection or change detection techniques (e.g., CUSUM)". This module
+//! implements those two reference detectors so the claim can be *tested*
+//! (see the `detector_evasion` experiment): Gaussian noise at σ ≤ 1·std
+//! and FGSM at ε ≤ 0.2 should stay under their alarm thresholds, while the
+//! blunt faults of `cpsmon_sim::fault` should not.
+
+/// A one-sided-pair CUSUM change detector over a scalar signal
+/// (Page's test, the variant cited by Cárdenas et al. for control
+/// systems).
+///
+/// Tracks `S⁺ = max(0, S⁺ + (x−μ)/σ − k)` and the symmetric `S⁻`; alarms
+/// when either exceeds `h`.
+///
+/// # Examples
+///
+/// ```
+/// use cpsmon_core::detectors::Cusum;
+///
+/// let mut d = Cusum::new(0.0, 1.0, 0.5, 5.0);
+/// // In-distribution samples: no alarm.
+/// assert!(!(0..20).any(|_| d.update(0.3)));
+/// // A persistent large shift eventually alarms.
+/// assert!((0..20).any(|_| d.update(4.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cusum {
+    mean: f64,
+    std: f64,
+    /// Slack `k` in σ units (insensitivity band).
+    pub k: f64,
+    /// Alarm threshold `h` in σ units.
+    pub h: f64,
+    s_pos: f64,
+    s_neg: f64,
+}
+
+impl Cusum {
+    /// Creates a detector calibrated to a reference mean/std.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std <= 0`, `k < 0`, or `h <= 0`.
+    pub fn new(mean: f64, std: f64, k: f64, h: f64) -> Self {
+        assert!(std > 0.0, "std must be positive");
+        assert!(k >= 0.0, "slack must be non-negative");
+        assert!(h > 0.0, "threshold must be positive");
+        Self { mean, std, k, h, s_pos: 0.0, s_neg: 0.0 }
+    }
+
+    /// Standard tuning: `k = 0.5`, `h = 5` (in σ units).
+    pub fn standard(mean: f64, std: f64) -> Self {
+        Self::new(mean, std, 0.5, 5.0)
+    }
+
+    /// Feeds one sample; returns `true` if the detector alarms on it.
+    pub fn update(&mut self, x: f64) -> bool {
+        let z = (x - self.mean) / self.std;
+        self.s_pos = (self.s_pos + z - self.k).max(0.0);
+        self.s_neg = (self.s_neg - z - self.k).max(0.0);
+        self.s_pos > self.h || self.s_neg > self.h
+    }
+
+    /// Resets the accumulated statistics.
+    pub fn reset(&mut self) {
+        self.s_pos = 0.0;
+        self.s_neg = 0.0;
+    }
+
+    /// Whether any sample of `signal` triggers an alarm (detector reset
+    /// first).
+    pub fn detects(&mut self, signal: &[f64]) -> bool {
+        self.reset();
+        signal.iter().any(|&x| self.update(x))
+    }
+}
+
+/// A per-sample invariant-range detector (Adepu & Mathur-style process
+/// invariants reduced to stay-in-range checks): alarms when a value leaves
+/// `[lo, hi]` or jumps more than `max_step` between consecutive samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvariantRange {
+    /// Lower physical bound.
+    pub lo: f64,
+    /// Upper physical bound.
+    pub hi: f64,
+    /// Maximum plausible change between consecutive samples.
+    pub max_step: f64,
+}
+
+impl InvariantRange {
+    /// Creates a range detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `max_step <= 0`.
+    pub fn new(lo: f64, hi: f64, max_step: f64) -> Self {
+        assert!(lo < hi, "invalid range");
+        assert!(max_step > 0.0, "max_step must be positive");
+        Self { lo, hi, max_step }
+    }
+
+    /// The paper-domain defaults for a CGM glucose signal: 20–600 mg/dL
+    /// with at most 25 mg/dL change per 5-minute step (physiological
+    /// maximum rate of change is ≈ 4–5 mg/dL/min).
+    pub fn cgm() -> Self {
+        Self::new(20.0, 600.0, 25.0)
+    }
+
+    /// Whether any sample (or step) of `signal` violates the invariant.
+    pub fn detects(&self, signal: &[f64]) -> bool {
+        let out_of_range = signal.iter().any(|&v| v < self.lo || v > self.hi);
+        let jump = signal.windows(2).any(|w| (w[1] - w[0]).abs() > self.max_step);
+        out_of_range || jump
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cusum_quiet_on_reference_distribution() {
+        let mut d = Cusum::standard(100.0, 10.0);
+        // Deterministic in-band wiggle.
+        let signal: Vec<f64> = (0..200).map(|i| 100.0 + 5.0 * ((i as f64) * 0.7).sin()).collect();
+        assert!(!d.detects(&signal));
+    }
+
+    #[test]
+    fn cusum_alarms_on_sustained_shift() {
+        let mut d = Cusum::standard(100.0, 10.0);
+        let mut signal = vec![100.0; 10];
+        signal.extend(std::iter::repeat(130.0).take(10)); // +3σ shift
+        assert!(d.detects(&signal));
+    }
+
+    #[test]
+    fn cusum_two_sided() {
+        let mut d = Cusum::standard(0.0, 1.0);
+        let drop: Vec<f64> = std::iter::repeat(-3.0).take(10).collect();
+        assert!(d.detects(&drop));
+    }
+
+    #[test]
+    fn cusum_reset_clears_state() {
+        let mut d = Cusum::standard(0.0, 1.0);
+        for _ in 0..10 {
+            d.update(3.0);
+        }
+        d.reset();
+        assert!(!d.update(0.0));
+    }
+
+    #[test]
+    fn cusum_slack_ignores_small_bias() {
+        // A +0.3σ bias is inside the k=0.5 band forever.
+        let mut d = Cusum::standard(0.0, 1.0);
+        let signal = vec![0.3; 10_000];
+        assert!(!d.detects(&signal));
+    }
+
+    #[test]
+    fn invariant_detects_out_of_range() {
+        let d = InvariantRange::cgm();
+        assert!(d.detects(&[100.0, 650.0]));
+        assert!(d.detects(&[100.0, 10.0]));
+        assert!(!d.detects(&[100.0, 110.0, 120.0]));
+    }
+
+    #[test]
+    fn invariant_detects_jumps() {
+        let d = InvariantRange::cgm();
+        assert!(d.detects(&[100.0, 160.0])); // +60 in one step
+        assert!(!d.detects(&[100.0, 120.0, 140.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn invariant_rejects_bad_range() {
+        let _ = InvariantRange::new(5.0, 5.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "std must be positive")]
+    fn cusum_rejects_bad_std() {
+        let _ = Cusum::new(0.0, 0.0, 0.5, 5.0);
+    }
+}

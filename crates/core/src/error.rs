@@ -1,0 +1,51 @@
+//! Error type for dataset construction and monitor training.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by `cpsmon-core` entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// No usable window could be extracted (traces empty or shorter than
+    /// the window length).
+    EmptyDataset,
+    /// The dataset contains a single class, so a classifier cannot be
+    /// trained or meaningfully evaluated.
+    SingleClass,
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyDataset => {
+                write!(f, "no windows could be extracted from the given traces")
+            }
+            CoreError::SingleClass => {
+                write!(f, "dataset contains only one class; cannot train a monitor")
+            }
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CoreError::EmptyDataset.to_string().contains("windows"));
+        assert!(CoreError::InvalidConfig("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

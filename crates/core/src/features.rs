@@ -1,0 +1,336 @@
+//! Feature extraction: turning traces into monitor input windows.
+//!
+//! Each monitor input is a window of `window` consecutive 5-minute steps
+//! (paper default 6 = 30 minutes). Per step the features are:
+//!
+//! | idx | feature | source |
+//! |-----|---------|--------|
+//! | 0 | `bg`    | CGM reading (mg/dL) |
+//! | 1 | `iob`   | pump IOB estimate (U) |
+//! | 2 | `dbg`   | BG change since previous step |
+//! | 3 | `diob`  | IOB change since previous step |
+//! | 4 | `rate`  | delivered insulin rate (U/h) |
+//! | 5 | `drate` | rate change since previous step |
+//!
+//! Columns 0–3 are *sensor-derived* (the Gaussian-noise experiments perturb
+//! only those); 4–5 encode the control commands (FGSM perturbs everything,
+//! per §III of the paper). Windows are flattened time-major:
+//! `[step0 f0..f5, step1 f0..f5, …]` — the layout [`cpsmon_nn::LstmNet`]
+//! splits back into a sequence.
+
+use cpsmon_sim::trace::SimTrace;
+use cpsmon_stl::{ApsContext, Command};
+use cpsmon_nn::Matrix;
+
+/// Features per timestep (see the module table).
+pub const FEATURES_PER_STEP: usize = 6;
+
+/// Whether flattened-window column `col` is sensor-derived (Gaussian noise
+/// applies) as opposed to command-derived.
+pub fn is_sensor_column(col: usize) -> bool {
+    col % FEATURES_PER_STEP < 4
+}
+
+/// Windowing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureConfig {
+    /// Steps per window; the paper's LSTM uses 6 (30 minutes).
+    pub window: usize,
+    /// Rate-comparison tolerance when classifying commands (U/h).
+    pub rate_eps: f64,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        // The 0.3 U/h command deadband keeps OpenAPS's tiny 5-minute basal
+        // adjustments from being classified as increase/decrease commands,
+        // which would otherwise turn the Table I command atoms into noise.
+        Self { window: 6, rate_eps: 0.3 }
+    }
+}
+
+/// One extracted sample: the flattened window plus everything downstream
+/// consumers need (label, rule indicator context, provenance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSample {
+    /// Flattened `window × FEATURES_PER_STEP` feature vector (raw units).
+    pub features: Vec<f64>,
+    /// Eq. 1 hazard-prediction label (0 safe / 1 unsafe).
+    pub label: usize,
+    /// Aggregated context for the Table I rules.
+    pub context: ApsContext,
+    /// Index of the source trace in the campaign.
+    pub trace_idx: usize,
+    /// End step of the window within the source trace.
+    pub step: usize,
+}
+
+impl FeatureConfig {
+    /// Extracts all windows from a trace, pairing them with Eq. 1 labels.
+    ///
+    /// `labels` must be the per-step labels of the same trace (see
+    /// [`cpsmon_sim::hazard::HazardConfig::labels`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != trace.len()`.
+    pub fn windows(&self, trace: &SimTrace, labels: &[usize], trace_idx: usize) -> Vec<WindowSample> {
+        assert_eq!(labels.len(), trace.len(), "label/trace length mismatch");
+        let records = trace.records();
+        if records.len() < self.window {
+            return Vec::new();
+        }
+        let mut samples = Vec::with_capacity(records.len() - self.window + 1);
+        for end in (self.window - 1)..records.len() {
+            let start = end + 1 - self.window;
+            let mut features = Vec::with_capacity(self.window * FEATURES_PER_STEP);
+            for t in start..=end {
+                let r = &records[t];
+                let prev = if t > 0 { &records[t - 1] } else { r };
+                features.push(r.bg_sensor);
+                features.push(r.iob);
+                features.push(r.bg_sensor - prev.bg_sensor);
+                features.push(r.iob - prev.iob);
+                features.push(r.delivered_rate);
+                features.push(r.delivered_rate - prev.delivered_rate);
+            }
+            samples.push(WindowSample {
+                context: self.context_of(&features),
+                features,
+                label: labels[end],
+                trace_idx,
+                step: end,
+            });
+        }
+        samples
+    }
+
+    /// Aggregates a flattened *raw* window into the rule context
+    /// `f(μ(X_t))` of Eq. 2: mean BG, end-to-end BG/IOB slopes, and the
+    /// command classified from the final step's rate.
+    pub fn context_of(&self, features: &[f64]) -> ApsContext {
+        let w = features.len() / FEATURES_PER_STEP;
+        assert!(w >= 1, "window must hold at least one step");
+        let f = |t: usize, k: usize| features[t * FEATURES_PER_STEP + k];
+        let bg_mean = (0..w).map(|t| f(t, 0)).sum::<f64>() / w as f64;
+        let span = (w - 1).max(1) as f64;
+        let dbg = (f(w - 1, 0) - f(0, 0)) / span;
+        let diob = (f(w - 1, 1) - f(0, 1)) / span;
+        let rate = f(w - 1, 4);
+        let drate = f(w - 1, 5);
+        ApsContext {
+            bg: bg_mean,
+            dbg,
+            diob,
+            command: Command::from_rate_change(rate, drate, self.rate_eps),
+        }
+    }
+}
+
+/// Per-column z-score normalizer fitted on training data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits mean/std per column. Columns with (near-)zero variance get
+    /// std 1 so they pass through unscaled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has no rows.
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "cannot fit a normalizer on an empty matrix");
+        let n = x.rows() as f64;
+        let mut mean = vec![0.0; x.cols()];
+        for r in 0..x.rows() {
+            for (m, &v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; x.cols()];
+        for r in 0..x.rows() {
+            for ((s, &v), m) in var.iter_mut().zip(x.row(r)).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-9 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Self { mean, std }
+    }
+
+    /// Normalizes a batch (rows are samples).
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for ((v, m), s) in out.row_mut(r).iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Inverts the normalization (for plotting raw-unit figures).
+    pub fn inverse(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for ((v, m), s) in out.row_mut(r).iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = *v * s + m;
+            }
+        }
+        out
+    }
+
+    /// Per-column means.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Per-column standard deviations.
+    pub fn std(&self) -> &[f64] {
+        &self.std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsmon_sim::trace::StepRecord;
+
+    fn mk_trace(bgs: &[f64], rates: &[f64]) -> SimTrace {
+        let records: Vec<StepRecord> = bgs
+            .iter()
+            .zip(rates)
+            .map(|(&bg, &rate)| StepRecord {
+                bg_true: bg,
+                bg_sensor: bg,
+                iob: 1.0,
+                commanded_rate: rate,
+                delivered_rate: rate,
+                carbs: 0.0,
+            })
+            .collect();
+        SimTrace::new("glucosym", "openaps", 0, 0, None, records)
+    }
+
+    #[test]
+    fn window_count_and_shape() {
+        let trace = mk_trace(&[100.0; 10], &[1.0; 10]);
+        let cfg = FeatureConfig::default();
+        let ws = cfg.windows(&trace, &[0; 10], 0);
+        assert_eq!(ws.len(), 5); // 10 - 6 + 1
+        assert_eq!(ws[0].features.len(), 36);
+        assert_eq!(ws[0].step, 5);
+        assert_eq!(ws[4].step, 9);
+    }
+
+    #[test]
+    fn too_short_trace_yields_nothing() {
+        let trace = mk_trace(&[100.0; 3], &[1.0; 3]);
+        let ws = FeatureConfig::default().windows(&trace, &[0; 3], 0);
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn derivative_features_computed() {
+        let bgs = [100.0, 110.0, 130.0, 130.0, 120.0, 125.0, 140.0];
+        let trace = mk_trace(&bgs, &[1.0; 7]);
+        let cfg = FeatureConfig { window: 2, rate_eps: 0.05 };
+        let ws = cfg.windows(&trace, &[0; 7], 0);
+        // First window covers steps 0..=1; step 1 dbg = 10.
+        assert_eq!(ws[0].features[FEATURES_PER_STEP + 2], 10.0);
+        // Step 0's dbg uses itself as prev → 0.
+        assert_eq!(ws[0].features[2], 0.0);
+    }
+
+    #[test]
+    fn context_command_classification() {
+        let cfg = FeatureConfig::default();
+        // Window of one step: bg 200, iob 1, rate 2 rising.
+        let feats = vec![200.0, 1.0, 5.0, 0.1, 2.0, 1.0];
+        let ctx = cfg.context_of(&feats);
+        assert_eq!(ctx.command, Command::IncreaseInsulin);
+        assert_eq!(ctx.bg, 200.0);
+        // Zero rate → stop.
+        let feats = vec![200.0, 1.0, 5.0, 0.1, 0.0, -1.0];
+        assert_eq!(cfg.context_of(&feats).command, Command::StopInsulin);
+    }
+
+    #[test]
+    fn context_slopes_are_end_to_end() {
+        let cfg = FeatureConfig { window: 3, rate_eps: 0.05 };
+        let mut feats = vec![0.0; 18];
+        feats[0] = 100.0; // bg at t0
+        feats[6] = 110.0;
+        feats[12] = 120.0; // bg at t2
+        feats[1] = 2.0; // iob t0
+        feats[13] = 1.0; // iob t2
+        feats[16] = 1.0; // rate at t2 (keep)
+        let ctx = cfg.context_of(&feats);
+        assert_eq!(ctx.dbg, 10.0);
+        assert_eq!(ctx.diob, -0.5);
+        assert_eq!(ctx.command, Command::KeepInsulin);
+    }
+
+    #[test]
+    fn labels_attach_to_window_end() {
+        let trace = mk_trace(&[100.0; 8], &[1.0; 8]);
+        let mut labels = vec![0; 8];
+        labels[7] = 1;
+        let cfg = FeatureConfig::default();
+        let ws = cfg.windows(&trace, &labels, 3);
+        assert_eq!(ws.last().unwrap().label, 1);
+        assert_eq!(ws[0].label, 0);
+        assert!(ws.iter().all(|w| w.trace_idx == 3));
+    }
+
+    #[test]
+    fn normalizer_roundtrip() {
+        let x = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 30.0], &[5.0, 20.0]]);
+        let nz = Normalizer::fit(&x);
+        let z = nz.transform(&x);
+        // Each column: mean 0, unit variance.
+        for c in 0..2 {
+            let col: Vec<f64> = (0..3).map(|r| z.get(r, c)).collect();
+            let mean = col.iter().sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+        }
+        let back = nz.inverse(&z);
+        for (a, b) in back.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalizer_handles_constant_columns() {
+        let x = Matrix::from_rows(&[&[5.0, 1.0], &[5.0, 2.0]]);
+        let nz = Normalizer::fit(&x);
+        let z = nz.transform(&x);
+        assert!(z.is_finite());
+        assert_eq!(z.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn sensor_column_mask() {
+        assert!(is_sensor_column(0));
+        assert!(is_sensor_column(3));
+        assert!(!is_sensor_column(4));
+        assert!(!is_sensor_column(5));
+        assert!(is_sensor_column(6)); // step 1 bg
+        assert!(!is_sensor_column(11)); // step 1 drate
+    }
+}

@@ -1,0 +1,237 @@
+//! Prediction-accuracy metrics: the *sample level with tolerance window*
+//! confusion matrix of Table II.
+//!
+//! A hazard alarm slightly before (or a short time into) the dangerous
+//! window is clinically useful, so the paper scores each sample `t` as:
+//!
+//! - **ground-truth positive** (a hazard lies within `[t, t+δ]`): counted
+//!   TP if the monitor raised an alarm anywhere in the δ window ending at
+//!   `t`, FN otherwise;
+//! - **ground-truth negative**: counted FP if the monitor alarms exactly
+//!   at `t`, TN otherwise.
+//!
+//! Because the scoring is sequential, the functions here take per-trace
+//! prediction/label sequences rather than flat sample bags.
+
+/// Confusion-matrix counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionCounts {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl ConfusionCounts {
+    /// Merges another set of counts into this one.
+    pub fn merge(&mut self, other: ConfusionCounts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+
+    /// Total samples counted.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+}
+
+/// An evaluation report: counts plus the derived scores the paper tables
+/// use.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EvalReport {
+    /// The confusion counts.
+    pub counts: ConfusionCounts,
+}
+
+impl EvalReport {
+    /// Accuracy `(TP+TN)/total`; 0 on an empty report.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.counts.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.counts.tp + self.counts.tn) as f64 / total as f64
+    }
+
+    /// Precision `TP/(TP+FP)`; 0 when no positives were predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.counts.tp + self.counts.fp;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.counts.tp as f64 / denom as f64
+    }
+
+    /// Recall `TP/(TP+FN)`; 0 when there are no positive samples.
+    pub fn recall(&self) -> f64 {
+        let denom = self.counts.tp + self.counts.fn_;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.counts.tp as f64 / denom as f64
+    }
+
+    /// F1 score (harmonic mean of precision and recall); 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Scores one trace's prediction sequence against its label sequence with
+/// tolerance window `delta` (Table II).
+///
+/// Per Table II: a labeled-positive sample counts as TP when an alarm was
+/// raised anywhere in the δ window ending at it (`Σ_{t-δ'}^{t} P > 0`),
+/// and an alarm on a labeled-negative sample is only an FP when no hazard
+/// label follows within δ (`Σ_{t}^{t+δ} G == 0`) — an early alarm shortly
+/// before a hazard window is credited, not penalized.
+///
+/// # Panics
+///
+/// Panics if the sequences differ in length.
+pub fn tolerance_confusion(preds: &[usize], labels: &[usize], delta: usize) -> ConfusionCounts {
+    assert_eq!(preds.len(), labels.len(), "pred/label length mismatch");
+    let n = preds.len();
+    let mut counts = ConfusionCounts::default();
+    for t in 0..n {
+        if labels[t] > 0 {
+            let behind_start = t.saturating_sub(delta);
+            let covered = preds[behind_start..=t].iter().any(|&p| p > 0);
+            if covered {
+                counts.tp += 1;
+            } else {
+                counts.fn_ += 1;
+            }
+        } else if preds[t] > 0 {
+            let ahead_end = (t + delta).min(n - 1);
+            let early_warning = labels[t..=ahead_end].iter().any(|&l| l > 0);
+            if early_warning {
+                counts.tn += 1; // forgiven: alarm precedes a labeled hazard window
+            } else {
+                counts.fp += 1;
+            }
+        } else {
+            counts.tn += 1;
+        }
+    }
+    counts
+}
+
+/// Plain sample-level confusion matrix (tolerance 0 and no look-ahead):
+/// the baseline metric used for robustness bookkeeping.
+pub fn sample_confusion(preds: &[usize], labels: &[usize]) -> ConfusionCounts {
+    assert_eq!(preds.len(), labels.len(), "pred/label length mismatch");
+    let mut counts = ConfusionCounts::default();
+    for (&p, &l) in preds.iter().zip(labels) {
+        match (p > 0, l > 0) {
+            (true, true) => counts.tp += 1,
+            (true, false) => counts.fp += 1,
+            (false, true) => counts.fn_ += 1,
+            (false, false) => counts.tn += 1,
+        }
+    }
+    counts
+}
+
+/// Default tolerance window δ in steps (30 minutes).
+pub const DEFAULT_TOLERANCE_STEPS: usize = 6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let labels = vec![0, 0, 1, 1, 0];
+        let counts = tolerance_confusion(&labels, &labels, 2);
+        assert_eq!(counts.fn_, 0);
+        assert_eq!(counts.fp, 0);
+        let report = EvalReport { counts };
+        assert_eq!(report.accuracy(), 1.0);
+        assert_eq!(report.f1(), 1.0);
+    }
+
+    #[test]
+    fn early_alarm_within_tolerance_counts_tp() {
+        // Alarm at t=1, hazard label at t=3; with δ=2 the alarm covers the
+        // positive (lookback from t=3 reaches t=1) and is itself forgiven
+        // as an early warning rather than counted FP.
+        let preds = vec![0, 1, 0, 0, 0];
+        let labels = vec![0, 0, 0, 1, 0];
+        let counts = tolerance_confusion(&preds, &labels, 2);
+        assert_eq!(counts.fn_, 0);
+        assert_eq!(counts.tp, 1);
+        assert_eq!(counts.fp, 0);
+        assert_eq!(counts.tn, 4);
+    }
+
+    #[test]
+    fn late_alarm_outside_tolerance_is_fn_and_fp() {
+        // Hazard label at t=0, alarm at t=4, δ=1: the positive at t=0 is
+        // uncovered (FN) and the alarm at 4 has no upcoming hazard (FP).
+        let preds = vec![0, 0, 0, 0, 1];
+        let labels = vec![1, 0, 0, 0, 0];
+        let counts = tolerance_confusion(&preds, &labels, 1);
+        assert_eq!(counts.fn_, 1);
+        assert_eq!(counts.fp, 1);
+        assert_eq!(counts.tn, 3);
+    }
+
+    #[test]
+    fn missed_hazard_is_fn_per_sample() {
+        let preds = vec![0, 0, 0];
+        let labels = vec![0, 1, 1];
+        let counts = tolerance_confusion(&preds, &labels, 1);
+        assert_eq!(counts.fn_, 2);
+        assert_eq!(counts.tp, 0);
+        assert_eq!(counts.tn, 1); // t=0 is negative; no alarm raised.
+    }
+
+    #[test]
+    fn sample_confusion_basic() {
+        let counts = sample_confusion(&[1, 0, 1, 0], &[1, 1, 0, 0]);
+        assert_eq!(counts, ConfusionCounts { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        let report = EvalReport { counts };
+        assert_eq!(report.accuracy(), 0.5);
+        assert_eq!(report.precision(), 0.5);
+        assert_eq!(report.recall(), 0.5);
+        assert_eq!(report.f1(), 0.5);
+    }
+
+    #[test]
+    fn empty_report_scores_zero() {
+        let report = EvalReport::default();
+        assert_eq!(report.accuracy(), 0.0);
+        assert_eq!(report.f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionCounts { tp: 1, fp: 2, fn_: 3, tn: 4 };
+        a.merge(ConfusionCounts { tp: 10, fp: 20, fn_: 30, tn: 40 });
+        assert_eq!(a, ConfusionCounts { tp: 11, fp: 22, fn_: 33, tn: 44 });
+        assert_eq!(a.total(), 110);
+    }
+
+    #[test]
+    fn tolerance_zero_equals_sample_level_for_pointwise_labels() {
+        // With δ=0 the tolerance metric degenerates to the plain one.
+        let preds = vec![1, 0, 1, 1, 0];
+        let labels = vec![0, 0, 1, 1, 1];
+        assert_eq!(
+            tolerance_confusion(&preds, &labels, 0),
+            sample_confusion(&preds, &labels)
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! The five monitor variants of Table III and their shared interface.
+
+use crate::dataset::{Dataset, LabeledDataset};
+use crate::error::CoreError;
+use crate::metrics::{tolerance_confusion, ConfusionCounts, EvalReport, DEFAULT_TOLERANCE_STEPS};
+use crate::train::{train_lstm, train_mlp, TrainConfig};
+use cpsmon_nn::{GradModel, LstmNet, Matrix, MlpNet};
+use cpsmon_stl::RuleMonitor;
+
+/// Prediction batch size used when chunking large evaluation sets (keeps
+/// the LSTM forward caches small).
+const PREDICT_CHUNK: usize = 2048;
+
+/// The monitor variants evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MonitorKind {
+    /// Knowledge-only baseline synthesized from the Table I rules.
+    RuleBased,
+    /// Baseline MLP (256-128).
+    Mlp,
+    /// Baseline stacked LSTM (128-64, 6 timesteps).
+    Lstm,
+    /// MLP retrained with the Eq. 2 semantic loss.
+    MlpCustom,
+    /// LSTM retrained with the Eq. 2 semantic loss.
+    LstmCustom,
+}
+
+impl MonitorKind {
+    /// All five variants, in Table III row order.
+    pub const ALL: [MonitorKind; 5] = [
+        MonitorKind::RuleBased,
+        MonitorKind::Mlp,
+        MonitorKind::Lstm,
+        MonitorKind::MlpCustom,
+        MonitorKind::LstmCustom,
+    ];
+
+    /// The four ML variants (everything but the rule-based baseline).
+    pub const ML: [MonitorKind; 4] = [
+        MonitorKind::Mlp,
+        MonitorKind::Lstm,
+        MonitorKind::MlpCustom,
+        MonitorKind::LstmCustom,
+    ];
+
+    /// Table III row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MonitorKind::RuleBased => "Rule-based",
+            MonitorKind::Mlp => "MLP",
+            MonitorKind::Lstm => "LSTM",
+            MonitorKind::MlpCustom => "MLP-Custom",
+            MonitorKind::LstmCustom => "LSTM-Custom",
+        }
+    }
+
+    /// Whether this variant uses the semantic loss.
+    pub fn is_custom(self) -> bool {
+        matches!(self, MonitorKind::MlpCustom | MonitorKind::LstmCustom)
+    }
+
+    /// Trains (or synthesizes) this monitor on a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for well-formed datasets; the `Result` reserves
+    /// room for future validation failures.
+    pub fn train(
+        self,
+        ds: &LabeledDataset,
+        cfg: &TrainConfig,
+    ) -> Result<TrainedMonitor, CoreError> {
+        if ds.train.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        let model = match self {
+            MonitorKind::RuleBased => MonitorModel::Rule(RuleMonitor::new(ds.rules)),
+            MonitorKind::Mlp => MonitorModel::Mlp(train_mlp(ds, cfg, false)),
+            MonitorKind::MlpCustom => MonitorModel::Mlp(train_mlp(ds, cfg, true)),
+            MonitorKind::Lstm => MonitorModel::Lstm(train_lstm(ds, cfg, false)),
+            MonitorKind::LstmCustom => MonitorModel::Lstm(train_lstm(ds, cfg, true)),
+        };
+        Ok(TrainedMonitor { kind: self, model })
+    }
+}
+
+impl std::fmt::Display for MonitorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The underlying model of a trained monitor.
+#[derive(Debug, Clone)]
+pub enum MonitorModel {
+    /// Rule-based (knowledge only).
+    Rule(RuleMonitor),
+    /// MLP network.
+    Mlp(MlpNet),
+    /// LSTM network.
+    Lstm(LstmNet),
+}
+
+/// A monitor ready to make predictions and be evaluated.
+#[derive(Debug, Clone)]
+pub struct TrainedMonitor {
+    /// Which Table III variant this is.
+    pub kind: MonitorKind,
+    /// The underlying model.
+    pub model: MonitorModel,
+}
+
+impl TrainedMonitor {
+    /// Hard predictions for every sample of a dataset.
+    ///
+    /// ML monitors consume the normalized windows `ds.x`; the rule-based
+    /// monitor consumes the raw contexts.
+    pub fn predict(&self, ds: &Dataset) -> Vec<usize> {
+        match &self.model {
+            MonitorModel::Rule(rule) => rule.predict_batch(&ds.contexts),
+            MonitorModel::Mlp(net) => predict_chunked(net, &ds.x),
+            MonitorModel::Lstm(net) => predict_chunked(net, &ds.x),
+        }
+    }
+
+    /// Hard predictions for an arbitrary (possibly perturbed) feature
+    /// batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the rule-based monitor, which has no feature-
+    /// space input; use [`predict`](Self::predict) with a dataset instead.
+    pub fn predict_x(&self, x: &Matrix) -> Vec<usize> {
+        match &self.model {
+            MonitorModel::Rule(_) => {
+                panic!("rule-based monitor predicts from contexts, not feature rows")
+            }
+            MonitorModel::Mlp(net) => predict_chunked(net, x),
+            MonitorModel::Lstm(net) => predict_chunked(net, x),
+        }
+    }
+
+    /// The model as an attackable gradient model, if it is one (the
+    /// rule-based monitor is not differentiable).
+    pub fn as_grad_model(&self) -> Option<&dyn GradModel> {
+        match &self.model {
+            MonitorModel::Rule(_) => None,
+            MonitorModel::Mlp(net) => Some(net),
+            MonitorModel::Lstm(net) => Some(net),
+        }
+    }
+
+    /// Evaluates this monitor on a dataset with the Table II
+    /// tolerance-window metric (δ = 6 steps).
+    pub fn evaluate(&self, ds: &Dataset) -> EvalReport {
+        let preds = self.predict(ds);
+        evaluate_predictions(ds, &preds, DEFAULT_TOLERANCE_STEPS)
+    }
+}
+
+/// Chunked prediction to bound forward-pass memory.
+fn predict_chunked(model: &dyn GradModel, x: &Matrix) -> Vec<usize> {
+    let mut preds = Vec::with_capacity(x.rows());
+    let mut start = 0;
+    while start < x.rows() {
+        let end = (start + PREDICT_CHUNK).min(x.rows());
+        preds.extend(model.predict_labels(&x.slice_rows(start, end)));
+        start = end;
+    }
+    preds
+}
+
+/// Scores an arbitrary prediction vector against a dataset's labels with
+/// the Table II tolerance-window metric, grouping samples by source trace
+/// (the metric is sequential).
+///
+/// # Panics
+///
+/// Panics if `preds.len() != ds.len()`.
+pub fn evaluate_predictions(ds: &Dataset, preds: &[usize], delta: usize) -> EvalReport {
+    assert_eq!(preds.len(), ds.len(), "prediction count mismatch");
+    let mut counts = ConfusionCounts::default();
+    for (_, idxs) in ds.samples_by_trace() {
+        let p: Vec<usize> = idxs.iter().map(|&i| preds[i]).collect();
+        let l: Vec<usize> = idxs.iter().map(|&i| ds.labels[i]).collect();
+        counts.merge(tolerance_confusion(&p, &l, delta));
+    }
+    EvalReport { counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use cpsmon_sim::{CampaignConfig, SimulatorKind};
+
+    fn dataset() -> LabeledDataset {
+        let traces = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(2)
+            .runs_per_patient(3)
+            .steps(144)
+            .fault_ratio(0.6)
+            .seed(31)
+            .run();
+        DatasetBuilder::new().build(&traces).unwrap()
+    }
+
+    #[test]
+    fn all_kinds_train_and_predict() {
+        let ds = dataset();
+        let cfg = TrainConfig::quick_test();
+        for kind in MonitorKind::ALL {
+            let m = kind.train(&ds, &cfg).unwrap();
+            let preds = m.predict(&ds.test);
+            assert_eq!(preds.len(), ds.test.len(), "{kind}");
+            assert!(preds.iter().all(|&p| p <= 1), "{kind}");
+            let report = m.evaluate(&ds.test);
+            assert!(report.counts.total() > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn ml_monitors_expose_grad_models() {
+        let ds = dataset();
+        let cfg = TrainConfig::quick_test();
+        assert!(MonitorKind::RuleBased.train(&ds, &cfg).unwrap().as_grad_model().is_none());
+        assert!(MonitorKind::Mlp.train(&ds, &cfg).unwrap().as_grad_model().is_some());
+        assert!(MonitorKind::Lstm.train(&ds, &cfg).unwrap().as_grad_model().is_some());
+    }
+
+    #[test]
+    fn trained_ml_monitor_is_better_than_chance() {
+        let ds = dataset();
+        let m = MonitorKind::Mlp.train(&ds, &TrainConfig::quick_test()).unwrap();
+        let report = m.evaluate(&ds.test);
+        assert!(report.accuracy() > 0.6, "accuracy {}", report.accuracy());
+    }
+
+    #[test]
+    fn predict_x_matches_predict_for_ml() {
+        let ds = dataset();
+        let m = MonitorKind::Mlp.train(&ds, &TrainConfig::quick_test()).unwrap();
+        assert_eq!(m.predict(&ds.test), m.predict_x(&ds.test.x));
+    }
+
+    #[test]
+    #[should_panic(expected = "rule-based monitor")]
+    fn predict_x_panics_for_rule_monitor() {
+        let ds = dataset();
+        let m = MonitorKind::RuleBased.train(&ds, &TrainConfig::quick_test()).unwrap();
+        let _ = m.predict_x(&ds.test.x);
+    }
+
+    #[test]
+    fn evaluate_predictions_perfect_score() {
+        let ds = dataset();
+        let report = evaluate_predictions(&ds.test, &ds.test.labels, 6);
+        assert_eq!(report.counts.fn_, 0);
+        assert_eq!(report.counts.fp, 0);
+    }
+
+    #[test]
+    fn labels_display() {
+        assert_eq!(MonitorKind::MlpCustom.label(), "MLP-Custom");
+        assert_eq!(MonitorKind::LstmCustom.to_string(), "LSTM-Custom");
+        assert!(MonitorKind::MlpCustom.is_custom());
+        assert!(!MonitorKind::Mlp.is_custom());
+    }
+}

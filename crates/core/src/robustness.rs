@@ -1,0 +1,108 @@
+//! The prediction robustness error metric (Eq. 5 of the paper).
+//!
+//! ```text
+//!                    Σᵢ I(f_θ(xᵢ) ≠ f_θ(xᵢ + Δx))
+//! robustness error = ───────────────────────────────
+//!                              Σⱼ Nⱼ
+//! ```
+//!
+//! i.e. the fraction of samples whose *predicted class flips* when the
+//! perturbation is applied. It needs no ground truth — it measures
+//! prediction stability, not correctness.
+
+use cpsmon_nn::{GradModel, Matrix};
+
+/// Fraction of rows whose predictions differ between two label vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn robustness_error(clean_preds: &[usize], perturbed_preds: &[usize]) -> f64 {
+    assert_eq!(clean_preds.len(), perturbed_preds.len(), "prediction length mismatch");
+    if clean_preds.is_empty() {
+        return 0.0;
+    }
+    let flips = clean_preds
+        .iter()
+        .zip(perturbed_preds)
+        .filter(|(a, b)| a != b)
+        .count();
+    flips as f64 / clean_preds.len() as f64
+}
+
+/// Convenience: evaluates a model on clean and perturbed batches and
+/// returns its robustness error.
+///
+/// # Panics
+///
+/// Panics if the two batches differ in shape.
+pub fn model_robustness_error(model: &dyn GradModel, clean: &Matrix, perturbed: &Matrix) -> f64 {
+    assert_eq!(clean.shape(), perturbed.shape(), "batch shape mismatch");
+    robustness_error(&model.predict_labels(clean), &model.predict_labels(perturbed))
+}
+
+/// Per-class flip rates `(flips in class j) / N_j`, keyed by the clean
+/// prediction. Useful for diagnosing whether attacks mainly silence alarms
+/// (unsafe → safe) or fabricate them.
+pub fn per_class_flip_rates(
+    clean_preds: &[usize],
+    perturbed_preds: &[usize],
+    classes: usize,
+) -> Vec<f64> {
+    assert_eq!(clean_preds.len(), perturbed_preds.len(), "prediction length mismatch");
+    let mut flips = vec![0usize; classes];
+    let mut totals = vec![0usize; classes];
+    for (&c, &p) in clean_preds.iter().zip(perturbed_preds) {
+        totals[c] += 1;
+        if c != p {
+            flips[c] += 1;
+        }
+    }
+    flips
+        .into_iter()
+        .zip(totals)
+        .map(|(f, t)| if t == 0 { 0.0 } else { f as f64 / t as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_predictions_have_zero_error() {
+        let preds = vec![0, 1, 1, 0];
+        assert_eq!(robustness_error(&preds, &preds), 0.0);
+    }
+
+    #[test]
+    fn all_flipped_is_one() {
+        assert_eq!(robustness_error(&[0, 1], &[1, 0]), 1.0);
+    }
+
+    #[test]
+    fn partial_flips() {
+        assert_eq!(robustness_error(&[0, 0, 1, 1], &[0, 1, 1, 0]), 0.5);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(robustness_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn per_class_rates() {
+        let clean = vec![0, 0, 0, 1, 1];
+        let pert = vec![1, 0, 0, 0, 1];
+        let rates = per_class_flip_rates(&clean, &pert, 2);
+        assert!((rates[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((rates[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_handles_empty_class() {
+        let rates = per_class_flip_rates(&[0, 0], &[0, 1], 3);
+        assert_eq!(rates[1], 0.0);
+        assert_eq!(rates[2], 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the metric layer: confusion-count invariants,
+//! score ranges, robustness-error identities, and normalizer round-trips.
+
+use cpsmon_core::metrics::{sample_confusion, tolerance_confusion, EvalReport};
+use cpsmon_core::robustness::{per_class_flip_rates, robustness_error};
+use cpsmon_core::Normalizer;
+use cpsmon_nn::Matrix;
+use proptest::prelude::*;
+
+fn binary_seq(len: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..2, len)
+}
+
+proptest! {
+    #[test]
+    fn tolerance_counts_partition_samples(
+        (preds, labels, delta) in (1usize..40).prop_flat_map(|n| (binary_seq(n), binary_seq(n), 0usize..8)),
+    ) {
+        let c = tolerance_confusion(&preds, &labels, delta);
+        prop_assert_eq!(c.total(), preds.len());
+        // Positives are exactly the labeled-positive samples.
+        let positives: usize = labels.iter().sum();
+        prop_assert_eq!(c.tp + c.fn_, positives);
+        prop_assert_eq!(c.fp + c.tn, preds.len() - positives);
+    }
+
+    #[test]
+    fn larger_tolerance_never_hurts(
+        (preds, labels) in (1usize..40).prop_flat_map(|n| (binary_seq(n), binary_seq(n))),
+        delta in 0usize..6,
+    ) {
+        // Growing δ can only convert FN→TP and FP→TN.
+        let small = tolerance_confusion(&preds, &labels, delta);
+        let large = tolerance_confusion(&preds, &labels, delta + 1);
+        prop_assert!(large.tp >= small.tp);
+        prop_assert!(large.fp <= small.fp);
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval(
+        (preds, labels) in (1usize..40).prop_flat_map(|n| (binary_seq(n), binary_seq(n))),
+        delta in 0usize..8,
+    ) {
+        let report = EvalReport { counts: tolerance_confusion(&preds, &labels, delta) };
+        for v in [report.accuracy(), report.precision(), report.recall(), report.f1()] {
+            prop_assert!((0.0..=1.0).contains(&v), "score {v} out of range");
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_are_perfect(labels in binary_seq(25), delta in 0usize..8) {
+        let c = tolerance_confusion(&labels, &labels, delta);
+        prop_assert_eq!(c.fn_, 0);
+        prop_assert_eq!(c.fp, 0);
+    }
+
+    #[test]
+    fn sample_confusion_matches_tolerance_zero(
+        (preds, labels) in (1usize..30).prop_flat_map(|n| (binary_seq(n), binary_seq(n))),
+    ) {
+        prop_assert_eq!(tolerance_confusion(&preds, &labels, 0), sample_confusion(&preds, &labels));
+    }
+
+    #[test]
+    fn robustness_error_bounds_and_symmetry(
+        (a, b) in (1usize..50).prop_flat_map(|n| (binary_seq(n), binary_seq(n))),
+    ) {
+        let e = robustness_error(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&e));
+        prop_assert_eq!(e, robustness_error(&b, &a));
+        prop_assert_eq!(robustness_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn per_class_rates_aggregate_to_total(
+        (a, b) in (1usize..50).prop_flat_map(|n| (binary_seq(n), binary_seq(n))),
+    ) {
+        let total = robustness_error(&a, &b);
+        let rates = per_class_flip_rates(&a, &b, 2);
+        let n0 = a.iter().filter(|&&c| c == 0).count() as f64;
+        let n1 = a.len() as f64 - n0;
+        let recombined = (rates[0] * n0 + rates[1] * n1) / a.len() as f64;
+        prop_assert!((total - recombined).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalizer_roundtrip(
+        data in proptest::collection::vec(-1e3f64..1e3, 24),
+    ) {
+        let x = Matrix::from_vec(6, 4, data);
+        let nz = Normalizer::fit(&x);
+        let back = nz.inverse(&nz.transform(&x));
+        for (a, b) in back.as_slice().iter().zip(x.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn normalized_train_columns_have_unit_stats(
+        data in proptest::collection::vec(-100.0f64..100.0, 40),
+    ) {
+        let x = Matrix::from_vec(10, 4, data);
+        let nz = Normalizer::fit(&x);
+        let z = nz.transform(&x);
+        for c in 0..4 {
+            let col: Vec<f64> = (0..10).map(|r| z.get(r, c)).collect();
+            let mean = col.iter().sum::<f64>() / 10.0;
+            prop_assert!(mean.abs() < 1e-9, "column {c} mean {mean}");
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 10.0;
+            // Either unit variance or a constant column passed through.
+            prop_assert!((var - 1.0).abs() < 1e-6 || var < 1e-9, "column {c} var {var}");
+        }
+    }
+}

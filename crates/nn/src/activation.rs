@@ -1,0 +1,110 @@
+//! Activation functions and their derivatives.
+
+use crate::matrix::Matrix;
+
+/// Rectified linear unit applied element-wise.
+pub fn relu(x: &Matrix) -> Matrix {
+    x.map(|v| v.max(0.0))
+}
+
+/// Derivative mask of ReLU evaluated at the *pre-activation* `x`
+/// (1 where `x > 0`, else 0).
+pub fn relu_grad_mask(x: &Matrix) -> Matrix {
+    x.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Logistic sigmoid, numerically stable for large `|v|`.
+pub fn sigmoid_scalar(v: f64) -> f64 {
+    if v >= 0.0 {
+        1.0 / (1.0 + (-v).exp())
+    } else {
+        let e = v.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Logistic sigmoid applied element-wise.
+pub fn sigmoid(x: &Matrix) -> Matrix {
+    x.map(sigmoid_scalar)
+}
+
+/// Hyperbolic tangent applied element-wise.
+pub fn tanh(x: &Matrix) -> Matrix {
+    x.map(f64::tanh)
+}
+
+/// Row-wise softmax with the max-subtraction trick for stability.
+///
+/// Each row of the result sums to 1.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        assert_eq!(relu(&x), Matrix::from_rows(&[&[0.0, 0.0, 2.0]]));
+    }
+
+    #[test]
+    fn relu_mask_matches_definition() {
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        assert_eq!(relu_grad_mask(&x), Matrix::from_rows(&[&[0.0, 0.0, 1.0]]));
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        for v in [-50.0, -3.0, 0.0, 3.0, 50.0] {
+            let s = sigmoid_scalar(v);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((s + sigmoid_scalar(-v) - 1.0).abs() < 1e-12);
+        }
+        assert!((sigmoid_scalar(0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sigmoid_stable_for_extremes() {
+        assert_eq!(sigmoid_scalar(-1000.0), 0.0);
+        assert_eq!(sigmoid_scalar(1000.0), 1.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[100.0, 100.0, 100.0]]);
+        let p = softmax_rows(&x);
+        for r in 0..2 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        // Equal logits → uniform.
+        for &v in p.row(1) {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift() {
+        let a = softmax_rows(&Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let b = softmax_rows(&Matrix::from_rows(&[&[1001.0, 1002.0, 1003.0]]));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Fully connected (dense) layers.
+
+use crate::init::he_uniform;
+use crate::matrix::Matrix;
+use crate::rng::SmallRng;
+
+/// A fully connected layer computing `z = x·W + b` (no activation — the
+/// caller applies ReLU/softmax so that backward passes can compose cleanly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    w: Matrix,
+    b: Matrix,
+}
+
+/// Weight gradients produced by [`Dense::backward`].
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    /// Gradient of the loss w.r.t. the weight matrix.
+    pub dw: Matrix,
+    /// Gradient of the loss w.r.t. the bias row vector.
+    pub db: Matrix,
+}
+
+impl Dense {
+    /// Creates a layer with He-uniform weights and zero bias.
+    pub fn new(input_dim: usize, output_dim: usize, rng: &mut SmallRng) -> Self {
+        Self {
+            w: he_uniform(input_dim, output_dim, rng),
+            b: Matrix::zeros(1, output_dim),
+        }
+    }
+
+    /// Builds a layer from explicit parameters (used in tests and by the
+    /// black-box substitute builder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not `1 × w.cols()`.
+    pub fn from_params(w: Matrix, b: Matrix) -> Self {
+        assert_eq!(b.rows(), 1, "bias must be a row vector");
+        assert_eq!(b.cols(), w.cols(), "bias width must match weight columns");
+        Self { w, b }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Borrow of the weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Borrow of the bias row.
+    pub fn bias(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Forward pass: `z = x·W + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut z = x.matmul(&self.w);
+        z.add_row_broadcast(&self.b);
+        z
+    }
+
+    /// Backward pass given the upstream gradient `dz` and the cached input
+    /// `x` of the forward pass. Returns the weight gradients and the
+    /// gradient w.r.t. the input (for deeper layers / FGSM).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn backward(&self, x: &Matrix, dz: &Matrix) -> (DenseGrads, Matrix) {
+        assert_eq!(dz.cols(), self.output_dim(), "dz width mismatch");
+        assert_eq!(x.rows(), dz.rows(), "batch size mismatch");
+        let dw = x.transpose_matmul(dz);
+        let db = dz.sum_rows();
+        let dx = dz.matmul_transpose(&self.w);
+        (DenseGrads { dw, db }, dx)
+    }
+
+    /// Applies one Adam update using slots starting at `offset`; returns the
+    /// next free offset.
+    pub fn apply_update(
+        &mut self,
+        trainer: &mut crate::adam::AdamTrainer,
+        offset: usize,
+        grads: &DenseGrads,
+    ) -> usize {
+        let off = trainer.update(offset, &mut self.w, &grads.dw);
+        trainer.update(off, &mut self.b, &grads.db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::numeric_input_grad;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let b = Matrix::row_vector(&[0.5, -0.5]);
+        let layer = Dense::from_params(w, b);
+        let x = Matrix::from_rows(&[&[3.0, 4.0]]);
+        let z = layer.forward(&x);
+        assert_eq!(z, Matrix::from_rows(&[&[3.5, 7.5]]));
+    }
+
+    #[test]
+    fn backward_input_grad_matches_finite_difference() {
+        let mut rng = SmallRng::new(42);
+        let layer = Dense::new(4, 3, &mut rng);
+        let x = crate::init::random_normal(2, 4, 1.0, &mut rng);
+        // Scalar objective: sum of outputs.
+        let dz = Matrix::filled(2, 3, 1.0);
+        let (_, dx) = layer.backward(&x, &dz);
+        let num = numeric_input_grad(&x, 1e-5, |xp| layer.forward(xp).sum());
+        for (a, n) in dx.as_slice().iter().zip(num.as_slice()) {
+            assert!((a - n).abs() < 1e-5, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn backward_weight_grad_matches_finite_difference() {
+        let mut rng = SmallRng::new(43);
+        let layer = Dense::new(3, 2, &mut rng);
+        let x = crate::init::random_normal(4, 3, 1.0, &mut rng);
+        let dz = Matrix::filled(4, 2, 1.0);
+        let (grads, _) = layer.backward(&x, &dz);
+        let h = 1e-5;
+        for r in 0..3 {
+            for c in 0..2 {
+                let mut wp = layer.w.clone();
+                wp.set(r, c, wp.get(r, c) + h);
+                let mut wm = layer.w.clone();
+                wm.set(r, c, wm.get(r, c) - h);
+                let lp = Dense::from_params(wp, layer.b.clone()).forward(&x).sum();
+                let lm = Dense::from_params(wm, layer.b.clone()).forward(&x).sum();
+                let num = (lp - lm) / (2.0 * h);
+                assert!((grads.dw.get(r, c) - num).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn bias_grad_is_column_sum() {
+        let mut rng = SmallRng::new(44);
+        let layer = Dense::new(2, 2, &mut rng);
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let dz = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let (grads, _) = layer.backward(&x, &dz);
+        assert_eq!(grads.db, Matrix::row_vector(&[9.0, 12.0]));
+    }
+
+    #[test]
+    fn param_count_counts_all() {
+        let mut rng = SmallRng::new(45);
+        let layer = Dense::new(10, 7, &mut rng);
+        assert_eq!(layer.param_count(), 10 * 7 + 7);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for fallible `cpsmon-nn` operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by network construction and training entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A batch of inputs had a width different from the model's input size.
+    InputDimMismatch {
+        /// Width the model expects.
+        expected: usize,
+        /// Width that was provided.
+        got: usize,
+    },
+    /// Label vector length differs from the batch row count.
+    LabelLenMismatch {
+        /// Number of rows in the batch.
+        rows: usize,
+        /// Number of labels provided.
+        labels: usize,
+    },
+    /// A label was outside `0..classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the model predicts.
+        classes: usize,
+    },
+    /// A configuration value was invalid (empty hidden stack, zero classes…).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::InputDimMismatch { expected, got } => {
+                write!(f, "input has {got} features but the model expects {expected}")
+            }
+            NnError::LabelLenMismatch { rows, labels } => {
+                write!(f, "{labels} labels provided for a batch of {rows} rows")
+            }
+            NnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NnError::InputDimMismatch { expected: 36, got: 6 };
+        assert!(e.to_string().contains("36"));
+        let e = NnError::LabelOutOfRange { label: 3, classes: 2 };
+        assert!(e.to_string().contains("label 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

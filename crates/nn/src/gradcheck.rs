@@ -1,0 +1,59 @@
+//! Finite-difference utilities used by the gradient-check tests.
+//!
+//! Exact analytic gradients are the load-bearing part of this crate: FGSM
+//! (Eq. 3–4 of the paper) perturbs inputs along `sign(∇_x J)`, so a wrong
+//! input gradient silently produces a wrong attack. Every layer's tests use
+//! these helpers to validate gradients against central differences.
+
+use crate::matrix::Matrix;
+
+/// Central-difference gradient of a scalar objective `f` with respect to
+/// every element of `x`.
+///
+/// Cost is `2 · x.len()` evaluations of `f` — keep inputs tiny in tests.
+pub fn numeric_input_grad(x: &Matrix, h: f64, f: impl Fn(&Matrix) -> f64) -> Matrix {
+    let mut grad = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            let mut plus = x.clone();
+            plus.set(r, c, plus.get(r, c) + h);
+            let mut minus = x.clone();
+            minus.set(r, c, minus.get(r, c) - h);
+            grad.set(r, c, (f(&plus) - f(&minus)) / (2.0 * h));
+        }
+    }
+    grad
+}
+
+/// Maximum element-wise discrepancy between two gradients, normalized by
+/// `max(1, |a|, |b|)` so it is meaningful for both tiny and large values.
+pub fn max_relative_error(analytic: &Matrix, numeric: &Matrix) -> f64 {
+    assert_eq!(analytic.shape(), numeric.shape(), "gradient shape mismatch");
+    analytic
+        .as_slice()
+        .iter()
+        .zip(numeric.as_slice())
+        .map(|(&a, &n)| (a - n).abs() / 1.0f64.max(a.abs()).max(n.abs()))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_grad_of_quadratic() {
+        // f(x) = sum(x^2) → grad = 2x.
+        let x = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let g = numeric_input_grad(&x, 1e-5, |m| m.as_slice().iter().map(|v| v * v).sum());
+        let expected = x.scale(2.0);
+        assert!(max_relative_error(&expected, &g) < 1e-8);
+    }
+
+    #[test]
+    fn relative_error_detects_mismatch() {
+        let a = Matrix::row_vector(&[1.0, 2.0]);
+        let b = Matrix::row_vector(&[1.0, 2.5]);
+        assert!(max_relative_error(&a, &b) > 0.1);
+    }
+}

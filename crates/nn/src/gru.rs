@@ -1,0 +1,329 @@
+//! A GRU layer (Cho et al., 2014) with full backpropagation through time.
+//!
+//! Provided as the architecture-ablation counterpart to [`crate::lstm`]:
+//! the paper evaluates MLP vs LSTM and leaves broader architecture studies
+//! to future work; the GRU is the standard lighter-weight recurrent cell
+//! to compare against.
+//!
+//! Gates (original formulation, reset applied to the hidden state before
+//! the candidate matmul):
+//!
+//! ```text
+//! z = σ(x·Wxz + h·Whz + bz)          update gate
+//! r = σ(x·Wxr + h·Whr + br)          reset gate
+//! n = tanh(x·Wxn + (r⊙h)·Whn + bn)   candidate
+//! h' = (1−z)⊙n + z⊙h
+//! ```
+
+use crate::activation::{sigmoid, tanh};
+use crate::init::xavier_uniform;
+use crate::matrix::Matrix;
+use crate::rng::SmallRng;
+
+/// One GRU layer (`input_dim → hidden_dim`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gru {
+    wxz: Matrix,
+    wxr: Matrix,
+    wxn: Matrix,
+    whz: Matrix,
+    whr: Matrix,
+    whn: Matrix,
+    bz: Matrix,
+    br: Matrix,
+    bn: Matrix,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+/// Per-timestep values cached for the backward pass.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    z: Matrix,
+    r: Matrix,
+    n: Matrix,
+    rh: Matrix,
+}
+
+/// Forward-pass cache consumed by [`Gru::backward`].
+#[derive(Debug, Clone)]
+pub struct GruCache {
+    steps: Vec<StepCache>,
+}
+
+/// Weight gradients produced by [`Gru::backward`], in the same parameter
+/// order as [`Gru::apply_update`] consumes them.
+#[derive(Debug, Clone)]
+pub struct GruGrads {
+    /// Gradients for `[wxz, wxr, wxn, whz, whr, whn]`.
+    pub dw: [Matrix; 6],
+    /// Gradients for `[bz, br, bn]`.
+    pub db: [Matrix; 3],
+}
+
+impl Gru {
+    /// Creates a layer with Xavier-uniform weights and zero biases.
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut SmallRng) -> Self {
+        Self {
+            wxz: xavier_uniform(input_dim, hidden_dim, rng),
+            wxr: xavier_uniform(input_dim, hidden_dim, rng),
+            wxn: xavier_uniform(input_dim, hidden_dim, rng),
+            whz: xavier_uniform(hidden_dim, hidden_dim, rng),
+            whr: xavier_uniform(hidden_dim, hidden_dim, rng),
+            whn: xavier_uniform(hidden_dim, hidden_dim, rng),
+            bz: Matrix::zeros(1, hidden_dim),
+            br: Matrix::zeros(1, hidden_dim),
+            bn: Matrix::zeros(1, hidden_dim),
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        3 * (self.input_dim * self.hidden_dim)
+            + 3 * (self.hidden_dim * self.hidden_dim)
+            + 3 * self.hidden_dim
+    }
+
+    /// Runs the layer over a sequence; returns per-step hidden states and
+    /// the backward cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or any step has the wrong width.
+    pub fn forward(&self, xs: &[Matrix]) -> (Vec<Matrix>, GruCache) {
+        assert!(!xs.is_empty(), "GRU forward needs at least one timestep");
+        let n_rows = xs[0].rows();
+        let mut h = Matrix::zeros(n_rows, self.hidden_dim);
+        let mut hs = Vec::with_capacity(xs.len());
+        let mut steps = Vec::with_capacity(xs.len());
+        for x in xs {
+            assert_eq!(x.cols(), self.input_dim, "timestep width mismatch");
+            let mut zz = x.matmul(&self.wxz);
+            zz += &h.matmul(&self.whz);
+            zz.add_row_broadcast(&self.bz);
+            let z = sigmoid(&zz);
+            let mut zr = x.matmul(&self.wxr);
+            zr += &h.matmul(&self.whr);
+            zr.add_row_broadcast(&self.br);
+            let r = sigmoid(&zr);
+            let rh = r.hadamard(&h);
+            let mut zn = x.matmul(&self.wxn);
+            zn += &rh.matmul(&self.whn);
+            zn.add_row_broadcast(&self.bn);
+            let n = tanh(&zn);
+            // h' = (1−z)⊙n + z⊙h
+            let h_new = &n.hadamard(&z.map(|v| 1.0 - v)) + &z.hadamard(&h);
+            steps.push(StepCache { x: x.clone(), h_prev: h, z, r, n, rh });
+            hs.push(h_new.clone());
+            h = h_new;
+        }
+        (hs, GruCache { steps })
+    }
+
+    /// BPTT backward pass; `dhs[t]` is the loss gradient w.r.t. the hidden
+    /// state at step `t`. Returns weight gradients and per-step input
+    /// gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dhs.len()` differs from the cached timestep count.
+    pub fn backward(&self, cache: &GruCache, dhs: &[Matrix]) -> (GruGrads, Vec<Matrix>) {
+        assert_eq!(dhs.len(), cache.steps.len(), "dhs/timestep count mismatch");
+        let t_len = cache.steps.len();
+        let n_rows = cache.steps[0].x.rows();
+        let mut dw = [
+            Matrix::zeros(self.input_dim, self.hidden_dim),
+            Matrix::zeros(self.input_dim, self.hidden_dim),
+            Matrix::zeros(self.input_dim, self.hidden_dim),
+            Matrix::zeros(self.hidden_dim, self.hidden_dim),
+            Matrix::zeros(self.hidden_dim, self.hidden_dim),
+            Matrix::zeros(self.hidden_dim, self.hidden_dim),
+        ];
+        let mut db = [
+            Matrix::zeros(1, self.hidden_dim),
+            Matrix::zeros(1, self.hidden_dim),
+            Matrix::zeros(1, self.hidden_dim),
+        ];
+        let mut dxs = vec![Matrix::zeros(0, 0); t_len];
+        let mut dh_next = Matrix::zeros(n_rows, self.hidden_dim);
+        for t in (0..t_len).rev() {
+            let s = &cache.steps[t];
+            let dh = &dhs[t] + &dh_next;
+            // h' = (1−z)⊙n + z⊙h_prev
+            let dz = dh.hadamard(&(&s.h_prev - &s.n));
+            let dn = dh.hadamard(&s.z.map(|v| 1.0 - v));
+            let mut dh_prev = dh.hadamard(&s.z);
+            // Candidate path: n = tanh(zn), zn = x·Wxn + rh·Whn + bn.
+            let dzn = dn.hadamard(&s.n.map(|v| 1.0 - v * v));
+            dw[2] += &s.x.transpose_matmul(&dzn);
+            dw[5] += &s.rh.transpose_matmul(&dzn);
+            db[2] += &dzn.sum_rows();
+            let drh = dzn.matmul_transpose(&self.whn);
+            let dr = drh.hadamard(&s.h_prev);
+            dh_prev += &drh.hadamard(&s.r);
+            // Gate paths.
+            let dzz = dz.hadamard(&s.z).hadamard(&s.z.map(|v| 1.0 - v));
+            let dzr = dr.hadamard(&s.r).hadamard(&s.r.map(|v| 1.0 - v));
+            dw[0] += &s.x.transpose_matmul(&dzz);
+            dw[1] += &s.x.transpose_matmul(&dzr);
+            dw[3] += &s.h_prev.transpose_matmul(&dzz);
+            dw[4] += &s.h_prev.transpose_matmul(&dzr);
+            db[0] += &dzz.sum_rows();
+            db[1] += &dzr.sum_rows();
+            let mut dx = dzn.matmul_transpose(&self.wxn);
+            dx += &dzz.matmul_transpose(&self.wxz);
+            dx += &dzr.matmul_transpose(&self.wxr);
+            dxs[t] = dx;
+            dh_prev += &dzz.matmul_transpose(&self.whz);
+            dh_prev += &dzr.matmul_transpose(&self.whr);
+            dh_next = dh_prev;
+        }
+        (GruGrads { dw, db }, dxs)
+    }
+
+    /// Applies one Adam update using slots starting at `offset`; returns
+    /// the next free offset.
+    pub fn apply_update(
+        &mut self,
+        trainer: &mut crate::adam::AdamTrainer,
+        offset: usize,
+        grads: &GruGrads,
+    ) -> usize {
+        let params: [&mut Matrix; 6] = [
+            &mut self.wxz,
+            &mut self.wxr,
+            &mut self.wxn,
+            &mut self.whz,
+            &mut self.whr,
+            &mut self.whn,
+        ];
+        let mut off = offset;
+        for (p, g) in params.into_iter().zip(grads.dw.iter()) {
+            off = trainer.update(off, p, g);
+        }
+        let biases: [&mut Matrix; 3] = [&mut self.bz, &mut self.br, &mut self.bn];
+        for (p, g) in biases.into_iter().zip(grads.db.iter()) {
+            off = trainer.update(off, p, g);
+        }
+        off
+    }
+
+    /// Test-only weight perturbation (finite-difference checks).
+    #[doc(hidden)]
+    pub fn perturb(&mut self, which: usize, r: usize, c: usize, delta: f64) {
+        let m = match which {
+            0 => &mut self.wxz,
+            1 => &mut self.wxr,
+            2 => &mut self.wxn,
+            3 => &mut self.whz,
+            4 => &mut self.whr,
+            _ => &mut self.whn,
+        };
+        m.set(r, c, m.get(r, c) + delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{max_relative_error, numeric_input_grad};
+    use crate::init::random_normal;
+
+    fn objective(gru: &Gru, xs: &[Matrix]) -> f64 {
+        let (hs, _) = gru.forward(xs);
+        hs.iter().map(Matrix::sum).sum()
+    }
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let mut rng = SmallRng::new(1);
+        let gru = Gru::new(3, 5, &mut rng);
+        let xs: Vec<Matrix> = (0..4).map(|_| random_normal(2, 3, 1.0, &mut rng)).collect();
+        let (hs, cache) = gru.forward(&xs);
+        assert_eq!(hs.len(), 4);
+        assert_eq!(cache.steps.len(), 4);
+        for h in &hs {
+            assert_eq!(h.shape(), (2, 5));
+            // h is a convex combination of tanh values and prior h ⇒ |h| < 1.
+            assert!(h.max_abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = SmallRng::new(2);
+        let gru = Gru::new(3, 4, &mut rng);
+        let xs: Vec<Matrix> = (0..3).map(|_| random_normal(2, 3, 0.5, &mut rng)).collect();
+        let (hs, cache) = gru.forward(&xs);
+        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::filled(h.rows(), h.cols(), 1.0)).collect();
+        let (_, dxs) = gru.backward(&cache, &dhs);
+        for t in 0..3 {
+            let num = numeric_input_grad(&xs[t], 1e-5, |xp| {
+                let mut xs2 = xs.clone();
+                xs2[t] = xp.clone();
+                objective(&gru, &xs2)
+            });
+            let err = max_relative_error(&dxs[t], &num);
+            assert!(err < 1e-6, "step {t} input-grad error {err}");
+        }
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_difference() {
+        let mut rng = SmallRng::new(3);
+        let gru = Gru::new(2, 3, &mut rng);
+        let xs: Vec<Matrix> = (0..3).map(|_| random_normal(2, 2, 0.5, &mut rng)).collect();
+        let (hs, cache) = gru.forward(&xs);
+        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::filled(h.rows(), h.cols(), 1.0)).collect();
+        let (grads, _) = gru.backward(&cache, &dhs);
+        let h = 1e-5;
+        // Sample entries from every weight tensor, including recurrent ones.
+        for (which, r, c) in [(0usize, 0, 0), (1, 1, 2), (2, 0, 1), (3, 2, 0), (4, 1, 1), (5, 0, 2)] {
+            let mut plus = gru.clone();
+            plus.perturb(which, r, c, h);
+            let mut minus = gru.clone();
+            minus.perturb(which, r, c, -h);
+            let num = (objective(&plus, &xs) - objective(&minus, &xs)) / (2.0 * h);
+            let ana = grads.dw[which].get(r, c);
+            assert!((ana - num).abs() < 1e-6, "dw[{which}]({r},{c}): {ana} vs {num}");
+        }
+    }
+
+    #[test]
+    fn gradient_flows_to_first_input_from_last_step() {
+        let mut rng = SmallRng::new(4);
+        let gru = Gru::new(2, 3, &mut rng);
+        let xs: Vec<Matrix> = (0..4).map(|_| random_normal(1, 2, 0.5, &mut rng)).collect();
+        let (hs, cache) = gru.forward(&xs);
+        let mut dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::zeros(h.rows(), h.cols())).collect();
+        let last = dhs.len() - 1;
+        dhs[last] = Matrix::filled(1, 3, 1.0);
+        let (_, dxs) = gru.backward(&cache, &dhs);
+        assert!(dxs[0].max_abs() > 0.0);
+    }
+
+    #[test]
+    fn param_count_matches_tensors() {
+        let gru = Gru::new(4, 6, &mut SmallRng::new(5));
+        assert_eq!(gru.param_count(), 3 * 4 * 6 + 3 * 6 * 6 + 3 * 6);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        assert_eq!(Gru::new(3, 4, &mut SmallRng::new(6)), Gru::new(3, 4, &mut SmallRng::new(6)));
+    }
+}

@@ -1,0 +1,274 @@
+//! The stacked-GRU classifier — the architecture-ablation sibling of
+//! [`crate::lstm_net::LstmNet`] with the identical interface: flat
+//! time-major windows in, softmax probabilities and exact input gradients
+//! out.
+
+use crate::adam::AdamTrainer;
+use crate::dense::Dense;
+use crate::gru::Gru;
+use crate::loss::{cross_entropy, softmax_ce_grad, SemanticLoss};
+use crate::matrix::Matrix;
+use crate::model::GradModel;
+use crate::rng::SmallRng;
+
+/// Configuration for [`GruNet::new`] (mirrors
+/// [`LstmConfig`](crate::lstm_net::LstmConfig)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GruConfig {
+    /// Features per timestep.
+    pub feature_dim: usize,
+    /// Number of timesteps in the input window.
+    pub timesteps: usize,
+    /// Stacked hidden sizes.
+    pub hidden: Vec<usize>,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+/// A stacked-GRU softmax classifier over fixed-length windows.
+#[derive(Debug, Clone)]
+pub struct GruNet {
+    grus: Vec<Gru>,
+    head: Dense,
+    feature_dim: usize,
+    timesteps: usize,
+    classes: usize,
+    /// Optional semantic loss used when an indicator batch is supplied.
+    pub semantic: SemanticLoss,
+}
+
+impl GruNet {
+    /// Builds the network described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `hidden` is empty.
+    pub fn new(config: &GruConfig) -> Self {
+        assert!(config.feature_dim > 0, "feature_dim must be positive");
+        assert!(config.timesteps > 0, "timesteps must be positive");
+        assert!(config.classes > 0, "classes must be positive");
+        assert!(!config.hidden.is_empty(), "need at least one GRU layer");
+        let mut rng = SmallRng::new(config.seed ^ 0x6772_755f_6e65_7400);
+        let mut grus = Vec::with_capacity(config.hidden.len());
+        let mut prev = config.feature_dim;
+        for &h in &config.hidden {
+            assert!(h > 0, "hidden widths must be positive");
+            grus.push(Gru::new(prev, h, &mut rng));
+            prev = h;
+        }
+        let head = Dense::new(prev, config.classes, &mut rng);
+        Self {
+            grus,
+            head,
+            feature_dim: config.feature_dim,
+            timesteps: config.timesteps,
+            classes: config.classes,
+            semantic: SemanticLoss::default(),
+        }
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.grus.iter().map(Gru::param_count).sum::<usize>() + self.head.param_count()
+    }
+
+    fn split_steps(&self, x: &Matrix) -> Vec<Matrix> {
+        assert_eq!(
+            x.cols(),
+            self.timesteps * self.feature_dim,
+            "input width mismatch: expected {}·{}",
+            self.timesteps,
+            self.feature_dim
+        );
+        (0..self.timesteps)
+            .map(|t| x.slice_cols(t * self.feature_dim, (t + 1) * self.feature_dim))
+            .collect()
+    }
+
+    fn join_steps(&self, dxs: &[Matrix]) -> Matrix {
+        let n = dxs[0].rows();
+        let mut out = Matrix::zeros(n, self.timesteps * self.feature_dim);
+        for (t, dx) in dxs.iter().enumerate() {
+            out.set_cols(t * self.feature_dim, dx);
+        }
+        out
+    }
+
+    fn forward_cached(&self, x: &Matrix) -> (Matrix, Vec<crate::gru::GruCache>, Matrix) {
+        let mut seq = self.split_steps(x);
+        let mut caches = Vec::with_capacity(self.grus.len());
+        for gru in &self.grus {
+            let (hs, cache) = gru.forward(&seq);
+            caches.push(cache);
+            seq = hs;
+        }
+        let last_h = seq.last().expect("at least one timestep").clone();
+        let logits = self.head.forward(&last_h);
+        (logits, caches, last_h)
+    }
+
+    fn backward_from_dz(
+        &self,
+        caches: &[crate::gru::GruCache],
+        last_h: &Matrix,
+        dz: &Matrix,
+    ) -> (Vec<crate::gru::GruGrads>, crate::dense::DenseGrads, Matrix) {
+        let (head_grads, dh_last) = self.head.backward(last_h, dz);
+        let n = dh_last.rows();
+        let top = self.grus.len() - 1;
+        let mut dseq: Vec<Matrix> = (0..self.timesteps)
+            .map(|_| Matrix::zeros(n, self.grus[top].hidden_dim()))
+            .collect();
+        dseq[self.timesteps - 1] = dh_last;
+        let mut gru_grads = Vec::with_capacity(self.grus.len());
+        for (i, gru) in self.grus.iter().enumerate().rev() {
+            let (g, dxs) = gru.backward(&caches[i], &dseq);
+            gru_grads.push(g);
+            dseq = dxs;
+        }
+        gru_grads.reverse();
+        (gru_grads, head_grads, self.join_steps(&dseq))
+    }
+
+    /// One minibatch of training; `indicator` enables the semantic loss.
+    /// Returns the total batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape/label mismatches.
+    pub fn train_batch(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        indicator: Option<&[f64]>,
+        trainer: &mut AdamTrainer,
+    ) -> f64 {
+        assert_eq!(labels.len(), x.rows(), "label count mismatch");
+        let (logits, caches, last_h) = self.forward_cached(x);
+        let (probs, mut dz) = softmax_ce_grad(&logits, labels);
+        let mut loss = cross_entropy(&probs, labels);
+        if let Some(ind) = indicator {
+            loss += self.semantic.penalty(&probs, ind);
+            self.semantic.add_grad(&probs, ind, &mut dz);
+        }
+        let (gru_grads, head_grads, _) = self.backward_from_dz(&caches, &last_h, &dz);
+        trainer.begin_step();
+        let mut off = 0;
+        for (gru, g) in self.grus.iter_mut().zip(gru_grads.iter()) {
+            off = gru.apply_update(trainer, off, g);
+        }
+        off = self.head.apply_update(trainer, off, &head_grads);
+        debug_assert_eq!(off, trainer.param_count());
+        loss
+    }
+}
+
+impl GradModel for GruNet {
+    fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn input_width(&self) -> usize {
+        self.timesteps * self.feature_dim
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let (logits, _, _) = self.forward_cached(x);
+        crate::activation::softmax_rows(&logits)
+    }
+
+    fn input_gradient(&self, x: &Matrix, labels: &[usize]) -> Matrix {
+        let (logits, caches, last_h) = self.forward_cached(x);
+        let (_, dz) = softmax_ce_grad(&logits, labels);
+        let (_, _, dx) = self.backward_from_dz(&caches, &last_h, &dz);
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{max_relative_error, numeric_input_grad};
+    use crate::init::random_normal;
+
+    fn tiny_net(seed: u64) -> GruNet {
+        GruNet::new(&GruConfig {
+            feature_dim: 3,
+            timesteps: 4,
+            hidden: vec![6, 5],
+            classes: 2,
+            seed,
+        })
+    }
+
+    #[test]
+    fn proba_rows_sum_to_one() {
+        let net = tiny_net(1);
+        let x = random_normal(4, 12, 1.0, &mut SmallRng::new(2));
+        let p = net.predict_proba(&x);
+        for r in 0..4 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let net = tiny_net(3);
+        let x = random_normal(2, 12, 0.6, &mut SmallRng::new(4));
+        let labels = vec![1usize, 0];
+        let ana = net.input_gradient(&x, &labels);
+        let num = numeric_input_grad(&x, 1e-6, |xp| {
+            cross_entropy(&net.predict_proba(xp), &labels)
+        });
+        let err = max_relative_error(&ana, &num);
+        assert!(err < 1e-5, "input-grad error {err}");
+    }
+
+    #[test]
+    fn training_learns_sequence_rule() {
+        let mut rng = SmallRng::new(7);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..60 {
+            let y = rng.bernoulli(0.5) as usize;
+            let mut row = vec![0.0; 12];
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = rng.normal_with(0.0, 0.3);
+                if i == 0 {
+                    *v = if y == 1 { 1.5 } else { -1.5 } + rng.normal_with(0.0, 0.2);
+                }
+            }
+            rows.push(row);
+            labels.push(y);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut net = tiny_net(8);
+        let mut trainer = AdamTrainer::new(net.param_count(), 0.02);
+        for _ in 0..150 {
+            net.train_batch(&x, &labels, None, &mut trainer);
+        }
+        let preds = net.predict_labels(&x);
+        let correct = preds.iter().zip(&labels).filter(|(p, y)| p == y).count();
+        assert!(correct >= 55, "only {correct}/60 correct");
+    }
+
+    #[test]
+    fn gru_has_fewer_params_than_lstm() {
+        use crate::lstm_net::{LstmConfig, LstmNet};
+        let gru = GruNet::new(&GruConfig { feature_dim: 6, timesteps: 6, hidden: vec![128, 64], classes: 2, seed: 0 });
+        let lstm = LstmNet::new(&LstmConfig { feature_dim: 6, timesteps: 6, hidden: vec![128, 64], classes: 2, seed: 0 });
+        assert!(gru.param_count() < lstm.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn rejects_wrong_input_width() {
+        let net = tiny_net(12);
+        let x = Matrix::zeros(1, 11);
+        let _ = net.predict_proba(&x);
+    }
+}

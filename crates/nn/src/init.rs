@@ -1,0 +1,74 @@
+//! Weight initialization schemes.
+
+use crate::matrix::Matrix;
+use crate::rng::SmallRng;
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Suitable for tanh/sigmoid layers
+/// (the LSTM gates) and acceptable for small ReLU stacks.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut SmallRng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    random_uniform(rows, cols, -a, a, rng)
+}
+
+/// He/Kaiming uniform initialization: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+/// The standard choice for ReLU layers.
+pub fn he_uniform(rows: usize, cols: usize, rng: &mut SmallRng) -> Matrix {
+    let a = (6.0 / rows as f64).sqrt();
+    random_uniform(rows, cols, -a, a, rng)
+}
+
+/// Matrix with i.i.d. uniform entries in `[lo, hi)`.
+pub fn random_uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut SmallRng) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.uniform_range(lo, hi);
+    }
+    m
+}
+
+/// Matrix with i.i.d. standard-normal entries scaled by `std_dev`.
+pub fn random_normal(rows: usize, cols: usize, std_dev: f64, rng: &mut SmallRng) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.normal() * std_dev;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = SmallRng::new(1);
+        let m = xavier_uniform(30, 10, &mut rng);
+        let a = (6.0 / 40.0f64).sqrt();
+        assert!(m.max_abs() <= a);
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn he_bound_respected() {
+        let mut rng = SmallRng::new(2);
+        let m = he_uniform(24, 8, &mut rng);
+        let a = (6.0 / 24.0f64).sqrt();
+        assert!(m.max_abs() <= a);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let a = xavier_uniform(5, 5, &mut SmallRng::new(9));
+        let b = xavier_uniform(5, 5, &mut SmallRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_init_scales() {
+        let mut rng = SmallRng::new(3);
+        let m = random_normal(100, 100, 0.01, &mut rng);
+        let std = (m.as_slice().iter().map(|v| v * v).sum::<f64>() / m.len() as f64).sqrt();
+        assert!((std - 0.01).abs() < 0.002, "std was {std}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Loss functions: sparse categorical cross-entropy and the paper's
+//! knowledge-integration *semantic loss* (Eq. 2).
+//!
+//! The semantic loss penalizes the model whenever its predicted probability
+//! of the *unsafe* class disagrees with the truth value of the STL safety
+//! rules evaluated on the (un-normalized) system context:
+//!
+//! ```text
+//! loss = loss_ex + w · | p_unsafe − I(⋁ Φ_h ⊨ context) |
+//! ```
+//!
+//! Both terms are averaged over the batch. The indicator `I` is computed
+//! outside this crate (by `cpsmon-core` using `cpsmon-stl`) and passed in as
+//! a per-row 0/1 vector, which keeps this crate free of CPS specifics.
+
+use crate::activation::softmax_rows;
+use crate::matrix::Matrix;
+
+/// Mean sparse categorical cross-entropy of `probs` against integer labels.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != probs.rows()` or a label is out of range.
+pub fn cross_entropy(probs: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(labels.len(), probs.rows(), "label count mismatch");
+    let n = labels.len().max(1) as f64;
+    labels
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| {
+            assert!(y < probs.cols(), "label {y} out of range");
+            -(probs.get(i, y).max(1e-12)).ln()
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Gradient of mean cross-entropy with respect to the *logits*:
+/// `(softmax(z) − onehot(y)) / N`. Returns `(probs, dlogits)` so callers can
+/// reuse the probabilities.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_ce_grad(logits: &Matrix, labels: &[usize]) -> (Matrix, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "label count mismatch");
+    let probs = softmax_rows(logits);
+    let n = labels.len().max(1) as f64;
+    let mut dz = probs.scale(1.0 / n);
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < logits.cols(), "label {y} out of range");
+        dz.set(i, y, dz.get(i, y) - 1.0 / n);
+    }
+    (probs, dz)
+}
+
+/// The semantic-loss term of Eq. 2.
+///
+/// `UNSAFE_CLASS` is fixed at class index 1, matching the convention used
+/// throughout `cpsmon` (0 = safe, 1 = unsafe).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SemanticLoss {
+    /// Weight `w` controlling how strongly the safety specification steers
+    /// training. The paper does not publish its value; we default to `0.5`
+    /// and ablate it (see `DESIGN.md`).
+    pub weight: f64,
+}
+
+/// Class index of the "unsafe" prediction in all `cpsmon` monitors.
+pub const UNSAFE_CLASS: usize = 1;
+
+impl Default for SemanticLoss {
+    fn default() -> Self {
+        Self { weight: 0.5 }
+    }
+}
+
+impl SemanticLoss {
+    /// Creates a semantic loss with the given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or non-finite.
+    pub fn new(weight: f64) -> Self {
+        assert!(weight.is_finite() && weight >= 0.0, "semantic weight must be finite and >= 0");
+        Self { weight }
+    }
+
+    /// Mean semantic penalty `w·|p_unsafe − I|` over the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indicator.len() != probs.rows()` or the model is not
+    /// binary (needs an unsafe-class column).
+    pub fn penalty(&self, probs: &Matrix, indicator: &[f64]) -> f64 {
+        assert_eq!(indicator.len(), probs.rows(), "indicator count mismatch");
+        assert!(probs.cols() > UNSAFE_CLASS, "model must have an unsafe class column");
+        let n = indicator.len().max(1) as f64;
+        indicator
+            .iter()
+            .enumerate()
+            .map(|(i, &ind)| (probs.get(i, UNSAFE_CLASS) - ind).abs())
+            .sum::<f64>()
+            * self.weight
+            / n
+    }
+
+    /// Adds the semantic term's gradient (w.r.t. the logits) into `dz`.
+    ///
+    /// With `p = softmax(z)`, `∂|p₁−I|/∂z_j = sign(p₁−I)·p₁·(δ_{1j} − p_j)`;
+    /// the batch mean and weight are folded in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn add_grad(&self, probs: &Matrix, indicator: &[f64], dz: &mut Matrix) {
+        assert_eq!(indicator.len(), probs.rows(), "indicator count mismatch");
+        assert_eq!(probs.shape(), dz.shape(), "dz shape mismatch");
+        let n = indicator.len().max(1) as f64;
+        let scale = self.weight / n;
+        for (i, &ind) in indicator.iter().enumerate() {
+            let p1 = probs.get(i, UNSAFE_CLASS);
+            let s = (p1 - ind).signum();
+            if s == 0.0 {
+                continue;
+            }
+            for j in 0..probs.cols() {
+                let delta = if j == UNSAFE_CLASS { 1.0 } else { 0.0 };
+                let g = s * p1 * (delta - probs.get(i, j));
+                dz.set(i, j, dz.get(i, j) + scale * g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_zero() {
+        let probs = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!(cross_entropy(&probs, &[0, 1]) < 1e-10);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_classes() {
+        let probs = Matrix::from_rows(&[&[0.5, 0.5]]);
+        assert!((cross_entropy(&probs, &[0]) - 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ce_grad_rows_sum_to_zero() {
+        let logits = Matrix::from_rows(&[&[0.2, -1.0, 3.0], &[1.0, 1.0, 1.0]]);
+        let (_, dz) = softmax_ce_grad(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f64 = dz.row(r).iter().sum();
+            assert!(s.abs() < 1e-12, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn ce_grad_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7], &[1.5, 0.1]]);
+        let labels = [1usize, 0];
+        let (_, dz) = softmax_ce_grad(&logits, &labels);
+        let h = 1e-6;
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut plus = logits.clone();
+                plus.set(r, c, plus.get(r, c) + h);
+                let mut minus = logits.clone();
+                minus.set(r, c, minus.get(r, c) - h);
+                let lp = cross_entropy(&softmax_rows(&plus), &labels);
+                let lm = cross_entropy(&softmax_rows(&minus), &labels);
+                let num = (lp - lm) / (2.0 * h);
+                assert!(
+                    (num - dz.get(r, c)).abs() < 1e-6,
+                    "grad mismatch at ({r},{c}): {num} vs {}",
+                    dz.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn semantic_penalty_zero_when_agreeing() {
+        let probs = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let sl = SemanticLoss::new(1.0);
+        assert!(sl.penalty(&probs, &[1.0, 0.0]) < 1e-12);
+    }
+
+    #[test]
+    fn semantic_penalty_max_when_disagreeing() {
+        let probs = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let sl = SemanticLoss::new(2.0);
+        // p_unsafe = 1, indicator = 0 → penalty = w·1 = 2.
+        assert!((sl.penalty(&probs, &[0.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn semantic_grad_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.4, -0.2], &[-1.0, 0.8]]);
+        let indicator = [1.0, 0.0];
+        let sl = SemanticLoss::new(0.7);
+        let probs = softmax_rows(&logits);
+        let mut dz = Matrix::zeros(2, 2);
+        sl.add_grad(&probs, &indicator, &mut dz);
+        let h = 1e-6;
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut plus = logits.clone();
+                plus.set(r, c, plus.get(r, c) + h);
+                let mut minus = logits.clone();
+                minus.set(r, c, minus.get(r, c) - h);
+                let lp = sl.penalty(&softmax_rows(&plus), &indicator);
+                let lm = sl.penalty(&softmax_rows(&minus), &indicator);
+                let num = (lp - lm) / (2.0 * h);
+                assert!(
+                    (num - dz.get(r, c)).abs() < 1e-6,
+                    "grad mismatch at ({r},{c}): {num} vs {}",
+                    dz.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "semantic weight")]
+    fn semantic_rejects_negative_weight() {
+        let _ = SemanticLoss::new(-1.0);
+    }
+}

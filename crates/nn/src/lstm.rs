@@ -1,0 +1,375 @@
+//! A standard LSTM layer with full backpropagation through time (BPTT).
+//!
+//! Gate layout inside the fused pre-activation `z = x·Wx + h·Wh + b`
+//! (shape `N × 4H`) is `[input, forget, cell, output]`. The forget-gate bias
+//! is initialized to 1.0, the usual trick to avoid vanishing cell gradients
+//! early in training.
+
+use crate::activation::{sigmoid, tanh};
+use crate::init::xavier_uniform;
+use crate::matrix::Matrix;
+use crate::rng::SmallRng;
+
+/// One LSTM layer (`input_dim → hidden_dim`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lstm {
+    wx: Matrix,
+    wh: Matrix,
+    b: Matrix,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+/// Per-timestep intermediate values cached for the backward pass.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    tc: Matrix,
+}
+
+/// Forward-pass cache consumed by [`Lstm::backward`].
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    steps: Vec<StepCache>,
+}
+
+impl LstmCache {
+    /// Number of timesteps this cache covers.
+    pub fn timesteps(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Weight gradients produced by [`Lstm::backward`].
+#[derive(Debug, Clone)]
+pub struct LstmGrads {
+    /// Gradient w.r.t. the input-to-hidden weights.
+    pub dwx: Matrix,
+    /// Gradient w.r.t. the hidden-to-hidden weights.
+    pub dwh: Matrix,
+    /// Gradient w.r.t. the fused gate bias.
+    pub db: Matrix,
+}
+
+impl Lstm {
+    /// Creates a layer with Xavier-uniform weights, zero biases, and
+    /// forget-gate bias 1.0.
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut SmallRng) -> Self {
+        let mut b = Matrix::zeros(1, 4 * hidden_dim);
+        for c in hidden_dim..2 * hidden_dim {
+            b.set(0, c, 1.0);
+        }
+        Self {
+            wx: xavier_uniform(input_dim, 4 * hidden_dim, rng),
+            wh: xavier_uniform(hidden_dim, 4 * hidden_dim, rng),
+            b,
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.wx.len() + self.wh.len() + self.b.len()
+    }
+
+    /// Runs the layer over a sequence (`xs[t]` is the `N × input_dim` batch
+    /// at timestep `t`). Returns the hidden state at every timestep along
+    /// with the cache for [`backward`](Self::backward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or any step has the wrong width.
+    pub fn forward(&self, xs: &[Matrix]) -> (Vec<Matrix>, LstmCache) {
+        assert!(!xs.is_empty(), "LSTM forward needs at least one timestep");
+        let n = xs[0].rows();
+        let h_dim = self.hidden_dim;
+        let mut h = Matrix::zeros(n, h_dim);
+        let mut c = Matrix::zeros(n, h_dim);
+        let mut hs = Vec::with_capacity(xs.len());
+        let mut steps = Vec::with_capacity(xs.len());
+        for x in xs {
+            assert_eq!(x.cols(), self.input_dim, "timestep width mismatch");
+            assert_eq!(x.rows(), n, "timestep batch-size mismatch");
+            let mut z = x.matmul(&self.wx);
+            z += &h.matmul(&self.wh);
+            z.add_row_broadcast(&self.b);
+            let i = sigmoid(&z.slice_cols(0, h_dim));
+            let f = sigmoid(&z.slice_cols(h_dim, 2 * h_dim));
+            let g = tanh(&z.slice_cols(2 * h_dim, 3 * h_dim));
+            let o = sigmoid(&z.slice_cols(3 * h_dim, 4 * h_dim));
+            let c_new = &f.hadamard(&c) + &i.hadamard(&g);
+            let tc = tanh(&c_new);
+            let h_new = o.hadamard(&tc);
+            steps.push(StepCache {
+                x: x.clone(),
+                h_prev: h,
+                c_prev: c,
+                i,
+                f,
+                g,
+                o,
+                tc,
+            });
+            hs.push(h_new.clone());
+            h = h_new;
+            c = c_new;
+        }
+        (hs, LstmCache { steps })
+    }
+
+    /// BPTT backward pass.
+    ///
+    /// `dhs[t]` is the gradient of the loss w.r.t. the hidden state emitted
+    /// at timestep `t` (zero matrices for unused steps). Returns the weight
+    /// gradients and `dxs[t]`, the gradient w.r.t. each input step — the
+    /// piece FGSM needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dhs.len()` differs from the cached timestep count.
+    pub fn backward(&self, cache: &LstmCache, dhs: &[Matrix]) -> (LstmGrads, Vec<Matrix>) {
+        assert_eq!(dhs.len(), cache.steps.len(), "dhs/timestep count mismatch");
+        let h_dim = self.hidden_dim;
+        let t_len = cache.steps.len();
+        let n = cache.steps[0].x.rows();
+        let mut dwx = Matrix::zeros(self.input_dim, 4 * h_dim);
+        let mut dwh = Matrix::zeros(h_dim, 4 * h_dim);
+        let mut db = Matrix::zeros(1, 4 * h_dim);
+        let mut dxs = vec![Matrix::zeros(0, 0); t_len];
+        let mut dh_next = Matrix::zeros(n, h_dim);
+        let mut dc_next = Matrix::zeros(n, h_dim);
+        for t in (0..t_len).rev() {
+            let s = &cache.steps[t];
+            let dh = &dhs[t] + &dh_next;
+            // h = o ⊙ tanh(c)
+            let d_o = dh.hadamard(&s.tc);
+            let dtc = dh.hadamard(&s.o);
+            // d tanh(c) = (1 - tanh(c)^2)
+            let mut dc = s.tc.map(|v| 1.0 - v * v).hadamard(&dtc);
+            dc += &dc_next;
+            // c = f ⊙ c_prev + i ⊙ g
+            let d_i = dc.hadamard(&s.g);
+            let d_g = dc.hadamard(&s.i);
+            let d_f = dc.hadamard(&s.c_prev);
+            dc_next = dc.hadamard(&s.f);
+            // Through the gate nonlinearities: σ' = σ(1−σ), tanh' = 1−tanh².
+            let dz_i = d_i.hadamard(&s.i).hadamard(&s.i.map(|v| 1.0 - v));
+            let dz_f = d_f.hadamard(&s.f).hadamard(&s.f.map(|v| 1.0 - v));
+            let dz_g = d_g.hadamard(&s.g.map(|v| 1.0 - v * v));
+            let dz_o = d_o.hadamard(&s.o).hadamard(&s.o.map(|v| 1.0 - v));
+            let mut dz = Matrix::zeros(n, 4 * h_dim);
+            dz.set_cols(0, &dz_i);
+            dz.set_cols(h_dim, &dz_f);
+            dz.set_cols(2 * h_dim, &dz_g);
+            dz.set_cols(3 * h_dim, &dz_o);
+            dwx += &s.x.transpose_matmul(&dz);
+            dwh += &s.h_prev.transpose_matmul(&dz);
+            db += &dz.sum_rows();
+            dxs[t] = dz.matmul_transpose(&self.wx);
+            dh_next = dz.matmul_transpose(&self.wh);
+        }
+        (LstmGrads { dwx, dwh, db }, dxs)
+    }
+
+    /// Applies one Adam update using slots starting at `offset`; returns the
+    /// next free offset.
+    pub fn apply_update(
+        &mut self,
+        trainer: &mut crate::adam::AdamTrainer,
+        offset: usize,
+        grads: &LstmGrads,
+    ) -> usize {
+        let off = trainer.update(offset, &mut self.wx, &grads.dwx);
+        let off = trainer.update(off, &mut self.wh, &grads.dwh);
+        trainer.update(off, &mut self.b, &grads.db)
+    }
+
+    /// Input-to-hidden weights (`input_dim × 4·hidden`).
+    pub fn wx(&self) -> &Matrix {
+        &self.wx
+    }
+
+    /// Hidden-to-hidden weights (`hidden × 4·hidden`).
+    pub fn wh(&self) -> &Matrix {
+        &self.wh
+    }
+
+    /// Fused gate bias (`1 × 4·hidden`).
+    pub fn gate_bias(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Builds a layer from explicit parameters (used by deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent (`wx: I×4H`, `wh: H×4H`,
+    /// `b: 1×4H`).
+    pub fn from_params(wx: Matrix, wh: Matrix, b: Matrix) -> Self {
+        let hidden_dim = wh.rows();
+        assert_eq!(wh.cols(), 4 * hidden_dim, "wh must be H×4H");
+        assert_eq!(wx.cols(), 4 * hidden_dim, "wx must be I×4H");
+        assert_eq!(b.rows(), 1, "bias must be a row vector");
+        assert_eq!(b.cols(), 4 * hidden_dim, "bias must be 1×4H");
+        let input_dim = wx.rows();
+        Self { wx, wh, b, input_dim, hidden_dim }
+    }
+
+    /// Test-only access to mutate a weight (used by finite-difference checks).
+    #[doc(hidden)]
+    pub fn perturb_wx(&mut self, r: usize, c: usize, delta: f64) {
+        self.wx.set(r, c, self.wx.get(r, c) + delta);
+    }
+
+    /// Test-only access to mutate a recurrent weight.
+    #[doc(hidden)]
+    pub fn perturb_wh(&mut self, r: usize, c: usize, delta: f64) {
+        self.wh.set(r, c, self.wh.get(r, c) + delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{max_relative_error, numeric_input_grad};
+    use crate::init::random_normal;
+
+    fn objective(lstm: &Lstm, xs: &[Matrix]) -> f64 {
+        // Scalar objective: sum of all hidden states over all steps.
+        let (hs, _) = lstm.forward(xs);
+        hs.iter().map(Matrix::sum).sum()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = SmallRng::new(1);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let xs: Vec<Matrix> = (0..4).map(|_| random_normal(2, 3, 1.0, &mut rng)).collect();
+        let (hs, cache) = lstm.forward(&xs);
+        assert_eq!(hs.len(), 4);
+        assert_eq!(cache.timesteps(), 4);
+        for h in &hs {
+            assert_eq!(h.shape(), (2, 5));
+        }
+    }
+
+    #[test]
+    fn hidden_state_bounded_by_one() {
+        // h = o·tanh(c) with o ∈ (0,1) ⇒ |h| < 1 always.
+        let mut rng = SmallRng::new(2);
+        let lstm = Lstm::new(2, 4, &mut rng);
+        let xs: Vec<Matrix> = (0..10).map(|_| random_normal(3, 2, 10.0, &mut rng)).collect();
+        let (hs, _) = lstm.forward(&xs);
+        for h in &hs {
+            assert!(h.max_abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = SmallRng::new(3);
+        let lstm = Lstm::new(3, 4, &mut rng);
+        let xs: Vec<Matrix> = (0..3).map(|_| random_normal(2, 3, 0.5, &mut rng)).collect();
+        let (hs, cache) = lstm.forward(&xs);
+        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::filled(h.rows(), h.cols(), 1.0)).collect();
+        let (_, dxs) = lstm.backward(&cache, &dhs);
+        for t in 0..3 {
+            let num = numeric_input_grad(&xs[t], 1e-5, |xp| {
+                let mut xs2 = xs.clone();
+                xs2[t] = xp.clone();
+                objective(&lstm, &xs2)
+            });
+            let err = max_relative_error(&dxs[t], &num);
+            assert!(err < 1e-6, "step {t} input-grad error {err}");
+        }
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_difference() {
+        let mut rng = SmallRng::new(4);
+        let lstm = Lstm::new(2, 3, &mut rng);
+        let xs: Vec<Matrix> = (0..3).map(|_| random_normal(2, 2, 0.5, &mut rng)).collect();
+        let (hs, cache) = lstm.forward(&xs);
+        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::filled(h.rows(), h.cols(), 1.0)).collect();
+        let (grads, _) = lstm.backward(&cache, &dhs);
+        let h = 1e-5;
+        // Check a sample of wx entries.
+        for (r, c) in [(0, 0), (1, 5), (0, 11), (1, 7)] {
+            let mut plus = lstm.clone();
+            plus.perturb_wx(r, c, h);
+            let mut minus = lstm.clone();
+            minus.perturb_wx(r, c, -h);
+            let num = (objective(&plus, &xs) - objective(&minus, &xs)) / (2.0 * h);
+            let ana = grads.dwx.get(r, c);
+            assert!((ana - num).abs() < 1e-6, "dwx({r},{c}): {ana} vs {num}");
+        }
+        // And wh entries (these exercise the recurrent path).
+        for (r, c) in [(0, 0), (2, 4), (1, 9)] {
+            let mut plus = lstm.clone();
+            plus.perturb_wh(r, c, h);
+            let mut minus = lstm.clone();
+            minus.perturb_wh(r, c, -h);
+            let num = (objective(&plus, &xs) - objective(&minus, &xs)) / (2.0 * h);
+            let ana = grads.dwh.get(r, c);
+            assert!((ana - num).abs() < 1e-6, "dwh({r},{c}): {ana} vs {num}");
+        }
+    }
+
+    #[test]
+    fn last_step_only_gradient_flows_back() {
+        // Gradient injected only at the last step must still reach x_0
+        // through the recurrent connections.
+        let mut rng = SmallRng::new(5);
+        let lstm = Lstm::new(2, 3, &mut rng);
+        let xs: Vec<Matrix> = (0..4).map(|_| random_normal(1, 2, 0.5, &mut rng)).collect();
+        let (hs, cache) = lstm.forward(&xs);
+        let mut dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::zeros(h.rows(), h.cols())).collect();
+        let last = dhs.len() - 1;
+        dhs[last] = Matrix::filled(1, 3, 1.0);
+        let (_, dxs) = lstm.backward(&cache, &dhs);
+        assert!(dxs[0].max_abs() > 0.0, "no gradient reached the first input");
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = SmallRng::new(6);
+        let lstm = Lstm::new(2, 3, &mut rng);
+        for c in 3..6 {
+            assert_eq!(lstm.b.get(0, c), 1.0);
+        }
+        for c in 0..3 {
+            assert_eq!(lstm.b.get(0, c), 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = Lstm::new(4, 8, &mut SmallRng::new(77));
+        let b = Lstm::new(4, 8, &mut SmallRng::new(77));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timestep")]
+    fn forward_rejects_empty_sequence() {
+        let lstm = Lstm::new(2, 3, &mut SmallRng::new(7));
+        let _ = lstm.forward(&[]);
+    }
+}

@@ -1,0 +1,324 @@
+//! The multi-layer-perceptron monitor network.
+//!
+//! Architecture per the paper (§IV-A): fully connected layers of 256 and
+//! 128 units with ReLU activations, followed by a softmax output layer,
+//! trained with Adam and sparse categorical cross-entropy. The "Custom"
+//! variant adds the semantic-loss term (Eq. 2) through the optional
+//! indicator argument of [`MlpNet::train_batch`].
+
+use crate::activation::{relu, relu_grad_mask, softmax_rows};
+use crate::adam::AdamTrainer;
+use crate::dense::Dense;
+use crate::loss::{cross_entropy, softmax_ce_grad, SemanticLoss};
+use crate::matrix::Matrix;
+use crate::model::GradModel;
+use crate::rng::SmallRng;
+
+/// Configuration for [`MlpNet::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpConfig {
+    /// Width of a flattened input row.
+    pub input_dim: usize,
+    /// Hidden-layer sizes; the paper uses `[256, 128]`.
+    pub hidden: Vec<usize>,
+    /// Number of output classes (2 for safe/unsafe).
+    pub classes: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl MlpConfig {
+    /// The paper's monitor architecture (256-128) for the given input width.
+    pub fn paper(input_dim: usize) -> Self {
+        Self {
+            input_dim,
+            hidden: vec![256, 128],
+            classes: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// A feed-forward softmax classifier with ReLU hidden layers.
+#[derive(Debug, Clone)]
+pub struct MlpNet {
+    layers: Vec<Dense>,
+    classes: usize,
+    /// Optional semantic loss used when an indicator batch is supplied.
+    pub semantic: SemanticLoss,
+}
+
+impl MlpNet {
+    /// Builds the network described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim`, `classes`, or any hidden width is zero.
+    pub fn new(config: &MlpConfig) -> Self {
+        assert!(config.input_dim > 0, "input_dim must be positive");
+        assert!(config.classes > 0, "classes must be positive");
+        assert!(config.hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        let mut rng = SmallRng::new(config.seed ^ 0x6d6c_705f_6e65_7400);
+        let mut layers = Vec::with_capacity(config.hidden.len() + 1);
+        let mut prev = config.input_dim;
+        for &h in &config.hidden {
+            layers.push(Dense::new(prev, h, &mut rng));
+            prev = h;
+        }
+        layers.push(Dense::new(prev, config.classes, &mut rng));
+        Self {
+            layers,
+            classes: config.classes,
+            semantic: SemanticLoss::default(),
+        }
+    }
+
+    /// Total number of trainable scalars (for sizing an [`AdamTrainer`]).
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// The dense layers in forward order (hidden layers then the head).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Replaces all layers (used by deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive layers' widths mismatch.
+    pub fn set_layers(&mut self, layers: Vec<Dense>) {
+        assert!(!layers.is_empty(), "network must have at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].output_dim(),
+                pair[1].input_dim(),
+                "consecutive layer widths must match"
+            );
+        }
+        self.classes = layers.last().expect("non-empty").output_dim();
+        self.layers = layers;
+    }
+
+    /// Raw (pre-softmax) logits for a batch.
+    pub fn predict_logits(&self, x: &Matrix) -> Matrix {
+        let (logits, _) = self.forward_cached(x);
+        logits
+    }
+
+    /// Forward pass caching pre-activations and layer inputs.
+    /// Returns `(logits, activations)` where `activations[i]` is the input
+    /// to layer `i` and pre-activations are recomputable from them.
+    fn forward_cached(&self, x: &Matrix) -> (Matrix, Vec<Matrix>) {
+        assert_eq!(x.cols(), self.layers[0].input_dim(), "input width mismatch");
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            inputs.push(cur.clone());
+            let z = layer.forward(&cur);
+            cur = if i + 1 == self.layers.len() { z } else { relu(&z) };
+        }
+        (cur, inputs)
+    }
+
+    /// Shared backward pass from a logits-gradient to (weight grads, dx).
+    fn backward_from_dz(
+        &self,
+        inputs: &[Matrix],
+        mut dz: Matrix,
+    ) -> (Vec<crate::dense::DenseGrads>, Matrix) {
+        let mut grads = Vec::with_capacity(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let (g, dx) = layer.backward(&inputs[i], &dz);
+            grads.push(g);
+            if i > 0 {
+                // Pre-activation of the previous layer = its forward output
+                // before ReLU; recompute the mask from the previous input.
+                let z_prev = self.layers[i - 1].forward(&inputs[i - 1]);
+                dz = dx.hadamard(&relu_grad_mask(&z_prev));
+            } else {
+                dz = dx;
+            }
+        }
+        grads.reverse();
+        (grads, dz)
+    }
+
+    /// One minibatch of training. `indicator` is the per-row safety-rule
+    /// truth value; when present, the semantic loss (Eq. 2) is added with
+    /// weight [`MlpNet::semantic`]. Returns the total batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape/label mismatches.
+    pub fn train_batch(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        indicator: Option<&[f64]>,
+        trainer: &mut AdamTrainer,
+    ) -> f64 {
+        assert_eq!(labels.len(), x.rows(), "label count mismatch");
+        let (logits, inputs) = self.forward_cached(x);
+        let (probs, mut dz) = softmax_ce_grad(&logits, labels);
+        let mut loss = cross_entropy(&probs, labels);
+        if let Some(ind) = indicator {
+            loss += self.semantic.penalty(&probs, ind);
+            self.semantic.add_grad(&probs, ind, &mut dz);
+        }
+        let (grads, _) = self.backward_from_dz(&inputs, dz);
+        trainer.begin_step();
+        let mut off = 0;
+        for (layer, g) in self.layers.iter_mut().zip(grads.iter()) {
+            off = layer.apply_update(trainer, off, g);
+        }
+        debug_assert_eq!(off, trainer.param_count());
+        loss
+    }
+
+    /// Mean training loss of a batch without updating weights.
+    pub fn eval_loss(&self, x: &Matrix, labels: &[usize], indicator: Option<&[f64]>) -> f64 {
+        let probs = self.predict_proba(x);
+        let mut loss = cross_entropy(&probs, labels);
+        if let Some(ind) = indicator {
+            loss += self.semantic.penalty(&probs, ind);
+        }
+        loss
+    }
+}
+
+impl GradModel for MlpNet {
+    fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn input_width(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        softmax_rows(&self.predict_logits(x))
+    }
+
+    fn input_gradient(&self, x: &Matrix, labels: &[usize]) -> Matrix {
+        let (logits, inputs) = self.forward_cached(x);
+        let (_, dz) = softmax_ce_grad(&logits, labels);
+        let (_, dx) = self.backward_from_dz(&inputs, dz);
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{max_relative_error, numeric_input_grad};
+    use crate::init::random_normal;
+
+    fn tiny_net(seed: u64) -> MlpNet {
+        MlpNet::new(&MlpConfig {
+            input_dim: 4,
+            hidden: vec![8, 6],
+            classes: 2,
+            seed,
+        })
+    }
+
+    #[test]
+    fn proba_rows_sum_to_one() {
+        let net = tiny_net(1);
+        let x = random_normal(5, 4, 1.0, &mut SmallRng::new(2));
+        let p = net.predict_proba(&x);
+        for r in 0..5 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let net = tiny_net(3);
+        let mut rng = SmallRng::new(4);
+        let x = random_normal(3, 4, 0.8, &mut rng);
+        let labels = vec![0usize, 1, 0];
+        let ana = net.input_gradient(&x, &labels);
+        let num = numeric_input_grad(&x, 1e-6, |xp| {
+            cross_entropy(&net.predict_proba(xp), &labels)
+        });
+        let err = max_relative_error(&ana, &num);
+        assert!(err < 1e-5, "input-grad error {err}");
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_task() {
+        // Linearly separable blobs.
+        let mut rng = SmallRng::new(5);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..40 {
+            let y = rng.bernoulli(0.5) as usize;
+            let center = if y == 1 { 2.0 } else { -2.0 };
+            rows.push(vec![
+                rng.normal_with(center, 0.5),
+                rng.normal_with(-center, 0.5),
+                rng.normal(),
+                rng.normal(),
+            ]);
+            labels.push(y);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut net = tiny_net(6);
+        let mut trainer = AdamTrainer::new(net.param_count(), 0.01);
+        let before = net.eval_loss(&x, &labels, None);
+        for _ in 0..100 {
+            net.train_batch(&x, &labels, None, &mut trainer);
+        }
+        let after = net.eval_loss(&x, &labels, None);
+        assert!(after < before * 0.2, "loss {before} → {after}");
+        // And classify nearly everything correctly.
+        let preds = net.predict_labels(&x);
+        let correct = preds.iter().zip(&labels).filter(|(p, y)| p == y).count();
+        assert!(correct >= 38, "only {correct}/40 correct");
+    }
+
+    #[test]
+    fn semantic_indicator_pulls_predictions() {
+        // With a large semantic weight and indicator fixed at 1, the model
+        // should predict "unsafe" even where labels say safe.
+        let x = Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0]]);
+        let labels = vec![0usize];
+        let ind = vec![1.0f64];
+        let mut net = tiny_net(7);
+        net.semantic = SemanticLoss::new(10.0);
+        let mut trainer = AdamTrainer::new(net.param_count(), 0.05);
+        for _ in 0..200 {
+            net.train_batch(&x, &labels, Some(&ind), &mut trainer);
+        }
+        let p = net.predict_proba(&x);
+        assert!(p.get(0, 1) > 0.5, "semantic term failed to dominate: {p:?}");
+    }
+
+    #[test]
+    fn paper_architecture_has_expected_param_count() {
+        let net = MlpNet::new(&MlpConfig::paper(36));
+        // 36·256+256 + 256·128+128 + 128·2+2
+        assert_eq!(net.param_count(), 36 * 256 + 256 + 256 * 128 + 128 + 128 * 2 + 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = tiny_net(9);
+        let b = tiny_net(9);
+        let x = random_normal(2, 4, 1.0, &mut SmallRng::new(1));
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn rejects_wrong_input_width() {
+        let net = tiny_net(10);
+        let x = Matrix::zeros(1, 3);
+        let _ = net.predict_proba(&x);
+    }
+}

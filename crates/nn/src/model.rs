@@ -1,0 +1,73 @@
+//! The [`GradModel`] trait: the common surface monitors and attacks rely on.
+
+use crate::matrix::Matrix;
+
+/// A differentiable classifier over flat feature rows.
+///
+/// Sequence models (the LSTM network) also implement this by flattening the
+/// window time-major (`[t0 features..., t1 features..., …]`), so attacks can
+/// treat every monitor uniformly: a batch is always an `N × input_width`
+/// matrix and the input gradient comes back in the same shape.
+///
+/// This trait is object-safe; the attack toolkit works with
+/// `&dyn GradModel`.
+pub trait GradModel {
+    /// Number of output classes.
+    fn classes(&self) -> usize;
+
+    /// Width of a flattened input row.
+    fn input_width(&self) -> usize;
+
+    /// Class probabilities for a batch (`N × classes`, rows sum to 1).
+    fn predict_proba(&self, x: &Matrix) -> Matrix;
+
+    /// Gradient of the mean cross-entropy loss `J(x, labels)` with respect
+    /// to the input batch — the `∇_x J` of FGSM (Eq. 4 of the paper).
+    fn input_gradient(&self, x: &Matrix, labels: &[usize]) -> Matrix;
+
+    /// Hard class predictions (argmax of [`predict_proba`](Self::predict_proba)).
+    fn predict_labels(&self, x: &Matrix) -> Vec<usize> {
+        self.predict_proba(x).argmax_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant;
+
+    impl GradModel for Constant {
+        fn classes(&self) -> usize {
+            2
+        }
+        fn input_width(&self) -> usize {
+            3
+        }
+        fn predict_proba(&self, x: &Matrix) -> Matrix {
+            let mut p = Matrix::zeros(x.rows(), 2);
+            for r in 0..x.rows() {
+                p.set(r, 0, 0.25);
+                p.set(r, 1, 0.75);
+            }
+            p
+        }
+        fn input_gradient(&self, x: &Matrix, _labels: &[usize]) -> Matrix {
+            Matrix::zeros(x.rows(), x.cols())
+        }
+    }
+
+    #[test]
+    fn default_predict_labels_uses_argmax() {
+        let m = Constant;
+        let x = Matrix::zeros(4, 3);
+        assert_eq!(m.predict_labels(&x), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let m = Constant;
+        let dyn_m: &dyn GradModel = &m;
+        assert_eq!(dyn_m.classes(), 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The whole reproduction must be bit-for-bit deterministic across runs and
+//! platforms, so instead of threading an external RNG crate through every
+//! layer we use a self-contained [xoshiro256++] generator seeded via
+//! SplitMix64 — the standard, well-tested construction. It is *not*
+//! cryptographically secure and does not need to be.
+//!
+//! [xoshiro256++]: https://prng.di.unimi.it/
+
+/// Deterministic xoshiro256++ generator with convenience samplers.
+///
+/// # Examples
+///
+/// ```
+/// use cpsmon_nn::rng::SmallRng;
+///
+/// let mut a = SmallRng::new(42);
+/// let mut b = SmallRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmallRng {
+    s: [u64; 4],
+    /// Cached second sample from the Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// patient / trace / layer its own stream.
+    pub fn fork(&mut self, stream: u64) -> SmallRng {
+        SmallRng::new(self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range {lo}..{hi}");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        // Modulo bias is negligible for n << 2^64 (all our uses).
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Rejection-free polar-less form; u1 bounded away from zero.
+        let u1 = self.uniform().max(1e-300);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev < 0`.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.normal()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::new(123);
+        let mut b = SmallRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::new(1);
+        let mut b = SmallRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = SmallRng::new(7);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = SmallRng::new(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SmallRng::new(13);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean was {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance was {var}");
+    }
+
+    #[test]
+    fn normal_with_scales_and_shifts() {
+        let mut rng = SmallRng::new(17);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal_with(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.15, "variance was {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::new(19);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle left slice sorted");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = SmallRng::new(5);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn index_bounds() {
+        let mut rng = SmallRng::new(23);
+        for _ in 0..1000 {
+            assert!(rng.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = SmallRng::new(29);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate was {rate}");
+    }
+}

@@ -1,0 +1,343 @@
+//! Saving and loading trained networks.
+//!
+//! A deployed safety monitor must be trainable offline and shipped to the
+//! device, so the networks support (de)serialization. The format is a
+//! small line-oriented text format rather than an external one: no
+//! serialization-format crate is available in the offline dependency set,
+//! and Rust's shortest-round-trip float formatting makes plain text
+//! lossless (`f64 → string → f64` is exact).
+//!
+//! ```text
+//! cpsmon-net v1 mlp
+//! semantic 0.25
+//! classes 2
+//! tensors 6
+//! tensor dense0.w 36 256
+//! <one row of space-separated floats per line>
+//! …
+//! ```
+
+use crate::dense::Dense;
+use crate::lstm_net::{LstmConfig, LstmNet};
+use crate::matrix::Matrix;
+use crate::mlp_net::{MlpConfig, MlpNet};
+use crate::loss::SemanticLoss;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors arising while loading a serialized network.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream did not match the expected format.
+    Parse {
+        /// Line number (1-based) where parsing failed.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error while loading network: {e}"),
+            LoadError::Parse { line, message } => {
+                write!(f, "malformed network file at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn write_matrix(w: &mut impl Write, name: &str, m: &Matrix) -> io::Result<()> {
+    writeln!(w, "tensor {name} {} {}", m.rows(), m.cols())?;
+    for r in 0..m.rows() {
+        let row: Vec<String> = m.row(r).iter().map(|v| format!("{v}")).collect();
+        writeln!(w, "{}", row.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Streaming line reader with position tracking for error messages.
+struct Lines<R> {
+    reader: R,
+    line: usize,
+}
+
+impl<R: BufRead> Lines<R> {
+    fn new(reader: R) -> Self {
+        Self { reader, line: 0 }
+    }
+
+    fn next(&mut self) -> Result<String, LoadError> {
+        let mut buf = String::new();
+        let n = self.reader.read_line(&mut buf)?;
+        self.line += 1;
+        if n == 0 {
+            return Err(self.err("unexpected end of file"));
+        }
+        Ok(buf.trim_end().to_string())
+    }
+
+    fn err(&self, message: impl Into<String>) -> LoadError {
+        LoadError::Parse { line: self.line, message: message.into() }
+    }
+
+    fn read_matrix(&mut self, expected_name: &str) -> Result<Matrix, LoadError> {
+        let header = self.next()?;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        if parts.len() != 4 || parts[0] != "tensor" {
+            return Err(self.err(format!("expected tensor header, got '{header}'")));
+        }
+        if parts[1] != expected_name {
+            return Err(self.err(format!("expected tensor '{expected_name}', got '{}'", parts[1])));
+        }
+        let rows: usize = parts[2].parse().map_err(|_| self.err("bad row count"))?;
+        let cols: usize = parts[3].parse().map_err(|_| self.err("bad column count"))?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows {
+            let line = self.next()?;
+            let before = data.len();
+            for tok in line.split_whitespace() {
+                let v: f64 = tok.parse().map_err(|_| self.err(format!("bad float '{tok}'")))?;
+                data.push(v);
+            }
+            if data.len() - before != cols {
+                return Err(self.err(format!(
+                    "expected {cols} values in row, got {}",
+                    data.len() - before
+                )));
+            }
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    fn read_kv(&mut self, key: &str) -> Result<Vec<String>, LoadError> {
+        let line = self.next()?;
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some(k) if k == key => Ok(parts.map(str::to_string).collect()),
+            other => Err(self.err(format!("expected '{key}', got '{}'", other.unwrap_or("")))),
+        }
+    }
+}
+
+impl MlpNet {
+    /// Writes the network to `w` in the cpsmon-net v1 format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        writeln!(w, "cpsmon-net v1 mlp")?;
+        writeln!(w, "semantic {}", self.semantic.weight)?;
+        writeln!(w, "layers {}", self.layers().len())?;
+        for (i, layer) in self.layers().iter().enumerate() {
+            write_matrix(w, &format!("dense{i}.w"), layer.weights())?;
+            write_matrix(w, &format!("dense{i}.b"), layer.bias())?;
+        }
+        Ok(())
+    }
+
+    /// Reads a network previously written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError`] on I/O failure or malformed input.
+    pub fn load(r: &mut impl BufRead) -> Result<MlpNet, LoadError> {
+        let mut lines = Lines::new(r);
+        let magic = lines.next()?;
+        if magic != "cpsmon-net v1 mlp" {
+            return Err(lines.err(format!("bad magic '{magic}'")));
+        }
+        let semantic: f64 = lines.read_kv("semantic")?[0]
+            .parse()
+            .map_err(|_| lines.err("bad semantic weight"))?;
+        let count: usize = lines.read_kv("layers")?[0]
+            .parse()
+            .map_err(|_| lines.err("bad layer count"))?;
+        if count == 0 {
+            return Err(lines.err("network must have at least one layer"));
+        }
+        let mut layers = Vec::with_capacity(count);
+        for i in 0..count {
+            let w = lines.read_matrix(&format!("dense{i}.w"))?;
+            let b = lines.read_matrix(&format!("dense{i}.b"))?;
+            layers.push(Dense::from_params(w, b));
+        }
+        let classes = layers.last().expect("non-empty").output_dim();
+        let input_dim = layers[0].input_dim();
+        // Rebuild via config then replace parameters, preserving invariants.
+        let hidden: Vec<usize> = layers[..count - 1].iter().map(Dense::output_dim).collect();
+        let mut net = MlpNet::new(&MlpConfig { input_dim, hidden, classes, seed: 0 });
+        net.semantic = SemanticLoss::new(semantic);
+        net.set_layers(layers);
+        Ok(net)
+    }
+}
+
+impl LstmNet {
+    /// Writes the network to `w` in the cpsmon-net v1 format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        writeln!(w, "cpsmon-net v1 lstm")?;
+        writeln!(w, "semantic {}", self.semantic.weight)?;
+        writeln!(w, "shape {} {}", self.feature_dim(), self.timesteps())?;
+        writeln!(w, "lstms {}", self.lstm_layers().len())?;
+        for (i, lstm) in self.lstm_layers().iter().enumerate() {
+            write_matrix(w, &format!("lstm{i}.wx"), lstm.wx())?;
+            write_matrix(w, &format!("lstm{i}.wh"), lstm.wh())?;
+            write_matrix(w, &format!("lstm{i}.b"), lstm.gate_bias())?;
+        }
+        write_matrix(w, "head.w", self.head().weights())?;
+        write_matrix(w, "head.b", self.head().bias())?;
+        Ok(())
+    }
+
+    /// Reads a network previously written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError`] on I/O failure or malformed input.
+    pub fn load(r: &mut impl BufRead) -> Result<LstmNet, LoadError> {
+        let mut lines = Lines::new(r);
+        let magic = lines.next()?;
+        if magic != "cpsmon-net v1 lstm" {
+            return Err(lines.err(format!("bad magic '{magic}'")));
+        }
+        let semantic: f64 = lines.read_kv("semantic")?[0]
+            .parse()
+            .map_err(|_| lines.err("bad semantic weight"))?;
+        let shape = lines.read_kv("shape")?;
+        if shape.len() != 2 {
+            return Err(lines.err("bad shape line"));
+        }
+        let feature_dim: usize = shape[0].parse().map_err(|_| lines.err("bad feature dim"))?;
+        let timesteps: usize = shape[1].parse().map_err(|_| lines.err("bad timesteps"))?;
+        let count: usize = lines.read_kv("lstms")?[0]
+            .parse()
+            .map_err(|_| lines.err("bad lstm count"))?;
+        if count == 0 {
+            return Err(lines.err("network must have at least one LSTM layer"));
+        }
+        let mut lstm_params = Vec::with_capacity(count);
+        let mut hidden = Vec::with_capacity(count);
+        for i in 0..count {
+            let wx = lines.read_matrix(&format!("lstm{i}.wx"))?;
+            let wh = lines.read_matrix(&format!("lstm{i}.wh"))?;
+            let b = lines.read_matrix(&format!("lstm{i}.b"))?;
+            hidden.push(wh.rows());
+            lstm_params.push((wx, wh, b));
+        }
+        let head_w = lines.read_matrix("head.w")?;
+        let head_b = lines.read_matrix("head.b")?;
+        let classes = head_w.cols();
+        let mut net = LstmNet::new(&LstmConfig { feature_dim, timesteps, hidden, classes, seed: 0 });
+        net.semantic = SemanticLoss::new(semantic);
+        net.set_params(lstm_params, Dense::from_params(head_w, head_b))
+            .map_err(|msg| lines.err(msg))?;
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::random_normal;
+    use crate::model::GradModel;
+    use crate::rng::SmallRng;
+    use std::io::BufReader;
+
+    #[test]
+    fn mlp_roundtrip_is_exact() {
+        let net = MlpNet::new(&MlpConfig { input_dim: 5, hidden: vec![7, 3], classes: 2, seed: 9 });
+        let mut buf = Vec::new();
+        net.save(&mut buf).unwrap();
+        let loaded = MlpNet::load(&mut BufReader::new(buf.as_slice())).unwrap();
+        let x = random_normal(4, 5, 1.0, &mut SmallRng::new(1));
+        assert_eq!(net.predict_proba(&x), loaded.predict_proba(&x));
+        assert_eq!(net.semantic, loaded.semantic);
+    }
+
+    #[test]
+    fn lstm_roundtrip_is_exact() {
+        let net = LstmNet::new(&LstmConfig {
+            feature_dim: 3,
+            timesteps: 4,
+            hidden: vec![6, 5],
+            classes: 2,
+            seed: 11,
+        });
+        let mut buf = Vec::new();
+        net.save(&mut buf).unwrap();
+        let loaded = LstmNet::load(&mut BufReader::new(buf.as_slice())).unwrap();
+        let x = random_normal(3, 12, 1.0, &mut SmallRng::new(2));
+        assert_eq!(net.predict_proba(&x), loaded.predict_proba(&x));
+    }
+
+    #[test]
+    fn load_rejects_bad_magic() {
+        let data = b"not-a-network\n";
+        let err = MlpNet::load(&mut BufReader::new(data.as_slice())).unwrap_err();
+        assert!(matches!(err, LoadError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_truncated_file() {
+        let net = MlpNet::new(&MlpConfig { input_dim: 3, hidden: vec![4], classes: 2, seed: 1 });
+        let mut buf = Vec::new();
+        net.save(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = MlpNet::load(&mut BufReader::new(buf.as_slice())).unwrap_err();
+        assert!(matches!(err, LoadError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_corrupt_float() {
+        let net = MlpNet::new(&MlpConfig { input_dim: 2, hidden: vec![2], classes: 2, seed: 1 });
+        let mut buf = Vec::new();
+        net.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap().replace("layers 2", "layers 2").replacen("0.", "xx.", 1);
+        let err = MlpNet::load(&mut BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, LoadError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn extreme_values_roundtrip() {
+        // Shortest-roundtrip float formatting must survive subnormals and
+        // large magnitudes.
+        let mut net = MlpNet::new(&MlpConfig { input_dim: 2, hidden: vec![2], classes: 2, seed: 1 });
+        net.set_layers(vec![
+            Dense::from_params(
+                Matrix::from_rows(&[&[1e-308, -1e300], &[std::f64::consts::PI, 0.0]]),
+                Matrix::row_vector(&[f64::MIN_POSITIVE, 123.456789012345678]),
+            ),
+            Dense::from_params(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]), Matrix::row_vector(&[0.0, 0.0])),
+        ]);
+        let mut buf = Vec::new();
+        net.save(&mut buf).unwrap();
+        let loaded = MlpNet::load(&mut BufReader::new(buf.as_slice())).unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+        assert_eq!(net.predict_proba(&x), loaded.predict_proba(&x));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the linear-algebra and activation invariants
+//! the training and attack code relies on.
+
+use cpsmon_nn::activation::{relu, sigmoid_scalar, softmax_rows};
+use cpsmon_nn::rng::SmallRng;
+use cpsmon_nn::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with bounded entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Reference GEMM implementation (naive jki order) to check the optimized
+/// loop ordering against.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #[test]
+    fn matmul_matches_naive(a in matrix(4, 3), b in matrix(3, 5)) {
+        prop_assert!(approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn matmul_associative(a in matrix(3, 3), b in matrix(3, 3), c in matrix(3, 3)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(approx_eq(&left, &right, 1e-9));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        let left = a.matmul(&(&b + &c));
+        let right = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(approx_eq(&left, &right, 1e-10));
+    }
+
+    #[test]
+    fn transpose_of_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(approx_eq(&left, &right, 1e-12));
+    }
+
+    #[test]
+    fn fused_transpose_kernels_agree(a in matrix(4, 3), b in matrix(4, 5)) {
+        // aᵀ·b via the fused kernel vs explicit transpose.
+        prop_assert!(approx_eq(&a.transpose_matmul(&b), &a.transpose().matmul(&b), 1e-12));
+        // a·cᵀ via the fused kernel vs explicit transpose.
+        let c = Matrix::from_vec(5, 3, b.slice_rows(0, 3).transpose().into_vec());
+        prop_assert!(approx_eq(&a.matmul_transpose(&c), &a.matmul(&c.transpose()), 1e-12));
+    }
+
+    #[test]
+    fn identity_is_neutral(a in matrix(4, 4)) {
+        prop_assert!(approx_eq(&a.matmul(&Matrix::identity(4)), &a, 0.0));
+        prop_assert!(approx_eq(&Matrix::identity(4).matmul(&a), &a, 0.0));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in matrix(5, 4)) {
+        let p = softmax_rows(&a);
+        for r in 0..p.rows() {
+            let sum: f64 = p.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(a in matrix(3, 5)) {
+        let p = softmax_rows(&a);
+        prop_assert_eq!(a.argmax_rows(), p.argmax_rows());
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(a in matrix(4, 4)) {
+        let r = relu(&a);
+        prop_assert!(r.as_slice().iter().all(|&v| v >= 0.0));
+        prop_assert!(approx_eq(&relu(&r), &r, 0.0));
+    }
+
+    #[test]
+    fn sigmoid_is_monotone(a in -20.0f64..20.0, b in -20.0f64..20.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(sigmoid_scalar(lo) <= sigmoid_scalar(hi));
+    }
+
+    #[test]
+    fn rng_uniform_respects_bounds(seed in any::<u64>(), lo in -100.0f64..0.0, width in 0.001f64..100.0) {
+        let mut rng = SmallRng::new(seed);
+        let hi = lo + width;
+        for _ in 0..50 {
+            let v = rng.uniform_range(lo, hi);
+            prop_assert!((lo..hi).contains(&v));
+        }
+    }
+
+    #[test]
+    fn frobenius_triangle_inequality(a in matrix(3, 3), b in matrix(3, 3)) {
+        let sum = &a + &b;
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+    }
+
+    #[test]
+    fn select_rows_matches_manual(a in matrix(5, 3), idx in proptest::collection::vec(0usize..5, 1..6)) {
+        let sel = a.select_rows(&idx);
+        for (i, &r) in idx.iter().enumerate() {
+            prop_assert_eq!(sel.row(i), a.row(r));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! A Basal-Bolus protocol controller.
+//!
+//! The hospital-style regimen the paper pairs with the T1DS2013 simulator:
+//! a constant basal rate, a meal bolus (`carbs / carb_ratio`) whenever a
+//! meal is announced, and a correction bolus (`(BG − target)/ISF`) when the
+//! reading is high — with a simple lockout so corrections are not stacked
+//! every 5 minutes. Boluses are delivered by raising the pump rate for the
+//! single step in which they are issued.
+
+use crate::controller::{Controller, Observation};
+use crate::patient::{TherapyProfile, STEP_MINUTES};
+
+/// Basal-Bolus protocol controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasalBolusController {
+    /// BG above which a correction bolus is issued (mg/dL).
+    pub correction_threshold: f64,
+    /// Minimum steps between correction boluses.
+    pub correction_lockout_steps: usize,
+    /// Largest single bolus the protocol will issue (U).
+    pub max_bolus: f64,
+    steps_since_correction: usize,
+}
+
+impl Default for BasalBolusController {
+    fn default() -> Self {
+        Self {
+            correction_threshold: 180.0,
+            correction_lockout_steps: 24, // 2 h
+            max_bolus: 10.0,
+            steps_since_correction: usize::MAX / 2,
+        }
+    }
+}
+
+impl BasalBolusController {
+    /// Creates the controller with default protocol settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Controller for BasalBolusController {
+    fn control(&mut self, obs: &Observation, therapy: &TherapyProfile) -> f64 {
+        self.steps_since_correction = self.steps_since_correction.saturating_add(1);
+        let mut bolus_u = 0.0;
+        if obs.announced_carbs > 0.0 {
+            bolus_u += obs.announced_carbs / therapy.carb_ratio;
+        }
+        if obs.bg > self.correction_threshold
+            && self.steps_since_correction >= self.correction_lockout_steps
+        {
+            // Correct toward target, discounting insulin already on board.
+            let correction = ((obs.bg - therapy.target_bg) / therapy.isf - obs.iob).max(0.0);
+            if correction > 0.05 {
+                bolus_u += correction;
+                self.steps_since_correction = 0;
+            }
+        }
+        bolus_u = bolus_u.min(self.max_bolus);
+        // Hold basal; deliver any bolus within this one step as a rate.
+        let bolus_rate = bolus_u * 60.0 / STEP_MINUTES; // U/h equivalent
+        if obs.bg < 70.0 {
+            // Protocol holds insulin on hypoglycemia.
+            return 0.0;
+        }
+        therapy.basal_rate + bolus_rate
+    }
+
+    fn name(&self) -> &'static str {
+        "basal-bolus"
+    }
+
+    fn reset(&mut self) {
+        self.steps_since_correction = usize::MAX / 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn therapy() -> TherapyProfile {
+        TherapyProfile { basal_rate: 1.0, isf: 50.0, carb_ratio: 10.0, target_bg: 120.0 }
+    }
+
+    fn obs(bg: f64, carbs: f64, iob: f64) -> Observation {
+        Observation { bg, bg_trend: 0.0, iob, announced_carbs: carbs }
+    }
+
+    #[test]
+    fn steady_state_is_basal() {
+        let mut c = BasalBolusController::new();
+        assert_eq!(c.control(&obs(120.0, 0.0, 0.0), &therapy()), 1.0);
+    }
+
+    #[test]
+    fn meal_triggers_carb_bolus() {
+        let mut c = BasalBolusController::new();
+        // 50 g / (10 g/U) = 5 U in one 5-min step = 60 U/h extra.
+        let rate = c.control(&obs(120.0, 50.0, 0.0), &therapy());
+        assert!((rate - 61.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn high_bg_triggers_correction_once() {
+        let mut c = BasalBolusController::new();
+        let first = c.control(&obs(220.0, 0.0, 0.0), &therapy());
+        assert!(first > 1.0, "no correction issued");
+        // Immediately after, lockout suppresses another correction.
+        let second = c.control(&obs(220.0, 0.0, 0.0), &therapy());
+        assert_eq!(second, 1.0);
+    }
+
+    #[test]
+    fn iob_discounts_correction() {
+        let mut c = BasalBolusController::new();
+        // (220-120)/50 = 2 U needed, 2 U on board → no correction.
+        let rate = c.control(&obs(220.0, 0.0, 2.0), &therapy());
+        assert_eq!(rate, 1.0);
+    }
+
+    #[test]
+    fn hypo_suspends() {
+        let mut c = BasalBolusController::new();
+        assert_eq!(c.control(&obs(60.0, 0.0, 0.0), &therapy()), 0.0);
+    }
+
+    #[test]
+    fn bolus_capped() {
+        let mut c = BasalBolusController::new();
+        let rate = c.control(&obs(120.0, 500.0, 0.0), &therapy());
+        assert!((rate - (1.0 + 10.0 * 12.0)).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn reset_clears_lockout() {
+        let mut c = BasalBolusController::new();
+        let _ = c.control(&obs(220.0, 0.0, 0.0), &therapy());
+        c.reset();
+        let rate = c.control(&obs(220.0, 0.0, 0.0), &therapy());
+        assert!(rate > 1.0, "lockout survived reset");
+    }
+}

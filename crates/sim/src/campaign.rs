@@ -1,0 +1,261 @@
+//! Seeded multi-patient simulation campaigns.
+//!
+//! A campaign reproduces the paper's data-collection setup: many runs per
+//! patient profile, a configurable fraction of them with injected pump
+//! faults, using the simulator/controller pairing of the paper
+//! (Glucosym + OpenAPS, T1DS2013 + Basal-Bolus).
+
+use crate::basal_bolus::BasalBolusController;
+use crate::engine::ClosedLoop;
+use crate::fault::FaultPlan;
+use crate::glucosym::GlucosymPatient;
+use crate::meal::MealSchedule;
+use crate::openaps::OpenApsController;
+use crate::patient::PatientModel;
+use crate::pump::InsulinPump;
+use crate::sensor::Cgm;
+use crate::t1ds::T1dsPatient;
+use crate::trace::SimTrace;
+use cpsmon_nn::rng::SmallRng;
+
+/// The two APS simulation environments of the paper (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimulatorKind {
+    /// Glucosym-style patients driven by the OpenAPS-like controller.
+    Glucosym,
+    /// UVA-Padova-style patients driven by the Basal-Bolus protocol.
+    T1ds2013,
+}
+
+impl SimulatorKind {
+    /// Label used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimulatorKind::Glucosym => "glucosym",
+            SimulatorKind::T1ds2013 => "t1ds2013",
+        }
+    }
+
+    /// Both simulators, in paper order.
+    pub const ALL: [SimulatorKind; 2] = [SimulatorKind::Glucosym, SimulatorKind::T1ds2013];
+}
+
+impl std::fmt::Display for SimulatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builder for a simulation campaign.
+///
+/// # Examples
+///
+/// ```
+/// use cpsmon_sim::{CampaignConfig, SimulatorKind};
+///
+/// let traces = CampaignConfig::new(SimulatorKind::T1ds2013)
+///     .patients(1)
+///     .runs_per_patient(1)
+///     .steps(48)
+///     .seed(3)
+///     .run();
+/// assert_eq!(traces.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    kind: SimulatorKind,
+    patients: usize,
+    runs_per_patient: usize,
+    steps: usize,
+    fault_ratio: f64,
+    seed: u64,
+}
+
+impl CampaignConfig {
+    /// Creates a campaign for the given simulator with paper-style
+    /// defaults: 20 patients, 10 runs each, 24-hour scenarios, half of the
+    /// runs fault-injected.
+    pub fn new(kind: SimulatorKind) -> Self {
+        Self {
+            kind,
+            patients: 20,
+            runs_per_patient: 10,
+            steps: 288,
+            fault_ratio: 0.5,
+            seed: 0,
+        }
+    }
+
+    /// Number of patient profiles (max 20, matching the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or above 20.
+    pub fn patients(mut self, n: usize) -> Self {
+        assert!((1..=20).contains(&n), "patients must be in 1..=20");
+        self.patients = n;
+        self
+    }
+
+    /// Number of runs per patient.
+    pub fn runs_per_patient(mut self, n: usize) -> Self {
+        assert!(n > 0, "runs_per_patient must be positive");
+        self.runs_per_patient = n;
+        self
+    }
+
+    /// Steps per run (5-minute steps).
+    pub fn steps(mut self, n: usize) -> Self {
+        assert!(n > 0, "steps must be positive");
+        self.steps = n;
+        self
+    }
+
+    /// Fraction of runs that get an injected pump fault.
+    pub fn fault_ratio(mut self, r: f64) -> Self {
+        assert!((0.0..=1.0).contains(&r), "fault_ratio must be in [0,1]");
+        self.fault_ratio = r;
+        self
+    }
+
+    /// Campaign seed; everything downstream is derived from it.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// The simulator kind.
+    pub fn kind(&self) -> SimulatorKind {
+        self.kind
+    }
+
+    /// Total number of runs this campaign will produce.
+    pub fn total_runs(&self) -> usize {
+        self.patients * self.runs_per_patient
+    }
+
+    /// Executes the campaign, returning one trace per run.
+    pub fn run(&self) -> Vec<SimTrace> {
+        let mut traces = Vec::with_capacity(self.total_runs());
+        let mut root = SmallRng::new(self.seed ^ 0x6361_6d70_6169_676e);
+        for pid in 0..self.patients {
+            // Patient construction is per-profile; runs share the profile.
+            let glucosym_proto = match self.kind {
+                SimulatorKind::Glucosym => Some(GlucosymPatient::from_profile(pid, self.seed)),
+                SimulatorKind::T1ds2013 => None,
+            };
+            let t1ds_proto = match self.kind {
+                SimulatorKind::Glucosym => None,
+                SimulatorKind::T1ds2013 => Some(T1dsPatient::calibrated(pid, self.seed)),
+            };
+            for run in 0..self.runs_per_patient {
+                let mut rng = root.fork((pid * 10_007 + run) as u64);
+                let meals = MealSchedule::generate(self.steps, &mut rng);
+                let cgm = Cgm::typical(rng.fork(1));
+                let basal = match self.kind {
+                    SimulatorKind::Glucosym => {
+                        glucosym_proto.as_ref().expect("proto built above").therapy().basal_rate
+                    }
+                    SimulatorKind::T1ds2013 => {
+                        t1ds_proto.as_ref().expect("proto built above").therapy().basal_rate
+                    }
+                };
+                let fault = rng
+                    .bernoulli(self.fault_ratio)
+                    .then(|| FaultPlan::sample(self.steps, basal, &mut rng));
+                let pump = match fault {
+                    Some(f) => InsulinPump::with_fault(f),
+                    None => InsulinPump::healthy(),
+                };
+                let label = self.kind.label();
+                let trace = match self.kind {
+                    SimulatorKind::Glucosym => {
+                        let patient = glucosym_proto.clone().expect("proto built above");
+                        ClosedLoop::new(patient, OpenApsController::new(), pump, cgm, meals)
+                            .run(self.steps, label, pid, run)
+                    }
+                    SimulatorKind::T1ds2013 => {
+                        let patient = t1ds_proto.clone().expect("proto built above");
+                        ClosedLoop::new(patient, BasalBolusController::new(), pump, cgm, meals)
+                            .run(self.steps, label, pid, run)
+                    }
+                };
+                traces.push(trace);
+            }
+        }
+        traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hazard::HazardConfig;
+
+    #[test]
+    fn campaign_produces_expected_count() {
+        let traces = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(2)
+            .runs_per_patient(3)
+            .steps(36)
+            .seed(1)
+            .run();
+        assert_eq!(traces.len(), 6);
+        assert!(traces.iter().all(|t| t.len() == 36));
+        assert!(traces.iter().all(|t| t.simulator == "glucosym"));
+    }
+
+    #[test]
+    fn fault_ratio_zero_means_no_faults() {
+        let traces = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(2)
+            .runs_per_patient(2)
+            .steps(24)
+            .fault_ratio(0.0)
+            .seed(2)
+            .run();
+        assert!(traces.iter().all(|t| t.fault.is_none()));
+    }
+
+    #[test]
+    fn fault_ratio_one_means_all_faulty() {
+        let traces = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(2)
+            .runs_per_patient(2)
+            .steps(24)
+            .fault_ratio(1.0)
+            .seed(3)
+            .run();
+        assert!(traces.iter().all(|t| t.fault.is_some()));
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let mk = || {
+            CampaignConfig::new(SimulatorKind::Glucosym)
+                .patients(1)
+                .runs_per_patient(2)
+                .steps(48)
+                .seed(11)
+                .run()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn faulty_campaign_produces_positive_labels() {
+        // 24h runs with faults must generate hazardous stretches.
+        let traces = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(2)
+            .runs_per_patient(2)
+            .steps(288)
+            .fault_ratio(1.0)
+            .seed(5)
+            .run();
+        let hc = HazardConfig::default();
+        let positives: usize = traces.iter().map(|t| hc.labels(t).iter().sum::<usize>()).sum();
+        let total: usize = traces.iter().map(SimTrace::len).sum();
+        let ratio = positives as f64 / total as f64;
+        assert!(ratio > 0.05, "fault campaign produced almost no hazards ({ratio})");
+    }
+}

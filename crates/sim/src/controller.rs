@@ -1,0 +1,59 @@
+//! The controller abstraction shared by OpenAPS-like and Basal-Bolus
+//! control algorithms.
+
+use crate::patient::TherapyProfile;
+
+/// What a controller sees at each step: the CGM reading, the pump's IOB
+/// estimate, and the (announced) meal for bolus-capable protocols.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// CGM glucose reading (mg/dL).
+    pub bg: f64,
+    /// CGM reading change since the previous step (mg/dL per step).
+    pub bg_trend: f64,
+    /// Insulin-on-board estimate (U).
+    pub iob: f64,
+    /// Carbohydrates announced for this step (grams).
+    pub announced_carbs: f64,
+}
+
+/// A closed-loop insulin controller.
+///
+/// Controllers are deterministic functions of their observation history;
+/// [`Controller::control`] returns the pump rate (U/h) to hold until the
+/// next 5-minute step.
+pub trait Controller {
+    /// Computes the commanded insulin rate (U/h) for the next step.
+    fn control(&mut self, obs: &Observation, therapy: &TherapyProfile) -> f64;
+
+    /// Human-readable controller name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Resets internal state between runs.
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+
+    impl Controller for Fixed {
+        fn control(&mut self, _obs: &Observation, _t: &TherapyProfile) -> f64 {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut c: Box<dyn Controller> = Box::new(Fixed(1.5));
+        let obs = Observation { bg: 120.0, bg_trend: 0.0, iob: 0.0, announced_carbs: 0.0 };
+        let therapy = TherapyProfile { basal_rate: 1.0, isf: 50.0, carb_ratio: 10.0, target_bg: 120.0 };
+        assert_eq!(c.control(&obs, &therapy), 1.5);
+        assert_eq!(c.name(), "fixed");
+    }
+}

@@ -1,0 +1,123 @@
+//! Fault and attack injection on the pump command path.
+//!
+//! The paper's threat model (§III) includes an attacker who "can remotely
+//! login to an insulin pump and change the output control commands" and
+//! accidental malfunctions where "the pump can deliver an incorrect insulin
+//! dosage". We model both as transformations applied to the commanded rate
+//! during a contiguous window of the simulation.
+
+use cpsmon_nn::rng::SmallRng;
+
+/// The kinds of pump-command corruption we can inject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Attacker forces a fixed high delivery rate regardless of commands
+    /// (insulin overdose → hypoglycemia). Absolute, so the controller's
+    /// defensive suspension cannot neutralize it — the attacker owns the
+    /// pump.
+    Overdose {
+        /// Forced delivery rate (U/h).
+        rate: f64,
+    },
+    /// Rate multiplied by a factor < 1 (underdose → hyperglycemia).
+    Underdose {
+        /// Multiplicative factor (< 1).
+        factor: f64,
+    },
+    /// Pump ignores new commands and keeps delivering the rate it had when
+    /// the fault began.
+    StuckRate,
+    /// Delivery suspended entirely.
+    Suspend,
+}
+
+/// A fault occurrence: what, when, and for how long.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// The corruption applied.
+    pub kind: FaultKind,
+    /// First affected step.
+    pub start_step: usize,
+    /// Number of affected steps.
+    pub duration_steps: usize,
+}
+
+impl FaultPlan {
+    /// Whether `step` falls inside the fault window.
+    pub fn active_at(&self, step: usize) -> bool {
+        step >= self.start_step && step < self.start_step + self.duration_steps
+    }
+
+    /// Samples a random fault for a scenario of `steps` steps.
+    ///
+    /// `reference_rate` is the patient's basal rate; overdose attacks force
+    /// a multiple of it. The window starts in the 15–60 % span of the
+    /// scenario and lasts 1–6 hours, so there is always clean lead-in data
+    /// and room for the hazard to develop — mirroring the paper's
+    /// fault-injection campaigns.
+    pub fn sample(steps: usize, reference_rate: f64, rng: &mut SmallRng) -> Self {
+        let kind = match rng.index(4) {
+            0 => FaultKind::Overdose { rate: reference_rate * rng.uniform_range(3.0, 8.0) },
+            1 => FaultKind::Underdose { factor: rng.uniform_range(0.0, 0.4) },
+            2 => FaultKind::StuckRate,
+            _ => FaultKind::Suspend,
+        };
+        let start = (steps as f64 * rng.uniform_range(0.15, 0.60)) as usize;
+        let duration = ((rng.uniform_range(60.0, 360.0) / 5.0) as usize).max(1);
+        Self { kind, start_step: start, duration_steps: duration }
+    }
+
+    /// Short label for reports ("overdose", "suspend", …).
+    pub fn label(&self) -> &'static str {
+        match self.kind {
+            FaultKind::Overdose { .. } => "overdose",
+            FaultKind::Underdose { .. } => "underdose",
+            FaultKind::StuckRate => "stuck",
+            FaultKind::Suspend => "suspend",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_window() {
+        let f = FaultPlan { kind: FaultKind::Suspend, start_step: 10, duration_steps: 5 };
+        assert!(!f.active_at(9));
+        assert!(f.active_at(10));
+        assert!(f.active_at(14));
+        assert!(!f.active_at(15));
+    }
+
+    #[test]
+    fn sample_within_bounds() {
+        let mut rng = SmallRng::new(5);
+        for _ in 0..200 {
+            let f = FaultPlan::sample(288, 1.0, &mut rng);
+            assert!(f.start_step >= 43 && f.start_step <= 173, "start {}", f.start_step);
+            assert!(f.duration_steps >= 12 && f.duration_steps <= 72);
+            match f.kind {
+                FaultKind::Overdose { rate } => assert!(rate > 1.0),
+                FaultKind::Underdose { factor } => assert!(factor < 1.0),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn sample_covers_all_kinds() {
+        let mut rng = SmallRng::new(6);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            match FaultPlan::sample(288, 1.0, &mut rng).kind {
+                FaultKind::Overdose { .. } => seen[0] = true,
+                FaultKind::Underdose { .. } => seen[1] = true,
+                FaultKind::StuckRate => seen[2] = true,
+                FaultKind::Suspend => seen[3] = true,
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "kinds seen: {seen:?}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Glucosym-style patient: an extended Bergman minimal model.
+//!
+//! The original Glucosym simulator (an archived open-source JS service the
+//! paper drives over HTTP) implements a compact insulin–glucose response
+//! model per patient. We substitute the classic Bergman *minimal model*
+//! extended with a two-compartment gut absorption stage — the same family
+//! of compact single-glucose-pool models — with per-patient parameters
+//! sampled from physiological ranges.
+//!
+//! State (per minute):
+//!
+//! ```text
+//! G' = −p1·(G − Gb) − X·G + Ra/Vg          plasma glucose (mg/dL)
+//! X' = −p2·X + p3·(I − Ib)                 remote insulin action (1/min)
+//! I' = −n·(I − Ib_infusion) + u/Vi          plasma insulin (mU/L)
+//! Q1' = −ka·Q1 + meal                      gut compartment 1 (mg)
+//! Q2' = ka·(Q1 − Q2)                       gut compartment 2 (mg)
+//! Ra  = f·ka·Q2                            appearance rate (mg/min)
+//! ```
+//!
+//! `Ib` is defined as the plasma insulin produced by the patient's basal
+//! pump rate, so the model is *constructed* to be at equilibrium `G = Gb`
+//! under basal insulin and no meals.
+
+use crate::patient::{IobTracker, PatientModel, TherapyProfile, STEP_MINUTES, SUBSTEPS};
+use cpsmon_nn::rng::SmallRng;
+
+/// Parameters of one Glucosym-style virtual patient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlucosymParams {
+    /// Glucose effectiveness (1/min).
+    pub p1: f64,
+    /// Remote-insulin decay (1/min).
+    pub p2: f64,
+    /// Insulin action gain (L/mU·min²).
+    pub p3: f64,
+    /// Insulin clearance (1/min).
+    pub n: f64,
+    /// Basal (equilibrium) glucose (mg/dL).
+    pub gb: f64,
+    /// Insulin distribution volume (L).
+    pub vi: f64,
+    /// Glucose distribution volume (dL).
+    pub vg: f64,
+    /// Gut absorption rate (1/min).
+    pub ka: f64,
+    /// Carbohydrate bioavailability (fraction).
+    pub f: f64,
+    /// IOB action time constant (min).
+    pub iob_tau: f64,
+}
+
+impl GlucosymParams {
+    /// Samples the parameters of patient `id` deterministically from `seed`.
+    ///
+    /// Ranges are centred on the textbook Bergman values with ±20–30 %
+    /// inter-patient spread.
+    pub fn profile(id: usize, seed: u64) -> (Self, TherapyProfile) {
+        let mut rng = SmallRng::new(seed ^ 0x676c_7563_6f73_796d).fork(id as u64);
+        let params = Self {
+            p1: rng.uniform_range(0.02, 0.035),
+            p2: rng.uniform_range(0.02, 0.03),
+            p3: rng.uniform_range(2.2e-5, 3.4e-5),
+            n: rng.uniform_range(0.08, 0.10),
+            gb: rng.uniform_range(110.0, 150.0),
+            vi: rng.uniform_range(11.0, 13.0),
+            vg: rng.uniform_range(100.0, 140.0),
+            ka: rng.uniform_range(0.015, 0.025),
+            f: 0.9,
+            iob_tau: rng.uniform_range(100.0, 140.0),
+        };
+        let therapy = TherapyProfile::sample(&mut rng);
+        (params, therapy)
+    }
+}
+
+/// A Glucosym-style patient instance (see the module docs for the model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlucosymPatient {
+    params: GlucosymParams,
+    therapy: TherapyProfile,
+    /// Plasma insulin at the basal pump rate (mU/L).
+    ib: f64,
+    g: f64,
+    x: f64,
+    i: f64,
+    q1: f64,
+    q2: f64,
+    iob: IobTracker,
+}
+
+impl GlucosymPatient {
+    /// Creates a patient at basal equilibrium (`G = Gb`, no meals on board).
+    pub fn new(params: GlucosymParams, therapy: TherapyProfile) -> Self {
+        let basal_mu_per_min = therapy.basal_rate * 1000.0 / 60.0;
+        let ib = basal_mu_per_min / (params.n * params.vi);
+        Self {
+            params,
+            therapy,
+            ib,
+            g: params.gb,
+            x: 0.0,
+            i: ib,
+            q1: 0.0,
+            q2: 0.0,
+            iob: IobTracker::new(params.iob_tau),
+        }
+    }
+
+    /// Convenience: build patient `id` of the 20-profile cohort.
+    pub fn from_profile(id: usize, seed: u64) -> Self {
+        let (params, therapy) = GlucosymParams::profile(id, seed);
+        Self::new(params, therapy)
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &GlucosymParams {
+        &self.params
+    }
+
+    fn derivs(&self, u_mu_per_min: f64) -> (f64, f64, f64, f64, f64) {
+        let p = &self.params;
+        let ra = p.f * p.ka * self.q2;
+        let dg = -p.p1 * (self.g - p.gb) - self.x * self.g + ra / p.vg;
+        let dx = -p.p2 * self.x + p.p3 * (self.i - self.ib);
+        let di = -p.n * (self.i - self.ib) + (u_mu_per_min - self.therapy.basal_rate * 1000.0 / 60.0) / p.vi;
+        let dq1 = -p.ka * self.q1;
+        let dq2 = p.ka * (self.q1 - self.q2);
+        (dg, dx, di, dq1, dq2)
+    }
+}
+
+impl PatientModel for GlucosymPatient {
+    fn bg(&self) -> f64 {
+        self.g
+    }
+
+    fn iob(&self) -> f64 {
+        self.iob.value()
+    }
+
+    fn step(&mut self, insulin_rate: f64, carbs_g: f64) {
+        let rate = insulin_rate.max(0.0);
+        let u_mu_per_min = rate * 1000.0 / 60.0;
+        let delivered_per_min = rate / 60.0;
+        // Meal lands in the first gut compartment at the start of the step.
+        self.q1 += carbs_g * 1000.0;
+        let dt = STEP_MINUTES / SUBSTEPS as f64;
+        for _ in 0..SUBSTEPS {
+            let (dg, dx, di, dq1, dq2) = self.derivs(u_mu_per_min);
+            self.g = (self.g + dg * dt).max(10.0);
+            self.x += dx * dt;
+            self.i = (self.i + di * dt).max(0.0);
+            self.q1 = (self.q1 + dq1 * dt).max(0.0);
+            self.q2 = (self.q2 + dq2 * dt).max(0.0);
+            self.iob.advance_minute(delivered_per_min * dt);
+        }
+    }
+
+    fn therapy(&self) -> &TherapyProfile {
+        &self.therapy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patient() -> GlucosymPatient {
+        GlucosymPatient::from_profile(0, 42)
+    }
+
+    #[test]
+    fn basal_holds_equilibrium() {
+        let mut p = patient();
+        let g0 = p.bg();
+        let basal = p.therapy().basal_rate;
+        for _ in 0..288 {
+            p.step(basal, 0.0);
+        }
+        assert!((p.bg() - g0).abs() < 1.0, "drifted from {g0} to {}", p.bg());
+    }
+
+    #[test]
+    fn meal_raises_glucose() {
+        let mut p = patient();
+        let basal = p.therapy().basal_rate;
+        let g0 = p.bg();
+        p.step(basal, 60.0);
+        for _ in 0..12 {
+            p.step(basal, 0.0);
+        }
+        assert!(p.bg() > g0 + 20.0, "meal only moved BG from {g0} to {}", p.bg());
+    }
+
+    #[test]
+    fn extra_insulin_lowers_glucose() {
+        let mut a = patient();
+        let mut b = patient();
+        let basal = a.therapy().basal_rate;
+        for _ in 0..36 {
+            a.step(basal, 0.0);
+            b.step(basal + 2.0, 0.0);
+        }
+        assert!(b.bg() < a.bg() - 20.0, "insulin had weak effect: {} vs {}", a.bg(), b.bg());
+    }
+
+    #[test]
+    fn suspension_raises_glucose() {
+        let mut a = patient();
+        let mut b = patient();
+        let basal = a.therapy().basal_rate;
+        for _ in 0..36 {
+            a.step(basal, 0.0);
+            b.step(0.0, 0.0);
+        }
+        assert!(b.bg() > a.bg() + 10.0, "suspension had weak effect: {} vs {}", a.bg(), b.bg());
+    }
+
+    #[test]
+    fn glucose_never_below_floor() {
+        let mut p = patient();
+        for _ in 0..288 {
+            p.step(10.0, 0.0); // massive overdose
+        }
+        assert!(p.bg() >= 10.0);
+    }
+
+    #[test]
+    fn iob_tracks_delivery() {
+        let mut p = patient();
+        assert_eq!(p.iob(), 0.0);
+        p.step(2.0, 0.0);
+        assert!(p.iob() > 0.1);
+    }
+
+    #[test]
+    fn profiles_are_deterministic_and_distinct() {
+        let a = GlucosymPatient::from_profile(3, 7);
+        let b = GlucosymPatient::from_profile(3, 7);
+        assert_eq!(a, b);
+        let c = GlucosymPatient::from_profile(4, 7);
+        assert_ne!(a.params(), c.params());
+    }
+
+    #[test]
+    fn twenty_profiles_have_spread() {
+        let gbs: Vec<f64> = (0..20)
+            .map(|id| GlucosymPatient::from_profile(id, 1).params().gb)
+            .collect();
+        let min = gbs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = gbs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 10.0, "profiles too similar: {min}..{max}");
+    }
+}

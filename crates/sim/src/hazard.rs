@@ -1,0 +1,172 @@
+//! Hazard detection and hazard-prediction labeling (Eq. 1 of the paper).
+//!
+//! A sample at time `t` is labeled *unsafe* iff a hazard occurs within the
+//! next `T` steps of its own trace:
+//!
+//! ```text
+//! y_t = p(∃ t' ∈ [t, t+T] : x_{t'} ∈ X_h | f(X_t), f(U_t))
+//! ```
+//!
+//! Hazards are the clinical events of Table I's footnote: severe
+//! hypoglycemia (H1) and severe hyperglycemia (H2), detected on the
+//! *ground-truth* glucose.
+
+use crate::trace::SimTrace;
+
+/// Hazard thresholds and the prediction horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HazardConfig {
+    /// Hypoglycemia threshold (mg/dL); BG below this is hazard H1.
+    pub hypo: f64,
+    /// Hyperglycemia threshold (mg/dL); BG above this is hazard H2.
+    pub hyper: f64,
+    /// Prediction horizon `T` in steps (paper-style: 60 min = 12 steps).
+    pub horizon_steps: usize,
+}
+
+impl Default for HazardConfig {
+    fn default() -> Self {
+        Self { hypo: 70.0, hyper: 180.0, horizon_steps: 12 }
+    }
+}
+
+/// A contiguous stretch of hazardous steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HazardEpisode {
+    /// First hazardous step.
+    pub start: usize,
+    /// One past the last hazardous step.
+    pub end: usize,
+    /// `true` for hypoglycemia (H1), `false` for hyperglycemia (H2).
+    pub hypo: bool,
+}
+
+impl HazardConfig {
+    /// Whether a single BG value is hazardous.
+    pub fn is_hazard(&self, bg_true: f64) -> bool {
+        bg_true < self.hypo || bg_true > self.hyper
+    }
+
+    /// Per-step hazard flags for a trace (on ground-truth BG).
+    pub fn hazard_flags(&self, trace: &SimTrace) -> Vec<bool> {
+        trace.records().iter().map(|r| self.is_hazard(r.bg_true)).collect()
+    }
+
+    /// Eq. 1 labels: `labels[t] = 1` iff any hazard occurs in `[t, t+T]`.
+    pub fn labels(&self, trace: &SimTrace) -> Vec<usize> {
+        let flags = self.hazard_flags(trace);
+        let n = flags.len();
+        let mut labels = vec![0usize; n];
+        // Sweep backwards keeping the distance to the next hazard.
+        let mut next_hazard: Option<usize> = None;
+        for t in (0..n).rev() {
+            if flags[t] {
+                next_hazard = Some(t);
+            }
+            if let Some(h) = next_hazard {
+                if h - t <= self.horizon_steps {
+                    labels[t] = 1;
+                }
+            }
+        }
+        labels
+    }
+
+    /// Groups hazardous steps into episodes.
+    pub fn episodes(&self, trace: &SimTrace) -> Vec<HazardEpisode> {
+        let mut episodes = Vec::new();
+        let mut current: Option<HazardEpisode> = None;
+        for (t, r) in trace.records().iter().enumerate() {
+            let hypo = r.bg_true < self.hypo;
+            let hyper = r.bg_true > self.hyper;
+            if hypo || hyper {
+                match current {
+                    Some(ref mut e) if e.hypo == hypo => e.end = t + 1,
+                    _ => {
+                        if let Some(e) = current.take() {
+                            episodes.push(e);
+                        }
+                        current = Some(HazardEpisode { start: t, end: t + 1, hypo });
+                    }
+                }
+            } else if let Some(e) = current.take() {
+                episodes.push(e);
+            }
+        }
+        if let Some(e) = current {
+            episodes.push(e);
+        }
+        episodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::StepRecord;
+
+    fn trace_from_bg(bgs: &[f64]) -> SimTrace {
+        let records = bgs
+            .iter()
+            .map(|&bg| StepRecord {
+                bg_true: bg,
+                bg_sensor: bg,
+                iob: 0.0,
+                commanded_rate: 1.0,
+                delivered_rate: 1.0,
+                carbs: 0.0,
+            })
+            .collect();
+        SimTrace::new("glucosym", "openaps", 0, 0, None, records)
+    }
+
+    #[test]
+    fn is_hazard_thresholds() {
+        let h = HazardConfig::default();
+        assert!(h.is_hazard(69.9));
+        assert!(!h.is_hazard(70.0));
+        assert!(!h.is_hazard(180.0));
+        assert!(h.is_hazard(180.1));
+    }
+
+    #[test]
+    fn labels_cover_horizon_before_hazard() {
+        let h = HazardConfig { hypo: 70.0, hyper: 300.0, horizon_steps: 2 };
+        let t = trace_from_bg(&[100.0, 100.0, 100.0, 60.0, 100.0]);
+        assert_eq!(h.labels(&t), vec![0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn labels_empty_when_no_hazard() {
+        let h = HazardConfig::default();
+        let t = trace_from_bg(&[100.0; 20]);
+        assert_eq!(h.labels(&t), vec![0; 20]);
+    }
+
+    #[test]
+    fn labels_through_episode() {
+        let h = HazardConfig { hypo: 70.0, hyper: 300.0, horizon_steps: 1 };
+        let t = trace_from_bg(&[100.0, 60.0, 60.0, 100.0, 100.0]);
+        // t=0: hazard at 1 within horizon; t=1,2 hazardous themselves;
+        // t=3,4: no hazard ahead.
+        assert_eq!(h.labels(&t), vec![1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn episodes_group_and_split_by_kind() {
+        let h = HazardConfig::default();
+        let t = trace_from_bg(&[60.0, 60.0, 100.0, 310.0, 310.0, 60.0]);
+        let eps = h.episodes(&t);
+        assert_eq!(eps.len(), 3);
+        assert_eq!(eps[0], HazardEpisode { start: 0, end: 2, hypo: true });
+        assert_eq!(eps[1], HazardEpisode { start: 3, end: 5, hypo: false });
+        assert_eq!(eps[2], HazardEpisode { start: 5, end: 6, hypo: true });
+    }
+
+    #[test]
+    fn horizon_zero_labels_only_hazard_steps() {
+        let h = HazardConfig { hypo: 70.0, hyper: 300.0, horizon_steps: 0 };
+        let t = trace_from_bg(&[100.0, 60.0, 100.0]);
+        assert_eq!(h.labels(&t), vec![0, 1, 0]);
+    }
+}

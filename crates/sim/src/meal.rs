@@ -1,0 +1,135 @@
+//! Seeded meal schedules for simulation scenarios.
+
+use crate::patient::STEP_MINUTES;
+use cpsmon_nn::rng::SmallRng;
+
+/// One meal event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Meal {
+    /// Step index at which the meal is ingested.
+    pub step: usize,
+    /// Carbohydrate content (grams).
+    pub carbs_g: f64,
+}
+
+/// A day-structured random meal plan.
+///
+/// Generates breakfast/lunch/dinner (plus an optional snack) per simulated
+/// day with jittered times and carb amounts, mimicking the scenario scripts
+/// used by APS simulation studies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MealSchedule {
+    meals: Vec<Meal>,
+    steps: usize,
+}
+
+impl MealSchedule {
+    /// Builds a schedule covering `steps` simulation steps.
+    pub fn generate(steps: usize, rng: &mut SmallRng) -> Self {
+        let steps_per_day = (24.0 * 60.0 / STEP_MINUTES) as usize; // 288
+        let days = steps.div_ceil(steps_per_day).max(1);
+        let mut meals = Vec::new();
+        for day in 0..days {
+            let base = day * steps_per_day;
+            // (hour, carb-range) triples for the three main meals.
+            for (hour, lo, hi) in [(7.5, 30.0, 60.0), (12.5, 40.0, 80.0), (18.5, 45.0, 90.0)] {
+                let jitter = rng.uniform_range(-0.75, 0.75);
+                let step = base + (((hour + jitter) * 60.0 / STEP_MINUTES) as usize);
+                if step < steps {
+                    meals.push(Meal { step, carbs_g: rng.uniform_range(lo, hi) });
+                }
+            }
+            // Occasional snack.
+            if rng.bernoulli(0.4) {
+                let hour = rng.uniform_range(15.0, 16.5);
+                let step = base + ((hour * 60.0 / STEP_MINUTES) as usize);
+                if step < steps {
+                    meals.push(Meal { step, carbs_g: rng.uniform_range(10.0, 25.0) });
+                }
+            }
+        }
+        meals.sort_by_key(|m| m.step);
+        Self { meals, steps }
+    }
+
+    /// An empty schedule (fasting scenario).
+    pub fn fasting(steps: usize) -> Self {
+        Self { meals: Vec::new(), steps }
+    }
+
+    /// Carbohydrates ingested at `step` (grams; 0 for most steps).
+    pub fn carbs_at(&self, step: usize) -> f64 {
+        self.meals
+            .iter()
+            .filter(|m| m.step == step)
+            .map(|m| m.carbs_g)
+            .sum()
+    }
+
+    /// All meals in step order.
+    pub fn meals(&self) -> &[Meal] {
+        &self.meals
+    }
+
+    /// Scenario length in steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_day_has_three_or_four_meals() {
+        let mut rng = SmallRng::new(1);
+        for _ in 0..20 {
+            let s = MealSchedule::generate(288, &mut rng);
+            assert!((3..=4).contains(&s.meals().len()), "{} meals", s.meals().len());
+        }
+    }
+
+    #[test]
+    fn meals_are_within_horizon() {
+        let mut rng = SmallRng::new(2);
+        let s = MealSchedule::generate(100, &mut rng);
+        for m in s.meals() {
+            assert!(m.step < 100);
+        }
+    }
+
+    #[test]
+    fn carbs_at_sums_coincident_meals() {
+        let s = MealSchedule { meals: vec![Meal { step: 5, carbs_g: 20.0 }, Meal { step: 5, carbs_g: 10.0 }], steps: 10 };
+        assert_eq!(s.carbs_at(5), 30.0);
+        assert_eq!(s.carbs_at(6), 0.0);
+    }
+
+    #[test]
+    fn fasting_has_no_carbs() {
+        let s = MealSchedule::fasting(50);
+        assert!((0..50).all(|t| s.carbs_at(t) == 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_rng_state() {
+        let a = MealSchedule::generate(288, &mut SmallRng::new(9));
+        let b = MealSchedule::generate(288, &mut SmallRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_day_schedules_cover_every_day() {
+        let mut rng = SmallRng::new(3);
+        let s = MealSchedule::generate(288 * 3, &mut rng);
+        for day in 0..3 {
+            let in_day = s
+                .meals()
+                .iter()
+                .filter(|m| m.step >= day * 288 && m.step < (day + 1) * 288)
+                .count();
+            assert!(in_day >= 3, "day {day} has only {in_day} meals");
+        }
+    }
+}

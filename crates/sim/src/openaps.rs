@@ -1,0 +1,124 @@
+//! An OpenAPS-style temp-basal controller.
+//!
+//! Follows the oref0 reference design in spirit: every 5 minutes it
+//! projects an *eventual BG* from the current reading, the short-term
+//! trend, and the BG drop the insulin-on-board will still cause
+//! (`iob · ISF`), then sets a temporary basal rate that corrects the
+//! difference to target over the correction horizon. Safety clamps mirror
+//! oref0's: suspend on projected lows, cap at a multiple of basal.
+
+use crate::controller::{Controller, Observation};
+use crate::patient::{TherapyProfile, STEP_MINUTES};
+
+/// OpenAPS-like temp-basal controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenApsController {
+    /// Trend projection horizon (minutes).
+    pub trend_horizon_min: f64,
+    /// Correction horizon over which a BG error is neutralized (minutes).
+    pub correction_horizon_min: f64,
+    /// Maximum temp basal as a multiple of the profile basal.
+    pub max_basal_mult: f64,
+    /// Suspend threshold: projected BG below this sets a zero temp basal.
+    pub suspend_below: f64,
+}
+
+impl Default for OpenApsController {
+    fn default() -> Self {
+        Self {
+            trend_horizon_min: 30.0,
+            correction_horizon_min: 120.0,
+            max_basal_mult: 4.0,
+            suspend_below: 80.0,
+        }
+    }
+}
+
+impl OpenApsController {
+    /// Creates the controller with default oref0-like settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The eventual-BG projection driving the dose decision.
+    pub fn eventual_bg(&self, obs: &Observation, therapy: &TherapyProfile) -> f64 {
+        let trend_per_min = obs.bg_trend / STEP_MINUTES;
+        obs.bg + trend_per_min * self.trend_horizon_min - obs.iob * therapy.isf
+    }
+}
+
+impl Controller for OpenApsController {
+    fn control(&mut self, obs: &Observation, therapy: &TherapyProfile) -> f64 {
+        let eventual = self.eventual_bg(obs, therapy);
+        if eventual < self.suspend_below || obs.bg < 70.0 {
+            return 0.0;
+        }
+        // Units needed to correct the eventual error, spread over the
+        // correction horizon, on top of basal.
+        let error = eventual - therapy.target_bg;
+        let insulin_needed = error / therapy.isf; // U
+        let correction_rate = insulin_needed / (self.correction_horizon_min / 60.0); // U/h
+        (therapy.basal_rate + correction_rate).clamp(0.0, therapy.basal_rate * self.max_basal_mult)
+    }
+
+    fn name(&self) -> &'static str {
+        "openaps"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn therapy() -> TherapyProfile {
+        TherapyProfile { basal_rate: 1.0, isf: 50.0, carb_ratio: 10.0, target_bg: 120.0 }
+    }
+
+    fn obs(bg: f64, trend: f64, iob: f64) -> Observation {
+        Observation { bg, bg_trend: trend, iob, announced_carbs: 0.0 }
+    }
+
+    #[test]
+    fn at_target_commands_basal() {
+        let mut c = OpenApsController::new();
+        let rate = c.control(&obs(120.0, 0.0, 0.0), &therapy());
+        assert!((rate - 1.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn high_bg_raises_rate() {
+        let mut c = OpenApsController::new();
+        let rate = c.control(&obs(220.0, 0.0, 0.0), &therapy());
+        assert!(rate > 1.5, "rate {rate}");
+    }
+
+    #[test]
+    fn rate_capped_at_max_mult() {
+        let mut c = OpenApsController::new();
+        let rate = c.control(&obs(500.0, 10.0, 0.0), &therapy());
+        assert_eq!(rate, 4.0);
+    }
+
+    #[test]
+    fn projected_low_suspends() {
+        let mut c = OpenApsController::new();
+        // Falling fast with IOB: eventual = 90 - 4/5*30 - 1*50 < 80.
+        let rate = c.control(&obs(90.0, -4.0, 1.0), &therapy());
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn actual_low_suspends_regardless_of_trend() {
+        let mut c = OpenApsController::new();
+        let rate = c.control(&obs(65.0, 5.0, 0.0), &therapy());
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn iob_reduces_dosing() {
+        let mut c = OpenApsController::new();
+        let no_iob = c.control(&obs(200.0, 0.0, 0.0), &therapy());
+        let with_iob = c.control(&obs(200.0, 0.0, 1.0), &therapy());
+        assert!(with_iob < no_iob, "{with_iob} !< {no_iob}");
+    }
+}

@@ -1,0 +1,109 @@
+//! The insulin pump: turns commanded rates into delivered rates, applying
+//! any active fault.
+
+use crate::fault::{FaultKind, FaultPlan};
+
+/// An insulin pump with an optional fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsulinPump {
+    fault: Option<FaultPlan>,
+    stuck_rate: Option<f64>,
+    /// Hardware ceiling on deliverable rate (U/h).
+    pub max_rate: f64,
+}
+
+impl Default for InsulinPump {
+    fn default() -> Self {
+        Self { fault: None, stuck_rate: None, max_rate: 130.0 }
+    }
+}
+
+impl InsulinPump {
+    /// A healthy pump.
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    /// A pump that will exhibit `fault`.
+    pub fn with_fault(fault: FaultPlan) -> Self {
+        Self { fault: Some(fault), ..Self::default() }
+    }
+
+    /// The configured fault plan, if any.
+    pub fn fault(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Computes the rate actually delivered at `step` for a commanded rate.
+    ///
+    /// The returned value is what both the patient receives and the safety
+    /// monitor observes on the actuation bus (per Fig. 1 of the paper, the
+    /// monitor sees sensor data and the control commands as issued to the
+    /// actuator — which is exactly where the corruption happens).
+    pub fn deliver(&mut self, step: usize, commanded: f64) -> f64 {
+        let commanded = commanded.clamp(0.0, self.max_rate);
+        let Some(fault) = self.fault else {
+            return commanded;
+        };
+        if !fault.active_at(step) {
+            self.stuck_rate = None;
+            return commanded;
+        }
+        match fault.kind {
+            FaultKind::Overdose { rate } => rate.clamp(0.0, self.max_rate),
+            FaultKind::Underdose { factor } => (commanded * factor).clamp(0.0, self.max_rate),
+            FaultKind::StuckRate => *self.stuck_rate.get_or_insert(commanded),
+            FaultKind::Suspend => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_pump_is_identity_with_clamp() {
+        let mut p = InsulinPump::healthy();
+        assert_eq!(p.deliver(0, 1.5), 1.5);
+        assert_eq!(p.deliver(1, -2.0), 0.0);
+        assert_eq!(p.deliver(2, 1e9), p.max_rate);
+    }
+
+    #[test]
+    fn overdose_multiplies_inside_window() {
+        let f = FaultPlan { kind: FaultKind::Overdose { rate: 3.0 }, start_step: 5, duration_steps: 2 };
+        let mut p = InsulinPump::with_fault(f);
+        assert_eq!(p.deliver(4, 1.0), 1.0);
+        assert_eq!(p.deliver(5, 1.0), 3.0);
+        assert_eq!(p.deliver(6, 1.0), 3.0);
+        assert_eq!(p.deliver(7, 1.0), 1.0);
+    }
+
+    #[test]
+    fn stuck_holds_first_faulty_rate() {
+        let f = FaultPlan { kind: FaultKind::StuckRate, start_step: 2, duration_steps: 3 };
+        let mut p = InsulinPump::with_fault(f);
+        assert_eq!(p.deliver(2, 2.0), 2.0);
+        assert_eq!(p.deliver(3, 0.5), 2.0);
+        assert_eq!(p.deliver(4, 5.0), 2.0);
+        assert_eq!(p.deliver(5, 0.5), 0.5);
+    }
+
+    #[test]
+    fn suspend_zeroes_delivery() {
+        let f = FaultPlan { kind: FaultKind::Suspend, start_step: 0, duration_steps: 10 };
+        let mut p = InsulinPump::with_fault(f);
+        assert_eq!(p.deliver(0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn stuck_rate_resets_after_window() {
+        let f = FaultPlan { kind: FaultKind::StuckRate, start_step: 1, duration_steps: 1 };
+        let mut p = InsulinPump::with_fault(f);
+        let _ = p.deliver(1, 2.0);
+        let _ = p.deliver(2, 1.0);
+        // A later re-entry (hypothetically) would re-latch, not reuse 2.0.
+        assert_eq!(p.stuck_rate, None);
+    }
+}

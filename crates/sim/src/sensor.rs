@@ -1,0 +1,195 @@
+//! Continuous glucose monitor (CGM) model.
+
+use cpsmon_nn::rng::SmallRng;
+
+/// A sensor-side fault/attack corrupting CGM readings.
+///
+/// Complements the pump-side faults of [`crate::fault`]: the Medtronic
+/// recalls the paper cites cover both malicious command injection and
+/// sensor malfunction. Each variant is applied inside a step window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CgmFaultKind {
+    /// Constant additive bias (mg/dL) — miscalibration.
+    Bias {
+        /// Offset added to every reading (mg/dL).
+        offset: f64,
+    },
+    /// Linearly growing bias — compression/drift artifacts.
+    Drift {
+        /// Bias growth per step (mg/dL per 5 min).
+        per_step: f64,
+    },
+    /// Sensor repeats its last pre-fault reading.
+    StuckValue,
+}
+
+/// A CGM fault occurrence: what, when, and for how long.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgmFault {
+    /// The corruption applied.
+    pub kind: CgmFaultKind,
+    /// First affected step.
+    pub start_step: usize,
+    /// Number of affected steps.
+    pub duration_steps: usize,
+}
+
+impl CgmFault {
+    /// Whether `step` falls inside the fault window.
+    pub fn active_at(&self, step: usize) -> bool {
+        step >= self.start_step && step < self.start_step + self.duration_steps
+    }
+}
+
+/// A CGM producing noisy, slightly lagged glucose measurements.
+///
+/// Real CGMs sense interstitial glucose, which trails plasma glucose by a
+/// few minutes and carries calibration noise. We model this as a
+/// first-order lag plus i.i.d. Gaussian measurement noise — the same
+/// structure the paper's "environment noise" assumption (§III) builds on.
+/// An optional [`CgmFault`] corrupts readings inside its window.
+#[derive(Debug, Clone)]
+pub struct Cgm {
+    noise_std: f64,
+    lag: f64,
+    state: Option<f64>,
+    rng: SmallRng,
+    fault: Option<CgmFault>,
+    step: usize,
+    stuck_value: Option<f64>,
+}
+
+impl Cgm {
+    /// Creates a CGM with measurement noise `noise_std` (mg/dL) and a
+    /// first-order lag coefficient `lag ∈ [0, 1)` (0 = no lag).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_std < 0` or `lag ∉ [0, 1)`.
+    pub fn new(noise_std: f64, lag: f64, rng: SmallRng) -> Self {
+        assert!(noise_std >= 0.0, "noise std must be non-negative");
+        assert!((0.0..1.0).contains(&lag), "lag must be in [0,1)");
+        Self { noise_std, lag, state: None, rng, fault: None, step: 0, stuck_value: None }
+    }
+
+    /// Attaches a sensor fault to this CGM.
+    pub fn with_fault(mut self, fault: CgmFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// A typical CGM: 2 mg/dL noise, mild lag.
+    pub fn typical(rng: SmallRng) -> Self {
+        Self::new(2.0, 0.3, rng)
+    }
+
+    /// A noiseless pass-through sensor (for controlled experiments).
+    pub fn ideal(rng: SmallRng) -> Self {
+        Self::new(0.0, 0.0, rng)
+    }
+
+    /// Reads the sensor given the true plasma glucose.
+    pub fn measure(&mut self, true_bg: f64) -> f64 {
+        let filtered = match self.state {
+            Some(prev) => self.lag * prev + (1.0 - self.lag) * true_bg,
+            None => true_bg,
+        };
+        self.state = Some(filtered);
+        let honest = (filtered + self.rng.normal_with(0.0, self.noise_std)).max(1.0);
+        let step = self.step;
+        self.step += 1;
+        let Some(fault) = self.fault else {
+            return honest;
+        };
+        if !fault.active_at(step) {
+            self.stuck_value = None;
+            return honest;
+        }
+        match fault.kind {
+            CgmFaultKind::Bias { offset } => (honest + offset).max(1.0),
+            CgmFaultKind::Drift { per_step } => {
+                (honest + per_step * (step - fault.start_step + 1) as f64).max(1.0)
+            }
+            CgmFaultKind::StuckValue => *self.stuck_value.get_or_insert(honest),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_sensor_is_identity() {
+        let mut cgm = Cgm::ideal(SmallRng::new(1));
+        assert_eq!(cgm.measure(123.0), 123.0);
+        assert_eq!(cgm.measure(99.0), 99.0);
+    }
+
+    #[test]
+    fn noise_has_requested_scale() {
+        let mut cgm = Cgm::new(2.0, 0.0, SmallRng::new(2));
+        let n = 20_000;
+        let errs: Vec<f64> = (0..n).map(|_| cgm.measure(120.0) - 120.0).collect();
+        let mean = errs.iter().sum::<f64>() / n as f64;
+        let std = (errs.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        assert!(mean.abs() < 0.1, "bias {mean}");
+        assert!((std - 2.0).abs() < 0.1, "std {std}");
+    }
+
+    #[test]
+    fn lag_smooths_steps() {
+        let mut cgm = Cgm::new(0.0, 0.5, SmallRng::new(3));
+        cgm.measure(100.0);
+        let after_jump = cgm.measure(200.0);
+        assert!(after_jump < 200.0, "lagged reading should trail the jump");
+        assert!(after_jump > 100.0);
+    }
+
+    #[test]
+    fn readings_stay_positive() {
+        let mut cgm = Cgm::new(50.0, 0.0, SmallRng::new(4));
+        for _ in 0..100 {
+            assert!(cgm.measure(5.0) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn bias_fault_applies_in_window_only() {
+        let fault = CgmFault { kind: CgmFaultKind::Bias { offset: 40.0 }, start_step: 2, duration_steps: 2 };
+        let mut cgm = Cgm::ideal(SmallRng::new(5)).with_fault(fault);
+        assert_eq!(cgm.measure(100.0), 100.0); // step 0
+        assert_eq!(cgm.measure(100.0), 100.0); // step 1
+        assert_eq!(cgm.measure(100.0), 140.0); // step 2
+        assert_eq!(cgm.measure(100.0), 140.0); // step 3
+        assert_eq!(cgm.measure(100.0), 100.0); // step 4
+    }
+
+    #[test]
+    fn drift_fault_grows_linearly() {
+        let fault = CgmFault { kind: CgmFaultKind::Drift { per_step: 5.0 }, start_step: 0, duration_steps: 3 };
+        let mut cgm = Cgm::ideal(SmallRng::new(6)).with_fault(fault);
+        assert_eq!(cgm.measure(100.0), 105.0);
+        assert_eq!(cgm.measure(100.0), 110.0);
+        assert_eq!(cgm.measure(100.0), 115.0);
+        assert_eq!(cgm.measure(100.0), 100.0);
+    }
+
+    #[test]
+    fn stuck_sensor_repeats_first_faulty_reading() {
+        let fault = CgmFault { kind: CgmFaultKind::StuckValue, start_step: 1, duration_steps: 3 };
+        let mut cgm = Cgm::ideal(SmallRng::new(7)).with_fault(fault);
+        assert_eq!(cgm.measure(100.0), 100.0);
+        assert_eq!(cgm.measure(150.0), 150.0); // latched
+        assert_eq!(cgm.measure(200.0), 150.0);
+        assert_eq!(cgm.measure(250.0), 150.0);
+        assert_eq!(cgm.measure(300.0), 300.0); // released
+    }
+
+    #[test]
+    fn negative_bias_clamped_at_floor() {
+        let fault = CgmFault { kind: CgmFaultKind::Bias { offset: -500.0 }, start_step: 0, duration_steps: 5 };
+        let mut cgm = Cgm::ideal(SmallRng::new(8)).with_fault(fault);
+        assert_eq!(cgm.measure(100.0), 1.0);
+    }
+}

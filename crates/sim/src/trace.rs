@@ -1,0 +1,143 @@
+//! Recorded simulation traces.
+
+use crate::fault::FaultPlan;
+
+/// One 5-minute step of a closed-loop run, as recorded by the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// Ground-truth plasma glucose (mg/dL) — used only for labeling.
+    pub bg_true: f64,
+    /// CGM reading (mg/dL) — what the controller and monitor see.
+    pub bg_sensor: f64,
+    /// Insulin-on-board estimate (U).
+    pub iob: f64,
+    /// Rate the controller commanded (U/h).
+    pub commanded_rate: f64,
+    /// Rate the pump actually delivered after any fault (U/h) — what the
+    /// monitor observes on the actuation bus.
+    pub delivered_rate: f64,
+    /// Carbohydrates ingested at this step (g).
+    pub carbs: f64,
+}
+
+/// A complete closed-loop simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimTrace {
+    /// Simulator family label ("glucosym" / "t1ds2013").
+    pub simulator: &'static str,
+    /// Controller label ("openaps" / "basal-bolus").
+    pub controller: &'static str,
+    /// Patient profile index (0-based).
+    pub patient_id: usize,
+    /// Run index within the campaign.
+    pub run_id: usize,
+    /// The injected fault, if any.
+    pub fault: Option<FaultPlan>,
+    records: Vec<StepRecord>,
+}
+
+impl SimTrace {
+    /// Creates a trace from recorded steps.
+    pub fn new(
+        simulator: &'static str,
+        controller: &'static str,
+        patient_id: usize,
+        run_id: usize,
+        fault: Option<FaultPlan>,
+        records: Vec<StepRecord>,
+    ) -> Self {
+        Self { simulator, controller, patient_id, run_id, fault, records }
+    }
+
+    /// The recorded steps.
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Sensor BG column.
+    pub fn bg_sensor(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.bg_sensor).collect()
+    }
+
+    /// Ground-truth BG column.
+    pub fn bg_true(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.bg_true).collect()
+    }
+
+    /// IOB column.
+    pub fn iob(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.iob).collect()
+    }
+
+    /// Delivered-rate column.
+    pub fn delivered_rate(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.delivered_rate).collect()
+    }
+
+    /// Serializes the trace as CSV (header + one line per step), for
+    /// external analysis/plotting tools.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("step,bg_true,bg_sensor,iob,commanded_rate,delivered_rate,carbs\n");
+        for (t, r) in self.records.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{t},{},{},{},{},{},{}",
+                r.bg_true, r.bg_sensor, r.iob, r.commanded_rate, r.delivered_rate, r.carbs
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(bg: f64) -> StepRecord {
+        StepRecord {
+            bg_true: bg,
+            bg_sensor: bg + 1.0,
+            iob: 0.5,
+            commanded_rate: 1.0,
+            delivered_rate: 1.0,
+            carbs: 0.0,
+        }
+    }
+
+    #[test]
+    fn columns_extract() {
+        let t = SimTrace::new("glucosym", "openaps", 0, 0, None, vec![rec(100.0), rec(110.0)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.bg_true(), vec![100.0, 110.0]);
+        assert_eq!(t.bg_sensor(), vec![101.0, 111.0]);
+        assert_eq!(t.iob(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = SimTrace::new("glucosym", "openaps", 0, 0, None, vec![]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = SimTrace::new("glucosym", "openaps", 0, 0, None, vec![rec(100.0), rec(110.0)]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("step,bg_true"));
+        assert!(lines[1].starts_with("0,100"));
+        assert!(lines[2].starts_with("1,110"));
+    }
+}

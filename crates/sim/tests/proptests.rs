@@ -1,0 +1,140 @@
+//! Property-based tests of the simulation substrate: physiological
+//! plausibility under arbitrary (bounded) insulin policies, labeling
+//! equivalence with a brute-force oracle, and pump safety clamps.
+
+use cpsmon_sim::fault::{FaultKind, FaultPlan};
+use cpsmon_sim::glucosym::GlucosymPatient;
+use cpsmon_sim::hazard::HazardConfig;
+use cpsmon_sim::patient::PatientModel;
+use cpsmon_sim::pump::InsulinPump;
+use cpsmon_sim::t1ds::T1dsPatient;
+use cpsmon_sim::trace::{SimTrace, StepRecord};
+use proptest::prelude::*;
+
+fn trace_from_bg(bgs: &[f64]) -> SimTrace {
+    let records = bgs
+        .iter()
+        .map(|&bg| StepRecord {
+            bg_true: bg,
+            bg_sensor: bg,
+            iob: 0.0,
+            commanded_rate: 1.0,
+            delivered_rate: 1.0,
+            carbs: 0.0,
+        })
+        .collect();
+    SimTrace::new("glucosym", "openaps", 0, 0, None, records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn glucosym_bg_stays_physiological(
+        rates in proptest::collection::vec(0.0f64..10.0, 1..60),
+        // Realistic meal pattern: at most ~10 % of steps carry a meal.
+        meals in proptest::collection::vec((0.0f64..1.0, 0.0f64..80.0), 1..60),
+        pid in 0usize..20,
+    ) {
+        let mut p = GlucosymPatient::from_profile(pid, 1);
+        for (r, (roll, grams)) in rates.iter().zip(&meals) {
+            let carbs = if *roll < 0.1 { *grams } else { 0.0 };
+            p.step(*r, carbs);
+            prop_assert!(p.bg().is_finite());
+            prop_assert!(p.bg() >= 10.0, "bg {}", p.bg());
+            prop_assert!(p.bg() <= 1200.0, "bg {}", p.bg());
+            prop_assert!(p.iob() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn t1ds_bg_stays_physiological(
+        rates in proptest::collection::vec(0.0f64..10.0, 1..40),
+        // Realistic meal pattern: at most ~10 % of steps carry a meal.
+        meals in proptest::collection::vec((0.0f64..1.0, 0.0f64..80.0), 1..40),
+    ) {
+        // Calibration is costly; exercise a single profile under many policies.
+        let mut p = T1dsPatient::calibrated(0, 1);
+        for (r, (roll, grams)) in rates.iter().zip(&meals) {
+            let carbs = if *roll < 0.1 { *grams } else { 0.0 };
+            p.step(*r, carbs);
+            prop_assert!(p.bg().is_finite());
+            prop_assert!(p.bg() >= 10.0, "bg {}", p.bg());
+            prop_assert!(p.bg() <= 1200.0, "bg {}", p.bg());
+        }
+    }
+
+    #[test]
+    fn hazard_labels_match_bruteforce_oracle(
+        bgs in proptest::collection::vec(30.0f64..350.0, 1..50),
+        horizon in 0usize..15,
+    ) {
+        let cfg = HazardConfig { hypo: 70.0, hyper: 180.0, horizon_steps: horizon };
+        let trace = trace_from_bg(&bgs);
+        let labels = cfg.labels(&trace);
+        for t in 0..bgs.len() {
+            let expected = (t..=(t + horizon).min(bgs.len() - 1))
+                .any(|u| bgs[u] < 70.0 || bgs[u] > 180.0);
+            prop_assert_eq!(labels[t] == 1, expected, "t={}", t);
+        }
+    }
+
+    #[test]
+    fn episodes_cover_exactly_the_hazard_steps(bgs in proptest::collection::vec(30.0f64..350.0, 1..50)) {
+        let cfg = HazardConfig::default();
+        let trace = trace_from_bg(&bgs);
+        let episodes = cfg.episodes(&trace);
+        let mut covered = vec![false; bgs.len()];
+        for e in &episodes {
+            prop_assert!(e.start < e.end);
+            for t in e.start..e.end {
+                prop_assert!(!covered[t], "episodes overlap at {t}");
+                covered[t] = true;
+            }
+        }
+        for (t, &bg) in bgs.iter().enumerate() {
+            prop_assert_eq!(covered[t], cfg.is_hazard(bg), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn pump_delivery_is_always_clamped(
+        commands in proptest::collection::vec(-50.0f64..500.0, 1..40),
+        kind in 0usize..4,
+        start in 0usize..20,
+        dur in 1usize..20,
+    ) {
+        let fault = FaultPlan {
+            kind: match kind {
+                0 => FaultKind::Overdose { rate: 300.0 },
+                1 => FaultKind::Underdose { factor: 0.2 },
+                2 => FaultKind::StuckRate,
+                _ => FaultKind::Suspend,
+            },
+            start_step: start,
+            duration_steps: dur,
+        };
+        let mut pump = InsulinPump::with_fault(fault);
+        let max = pump.max_rate;
+        for (step, &cmd) in commands.iter().enumerate() {
+            let delivered = pump.deliver(step, cmd);
+            prop_assert!((0.0..=max).contains(&delivered), "delivered {delivered}");
+        }
+    }
+
+    #[test]
+    fn pump_outside_fault_window_is_exact(
+        commands in proptest::collection::vec(0.0f64..50.0, 1..30),
+    ) {
+        let fault = FaultPlan { kind: FaultKind::Suspend, start_step: 5, duration_steps: 3 };
+        let mut pump = InsulinPump::with_fault(fault);
+        for (step, &cmd) in commands.iter().enumerate() {
+            let delivered = pump.deliver(step, cmd);
+            if !(5..8).contains(&step) {
+                prop_assert_eq!(delivered, cmd.min(pump.max_rate));
+            } else {
+                prop_assert_eq!(delivered, 0.0);
+            }
+        }
+    }
+}

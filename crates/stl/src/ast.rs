@@ -1,0 +1,288 @@
+//! The STL abstract syntax tree and its builder methods.
+
+use crate::eval;
+use crate::signal::SignalTrace;
+use std::fmt;
+
+/// Comparison operators usable in atomic predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `signal > threshold`
+    Gt,
+    /// `signal >= threshold`
+    Ge,
+    /// `signal < threshold`
+    Lt,
+    /// `signal <= threshold`
+    Le,
+}
+
+impl CmpOp {
+    /// Boolean truth of `value OP threshold`.
+    pub fn holds(self, value: f64, threshold: f64) -> bool {
+        match self {
+            CmpOp::Gt => value > threshold,
+            CmpOp::Ge => value >= threshold,
+            CmpOp::Lt => value < threshold,
+            CmpOp::Le => value <= threshold,
+        }
+    }
+
+    /// Quantitative robustness of `value OP threshold`: positive when
+    /// satisfied, negative when violated, with magnitude = distance to the
+    /// threshold (the standard space-robustness semantics; `>`/`>=` and
+    /// `<`/`<=` coincide, as usual for dense metrics).
+    pub fn robustness(self, value: f64, threshold: f64) -> f64 {
+        match self {
+            CmpOp::Gt | CmpOp::Ge => value - threshold,
+            CmpOp::Lt | CmpOp::Le => threshold - value,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An STL formula over named signals with discrete-time bounded temporal
+/// operators.
+///
+/// Build formulas with the constructor methods ([`Stl::gt`], [`Stl::and`],
+/// [`Stl::always`], …) rather than the enum variants directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stl {
+    /// Constant truth.
+    True,
+    /// Atomic predicate `signal OP threshold`.
+    Atom {
+        /// Signal name resolved against the trace.
+        signal: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Comparison threshold.
+        threshold: f64,
+    },
+    /// Negation.
+    Not(Box<Stl>),
+    /// Conjunction.
+    And(Vec<Stl>),
+    /// Disjunction.
+    Or(Vec<Stl>),
+    /// `G_[a,b] φ` — φ holds at every step in the window.
+    Always {
+        /// Window start offset (inclusive).
+        start: usize,
+        /// Window end offset (inclusive).
+        end: usize,
+        /// Sub-formula.
+        inner: Box<Stl>,
+    },
+    /// `F_[a,b] φ` — φ holds at some step in the window.
+    Eventually {
+        /// Window start offset (inclusive).
+        start: usize,
+        /// Window end offset (inclusive).
+        end: usize,
+        /// Sub-formula.
+        inner: Box<Stl>,
+    },
+    /// `φ U_[a,b] ψ` — ψ holds at some step in the window and φ holds at
+    /// every step before it.
+    Until {
+        /// Window start offset (inclusive).
+        start: usize,
+        /// Window end offset (inclusive).
+        end: usize,
+        /// Left operand (must hold until `rhs`).
+        lhs: Box<Stl>,
+        /// Right operand (the release condition).
+        rhs: Box<Stl>,
+    },
+}
+
+impl Stl {
+    /// Atomic `signal > threshold`.
+    pub fn gt(signal: impl Into<String>, threshold: f64) -> Stl {
+        Stl::Atom { signal: signal.into(), op: CmpOp::Gt, threshold }
+    }
+
+    /// Atomic `signal >= threshold`.
+    pub fn ge(signal: impl Into<String>, threshold: f64) -> Stl {
+        Stl::Atom { signal: signal.into(), op: CmpOp::Ge, threshold }
+    }
+
+    /// Atomic `signal < threshold`.
+    pub fn lt(signal: impl Into<String>, threshold: f64) -> Stl {
+        Stl::Atom { signal: signal.into(), op: CmpOp::Lt, threshold }
+    }
+
+    /// Atomic `signal <= threshold`.
+    pub fn le(signal: impl Into<String>, threshold: f64) -> Stl {
+        Stl::Atom { signal: signal.into(), op: CmpOp::Le, threshold }
+    }
+
+    /// `|signal| <= eps`, the tolerance form of equality used for the
+    /// `IOB' = 0` contexts of Table I.
+    pub fn near_zero(signal: impl Into<String>, eps: f64) -> Stl {
+        let name = signal.into();
+        Stl::and(vec![Stl::le(name.clone(), eps), Stl::ge(name, -eps)])
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(inner: Stl) -> Stl {
+        Stl::Not(Box::new(inner))
+    }
+
+    /// N-ary conjunction.
+    pub fn and(parts: Vec<Stl>) -> Stl {
+        Stl::And(parts)
+    }
+
+    /// N-ary disjunction.
+    pub fn or(parts: Vec<Stl>) -> Stl {
+        Stl::Or(parts)
+    }
+
+    /// `lhs → rhs`, desugared to `¬lhs ∨ rhs`.
+    pub fn implies(lhs: Stl, rhs: Stl) -> Stl {
+        Stl::or(vec![Stl::not(lhs), rhs])
+    }
+
+    /// Bounded globally: `G_[start,end] inner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn always(start: usize, end: usize, inner: Stl) -> Stl {
+        assert!(start <= end, "invalid interval [{start},{end}]");
+        Stl::Always { start, end, inner: Box::new(inner) }
+    }
+
+    /// Bounded eventually: `F_[start,end] inner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn eventually(start: usize, end: usize, inner: Stl) -> Stl {
+        assert!(start <= end, "invalid interval [{start},{end}]");
+        Stl::Eventually { start, end, inner: Box::new(inner) }
+    }
+
+    /// Bounded until: `lhs U_[start,end] rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn until(start: usize, end: usize, lhs: Stl, rhs: Stl) -> Stl {
+        assert!(start <= end, "invalid interval [{start},{end}]");
+        Stl::Until { start, end, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Boolean satisfaction at time `t`. Returns `false` when the formula
+    /// refers past the end of the trace (pessimistic completion).
+    pub fn satisfied(&self, trace: &SignalTrace, t: usize) -> bool {
+        eval::satisfied(self, trace, t)
+    }
+
+    /// Quantitative robustness at time `t`; `None` when the formula refers
+    /// past the end of the trace.
+    pub fn robustness(&self, trace: &SignalTrace, t: usize) -> Option<f64> {
+        eval::robustness(self, trace, t)
+    }
+}
+
+impl fmt::Display for Stl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stl::True => write!(f, "⊤"),
+            Stl::Atom { signal, op, threshold } => write!(f, "({signal} {op} {threshold})"),
+            Stl::Not(inner) => write!(f, "¬{inner}"),
+            Stl::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Stl::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Stl::Always { start, end, inner } => write!(f, "G[{start},{end}]{inner}"),
+            Stl::Eventually { start, end, inner } => write!(f, "F[{start},{end}]{inner}"),
+            Stl::Until { start, end, lhs, rhs } => write!(f, "({lhs} U[{start},{end}] {rhs})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_ops_hold() {
+        assert!(CmpOp::Gt.holds(2.0, 1.0));
+        assert!(!CmpOp::Gt.holds(1.0, 1.0));
+        assert!(CmpOp::Ge.holds(1.0, 1.0));
+        assert!(CmpOp::Lt.holds(0.0, 1.0));
+        assert!(CmpOp::Le.holds(1.0, 1.0));
+    }
+
+    #[test]
+    fn robustness_sign_matches_truth() {
+        for op in [CmpOp::Gt, CmpOp::Ge, CmpOp::Lt, CmpOp::Le] {
+            for (v, th) in [(0.5, 1.0), (1.5, 1.0), (-2.0, 0.0)] {
+                let rob = op.robustness(v, th);
+                if rob > 0.0 {
+                    assert!(op.holds(v, th), "{op:?} {v} {th}");
+                }
+                if rob < 0.0 {
+                    assert!(!op.holds(v, th), "{op:?} {v} {th}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders_formula() {
+        let phi = Stl::implies(Stl::gt("bg", 180.0), Stl::eventually(0, 2, Stl::lt("rate", 0.1)));
+        let s = phi.to_string();
+        assert!(s.contains("bg > 180"));
+        assert!(s.contains("F[0,2]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn always_rejects_reversed_interval() {
+        let _ = Stl::always(3, 1, Stl::True);
+    }
+
+    #[test]
+    fn near_zero_band() {
+        let phi = Stl::near_zero("x", 0.1);
+        let mut tr = SignalTrace::new();
+        tr.push_signal("x", vec![0.05, -0.05, 0.2, -0.2]);
+        assert!(phi.satisfied(&tr, 0));
+        assert!(phi.satisfied(&tr, 1));
+        assert!(!phi.satisfied(&tr, 2));
+        assert!(!phi.satisfied(&tr, 3));
+    }
+}

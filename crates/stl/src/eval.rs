@@ -1,0 +1,241 @@
+//! Boolean and quantitative STL semantics over [`SignalTrace`]s.
+//!
+//! Standard discrete-time bounded semantics:
+//!
+//! - satisfaction is the usual inductive definition;
+//! - robustness uses min/max space-robustness (Donzé & Maler), so
+//!   `ρ(φ, w, t) > 0 ⇒ w,t ⊨ φ` and `ρ < 0 ⇒ w,t ⊭ φ`.
+//!
+//! Out-of-bounds handling: a formula that refers past the end of the trace
+//! is *pessimistically false* in the boolean semantics and yields `None` in
+//! the quantitative semantics. The safety monitors only ever evaluate
+//! pure-state formulas at in-bounds times, so this policy never triggers in
+//! the pipeline; it exists to make the engine total.
+
+use crate::ast::Stl;
+use crate::signal::SignalTrace;
+
+/// Boolean satisfaction of `phi` at time `t` (false on out-of-bounds).
+pub fn satisfied(phi: &Stl, trace: &SignalTrace, t: usize) -> bool {
+    sat(phi, trace, t).unwrap_or(false)
+}
+
+fn sat(phi: &Stl, trace: &SignalTrace, t: usize) -> Option<bool> {
+    match phi {
+        Stl::True => Some(true),
+        Stl::Atom { signal, op, threshold } => {
+            trace.value(signal, t).map(|v| op.holds(v, *threshold))
+        }
+        Stl::Not(inner) => sat(inner, trace, t).map(|b| !b),
+        Stl::And(parts) => {
+            let mut all = true;
+            for p in parts {
+                all &= sat(p, trace, t)?;
+            }
+            Some(all)
+        }
+        Stl::Or(parts) => {
+            let mut any = false;
+            for p in parts {
+                any |= sat(p, trace, t)?;
+            }
+            Some(any)
+        }
+        Stl::Always { start, end, inner } => {
+            for dt in *start..=*end {
+                if !sat(inner, trace, t.checked_add(dt)?)? {
+                    return Some(false);
+                }
+            }
+            Some(true)
+        }
+        Stl::Eventually { start, end, inner } => {
+            for dt in *start..=*end {
+                if sat(inner, trace, t.checked_add(dt)?)? {
+                    return Some(true);
+                }
+            }
+            Some(false)
+        }
+        Stl::Until { start, end, lhs, rhs } => {
+            for dt in *start..=*end {
+                let t2 = t.checked_add(dt)?;
+                if sat(rhs, trace, t2)? {
+                    return Some(true);
+                }
+                if !sat(lhs, trace, t2)? {
+                    return Some(false);
+                }
+            }
+            Some(false)
+        }
+    }
+}
+
+/// Quantitative robustness of `phi` at time `t`; `None` on out-of-bounds.
+pub fn robustness(phi: &Stl, trace: &SignalTrace, t: usize) -> Option<f64> {
+    match phi {
+        Stl::True => Some(f64::INFINITY),
+        Stl::Atom { signal, op, threshold } => {
+            trace.value(signal, t).map(|v| op.robustness(v, *threshold))
+        }
+        Stl::Not(inner) => robustness(inner, trace, t).map(|r| -r),
+        Stl::And(parts) => {
+            let mut min = f64::INFINITY;
+            for p in parts {
+                min = min.min(robustness(p, trace, t)?);
+            }
+            Some(min)
+        }
+        Stl::Or(parts) => {
+            let mut max = f64::NEG_INFINITY;
+            for p in parts {
+                max = max.max(robustness(p, trace, t)?);
+            }
+            Some(max)
+        }
+        Stl::Always { start, end, inner } => {
+            let mut min = f64::INFINITY;
+            for dt in *start..=*end {
+                min = min.min(robustness(inner, trace, t.checked_add(dt)?)?);
+            }
+            Some(min)
+        }
+        Stl::Eventually { start, end, inner } => {
+            let mut max = f64::NEG_INFINITY;
+            for dt in *start..=*end {
+                max = max.max(robustness(inner, trace, t.checked_add(dt)?)?);
+            }
+            Some(max)
+        }
+        Stl::Until { start, end, lhs, rhs } => {
+            // ρ(φ U ψ) = max over t' of min(ρ(ψ, t'), min_{t''<t'} ρ(φ, t''))
+            let mut best = f64::NEG_INFINITY;
+            let mut lhs_min = f64::INFINITY;
+            for dt in *start..=*end {
+                let t2 = t.checked_add(dt)?;
+                let r_rhs = robustness(rhs, trace, t2)?;
+                best = best.max(r_rhs.min(lhs_min));
+                lhs_min = lhs_min.min(robustness(lhs, trace, t2)?);
+            }
+            Some(best)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Stl;
+
+    fn trace() -> SignalTrace {
+        let mut t = SignalTrace::new();
+        t.push_signal("x", vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        t.push_signal("y", vec![5.0, 4.0, 3.0, 2.0, 1.0]);
+        t
+    }
+
+    #[test]
+    fn atom_truth_and_robustness() {
+        let phi = Stl::gt("x", 1.5);
+        let tr = trace();
+        assert!(!phi.satisfied(&tr, 1));
+        assert!(phi.satisfied(&tr, 2));
+        assert_eq!(phi.robustness(&tr, 2), Some(0.5));
+        assert_eq!(phi.robustness(&tr, 0), Some(-1.5));
+    }
+
+    #[test]
+    fn not_flips() {
+        let phi = Stl::not(Stl::gt("x", 1.5));
+        let tr = trace();
+        assert!(phi.satisfied(&tr, 1));
+        assert!(!phi.satisfied(&tr, 2));
+        assert_eq!(phi.robustness(&tr, 2), Some(-0.5));
+    }
+
+    #[test]
+    fn and_or_combine() {
+        let tr = trace();
+        let both = Stl::and(vec![Stl::gt("x", 0.5), Stl::gt("y", 3.5)]);
+        assert!(both.satisfied(&tr, 1));
+        assert!(!both.satisfied(&tr, 2));
+        let either = Stl::or(vec![Stl::gt("x", 3.5), Stl::gt("y", 3.5)]);
+        assert!(either.satisfied(&tr, 1));
+        assert!(either.satisfied(&tr, 4));
+        assert!(!either.satisfied(&tr, 2));
+    }
+
+    #[test]
+    fn always_window() {
+        let tr = trace();
+        let phi = Stl::always(0, 2, Stl::lt("x", 3.5));
+        assert!(phi.satisfied(&tr, 0)); // x = 0,1,2
+        assert!(phi.satisfied(&tr, 1)); // x = 1,2,3
+        assert!(!phi.satisfied(&tr, 2)); // x = 2,3,4
+    }
+
+    #[test]
+    fn eventually_window() {
+        let tr = trace();
+        let phi = Stl::eventually(0, 2, Stl::ge("x", 3.0));
+        assert!(!phi.satisfied(&tr, 0));
+        assert!(phi.satisfied(&tr, 1));
+    }
+
+    #[test]
+    fn until_semantics() {
+        let tr = trace();
+        // y stays > 2 until x >= 3 within 4 steps: x>=3 first at t=3; y>2 at t=0,1,2.
+        let phi = Stl::until(0, 4, Stl::gt("y", 2.0), Stl::ge("x", 3.0));
+        assert!(phi.satisfied(&tr, 0));
+        // Tighter guard fails: y > 4 only at t=0.
+        let phi2 = Stl::until(0, 4, Stl::gt("y", 4.0), Stl::ge("x", 3.0));
+        assert!(!phi2.satisfied(&tr, 0));
+        // Release that happens immediately doesn't need the guard at all.
+        let phi3 = Stl::until(0, 4, Stl::gt("y", 100.0), Stl::lt("x", 0.5));
+        assert!(phi3.satisfied(&tr, 0));
+    }
+
+    #[test]
+    fn out_of_bounds_is_false_and_none() {
+        let tr = trace();
+        let phi = Stl::eventually(0, 10, Stl::gt("x", 100.0));
+        assert!(!phi.satisfied(&tr, 0));
+        assert_eq!(phi.robustness(&tr, 0), None);
+        let atom = Stl::gt("missing", 0.0);
+        assert!(!atom.satisfied(&tr, 0));
+    }
+
+    #[test]
+    fn robustness_soundness_on_windows() {
+        // ρ > 0 ⇒ satisfied; ρ < 0 ⇒ not satisfied (checked over many formulas/times).
+        let tr = trace();
+        let formulas = vec![
+            Stl::always(0, 2, Stl::lt("x", 3.5)),
+            Stl::eventually(1, 3, Stl::gt("y", 2.5)),
+            Stl::and(vec![Stl::gt("x", 1.0), Stl::lt("y", 4.5)]),
+            Stl::or(vec![Stl::gt("x", 10.0), Stl::lt("y", 2.5)]),
+            Stl::until(0, 2, Stl::gt("y", 1.0), Stl::gt("x", 2.5)),
+        ];
+        for phi in &formulas {
+            for t in 0..3 {
+                if let Some(rob) = phi.robustness(&tr, t) {
+                    if rob > 0.0 {
+                        assert!(phi.satisfied(&tr, t), "{phi} at {t}: ρ={rob}");
+                    }
+                    if rob < 0.0 {
+                        assert!(!phi.satisfied(&tr, t), "{phi} at {t}: ρ={rob}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn true_constant() {
+        let tr = trace();
+        assert!(Stl::True.satisfied(&tr, 0));
+        assert_eq!(Stl::True.robustness(&tr, 0), Some(f64::INFINITY));
+    }
+}

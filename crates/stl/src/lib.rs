@@ -1,0 +1,46 @@
+//! # cpsmon-stl — Signal Temporal Logic engine and APS safety rules
+//!
+//! The paper integrates domain knowledge into ML monitors by encoding
+//! context-dependent safety specifications — derived from STPA hazard
+//! analysis — as Signal Temporal Logic (STL) formulas (Table I), then
+//! folding their truth value into a semantic loss (Eq. 2). This crate
+//! provides:
+//!
+//! - [`Stl`]: an STL abstract syntax tree over named, discretely sampled
+//!   signals, with boolean satisfaction and quantitative robustness
+//!   semantics ([`eval`]).
+//! - [`SignalTrace`]: a simple multi-signal sampled trace.
+//! - [`rules::ApsRules`]: the paper's 12 context-dependent unsafe-control-
+//!   action rules for Artificial Pancreas Systems, available both as STL
+//!   formulas and as a fast direct evaluator used inside training loops.
+//! - [`monitor::RuleMonitor`]: a purely knowledge-driven baseline monitor
+//!   (the "Rule-based" row of Table III).
+//!
+//! ## Example
+//!
+//! ```
+//! use cpsmon_stl::{Stl, SignalTrace};
+//!
+//! // "Eventually within 3 steps, bg exceeds 180."
+//! let phi = Stl::eventually(0, 3, Stl::gt("bg", 180.0));
+//! let mut trace = SignalTrace::new();
+//! trace.push_signal("bg", vec![120.0, 150.0, 185.0, 170.0]);
+//! assert!(phi.satisfied(&trace, 0));
+//! assert!(!phi.satisfied(&trace, 3));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod monitor;
+pub mod parse;
+pub mod rules;
+pub mod series;
+pub mod signal;
+
+pub use ast::{CmpOp, Stl};
+pub use monitor::RuleMonitor;
+pub use parse::{parse, ParseError};
+pub use rules::{ApsContext, ApsRules, Command, HazardType, SafetyRule};
+pub use signal::SignalTrace;

@@ -1,0 +1,86 @@
+//! The purely knowledge-driven baseline monitor ("Rule-based" in Table III).
+//!
+//! The paper notes that the Table I formulas "can be also synthesized into
+//! logic to design a rule-based safety monitor solely based on domain
+//! knowledge". This monitor does exactly that: it flags a control action as
+//! unsafe iff any rule fires on the current context. It needs no training
+//! and is applicable to any controller with the same functional spec —
+//! which is also why its accuracy trails the ML monitors (Table III):
+//! it has no access to patient-specific dynamics.
+
+use crate::rules::{ApsContext, ApsRules};
+
+/// A stateless rule-based anomaly detector over [`ApsContext`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RuleMonitor {
+    rules: ApsRules,
+}
+
+impl RuleMonitor {
+    /// Creates a monitor with the given rule parameters.
+    pub fn new(rules: ApsRules) -> Self {
+        Self { rules }
+    }
+
+    /// The underlying rule set.
+    pub fn rules(&self) -> &ApsRules {
+        &self.rules
+    }
+
+    /// Predicts 1 (unsafe) iff any Table I rule fires.
+    pub fn predict(&self, ctx: &ApsContext) -> usize {
+        usize::from(self.rules.violated(ctx))
+    }
+
+    /// Batch prediction over many contexts.
+    pub fn predict_batch(&self, ctxs: &[ApsContext]) -> Vec<usize> {
+        ctxs.iter().map(|c| self.predict(c)).collect()
+    }
+
+    /// Explains a prediction: the id of the rule that fired, if any.
+    pub fn explain(&self, ctx: &ApsContext) -> Option<usize> {
+        self.rules.violated_rule(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Command;
+
+    #[test]
+    fn predicts_unsafe_on_rule_fire() {
+        let m = RuleMonitor::default();
+        let unsafe_ctx = ApsContext {
+            bg: 200.0,
+            dbg: 3.0,
+            diob: -0.1,
+            command: Command::DecreaseInsulin,
+        };
+        assert_eq!(m.predict(&unsafe_ctx), 1);
+        assert_eq!(m.explain(&unsafe_ctx), Some(1));
+    }
+
+    #[test]
+    fn predicts_safe_otherwise() {
+        let m = RuleMonitor::default();
+        let safe_ctx = ApsContext {
+            bg: 120.0,
+            dbg: 0.0,
+            diob: 0.0,
+            command: Command::KeepInsulin,
+        };
+        assert_eq!(m.predict(&safe_ctx), 0);
+        assert_eq!(m.explain(&safe_ctx), None);
+    }
+
+    #[test]
+    fn batch_matches_pointwise() {
+        let m = RuleMonitor::default();
+        let ctxs = vec![
+            ApsContext { bg: 200.0, dbg: 0.0, diob: 0.0, command: Command::StopInsulin },
+            ApsContext { bg: 100.0, dbg: 0.0, diob: 0.0, command: Command::StopInsulin },
+        ];
+        assert_eq!(m.predict_batch(&ctxs), vec![1, 0]);
+    }
+}

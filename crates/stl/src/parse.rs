@@ -1,0 +1,381 @@
+//! A text syntax for STL formulas.
+//!
+//! Lets safety specifications live in configuration files rather than
+//! code, e.g.:
+//!
+//! ```text
+//! (bg > 120) & (dbg > 0) & (diob < -0.001) & (u1 > 0.5)
+//! G[0,5](bg < 300) | F[0,3](!(iob >= 2) U[0,2] (bg <= 70))
+//! ```
+//!
+//! Grammar (precedence low → high; `&`/`|` are left-associative, `->` is
+//! right-associative):
+//!
+//! ```text
+//! formula  := implies
+//! implies  := or ( "->" implies )?
+//! or       := and ( "|" and )*
+//! and      := unary ( "&" unary )*
+//! unary    := "!" unary
+//!           | "G[" int "," int "]" unary
+//!           | "F[" int "," int "]" unary
+//!           | primary
+//! primary  := "(" until ")" | atom | "true"
+//! until    := implies ( "U[" int "," int "]" implies )?
+//! atom     := ident cmp number
+//! cmp      := ">" | ">=" | "<" | "<="
+//! ```
+//!
+//! `U` (until) binds two already-parenthesized operands, mirroring how the
+//! operator is written in the literature: `(φ U[a,b] ψ)`.
+
+use crate::ast::{CmpOp, Stl};
+use std::fmt;
+
+/// Error produced when parsing an STL formula fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl std::str::FromStr for Stl {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse(s)
+    }
+}
+
+/// Parses a formula from the module grammar.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending position on malformed
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// use cpsmon_stl::{parse::parse, SignalTrace};
+///
+/// let phi = parse("G[0,2](bg < 180) & !(rate > 5)").unwrap();
+/// let mut tr = SignalTrace::new();
+/// tr.push_signal("bg", vec![100.0, 120.0, 150.0]);
+/// tr.push_signal("rate", vec![1.0, 1.0, 1.0]);
+/// assert!(phi.satisfied(&tr, 0));
+/// ```
+pub fn parse(input: &str) -> Result<Stl, ParseError> {
+    let mut p = Parser { input, pos: 0 };
+    let formula = p.parse_implies()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(formula)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { position: self.pos, message: message.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{token}'")))
+        }
+    }
+
+    fn parse_implies(&mut self) -> Result<Stl, ParseError> {
+        let lhs = self.parse_or()?;
+        if self.eat("->") {
+            let rhs = self.parse_implies()?;
+            return Ok(Stl::implies(lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_or(&mut self) -> Result<Stl, ParseError> {
+        let mut parts = vec![self.parse_and()?];
+        while self.eat("|") {
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one element") } else { Stl::or(parts) })
+    }
+
+    fn parse_and(&mut self) -> Result<Stl, ParseError> {
+        let mut parts = vec![self.parse_unary()?];
+        while {
+            // `&` but not `&&` ambiguity — accept both spellings.
+            self.eat("&&") || self.eat("&")
+        } {
+            parts.push(self.parse_unary()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one element") } else { Stl::and(parts) })
+    }
+
+    fn parse_interval(&mut self) -> Result<(usize, usize), ParseError> {
+        self.expect("[")?;
+        let start = self.parse_usize()?;
+        self.expect(",")?;
+        let end = self.parse_usize()?;
+        self.expect("]")?;
+        if start > end {
+            return Err(self.err(format!("interval [{start},{end}] is reversed")));
+        }
+        Ok((start, end))
+    }
+
+    fn parse_unary(&mut self) -> Result<Stl, ParseError> {
+        self.skip_ws();
+        if self.eat("!") {
+            return Ok(Stl::not(self.parse_unary()?));
+        }
+        // Temporal operators: an upper-case G/F followed by '['.
+        let rest = self.rest();
+        if rest.starts_with('G') || rest.starts_with('F') {
+            let always = rest.starts_with('G');
+            let save = self.pos;
+            self.pos += 1;
+            self.skip_ws();
+            if self.rest().starts_with('[') {
+                let (start, end) = self.parse_interval()?;
+                let inner = self.parse_unary()?;
+                return Ok(if always {
+                    Stl::always(start, end, inner)
+                } else {
+                    Stl::eventually(start, end, inner)
+                });
+            }
+            self.pos = save; // it was an identifier starting with G/F
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Stl, ParseError> {
+        self.skip_ws();
+        if self.eat("(") {
+            let lhs = self.parse_implies()?;
+            self.skip_ws();
+            if self.rest().starts_with('U') {
+                self.pos += 1;
+                let (start, end) = self.parse_interval()?;
+                let rhs = self.parse_implies()?;
+                self.expect(")")?;
+                return Ok(Stl::until(start, end, lhs, rhs));
+            }
+            self.expect(")")?;
+            return Ok(lhs);
+        }
+        if self.eat("true") {
+            return Ok(Stl::True);
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Stl, ParseError> {
+        let signal = self.parse_ident()?;
+        self.skip_ws();
+        let op = if self.eat(">=") {
+            CmpOp::Ge
+        } else if self.eat("<=") {
+            CmpOp::Le
+        } else if self.eat(">") {
+            CmpOp::Gt
+        } else if self.eat("<") {
+            CmpOp::Lt
+        } else {
+            return Err(self.err("expected comparison operator"));
+        };
+        let threshold = self.parse_number()?;
+        Ok(Stl::Atom { signal, op, threshold })
+    }
+
+    fn parse_ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let len = rest
+            .char_indices()
+            .take_while(|(_, c)| c.is_ascii_alphanumeric() || *c == '_')
+            .count();
+        if len == 0 || !rest.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_') {
+            return Err(self.err("expected signal name"));
+        }
+        let ident = &rest[..len];
+        self.pos += len;
+        Ok(ident.to_string())
+    }
+
+    fn parse_usize(&mut self) -> Result<usize, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let len = rest.chars().take_while(char::is_ascii_digit).count();
+        if len == 0 {
+            return Err(self.err("expected integer"));
+        }
+        let value = rest[..len].parse().map_err(|_| self.err("integer out of range"))?;
+        self.pos += len;
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let len = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .count();
+        if len == 0 {
+            return Err(self.err("expected number"));
+        }
+        let value: f64 = rest[..len].parse().map_err(|_| self.err("malformed number"))?;
+        self.pos += len;
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::SignalTrace;
+
+    fn trace() -> SignalTrace {
+        let mut t = SignalTrace::new();
+        t.push_signal("bg", vec![100.0, 150.0, 200.0, 250.0]);
+        t.push_signal("rate", vec![1.0, 2.0, 0.0, 0.0]);
+        t
+    }
+
+    #[test]
+    fn parses_atoms_with_all_operators() {
+        for (text, expect) in [
+            ("bg > 120", true),  // at t=1: 150 > 120
+            ("bg >= 150", true),
+            ("bg < 120", false),
+            ("bg <= 150", true),
+        ] {
+            let phi = parse(text).unwrap();
+            assert_eq!(phi.satisfied(&trace(), 1), expect, "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_boolean_structure() {
+        let phi = parse("bg > 120 & rate > 0.5 | bg > 1000").unwrap();
+        // (bg>120 & rate>0.5) | bg>1000 — & binds tighter.
+        assert!(phi.satisfied(&trace(), 1));
+        assert!(!phi.satisfied(&trace(), 2)); // rate = 0
+    }
+
+    #[test]
+    fn parses_negation_and_implication() {
+        let phi = parse("bg > 120 -> !(rate > 0.5)").unwrap();
+        assert!(phi.satisfied(&trace(), 0)); // antecedent false
+        assert!(!phi.satisfied(&trace(), 1)); // 150>120 but rate 2>0.5
+        assert!(phi.satisfied(&trace(), 2)); // rate 0
+    }
+
+    #[test]
+    fn parses_temporal_operators() {
+        let phi = parse("F[0,2](bg >= 200)").unwrap();
+        assert!(phi.satisfied(&trace(), 0));
+        let phi = parse("G[0,1](bg < 160)").unwrap();
+        assert!(phi.satisfied(&trace(), 0));
+        assert!(!phi.satisfied(&trace(), 1));
+    }
+
+    #[test]
+    fn parses_until() {
+        let phi = parse("(rate > 0.5 U[0,3] bg >= 200)").unwrap();
+        assert!(phi.satisfied(&trace(), 0));
+        let phi = parse("(rate > 1.5 U[0,3] bg >= 200)").unwrap();
+        assert!(!phi.satisfied(&trace(), 0)); // guard fails at t=0
+    }
+
+    #[test]
+    fn parses_true_and_nesting() {
+        let phi = parse("true & G[0,0](F[0,1](bg > 120))").unwrap();
+        assert!(phi.satisfied(&trace(), 0));
+    }
+
+    #[test]
+    fn identifier_starting_with_g_is_not_temporal() {
+        let mut t = SignalTrace::new();
+        t.push_signal("Gp", vec![5.0]);
+        let phi = parse("Gp > 1").unwrap();
+        assert!(phi.satisfied(&t, 0));
+    }
+
+    #[test]
+    fn roundtrips_table1_style_rule() {
+        let phi = parse("(bg > 120) & (dbg > 0) & (diob < -0.001) & (u1 > 0.5)").unwrap();
+        let mut t = SignalTrace::new();
+        t.push_signal("bg", vec![200.0]);
+        t.push_signal("dbg", vec![2.0]);
+        t.push_signal("diob", vec![-0.01]);
+        t.push_signal("u1", vec![1.0]);
+        assert!(phi.satisfied(&t, 0));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("bg >").unwrap_err();
+        assert!(err.message.contains("number"), "{err}");
+        let err = parse("bg > 1 extra").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+        let err = parse("G[3,1](bg > 0)").unwrap_err();
+        assert!(err.message.contains("reversed"), "{err}");
+        let err = parse("(bg > 1").unwrap_err();
+        assert!(err.message.contains("expected ')'"), "{err}");
+    }
+
+    #[test]
+    fn from_str_impl_works() {
+        let phi: Stl = "bg > 100".parse().unwrap();
+        assert!(phi.satisfied(&trace(), 1));
+    }
+
+    #[test]
+    fn scientific_notation_numbers() {
+        let phi = parse("diob < -1e-3").unwrap();
+        let mut t = SignalTrace::new();
+        t.push_signal("diob", vec![-0.01]);
+        assert!(phi.satisfied(&t, 0));
+    }
+}

@@ -1,0 +1,408 @@
+//! Table I of the paper: context-dependent safety specifications for APS.
+//!
+//! Each rule describes a system context (blood glucose `BG`, its trend
+//! `BG' = dBG/dt`, insulin-on-board trend `IOB' = dIOB/dt`) under which a
+//! control action `u₁…u₄` is *unsafe* and would contribute to one of two
+//! hazards:
+//!
+//! - **H1** — too much insulin → BG falls → hypoglycemia;
+//! - **H2** — too little insulin → BG rises → hyperglycemia.
+//!
+//! The rules are exposed in two equivalent forms:
+//!
+//! - [`ApsRules::formulas`] — STL objects for the generic engine (used by
+//!   the rule-based monitor and for documentation/display);
+//! - [`ApsRules::violated`] — a direct evaluator over an [`ApsContext`],
+//!   used in the training hot loop to compute the Eq. 2 indicator.
+//!
+//! A property test asserts the two forms agree on random contexts.
+
+use crate::ast::Stl;
+use crate::signal::SignalTrace;
+use std::fmt;
+
+/// The four discrete control actions a monitor distinguishes (per Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// `u₁` — decrease the insulin rate.
+    DecreaseInsulin,
+    /// `u₂` — increase the insulin rate.
+    IncreaseInsulin,
+    /// `u₃` — stop insulin delivery entirely.
+    StopInsulin,
+    /// `u₄` — keep the current insulin rate.
+    KeepInsulin,
+}
+
+impl Command {
+    /// All four commands, in `u₁..u₄` order.
+    pub const ALL: [Command; 4] = [
+        Command::DecreaseInsulin,
+        Command::IncreaseInsulin,
+        Command::StopInsulin,
+        Command::KeepInsulin,
+    ];
+
+    /// Index in `u₁..u₄` order (0-based).
+    pub fn index(self) -> usize {
+        match self {
+            Command::DecreaseInsulin => 0,
+            Command::IncreaseInsulin => 1,
+            Command::StopInsulin => 2,
+            Command::KeepInsulin => 3,
+        }
+    }
+
+    /// Signal name used by the STL encoding (`"u1"…"u4"`, 0/1-valued).
+    pub fn signal_name(self) -> &'static str {
+        ["u1", "u2", "u3", "u4"][self.index()]
+    }
+
+    /// Classifies a pump-rate transition into a command: `rate == 0` is
+    /// *stop*; otherwise the sign of `delta` picks decrease/increase/keep.
+    pub fn from_rate_change(rate: f64, delta: f64, eps: f64) -> Command {
+        if rate <= eps {
+            Command::StopInsulin
+        } else if delta > eps {
+            Command::IncreaseInsulin
+        } else if delta < -eps {
+            Command::DecreaseInsulin
+        } else {
+            Command::KeepInsulin
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Command::DecreaseInsulin => "decrease_insulin",
+            Command::IncreaseInsulin => "increase_insulin",
+            Command::StopInsulin => "stop_insulin",
+            Command::KeepInsulin => "keep_insulin",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Hazard classes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HazardType {
+    /// Too much insulin → hypoglycemia risk.
+    H1,
+    /// Too little insulin → hyperglycemia risk.
+    H2,
+}
+
+impl fmt::Display for HazardType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HazardType::H1 => f.write_str("H1"),
+            HazardType::H2 => f.write_str("H2"),
+        }
+    }
+}
+
+/// One row of Table I: an id, the STL formula, and the implied hazard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SafetyRule {
+    /// Rule number (1–12, matching Table I).
+    pub id: usize,
+    /// The STL context formula (including the command atom).
+    pub formula: Stl,
+    /// Hazard the unsafe action would contribute to.
+    pub hazard: HazardType,
+}
+
+/// The aggregated system context a rule is evaluated against.
+///
+/// Matches Eq. 2's `f(μ(X_t))`: window-aggregated state estimates plus the
+/// control command issued at the end of the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApsContext {
+    /// Blood glucose estimate (mg/dL).
+    pub bg: f64,
+    /// BG trend `dBG/dt` (mg/dL per step).
+    pub dbg: f64,
+    /// IOB trend `dIOB/dt` (U per step).
+    pub diob: f64,
+    /// The control action under scrutiny.
+    pub command: Command,
+}
+
+/// Parameters of the Table I rule set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApsRules {
+    /// BG target value `BGT` (mg/dL). The controllers drive BG here.
+    pub bgt: f64,
+    /// Hypoglycemia threshold used by rule 10 (mg/dL).
+    pub hypo: f64,
+    /// Tolerance band for the `IOB' = 0` contexts.
+    pub iob_eps: f64,
+    /// Deadband for the BG trend (mg/dL per step): `BG' > 0` means
+    /// `dbg > bg_trend_eps`, `BG' < 0` means `dbg < -bg_trend_eps`. Table I
+    /// writes exact sign tests, but on noisy sampled CGM data a literal
+    /// sign test turns sensor jitter into rule verdicts; the deadband is
+    /// the same concession the table itself makes for `IOB' = 0`.
+    pub bg_trend_eps: f64,
+}
+
+impl Default for ApsRules {
+    fn default() -> Self {
+        Self { bgt: 120.0, hypo: 70.0, iob_eps: 1e-3, bg_trend_eps: 1.5 }
+    }
+}
+
+impl ApsRules {
+    /// Creates a rule set with a custom BG target.
+    pub fn with_target(bgt: f64) -> Self {
+        Self { bgt, ..Self::default() }
+    }
+
+    /// Fast direct evaluation: does *any* of the 12 rules fire for `ctx`?
+    ///
+    /// This is the Eq. 2 indicator `I(⋁_Φh f(μ(X_t)) ⊨ Φ_h)`.
+    pub fn violated(&self, ctx: &ApsContext) -> bool {
+        self.violated_rule(ctx).is_some()
+    }
+
+    /// Like [`violated`](Self::violated) but reports *which* rule fired
+    /// (command-specific rules take precedence over the catch-all rule 10),
+    /// for explainability.
+    pub fn violated_rule(&self, ctx: &ApsContext) -> Option<usize> {
+        let ApsContext { bg, dbg, diob, command } = *ctx;
+        let eps = self.iob_eps;
+        let high = bg > self.bgt;
+        let low = bg < self.bgt;
+        let rising = dbg > self.bg_trend_eps;
+        let falling = dbg < -self.bg_trend_eps;
+        let iob_up = diob > eps;
+        let iob_down = diob < -eps;
+        let iob_flat = diob.abs() <= eps;
+        let rule = match command {
+            Command::DecreaseInsulin => {
+                if high && rising && iob_down {
+                    Some(1)
+                } else if high && rising && iob_flat {
+                    Some(2)
+                } else if high && falling && iob_up {
+                    Some(3)
+                } else if high && falling && iob_down {
+                    Some(4)
+                } else if high && falling && iob_flat {
+                    Some(5)
+                } else {
+                    None
+                }
+            }
+            Command::IncreaseInsulin => {
+                if low && falling && iob_up {
+                    Some(6)
+                } else if low && falling && iob_down {
+                    Some(7)
+                } else if low && falling && iob_flat {
+                    Some(8)
+                } else {
+                    None
+                }
+            }
+            Command::StopInsulin => {
+                if high {
+                    Some(9)
+                } else {
+                    None
+                }
+            }
+            Command::KeepInsulin => {
+                if high && rising && diob <= eps {
+                    Some(11)
+                } else if low && falling && diob >= -eps {
+                    Some(12)
+                } else {
+                    None
+                }
+            }
+        };
+        // Rule 10 applies to any command other than stop.
+        if rule.is_none() && bg < self.hypo && command != Command::StopInsulin {
+            return Some(10);
+        }
+        rule
+    }
+
+    /// The 12 rules as STL formulas over the signals
+    /// `bg`, `dbg`, `diob`, `u1`…`u4` (command signals are 0/1-valued).
+    pub fn formulas(&self) -> Vec<SafetyRule> {
+        let bgt = self.bgt;
+        let eps = self.iob_eps;
+        let teps = self.bg_trend_eps;
+        let high = || Stl::gt("bg", bgt);
+        let low = || Stl::lt("bg", bgt);
+        let rising = || Stl::gt("dbg", teps);
+        let falling = || Stl::lt("dbg", -teps);
+        let iob_up = || Stl::gt("diob", eps);
+        let iob_down = || Stl::lt("diob", -eps);
+        let iob_flat = || Stl::near_zero("diob", eps);
+        let cmd = |c: Command| Stl::gt(c.signal_name(), 0.5);
+        let u1 = || cmd(Command::DecreaseInsulin);
+        let u2 = || cmd(Command::IncreaseInsulin);
+        let u3 = || cmd(Command::StopInsulin);
+        let u4 = || cmd(Command::KeepInsulin);
+        let rule = |id, parts: Vec<Stl>, hazard| SafetyRule {
+            id,
+            formula: Stl::and(parts),
+            hazard,
+        };
+        vec![
+            rule(1, vec![high(), rising(), iob_down(), u1()], HazardType::H2),
+            rule(2, vec![high(), rising(), iob_flat(), u1()], HazardType::H2),
+            rule(3, vec![high(), falling(), iob_up(), u1()], HazardType::H2),
+            rule(4, vec![high(), falling(), iob_down(), u1()], HazardType::H2),
+            rule(5, vec![high(), falling(), iob_flat(), u1()], HazardType::H2),
+            rule(6, vec![low(), falling(), iob_up(), u2()], HazardType::H1),
+            rule(7, vec![low(), falling(), iob_down(), u2()], HazardType::H1),
+            rule(8, vec![low(), falling(), iob_flat(), u2()], HazardType::H1),
+            rule(9, vec![high(), u3()], HazardType::H2),
+            rule(
+                10,
+                vec![Stl::lt("bg", self.hypo), Stl::not(u3())],
+                HazardType::H1,
+            ),
+            rule(
+                11,
+                vec![high(), rising(), Stl::le("diob", eps), u4()],
+                HazardType::H2,
+            ),
+            rule(
+                12,
+                vec![low(), falling(), Stl::ge("diob", -eps), u4()],
+                HazardType::H1,
+            ),
+        ]
+    }
+
+    /// Encodes a context as a single-sample [`SignalTrace`], so the STL
+    /// form of the rules can be evaluated against it.
+    pub fn context_trace(ctx: &ApsContext) -> SignalTrace {
+        let mut t = SignalTrace::new();
+        t.push_signal("bg", vec![ctx.bg]);
+        t.push_signal("dbg", vec![ctx.dbg]);
+        t.push_signal("diob", vec![ctx.diob]);
+        for c in Command::ALL {
+            let v = if c == ctx.command { 1.0 } else { 0.0 };
+            t.push_signal(c.signal_name(), vec![v]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(bg: f64, dbg: f64, diob: f64, command: Command) -> ApsContext {
+        ApsContext { bg, dbg, diob, command }
+    }
+
+    #[test]
+    fn rule1_decrease_while_high_and_rising() {
+        let rules = ApsRules::default();
+        let c = ctx(200.0, 2.0, -0.1, Command::DecreaseInsulin);
+        assert_eq!(rules.violated_rule(&c), Some(1));
+    }
+
+    #[test]
+    fn rules_2_to_5_cover_decrease_contexts() {
+        let rules = ApsRules::default();
+        assert_eq!(rules.violated_rule(&ctx(200.0, 2.0, 0.0, Command::DecreaseInsulin)), Some(2));
+        assert_eq!(rules.violated_rule(&ctx(200.0, -2.0, 0.1, Command::DecreaseInsulin)), Some(3));
+        assert_eq!(rules.violated_rule(&ctx(200.0, -2.0, -0.1, Command::DecreaseInsulin)), Some(4));
+        assert_eq!(rules.violated_rule(&ctx(200.0, -2.0, 0.0, Command::DecreaseInsulin)), Some(5));
+    }
+
+    #[test]
+    fn decrease_when_low_is_fine() {
+        let rules = ApsRules::default();
+        assert_eq!(rules.violated_rule(&ctx(100.0, -2.0, 0.0, Command::DecreaseInsulin)), None);
+    }
+
+    #[test]
+    fn rules_6_to_8_cover_increase_contexts() {
+        let rules = ApsRules::default();
+        assert_eq!(rules.violated_rule(&ctx(90.0, -2.0, 0.1, Command::IncreaseInsulin)), Some(6));
+        assert_eq!(rules.violated_rule(&ctx(90.0, -2.0, -0.1, Command::IncreaseInsulin)), Some(7));
+        assert_eq!(rules.violated_rule(&ctx(90.0, -2.0, 0.0, Command::IncreaseInsulin)), Some(8));
+        // Increasing insulin while high is the right move.
+        assert_eq!(rules.violated_rule(&ctx(200.0, 2.0, 0.0, Command::IncreaseInsulin)), None);
+    }
+
+    #[test]
+    fn rule9_stop_while_high() {
+        let rules = ApsRules::default();
+        assert_eq!(rules.violated_rule(&ctx(200.0, 0.0, 0.0, Command::StopInsulin)), Some(9));
+        assert_eq!(rules.violated_rule(&ctx(100.0, 0.0, 0.0, Command::StopInsulin)), None);
+    }
+
+    #[test]
+    fn rule10_anything_but_stop_when_hypo() {
+        let rules = ApsRules::default();
+        assert_eq!(rules.violated_rule(&ctx(60.0, 0.5, 0.2, Command::KeepInsulin)), Some(10));
+        assert_eq!(rules.violated_rule(&ctx(60.0, 0.5, 0.2, Command::IncreaseInsulin)), Some(10));
+        assert_eq!(rules.violated_rule(&ctx(60.0, 0.5, 0.2, Command::StopInsulin)), None);
+    }
+
+    #[test]
+    fn rules_11_12_keep_contexts() {
+        let rules = ApsRules::default();
+        assert_eq!(rules.violated_rule(&ctx(200.0, 2.0, -0.1, Command::KeepInsulin)), Some(11));
+        assert_eq!(rules.violated_rule(&ctx(200.0, 2.0, 0.0, Command::KeepInsulin)), Some(11));
+        assert_eq!(rules.violated_rule(&ctx(90.0, -2.0, 0.1, Command::KeepInsulin)), Some(12));
+        assert_eq!(rules.violated_rule(&ctx(90.0, -2.0, 0.0, Command::KeepInsulin)), Some(12));
+        // Keep while stable and in range is safe.
+        assert_eq!(rules.violated_rule(&ctx(120.0, 0.0, 0.0, Command::KeepInsulin)), None);
+    }
+
+    #[test]
+    fn direct_and_stl_forms_agree() {
+        // Exhaustive grid over context space × commands.
+        let rules = ApsRules::default();
+        let formulas = rules.formulas();
+        for &bg in &[50.0, 69.9, 70.1, 119.9, 120.0, 120.1, 200.0] {
+            for &dbg in &[-2.0, -1e-9, 0.0, 1e-9, 2.0] {
+                for &diob in &[-0.5, -1e-3, -1e-4, 0.0, 1e-4, 1e-3, 0.5] {
+                    for command in Command::ALL {
+                        let c = ApsContext { bg, dbg, diob, command };
+                        let direct = rules.violated(&c);
+                        let trace = ApsRules::context_trace(&c);
+                        let stl = formulas.iter().any(|r| r.formula.satisfied(&trace, 0));
+                        assert_eq!(
+                            direct, stl,
+                            "mismatch at bg={bg} dbg={dbg} diob={diob} cmd={command}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn formulas_have_all_twelve_ids() {
+        let ids: Vec<usize> = ApsRules::default().formulas().iter().map(|r| r.id).collect();
+        assert_eq!(ids, (1..=12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn command_from_rate_change() {
+        assert_eq!(Command::from_rate_change(0.0, 0.0, 1e-6), Command::StopInsulin);
+        assert_eq!(Command::from_rate_change(1.0, 0.5, 1e-6), Command::IncreaseInsulin);
+        assert_eq!(Command::from_rate_change(1.0, -0.5, 1e-6), Command::DecreaseInsulin);
+        assert_eq!(Command::from_rate_change(1.0, 0.0, 1e-6), Command::KeepInsulin);
+    }
+
+    #[test]
+    fn hazard_types_match_table() {
+        let rules = ApsRules::default().formulas();
+        let h1: Vec<usize> = rules.iter().filter(|r| r.hazard == HazardType::H1).map(|r| r.id).collect();
+        assert_eq!(h1, vec![6, 7, 8, 10, 12]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Efficient whole-trace STL evaluation.
+//!
+//! Online monitors evaluate a formula at *every* step of a trace. The
+//! naive approach re-evaluates bounded temporal operators per step, which
+//! is `O(n·w)` in the window width `w`; this module computes satisfaction
+//! and robustness *series* bottom-up in `O(n)` per operator using the
+//! sliding-window-extrema algorithm (monotonic deque), the same technique
+//! production STL monitors use.
+//!
+//! Out-of-bounds semantics match [`crate::eval`]: positions whose window
+//! runs past the end of the trace yield `None` (robustness) / `false`
+//! (satisfaction).
+
+use crate::ast::Stl;
+use crate::signal::SignalTrace;
+use std::collections::VecDeque;
+
+/// Sliding-window extrema over `values[t + start ..= t + end]` for every
+/// `t`, in `O(n)`. Positions whose window exceeds the array yield `None`.
+fn window_extremum(values: &[Option<f64>], start: usize, end: usize, maximum: bool) -> Vec<Option<f64>> {
+    let n = values.len();
+    let width = end - start + 1;
+    let mut out = vec![None; n];
+    // Deque of indices into `values`, maintaining candidates in decreasing
+    // (max) or increasing (min) order. A single None inside the window
+    // poisons it (propagating unknown), tracked via a counter.
+    let mut deque: VecDeque<usize> = VecDeque::new();
+    let mut none_count = 0usize;
+    let better = |a: f64, b: f64| if maximum { a >= b } else { a <= b };
+    for i in 0..n {
+        if values[i].is_none() {
+            none_count += 1;
+        }
+        if let Some(v) = values[i] {
+            while let Some(&back) = deque.back() {
+                match values[back] {
+                    Some(b) if better(v, b) => {
+                        deque.pop_back();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        deque.push_back(i);
+        // `i` is the right edge of the window for query time t = i − end;
+        // that window spans [t + start, i] = [i + 1 − width, i].
+        if i >= end {
+            let lo = i + 1 - width;
+            while let Some(&front) = deque.front() {
+                if front < lo {
+                    if values[front].is_none() {
+                        none_count -= 1;
+                    }
+                    deque.pop_front();
+                } else {
+                    break;
+                }
+            }
+            out[i - end] = if none_count > 0 {
+                None
+            } else {
+                deque.front().and_then(|&f| values[f])
+            };
+        }
+    }
+    out
+}
+
+/// Robustness of `phi` at every time step of `trace`.
+///
+/// Equivalent to calling [`Stl::robustness`] at each `t` but computed
+/// bottom-up in `O(n)` per operator node.
+pub fn robustness_series(phi: &Stl, trace: &SignalTrace) -> Vec<Option<f64>> {
+    let n = trace.len();
+    match phi {
+        Stl::True => vec![Some(f64::INFINITY); n],
+        Stl::Atom { signal, op, threshold } => (0..n)
+            .map(|t| trace.value(signal, t).map(|v| op.robustness(v, *threshold)))
+            .collect(),
+        Stl::Not(inner) => robustness_series(inner, trace)
+            .into_iter()
+            .map(|r| r.map(|v| -v))
+            .collect(),
+        Stl::And(parts) => combine(parts, trace, f64::min, f64::INFINITY),
+        Stl::Or(parts) => combine(parts, trace, f64::max, f64::NEG_INFINITY),
+        Stl::Always { start, end, inner } => {
+            window_extremum(&robustness_series(inner, trace), *start, *end, false)
+        }
+        Stl::Eventually { start, end, inner } => {
+            window_extremum(&robustness_series(inner, trace), *start, *end, true)
+        }
+        Stl::Until { start, end, lhs, rhs } => {
+            // Until has no simple deque form over arbitrary windows; fall
+            // back to the pointwise evaluator for this node (its operands
+            // are still shared through the trace).
+            (0..n).map(|t| phi.robustness(trace, t)).collect()
+        }
+    }
+}
+
+fn combine(
+    parts: &[Stl],
+    trace: &SignalTrace,
+    fold: impl Fn(f64, f64) -> f64 + Copy,
+    identity: f64,
+) -> Vec<Option<f64>> {
+    let mut acc: Option<Vec<Option<f64>>> = None;
+    for p in parts {
+        let series = robustness_series(p, trace);
+        acc = Some(match acc {
+            None => series,
+            Some(prev) => prev
+                .into_iter()
+                .zip(series)
+                .map(|(a, b)| match (a, b) {
+                    (Some(x), Some(y)) => Some(fold(x, y)),
+                    _ => None,
+                })
+                .collect(),
+        });
+    }
+    acc.unwrap_or_else(|| vec![Some(identity); trace.len()])
+}
+
+/// Boolean satisfaction of `phi` at every time step (false where the
+/// window runs out of trace, matching [`Stl::satisfied`]).
+pub fn satisfaction_series(phi: &Stl, trace: &SignalTrace) -> Vec<bool> {
+    // Robustness sign decides satisfaction except at exact zero, where the
+    // boolean semantics of non-strict operators can disagree; resolve
+    // zeros with the pointwise evaluator (rare path).
+    robustness_series(phi, trace)
+        .into_iter()
+        .enumerate()
+        .map(|(t, r)| match r {
+            Some(v) if v > 0.0 => true,
+            Some(v) if v < 0.0 => false,
+            _ => phi.satisfied(trace, t),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Stl;
+
+    fn trace(values: &[f64]) -> SignalTrace {
+        let mut t = SignalTrace::new();
+        t.push_signal("x", values.to_vec());
+        t
+    }
+
+    fn naive_robustness(phi: &Stl, tr: &SignalTrace) -> Vec<Option<f64>> {
+        (0..tr.len()).map(|t| phi.robustness(tr, t)).collect()
+    }
+
+    #[test]
+    fn atom_series_matches_naive() {
+        let tr = trace(&[1.0, 3.0, -2.0, 0.5]);
+        let phi = Stl::gt("x", 0.0);
+        assert_eq!(robustness_series(&phi, &tr), naive_robustness(&phi, &tr));
+    }
+
+    #[test]
+    fn always_series_matches_naive() {
+        let tr = trace(&[5.0, 1.0, 4.0, 2.0, 6.0, 0.0, 3.0]);
+        for (s, e) in [(0, 0), (0, 2), (1, 3), (2, 2)] {
+            let phi = Stl::always(s, e, Stl::gt("x", 2.5));
+            assert_eq!(
+                robustness_series(&phi, &tr),
+                naive_robustness(&phi, &tr),
+                "interval [{s},{e}]"
+            );
+        }
+    }
+
+    #[test]
+    fn eventually_series_matches_naive() {
+        let tr = trace(&[5.0, 1.0, 4.0, 2.0, 6.0, 0.0, 3.0]);
+        for (s, e) in [(0, 1), (0, 3), (2, 4)] {
+            let phi = Stl::eventually(s, e, Stl::lt("x", 2.0));
+            assert_eq!(
+                robustness_series(&phi, &tr),
+                naive_robustness(&phi, &tr),
+                "interval [{s},{e}]"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_and_boolean_series() {
+        let tr = trace(&[1.0, 2.0, 3.0, 4.0, 5.0, 4.0, 3.0, 2.0, 1.0]);
+        let phi = Stl::and(vec![
+            Stl::eventually(0, 2, Stl::gt("x", 4.5)),
+            Stl::always(0, 1, Stl::gt("x", 1.5)),
+        ]);
+        let fast = satisfaction_series(&phi, &tr);
+        let slow: Vec<bool> = (0..tr.len()).map(|t| phi.satisfied(&tr, t)).collect();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn out_of_bounds_positions_are_none() {
+        let tr = trace(&[1.0, 2.0, 3.0]);
+        let phi = Stl::always(0, 2, Stl::gt("x", 0.0));
+        let series = robustness_series(&phi, &tr);
+        assert!(series[0].is_some());
+        assert!(series[1].is_none());
+        assert!(series[2].is_none());
+    }
+
+    #[test]
+    fn until_falls_back_correctly() {
+        let tr = trace(&[1.0, 2.0, 3.0, 4.0]);
+        let phi = Stl::until(0, 2, Stl::gt("x", 0.0), Stl::gt("x", 2.5));
+        assert_eq!(robustness_series(&phi, &tr), naive_robustness(&phi, &tr));
+    }
+
+    #[test]
+    fn big_trace_series_is_consistent() {
+        // A longer pseudo-random trace to exercise deque evictions.
+        let values: Vec<f64> = (0..500)
+            .map(|i| ((i as f64 * 0.7).sin() * 50.0 + (i % 17) as f64))
+            .collect();
+        let tr = trace(&values);
+        let phi = Stl::or(vec![
+            Stl::always(1, 6, Stl::gt("x", 10.0)),
+            Stl::eventually(0, 12, Stl::lt("x", -20.0)),
+        ]);
+        assert_eq!(robustness_series(&phi, &tr), naive_robustness(&phi, &tr));
+        let fast = satisfaction_series(&phi, &tr);
+        let slow: Vec<bool> = (0..tr.len()).map(|t| phi.satisfied(&tr, t)).collect();
+        assert_eq!(fast, slow);
+    }
+}

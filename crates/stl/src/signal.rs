@@ -1,0 +1,118 @@
+//! Multi-signal sampled traces that STL formulas are evaluated against.
+
+use std::collections::BTreeMap;
+
+/// A collection of equally sampled, named signals.
+///
+/// All signals share the same discrete time base (sample index); the engine
+/// does not interpolate. Signals may have different lengths — evaluation
+/// past the end of a signal is treated as an out-of-bounds error by the
+/// evaluator.
+///
+/// # Examples
+///
+/// ```
+/// use cpsmon_stl::SignalTrace;
+///
+/// let mut t = SignalTrace::new();
+/// t.push_signal("bg", vec![100.0, 110.0]);
+/// assert_eq!(t.value("bg", 1), Some(110.0));
+/// assert_eq!(t.value("bg", 2), None);
+/// assert_eq!(t.value("iob", 0), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SignalTrace {
+    signals: BTreeMap<String, Vec<f64>>,
+}
+
+impl SignalTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a named signal.
+    pub fn push_signal(&mut self, name: impl Into<String>, samples: Vec<f64>) -> &mut Self {
+        self.signals.insert(name.into(), samples);
+        self
+    }
+
+    /// The sample of `name` at time `t`, or `None` if the signal is missing
+    /// or `t` is past its end.
+    pub fn value(&self, name: &str, t: usize) -> Option<f64> {
+        self.signals.get(name).and_then(|s| s.get(t)).copied()
+    }
+
+    /// Full sample vector for a signal.
+    pub fn samples(&self, name: &str) -> Option<&[f64]> {
+        self.signals.get(name).map(Vec::as_slice)
+    }
+
+    /// Names of all signals in the trace, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.signals.keys().map(String::as_str)
+    }
+
+    /// Length of the *shortest* signal — the horizon every formula can be
+    /// safely evaluated over. Zero when empty.
+    pub fn len(&self) -> usize {
+        self.signals.values().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Whether the trace holds no signals (or only empty ones).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<S: Into<String>> FromIterator<(S, Vec<f64>)> for SignalTrace {
+    fn from_iter<I: IntoIterator<Item = (S, Vec<f64>)>>(iter: I) -> Self {
+        let mut t = SignalTrace::new();
+        for (name, samples) in iter {
+            t.push_signal(name, samples);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_lookup() {
+        let t: SignalTrace = [("a", vec![1.0, 2.0]), ("b", vec![3.0])].into_iter().collect();
+        assert_eq!(t.value("a", 0), Some(1.0));
+        assert_eq!(t.value("b", 0), Some(3.0));
+        assert_eq!(t.value("b", 1), None);
+        assert_eq!(t.value("c", 0), None);
+    }
+
+    #[test]
+    fn len_is_shortest_signal() {
+        let t: SignalTrace = [("a", vec![1.0, 2.0, 3.0]), ("b", vec![1.0])].into_iter().collect();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = SignalTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn replace_signal() {
+        let mut t = SignalTrace::new();
+        t.push_signal("a", vec![1.0]);
+        t.push_signal("a", vec![2.0, 3.0]);
+        assert_eq!(t.samples("a"), Some(&[2.0, 3.0][..]));
+    }
+
+    #[test]
+    fn names_sorted() {
+        let t: SignalTrace = [("z", vec![]), ("a", vec![])].into_iter().collect();
+        let names: Vec<&str> = t.names().collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the STL semantics: soundness of the
+//! quantitative semantics, classical equivalences, and agreement between
+//! the two forms of the Table I rules.
+
+use cpsmon_stl::{ApsContext, ApsRules, Command, SignalTrace, Stl};
+use proptest::prelude::*;
+
+fn trace(len: usize) -> impl Strategy<Value = SignalTrace> {
+    (
+        proptest::collection::vec(-5.0f64..5.0, len),
+        proptest::collection::vec(-5.0f64..5.0, len),
+    )
+        .prop_map(|(x, y)| {
+            let mut t = SignalTrace::new();
+            t.push_signal("x", x);
+            t.push_signal("y", y);
+            t
+        })
+}
+
+/// A random formula over signals `x`/`y` with bounded temporal depth.
+fn formula() -> impl Strategy<Value = Stl> {
+    let atom = prop_oneof![
+        (-5.0f64..5.0).prop_map(|th| Stl::gt("x", th)),
+        (-5.0f64..5.0).prop_map(|th| Stl::lt("y", th)),
+        (-5.0f64..5.0).prop_map(|th| Stl::ge("y", th)),
+        (-5.0f64..5.0).prop_map(|th| Stl::le("x", th)),
+    ];
+    atom.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Stl::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Stl::and(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Stl::or(vec![a, b])),
+            (0usize..2, 0usize..3, inner.clone())
+                .prop_map(|(s, w, f)| Stl::always(s, s + w, f)),
+            (0usize..2, 0usize..3, inner.clone())
+                .prop_map(|(s, w, f)| Stl::eventually(s, s + w, f)),
+            (0usize..2, 0usize..2, inner.clone(), inner)
+                .prop_map(|(s, w, a, b)| Stl::until(s, s + w, a, b)),
+        ]
+    })
+}
+
+fn context() -> impl Strategy<Value = ApsContext> {
+    (
+        20.0f64..400.0,
+        -10.0f64..10.0,
+        -1.0f64..1.0,
+        0usize..4,
+    )
+        .prop_map(|(bg, dbg, diob, cmd)| ApsContext {
+            bg,
+            dbg,
+            diob,
+            command: Command::ALL[cmd],
+        })
+}
+
+proptest! {
+    #[test]
+    fn robustness_sign_implies_satisfaction(phi in formula(), tr in trace(12), t in 0usize..6) {
+        if let Some(rho) = phi.robustness(&tr, t) {
+            if rho > 0.0 {
+                prop_assert!(phi.satisfied(&tr, t), "ρ={rho} but not satisfied: {phi}");
+            }
+            if rho < 0.0 {
+                prop_assert!(!phi.satisfied(&tr, t), "ρ={rho} but satisfied: {phi}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_negation(phi in formula(), tr in trace(10), t in 0usize..5) {
+        let double = Stl::not(Stl::not(phi.clone()));
+        prop_assert_eq!(phi.satisfied(&tr, t), double.satisfied(&tr, t));
+    }
+
+    #[test]
+    fn de_morgan(a in formula(), b in formula(), tr in trace(10), t in 0usize..5) {
+        let left = Stl::not(Stl::and(vec![a.clone(), b.clone()]));
+        let right = Stl::or(vec![Stl::not(a), Stl::not(b)]);
+        prop_assert_eq!(left.satisfied(&tr, t), right.satisfied(&tr, t));
+    }
+
+    #[test]
+    fn always_eventually_duality(phi in formula(), tr in trace(12), s in 0usize..2, w in 0usize..3, t in 0usize..4) {
+        let always = Stl::always(s, s + w, phi.clone());
+        let dual = Stl::not(Stl::eventually(s, s + w, Stl::not(phi)));
+        prop_assert_eq!(always.satisfied(&tr, t), dual.satisfied(&tr, t));
+    }
+
+    #[test]
+    fn negation_flips_robustness(phi in formula(), tr in trace(10), t in 0usize..5) {
+        let neg = Stl::not(phi.clone());
+        match (phi.robustness(&tr, t), neg.robustness(&tr, t)) {
+            (Some(a), Some(b)) => prop_assert!((a + b).abs() < 1e-12),
+            (None, None) => {}
+            _ => prop_assert!(false, "out-of-bounds disagreement"),
+        }
+    }
+
+    #[test]
+    fn table1_direct_and_stl_agree(ctx in context()) {
+        let rules = ApsRules::default();
+        let direct = rules.violated(&ctx);
+        let tr = ApsRules::context_trace(&ctx);
+        let stl = rules.formulas().iter().any(|r| r.formula.satisfied(&tr, 0));
+        prop_assert_eq!(direct, stl, "context {:?}", ctx);
+    }
+
+    #[test]
+    fn at_most_one_hazard_free_command_when_hypo(bg in 20.0f64..69.9, dbg in -10.0f64..10.0, diob in -1.0f64..1.0) {
+        // Below the hypo threshold, every command except stop must fire a rule.
+        let rules = ApsRules::default();
+        for command in Command::ALL {
+            let ctx = ApsContext { bg, dbg, diob, command };
+            if command == Command::StopInsulin {
+                continue;
+            }
+            prop_assert!(rules.violated(&ctx), "{command} accepted at BG {bg}");
+        }
+    }
+
+    #[test]
+    fn in_range_stable_context_is_safe(bg in 70.0f64..119.9, diob in -1.0f64..1.0) {
+        // Rising BG inside the safe band with keep: no rule should fire.
+        let rules = ApsRules::default();
+        let ctx = ApsContext { bg, dbg: 1.0, diob, command: Command::KeepInsulin };
+        prop_assert!(!rules.violated(&ctx));
+    }
+}
+
+proptest! {
+    #[test]
+    fn series_evaluation_matches_pointwise(phi in formula(), tr in trace(20)) {
+        let fast = cpsmon_stl::series::robustness_series(&phi, &tr);
+        for t in 0..tr.len() {
+            prop_assert_eq!(fast[t], phi.robustness(&tr, t), "t={} phi={}", t, phi);
+        }
+        let sats = cpsmon_stl::series::satisfaction_series(&phi, &tr);
+        for t in 0..tr.len() {
+            prop_assert_eq!(sats[t], phi.satisfied(&tr, t), "t={} phi={}", t, phi);
+        }
+    }
+}

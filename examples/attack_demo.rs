@@ -1,0 +1,65 @@
+//! Attack demo: craft white-box FGSM and black-box substitute attacks
+//! against a trained safety monitor and watch the predictions flip —
+//! the paper's Fig. 2 scenario as a program.
+//!
+//! ```sh
+//! cargo run --release --example attack_demo
+//! ```
+
+use cpsmon::attack::{Fgsm, GaussianNoise, SubstituteAttack};
+use cpsmon::core::{robustness_error, DatasetBuilder, MonitorKind, TrainConfig};
+use cpsmon::sim::{CampaignConfig, SimulatorKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let traces = CampaignConfig::new(SimulatorKind::T1ds2013)
+        .patients(3)
+        .runs_per_patient(4)
+        .steps(144)
+        .seed(11)
+        .run();
+    let dataset = DatasetBuilder::new().build(&traces)?;
+    let config = TrainConfig {
+        epochs: 10,
+        lr: 2e-3,
+        mlp_hidden: vec![64, 32],
+        ..TrainConfig::default()
+    };
+    let monitor = MonitorKind::Mlp.train(&dataset, &config)?;
+    let model = monitor.as_grad_model().expect("ML monitor is differentiable");
+    let clean_preds = monitor.predict(&dataset.test);
+    let clean_f1 = {
+        let r = monitor.evaluate(&dataset.test);
+        r.f1()
+    };
+    println!("clean F1: {clean_f1:.3}");
+
+    // Accidental perturbation: Gaussian sensor noise at σ = 0.5·std.
+    let noisy = GaussianNoise::new(0.5).apply(&dataset.test.x, 99);
+    let noisy_preds = monitor.predict_x(&noisy);
+    println!(
+        "Gaussian σ=0.5std  → robustness error {:.3}",
+        robustness_error(&clean_preds, &noisy_preds)
+    );
+
+    // Malicious white-box perturbation: FGSM over an ε sweep.
+    for eps in [0.05, 0.1, 0.2] {
+        let adv = Fgsm::new(eps).attack(model, &dataset.test.x, &dataset.test.labels);
+        let adv_preds = monitor.predict_x(&adv);
+        println!(
+            "white-box FGSM ε={eps:<4} → robustness error {:.3}",
+            robustness_error(&clean_preds, &adv_preds)
+        );
+    }
+
+    // Malicious black-box: substitute model + transfer.
+    let attack = SubstituteAttack::new();
+    let (substitute, agreement) = attack.train_substitute(model, &dataset.train.x);
+    println!("substitute agreement with target: {agreement:.3}");
+    let adv = Fgsm::new(0.2).attack(&substitute, &dataset.test.x, &clean_preds);
+    let adv_preds = monitor.predict_x(&adv);
+    println!(
+        "black-box FGSM ε=0.2 → robustness error {:.3} (compare with white-box above)",
+        robustness_error(&clean_preds, &adv_preds)
+    );
+    Ok(())
+}

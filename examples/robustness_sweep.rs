@@ -1,0 +1,61 @@
+//! Robustness sweep: compare a baseline monitor against its semantic-loss
+//! "Custom" variant across the paper's full perturbation grid — a compact
+//! version of Fig. 5/8/9.
+//!
+//! ```sh
+//! cargo run --release --example robustness_sweep
+//! ```
+
+use cpsmon::attack::{Fgsm, GaussianNoise, EPSILON_SWEEP, SIGMA_SWEEP};
+use cpsmon::core::{robustness_error, DatasetBuilder, MonitorKind, TrainConfig};
+use cpsmon::sim::{CampaignConfig, SimulatorKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let traces = CampaignConfig::new(SimulatorKind::Glucosym)
+        .patients(3)
+        .runs_per_patient(4)
+        .steps(144)
+        .seed(23)
+        .run();
+    let dataset = DatasetBuilder::new().build(&traces)?;
+    let config = TrainConfig {
+        epochs: 10,
+        lr: 2e-3,
+        mlp_hidden: vec![64, 32],
+        ..TrainConfig::default()
+    };
+
+    println!("{:<12} {:<18} {:>10} {:>10}", "monitor", "perturbation", "F1", "rob.err");
+    for kind in [MonitorKind::Mlp, MonitorKind::MlpCustom] {
+        let monitor = kind.train(&dataset, &config)?;
+        let model = monitor.as_grad_model().expect("differentiable");
+        let clean_preds = monitor.predict(&dataset.test);
+        let clean = monitor.evaluate(&dataset.test);
+        println!("{:<12} {:<18} {:>10.3} {:>10.3}", kind.label(), "none", clean.f1(), 0.0);
+        for (i, &sigma) in SIGMA_SWEEP.iter().enumerate() {
+            let noisy = GaussianNoise::new(sigma).apply(&dataset.test.x, 7 ^ i as u64);
+            let preds = monitor.predict_x(&noisy);
+            let report = cpsmon::core::monitor::evaluate_predictions(&dataset.test, &preds, 6);
+            println!(
+                "{:<12} {:<18} {:>10.3} {:>10.3}",
+                kind.label(),
+                format!("gaussian σ={sigma}"),
+                report.f1(),
+                robustness_error(&clean_preds, &preds)
+            );
+        }
+        for &eps in &EPSILON_SWEEP {
+            let adv = Fgsm::new(eps).attack(model, &dataset.test.x, &dataset.test.labels);
+            let preds = monitor.predict_x(&adv);
+            let report = cpsmon::core::monitor::evaluate_predictions(&dataset.test, &preds, 6);
+            println!(
+                "{:<12} {:<18} {:>10.3} {:>10.3}",
+                kind.label(),
+                format!("fgsm ε={eps}"),
+                report.f1(),
+                robustness_error(&clean_preds, &preds)
+            );
+        }
+    }
+    Ok(())
+}

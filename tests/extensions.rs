@@ -1,0 +1,184 @@
+//! Integration tests for the extension features: classical detectors vs
+//! the paper's threat model, PGD, sensor faults, and monitor deployment.
+
+use cpsmon::attack::{Fgsm, GaussianNoise, Pgd};
+use cpsmon::core::detectors::{Cusum, InvariantRange};
+use cpsmon::core::features::FEATURES_PER_STEP;
+use cpsmon::core::{robustness_error, DatasetBuilder, LabeledDataset, MonitorKind, TrainConfig};
+use cpsmon::nn::GradModel;
+use cpsmon::sim::sensor::{CgmFault, CgmFaultKind};
+use cpsmon::sim::{CampaignConfig, SimulatorKind};
+
+fn dataset() -> LabeledDataset {
+    let traces = CampaignConfig::new(SimulatorKind::Glucosym)
+        .patients(2)
+        .runs_per_patient(3)
+        .steps(144)
+        .fault_ratio(0.6)
+        .seed(201)
+        .run();
+    DatasetBuilder::new().build(&traces).expect("usable dataset")
+}
+
+fn quick_config() -> TrainConfig {
+    TrainConfig {
+        epochs: 8,
+        lr: 2e-3,
+        mlp_hidden: vec![48, 24],
+        lstm_hidden: vec![24, 12],
+        ..TrainConfig::default()
+    }
+}
+
+/// Reconstructs per-trace raw BG streams from normalized windows.
+fn bg_streams(ds: &LabeledDataset, x: &cpsmon::nn::Matrix) -> Vec<Vec<f64>> {
+    let raw = ds.normalizer.inverse(x);
+    let col = raw.cols() - FEATURES_PER_STEP;
+    ds.test
+        .samples_by_trace()
+        .into_iter()
+        .map(|(_, idxs)| idxs.into_iter().map(|i| raw.get(i, col)).collect())
+        .collect()
+}
+
+#[test]
+fn fgsm_evades_classical_detectors() {
+    // The paper's §III threat-model claim, at the budget where it holds
+    // unconditionally in our measurements (ε = 0.1; at ε = 0.2 the
+    // rate-of-change invariant starts to catch some high-variance traces —
+    // see the detector_evasion experiment).
+    let ds = dataset();
+    let monitor = MonitorKind::Mlp.train(&ds, &quick_config()).unwrap();
+    let model = monitor.as_grad_model().unwrap();
+    let adv = Fgsm::new(0.1).attack(model, &ds.test.x, &ds.test.labels);
+    let dbg_col = ds.feature_dim() - FEATURES_PER_STEP + 2;
+    // Meal-tolerant tuning (see the detector_evasion experiment).
+    let cusum_proto = Cusum::new(ds.normalizer.mean()[dbg_col], ds.normalizer.std()[dbg_col], 2.5, 10.0);
+    let inv = InvariantRange::cgm();
+    let clean_streams = bg_streams(&ds, &ds.test.x);
+    let adv_streams = bg_streams(&ds, &adv);
+    for (clean, attacked) in clean_streams.iter().zip(&adv_streams) {
+        let deltas = |s: &[f64]| s.windows(2).map(|w| w[1] - w[0]).collect::<Vec<_>>();
+        let mut cusum = cusum_proto.clone();
+        let clean_flagged = cusum.detects(&deltas(clean)) || inv.detects(clean);
+        let mut cusum = cusum_proto.clone();
+        let adv_flagged = cusum.detects(&deltas(attacked)) || inv.detects(attacked);
+        // The attack must not make a previously-clean trace detectable.
+        assert!(
+            !adv_flagged || clean_flagged,
+            "ε=0.1 FGSM made a clean trace detectable"
+        );
+    }
+}
+
+#[test]
+fn large_gaussian_noise_is_detectable_but_small_is_not() {
+    let ds = dataset();
+    let dbg_col = ds.feature_dim() - FEATURES_PER_STEP + 2;
+    // Meal-tolerant tuning (see the detector_evasion experiment).
+    let cusum_proto = Cusum::new(ds.normalizer.mean()[dbg_col], ds.normalizer.std()[dbg_col], 2.5, 10.0);
+    let count_flagged = |x: &cpsmon::nn::Matrix| {
+        bg_streams(&ds, x)
+            .iter()
+            .filter(|s| {
+                let deltas: Vec<f64> = s.windows(2).map(|w| w[1] - w[0]).collect();
+                cusum_proto.clone().detects(&deltas)
+            })
+            .count()
+    };
+    let small = count_flagged(&GaussianNoise::new(0.1).apply(&ds.test.x, 5));
+    let huge = count_flagged(&GaussianNoise::new(3.0).apply(&ds.test.x, 5));
+    assert!(huge >= small, "detector should flag more at 3·std ({huge}) than at 0.1·std ({small})");
+    assert!(huge > 0, "3·std noise should trip the CUSUM somewhere");
+}
+
+#[test]
+fn pgd_dominates_fgsm_on_trained_monitor() {
+    let ds = dataset();
+    let monitor = MonitorKind::Mlp.train(&ds, &quick_config()).unwrap();
+    let model = monitor.as_grad_model().unwrap();
+    let clean = monitor.predict(&ds.test);
+    let eps = 0.2;
+    let fgsm_err = {
+        let adv = Fgsm::new(eps).attack(model, &ds.test.x, &ds.test.labels);
+        robustness_error(&clean, &monitor.predict_x(&adv))
+    };
+    let pgd_err = {
+        let adv = Pgd::standard(eps).attack(model, &ds.test.x, &ds.test.labels);
+        robustness_error(&clean, &monitor.predict_x(&adv))
+    };
+    assert!(
+        pgd_err >= fgsm_err * 0.9,
+        "PGD ({pgd_err}) should be at least as strong as FGSM ({fgsm_err})"
+    );
+}
+
+#[test]
+fn stuck_sensor_breaks_closed_loop_regulation() {
+    use cpsmon::sim::glucosym::GlucosymPatient;
+    use cpsmon::sim::meal::MealSchedule;
+    use cpsmon::sim::openaps::OpenApsController;
+    use cpsmon::sim::pump::InsulinPump;
+    use cpsmon::sim::{Cgm, ClosedLoop};
+    use cpsmon_nn::rng::SmallRng;
+
+    let run = |fault: Option<CgmFault>| {
+        let mut rng = SmallRng::new(77);
+        let meals = MealSchedule::generate(144, &mut rng);
+        let cgm = match fault {
+            Some(f) => Cgm::typical(rng.fork(1)).with_fault(f),
+            None => Cgm::typical(rng.fork(1)),
+        };
+        ClosedLoop::new(
+            GlucosymPatient::from_profile(0, 42),
+            OpenApsController::new(),
+            InsulinPump::healthy(),
+            cgm,
+            meals,
+        )
+        .run(144, "glucosym", 0, 0)
+    };
+    let healthy = run(None);
+    // Sensor stuck at a pre-meal reading right before breakfast: the
+    // controller under-doses the meal.
+    let faulty = run(Some(CgmFault {
+        kind: CgmFaultKind::StuckValue,
+        start_step: 85,
+        duration_steps: 40,
+    }));
+    let max_h = healthy.bg_true().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max_f = faulty.bg_true().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        max_f > max_h,
+        "stuck sensor should worsen the post-meal excursion ({max_f} vs {max_h})"
+    );
+}
+
+#[test]
+fn monitor_networks_roundtrip_through_serialization() {
+    use cpsmon::core::monitor::MonitorModel;
+    use std::io::BufReader;
+    let ds = dataset();
+    for kind in [MonitorKind::Mlp, MonitorKind::Lstm] {
+        let monitor = kind.train(&ds, &quick_config()).unwrap();
+        let preds = monitor.predict(&ds.test);
+        let roundtrip_preds = match &monitor.model {
+            MonitorModel::Mlp(net) => {
+                let mut buf = Vec::new();
+                net.save(&mut buf).unwrap();
+                cpsmon::nn::MlpNet::load(&mut BufReader::new(buf.as_slice()))
+                    .unwrap()
+                    .predict_labels(&ds.test.x)
+            }
+            MonitorModel::Lstm(net) => {
+                let mut buf = Vec::new();
+                net.save(&mut buf).unwrap();
+                cpsmon::nn::LstmNet::load(&mut BufReader::new(buf.as_slice()))
+                    .unwrap()
+                    .predict_labels(&ds.test.x)
+            }
+            MonitorModel::Rule(_) => unreachable!(),
+        };
+        assert_eq!(preds, roundtrip_preds, "{kind}");
+    }
+}

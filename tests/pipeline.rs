@@ -1,0 +1,154 @@
+//! End-to-end integration tests: simulate → label → train → attack →
+//! evaluate, across both simulators and all monitor variants, at a scale
+//! small enough for CI.
+
+use cpsmon::attack::{Fgsm, GaussianNoise, SubstituteAttack};
+use cpsmon::core::monitor::evaluate_predictions;
+use cpsmon::core::{robustness_error, DatasetBuilder, LabeledDataset, MonitorKind, TrainConfig};
+use cpsmon::sim::{CampaignConfig, SimulatorKind};
+
+fn dataset_for(kind: SimulatorKind, seed: u64) -> LabeledDataset {
+    let traces = CampaignConfig::new(kind)
+        .patients(2)
+        .runs_per_patient(3)
+        .steps(144)
+        .fault_ratio(0.6)
+        .seed(seed)
+        .run();
+    DatasetBuilder::new().build(&traces).expect("campaign yields a usable dataset")
+}
+
+fn quick_config() -> TrainConfig {
+    TrainConfig {
+        epochs: 8,
+        lr: 2e-3,
+        mlp_hidden: vec![48, 24],
+        lstm_hidden: vec![24, 12],
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_runs_on_both_simulators() {
+    for kind in SimulatorKind::ALL {
+        let ds = dataset_for(kind, 101);
+        assert!(ds.train.positive_ratio() > 0.02, "{kind}: too few positives");
+        assert!(ds.train.positive_ratio() < 0.98, "{kind}: too few negatives");
+        for mk in MonitorKind::ALL {
+            let monitor = mk.train(&ds, &quick_config()).unwrap();
+            let report = monitor.evaluate(&ds.test);
+            assert!(
+                report.counts.total() == ds.test.len(),
+                "{kind}/{mk}: metric did not cover every sample"
+            );
+            assert!(report.accuracy() > 0.4, "{kind}/{mk}: accuracy {}", report.accuracy());
+        }
+    }
+}
+
+#[test]
+fn trained_ml_monitor_beats_random_guessing() {
+    let ds = dataset_for(SimulatorKind::Glucosym, 103);
+    let monitor = MonitorKind::Mlp.train(&ds, &quick_config()).unwrap();
+    let report = monitor.evaluate(&ds.test);
+    assert!(report.accuracy() > 0.7, "accuracy {}", report.accuracy());
+    assert!(report.f1() > 0.3, "F1 {}", report.f1());
+}
+
+#[test]
+fn fgsm_degrades_monitor_and_respects_budget() {
+    let ds = dataset_for(SimulatorKind::T1ds2013, 105);
+    let monitor = MonitorKind::Mlp.train(&ds, &quick_config()).unwrap();
+    let model = monitor.as_grad_model().unwrap();
+    let clean_preds = monitor.predict(&ds.test);
+    let adv = Fgsm::new(0.2).attack(model, &ds.test.x, &ds.test.labels);
+    assert!((&adv - &ds.test.x).max_abs() <= 0.2 + 1e-12);
+    let err = robustness_error(&clean_preds, &monitor.predict_x(&adv));
+    assert!(err > 0.01, "white-box FGSM had no effect (error {err})");
+    // F1 under attack should not exceed clean F1 by much (degradation).
+    let clean_f1 = evaluate_predictions(&ds.test, &clean_preds, 6).f1();
+    let adv_f1 = evaluate_predictions(&ds.test, &monitor.predict_x(&adv), 6).f1();
+    assert!(adv_f1 <= clean_f1 + 0.05, "attack improved F1: {clean_f1} → {adv_f1}");
+}
+
+#[test]
+fn gaussian_noise_is_sensor_only_and_mild() {
+    let ds = dataset_for(SimulatorKind::Glucosym, 107);
+    let monitor = MonitorKind::Lstm.train(&ds, &quick_config()).unwrap();
+    let clean_preds = monitor.predict(&ds.test);
+    let noisy = GaussianNoise::new(0.25).apply(&ds.test.x, 1);
+    let gaussian_err = robustness_error(&clean_preds, &monitor.predict_x(&noisy));
+    let model = monitor.as_grad_model().unwrap();
+    // Paper shape: adversarial ≫ accidental. A CI-scale LSTM can have wide
+    // margins, so compare against a generous attack budget.
+    let adv = Fgsm::new(0.5).attack(model, &ds.test.x, &ds.test.labels);
+    let fgsm_err = robustness_error(&clean_preds, &monitor.predict_x(&adv));
+    assert!(
+        fgsm_err >= gaussian_err,
+        "FGSM ({fgsm_err}) should beat Gaussian ({gaussian_err})"
+    );
+}
+
+#[test]
+fn blackbox_attack_is_weaker_than_whitebox() {
+    let ds = dataset_for(SimulatorKind::T1ds2013, 109);
+    let monitor = MonitorKind::Mlp.train(&ds, &quick_config()).unwrap();
+    let model = monitor.as_grad_model().unwrap();
+    let clean_preds = monitor.predict(&ds.test);
+    let white = Fgsm::new(0.2).attack(model, &ds.test.x, &ds.test.labels);
+    let white_err = robustness_error(&clean_preds, &monitor.predict_x(&white));
+    let black = SubstituteAttack::new().craft(model, &ds.train.x, &ds.test.x, 0.2);
+    let black_err = robustness_error(&clean_preds, &monitor.predict_x(&black));
+    assert!(
+        black_err <= white_err + 0.02,
+        "black-box ({black_err}) unexpectedly beat white-box ({white_err})"
+    );
+    assert!(black_err > 0.0, "black-box attack had zero effect");
+}
+
+#[test]
+fn semantic_loss_reduces_fgsm_robustness_error() {
+    // The paper's central claim (RQ2). Averaged over both simulators to
+    // damp small-sample noise at CI scale.
+    let mut base_total = 0.0;
+    let mut custom_total = 0.0;
+    for (kind, seed) in [(SimulatorKind::Glucosym, 111), (SimulatorKind::T1ds2013, 113)] {
+        let ds = dataset_for(kind, seed);
+        for (mk, acc) in [
+            (MonitorKind::Mlp, &mut base_total),
+            (MonitorKind::MlpCustom, &mut custom_total),
+        ] {
+            let monitor = mk.train(&ds, &quick_config()).unwrap();
+            let model = monitor.as_grad_model().unwrap();
+            let clean_preds = monitor.predict(&ds.test);
+            let adv = Fgsm::new(0.1).attack(model, &ds.test.x, &ds.test.labels);
+            *acc += robustness_error(&clean_preds, &monitor.predict_x(&adv));
+        }
+    }
+    assert!(
+        custom_total <= base_total * 1.10,
+        "semantic loss made robustness much worse: base {base_total} vs custom {custom_total}"
+    );
+}
+
+#[test]
+fn rule_monitor_agrees_with_semantic_indicator() {
+    // The Eq. 2 indicator and the rule-based monitor must be the same
+    // function of the context.
+    let ds = dataset_for(SimulatorKind::Glucosym, 115);
+    let monitor = MonitorKind::RuleBased.train(&ds, &quick_config()).unwrap();
+    let preds = monitor.predict(&ds.test);
+    for (p, ind) in preds.iter().zip(&ds.test.indicators) {
+        assert_eq!(*p as f64, *ind);
+    }
+}
+
+#[test]
+fn determinism_end_to_end() {
+    let run = || {
+        let ds = dataset_for(SimulatorKind::Glucosym, 117);
+        let monitor = MonitorKind::Mlp.train(&ds, &quick_config()).unwrap();
+        monitor.predict(&ds.test)
+    };
+    assert_eq!(run(), run());
+}
