@@ -10,8 +10,8 @@
 //! 4. transfers the perturbed inputs to the target.
 
 use crate::fgsm::Fgsm;
-use cpsmon_nn::{AdamTrainer, GradModel, Matrix, MlpConfig, MlpNet};
 use cpsmon_nn::rng::SmallRng;
+use cpsmon_nn::{AdamTrainer, GradModel, Matrix, MlpConfig, MlpNet};
 
 /// Configuration and state of a substitute-model black-box attack.
 #[derive(Debug, Clone)]
@@ -30,7 +30,13 @@ pub struct SubstituteAttack {
 
 impl Default for SubstituteAttack {
     fn default() -> Self {
-        Self { hidden: vec![128, 64], epochs: 10, batch_size: 128, lr: 1e-3, seed: 0 }
+        Self {
+            hidden: vec![128, 64],
+            epochs: 10,
+            batch_size: 128,
+            lr: 1e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -66,7 +72,11 @@ impl SubstituteAttack {
             }
         }
         let sub_preds = net.predict_labels(query_x);
-        let agree = sub_preds.iter().zip(&labels).filter(|(a, b)| a == b).count();
+        let agree = sub_preds
+            .iter()
+            .zip(&labels)
+            .filter(|(a, b)| a == b)
+            .count();
         (net, agree as f64 / n.max(1) as f64)
     }
 
@@ -124,7 +134,10 @@ mod tests {
     #[test]
     fn substitute_learns_the_target_boundary() {
         let queries = sample_inputs(400, 1);
-        let atk = SubstituteAttack { epochs: 20, ..SubstituteAttack::default() };
+        let atk = SubstituteAttack {
+            epochs: 20,
+            ..SubstituteAttack::default()
+        };
         let (_, agreement) = atk.train_substitute(&Threshold, &queries);
         assert!(agreement > 0.95, "substitute agreement only {agreement}");
     }

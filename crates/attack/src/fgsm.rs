@@ -1,10 +1,7 @@
 //! White-box adversarial perturbations: the Fast Gradient Sign Method.
 
-use cpsmon_nn::{GradModel, Matrix};
-
-/// Gradient batches are computed in chunks to bound memory (the LSTM
-/// backward pass caches per-timestep activations).
-const GRAD_CHUNK: usize = 1024;
+use crate::GRAD_CHUNK;
+use cpsmon_nn::{par, GradModel, Matrix};
 
 /// The FGSM attack (Goodfellow et al., Eq. 3–4 of the paper):
 ///
@@ -27,7 +24,10 @@ impl Fgsm {
     ///
     /// Panics if ε is negative or non-finite.
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be finite and non-negative");
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be finite and non-negative"
+        );
         Self { epsilon }
     }
 
@@ -45,21 +45,20 @@ impl Fgsm {
     /// Panics if `labels.len() != x.rows()`.
     pub fn attack(&self, model: &dyn GradModel, x: &Matrix, labels: &[usize]) -> Matrix {
         assert_eq!(labels.len(), x.rows(), "label count mismatch");
-        let mut out = x.clone();
-        let mut start = 0;
-        while start < x.rows() {
-            let end = (start + GRAD_CHUNK).min(x.rows());
-            let chunk = x.slice_rows(start, end);
-            let grad = model.input_gradient(&chunk, &labels[start..end]);
-            for r in 0..chunk.rows() {
-                for c in 0..chunk.cols() {
-                    let delta = self.epsilon * grad.get(r, c).signum();
-                    out.set(start + r, c, out.get(start + r, c) + delta);
+        // Each fixed-size chunk is crafted independently (possibly on its own
+        // worker thread). The per-chunk gradient differs from the whole-batch
+        // gradient only by a positive scale (the 1/N of the mean loss), which
+        // the sign step erases — so chunking is exactly transparent.
+        par::map_rows(x, GRAD_CHUNK, |r, chunk| {
+            let grad = model.input_gradient(chunk, &labels[r]);
+            let mut adv = chunk.clone();
+            for row in 0..adv.rows() {
+                for (c, v) in adv.row_mut(row).iter_mut().enumerate() {
+                    *v += self.epsilon * grad.get(row, c).signum();
                 }
             }
-            start = end;
-        }
-        out
+            adv
+        })
     }
 
     /// Crafts adversarial examples using the model's *own predictions* as
@@ -97,7 +96,12 @@ mod tests {
         }
         let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         let x = Matrix::from_rows(&refs);
-        let mut net = MlpNet::new(&MlpConfig { input_dim: 4, hidden: vec![16], classes: 2, seed });
+        let mut net = MlpNet::new(&MlpConfig {
+            input_dim: 4,
+            hidden: vec![16],
+            classes: 2,
+            seed,
+        });
         let mut tr = AdamTrainer::new(net.param_count(), 0.02);
         for _ in 0..120 {
             net.train_batch(&x, &labels, None, &mut tr);
@@ -113,7 +117,10 @@ mod tests {
         let delta = (&adv - &x).max_abs();
         assert!(delta <= eps + 1e-12, "L∞ {delta} exceeds ε {eps}");
         // And the bound is achieved somewhere (gradient almost never all-zero).
-        assert!(delta > eps * 0.99, "perturbation suspiciously small: {delta}");
+        assert!(
+            delta > eps * 0.99,
+            "perturbation suspiciously small: {delta}"
+        );
     }
 
     #[test]
@@ -123,10 +130,17 @@ mod tests {
         // ε = 2 is enough to carry any blob point across the boundary.
         let adv = Fgsm::new(2.0).attack(&net, &x, &labels);
         let adv_loss = net.eval_loss(&adv, &labels, None);
-        assert!(adv_loss > clean_loss, "loss did not increase: {clean_loss} → {adv_loss}");
+        assert!(
+            adv_loss > clean_loss,
+            "loss did not increase: {clean_loss} → {adv_loss}"
+        );
         let clean_preds = net.predict_labels(&x);
         let adv_preds = net.predict_labels(&adv);
-        let flips = clean_preds.iter().zip(&adv_preds).filter(|(a, b)| a != b).count();
+        let flips = clean_preds
+            .iter()
+            .zip(&adv_preds)
+            .filter(|(a, b)| a != b)
+            .count();
         assert!(flips > 0, "strong FGSM flipped nothing");
     }
 

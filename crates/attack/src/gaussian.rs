@@ -1,8 +1,9 @@
 //! Accidental perturbations: Gaussian sensor noise.
 
+use crate::NOISE_CHUNK;
 use cpsmon_core::features::is_sensor_column;
 use cpsmon_nn::rng::SmallRng;
-use cpsmon_nn::Matrix;
+use cpsmon_nn::{par, Matrix};
 
 /// Zero-mean Gaussian noise on sensor-derived features.
 ///
@@ -36,19 +37,26 @@ impl GaussianNoise {
     }
 
     /// Returns a noisy copy of a normalized feature batch.
+    ///
+    /// Each row draws from its own counter-derived RNG stream (seeded from
+    /// `seed` and the global row index), so the result is a pure function of
+    /// `(x, seed)` no matter how rows are chunked across worker threads.
     pub fn apply(&self, x: &Matrix, seed: u64) -> Matrix {
-        let mut rng = SmallRng::new(seed ^ 0x6761_7573_7369_616e);
-        let mut out = x.clone();
-        let cols = out.cols();
-        for r in 0..out.rows() {
-            for (c, v) in out.row_mut(r).iter_mut().enumerate() {
-                debug_assert!(c < cols);
-                if is_sensor_column(c) {
-                    *v += rng.normal_with(0.0, self.sigma_factor);
+        let base = seed ^ 0x6761_7573_7369_616e;
+        par::map_rows(x, NOISE_CHUNK, |range, chunk| {
+            let mut out = chunk.clone();
+            for (local, global) in range.enumerate() {
+                let mut rng = SmallRng::new(
+                    base.wrapping_add((global as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                for (c, v) in out.row_mut(local).iter_mut().enumerate() {
+                    if is_sensor_column(c) {
+                        *v += rng.normal_with(0.0, self.sigma_factor);
+                    }
                 }
             }
-        }
-        out
+            out
+        })
     }
 }
 

@@ -38,6 +38,16 @@
 
 #![warn(missing_docs)]
 
+/// Gradient batches are computed in chunks of this many rows — bounding
+/// memory (the recurrent backward passes cache per-timestep activations)
+/// and giving the data-parallel workers of [`cpsmon_nn::par`] units to
+/// claim. Chunk boundaries are fixed, so results never depend on the
+/// thread count.
+pub(crate) const GRAD_CHUNK: usize = 1024;
+
+/// Row chunk used when sampling Gaussian noise in parallel.
+pub(crate) const NOISE_CHUNK: usize = 256;
+
 pub mod blackbox;
 pub mod fgsm;
 pub mod gaussian;
@@ -48,4 +58,4 @@ pub use blackbox::SubstituteAttack;
 pub use fgsm::Fgsm;
 pub use gaussian::GaussianNoise;
 pub use pgd::Pgd;
-pub use sweep::{EPSILON_SWEEP, SIGMA_SWEEP};
+pub use sweep::{grid_cells, Perturbation, EPSILON_SWEEP, SIGMA_SWEEP};

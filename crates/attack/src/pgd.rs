@@ -12,7 +12,8 @@
 //!
 //! With `steps = 1` and `alpha = ε` it degenerates to FGSM.
 
-use cpsmon_nn::{GradModel, Matrix};
+use crate::GRAD_CHUNK;
+use cpsmon_nn::{par, GradModel, Matrix};
 
 /// The PGD attack.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,10 +31,20 @@ impl Pgd {
     ///
     /// Panics if ε or α is negative/non-finite or `steps == 0`.
     pub fn new(epsilon: f64, alpha: f64, steps: usize) -> Self {
-        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be finite and non-negative");
-        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and non-negative");
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be finite and non-negative"
+        );
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be finite and non-negative"
+        );
         assert!(steps > 0, "steps must be positive");
-        Self { epsilon, alpha, steps }
+        Self {
+            epsilon,
+            alpha,
+            steps,
+        }
     }
 
     /// The usual tuning: `α = ε/4`, 10 iterations.
@@ -53,19 +64,30 @@ impl Pgd {
     /// Panics if `labels.len() != x.rows()`.
     pub fn attack(&self, model: &dyn GradModel, x: &Matrix, labels: &[usize]) -> Matrix {
         assert_eq!(labels.len(), x.rows(), "label count mismatch");
-        let mut adv = x.clone();
-        for _ in 0..self.steps {
-            let grad = model.input_gradient(&adv, labels);
-            for r in 0..adv.rows() {
-                for c in 0..adv.cols() {
-                    let stepped = adv.get(r, c) + self.alpha * grad.get(r, c).signum();
-                    // Project back into the ε-ball around the original x.
-                    let center = x.get(r, c);
-                    adv.set(r, c, stepped.clamp(center - self.epsilon, center + self.epsilon));
+        // Every row's trajectory depends only on its own gradient signs
+        // (forward passes are row-independent and the mean-loss 1/N scale is
+        // positive), so running the full step loop per fixed-size chunk —
+        // one chunk per worker — reproduces the whole-batch iteration
+        // bit for bit.
+        par::map_rows(x, GRAD_CHUNK, |r, chunk| {
+            let mut adv = chunk.clone();
+            for _ in 0..self.steps {
+                let grad = model.input_gradient(&adv, &labels[r.clone()]);
+                for row in 0..adv.rows() {
+                    for c in 0..adv.cols() {
+                        let stepped = adv.get(row, c) + self.alpha * grad.get(row, c).signum();
+                        // Project back into the ε-ball around the original x.
+                        let center = chunk.get(row, c);
+                        adv.set(
+                            row,
+                            c,
+                            stepped.clamp(center - self.epsilon, center + self.epsilon),
+                        );
+                    }
                 }
             }
-        }
-        adv
+            adv
+        })
     }
 }
 
@@ -84,12 +106,21 @@ mod tests {
         for _ in 0..n {
             let y = rng.bernoulli(0.5) as usize;
             let c = if y == 1 { 1.2 } else { -1.2 };
-            rows.push(vec![c + rng.normal_with(0.0, 0.4), rng.normal(), rng.normal()]);
+            rows.push(vec![
+                c + rng.normal_with(0.0, 0.4),
+                rng.normal(),
+                rng.normal(),
+            ]);
             labels.push(y);
         }
         let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         let x = Matrix::from_rows(&refs);
-        let mut net = MlpNet::new(&MlpConfig { input_dim: 3, hidden: vec![12], classes: 2, seed });
+        let mut net = MlpNet::new(&MlpConfig {
+            input_dim: 3,
+            hidden: vec![12],
+            classes: 2,
+            seed,
+        });
         let mut tr = AdamTrainer::new(net.param_count(), 0.02);
         for _ in 0..150 {
             net.train_batch(&x, &labels, None, &mut tr);

@@ -1,4 +1,9 @@
-//! The perturbation-strength sweeps used across the paper's figures.
+//! The perturbation-strength sweeps used across the paper's figures, plus
+//! a uniform [`Perturbation`] cell type so sweep drivers can fan the whole
+//! σ×ε grid out to data-parallel workers.
+
+use crate::{Fgsm, GaussianNoise};
+use cpsmon_nn::{GradModel, Matrix};
 
 /// Gaussian σ factors (fractions of feature std) of Fig. 5, 6 and 9.
 pub const SIGMA_SWEEP: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
@@ -6,9 +11,71 @@ pub const SIGMA_SWEEP: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
 /// FGSM ε values of Fig. 8, 9 and 10.
 pub const EPSILON_SWEEP: [f64; 5] = [0.01, 0.05, 0.1, 0.15, 0.2];
 
+/// One cell of the robustness grid: a perturbation model at one strength.
+///
+/// Every cell is self-contained (it carries its own seed where needed), so
+/// a sweep is just a list of cells that can be evaluated in any order — or
+/// concurrently — with identical results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Perturbation {
+    /// Accidental Gaussian sensor noise at `σ = sigma·std`.
+    Gaussian {
+        /// The σ factor (fraction of per-feature std).
+        sigma: f64,
+        /// Noise seed for this cell.
+        seed: u64,
+    },
+    /// White-box FGSM at `L∞` budget ε.
+    Fgsm {
+        /// The ε budget.
+        epsilon: f64,
+    },
+}
+
+impl Perturbation {
+    /// Applies the perturbation to a labeled batch.
+    pub fn apply(&self, model: &dyn GradModel, x: &Matrix, labels: &[usize]) -> Matrix {
+        match *self {
+            Perturbation::Gaussian { sigma, seed } => GaussianNoise::new(sigma).apply(x, seed),
+            Perturbation::Fgsm { epsilon } => Fgsm::new(epsilon).attack(model, x, labels),
+        }
+    }
+
+    /// The strength parameter of the cell (σ factor or ε).
+    pub fn strength(&self) -> f64 {
+        match *self {
+            Perturbation::Gaussian { sigma, .. } => sigma,
+            Perturbation::Fgsm { epsilon } => epsilon,
+        }
+    }
+
+    /// True for Gaussian (accidental) cells.
+    pub fn is_gaussian(&self) -> bool {
+        matches!(self, Perturbation::Gaussian { .. })
+    }
+}
+
+/// The full paper grid as a flat cell list: all of [`SIGMA_SWEEP`] (each
+/// cell seeded `noise_seed ^ index`, matching the historical per-σ seeds)
+/// followed by all of [`EPSILON_SWEEP`].
+pub fn grid_cells(noise_seed: u64) -> Vec<Perturbation> {
+    let mut cells = Vec::with_capacity(SIGMA_SWEEP.len() + EPSILON_SWEEP.len());
+    for (i, &sigma) in SIGMA_SWEEP.iter().enumerate() {
+        cells.push(Perturbation::Gaussian {
+            sigma,
+            seed: noise_seed ^ i as u64,
+        });
+    }
+    for &epsilon in &EPSILON_SWEEP {
+        cells.push(Perturbation::Fgsm { epsilon });
+    }
+    cells
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cpsmon_nn::{MlpConfig, MlpNet};
 
     #[test]
     fn sweeps_are_sorted_and_bounded() {
@@ -20,5 +87,51 @@ mod tests {
         }
         assert!(SIGMA_SWEEP.iter().all(|&s| s > 0.0 && s <= 1.0));
         assert!(EPSILON_SWEEP.iter().all(|&e| e > 0.0 && e <= 0.2));
+    }
+
+    #[test]
+    fn grid_covers_both_sweeps_in_order() {
+        let cells = grid_cells(42);
+        assert_eq!(cells.len(), SIGMA_SWEEP.len() + EPSILON_SWEEP.len());
+        for (i, &sigma) in SIGMA_SWEEP.iter().enumerate() {
+            assert_eq!(
+                cells[i],
+                Perturbation::Gaussian {
+                    sigma,
+                    seed: 42 ^ i as u64
+                }
+            );
+        }
+        for (i, &epsilon) in EPSILON_SWEEP.iter().enumerate() {
+            assert_eq!(cells[SIGMA_SWEEP.len() + i], Perturbation::Fgsm { epsilon });
+        }
+    }
+
+    #[test]
+    fn apply_matches_direct_attack_calls() {
+        let net = MlpNet::new(&MlpConfig {
+            input_dim: 12,
+            hidden: vec![8],
+            classes: 2,
+            seed: 1,
+        });
+        let x = Matrix::zeros(6, 12);
+        let labels = vec![0usize; 6];
+        let g = Perturbation::Gaussian {
+            sigma: 0.5,
+            seed: 7,
+        };
+        assert_eq!(
+            g.apply(&net, &x, &labels),
+            GaussianNoise::new(0.5).apply(&x, 7)
+        );
+        let f = Perturbation::Fgsm { epsilon: 0.1 };
+        assert_eq!(
+            f.apply(&net, &x, &labels),
+            Fgsm::new(0.1).attack(&net, &x, &labels)
+        );
+        assert!(g.is_gaussian() && !f.is_gaussian());
+        assert_eq!(g.strength(), 0.5);
+        assert_eq!(f.strength(), 0.1);
     }
 }

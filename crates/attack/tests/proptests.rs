@@ -39,7 +39,7 @@ proptest! {
             classes: 2,
             seed,
         });
-        let adv = Fgsm::new(0.0).attack(&net, &x, &vec![0; 4]);
+        let adv = Fgsm::new(0.0).attack(&net, &x, &[0; 4]);
         prop_assert_eq!(adv, x);
     }
 
@@ -82,11 +82,54 @@ proptest! {
             classes: 2,
             seed,
         });
-        let adv = Fgsm::new(eps).attack(&net, &x, &vec![1; 3]);
+        let adv = Fgsm::new(eps).attack(&net, &x, &[1; 3]);
         let delta = &adv - &x;
         for &d in delta.as_slice() {
             let ok = d.abs() < 1e-12 || (d.abs() - eps).abs() < 1e-9;
             prop_assert!(ok, "delta {d} is neither 0 nor ±ε");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance: attack crafting and sweep evaluation must be a
+// pure function of their inputs regardless of CPSMON_THREADS.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn attacks_are_thread_count_invariant(seed in any::<u64>(), sigma in 0.05f64..1.0) {
+        use cpsmon_attack::{grid_cells, Pgd};
+        use cpsmon_nn::par::ThreadsGuard;
+        use cpsmon_nn::rng::SmallRng;
+
+        // Enough rows to span several noise/gradient chunks.
+        let rows = 300;
+        let cols = 2 * FEATURES_PER_STEP;
+        let mut rng = SmallRng::new(seed);
+        let x = cpsmon_nn::init::random_normal(rows, cols, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..rows).map(|_| rng.index(2)).collect();
+        let net = MlpNet::new(&MlpConfig { input_dim: cols, hidden: vec![8], classes: 2, seed });
+        let grid = grid_cells(seed);
+        let run = |threads: usize| {
+            let _guard = ThreadsGuard::set(threads);
+            let noisy = GaussianNoise::new(sigma).apply(&x, seed);
+            let fgsm = Fgsm::new(0.1).attack(&net, &x, &labels);
+            let pgd = Pgd::new(0.1, 0.05, 2).attack(&net, &x, &labels);
+            let sweep = cpsmon_core::sweep_parallel(&grid, |cell| {
+                cell.apply(&net, &x, &labels).sum()
+            });
+            (noisy, fgsm, pgd, sweep)
+        };
+        let serial = run(1);
+        for threads in [2usize, 4, 8] {
+            let parallel = run(threads);
+            prop_assert_eq!(&serial.0, &parallel.0, "gaussian differs at {} threads", threads);
+            prop_assert_eq!(&serial.1, &parallel.1, "fgsm differs at {} threads", threads);
+            prop_assert_eq!(&serial.2, &parallel.2, "pgd differs at {} threads", threads);
+            prop_assert_eq!(&serial.3, &parallel.3, "sweep differs at {} threads", threads);
         }
     }
 }

@@ -1,6 +1,8 @@
 //! Bench target: detector_evasion at quick scale.
 fn main() {
-    cpsmon_bench::run_experiment("detector_evasion_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        vec![cpsmon_bench::experiments::detector_evasion::run(ctx)]
-    });
+    cpsmon_bench::run_experiment(
+        "detector_evasion_quick",
+        cpsmon_bench::Scale::Quick,
+        |ctx| vec![cpsmon_bench::experiments::detector_evasion::run(ctx)],
+    );
 }

@@ -1,10 +1,14 @@
 //! Criterion micro-benchmarks of the pipeline's hot operations: training
 //! steps, inference, and attack crafting for both monitor architectures.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use cpsmon_attack::Fgsm;
+use cpsmon_attack::{grid_cells, Fgsm};
+use cpsmon_core::{robustness_error, sweep_parallel};
+use cpsmon_nn::par::ThreadsGuard;
 use cpsmon_nn::rng::SmallRng;
-use cpsmon_nn::{init::random_normal, AdamTrainer, GradModel, LstmConfig, LstmNet, Matrix, MlpConfig, MlpNet};
+use cpsmon_nn::{
+    init::random_normal, AdamTrainer, GradModel, LstmConfig, LstmNet, Matrix, MlpConfig, MlpNet,
+};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 const BATCH: usize = 128;
 const WINDOW: usize = 6;
@@ -18,25 +22,46 @@ fn batch(rows: usize, seed: u64) -> (Matrix, Vec<usize>) {
 }
 
 fn paper_mlp() -> MlpNet {
-    MlpNet::new(&MlpConfig { input_dim: WINDOW * FEATURES, hidden: vec![256, 128], classes: 2, seed: 1 })
+    MlpNet::new(&MlpConfig {
+        input_dim: WINDOW * FEATURES,
+        hidden: vec![256, 128],
+        classes: 2,
+        seed: 1,
+    })
 }
 
 fn paper_lstm() -> LstmNet {
-    LstmNet::new(&LstmConfig { feature_dim: FEATURES, timesteps: WINDOW, hidden: vec![128, 64], classes: 2, seed: 1 })
+    LstmNet::new(&LstmConfig {
+        feature_dim: FEATURES,
+        timesteps: WINDOW,
+        hidden: vec![128, 64],
+        classes: 2,
+        seed: 1,
+    })
 }
 
 fn bench_training(c: &mut Criterion) {
     let (x, labels) = batch(BATCH, 2);
     c.bench_function("mlp_train_batch_128", |b| {
         b.iter_batched(
-            || (paper_mlp(), AdamTrainer::new(paper_mlp().param_count(), 1e-3)),
+            || {
+                (
+                    paper_mlp(),
+                    AdamTrainer::new(paper_mlp().param_count(), 1e-3),
+                )
+            },
             |(mut net, mut tr)| net.train_batch(&x, &labels, None, &mut tr),
             BatchSize::LargeInput,
         );
     });
     c.bench_function("lstm_train_batch_128", |b| {
         b.iter_batched(
-            || (paper_lstm(), AdamTrainer::new(paper_lstm().param_count(), 1e-3)),
+            || {
+                (
+                    paper_lstm(),
+                    AdamTrainer::new(paper_lstm().param_count(), 1e-3),
+                )
+            },
             |(mut net, mut tr)| net.train_batch(&x, &labels, None, &mut tr),
             BatchSize::LargeInput,
         );
@@ -56,13 +81,56 @@ fn bench_attacks(c: &mut Criterion) {
     let mlp = paper_mlp();
     let lstm = paper_lstm();
     let fgsm = Fgsm::new(0.1);
-    c.bench_function("fgsm_mlp_128", |b| b.iter(|| fgsm.attack(&mlp, &x, &labels)));
-    c.bench_function("fgsm_lstm_128", |b| b.iter(|| fgsm.attack(&lstm, &x, &labels)));
+    c.bench_function("fgsm_mlp_128", |b| {
+        b.iter(|| fgsm.attack(&mlp, &x, &labels))
+    });
+    c.bench_function("fgsm_lstm_128", |b| {
+        b.iter(|| fgsm.attack(&lstm, &x, &labels))
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // The MLP's first-layer shape (batch × features  ·  features × hidden).
+    let mut rng = SmallRng::new(5);
+    let a = random_normal(BATCH, WINDOW * FEATURES, 1.0, &mut rng);
+    let w = random_normal(WINDOW * FEATURES, 256, 1.0, &mut rng);
+    let bias = random_normal(1, 256, 1.0, &mut rng);
+    // matmul_tb's backward shape: dz (batch × hidden) · W (features × hidden)ᵀ.
+    let wt = random_normal(256, WINDOW * FEATURES, 1.0, &mut rng);
+    c.bench_function("matmul_128x36_36x256", |b| b.iter(|| a.matmul(&w)));
+    c.bench_function("matmul_tb_128x36_256x36t", |b| b.iter(|| a.matmul_tb(&wt)));
+    c.bench_function("matmul_add_bias_128x36_36x256", |b| {
+        b.iter(|| a.matmul_add_bias(&w, &bias))
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    // The full σ×ε grid against the paper MLP on a small batch: the unit of
+    // work the robustness experiments fan out per monitor.
+    let (x, labels) = batch(64, 6);
+    let mlp = paper_mlp();
+    let grid = grid_cells(0xfeed);
+    let clean = mlp.predict_labels(&x);
+    let eval_grid = || {
+        sweep_parallel(&grid, |cell| {
+            let perturbed = cell.apply(&mlp, &x, &labels);
+            robustness_error(&clean, &mlp.predict_labels(&perturbed))
+        })
+    };
+    c.bench_function("sweep_grid_serial", |b| {
+        let _guard = ThreadsGuard::set(1);
+        b.iter(eval_grid);
+    });
+    c.bench_function("sweep_grid_parallel", |b| {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let _guard = ThreadsGuard::set(threads);
+        b.iter(eval_grid);
+    });
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_training, bench_inference, bench_attacks
+    targets = bench_training, bench_inference, bench_attacks, bench_kernels, bench_sweep
 }
 criterion_main!(benches);

@@ -30,5 +30,8 @@ fn main() {
     for (i, t) in exp::ablations::run(&ctx).iter().enumerate() {
         emit(&format!("ablation_{i}"), t);
     }
-    eprintln!("[cpsmon-bench] run_all finished in {:.1?}", started.elapsed());
+    eprintln!(
+        "[cpsmon-bench] run_all finished in {:.1?}",
+        started.elapsed()
+    );
 }

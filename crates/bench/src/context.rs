@@ -54,7 +54,10 @@ impl Context {
     pub fn build(scale: Scale) -> Context {
         let mut sims = Vec::new();
         for kind in SimulatorKind::ALL {
-            eprintln!("[cpsmon-bench] simulating {kind} campaign ({})...", scale.label());
+            eprintln!(
+                "[cpsmon-bench] simulating {kind} campaign ({})...",
+                scale.label()
+            );
             let traces = scale.campaign(kind).run();
             let ds = DatasetBuilder::new()
                 .seed(2022)
@@ -65,10 +68,16 @@ impl Context {
                 .iter()
                 .map(|&mk| {
                     eprintln!("[cpsmon-bench] training {mk} on {kind}...");
-                    mk.train(&ds, &cfg).expect("training cannot fail on a validated dataset")
+                    mk.train(&ds, &cfg)
+                        .expect("training cannot fail on a validated dataset")
                 })
                 .collect();
-            sims.push(SimContext { kind, traces, ds, monitors });
+            sims.push(SimContext {
+                kind,
+                traces,
+                ds,
+                monitors,
+            });
         }
         Context { scale, sims }
     }

@@ -24,12 +24,20 @@ const ABLATION_EPS: f64 = 0.1;
 pub fn weight_sweep(ctx: &Context) -> Table {
     let sim = ctx.sim(SimulatorKind::Glucosym);
     let mut table = Table::new(
-        format!("Ablation — semantic weight w (MLP, glucosym, {} scale)", ctx.scale.label()),
+        format!(
+            "Ablation — semantic weight w (MLP, glucosym, {} scale)",
+            ctx.scale.label()
+        ),
         &["w", "clean F1", "robustness error @ FGSM ε=0.1"],
     );
     for w in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0] {
-        let cfg = TrainConfig { semantic_weight: w, ..ctx.scale.train_config() };
-        let monitor = MonitorKind::MlpCustom.train(&sim.ds, &cfg).expect("training succeeds");
+        let cfg = TrainConfig {
+            semantic_weight: w,
+            ..ctx.scale.train_config()
+        };
+        let monitor = MonitorKind::MlpCustom
+            .train(&sim.ds, &cfg)
+            .expect("training succeeds");
         let model = monitor.as_grad_model().expect("differentiable");
         let clean_preds = monitor.predict_x(&sim.ds.test.x);
         let f1 = evaluate_predictions(&sim.ds.test, &clean_preds, 6).f1();
@@ -45,18 +53,30 @@ pub fn weight_sweep(ctx: &Context) -> Table {
 pub fn window_sweep(ctx: &Context) -> Table {
     let sim = ctx.sim(SimulatorKind::Glucosym);
     let mut table = Table::new(
-        format!("Ablation — window length (MLP, glucosym, {} scale)", ctx.scale.label()),
+        format!(
+            "Ablation — window length (MLP, glucosym, {} scale)",
+            ctx.scale.label()
+        ),
         &["window (steps)", "feature dim", "clean F1"],
     );
     for window in [3usize, 6, 12] {
         let ds = DatasetBuilder::new()
-            .feature_config(FeatureConfig { window, ..FeatureConfig::default() })
+            .feature_config(FeatureConfig {
+                window,
+                ..FeatureConfig::default()
+            })
             .seed(2022)
             .build(&sim.traces)
             .expect("dataset builds at every window size");
-        let monitor = MonitorKind::Mlp.train(&ds, &ctx.scale.train_config()).expect("training succeeds");
+        let monitor = MonitorKind::Mlp
+            .train(&ds, &ctx.scale.train_config())
+            .expect("training succeeds");
         let report = monitor.evaluate(&ds.test);
-        table.row(vec![window.to_string(), ds.feature_dim().to_string(), fmt3(report.f1())]);
+        table.row(vec![
+            window.to_string(),
+            ds.feature_dim().to_string(),
+            fmt3(report.f1()),
+        ]);
     }
     table
 }
@@ -65,7 +85,10 @@ pub fn window_sweep(ctx: &Context) -> Table {
 pub fn tolerance_sweep(ctx: &Context) -> Table {
     let sim = ctx.sim(SimulatorKind::Glucosym);
     let mut table = Table::new(
-        format!("Ablation — metric tolerance δ (glucosym, {} scale)", ctx.scale.label()),
+        format!(
+            "Ablation — metric tolerance δ (glucosym, {} scale)",
+            ctx.scale.label()
+        ),
         &["Model", "δ=0", "δ=3", "δ=6", "δ=12"],
     );
     for mk in MonitorKind::ALL {
@@ -119,7 +142,10 @@ pub fn adversarial_training(ctx: &Context) -> Table {
     }
     // Compare three defenses.
     let mut table = Table::new(
-        format!("Ablation — adversarial training vs semantic loss (MLP, glucosym, {} scale)", ctx.scale.label()),
+        format!(
+            "Ablation — adversarial training vs semantic loss (MLP, glucosym, {} scale)",
+            ctx.scale.label()
+        ),
         &["defense", "clean F1", "robustness error @ FGSM ε=0.1"],
     );
     let eval_net = |net: &dyn GradModel, label: &str, table: &mut Table| {
@@ -129,8 +155,14 @@ pub fn adversarial_training(ctx: &Context) -> Table {
         let err = robustness_error(&clean_preds, &net.predict_labels(&adv));
         table.row(vec![label.to_string(), fmt3(f1), fmt3(err)]);
     };
-    let baseline = sim.monitor(MonitorKind::Mlp).as_grad_model().expect("differentiable");
-    let custom = sim.monitor(MonitorKind::MlpCustom).as_grad_model().expect("differentiable");
+    let baseline = sim
+        .monitor(MonitorKind::Mlp)
+        .as_grad_model()
+        .expect("differentiable");
+    let custom = sim
+        .monitor(MonitorKind::MlpCustom)
+        .as_grad_model()
+        .expect("differentiable");
     eval_net(baseline, "none (baseline MLP)", &mut table);
     eval_net(custom, "semantic loss (MLP-Custom)", &mut table);
     eval_net(&net, "adversarial training", &mut table);

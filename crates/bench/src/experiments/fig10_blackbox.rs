@@ -21,13 +21,18 @@ pub fn run(ctx: &Context) -> Table {
     headers.extend(EPSILON_SWEEP.iter().map(|e| format!("ε={e}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        format!("Fig 10 — robustness error under black-box FGSM ({} scale)", ctx.scale.label()),
+        format!(
+            "Fig 10 — robustness error under black-box FGSM ({} scale)",
+            ctx.scale.label()
+        ),
         &header_refs,
     );
     for sim in &ctx.sims {
         for mk in ML_KINDS {
             let monitor = sim.monitor(mk);
-            let target = monitor.as_grad_model().expect("ML monitors are differentiable");
+            let target = monitor
+                .as_grad_model()
+                .expect("ML monitors are differentiable");
             // The attacker queries with the training inputs (data they can
             // collect from the same system) and attacks the test inputs.
             let attack = SubstituteAttack::new();
@@ -40,7 +45,8 @@ pub fn run(ctx: &Context) -> Table {
             ];
             for &eps in &EPSILON_SWEEP {
                 let labels = target.predict_labels(&sim.ds.test.x);
-                let adv = cpsmon_attack::Fgsm::new(eps).attack(&substitute, &sim.ds.test.x, &labels);
+                let adv =
+                    cpsmon_attack::Fgsm::new(eps).attack(&substitute, &sim.ds.test.x, &labels);
                 let pert_preds = monitor.predict_x(&adv);
                 cells.push(fmt3(robustness_error(&clean_preds, &pert_preds)));
             }

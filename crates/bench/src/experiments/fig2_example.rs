@@ -29,28 +29,25 @@ pub fn run(ctx: &Context) -> Table {
             continue;
         }
         let p = probs.get(i, 1);
-        if best_any.map_or(true, |(_, bp)| p > bp) {
+        if best_any.is_none_or(|(_, bp)| p > bp) {
             best_any = Some((i, p));
         }
-        if p > 0.5 && adv_probs.get(i, 1) < 0.5 && best_flip.map_or(true, |(_, bp)| p > bp) {
+        if p > 0.5 && adv_probs.get(i, 1) < 0.5 && best_flip.is_none_or(|(_, bp)| p > bp) {
             best_flip = Some((i, p));
         }
     }
-    let (idx, p_unsafe) = best_flip
-        .or(best_any)
-        .expect("test set contains positives");
+    let (idx, p_unsafe) = best_flip.or(best_any).expect("test set contains positives");
     let x = test.x.slice_rows(idx, idx + 1);
     let adv = adv_all.slice_rows(idx, idx + 1);
     let p_adv = adv_probs.get(idx, 1);
     let mut table = Table::new(
-        format!("Fig 2 — FGSM example flip (ε=0.2, {} scale)", ctx.scale.label()),
+        format!(
+            "Fig 2 — FGSM example flip (ε=0.2, {} scale)",
+            ctx.scale.label()
+        ),
         &["quantity", "clean", "adversarial"],
     );
-    table.row(vec![
-        "P(unsafe)".into(),
-        fmt3(p_unsafe),
-        fmt3(p_adv),
-    ]);
+    table.row(vec!["P(unsafe)".into(), fmt3(p_unsafe), fmt3(p_adv)]);
     table.row(vec![
         "prediction".into(),
         if p_unsafe > 0.5 { "unsafe" } else { "safe" }.into(),

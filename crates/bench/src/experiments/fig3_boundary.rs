@@ -56,7 +56,10 @@ pub fn run(ctx: &Context) -> (Table, String) {
         .expect("differentiable")
         .predict_labels(&grid_x);
     let mut table = Table::new(
-        format!("Fig 3 — decision boundary grid ({} scale)", ctx.scale.label()),
+        format!(
+            "Fig 3 — decision boundary grid ({} scale)",
+            ctx.scale.label()
+        ),
         &["bg_z", "dbg_z", "mlp", "mlp_custom"],
     );
     let mut sketch = String::new();

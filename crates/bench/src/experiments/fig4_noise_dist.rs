@@ -30,7 +30,10 @@ fn histogram(values: impl Iterator<Item = f64>) -> [usize; BINS] {
 /// BG feature.
 pub fn run(ctx: &Context) -> Table {
     let mut table = Table::new(
-        format!("Fig 4 — BG feature distribution with/without N(0,(0.5·std)²) ({} scale)", ctx.scale.label()),
+        format!(
+            "Fig 4 — BG feature distribution with/without N(0,(0.5·std)²) ({} scale)",
+            ctx.scale.label()
+        ),
         &["simulator", "bin_center_z", "clean_count", "noisy_count"],
     );
     for sim in &ctx.sims {

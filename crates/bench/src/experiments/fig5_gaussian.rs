@@ -8,6 +8,7 @@ use crate::context::Context;
 use crate::experiments::{report_on, ML_KINDS, NOISE_SEED};
 use crate::report::{fmt3, Table};
 use cpsmon_attack::{GaussianNoise, SIGMA_SWEEP};
+use cpsmon_core::sweep_parallel;
 
 /// Runs the experiment: one row per simulator × model with the clean F1
 /// and the F1 at each noise level.
@@ -16,7 +17,10 @@ pub fn run(ctx: &Context) -> Table {
     headers.extend(SIGMA_SWEEP.iter().map(|s| format!("σ={s}std")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        format!("Fig 5 — F1 under Gaussian noise ({} scale)", ctx.scale.label()),
+        format!(
+            "Fig 5 — F1 under Gaussian noise ({} scale)",
+            ctx.scale.label()
+        ),
         &header_refs,
     );
     for sim in &ctx.sims {
@@ -27,10 +31,11 @@ pub fn run(ctx: &Context) -> Table {
                 mk.label().to_string(),
                 fmt3(report_on(sim, monitor, &sim.ds.test.x).f1()),
             ];
-            for (i, &sigma) in SIGMA_SWEEP.iter().enumerate() {
+            let sigmas: Vec<(usize, f64)> = SIGMA_SWEEP.iter().copied().enumerate().collect();
+            cells.extend(sweep_parallel(&sigmas, |&(i, sigma)| {
                 let noisy = GaussianNoise::new(sigma).apply(&sim.ds.test.x, NOISE_SEED ^ i as u64);
-                cells.push(fmt3(report_on(sim, monitor, &noisy).f1()));
-            }
+                fmt3(report_on(sim, monitor, &noisy).f1())
+            }));
             table.row(cells);
         }
     }

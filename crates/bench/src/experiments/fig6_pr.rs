@@ -16,7 +16,10 @@ use cpsmon_sim::SimulatorKind;
 pub fn run(ctx: &Context) -> Table {
     let sim = ctx.sim(SimulatorKind::T1ds2013);
     let mut table = Table::new(
-        format!("Fig 6 — MLP precision/recall vs Gaussian noise, T1DS2013 ({} scale)", ctx.scale.label()),
+        format!(
+            "Fig 6 — MLP precision/recall vs Gaussian noise, T1DS2013 ({} scale)",
+            ctx.scale.label()
+        ),
         &["Model", "σ factor", "precision", "recall"],
     );
     for mk in [MonitorKind::Mlp, MonitorKind::MlpCustom] {

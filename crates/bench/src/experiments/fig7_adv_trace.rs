@@ -23,8 +23,20 @@ pub fn run(ctx: &Context) -> Table {
         .expect("test set contains positives");
     let x = test.x.slice_rows(idx, idx + 1);
     let mut table = Table::new(
-        format!("Fig 7 — example window clean vs FGSM ε=0.2 ({} scale)", ctx.scale.label()),
-        &["model", "step", "bg_clean", "bg_adv", "iob_clean", "iob_adv", "rate_clean", "rate_adv"],
+        format!(
+            "Fig 7 — example window clean vs FGSM ε=0.2 ({} scale)",
+            ctx.scale.label()
+        ),
+        &[
+            "model",
+            "step",
+            "bg_clean",
+            "bg_adv",
+            "iob_clean",
+            "iob_adv",
+            "rate_clean",
+            "rate_adv",
+        ],
     );
     for mk in [MonitorKind::Mlp, MonitorKind::Lstm] {
         let model = sim.monitor(mk).as_grad_model().expect("differentiable");

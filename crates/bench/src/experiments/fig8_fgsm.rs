@@ -8,6 +8,7 @@ use crate::context::Context;
 use crate::experiments::{report_on, ML_KINDS};
 use crate::report::{fmt3, Table};
 use cpsmon_attack::{Fgsm, EPSILON_SWEEP};
+use cpsmon_core::sweep_parallel;
 
 /// Runs the experiment.
 pub fn run(ctx: &Context) -> Table {
@@ -15,22 +16,27 @@ pub fn run(ctx: &Context) -> Table {
     headers.extend(EPSILON_SWEEP.iter().map(|e| format!("ε={e}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        format!("Fig 8 — F1 under white-box FGSM ({} scale)", ctx.scale.label()),
+        format!(
+            "Fig 8 — F1 under white-box FGSM ({} scale)",
+            ctx.scale.label()
+        ),
         &header_refs,
     );
     for sim in &ctx.sims {
         for mk in ML_KINDS {
             let monitor = sim.monitor(mk);
-            let model = monitor.as_grad_model().expect("ML monitors are differentiable");
+            let model = monitor
+                .as_grad_model()
+                .expect("ML monitors are differentiable");
             let mut cells = vec![
                 sim.kind.label().to_string(),
                 mk.label().to_string(),
                 fmt3(report_on(sim, monitor, &sim.ds.test.x).f1()),
             ];
-            for &eps in &EPSILON_SWEEP {
+            cells.extend(sweep_parallel(&EPSILON_SWEEP, |&eps| {
                 let adv = Fgsm::new(eps).attack(model, &sim.ds.test.x, &sim.ds.test.labels);
-                cells.push(fmt3(report_on(sim, monitor, &adv).f1()));
-            }
+                fmt3(report_on(sim, monitor, &adv).f1())
+            }));
             table.row(cells);
         }
     }

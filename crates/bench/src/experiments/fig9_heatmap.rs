@@ -9,9 +9,9 @@
 use crate::context::Context;
 use crate::experiments::{ML_KINDS, NOISE_SEED};
 use crate::report::{fmt3, Table};
-use cpsmon_attack::{Fgsm, GaussianNoise, EPSILON_SWEEP, SIGMA_SWEEP};
-use cpsmon_core::robustness_error;
+use cpsmon_attack::{grid_cells, EPSILON_SWEEP, SIGMA_SWEEP};
 use cpsmon_core::MonitorKind;
+use cpsmon_core::{robustness_error, sweep_parallel};
 
 /// The per-cell results, exposed so ablations/summary can reuse them.
 pub struct HeatmapData {
@@ -20,30 +20,31 @@ pub struct HeatmapData {
 }
 
 /// Computes the heat-map data.
+///
+/// The σ×ε grid of each monitor is fanned out across worker threads via
+/// [`sweep_parallel`]; every grid cell carries its own seed, so the result
+/// is identical to the serial sweep for any thread count.
 pub fn compute(ctx: &Context) -> HeatmapData {
+    let grid = grid_cells(NOISE_SEED);
     let mut cells = Vec::new();
     for sim in &ctx.sims {
         for mk in ML_KINDS {
             let monitor = sim.monitor(mk);
-            let model = monitor.as_grad_model().expect("ML monitors are differentiable");
+            let model = monitor
+                .as_grad_model()
+                .expect("ML monitors are differentiable");
             let clean_preds = monitor.predict_x(&sim.ds.test.x);
-            let gaussian: Vec<f64> = SIGMA_SWEEP
-                .iter()
-                .enumerate()
-                .map(|(i, &sigma)| {
-                    let noisy =
-                        GaussianNoise::new(sigma).apply(&sim.ds.test.x, NOISE_SEED ^ i as u64);
-                    robustness_error(&clean_preds, &monitor.predict_x(&noisy))
-                })
-                .collect();
-            let fgsm: Vec<f64> = EPSILON_SWEEP
-                .iter()
-                .map(|&eps| {
-                    let adv = Fgsm::new(eps).attack(model, &sim.ds.test.x, &sim.ds.test.labels);
-                    robustness_error(&clean_preds, &monitor.predict_x(&adv))
-                })
-                .collect();
-            cells.push((sim.kind.label().to_string(), mk, gaussian, fgsm));
+            let errors = sweep_parallel(&grid, |cell| {
+                let perturbed = cell.apply(model, &sim.ds.test.x, &sim.ds.test.labels);
+                robustness_error(&clean_preds, &monitor.predict_x(&perturbed))
+            });
+            let (gaussian, fgsm) = errors.split_at(SIGMA_SWEEP.len());
+            cells.push((
+                sim.kind.label().to_string(),
+                mk,
+                gaussian.to_vec(),
+                fgsm.to_vec(),
+            ));
         }
     }
     HeatmapData { cells }
@@ -67,7 +68,10 @@ pub fn run(ctx: &Context) -> (Table, Table) {
     headers.extend(EPSILON_SWEEP.iter().map(|e| format!("F ε={e}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        format!("Fig 9 — robustness error heat-map ({} scale)", ctx.scale.label()),
+        format!(
+            "Fig 9 — robustness error heat-map ({} scale)",
+            ctx.scale.label()
+        ),
         &header_refs,
     );
     for (sim, mk, gaussian, fgsm) in &data.cells {
@@ -80,7 +84,13 @@ pub fn run(ctx: &Context) -> (Table, Table) {
     // perturbation family, averaged across models and simulators.
     let mut summary = Table::new(
         "Fig 9 summary — robustness-error reduction from semantic loss",
-        &["pair", "perturbation", "baseline mean", "custom mean", "reduction %"],
+        &[
+            "pair",
+            "perturbation",
+            "baseline mean",
+            "custom mean",
+            "reduction %",
+        ],
     );
     let pairs = [
         (MonitorKind::Mlp, MonitorKind::MlpCustom),
@@ -93,12 +103,22 @@ pub fn run(ctx: &Context) -> (Table, Table) {
                 data.cells
                     .iter()
                     .filter(|(_, mk, _, _)| *mk == kind)
-                    .flat_map(|(_, _, g, f)| if gaussian_family { g.clone() } else { f.clone() })
+                    .flat_map(|(_, _, g, f)| {
+                        if gaussian_family {
+                            g.clone()
+                        } else {
+                            f.clone()
+                        }
+                    })
                     .collect()
             };
             let base = mean(&pick(base_kind));
             let custom = mean(&pick(custom_kind));
-            let reduction = if base > 0.0 { (base - custom) / base * 100.0 } else { 0.0 };
+            let reduction = if base > 0.0 {
+                (base - custom) / base * 100.0
+            } else {
+                0.0
+            };
             let family = if gaussian_family { "Gaussian" } else { "FGSM" };
             summary.row(vec![
                 format!("{} → {}", base_kind.label(), custom_kind.label()),
@@ -111,10 +131,15 @@ pub fn run(ctx: &Context) -> (Table, Table) {
         }
     }
     for family in ["Gaussian", "FGSM"] {
-        let fam: Vec<&(String, f64, f64)> = overall.iter().filter(|(f, _, _)| f == family).collect();
+        let fam: Vec<&(String, f64, f64)> =
+            overall.iter().filter(|(f, _, _)| f == family).collect();
         let base = mean(&fam.iter().map(|(_, b, _)| *b).collect::<Vec<_>>());
         let custom = mean(&fam.iter().map(|(_, _, c)| *c).collect::<Vec<_>>());
-        let reduction = if base > 0.0 { (base - custom) / base * 100.0 } else { 0.0 };
+        let reduction = if base > 0.0 {
+            (base - custom) / base * 100.0
+        } else {
+            0.0
+        };
         summary.row(vec![
             "average (all models)".into(),
             family.into(),

@@ -44,8 +44,18 @@ fn train_gru(ctx: &Context, sim: &crate::context::SimContext) -> GruNet {
 /// Runs the experiment.
 pub fn run(ctx: &Context) -> Table {
     let mut table = Table::new(
-        format!("Extension — GRU vs LSTM monitors ({} scale)", ctx.scale.label()),
-        &["Simulator", "Model", "params", "clean F1", "rob.err FGSM ε=0.1", "rob.err FGSM ε=0.2"],
+        format!(
+            "Extension — GRU vs LSTM monitors ({} scale)",
+            ctx.scale.label()
+        ),
+        &[
+            "Simulator",
+            "Model",
+            "params",
+            "clean F1",
+            "rob.err FGSM ε=0.1",
+            "rob.err FGSM ε=0.2",
+        ],
     );
     for sim in &ctx.sims {
         // LSTM rows come from the shared context; GRU is trained here.

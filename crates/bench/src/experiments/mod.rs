@@ -20,8 +20,8 @@ pub mod pgd_extension;
 pub mod table3;
 
 use crate::context::SimContext;
-use cpsmon_core::monitor::evaluate_predictions;
 use cpsmon_core::metrics::{EvalReport, DEFAULT_TOLERANCE_STEPS};
+use cpsmon_core::monitor::evaluate_predictions;
 use cpsmon_core::{MonitorKind, TrainedMonitor};
 use cpsmon_nn::Matrix;
 

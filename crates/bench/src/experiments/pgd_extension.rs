@@ -25,7 +25,10 @@ pub fn run(ctx: &Context) -> Table {
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        format!("Extension — robustness error, FGSM vs 10-step PGD ({} scale)", ctx.scale.label()),
+        format!(
+            "Extension — robustness error, FGSM vs 10-step PGD ({} scale)",
+            ctx.scale.label()
+        ),
         &header_refs,
     );
     for sim in &ctx.sims {

@@ -11,7 +11,10 @@ use cpsmon_core::MonitorKind;
 /// Runs the experiment.
 pub fn run(ctx: &Context) -> Table {
     let mut table = Table::new(
-        format!("Table III — clean performance ({} scale)", ctx.scale.label()),
+        format!(
+            "Table III — clean performance ({} scale)",
+            ctx.scale.label()
+        ),
         &["Simulator", "Model", "No. Sim", "No. Sample", "ACC", "F1"],
     );
     for sim in &ctx.sims {

@@ -35,8 +35,15 @@ pub fn run_experiment(name: &str, scale: Scale, f: impl Fn(&Context) -> Vec<Tabl
     let tables = f(&ctx);
     for (i, table) in tables.iter().enumerate() {
         println!("{table}");
-        let suffix = if tables.len() > 1 { format!("{name}_{i}") } else { name.to_string() };
+        let suffix = if tables.len() > 1 {
+            format!("{name}_{i}")
+        } else {
+            name.to_string()
+        };
         table.write_csv(&suffix);
     }
-    eprintln!("[cpsmon-bench] {name} finished in {:.1?}", started.elapsed());
+    eprintln!(
+        "[cpsmon-bench] {name} finished in {:.1?}",
+        started.elapsed()
+    );
 }

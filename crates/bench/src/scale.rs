@@ -55,7 +55,10 @@ impl Scale {
                 lstm_hidden: vec![32, 16],
                 ..TrainConfig::default()
             },
-            Scale::Full => TrainConfig { epochs: 6, ..TrainConfig::default() },
+            Scale::Full => TrainConfig {
+                epochs: 6,
+                ..TrainConfig::default()
+            },
         }
     }
 

@@ -197,8 +197,9 @@ impl DatasetBuilder {
             .clamp(1, traces.len().saturating_sub(1).max(1));
         let test_set: std::collections::HashSet<usize> =
             trace_ids.into_iter().take(n_test).collect();
-        let (test_samples, train_samples): (Vec<_>, Vec<_>) =
-            samples.into_iter().partition(|s| test_set.contains(&s.trace_idx));
+        let (test_samples, train_samples): (Vec<_>, Vec<_>) = samples
+            .into_iter()
+            .partition(|s| test_set.contains(&s.trace_idx));
         let to_dataset = |samples: &[WindowSample]| {
             let rows: Vec<&[f64]> = samples.iter().map(|s| s.features.as_slice()).collect();
             Dataset {
@@ -221,8 +222,16 @@ impl DatasetBuilder {
         }
         // Rule indicators from raw contexts.
         let rules = self.rules;
-        train.indicators = train.contexts.iter().map(|c| f64::from(u8::from(rules.violated(c)))).collect();
-        test.indicators = test.contexts.iter().map(|c| f64::from(u8::from(rules.violated(c)))).collect();
+        train.indicators = train
+            .contexts
+            .iter()
+            .map(|c| f64::from(u8::from(rules.violated(c))))
+            .collect();
+        test.indicators = test
+            .contexts
+            .iter()
+            .map(|c| f64::from(u8::from(rules.violated(c))))
+            .collect();
         // Normalize with train statistics.
         let normalizer = Normalizer::fit(&train.x);
         train.x = normalizer.transform(&train.x);
@@ -326,7 +335,10 @@ mod tests {
         for (t, idxs) in &groups {
             assert!(seen.insert(*t), "trace {t} appears twice");
             for w in idxs.windows(2) {
-                assert!(ds.test.steps[w[0]] < ds.test.steps[w[1]], "steps out of order");
+                assert!(
+                    ds.test.steps[w[0]] < ds.test.steps[w[1]],
+                    "steps out of order"
+                );
             }
         }
     }

@@ -49,7 +49,14 @@ impl Cusum {
         assert!(std > 0.0, "std must be positive");
         assert!(k >= 0.0, "slack must be non-negative");
         assert!(h > 0.0, "threshold must be positive");
-        Self { mean, std, k, h, s_pos: 0.0, s_neg: 0.0 }
+        Self {
+            mean,
+            std,
+            k,
+            h,
+            s_pos: 0.0,
+            s_neg: 0.0,
+        }
     }
 
     /// Standard tuning: `k = 0.5`, `h = 5` (in σ units).
@@ -114,7 +121,9 @@ impl InvariantRange {
     /// Whether any sample (or step) of `signal` violates the invariant.
     pub fn detects(&self, signal: &[f64]) -> bool {
         let out_of_range = signal.iter().any(|&v| v < self.lo || v > self.hi);
-        let jump = signal.windows(2).any(|w| (w[1] - w[0]).abs() > self.max_step);
+        let jump = signal
+            .windows(2)
+            .any(|w| (w[1] - w[0]).abs() > self.max_step);
         out_of_range || jump
     }
 }
@@ -127,7 +136,9 @@ mod tests {
     fn cusum_quiet_on_reference_distribution() {
         let mut d = Cusum::standard(100.0, 10.0);
         // Deterministic in-band wiggle.
-        let signal: Vec<f64> = (0..200).map(|i| 100.0 + 5.0 * ((i as f64) * 0.7).sin()).collect();
+        let signal: Vec<f64> = (0..200)
+            .map(|i| 100.0 + 5.0 * ((i as f64) * 0.7).sin())
+            .collect();
         assert!(!d.detects(&signal));
     }
 
@@ -135,14 +146,14 @@ mod tests {
     fn cusum_alarms_on_sustained_shift() {
         let mut d = Cusum::standard(100.0, 10.0);
         let mut signal = vec![100.0; 10];
-        signal.extend(std::iter::repeat(130.0).take(10)); // +3σ shift
+        signal.extend(std::iter::repeat_n(130.0, 10)); // +3σ shift
         assert!(d.detects(&signal));
     }
 
     #[test]
     fn cusum_two_sided() {
         let mut d = Cusum::standard(0.0, 1.0);
-        let drop: Vec<f64> = std::iter::repeat(-3.0).take(10).collect();
+        let drop: Vec<f64> = std::iter::repeat_n(-3.0, 10).collect();
         assert!(d.detects(&drop));
     }
 

@@ -40,7 +40,9 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(CoreError::EmptyDataset.to_string().contains("windows"));
-        assert!(CoreError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(CoreError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 
     #[test]

@@ -18,9 +18,9 @@
 //! `[step0 f0..f5, step1 f0..f5, …]` — the layout [`cpsmon_nn::LstmNet`]
 //! splits back into a sequence.
 
+use cpsmon_nn::Matrix;
 use cpsmon_sim::trace::SimTrace;
 use cpsmon_stl::{ApsContext, Command};
-use cpsmon_nn::Matrix;
 
 /// Features per timestep (see the module table).
 pub const FEATURES_PER_STEP: usize = 6;
@@ -45,7 +45,10 @@ impl Default for FeatureConfig {
         // The 0.3 U/h command deadband keeps OpenAPS's tiny 5-minute basal
         // adjustments from being classified as increase/decrease commands,
         // which would otherwise turn the Table I command atoms into noise.
-        Self { window: 6, rate_eps: 0.3 }
+        Self {
+            window: 6,
+            rate_eps: 0.3,
+        }
     }
 }
 
@@ -74,13 +77,19 @@ impl FeatureConfig {
     /// # Panics
     ///
     /// Panics if `labels.len() != trace.len()`.
-    pub fn windows(&self, trace: &SimTrace, labels: &[usize], trace_idx: usize) -> Vec<WindowSample> {
+    pub fn windows(
+        &self,
+        trace: &SimTrace,
+        labels: &[usize],
+        trace_idx: usize,
+    ) -> Vec<WindowSample> {
         assert_eq!(labels.len(), trace.len(), "label/trace length mismatch");
         let records = trace.records();
         if records.len() < self.window {
             return Vec::new();
         }
         let mut samples = Vec::with_capacity(records.len() - self.window + 1);
+        #[allow(clippy::needless_range_loop)]
         for end in (self.window - 1)..records.len() {
             let start = end + 1 - self.window;
             let mut features = Vec::with_capacity(self.window * FEATURES_PER_STEP);
@@ -249,7 +258,10 @@ mod tests {
     fn derivative_features_computed() {
         let bgs = [100.0, 110.0, 130.0, 130.0, 120.0, 125.0, 140.0];
         let trace = mk_trace(&bgs, &[1.0; 7]);
-        let cfg = FeatureConfig { window: 2, rate_eps: 0.05 };
+        let cfg = FeatureConfig {
+            window: 2,
+            rate_eps: 0.05,
+        };
         let ws = cfg.windows(&trace, &[0; 7], 0);
         // First window covers steps 0..=1; step 1 dbg = 10.
         assert_eq!(ws[0].features[FEATURES_PER_STEP + 2], 10.0);
@@ -272,7 +284,10 @@ mod tests {
 
     #[test]
     fn context_slopes_are_end_to_end() {
-        let cfg = FeatureConfig { window: 3, rate_eps: 0.05 };
+        let cfg = FeatureConfig {
+            window: 3,
+            rate_eps: 0.05,
+        };
         let mut feats = vec![0.0; 18];
         feats[0] = 100.0; // bg at t0
         feats[6] = 110.0;

@@ -49,5 +49,5 @@ pub use error::CoreError;
 pub use features::{FeatureConfig, Normalizer, FEATURES_PER_STEP};
 pub use metrics::{ConfusionCounts, EvalReport};
 pub use monitor::{MonitorKind, TrainedMonitor};
-pub use robustness::robustness_error;
+pub use robustness::{robustness_error, sweep_parallel};
 pub use train::TrainConfig;

@@ -201,7 +201,15 @@ mod tests {
     #[test]
     fn sample_confusion_basic() {
         let counts = sample_confusion(&[1, 0, 1, 0], &[1, 1, 0, 0]);
-        assert_eq!(counts, ConfusionCounts { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(
+            counts,
+            ConfusionCounts {
+                tp: 1,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
+        );
         let report = EvalReport { counts };
         assert_eq!(report.accuracy(), 0.5);
         assert_eq!(report.precision(), 0.5);
@@ -218,9 +226,27 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = ConfusionCounts { tp: 1, fp: 2, fn_: 3, tn: 4 };
-        a.merge(ConfusionCounts { tp: 10, fp: 20, fn_: 30, tn: 40 });
-        assert_eq!(a, ConfusionCounts { tp: 11, fp: 22, fn_: 33, tn: 44 });
+        let mut a = ConfusionCounts {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+            tn: 4,
+        };
+        a.merge(ConfusionCounts {
+            tp: 10,
+            fp: 20,
+            fn_: 30,
+            tn: 40,
+        });
+        assert_eq!(
+            a,
+            ConfusionCounts {
+                tp: 11,
+                fp: 22,
+                fn_: 33,
+                tn: 44
+            }
+        );
         assert_eq!(a.total(), 110);
     }
 

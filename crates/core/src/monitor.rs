@@ -224,15 +224,29 @@ mod tests {
     fn ml_monitors_expose_grad_models() {
         let ds = dataset();
         let cfg = TrainConfig::quick_test();
-        assert!(MonitorKind::RuleBased.train(&ds, &cfg).unwrap().as_grad_model().is_none());
-        assert!(MonitorKind::Mlp.train(&ds, &cfg).unwrap().as_grad_model().is_some());
-        assert!(MonitorKind::Lstm.train(&ds, &cfg).unwrap().as_grad_model().is_some());
+        assert!(MonitorKind::RuleBased
+            .train(&ds, &cfg)
+            .unwrap()
+            .as_grad_model()
+            .is_none());
+        assert!(MonitorKind::Mlp
+            .train(&ds, &cfg)
+            .unwrap()
+            .as_grad_model()
+            .is_some());
+        assert!(MonitorKind::Lstm
+            .train(&ds, &cfg)
+            .unwrap()
+            .as_grad_model()
+            .is_some());
     }
 
     #[test]
     fn trained_ml_monitor_is_better_than_chance() {
         let ds = dataset();
-        let m = MonitorKind::Mlp.train(&ds, &TrainConfig::quick_test()).unwrap();
+        let m = MonitorKind::Mlp
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
         let report = m.evaluate(&ds.test);
         assert!(report.accuracy() > 0.6, "accuracy {}", report.accuracy());
     }
@@ -240,7 +254,9 @@ mod tests {
     #[test]
     fn predict_x_matches_predict_for_ml() {
         let ds = dataset();
-        let m = MonitorKind::Mlp.train(&ds, &TrainConfig::quick_test()).unwrap();
+        let m = MonitorKind::Mlp
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
         assert_eq!(m.predict(&ds.test), m.predict_x(&ds.test.x));
     }
 
@@ -248,7 +264,9 @@ mod tests {
     #[should_panic(expected = "rule-based monitor")]
     fn predict_x_panics_for_rule_monitor() {
         let ds = dataset();
-        let m = MonitorKind::RuleBased.train(&ds, &TrainConfig::quick_test()).unwrap();
+        let m = MonitorKind::RuleBased
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
         let _ = m.predict_x(&ds.test.x);
     }
 

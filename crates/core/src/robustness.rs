@@ -10,7 +10,7 @@
 //! perturbation is applied. It needs no ground truth — it measures
 //! prediction stability, not correctness.
 
-use cpsmon_nn::{GradModel, Matrix};
+use cpsmon_nn::{par, GradModel, Matrix};
 
 /// Fraction of rows whose predictions differ between two label vectors.
 ///
@@ -18,7 +18,11 @@ use cpsmon_nn::{GradModel, Matrix};
 ///
 /// Panics if the vectors differ in length.
 pub fn robustness_error(clean_preds: &[usize], perturbed_preds: &[usize]) -> f64 {
-    assert_eq!(clean_preds.len(), perturbed_preds.len(), "prediction length mismatch");
+    assert_eq!(
+        clean_preds.len(),
+        perturbed_preds.len(),
+        "prediction length mismatch"
+    );
     if clean_preds.is_empty() {
         return 0.0;
     }
@@ -38,7 +42,25 @@ pub fn robustness_error(clean_preds: &[usize], perturbed_preds: &[usize]) -> f64
 /// Panics if the two batches differ in shape.
 pub fn model_robustness_error(model: &dyn GradModel, clean: &Matrix, perturbed: &Matrix) -> f64 {
     assert_eq!(clean.shape(), perturbed.shape(), "batch shape mismatch");
-    robustness_error(&model.predict_labels(clean), &model.predict_labels(perturbed))
+    robustness_error(
+        &model.predict_labels(clean),
+        &model.predict_labels(perturbed),
+    )
+}
+
+/// Evaluates every sweep item — one grid cell of a robustness sweep —
+/// through `eval`, fanning the items out across the data-parallel workers
+/// of [`cpsmon_nn::par`] (one item per work unit).
+///
+/// The output order always matches the input order and every item is
+/// evaluated exactly once, so the result is identical to
+/// `items.iter().map(eval).collect()` regardless of the thread count
+/// (`CPSMON_THREADS` honored). Item evaluation may itself use the parallel
+/// layer: nested fan-out automatically degrades to inline execution, so
+/// grid-level and batch-level parallelism compose without oversubscription.
+pub fn sweep_parallel<T: Sync, R: Send>(items: &[T], eval: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    // One item per chunk → the chunk-result list is exactly the item list.
+    par::run_chunks(items.len(), 1, |r| eval(&items[r.start]))
 }
 
 /// Per-class flip rates `(flips in class j) / N_j`, keyed by the clean
@@ -49,7 +71,11 @@ pub fn per_class_flip_rates(
     perturbed_preds: &[usize],
     classes: usize,
 ) -> Vec<f64> {
-    assert_eq!(clean_preds.len(), perturbed_preds.len(), "prediction length mismatch");
+    assert_eq!(
+        clean_preds.len(),
+        perturbed_preds.len(),
+        "prediction length mismatch"
+    );
     let mut flips = vec![0usize; classes];
     let mut totals = vec![0usize; classes];
     for (&c, &p) in clean_preds.iter().zip(perturbed_preds) {
@@ -104,5 +130,32 @@ mod tests {
         let rates = per_class_flip_rates(&[0, 0], &[0, 1], 3);
         assert_eq!(rates[1], 0.0);
         assert_eq!(rates[2], 0.0);
+    }
+
+    #[test]
+    fn sweep_parallel_preserves_order_and_coverage() {
+        let items: Vec<usize> = (0..17).collect();
+        let out = sweep_parallel(&items, |&i| i * i);
+        assert_eq!(out, items.iter().map(|&i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_parallel_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(sweep_parallel(&empty, |&v| v).is_empty());
+        assert_eq!(sweep_parallel(&[7u32], |&v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn sweep_parallel_matches_serial_across_thread_counts() {
+        let items: Vec<usize> = (0..31).collect();
+        let expect: Vec<usize> = items.iter().map(|&i| i.wrapping_mul(2654435761)).collect();
+        for threads in [1usize, 4] {
+            let _guard = cpsmon_nn::par::ThreadsGuard::set(threads);
+            assert_eq!(
+                sweep_parallel(&items, |&i| i.wrapping_mul(2654435761)),
+                expect
+            );
+        }
     }
 }

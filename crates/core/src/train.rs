@@ -148,10 +148,20 @@ mod tests {
         let ds = dataset();
         let net = train_mlp(&ds, &TrainConfig::quick_test(), false);
         let preds = net.predict_labels(&ds.train.x);
-        let correct = preds.iter().zip(&ds.train.labels).filter(|(p, l)| p == l).count();
+        let correct = preds
+            .iter()
+            .zip(&ds.train.labels)
+            .filter(|(p, l)| p == l)
+            .count();
         let acc = correct as f64 / preds.len() as f64;
-        let majority = 1.0 - ds.train.positive_ratio().min(1.0 - ds.train.positive_ratio());
-        assert!(acc > majority.max(0.6), "train acc {acc} vs majority {majority}");
+        let majority = 1.0
+            - ds.train
+                .positive_ratio()
+                .min(1.0 - ds.train.positive_ratio());
+        assert!(
+            acc > majority.max(0.6),
+            "train acc {acc} vs majority {majority}"
+        );
     }
 
     #[test]
@@ -159,7 +169,11 @@ mod tests {
         let ds = dataset();
         let net = train_lstm(&ds, &TrainConfig::quick_test(), false);
         let preds = net.predict_labels(&ds.train.x);
-        let correct = preds.iter().zip(&ds.train.labels).filter(|(p, l)| p == l).count();
+        let correct = preds
+            .iter()
+            .zip(&ds.train.labels)
+            .filter(|(p, l)| p == l)
+            .count();
         let acc = correct as f64 / preds.len() as f64;
         assert!(acc > 0.6, "train acc {acc}");
     }

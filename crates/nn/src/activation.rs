@@ -7,6 +7,12 @@ pub fn relu(x: &Matrix) -> Matrix {
     x.map(|v| v.max(0.0))
 }
 
+/// Rectified linear unit applied in place (allocation-free variant of
+/// [`relu`] for forward-only paths).
+pub fn relu_inplace(x: &mut Matrix) {
+    x.map_inplace(|v| v.max(0.0));
+}
+
 /// Derivative mask of ReLU evaluated at the *pre-activation* `x`
 /// (1 where `x > 0`, else 0).
 pub fn relu_grad_mask(x: &Matrix) -> Matrix {

@@ -49,7 +49,10 @@ impl AdamTrainer {
     ///
     /// Panics unless `0 <= β < 1` for both.
     pub fn with_betas(mut self, beta1: f64, beta2: f64) -> Self {
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas must be in [0,1)"
+        );
         self.beta1 = beta1;
         self.beta2 = beta2;
         self
@@ -88,10 +91,17 @@ impl AdamTrainer {
         assert_eq!(param.shape(), grad.shape(), "param/grad shape mismatch");
         assert!(self.t > 0, "begin_step must be called before update");
         let len = param.len();
-        assert!(offset + len <= self.m.len(), "optimizer slots exhausted: offset {offset} + {len} > {}", self.m.len());
+        assert!(
+            offset + len <= self.m.len(),
+            "optimizer slots exhausted: offset {offset} + {len} > {}",
+            self.m.len()
+        );
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        let (m, v) = (&mut self.m[offset..offset + len], &mut self.v[offset..offset + len]);
+        let (m, v) = (
+            &mut self.m[offset..offset + len],
+            &mut self.v[offset..offset + len],
+        );
         for ((p, &g), (mi, vi)) in param
             .as_mut_slice()
             .iter_mut()
@@ -121,7 +131,11 @@ mod tests {
         let g = Matrix::row_vector(&[123.0]);
         t.begin_step();
         t.update(0, &mut p, &g);
-        assert!((p.get(0, 0) - (1.0 - 0.1)).abs() < 1e-6, "param was {}", p.get(0, 0));
+        assert!(
+            (p.get(0, 0) - (1.0 - 0.1)).abs() < 1e-6,
+            "param was {}",
+            p.get(0, 0)
+        );
     }
 
     #[test]
@@ -134,7 +148,11 @@ mod tests {
             t.begin_step();
             t.update(0, &mut p, &g);
         }
-        assert!((p.get(0, 0) - 3.0).abs() < 1e-3, "param was {}", p.get(0, 0));
+        assert!(
+            (p.get(0, 0) - 3.0).abs() < 1e-3,
+            "param was {}",
+            p.get(0, 0)
+        );
     }
 
     #[test]

@@ -67,15 +67,24 @@ impl Dense {
         &self.b
     }
 
-    /// Forward pass: `z = x·W + b`.
+    /// Forward pass: `z = x·W + b`, computed by the fused
+    /// [`Matrix::matmul_add_bias`] kernel (one pass over `z`).
     ///
     /// # Panics
     ///
     /// Panics if `x.cols() != input_dim`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut z = x.matmul(&self.w);
-        z.add_row_broadcast(&self.b);
-        z
+        x.matmul_add_bias(&self.w, &self.b)
+    }
+
+    /// [`forward`](Self::forward) writing into a caller-owned scratch buffer
+    /// of shape `x.rows() × output_dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_add_bias_into(&self.w, &self.b, out);
     }
 
     /// Backward pass given the upstream gradient `dz` and the cached input

@@ -36,7 +36,10 @@ impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NnError::InputDimMismatch { expected, got } => {
-                write!(f, "input has {got} features but the model expects {expected}")
+                write!(
+                    f,
+                    "input has {got} features but the model expects {expected}"
+                )
             }
             NnError::LabelLenMismatch { rows, labels } => {
                 write!(f, "{labels} labels provided for a batch of {rows} rows")
@@ -57,9 +60,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = NnError::InputDimMismatch { expected: 36, got: 6 };
+        let e = NnError::InputDimMismatch {
+            expected: 36,
+            got: 6,
+        };
         assert!(e.to_string().contains("36"));
-        let e = NnError::LabelOutOfRange { label: 3, classes: 2 };
+        let e = NnError::LabelOutOfRange {
+            label: 3,
+            classes: 2,
+        };
         assert!(e.to_string().contains("label 3"));
     }
 

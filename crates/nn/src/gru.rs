@@ -110,28 +110,64 @@ impl Gru {
         let mut h = Matrix::zeros(n_rows, self.hidden_dim);
         let mut hs = Vec::with_capacity(xs.len());
         let mut steps = Vec::with_capacity(xs.len());
+        // Pre-activation scratch reused across timesteps.
+        let mut pre = Matrix::zeros(n_rows, self.hidden_dim);
         for x in xs {
             assert_eq!(x.cols(), self.input_dim, "timestep width mismatch");
-            let mut zz = x.matmul(&self.wxz);
-            zz += &h.matmul(&self.whz);
-            zz.add_row_broadcast(&self.bz);
-            let z = sigmoid(&zz);
-            let mut zr = x.matmul(&self.wxr);
-            zr += &h.matmul(&self.whr);
-            zr.add_row_broadcast(&self.br);
-            let r = sigmoid(&zr);
+            x.matmul_add_bias_into(&self.wxz, &self.bz, &mut pre);
+            h.matmul_acc(&self.whz, &mut pre);
+            let z = sigmoid(&pre);
+            x.matmul_add_bias_into(&self.wxr, &self.br, &mut pre);
+            h.matmul_acc(&self.whr, &mut pre);
+            let r = sigmoid(&pre);
             let rh = r.hadamard(&h);
-            let mut zn = x.matmul(&self.wxn);
-            zn += &rh.matmul(&self.whn);
-            zn.add_row_broadcast(&self.bn);
-            let n = tanh(&zn);
+            x.matmul_add_bias_into(&self.wxn, &self.bn, &mut pre);
+            rh.matmul_acc(&self.whn, &mut pre);
+            let n = tanh(&pre);
             // h' = (1−z)⊙n + z⊙h
             let h_new = &n.hadamard(&z.map(|v| 1.0 - v)) + &z.hadamard(&h);
-            steps.push(StepCache { x: x.clone(), h_prev: h, z, r, n, rh });
+            steps.push(StepCache {
+                x: x.clone(),
+                h_prev: h,
+                z,
+                r,
+                n,
+                rh,
+            });
             hs.push(h_new.clone());
             h = h_new;
         }
         (hs, GruCache { steps })
+    }
+
+    /// Forward pass that keeps only the per-step hidden states (the
+    /// prediction path) — no backward caches, no per-step clones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or any step has the wrong width.
+    pub fn forward_only(&self, xs: &[Matrix]) -> Vec<Matrix> {
+        assert!(!xs.is_empty(), "GRU forward needs at least one timestep");
+        let n_rows = xs[0].rows();
+        let mut h = Matrix::zeros(n_rows, self.hidden_dim);
+        let mut hs = Vec::with_capacity(xs.len());
+        let mut pre = Matrix::zeros(n_rows, self.hidden_dim);
+        for x in xs {
+            assert_eq!(x.cols(), self.input_dim, "timestep width mismatch");
+            x.matmul_add_bias_into(&self.wxz, &self.bz, &mut pre);
+            h.matmul_acc(&self.whz, &mut pre);
+            let z = sigmoid(&pre);
+            x.matmul_add_bias_into(&self.wxr, &self.br, &mut pre);
+            h.matmul_acc(&self.whr, &mut pre);
+            let r = sigmoid(&pre);
+            let rh = r.hadamard(&h);
+            x.matmul_add_bias_into(&self.wxn, &self.bn, &mut pre);
+            rh.matmul_acc(&self.whn, &mut pre);
+            let n = tanh(&pre);
+            h = &n.hadamard(&z.map(|v| 1.0 - v)) + &z.hadamard(&h);
+            hs.push(h.clone());
+        }
+        hs
     }
 
     /// BPTT backward pass; `dhs[t]` is the loss gradient w.r.t. the hidden
@@ -142,22 +178,44 @@ impl Gru {
     ///
     /// Panics if `dhs.len()` differs from the cached timestep count.
     pub fn backward(&self, cache: &GruCache, dhs: &[Matrix]) -> (GruGrads, Vec<Matrix>) {
+        let (grads, dxs) = self.backward_impl(cache, dhs, true);
+        (grads.expect("weight grads requested"), dxs)
+    }
+
+    /// BPTT backward pass that computes only the input gradients, skipping
+    /// the six weight-gradient matmuls per timestep (the attack path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dhs.len()` differs from the cached timestep count.
+    pub fn backward_input_only(&self, cache: &GruCache, dhs: &[Matrix]) -> Vec<Matrix> {
+        self.backward_impl(cache, dhs, false).1
+    }
+
+    fn backward_impl(
+        &self,
+        cache: &GruCache,
+        dhs: &[Matrix],
+        want_weight_grads: bool,
+    ) -> (Option<GruGrads>, Vec<Matrix>) {
         assert_eq!(dhs.len(), cache.steps.len(), "dhs/timestep count mismatch");
         let t_len = cache.steps.len();
         let n_rows = cache.steps[0].x.rows();
-        let mut dw = [
-            Matrix::zeros(self.input_dim, self.hidden_dim),
-            Matrix::zeros(self.input_dim, self.hidden_dim),
-            Matrix::zeros(self.input_dim, self.hidden_dim),
-            Matrix::zeros(self.hidden_dim, self.hidden_dim),
-            Matrix::zeros(self.hidden_dim, self.hidden_dim),
-            Matrix::zeros(self.hidden_dim, self.hidden_dim),
-        ];
-        let mut db = [
-            Matrix::zeros(1, self.hidden_dim),
-            Matrix::zeros(1, self.hidden_dim),
-            Matrix::zeros(1, self.hidden_dim),
-        ];
+        let mut grads = want_weight_grads.then(|| GruGrads {
+            dw: [
+                Matrix::zeros(self.input_dim, self.hidden_dim),
+                Matrix::zeros(self.input_dim, self.hidden_dim),
+                Matrix::zeros(self.input_dim, self.hidden_dim),
+                Matrix::zeros(self.hidden_dim, self.hidden_dim),
+                Matrix::zeros(self.hidden_dim, self.hidden_dim),
+                Matrix::zeros(self.hidden_dim, self.hidden_dim),
+            ],
+            db: [
+                Matrix::zeros(1, self.hidden_dim),
+                Matrix::zeros(1, self.hidden_dim),
+                Matrix::zeros(1, self.hidden_dim),
+            ],
+        });
         let mut dxs = vec![Matrix::zeros(0, 0); t_len];
         let mut dh_next = Matrix::zeros(n_rows, self.hidden_dim);
         for t in (0..t_len).rev() {
@@ -169,30 +227,32 @@ impl Gru {
             let mut dh_prev = dh.hadamard(&s.z);
             // Candidate path: n = tanh(zn), zn = x·Wxn + rh·Whn + bn.
             let dzn = dn.hadamard(&s.n.map(|v| 1.0 - v * v));
-            dw[2] += &s.x.transpose_matmul(&dzn);
-            dw[5] += &s.rh.transpose_matmul(&dzn);
-            db[2] += &dzn.sum_rows();
-            let drh = dzn.matmul_transpose(&self.whn);
+            let drh = dzn.matmul_tb(&self.whn);
             let dr = drh.hadamard(&s.h_prev);
             dh_prev += &drh.hadamard(&s.r);
             // Gate paths.
             let dzz = dz.hadamard(&s.z).hadamard(&s.z.map(|v| 1.0 - v));
             let dzr = dr.hadamard(&s.r).hadamard(&s.r.map(|v| 1.0 - v));
-            dw[0] += &s.x.transpose_matmul(&dzz);
-            dw[1] += &s.x.transpose_matmul(&dzr);
-            dw[3] += &s.h_prev.transpose_matmul(&dzz);
-            dw[4] += &s.h_prev.transpose_matmul(&dzr);
-            db[0] += &dzz.sum_rows();
-            db[1] += &dzr.sum_rows();
-            let mut dx = dzn.matmul_transpose(&self.wxn);
-            dx += &dzz.matmul_transpose(&self.wxz);
-            dx += &dzr.matmul_transpose(&self.wxr);
+            if let Some(g) = grads.as_mut() {
+                g.dw[0] += &s.x.transpose_matmul(&dzz);
+                g.dw[1] += &s.x.transpose_matmul(&dzr);
+                g.dw[2] += &s.x.transpose_matmul(&dzn);
+                g.dw[3] += &s.h_prev.transpose_matmul(&dzz);
+                g.dw[4] += &s.h_prev.transpose_matmul(&dzr);
+                g.dw[5] += &s.rh.transpose_matmul(&dzn);
+                g.db[0] += &dzz.sum_rows();
+                g.db[1] += &dzr.sum_rows();
+                g.db[2] += &dzn.sum_rows();
+            }
+            let mut dx = dzn.matmul_tb(&self.wxn);
+            dx += &dzz.matmul_tb(&self.wxz);
+            dx += &dzr.matmul_tb(&self.wxr);
             dxs[t] = dx;
-            dh_prev += &dzz.matmul_transpose(&self.whz);
-            dh_prev += &dzr.matmul_transpose(&self.whr);
+            dh_prev += &dzz.matmul_tb(&self.whz);
+            dh_prev += &dzr.matmul_tb(&self.whr);
             dh_next = dh_prev;
         }
-        (GruGrads { dw, db }, dxs)
+        (grads, dxs)
     }
 
     /// Applies one Adam update using slots starting at `offset`; returns
@@ -269,7 +329,10 @@ mod tests {
         let gru = Gru::new(3, 4, &mut rng);
         let xs: Vec<Matrix> = (0..3).map(|_| random_normal(2, 3, 0.5, &mut rng)).collect();
         let (hs, cache) = gru.forward(&xs);
-        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::filled(h.rows(), h.cols(), 1.0)).collect();
+        let dhs: Vec<Matrix> = hs
+            .iter()
+            .map(|h| Matrix::filled(h.rows(), h.cols(), 1.0))
+            .collect();
         let (_, dxs) = gru.backward(&cache, &dhs);
         for t in 0..3 {
             let num = numeric_input_grad(&xs[t], 1e-5, |xp| {
@@ -288,18 +351,31 @@ mod tests {
         let gru = Gru::new(2, 3, &mut rng);
         let xs: Vec<Matrix> = (0..3).map(|_| random_normal(2, 2, 0.5, &mut rng)).collect();
         let (hs, cache) = gru.forward(&xs);
-        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::filled(h.rows(), h.cols(), 1.0)).collect();
+        let dhs: Vec<Matrix> = hs
+            .iter()
+            .map(|h| Matrix::filled(h.rows(), h.cols(), 1.0))
+            .collect();
         let (grads, _) = gru.backward(&cache, &dhs);
         let h = 1e-5;
         // Sample entries from every weight tensor, including recurrent ones.
-        for (which, r, c) in [(0usize, 0, 0), (1, 1, 2), (2, 0, 1), (3, 2, 0), (4, 1, 1), (5, 0, 2)] {
+        for (which, r, c) in [
+            (0usize, 0, 0),
+            (1, 1, 2),
+            (2, 0, 1),
+            (3, 2, 0),
+            (4, 1, 1),
+            (5, 0, 2),
+        ] {
             let mut plus = gru.clone();
             plus.perturb(which, r, c, h);
             let mut minus = gru.clone();
             minus.perturb(which, r, c, -h);
             let num = (objective(&plus, &xs) - objective(&minus, &xs)) / (2.0 * h);
             let ana = grads.dw[which].get(r, c);
-            assert!((ana - num).abs() < 1e-6, "dw[{which}]({r},{c}): {ana} vs {num}");
+            assert!(
+                (ana - num).abs() < 1e-6,
+                "dw[{which}]({r},{c}): {ana} vs {num}"
+            );
         }
     }
 
@@ -309,7 +385,10 @@ mod tests {
         let gru = Gru::new(2, 3, &mut rng);
         let xs: Vec<Matrix> = (0..4).map(|_| random_normal(1, 2, 0.5, &mut rng)).collect();
         let (hs, cache) = gru.forward(&xs);
-        let mut dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::zeros(h.rows(), h.cols())).collect();
+        let mut dhs: Vec<Matrix> = hs
+            .iter()
+            .map(|h| Matrix::zeros(h.rows(), h.cols()))
+            .collect();
         let last = dhs.len() - 1;
         dhs[last] = Matrix::filled(1, 3, 1.0);
         let (_, dxs) = gru.backward(&cache, &dhs);
@@ -324,6 +403,9 @@ mod tests {
 
     #[test]
     fn deterministic_construction() {
-        assert_eq!(Gru::new(3, 4, &mut SmallRng::new(6)), Gru::new(3, 4, &mut SmallRng::new(6)));
+        assert_eq!(
+            Gru::new(3, 4, &mut SmallRng::new(6)),
+            Gru::new(3, 4, &mut SmallRng::new(6))
+        );
     }
 }

@@ -9,6 +9,7 @@ use crate::gru::Gru;
 use crate::loss::{cross_entropy, softmax_ce_grad, SemanticLoss};
 use crate::matrix::Matrix;
 use crate::model::GradModel;
+use crate::par;
 use crate::rng::SmallRng;
 
 /// Configuration for [`GruNet::new`] (mirrors
@@ -104,9 +105,31 @@ impl GruNet {
             caches.push(cache);
             seq = hs;
         }
-        let last_h = seq.last().expect("at least one timestep").clone();
+        let last_h = seq.pop().expect("at least one timestep");
         let logits = self.head.forward(&last_h);
         (logits, caches, last_h)
+    }
+
+    /// Forward pass without any backward caches (the prediction path).
+    fn forward_only(&self, x: &Matrix) -> Matrix {
+        let mut seq = self.split_steps(x);
+        for gru in &self.grus {
+            seq = gru.forward_only(&seq);
+        }
+        let last_h = seq.pop().expect("at least one timestep");
+        self.head.forward(&last_h)
+    }
+
+    /// Seed gradient: only the last timestep of the top GRU receives signal
+    /// from the head.
+    fn seed_dhs(&self, dh_last: Matrix) -> Vec<Matrix> {
+        let n = dh_last.rows();
+        let top = self.grus.len() - 1;
+        let mut dseq: Vec<Matrix> = (0..self.timesteps)
+            .map(|_| Matrix::zeros(n, self.grus[top].hidden_dim()))
+            .collect();
+        dseq[self.timesteps - 1] = dh_last;
+        dseq
     }
 
     fn backward_from_dz(
@@ -116,12 +139,7 @@ impl GruNet {
         dz: &Matrix,
     ) -> (Vec<crate::gru::GruGrads>, crate::dense::DenseGrads, Matrix) {
         let (head_grads, dh_last) = self.head.backward(last_h, dz);
-        let n = dh_last.rows();
-        let top = self.grus.len() - 1;
-        let mut dseq: Vec<Matrix> = (0..self.timesteps)
-            .map(|_| Matrix::zeros(n, self.grus[top].hidden_dim()))
-            .collect();
-        dseq[self.timesteps - 1] = dh_last;
+        let mut dseq = self.seed_dhs(dh_last);
         let mut gru_grads = Vec::with_capacity(self.grus.len());
         for (i, gru) in self.grus.iter().enumerate().rev() {
             let (g, dxs) = gru.backward(&caches[i], &dseq);
@@ -130,6 +148,34 @@ impl GruNet {
         }
         gru_grads.reverse();
         (gru_grads, head_grads, self.join_steps(&dseq))
+    }
+
+    /// Backward pass that skips all weight gradients — the attack path.
+    fn backward_input_only(&self, caches: &[crate::gru::GruCache], dz: &Matrix) -> Matrix {
+        let dh_last = dz.matmul_tb(self.head.weights());
+        let mut dseq = self.seed_dhs(dh_last);
+        for (i, gru) in self.grus.iter().enumerate().rev() {
+            dseq = gru.backward_input_only(&caches[i], &dseq);
+        }
+        self.join_steps(&dseq)
+    }
+
+    /// Loss and weight gradients for one contiguous batch.
+    fn batch_grads(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        indicator: Option<&[f64]>,
+    ) -> (f64, Vec<crate::gru::GruGrads>, crate::dense::DenseGrads) {
+        let (logits, caches, last_h) = self.forward_cached(x);
+        let (probs, mut dz) = softmax_ce_grad(&logits, labels);
+        let mut loss = cross_entropy(&probs, labels);
+        if let Some(ind) = indicator {
+            loss += self.semantic.penalty(&probs, ind);
+            self.semantic.add_grad(&probs, ind, &mut dz);
+        }
+        let (gru_grads, head_grads, _) = self.backward_from_dz(&caches, &last_h, &dz);
+        (loss, gru_grads, head_grads)
     }
 
     /// One minibatch of training; `indicator` enables the semantic loss.
@@ -146,14 +192,58 @@ impl GruNet {
         trainer: &mut AdamTrainer,
     ) -> f64 {
         assert_eq!(labels.len(), x.rows(), "label count mismatch");
-        let (logits, caches, last_h) = self.forward_cached(x);
-        let (probs, mut dz) = softmax_ce_grad(&logits, labels);
-        let mut loss = cross_entropy(&probs, labels);
-        if let Some(ind) = indicator {
-            loss += self.semantic.penalty(&probs, ind);
-            self.semantic.add_grad(&probs, ind, &mut dz);
-        }
-        let (gru_grads, head_grads, _) = self.backward_from_dz(&caches, &last_h, &dz);
+        let n = x.rows();
+        let ranges = par::chunk_ranges(n, par::GRAD_CHUNK);
+        let (loss, gru_grads, head_grads) = if ranges.len() <= 1 {
+            self.batch_grads(x, labels, indicator)
+        } else {
+            // Chunked gradient accumulation on the fixed GRAD_CHUNK grid:
+            // results are identical for any thread count (see `par` docs).
+            let parts = par::run_chunks(n, par::GRAD_CHUNK, |r| {
+                let chunk = x.slice_rows(r.start, r.end);
+                self.batch_grads(
+                    &chunk,
+                    &labels[r.clone()],
+                    indicator.map(|ind| &ind[r.clone()]),
+                )
+            });
+            let mut merged: Option<(f64, Vec<crate::gru::GruGrads>, crate::dense::DenseGrads)> =
+                None;
+            for (range, (chunk_loss, gg, hg)) in ranges.iter().zip(parts) {
+                let weight = range.len() as f64 / n as f64;
+                match merged.as_mut() {
+                    None => {
+                        let mut gg = gg;
+                        let mut hg = hg;
+                        for g in &mut gg {
+                            for m in &mut g.dw {
+                                m.map_inplace(|v| v * weight);
+                            }
+                            for m in &mut g.db {
+                                m.map_inplace(|v| v * weight);
+                            }
+                        }
+                        hg.dw.map_inplace(|v| v * weight);
+                        hg.db.map_inplace(|v| v * weight);
+                        merged = Some((weight * chunk_loss, gg, hg));
+                    }
+                    Some((loss_acc, gg_acc, hg_acc)) => {
+                        *loss_acc += weight * chunk_loss;
+                        for (acc, g) in gg_acc.iter_mut().zip(&gg) {
+                            for (am, gm) in acc.dw.iter_mut().zip(&g.dw) {
+                                am.add_scaled(gm, weight);
+                            }
+                            for (am, gm) in acc.db.iter_mut().zip(&g.db) {
+                                am.add_scaled(gm, weight);
+                            }
+                        }
+                        hg_acc.dw.add_scaled(&hg.dw, weight);
+                        hg_acc.db.add_scaled(&hg.db, weight);
+                    }
+                }
+            }
+            merged.expect("at least one chunk")
+        };
         trainer.begin_step();
         let mut off = 0;
         for (gru, g) in self.grus.iter_mut().zip(gru_grads.iter()) {
@@ -175,15 +265,26 @@ impl GradModel for GruNet {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
-        let (logits, _, _) = self.forward_cached(x);
-        crate::activation::softmax_rows(&logits)
+        par::map_rows(x, par::PREDICT_CHUNK, |_, chunk| {
+            crate::activation::softmax_rows(&self.forward_only(chunk))
+        })
     }
 
     fn input_gradient(&self, x: &Matrix, labels: &[usize]) -> Matrix {
-        let (logits, caches, last_h) = self.forward_cached(x);
-        let (_, dz) = softmax_ce_grad(&logits, labels);
-        let (_, _, dx) = self.backward_from_dz(&caches, &last_h, &dz);
-        dx
+        assert_eq!(labels.len(), x.rows(), "label count mismatch");
+        let n = x.rows();
+        par::map_rows(x, par::GRAD_CHUNK, |r, chunk| {
+            let (logits, caches, _) = self.forward_cached(chunk);
+            let (_, dz) = softmax_ce_grad(&logits, &labels[r.clone()]);
+            let mut dx = self.backward_input_only(&caches, &dz);
+            if r.len() != n {
+                // softmax_ce_grad scales by 1/chunk_rows; rescale to 1/n so
+                // the stacked result matches the unchunked gradient.
+                let weight = r.len() as f64 / n as f64;
+                dx.map_inplace(|v| v * weight);
+            }
+            dx
+        })
     }
 }
 
@@ -259,8 +360,20 @@ mod tests {
     #[test]
     fn gru_has_fewer_params_than_lstm() {
         use crate::lstm_net::{LstmConfig, LstmNet};
-        let gru = GruNet::new(&GruConfig { feature_dim: 6, timesteps: 6, hidden: vec![128, 64], classes: 2, seed: 0 });
-        let lstm = LstmNet::new(&LstmConfig { feature_dim: 6, timesteps: 6, hidden: vec![128, 64], classes: 2, seed: 0 });
+        let gru = GruNet::new(&GruConfig {
+            feature_dim: 6,
+            timesteps: 6,
+            hidden: vec![128, 64],
+            classes: 2,
+            seed: 0,
+        });
+        let lstm = LstmNet::new(&LstmConfig {
+            feature_dim: 6,
+            timesteps: 6,
+            hidden: vec![128, 64],
+            classes: 2,
+            seed: 0,
+        });
         assert!(gru.param_count() < lstm.param_count());
     }
 

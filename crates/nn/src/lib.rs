@@ -58,6 +58,7 @@ pub mod lstm_net;
 pub mod matrix;
 pub mod mlp_net;
 pub mod model;
+pub mod par;
 pub mod rng;
 pub mod serialize;
 

@@ -82,7 +82,10 @@ impl SemanticLoss {
     ///
     /// Panics if `weight` is negative or non-finite.
     pub fn new(weight: f64) -> Self {
-        assert!(weight.is_finite() && weight >= 0.0, "semantic weight must be finite and >= 0");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "semantic weight must be finite and >= 0"
+        );
         Self { weight }
     }
 
@@ -94,7 +97,10 @@ impl SemanticLoss {
     /// binary (needs an unsafe-class column).
     pub fn penalty(&self, probs: &Matrix, indicator: &[f64]) -> f64 {
         assert_eq!(indicator.len(), probs.rows(), "indicator count mismatch");
-        assert!(probs.cols() > UNSAFE_CLASS, "model must have an unsafe class column");
+        assert!(
+            probs.cols() > UNSAFE_CLASS,
+            "model must have an unsafe class column"
+        );
         let n = indicator.len().max(1) as f64;
         indicator
             .iter()

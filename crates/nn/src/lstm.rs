@@ -104,12 +104,13 @@ impl Lstm {
         let mut c = Matrix::zeros(n, h_dim);
         let mut hs = Vec::with_capacity(xs.len());
         let mut steps = Vec::with_capacity(xs.len());
+        // One fused-gate scratch buffer reused across all timesteps.
+        let mut z = Matrix::zeros(n, 4 * h_dim);
         for x in xs {
             assert_eq!(x.cols(), self.input_dim, "timestep width mismatch");
             assert_eq!(x.rows(), n, "timestep batch-size mismatch");
-            let mut z = x.matmul(&self.wx);
-            z += &h.matmul(&self.wh);
-            z.add_row_broadcast(&self.b);
+            x.matmul_add_bias_into(&self.wx, &self.b, &mut z);
+            h.matmul_acc(&self.wh, &mut z);
             let i = sigmoid(&z.slice_cols(0, h_dim));
             let f = sigmoid(&z.slice_cols(h_dim, 2 * h_dim));
             let g = tanh(&z.slice_cols(2 * h_dim, 3 * h_dim));
@@ -134,6 +135,38 @@ impl Lstm {
         (hs, LstmCache { steps })
     }
 
+    /// Forward pass that keeps only the per-step hidden states — the
+    /// prediction path. Skips every backward-cache clone (`x`, `h_prev`,
+    /// `c_prev`, the gate activations) that [`forward`](Self::forward)
+    /// must retain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or any step has the wrong width.
+    pub fn forward_only(&self, xs: &[Matrix]) -> Vec<Matrix> {
+        assert!(!xs.is_empty(), "LSTM forward needs at least one timestep");
+        let n = xs[0].rows();
+        let h_dim = self.hidden_dim;
+        let mut h = Matrix::zeros(n, h_dim);
+        let mut c = Matrix::zeros(n, h_dim);
+        let mut hs = Vec::with_capacity(xs.len());
+        let mut z = Matrix::zeros(n, 4 * h_dim);
+        for x in xs {
+            assert_eq!(x.cols(), self.input_dim, "timestep width mismatch");
+            assert_eq!(x.rows(), n, "timestep batch-size mismatch");
+            x.matmul_add_bias_into(&self.wx, &self.b, &mut z);
+            h.matmul_acc(&self.wh, &mut z);
+            let i = sigmoid(&z.slice_cols(0, h_dim));
+            let f = sigmoid(&z.slice_cols(h_dim, 2 * h_dim));
+            let g = tanh(&z.slice_cols(2 * h_dim, 3 * h_dim));
+            let o = sigmoid(&z.slice_cols(3 * h_dim, 4 * h_dim));
+            c = &f.hadamard(&c) + &i.hadamard(&g);
+            h = o.hadamard(&tanh(&c));
+            hs.push(h.clone());
+        }
+        hs
+    }
+
     /// BPTT backward pass.
     ///
     /// `dhs[t]` is the gradient of the loss w.r.t. the hidden state emitted
@@ -145,13 +178,36 @@ impl Lstm {
     ///
     /// Panics if `dhs.len()` differs from the cached timestep count.
     pub fn backward(&self, cache: &LstmCache, dhs: &[Matrix]) -> (LstmGrads, Vec<Matrix>) {
+        let (grads, dxs) = self.backward_impl(cache, dhs, true);
+        (grads.expect("weight grads requested"), dxs)
+    }
+
+    /// BPTT backward pass that computes only the input gradients `dxs`,
+    /// skipping the three weight-gradient matmuls per timestep. This is the
+    /// path attack crafting (FGSM/PGD) takes, where the weights are frozen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dhs.len()` differs from the cached timestep count.
+    pub fn backward_input_only(&self, cache: &LstmCache, dhs: &[Matrix]) -> Vec<Matrix> {
+        self.backward_impl(cache, dhs, false).1
+    }
+
+    fn backward_impl(
+        &self,
+        cache: &LstmCache,
+        dhs: &[Matrix],
+        want_weight_grads: bool,
+    ) -> (Option<LstmGrads>, Vec<Matrix>) {
         assert_eq!(dhs.len(), cache.steps.len(), "dhs/timestep count mismatch");
         let h_dim = self.hidden_dim;
         let t_len = cache.steps.len();
         let n = cache.steps[0].x.rows();
-        let mut dwx = Matrix::zeros(self.input_dim, 4 * h_dim);
-        let mut dwh = Matrix::zeros(h_dim, 4 * h_dim);
-        let mut db = Matrix::zeros(1, 4 * h_dim);
+        let mut grads = want_weight_grads.then(|| LstmGrads {
+            dwx: Matrix::zeros(self.input_dim, 4 * h_dim),
+            dwh: Matrix::zeros(h_dim, 4 * h_dim),
+            db: Matrix::zeros(1, 4 * h_dim),
+        });
         let mut dxs = vec![Matrix::zeros(0, 0); t_len];
         let mut dh_next = Matrix::zeros(n, h_dim);
         let mut dc_next = Matrix::zeros(n, h_dim);
@@ -179,13 +235,15 @@ impl Lstm {
             dz.set_cols(h_dim, &dz_f);
             dz.set_cols(2 * h_dim, &dz_g);
             dz.set_cols(3 * h_dim, &dz_o);
-            dwx += &s.x.transpose_matmul(&dz);
-            dwh += &s.h_prev.transpose_matmul(&dz);
-            db += &dz.sum_rows();
-            dxs[t] = dz.matmul_transpose(&self.wx);
-            dh_next = dz.matmul_transpose(&self.wh);
+            if let Some(g) = grads.as_mut() {
+                g.dwx += &s.x.transpose_matmul(&dz);
+                g.dwh += &s.h_prev.transpose_matmul(&dz);
+                g.db += &dz.sum_rows();
+            }
+            dxs[t] = dz.matmul_tb(&self.wx);
+            dh_next = dz.matmul_tb(&self.wh);
         }
-        (LstmGrads { dwx, dwh, db }, dxs)
+        (grads, dxs)
     }
 
     /// Applies one Adam update using slots starting at `offset`; returns the
@@ -229,7 +287,13 @@ impl Lstm {
         assert_eq!(b.rows(), 1, "bias must be a row vector");
         assert_eq!(b.cols(), 4 * hidden_dim, "bias must be 1×4H");
         let input_dim = wx.rows();
-        Self { wx, wh, b, input_dim, hidden_dim }
+        Self {
+            wx,
+            wh,
+            b,
+            input_dim,
+            hidden_dim,
+        }
     }
 
     /// Test-only access to mutate a weight (used by finite-difference checks).
@@ -275,7 +339,9 @@ mod tests {
         // h = o·tanh(c) with o ∈ (0,1) ⇒ |h| < 1 always.
         let mut rng = SmallRng::new(2);
         let lstm = Lstm::new(2, 4, &mut rng);
-        let xs: Vec<Matrix> = (0..10).map(|_| random_normal(3, 2, 10.0, &mut rng)).collect();
+        let xs: Vec<Matrix> = (0..10)
+            .map(|_| random_normal(3, 2, 10.0, &mut rng))
+            .collect();
         let (hs, _) = lstm.forward(&xs);
         for h in &hs {
             assert!(h.max_abs() < 1.0);
@@ -288,7 +354,10 @@ mod tests {
         let lstm = Lstm::new(3, 4, &mut rng);
         let xs: Vec<Matrix> = (0..3).map(|_| random_normal(2, 3, 0.5, &mut rng)).collect();
         let (hs, cache) = lstm.forward(&xs);
-        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::filled(h.rows(), h.cols(), 1.0)).collect();
+        let dhs: Vec<Matrix> = hs
+            .iter()
+            .map(|h| Matrix::filled(h.rows(), h.cols(), 1.0))
+            .collect();
         let (_, dxs) = lstm.backward(&cache, &dhs);
         for t in 0..3 {
             let num = numeric_input_grad(&xs[t], 1e-5, |xp| {
@@ -307,7 +376,10 @@ mod tests {
         let lstm = Lstm::new(2, 3, &mut rng);
         let xs: Vec<Matrix> = (0..3).map(|_| random_normal(2, 2, 0.5, &mut rng)).collect();
         let (hs, cache) = lstm.forward(&xs);
-        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::filled(h.rows(), h.cols(), 1.0)).collect();
+        let dhs: Vec<Matrix> = hs
+            .iter()
+            .map(|h| Matrix::filled(h.rows(), h.cols(), 1.0))
+            .collect();
         let (grads, _) = lstm.backward(&cache, &dhs);
         let h = 1e-5;
         // Check a sample of wx entries.
@@ -340,11 +412,17 @@ mod tests {
         let lstm = Lstm::new(2, 3, &mut rng);
         let xs: Vec<Matrix> = (0..4).map(|_| random_normal(1, 2, 0.5, &mut rng)).collect();
         let (hs, cache) = lstm.forward(&xs);
-        let mut dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::zeros(h.rows(), h.cols())).collect();
+        let mut dhs: Vec<Matrix> = hs
+            .iter()
+            .map(|h| Matrix::zeros(h.rows(), h.cols()))
+            .collect();
         let last = dhs.len() - 1;
         dhs[last] = Matrix::filled(1, 3, 1.0);
         let (_, dxs) = lstm.backward(&cache, &dhs);
-        assert!(dxs[0].max_abs() > 0.0, "no gradient reached the first input");
+        assert!(
+            dxs[0].max_abs() > 0.0,
+            "no gradient reached the first input"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::loss::{cross_entropy, softmax_ce_grad, SemanticLoss};
 use crate::lstm::Lstm;
 use crate::matrix::Matrix;
 use crate::model::GradModel;
+use crate::par;
 use crate::rng::SmallRng;
 
 /// Configuration for [`LstmNet::new`].
@@ -70,7 +71,10 @@ impl LstmNet {
         assert!(config.timesteps > 0, "timesteps must be positive");
         assert!(config.classes > 0, "classes must be positive");
         assert!(!config.hidden.is_empty(), "need at least one LSTM layer");
-        assert!(config.hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        assert!(
+            config.hidden.iter().all(|&h| h > 0),
+            "hidden widths must be positive"
+        );
         let mut rng = SmallRng::new(config.seed ^ 0x6c73_746d_5f6e_6574);
         let mut lstms = Vec::with_capacity(config.hidden.len());
         let mut prev = config.feature_dim;
@@ -121,7 +125,11 @@ impl LstmNet {
     /// Returns a description of the first shape inconsistency, if any.
     pub fn set_params(
         &mut self,
-        lstm_params: Vec<(crate::matrix::Matrix, crate::matrix::Matrix, crate::matrix::Matrix)>,
+        lstm_params: Vec<(
+            crate::matrix::Matrix,
+            crate::matrix::Matrix,
+            crate::matrix::Matrix,
+        )>,
         head: Dense,
     ) -> Result<(), String> {
         if lstm_params.is_empty() {
@@ -131,7 +139,10 @@ impl LstmNet {
         let mut prev = self.feature_dim;
         for (i, (wx, wh, b)) in lstm_params.into_iter().enumerate() {
             if wx.rows() != prev {
-                return Err(format!("lstm{i} input width {} != expected {prev}", wx.rows()));
+                return Err(format!(
+                    "lstm{i} input width {} != expected {prev}",
+                    wx.rows()
+                ));
             }
             if wh.cols() != 4 * wh.rows() || wx.cols() != wh.cols() || b.cols() != wh.cols() {
                 return Err(format!("lstm{i} gate shapes inconsistent"));
@@ -140,7 +151,10 @@ impl LstmNet {
             lstms.push(Lstm::from_params(wx, wh, b));
         }
         if head.input_dim() != prev {
-            return Err(format!("head input width {} != top hidden {prev}", head.input_dim()));
+            return Err(format!(
+                "head input width {} != top hidden {prev}",
+                head.input_dim()
+            ));
         }
         self.classes = head.output_dim();
         self.lstms = lstms;
@@ -177,56 +191,98 @@ impl LstmNet {
     }
 
     /// Full forward pass; returns logits plus the caches needed to backprop.
-    fn forward_cached(
-        &self,
-        x: &Matrix,
-    ) -> (Matrix, Vec<crate::lstm::LstmCache>, Vec<Vec<Matrix>>, Matrix) {
+    fn forward_cached(&self, x: &Matrix) -> (Matrix, Vec<crate::lstm::LstmCache>, Matrix) {
         let mut seq = self.split_steps(x);
         let mut caches = Vec::with_capacity(self.lstms.len());
-        let mut hidden_seqs = Vec::with_capacity(self.lstms.len());
         for lstm in &self.lstms {
             let (hs, cache) = lstm.forward(&seq);
             caches.push(cache);
-            hidden_seqs.push(hs.clone());
             seq = hs;
         }
-        let last_h = seq.last().expect("at least one timestep").clone();
+        let last_h = seq.pop().expect("at least one timestep");
         let logits = self.head.forward(&last_h);
-        (logits, caches, hidden_seqs, last_h)
+        (logits, caches, last_h)
     }
 
-    /// Backward pass from a logits gradient down to the flat input gradient,
-    /// optionally collecting weight gradients.
-    fn backward_from_dz(
-        &self,
-        caches: &[crate::lstm::LstmCache],
-        hidden_seqs: &[Vec<Matrix>],
-        last_h: &Matrix,
-        dz: &Matrix,
-    ) -> (Vec<crate::lstm::LstmGrads>, crate::dense::DenseGrads, Matrix) {
-        let (head_grads, dh_last) = self.head.backward(last_h, dz);
+    /// Forward pass without any backward caches (the prediction path).
+    fn forward_only(&self, x: &Matrix) -> Matrix {
+        let mut seq = self.split_steps(x);
+        for lstm in &self.lstms {
+            seq = lstm.forward_only(&seq);
+        }
+        let last_h = seq.pop().expect("at least one timestep");
+        self.head.forward(&last_h)
+    }
+
+    /// Seed gradient for the stacked backward passes: only the last timestep
+    /// of the top LSTM receives signal from the head.
+    fn seed_dhs(&self, dh_last: Matrix) -> Vec<Matrix> {
         let n = dh_last.rows();
-        // Seed gradient: only the last timestep of the top LSTM receives
-        // signal from the head.
         let top = self.lstms.len() - 1;
         let mut dhs: Vec<Matrix> = (0..self.timesteps)
             .map(|_| Matrix::zeros(n, self.lstms[top].hidden_dim()))
             .collect();
         dhs[self.timesteps - 1] = dh_last;
+        dhs
+    }
+
+    /// Backward pass from a logits gradient down to the flat input gradient,
+    /// collecting weight gradients along the way.
+    fn backward_from_dz(
+        &self,
+        caches: &[crate::lstm::LstmCache],
+        last_h: &Matrix,
+        dz: &Matrix,
+    ) -> (
+        Vec<crate::lstm::LstmGrads>,
+        crate::dense::DenseGrads,
+        Matrix,
+    ) {
+        let (head_grads, dh_last) = self.head.backward(last_h, dz);
         let mut lstm_grads = vec![None; self.lstms.len()];
-        let mut dseq = dhs;
+        let mut dseq = self.seed_dhs(dh_last);
         for (i, lstm) in self.lstms.iter().enumerate().rev() {
             let (g, dxs) = lstm.backward(&caches[i], &dseq);
             lstm_grads[i] = Some(g);
             dseq = dxs;
         }
-        let _ = hidden_seqs; // hidden sequences are implicit in the caches
         let dx = self.join_steps(&dseq);
         (
-            lstm_grads.into_iter().map(|g| g.expect("grad computed")).collect(),
+            lstm_grads
+                .into_iter()
+                .map(|g| g.expect("grad computed"))
+                .collect(),
             head_grads,
             dx,
         )
+    }
+
+    /// Backward pass that skips all weight gradients — the attack path.
+    fn backward_input_only(&self, caches: &[crate::lstm::LstmCache], dz: &Matrix) -> Matrix {
+        let dh_last = dz.matmul_tb(self.head.weights());
+        let mut dseq = self.seed_dhs(dh_last);
+        for (i, lstm) in self.lstms.iter().enumerate().rev() {
+            dseq = lstm.backward_input_only(&caches[i], &dseq);
+        }
+        self.join_steps(&dseq)
+    }
+
+    /// Loss and weight gradients for one contiguous batch.
+    fn batch_grads(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        indicator: Option<&[f64]>,
+    ) -> (f64, Vec<crate::lstm::LstmGrads>, crate::dense::DenseGrads) {
+        let (logits, caches, last_h) = self.forward_cached(x);
+        let (probs, mut dz) = softmax_ce_grad(&logits, labels);
+        let mut loss = cross_entropy(&probs, labels);
+        if let Some(ind) = indicator {
+            loss += self.semantic.penalty(&probs, ind);
+            self.semantic.add_grad(&probs, ind, &mut dz);
+        }
+        let (lstm_grads, head_grads, _) = self.backward_from_dz(&caches, &last_h, &dz);
+        (loss, lstm_grads, head_grads)
     }
 
     /// One minibatch of training; see [`MlpNet::train_batch`] for the
@@ -245,15 +301,52 @@ impl LstmNet {
         trainer: &mut AdamTrainer,
     ) -> f64 {
         assert_eq!(labels.len(), x.rows(), "label count mismatch");
-        let (logits, caches, hidden_seqs, last_h) = self.forward_cached(x);
-        let (probs, mut dz) = softmax_ce_grad(&logits, labels);
-        let mut loss = cross_entropy(&probs, labels);
-        if let Some(ind) = indicator {
-            loss += self.semantic.penalty(&probs, ind);
-            self.semantic.add_grad(&probs, ind, &mut dz);
-        }
-        let (lstm_grads, head_grads, _) =
-            self.backward_from_dz(&caches, &hidden_seqs, &last_h, &dz);
+        let n = x.rows();
+        let ranges = par::chunk_ranges(n, par::GRAD_CHUNK);
+        let (loss, lstm_grads, head_grads) = if ranges.len() <= 1 {
+            self.batch_grads(x, labels, indicator)
+        } else {
+            // Chunked gradient accumulation on the fixed GRAD_CHUNK grid:
+            // results are identical for any thread count (see `par` docs).
+            let parts = par::run_chunks(n, par::GRAD_CHUNK, |r| {
+                let chunk = x.slice_rows(r.start, r.end);
+                self.batch_grads(
+                    &chunk,
+                    &labels[r.clone()],
+                    indicator.map(|ind| &ind[r.clone()]),
+                )
+            });
+            let mut merged: Option<(f64, Vec<crate::lstm::LstmGrads>, crate::dense::DenseGrads)> =
+                None;
+            for (range, (chunk_loss, lg, hg)) in ranges.iter().zip(parts) {
+                let weight = range.len() as f64 / n as f64;
+                match merged.as_mut() {
+                    None => {
+                        let mut lg = lg;
+                        let mut hg = hg;
+                        for g in &mut lg {
+                            g.dwx.map_inplace(|v| v * weight);
+                            g.dwh.map_inplace(|v| v * weight);
+                            g.db.map_inplace(|v| v * weight);
+                        }
+                        hg.dw.map_inplace(|v| v * weight);
+                        hg.db.map_inplace(|v| v * weight);
+                        merged = Some((weight * chunk_loss, lg, hg));
+                    }
+                    Some((loss_acc, lg_acc, hg_acc)) => {
+                        *loss_acc += weight * chunk_loss;
+                        for (acc, g) in lg_acc.iter_mut().zip(&lg) {
+                            acc.dwx.add_scaled(&g.dwx, weight);
+                            acc.dwh.add_scaled(&g.dwh, weight);
+                            acc.db.add_scaled(&g.db, weight);
+                        }
+                        hg_acc.dw.add_scaled(&hg.dw, weight);
+                        hg_acc.db.add_scaled(&hg.db, weight);
+                    }
+                }
+            }
+            merged.expect("at least one chunk")
+        };
         trainer.begin_step();
         let mut off = 0;
         for (lstm, g) in self.lstms.iter_mut().zip(lstm_grads.iter()) {
@@ -285,15 +378,26 @@ impl GradModel for LstmNet {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
-        let (logits, _, _, _) = self.forward_cached(x);
-        crate::activation::softmax_rows(&logits)
+        par::map_rows(x, par::PREDICT_CHUNK, |_, chunk| {
+            crate::activation::softmax_rows(&self.forward_only(chunk))
+        })
     }
 
     fn input_gradient(&self, x: &Matrix, labels: &[usize]) -> Matrix {
-        let (logits, caches, hidden_seqs, last_h) = self.forward_cached(x);
-        let (_, dz) = softmax_ce_grad(&logits, labels);
-        let (_, _, dx) = self.backward_from_dz(&caches, &hidden_seqs, &last_h, &dz);
-        dx
+        assert_eq!(labels.len(), x.rows(), "label count mismatch");
+        let n = x.rows();
+        par::map_rows(x, par::GRAD_CHUNK, |r, chunk| {
+            let (logits, caches, _) = self.forward_cached(chunk);
+            let (_, dz) = softmax_ce_grad(&logits, &labels[r.clone()]);
+            let mut dx = self.backward_input_only(&caches, &dz);
+            if r.len() != n {
+                // softmax_ce_grad scales by 1/chunk_rows; rescale to 1/n so
+                // the stacked result matches the unchunked gradient.
+                let weight = r.len() as f64 / n as f64;
+                dx.map_inplace(|v| v * weight);
+            }
+            dx
+        })
     }
 }
 

@@ -164,7 +164,12 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -175,7 +180,12 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -186,7 +196,11 @@ impl Matrix {
     /// Panics if `r >= rows`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -197,7 +211,11 @@ impl Matrix {
     /// Panics if `r >= rows`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -224,7 +242,11 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > rows`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "invalid row range {start}..{end} for {} rows", self.rows);
+        assert!(
+            start <= end && end <= self.rows,
+            "invalid row range {start}..{end} for {} rows",
+            self.rows
+        );
         Matrix::from_vec(
             end - start,
             self.cols,
@@ -238,7 +260,11 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > cols`.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "invalid col range {start}..{end} for {} cols", self.cols);
+        assert!(
+            start <= end && end <= self.cols,
+            "invalid col range {start}..{end} for {} cols",
+            self.cols
+        );
         let mut out = Matrix::zeros(self.rows, end - start);
         for r in 0..self.rows {
             let src = &self.row(r)[start..end];
@@ -254,7 +280,10 @@ impl Matrix {
     /// Panics on row-count mismatch or if the block does not fit.
     pub fn set_cols(&mut self, start: usize, block: &Matrix) {
         assert_eq!(self.rows, block.rows, "row count mismatch");
-        assert!(start + block.cols <= self.cols, "block does not fit at column {start}");
+        assert!(
+            start + block.cols <= self.cols,
+            "block does not fit at column {start}"
+        );
         for r in 0..self.rows {
             let cols = self.cols;
             self.data[r * cols + start..r * cols + start + block.cols]
@@ -299,7 +328,11 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self · rhs` using a cache-friendly `ikj` loop order.
+    /// Matrix product `self · rhs` via the cache-blocked `ikj` kernel.
+    ///
+    /// Accumulation over `k` is strictly ascending per output element, so
+    /// the result is bit-identical to the naive triple loop for finite
+    /// inputs (the blocking and unrolling change only the memory schedule).
     ///
     /// # Panics
     ///
@@ -311,50 +344,167 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let n = rhs.cols;
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        gemm_acc(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
         out
     }
 
-    /// `self · rhsᵀ` without materializing the transpose.
+    /// Accumulates `self · rhs` into `out` (`out += self · rhs`), reusing
+    /// `out`'s buffer. Same kernel and accumulation order as [`matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    ///
+    /// [`matmul`]: Self::matmul
+    pub fn matmul_acc(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul_acc output shape mismatch"
+        );
+        gemm_acc(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
+    }
+
+    /// Fused `self · rhs + bias` (bias broadcast over rows), the dense-layer
+    /// forward kernel. The accumulator is *seeded* with the bias, so each
+    /// element is `bias_j + Σ_k a·b` — one pass over the output instead of
+    /// a product pass plus a broadcast pass. (This regroups the additions
+    /// relative to `matmul` + [`add_row_broadcast`], so results may differ
+    /// from the unfused pair in the last ulp.)
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or if `bias` is not `1 × rhs.cols()`.
+    ///
+    /// [`add_row_broadcast`]: Self::add_row_broadcast
+    pub fn matmul_add_bias(&self, rhs: &Matrix, bias: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_add_bias_into(rhs, bias, &mut out);
+        out
+    }
+
+    /// [`matmul_add_bias`] writing into a caller-owned buffer, so hot loops
+    /// (LSTM/GRU timesteps) can reuse one scratch matrix instead of
+    /// allocating per step. `out` is overwritten, not accumulated into.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    ///
+    /// [`matmul_add_bias`]: Self::matmul_add_bias
+    pub fn matmul_add_bias_into(&self, rhs: &Matrix, bias: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, rhs.cols, "bias width mismatch");
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "output shape mismatch");
+        let n = rhs.cols;
+        for r in 0..self.rows {
+            out.data[r * n..(r + 1) * n].copy_from_slice(&bias.data);
+        }
+        gemm_acc(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
+    }
+
+    /// `self · rhsᵀ` without materializing the transpose (the backward-pass
+    /// and attack workhorse: `dx = dz·Wᵀ`).
+    ///
+    /// Each output element is a strictly `k`-ascending dot product, so the
+    /// result is bit-identical to the naive row-dot implementation; the
+    /// kernel processes four `rhs` rows per pass so each `self` row is
+    /// streamed once per four outputs instead of once per output.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.cols()`.
-    pub fn matmul_transpose(&self, rhs: &Matrix) -> Matrix {
+    pub fn matmul_tb(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_transpose shape mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        let k = self.cols;
+        let n = rhs.rows;
+        let mut out = Matrix::zeros(self.rows, n);
         for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &rhs.data[j * k..(j + 1) * k];
+                let b1 = &rhs.data[(j + 1) * k..(j + 2) * k];
+                let b2 = &rhs.data[(j + 2) * k..(j + 3) * k];
+                let b3 = &rhs.data[(j + 3) * k..(j + 4) * k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                for (idx, &a) in a_row.iter().enumerate() {
+                    s0 += a * b0[idx];
+                    s1 += a * b1[idx];
+                    s2 += a * b2[idx];
+                    s3 += a * b3[idx];
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            while j < n {
+                let b_row = &rhs.data[j * k..(j + 1) * k];
                 let mut acc = 0.0;
                 for (&a, &b) in a_row.iter().zip(b_row.iter()) {
                     acc += a * b;
                 }
-                out.data[i * rhs.rows + j] = acc;
+                out_row[j] = acc;
+                j += 1;
             }
         }
         out
     }
 
-    /// `selfᵀ · rhs` without materializing the transpose.
+    /// Alias for [`matmul_tb`](Self::matmul_tb), kept for callers written
+    /// against the original kernel name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_transpose(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_tb(rhs)
+    }
+
+    /// `selfᵀ · rhs` without materializing the transpose (the weight-grad
+    /// kernel: `dW = xᵀ·dz`).
+    ///
+    /// Accumulation over the shared row index is strictly ascending per
+    /// output element; four rows are fused per pass so the output panel is
+    /// loaded and stored once per four rank-1 updates.
     ///
     /// # Panics
     ///
@@ -365,19 +515,45 @@ impl Matrix {
             "transpose_matmul shape mismatch: ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let m = self.cols;
+        let n = rhs.cols;
+        let mut out = Matrix::zeros(m, n);
+        let mut r = 0;
+        while r + 4 <= self.rows {
+            let a0 = &self.data[r * m..(r + 1) * m];
+            let a1 = &self.data[(r + 1) * m..(r + 2) * m];
+            let a2 = &self.data[(r + 2) * m..(r + 3) * m];
+            let a3 = &self.data[(r + 3) * m..(r + 4) * m];
+            let b0 = &rhs.data[r * n..(r + 1) * n];
+            let b1 = &rhs.data[(r + 1) * n..(r + 2) * n];
+            let b2 = &rhs.data[(r + 2) * n..(r + 3) * n];
+            let b3 = &rhs.data[(r + 3) * n..(r + 4) * n];
+            for i in 0..m {
+                let (c0, c1, c2, c3) = (a0[i], a1[i], a2[i], a3[i]);
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    // Sequential adds keep the row-ascending accumulation
+                    // order identical to the unfused rank-1 updates.
+                    let mut acc = out_row[j];
+                    acc += c0 * b0[j];
+                    acc += c1 * b1[j];
+                    acc += c2 * b2[j];
+                    acc += c3 * b3[j];
+                    out_row[j] = acc;
                 }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            }
+            r += 4;
+        }
+        while r < self.rows {
+            let a_row = &self.data[r * m..(r + 1) * m];
+            let b_row = &rhs.data[r * n..(r + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                let out_row = &mut out.data[i * n..(i + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
                 }
             }
+            r += 1;
         }
         out
     }
@@ -400,7 +576,11 @@ impl Matrix {
 
     /// Returns a copy with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Applies `f` to every element in place.
@@ -500,6 +680,54 @@ impl Matrix {
     /// Returns `true` if every element is finite.
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// `k`-panel height of the blocked GEMM: a `KC × n` slab of `b` (up to
+/// ~256 KiB at `n = 256`) is reused across all `m` rows before the kernel
+/// moves to the next panel, keeping it resident in L2.
+const GEMM_KC: usize = 128;
+
+/// The shared `out += a · b` kernel behind [`Matrix::matmul`],
+/// [`Matrix::matmul_acc`] and [`Matrix::matmul_add_bias`]: blocked `ikj`
+/// with a 4-wide unroll over `k`. Per output element the additions are
+/// applied in strictly ascending `k` order, so every entry point produces
+/// bits identical to the naive triple loop over whatever `out` was seeded
+/// with.
+fn gemm_acc(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+    for k0 in (0..k).step_by(GEMM_KC) {
+        let k1 = (k0 + GEMM_KC).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            let mut kk = k0;
+            while kk + 4 <= k1 {
+                let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+                let b0 = &b[kk * n..(kk + 1) * n];
+                let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+                let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+                let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+                for j in 0..n {
+                    // Sequential adds: ascending-k order, one load/store of
+                    // the output per four multiply-adds.
+                    let mut acc = out_row[j];
+                    acc += a0 * b0[j];
+                    acc += a1 * b1[j];
+                    acc += a2 * b2[j];
+                    acc += a3 * b3[j];
+                    out_row[j] = acc;
+                }
+                kk += 4;
+            }
+            while kk < k1 {
+                let a_val = a_row[kk];
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_val * bv;
+                }
+                kk += 1;
+            }
+        }
     }
 }
 
@@ -655,6 +883,126 @@ mod tests {
     fn get_rejects_out_of_bounds() {
         let a = Matrix::zeros(2, 2);
         let _ = a.get(2, 0);
+    }
+
+    /// Naive reference product with per-element ascending-k accumulation —
+    /// the order the blocked kernels promise to reproduce bit-for-bit.
+    fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn arbitrary_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn blocked_matmul_bit_identical_to_reference() {
+        // Sizes straddling both the 4-k unroll remainder and the KC panel
+        // boundary (k = 300 > GEMM_KC = 128).
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (7, 300, 9), (5, 129, 4)] {
+            let a = arbitrary_matrix(m, k, 11 + m as u64);
+            let b = arbitrary_matrix(k, n, 17 + n as u64);
+            let fast = a.matmul(&b);
+            let reference = reference_matmul(&a, &b);
+            assert_eq!(fast.as_slice(), reference.as_slice(), "{m}x{k}·{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_tb_bit_identical_to_reference() {
+        for (m, k, n) in [(1, 3, 1), (4, 7, 6), (3, 130, 10)] {
+            let a = arbitrary_matrix(m, k, 23);
+            let b = arbitrary_matrix(n, k, 29);
+            let fast = a.matmul_tb(&b);
+            let reference = reference_matmul(&a, &b.transpose());
+            assert_eq!(fast.as_slice(), reference.as_slice(), "{m}x{k}·({n}x{k})ᵀ");
+        }
+    }
+
+    #[test]
+    fn transpose_matmul_bit_identical_to_reference() {
+        for (k, m, n) in [(1, 2, 2), (6, 4, 5), (131, 3, 8)] {
+            let a = arbitrary_matrix(k, m, 31);
+            let b = arbitrary_matrix(k, n, 37);
+            let fast = a.transpose_matmul(&b);
+            let reference = reference_matmul(&a.transpose(), &b);
+            assert_eq!(fast.as_slice(), reference.as_slice(), "({k}x{m})ᵀ·{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_acc_accumulates() {
+        let a = arbitrary_matrix(3, 4, 41);
+        let b = arbitrary_matrix(4, 5, 43);
+        let seed = arbitrary_matrix(3, 5, 47);
+        let mut out = seed.clone();
+        a.matmul_acc(&b, &mut out);
+        // Bit-identity: accumulating onto `seed` element-wise in ascending-k
+        // order equals the reference loop seeded the same way.
+        let mut reference = seed;
+        for i in 0..3 {
+            for j in 0..5 {
+                let mut acc = reference.get(i, j);
+                for k in 0..4 {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                reference.set(i, j, acc);
+            }
+        }
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn matmul_add_bias_close_to_unfused() {
+        let a = arbitrary_matrix(6, 9, 53);
+        let b = arbitrary_matrix(9, 7, 59);
+        let bias = arbitrary_matrix(1, 7, 61);
+        let fused = a.matmul_add_bias(&b, &bias);
+        let mut unfused = a.matmul(&b);
+        unfused.add_row_broadcast(&bias);
+        for (f, u) in fused.as_slice().iter().zip(unfused.as_slice()) {
+            // The fused kernel seeds the accumulator with the bias, so the
+            // grouping differs; agreement must still be at rounding level.
+            assert!((f - u).abs() <= 1e-12 * u.abs().max(1.0), "{f} vs {u}");
+        }
+    }
+
+    #[test]
+    fn matmul_add_bias_into_reuses_buffer() {
+        let a = arbitrary_matrix(2, 3, 67);
+        let b = arbitrary_matrix(3, 4, 71);
+        let bias = arbitrary_matrix(1, 4, 73);
+        let mut scratch = Matrix::filled(2, 4, f64::NAN);
+        a.matmul_add_bias_into(&b, &bias, &mut scratch);
+        assert_eq!(scratch, a.matmul_add_bias(&b, &bias));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_acc output shape mismatch")]
+    fn matmul_acc_rejects_bad_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 5);
+        a.matmul_acc(&b, &mut out);
     }
 
     #[test]

@@ -6,12 +6,13 @@
 //! variant adds the semantic-loss term (Eq. 2) through the optional
 //! indicator argument of [`MlpNet::train_batch`].
 
-use crate::activation::{relu, relu_grad_mask, softmax_rows};
+use crate::activation::{relu, relu_grad_mask, relu_inplace, softmax_rows};
 use crate::adam::AdamTrainer;
-use crate::dense::Dense;
+use crate::dense::{Dense, DenseGrads};
 use crate::loss::{cross_entropy, softmax_ce_grad, SemanticLoss};
 use crate::matrix::Matrix;
 use crate::model::GradModel;
+use crate::par;
 use crate::rng::SmallRng;
 
 /// Configuration for [`MlpNet::new`].
@@ -57,7 +58,10 @@ impl MlpNet {
     pub fn new(config: &MlpConfig) -> Self {
         assert!(config.input_dim > 0, "input_dim must be positive");
         assert!(config.classes > 0, "classes must be positive");
-        assert!(config.hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        assert!(
+            config.hidden.iter().all(|&h| h > 0),
+            "hidden widths must be positive"
+        );
         let mut rng = SmallRng::new(config.seed ^ 0x6d6c_705f_6e65_7400);
         let mut layers = Vec::with_capacity(config.hidden.len() + 1);
         let mut prev = config.input_dim;
@@ -101,53 +105,117 @@ impl MlpNet {
         self.layers = layers;
     }
 
-    /// Raw (pre-softmax) logits for a batch.
+    /// Raw (pre-softmax) logits for a batch, computed over parallel row
+    /// chunks (the forward pass is row-independent, so chunking is
+    /// bit-transparent at any thread count).
     pub fn predict_logits(&self, x: &Matrix) -> Matrix {
-        let (logits, _) = self.forward_cached(x);
-        logits
+        par::map_rows(x, par::PREDICT_CHUNK, |_, chunk| self.forward_only(chunk))
     }
 
-    /// Forward pass caching pre-activations and layer inputs.
-    /// Returns `(logits, activations)` where `activations[i]` is the input
-    /// to layer `i` and pre-activations are recomputable from them.
-    fn forward_cached(&self, x: &Matrix) -> (Matrix, Vec<Matrix>) {
+    /// Forward pass without caching (prediction path): no intermediate
+    /// clones, ReLU applied in place.
+    fn forward_only(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.layers[0].input_dim(), "input width mismatch");
+        let last = self.layers.len() - 1;
+        let mut cur = self.layers[0].forward(x);
+        if last > 0 {
+            relu_inplace(&mut cur);
+        }
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            cur = layer.forward(&cur);
+            if i != last {
+                relu_inplace(&mut cur);
+            }
+        }
+        cur
+    }
+
+    /// Forward pass caching layer inputs and hidden pre-activations.
+    /// Returns `(logits, inputs, zs)` where `inputs[i]` is the input to
+    /// layer `i` and `zs[i]` is hidden layer `i`'s pre-activation (needed
+    /// for the ReLU mask — cached here so the backward pass does not redo
+    /// the forward matmuls).
+    fn forward_cached(&self, x: &Matrix) -> (Matrix, Vec<Matrix>, Vec<Matrix>) {
         assert_eq!(x.cols(), self.layers[0].input_dim(), "input width mismatch");
         let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut zs = Vec::with_capacity(self.layers.len() - 1);
         let mut cur = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
-            inputs.push(cur.clone());
             let z = layer.forward(&cur);
-            cur = if i + 1 == self.layers.len() { z } else { relu(&z) };
+            inputs.push(cur);
+            if i + 1 == self.layers.len() {
+                return (z, inputs, zs);
+            }
+            cur = relu(&z);
+            zs.push(z);
         }
-        (cur, inputs)
+        unreachable!("network has at least one layer");
     }
 
     /// Shared backward pass from a logits-gradient to (weight grads, dx).
     fn backward_from_dz(
         &self,
         inputs: &[Matrix],
+        zs: &[Matrix],
         mut dz: Matrix,
-    ) -> (Vec<crate::dense::DenseGrads>, Matrix) {
+    ) -> (Vec<DenseGrads>, Matrix) {
         let mut grads = Vec::with_capacity(self.layers.len());
         for (i, layer) in self.layers.iter().enumerate().rev() {
             let (g, dx) = layer.backward(&inputs[i], &dz);
             grads.push(g);
-            if i > 0 {
-                // Pre-activation of the previous layer = its forward output
-                // before ReLU; recompute the mask from the previous input.
-                let z_prev = self.layers[i - 1].forward(&inputs[i - 1]);
-                dz = dx.hadamard(&relu_grad_mask(&z_prev));
+            dz = if i > 0 {
+                dx.hadamard(&relu_grad_mask(&zs[i - 1]))
             } else {
-                dz = dx;
-            }
+                dx
+            };
         }
         grads.reverse();
         (grads, dz)
     }
 
+    /// Input-gradient-only backward pass: skips the weight-gradient
+    /// matmuls, which attacks (FGSM/PGD) never consume.
+    fn backward_input_only(&self, zs: &[Matrix], mut dz: Matrix) -> Matrix {
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let dx = dz.matmul_tb(layer.weights());
+            dz = if i > 0 {
+                dx.hadamard(&relu_grad_mask(&zs[i - 1]))
+            } else {
+                dx
+            };
+        }
+        dz
+    }
+
+    /// Loss and weight gradients of one (sub-)batch, without updating.
+    fn batch_grads(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        indicator: Option<&[f64]>,
+    ) -> (f64, Vec<DenseGrads>) {
+        let (logits, inputs, zs) = self.forward_cached(x);
+        let (probs, mut dz) = softmax_ce_grad(&logits, labels);
+        let mut loss = cross_entropy(&probs, labels);
+        if let Some(ind) = indicator {
+            loss += self.semantic.penalty(&probs, ind);
+            self.semantic.add_grad(&probs, ind, &mut dz);
+        }
+        let (grads, _) = self.backward_from_dz(&inputs, &zs, dz);
+        (loss, grads)
+    }
+
     /// One minibatch of training. `indicator` is the per-row safety-rule
     /// truth value; when present, the semantic loss (Eq. 2) is added with
     /// weight [`MlpNet::semantic`]. Returns the total batch loss.
+    ///
+    /// Batches larger than [`par::GRAD_CHUNK`] rows are split into fixed
+    /// row chunks whose gradients are computed in parallel and merged in
+    /// chunk order with weights `chunk_rows / batch_rows` (the per-chunk
+    /// mean-loss gradients recombine into the batch mean). The chunk grid
+    /// is independent of the thread count, so training is bit-deterministic
+    /// for any `CPSMON_THREADS`; batches of at most one chunk take the
+    /// legacy whole-batch path unchanged.
     ///
     /// # Panics
     ///
@@ -160,14 +228,39 @@ impl MlpNet {
         trainer: &mut AdamTrainer,
     ) -> f64 {
         assert_eq!(labels.len(), x.rows(), "label count mismatch");
-        let (logits, inputs) = self.forward_cached(x);
-        let (probs, mut dz) = softmax_ce_grad(&logits, labels);
-        let mut loss = cross_entropy(&probs, labels);
-        if let Some(ind) = indicator {
-            loss += self.semantic.penalty(&probs, ind);
-            self.semantic.add_grad(&probs, ind, &mut dz);
-        }
-        let (grads, _) = self.backward_from_dz(&inputs, dz);
+        let n = x.rows();
+        let ranges = par::chunk_ranges(n, par::GRAD_CHUNK);
+        let (loss, grads) = if ranges.len() <= 1 {
+            self.batch_grads(x, labels, indicator)
+        } else {
+            let parts = par::run_chunks(n, par::GRAD_CHUNK, |r| {
+                let chunk = x.slice_rows(r.start, r.end);
+                self.batch_grads(&chunk, &labels[r.clone()], indicator.map(|ind| &ind[r]))
+            });
+            let mut loss = 0.0;
+            let mut merged: Option<Vec<DenseGrads>> = None;
+            for (range, (chunk_loss, chunk_grads)) in ranges.iter().zip(parts) {
+                let weight = range.len() as f64 / n as f64;
+                loss += weight * chunk_loss;
+                match &mut merged {
+                    None => {
+                        let mut scaled = chunk_grads;
+                        for g in &mut scaled {
+                            g.dw.map_inplace(|v| v * weight);
+                            g.db.map_inplace(|v| v * weight);
+                        }
+                        merged = Some(scaled);
+                    }
+                    Some(acc) => {
+                        for (a, g) in acc.iter_mut().zip(&chunk_grads) {
+                            a.dw.add_scaled(&g.dw, weight);
+                            a.db.add_scaled(&g.db, weight);
+                        }
+                    }
+                }
+            }
+            (loss, merged.expect("at least one chunk"))
+        };
         trainer.begin_step();
         let mut off = 0;
         for (layer, g) in self.layers.iter_mut().zip(grads.iter()) {
@@ -198,14 +291,29 @@ impl GradModel for MlpNet {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
-        softmax_rows(&self.predict_logits(x))
+        // Softmax is per-row, so fusing it into the chunk map keeps one
+        // parallel pass and stays bit-identical to the serial pipeline.
+        par::map_rows(x, par::PREDICT_CHUNK, |_, chunk| {
+            softmax_rows(&self.forward_only(chunk))
+        })
     }
 
     fn input_gradient(&self, x: &Matrix, labels: &[usize]) -> Matrix {
-        let (logits, inputs) = self.forward_cached(x);
-        let (_, dz) = softmax_ce_grad(&logits, labels);
-        let (_, dx) = self.backward_from_dz(&inputs, dz);
-        dx
+        assert_eq!(labels.len(), x.rows(), "label count mismatch");
+        let n = x.rows();
+        par::map_rows(x, par::GRAD_CHUNK, |r, chunk| {
+            let (logits, _, zs) = self.forward_cached(chunk);
+            let (_, dz) = softmax_ce_grad(&logits, &labels[r.clone()]);
+            let mut dx = self.backward_input_only(&zs, dz);
+            if r.len() != n {
+                // Per-chunk gradients carry a 1/chunk_rows mean factor;
+                // reweight to the batch mean. (Positive scaling — the FGSM
+                // sign is unaffected either way.)
+                let weight = r.len() as f64 / n as f64;
+                dx.map_inplace(|v| v * weight);
+            }
+            dx
+        })
     }
 }
 
@@ -303,7 +411,10 @@ mod tests {
     fn paper_architecture_has_expected_param_count() {
         let net = MlpNet::new(&MlpConfig::paper(36));
         // 36·256+256 + 256·128+128 + 128·2+2
-        assert_eq!(net.param_count(), 36 * 256 + 256 + 256 * 128 + 128 + 128 * 2 + 2);
+        assert_eq!(
+            net.param_count(),
+            36 * 256 + 256 + 256 * 128 + 128 + 128 * 2 + 2
+        );
     }
 
     #[test]

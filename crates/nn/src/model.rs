@@ -11,7 +11,11 @@ use crate::matrix::Matrix;
 ///
 /// This trait is object-safe; the attack toolkit works with
 /// `&dyn GradModel`.
-pub trait GradModel {
+///
+/// `Sync` is a supertrait so that attack crafting and robustness sweeps can
+/// share one model across the data-parallel workers of [`crate::par`]
+/// (`&dyn GradModel` must cross scoped-thread boundaries).
+pub trait GradModel: Sync {
     /// Number of output classes.
     fn classes(&self) -> usize;
 

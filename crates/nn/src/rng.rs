@@ -83,7 +83,10 @@ impl SmallRng {
     ///
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range {lo}..{hi}");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range {lo}..{hi}"
+        );
         lo + (hi - lo) * self.uniform()
     }
 
@@ -204,7 +207,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle left slice sorted");
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left slice sorted"
+        );
     }
 
     #[test]

@@ -131,3 +131,158 @@ proptest! {
         }
     }
 }
+
+/// Reference A·Bᵀ with the same strictly-ascending-k accumulation the
+/// kernels guarantee.
+fn naive_matmul_tb(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(j, k);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Strategy: matrix dimensions that cross the kernels' unroll width (4) and
+/// cache-block size (128) boundaries.
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..9, prop_oneof![1usize..9, 120usize..140], 1usize..9)
+}
+
+proptest! {
+    // The blocked/unrolled kernels accumulate every output element in
+    // strictly ascending k order, so they are BIT-identical to the naive
+    // triple loop — not merely close. prop_assert_eq!, not approx_eq.
+    #[test]
+    fn blocked_matmul_is_bit_identical((m, k, n) in dims(), seed in any::<u64>()) {
+        let mut rng = SmallRng::new(seed);
+        let a = cpsmon_nn::init::random_normal(m, k, 1.0, &mut rng);
+        let b = cpsmon_nn::init::random_normal(k, n, 1.0, &mut rng);
+        prop_assert_eq!(a.matmul(&b), naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn matmul_tb_is_bit_identical((m, k, n) in dims(), seed in any::<u64>()) {
+        let mut rng = SmallRng::new(seed);
+        let a = cpsmon_nn::init::random_normal(m, k, 1.0, &mut rng);
+        let b = cpsmon_nn::init::random_normal(n, k, 1.0, &mut rng);
+        prop_assert_eq!(a.matmul_tb(&b), naive_matmul_tb(&a, &b));
+    }
+
+    #[test]
+    fn transpose_matmul_is_bit_identical((k, m, n) in dims(), seed in any::<u64>()) {
+        let mut rng = SmallRng::new(seed);
+        let a = cpsmon_nn::init::random_normal(m, k, 1.0, &mut rng);
+        let b = cpsmon_nn::init::random_normal(m, n, 1.0, &mut rng);
+        prop_assert_eq!(a.transpose_matmul(&b), naive_matmul(&a.transpose(), &b));
+    }
+
+    #[test]
+    fn matmul_acc_accumulates_bit_exactly((m, k, n) in dims(), seed in any::<u64>()) {
+        let mut rng = SmallRng::new(seed);
+        let a = cpsmon_nn::init::random_normal(m, k, 1.0, &mut rng);
+        let b = cpsmon_nn::init::random_normal(k, n, 1.0, &mut rng);
+        let mut out = cpsmon_nn::init::random_normal(m, n, 1.0, &mut rng);
+        let mut expect = out.clone();
+        a.matmul_acc(&b, &mut out);
+        // Reference: seed-first accumulation in the same ascending k order.
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = expect.get(i, j);
+                for kk in 0..k {
+                    acc += a.get(i, kk) * b.get(kk, j);
+                }
+                expect.set(i, j, acc);
+            }
+        }
+        prop_assert_eq!(out, expect);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance: the determinism contract of `cpsmon_nn::par`.
+// Every data-parallel entry point must return bit-identical results for
+// CPSMON_THREADS=1 and CPSMON_THREADS>1. Fewer cases: each one trains nets.
+// ---------------------------------------------------------------------------
+
+use cpsmon_nn::par::{ThreadsGuard, GRAD_CHUNK, PREDICT_CHUNK};
+use cpsmon_nn::{AdamTrainer, GradModel, LstmConfig, LstmNet, MlpConfig, MlpNet};
+
+fn labeled_batch(rows: usize, cols: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = SmallRng::new(seed);
+    let x = cpsmon_nn::init::random_normal(rows, cols, 1.0, &mut rng);
+    let labels = (0..rows).map(|_| rng.index(2)).collect();
+    (x, labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn mlp_is_thread_count_invariant(seed in any::<u64>(), extra in 0usize..40) {
+        // Enough rows to force several PREDICT_CHUNK/GRAD_CHUNK chunks.
+        let rows = 2 * GRAD_CHUNK.max(PREDICT_CHUNK) + 1 + extra;
+        let (x, labels) = labeled_batch(rows, 10, seed);
+        let net = MlpNet::new(&MlpConfig { input_dim: 10, hidden: vec![12], classes: 2, seed });
+        let run = |threads: usize| {
+            let _guard = ThreadsGuard::set(threads);
+            let proba = net.predict_proba(&x);
+            let grad = net.input_gradient(&x, &labels);
+            let mut trained = net.clone();
+            let mut tr = AdamTrainer::new(trained.param_count(), 1e-3);
+            let loss = trained.train_batch(&x, &labels, None, &mut tr);
+            (proba, grad, loss, trained.predict_proba(&x))
+        };
+        let serial = run(1);
+        for threads in [2usize, 4, 8] {
+            let parallel = run(threads);
+            prop_assert_eq!(&serial.0, &parallel.0, "predict_proba differs at {} threads", threads);
+            prop_assert_eq!(&serial.1, &parallel.1, "input_gradient differs at {} threads", threads);
+            prop_assert_eq!(serial.2, parallel.2, "train loss differs at {} threads", threads);
+            prop_assert_eq!(&serial.3, &parallel.3, "post-train predictions differ at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn lstm_is_thread_count_invariant(seed in any::<u64>()) {
+        let rows = 2 * GRAD_CHUNK + 3;
+        let (x, labels) = labeled_batch(rows, 8, seed);
+        let net = LstmNet::new(&LstmConfig {
+            feature_dim: 2, timesteps: 4, hidden: vec![5], classes: 2, seed,
+        });
+        let run = |threads: usize| {
+            let _guard = ThreadsGuard::set(threads);
+            let proba = net.predict_proba(&x);
+            let grad = net.input_gradient(&x, &labels);
+            let mut trained = net.clone();
+            let mut tr = AdamTrainer::new(trained.param_count(), 1e-3);
+            let loss = trained.train_batch(&x, &labels, None, &mut tr);
+            (proba, grad, loss, trained.predict_proba(&x))
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        prop_assert_eq!(serial.0, parallel.0);
+        prop_assert_eq!(serial.1, parallel.1);
+        prop_assert_eq!(serial.2, parallel.2);
+        prop_assert_eq!(serial.3, parallel.3);
+    }
+
+    #[test]
+    fn big_batch_predict_equals_rowwise_predict(seed in any::<u64>(), extra in 0usize..20) {
+        // Chunked prediction must equal predicting each row alone: forward
+        // passes are row-independent and chunking never mixes rows.
+        let rows = PREDICT_CHUNK + 1 + extra;
+        let (x, _) = labeled_batch(rows, 10, seed);
+        let net = MlpNet::new(&MlpConfig { input_dim: 10, hidden: vec![9], classes: 2, seed });
+        let whole = net.predict_proba(&x);
+        for r in [0, PREDICT_CHUNK - 1, PREDICT_CHUNK, rows - 1] {
+            let single = net.predict_proba(&x.slice_rows(r, r + 1));
+            prop_assert_eq!(whole.row(r), single.row(0), "row {} differs", r);
+        }
+    }
+}

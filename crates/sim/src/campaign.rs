@@ -154,10 +154,18 @@ impl CampaignConfig {
                 let cgm = Cgm::typical(rng.fork(1));
                 let basal = match self.kind {
                     SimulatorKind::Glucosym => {
-                        glucosym_proto.as_ref().expect("proto built above").therapy().basal_rate
+                        glucosym_proto
+                            .as_ref()
+                            .expect("proto built above")
+                            .therapy()
+                            .basal_rate
                     }
                     SimulatorKind::T1ds2013 => {
-                        t1ds_proto.as_ref().expect("proto built above").therapy().basal_rate
+                        t1ds_proto
+                            .as_ref()
+                            .expect("proto built above")
+                            .therapy()
+                            .basal_rate
                     }
                 };
                 let fault = rng
@@ -253,9 +261,15 @@ mod tests {
             .seed(5)
             .run();
         let hc = HazardConfig::default();
-        let positives: usize = traces.iter().map(|t| hc.labels(t).iter().sum::<usize>()).sum();
+        let positives: usize = traces
+            .iter()
+            .map(|t| hc.labels(t).iter().sum::<usize>())
+            .sum();
         let total: usize = traces.iter().map(SimTrace::len).sum();
         let ratio = positives as f64 / total as f64;
-        assert!(ratio > 0.05, "fault campaign produced almost no hazards ({ratio})");
+        assert!(
+            ratio > 0.05,
+            "fault campaign produced almost no hazards ({ratio})"
+        );
     }
 }

@@ -51,8 +51,18 @@ mod tests {
     #[test]
     fn trait_is_object_safe() {
         let mut c: Box<dyn Controller> = Box::new(Fixed(1.5));
-        let obs = Observation { bg: 120.0, bg_trend: 0.0, iob: 0.0, announced_carbs: 0.0 };
-        let therapy = TherapyProfile { basal_rate: 1.0, isf: 50.0, carb_ratio: 10.0, target_bg: 120.0 };
+        let obs = Observation {
+            bg: 120.0,
+            bg_trend: 0.0,
+            iob: 0.0,
+            announced_carbs: 0.0,
+        };
+        let therapy = TherapyProfile {
+            basal_rate: 1.0,
+            isf: 50.0,
+            carb_ratio: 10.0,
+            target_bg: 120.0,
+        };
         assert_eq!(c.control(&obs, &therapy), 1.5);
         assert_eq!(c.name(), "fixed");
     }

@@ -28,8 +28,20 @@ pub struct ClosedLoop<P, C> {
 
 impl<P: PatientModel, C: Controller> ClosedLoop<P, C> {
     /// Assembles a closed loop.
-    pub fn new(patient: P, controller: C, pump: InsulinPump, cgm: Cgm, meals: MealSchedule) -> Self {
-        Self { patient, controller, pump, cgm, meals }
+    pub fn new(
+        patient: P,
+        controller: C,
+        pump: InsulinPump,
+        cgm: Cgm,
+        meals: MealSchedule,
+    ) -> Self {
+        Self {
+            patient,
+            controller,
+            pump,
+            cgm,
+            meals,
+        }
     }
 
     /// Runs `steps` steps and returns the recorded trace.
@@ -78,7 +90,14 @@ impl<P: PatientModel, C: Controller> ClosedLoop<P, C> {
             }
             records.push(record);
         }
-        SimTrace::new(simulator, controller_name, patient_id, run_id, fault, records)
+        SimTrace::new(
+            simulator,
+            controller_name,
+            patient_id,
+            run_id,
+            fault,
+            records,
+        )
     }
 }
 
@@ -127,29 +146,59 @@ mod tests {
         };
         let healthy = loop_for(None, 1);
         let faulty = loop_for(Some(fault), 1);
-        let min_h = healthy.bg_true().iter().cloned().fold(f64::INFINITY, f64::min);
-        let min_f = faulty.bg_true().iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(min_f < min_h - 10.0, "overdose ineffective: {min_f} vs {min_h}");
+        let min_h = healthy
+            .bg_true()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let min_f = faulty
+            .bg_true()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_f < min_h - 10.0,
+            "overdose ineffective: {min_f} vs {min_h}"
+        );
     }
 
     #[test]
     fn suspend_fault_drives_bg_up() {
-        let fault = FaultPlan { kind: FaultKind::Suspend, start_step: 30, duration_steps: 40 };
+        let fault = FaultPlan {
+            kind: FaultKind::Suspend,
+            start_step: 30,
+            duration_steps: 40,
+        };
         let healthy = loop_for(None, 1);
         let faulty = loop_for(Some(fault), 1);
-        let max_h = healthy.bg_true().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let max_f = faulty.bg_true().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max_f > max_h + 10.0, "suspension ineffective: {max_f} vs {max_h}");
+        let max_h = healthy
+            .bg_true()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let max_f = faulty
+            .bg_true()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            max_f > max_h + 10.0,
+            "suspension ineffective: {max_f} vs {max_h}"
+        );
     }
 
     #[test]
     fn trace_records_fault_metadata() {
-        let fault = FaultPlan { kind: FaultKind::Suspend, start_step: 10, duration_steps: 5 };
+        let fault = FaultPlan {
+            kind: FaultKind::Suspend,
+            start_step: 10,
+            duration_steps: 5,
+        };
         let trace = loop_for(Some(fault), 2);
         assert_eq!(trace.fault, Some(fault));
         // Delivered rate is zero inside the fault window.
         for (t, r) in trace.records().iter().enumerate() {
-            if t >= 10 && t < 15 {
+            if (10..15).contains(&t) {
                 assert_eq!(r.delivered_rate, 0.0, "step {t}");
             }
         }

@@ -57,14 +57,22 @@ impl FaultPlan {
     /// fault-injection campaigns.
     pub fn sample(steps: usize, reference_rate: f64, rng: &mut SmallRng) -> Self {
         let kind = match rng.index(4) {
-            0 => FaultKind::Overdose { rate: reference_rate * rng.uniform_range(3.0, 8.0) },
-            1 => FaultKind::Underdose { factor: rng.uniform_range(0.0, 0.4) },
+            0 => FaultKind::Overdose {
+                rate: reference_rate * rng.uniform_range(3.0, 8.0),
+            },
+            1 => FaultKind::Underdose {
+                factor: rng.uniform_range(0.0, 0.4),
+            },
             2 => FaultKind::StuckRate,
             _ => FaultKind::Suspend,
         };
         let start = (steps as f64 * rng.uniform_range(0.15, 0.60)) as usize;
         let duration = ((rng.uniform_range(60.0, 360.0) / 5.0) as usize).max(1);
-        Self { kind, start_step: start, duration_steps: duration }
+        Self {
+            kind,
+            start_step: start,
+            duration_steps: duration,
+        }
     }
 
     /// Short label for reports ("overdose", "suspend", …).
@@ -84,7 +92,11 @@ mod tests {
 
     #[test]
     fn active_window() {
-        let f = FaultPlan { kind: FaultKind::Suspend, start_step: 10, duration_steps: 5 };
+        let f = FaultPlan {
+            kind: FaultKind::Suspend,
+            start_step: 10,
+            duration_steps: 5,
+        };
         assert!(!f.active_at(9));
         assert!(f.active_at(10));
         assert!(f.active_at(14));
@@ -96,7 +108,11 @@ mod tests {
         let mut rng = SmallRng::new(5);
         for _ in 0..200 {
             let f = FaultPlan::sample(288, 1.0, &mut rng);
-            assert!(f.start_step >= 43 && f.start_step <= 173, "start {}", f.start_step);
+            assert!(
+                f.start_step >= 43 && f.start_step <= 173,
+                "start {}",
+                f.start_step
+            );
             assert!(f.duration_steps >= 12 && f.duration_steps <= 72);
             match f.kind {
                 FaultKind::Overdose { rate } => assert!(rate > 1.0),

@@ -123,7 +123,8 @@ impl GlucosymPatient {
         let ra = p.f * p.ka * self.q2;
         let dg = -p.p1 * (self.g - p.gb) - self.x * self.g + ra / p.vg;
         let dx = -p.p2 * self.x + p.p3 * (self.i - self.ib);
-        let di = -p.n * (self.i - self.ib) + (u_mu_per_min - self.therapy.basal_rate * 1000.0 / 60.0) / p.vi;
+        let di = -p.n * (self.i - self.ib)
+            + (u_mu_per_min - self.therapy.basal_rate * 1000.0 / 60.0) / p.vi;
         let dq1 = -p.ka * self.q1;
         let dq2 = p.ka * (self.q1 - self.q2);
         (dg, dx, di, dq1, dq2)
@@ -190,7 +191,11 @@ mod tests {
         for _ in 0..12 {
             p.step(basal, 0.0);
         }
-        assert!(p.bg() > g0 + 20.0, "meal only moved BG from {g0} to {}", p.bg());
+        assert!(
+            p.bg() > g0 + 20.0,
+            "meal only moved BG from {g0} to {}",
+            p.bg()
+        );
     }
 
     #[test]
@@ -202,7 +207,12 @@ mod tests {
             a.step(basal, 0.0);
             b.step(basal + 2.0, 0.0);
         }
-        assert!(b.bg() < a.bg() - 20.0, "insulin had weak effect: {} vs {}", a.bg(), b.bg());
+        assert!(
+            b.bg() < a.bg() - 20.0,
+            "insulin had weak effect: {} vs {}",
+            a.bg(),
+            b.bg()
+        );
     }
 
     #[test]
@@ -214,7 +224,12 @@ mod tests {
             a.step(basal, 0.0);
             b.step(0.0, 0.0);
         }
-        assert!(b.bg() > a.bg() + 10.0, "suspension had weak effect: {} vs {}", a.bg(), b.bg());
+        assert!(
+            b.bg() > a.bg() + 10.0,
+            "suspension had weak effect: {} vs {}",
+            a.bg(),
+            b.bg()
+        );
     }
 
     #[test]

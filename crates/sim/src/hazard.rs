@@ -26,7 +26,11 @@ pub struct HazardConfig {
 
 impl Default for HazardConfig {
     fn default() -> Self {
-        Self { hypo: 70.0, hyper: 180.0, horizon_steps: 12 }
+        Self {
+            hypo: 70.0,
+            hyper: 180.0,
+            horizon_steps: 12,
+        }
     }
 }
 
@@ -49,7 +53,11 @@ impl HazardConfig {
 
     /// Per-step hazard flags for a trace (on ground-truth BG).
     pub fn hazard_flags(&self, trace: &SimTrace) -> Vec<bool> {
-        trace.records().iter().map(|r| self.is_hazard(r.bg_true)).collect()
+        trace
+            .records()
+            .iter()
+            .map(|r| self.is_hazard(r.bg_true))
+            .collect()
     }
 
     /// Eq. 1 labels: `labels[t] = 1` iff any hazard occurs in `[t, t+T]`.
@@ -86,7 +94,11 @@ impl HazardConfig {
                         if let Some(e) = current.take() {
                             episodes.push(e);
                         }
-                        current = Some(HazardEpisode { start: t, end: t + 1, hypo });
+                        current = Some(HazardEpisode {
+                            start: t,
+                            end: t + 1,
+                            hypo,
+                        });
                     }
                 }
             } else if let Some(e) = current.take() {
@@ -131,7 +143,11 @@ mod tests {
 
     #[test]
     fn labels_cover_horizon_before_hazard() {
-        let h = HazardConfig { hypo: 70.0, hyper: 300.0, horizon_steps: 2 };
+        let h = HazardConfig {
+            hypo: 70.0,
+            hyper: 300.0,
+            horizon_steps: 2,
+        };
         let t = trace_from_bg(&[100.0, 100.0, 100.0, 60.0, 100.0]);
         assert_eq!(h.labels(&t), vec![0, 1, 1, 1, 0]);
     }
@@ -145,7 +161,11 @@ mod tests {
 
     #[test]
     fn labels_through_episode() {
-        let h = HazardConfig { hypo: 70.0, hyper: 300.0, horizon_steps: 1 };
+        let h = HazardConfig {
+            hypo: 70.0,
+            hyper: 300.0,
+            horizon_steps: 1,
+        };
         let t = trace_from_bg(&[100.0, 60.0, 60.0, 100.0, 100.0]);
         // t=0: hazard at 1 within horizon; t=1,2 hazardous themselves;
         // t=3,4: no hazard ahead.
@@ -158,14 +178,39 @@ mod tests {
         let t = trace_from_bg(&[60.0, 60.0, 100.0, 310.0, 310.0, 60.0]);
         let eps = h.episodes(&t);
         assert_eq!(eps.len(), 3);
-        assert_eq!(eps[0], HazardEpisode { start: 0, end: 2, hypo: true });
-        assert_eq!(eps[1], HazardEpisode { start: 3, end: 5, hypo: false });
-        assert_eq!(eps[2], HazardEpisode { start: 5, end: 6, hypo: true });
+        assert_eq!(
+            eps[0],
+            HazardEpisode {
+                start: 0,
+                end: 2,
+                hypo: true
+            }
+        );
+        assert_eq!(
+            eps[1],
+            HazardEpisode {
+                start: 3,
+                end: 5,
+                hypo: false
+            }
+        );
+        assert_eq!(
+            eps[2],
+            HazardEpisode {
+                start: 5,
+                end: 6,
+                hypo: true
+            }
+        );
     }
 
     #[test]
     fn horizon_zero_labels_only_hazard_steps() {
-        let h = HazardConfig { hypo: 70.0, hyper: 300.0, horizon_steps: 0 };
+        let h = HazardConfig {
+            hypo: 70.0,
+            hyper: 300.0,
+            horizon_steps: 0,
+        };
         let t = trace_from_bg(&[100.0, 60.0, 100.0]);
         assert_eq!(h.labels(&t), vec![0, 1, 0]);
     }

@@ -36,7 +36,10 @@ impl MealSchedule {
                 let jitter = rng.uniform_range(-0.75, 0.75);
                 let step = base + (((hour + jitter) * 60.0 / STEP_MINUTES) as usize);
                 if step < steps {
-                    meals.push(Meal { step, carbs_g: rng.uniform_range(lo, hi) });
+                    meals.push(Meal {
+                        step,
+                        carbs_g: rng.uniform_range(lo, hi),
+                    });
                 }
             }
             // Occasional snack.
@@ -44,7 +47,10 @@ impl MealSchedule {
                 let hour = rng.uniform_range(15.0, 16.5);
                 let step = base + ((hour * 60.0 / STEP_MINUTES) as usize);
                 if step < steps {
-                    meals.push(Meal { step, carbs_g: rng.uniform_range(10.0, 25.0) });
+                    meals.push(Meal {
+                        step,
+                        carbs_g: rng.uniform_range(10.0, 25.0),
+                    });
                 }
             }
         }
@@ -54,7 +60,10 @@ impl MealSchedule {
 
     /// An empty schedule (fasting scenario).
     pub fn fasting(steps: usize) -> Self {
-        Self { meals: Vec::new(), steps }
+        Self {
+            meals: Vec::new(),
+            steps,
+        }
     }
 
     /// Carbohydrates ingested at `step` (grams; 0 for most steps).
@@ -86,7 +95,11 @@ mod tests {
         let mut rng = SmallRng::new(1);
         for _ in 0..20 {
             let s = MealSchedule::generate(288, &mut rng);
-            assert!((3..=4).contains(&s.meals().len()), "{} meals", s.meals().len());
+            assert!(
+                (3..=4).contains(&s.meals().len()),
+                "{} meals",
+                s.meals().len()
+            );
         }
     }
 
@@ -101,7 +114,19 @@ mod tests {
 
     #[test]
     fn carbs_at_sums_coincident_meals() {
-        let s = MealSchedule { meals: vec![Meal { step: 5, carbs_g: 20.0 }, Meal { step: 5, carbs_g: 10.0 }], steps: 10 };
+        let s = MealSchedule {
+            meals: vec![
+                Meal {
+                    step: 5,
+                    carbs_g: 20.0,
+                },
+                Meal {
+                    step: 5,
+                    carbs_g: 10.0,
+                },
+            ],
+            steps: 10,
+        };
         assert_eq!(s.carbs_at(5), 30.0);
         assert_eq!(s.carbs_at(6), 0.0);
     }

@@ -71,11 +71,21 @@ mod tests {
     use super::*;
 
     fn therapy() -> TherapyProfile {
-        TherapyProfile { basal_rate: 1.0, isf: 50.0, carb_ratio: 10.0, target_bg: 120.0 }
+        TherapyProfile {
+            basal_rate: 1.0,
+            isf: 50.0,
+            carb_ratio: 10.0,
+            target_bg: 120.0,
+        }
     }
 
     fn obs(bg: f64, trend: f64, iob: f64) -> Observation {
-        Observation { bg, bg_trend: trend, iob, announced_carbs: 0.0 }
+        Observation {
+            bg,
+            bg_trend: trend,
+            iob,
+            announced_carbs: 0.0,
+        }
     }
 
     #[test]

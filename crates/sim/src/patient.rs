@@ -96,7 +96,10 @@ impl IobTracker {
     /// Panics if `tau_minutes` is not positive.
     pub fn new(tau_minutes: f64) -> Self {
         assert!(tau_minutes > 0.0, "IOB time constant must be positive");
-        Self { iob: 0.0, decay_per_min: 1.0 / tau_minutes }
+        Self {
+            iob: 0.0,
+            decay_per_min: 1.0 / tau_minutes,
+        }
     }
 
     /// Current insulin on board (U).

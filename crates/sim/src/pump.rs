@@ -14,7 +14,11 @@ pub struct InsulinPump {
 
 impl Default for InsulinPump {
     fn default() -> Self {
-        Self { fault: None, stuck_rate: None, max_rate: 130.0 }
+        Self {
+            fault: None,
+            stuck_rate: None,
+            max_rate: 130.0,
+        }
     }
 }
 
@@ -26,7 +30,10 @@ impl InsulinPump {
 
     /// A pump that will exhibit `fault`.
     pub fn with_fault(fault: FaultPlan) -> Self {
-        Self { fault: Some(fault), ..Self::default() }
+        Self {
+            fault: Some(fault),
+            ..Self::default()
+        }
     }
 
     /// The configured fault plan, if any.
@@ -72,7 +79,11 @@ mod tests {
 
     #[test]
     fn overdose_multiplies_inside_window() {
-        let f = FaultPlan { kind: FaultKind::Overdose { rate: 3.0 }, start_step: 5, duration_steps: 2 };
+        let f = FaultPlan {
+            kind: FaultKind::Overdose { rate: 3.0 },
+            start_step: 5,
+            duration_steps: 2,
+        };
         let mut p = InsulinPump::with_fault(f);
         assert_eq!(p.deliver(4, 1.0), 1.0);
         assert_eq!(p.deliver(5, 1.0), 3.0);
@@ -82,7 +93,11 @@ mod tests {
 
     #[test]
     fn stuck_holds_first_faulty_rate() {
-        let f = FaultPlan { kind: FaultKind::StuckRate, start_step: 2, duration_steps: 3 };
+        let f = FaultPlan {
+            kind: FaultKind::StuckRate,
+            start_step: 2,
+            duration_steps: 3,
+        };
         let mut p = InsulinPump::with_fault(f);
         assert_eq!(p.deliver(2, 2.0), 2.0);
         assert_eq!(p.deliver(3, 0.5), 2.0);
@@ -92,14 +107,22 @@ mod tests {
 
     #[test]
     fn suspend_zeroes_delivery() {
-        let f = FaultPlan { kind: FaultKind::Suspend, start_step: 0, duration_steps: 10 };
+        let f = FaultPlan {
+            kind: FaultKind::Suspend,
+            start_step: 0,
+            duration_steps: 10,
+        };
         let mut p = InsulinPump::with_fault(f);
         assert_eq!(p.deliver(0, 3.0), 0.0);
     }
 
     #[test]
     fn stuck_rate_resets_after_window() {
-        let f = FaultPlan { kind: FaultKind::StuckRate, start_step: 1, duration_steps: 1 };
+        let f = FaultPlan {
+            kind: FaultKind::StuckRate,
+            start_step: 1,
+            duration_steps: 1,
+        };
         let mut p = InsulinPump::with_fault(f);
         let _ = p.deliver(1, 2.0);
         let _ = p.deliver(2, 1.0);

@@ -69,7 +69,15 @@ impl Cgm {
     pub fn new(noise_std: f64, lag: f64, rng: SmallRng) -> Self {
         assert!(noise_std >= 0.0, "noise std must be non-negative");
         assert!((0.0..1.0).contains(&lag), "lag must be in [0,1)");
-        Self { noise_std, lag, state: None, rng, fault: None, step: 0, stuck_value: None }
+        Self {
+            noise_std,
+            lag,
+            state: None,
+            rng,
+            fault: None,
+            step: 0,
+            stuck_value: None,
+        }
     }
 
     /// Attaches a sensor fault to this CGM.
@@ -156,7 +164,11 @@ mod tests {
 
     #[test]
     fn bias_fault_applies_in_window_only() {
-        let fault = CgmFault { kind: CgmFaultKind::Bias { offset: 40.0 }, start_step: 2, duration_steps: 2 };
+        let fault = CgmFault {
+            kind: CgmFaultKind::Bias { offset: 40.0 },
+            start_step: 2,
+            duration_steps: 2,
+        };
         let mut cgm = Cgm::ideal(SmallRng::new(5)).with_fault(fault);
         assert_eq!(cgm.measure(100.0), 100.0); // step 0
         assert_eq!(cgm.measure(100.0), 100.0); // step 1
@@ -167,7 +179,11 @@ mod tests {
 
     #[test]
     fn drift_fault_grows_linearly() {
-        let fault = CgmFault { kind: CgmFaultKind::Drift { per_step: 5.0 }, start_step: 0, duration_steps: 3 };
+        let fault = CgmFault {
+            kind: CgmFaultKind::Drift { per_step: 5.0 },
+            start_step: 0,
+            duration_steps: 3,
+        };
         let mut cgm = Cgm::ideal(SmallRng::new(6)).with_fault(fault);
         assert_eq!(cgm.measure(100.0), 105.0);
         assert_eq!(cgm.measure(100.0), 110.0);
@@ -177,7 +193,11 @@ mod tests {
 
     #[test]
     fn stuck_sensor_repeats_first_faulty_reading() {
-        let fault = CgmFault { kind: CgmFaultKind::StuckValue, start_step: 1, duration_steps: 3 };
+        let fault = CgmFault {
+            kind: CgmFaultKind::StuckValue,
+            start_step: 1,
+            duration_steps: 3,
+        };
         let mut cgm = Cgm::ideal(SmallRng::new(7)).with_fault(fault);
         assert_eq!(cgm.measure(100.0), 100.0);
         assert_eq!(cgm.measure(150.0), 150.0); // latched
@@ -188,7 +208,11 @@ mod tests {
 
     #[test]
     fn negative_bias_clamped_at_floor() {
-        let fault = CgmFault { kind: CgmFaultKind::Bias { offset: -500.0 }, start_step: 0, duration_steps: 5 };
+        let fault = CgmFault {
+            kind: CgmFaultKind::Bias { offset: -500.0 },
+            start_step: 0,
+            duration_steps: 5,
+        };
         let mut cgm = Cgm::ideal(SmallRng::new(8)).with_fault(fault);
         assert_eq!(cgm.measure(100.0), 1.0);
     }

@@ -222,7 +222,11 @@ impl T1dsPatient {
         // Glucose subsystem.
         let egp = (p.kp1 - p.kp2 * self.gp - p.kp3 * self.id).max(0.0);
         let uii = p.fsnc;
-        let e = if self.gp > p.ke2 { p.ke1 * (self.gp - p.ke2) } else { 0.0 };
+        let e = if self.gp > p.ke2 {
+            p.ke1 * (self.gp - p.ke2)
+        } else {
+            0.0
+        };
         let vm = (p.vm0 + p.vmx * self.x).max(0.0);
         let uid = vm * self.gt / (p.km0 + self.gt);
         let dgp = egp + ra - uii - e - p.k1 * self.gp + p.k2 * self.gt;
@@ -312,7 +316,10 @@ mod tests {
             p.step(basal, 0.0);
             peak = peak.max(p.bg());
         }
-        assert!(peak > g0 + 25.0, "meal only moved BG from {g0} to peak {peak}");
+        assert!(
+            peak > g0 + 25.0,
+            "meal only moved BG from {g0} to peak {peak}"
+        );
     }
 
     #[test]
@@ -324,7 +331,12 @@ mod tests {
             a.step(basal, 0.0);
             b.step(basal + 2.0, 0.0);
         }
-        assert!(b.bg() < a.bg() - 15.0, "insulin had weak effect: {} vs {}", a.bg(), b.bg());
+        assert!(
+            b.bg() < a.bg() - 15.0,
+            "insulin had weak effect: {} vs {}",
+            a.bg(),
+            b.bg()
+        );
     }
 
     #[test]
@@ -336,7 +348,12 @@ mod tests {
             a.step(basal, 0.0);
             b.step(0.0, 0.0);
         }
-        assert!(b.bg() > a.bg() + 10.0, "suspension had weak effect: {} vs {}", a.bg(), b.bg());
+        assert!(
+            b.bg() > a.bg() + 10.0,
+            "suspension had weak effect: {} vs {}",
+            a.bg(),
+            b.bg()
+        );
     }
 
     #[test]
@@ -355,7 +372,11 @@ mod tests {
             p.step(15.0, 0.0);
         }
         assert!(p.bg() >= 10.0);
-        assert!(p.bg() < 70.0, "overdose should produce hypoglycemia, bg={}", p.bg());
+        assert!(
+            p.bg() < 70.0,
+            "overdose should produce hypoglycemia, bg={}",
+            p.bg()
+        );
     }
 
     #[test]

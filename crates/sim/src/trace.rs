@@ -46,7 +46,14 @@ impl SimTrace {
         fault: Option<FaultPlan>,
         records: Vec<StepRecord>,
     ) -> Self {
-        Self { simulator, controller, patient_id, run_id, fault, records }
+        Self {
+            simulator,
+            controller,
+            patient_id,
+            run_id,
+            fault,
+            records,
+        }
     }
 
     /// The recorded steps.
@@ -88,7 +95,8 @@ impl SimTrace {
     /// external analysis/plotting tools.
     pub fn to_csv(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("step,bg_true,bg_sensor,iob,commanded_rate,delivered_rate,carbs\n");
+        let mut out =
+            String::from("step,bg_true,bg_sensor,iob,commanded_rate,delivered_rate,carbs\n");
         for (t, r) in self.records.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -117,7 +125,14 @@ mod tests {
 
     #[test]
     fn columns_extract() {
-        let t = SimTrace::new("glucosym", "openaps", 0, 0, None, vec![rec(100.0), rec(110.0)]);
+        let t = SimTrace::new(
+            "glucosym",
+            "openaps",
+            0,
+            0,
+            None,
+            vec![rec(100.0), rec(110.0)],
+        );
         assert_eq!(t.len(), 2);
         assert_eq!(t.bg_true(), vec![100.0, 110.0]);
         assert_eq!(t.bg_sensor(), vec![101.0, 111.0]);
@@ -132,7 +147,14 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let t = SimTrace::new("glucosym", "openaps", 0, 0, None, vec![rec(100.0), rec(110.0)]);
+        let t = SimTrace::new(
+            "glucosym",
+            "openaps",
+            0,
+            0,
+            None,
+            vec![rec(100.0), rec(110.0)],
+        );
         let csv = t.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);

@@ -72,6 +72,7 @@ proptest! {
         let cfg = HazardConfig { hypo: 70.0, hyper: 180.0, horizon_steps: horizon };
         let trace = trace_from_bg(&bgs);
         let labels = cfg.labels(&trace);
+        #[allow(clippy::needless_range_loop)]
         for t in 0..bgs.len() {
             let expected = (t..=(t + horizon).min(bgs.len() - 1))
                 .any(|u| bgs[u] < 70.0 || bgs[u] > 180.0);
@@ -87,6 +88,7 @@ proptest! {
         let mut covered = vec![false; bgs.len()];
         for e in &episodes {
             prop_assert!(e.start < e.end);
+            #[allow(clippy::needless_range_loop)]
             for t in e.start..e.end {
                 prop_assert!(!covered[t], "episodes overlap at {t}");
                 covered[t] = true;

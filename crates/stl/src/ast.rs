@@ -111,22 +111,38 @@ pub enum Stl {
 impl Stl {
     /// Atomic `signal > threshold`.
     pub fn gt(signal: impl Into<String>, threshold: f64) -> Stl {
-        Stl::Atom { signal: signal.into(), op: CmpOp::Gt, threshold }
+        Stl::Atom {
+            signal: signal.into(),
+            op: CmpOp::Gt,
+            threshold,
+        }
     }
 
     /// Atomic `signal >= threshold`.
     pub fn ge(signal: impl Into<String>, threshold: f64) -> Stl {
-        Stl::Atom { signal: signal.into(), op: CmpOp::Ge, threshold }
+        Stl::Atom {
+            signal: signal.into(),
+            op: CmpOp::Ge,
+            threshold,
+        }
     }
 
     /// Atomic `signal < threshold`.
     pub fn lt(signal: impl Into<String>, threshold: f64) -> Stl {
-        Stl::Atom { signal: signal.into(), op: CmpOp::Lt, threshold }
+        Stl::Atom {
+            signal: signal.into(),
+            op: CmpOp::Lt,
+            threshold,
+        }
     }
 
     /// Atomic `signal <= threshold`.
     pub fn le(signal: impl Into<String>, threshold: f64) -> Stl {
-        Stl::Atom { signal: signal.into(), op: CmpOp::Le, threshold }
+        Stl::Atom {
+            signal: signal.into(),
+            op: CmpOp::Le,
+            threshold,
+        }
     }
 
     /// `|signal| <= eps`, the tolerance form of equality used for the
@@ -164,7 +180,11 @@ impl Stl {
     /// Panics if `start > end`.
     pub fn always(start: usize, end: usize, inner: Stl) -> Stl {
         assert!(start <= end, "invalid interval [{start},{end}]");
-        Stl::Always { start, end, inner: Box::new(inner) }
+        Stl::Always {
+            start,
+            end,
+            inner: Box::new(inner),
+        }
     }
 
     /// Bounded eventually: `F_[start,end] inner`.
@@ -174,7 +194,11 @@ impl Stl {
     /// Panics if `start > end`.
     pub fn eventually(start: usize, end: usize, inner: Stl) -> Stl {
         assert!(start <= end, "invalid interval [{start},{end}]");
-        Stl::Eventually { start, end, inner: Box::new(inner) }
+        Stl::Eventually {
+            start,
+            end,
+            inner: Box::new(inner),
+        }
     }
 
     /// Bounded until: `lhs U_[start,end] rhs`.
@@ -184,7 +208,12 @@ impl Stl {
     /// Panics if `start > end`.
     pub fn until(start: usize, end: usize, lhs: Stl, rhs: Stl) -> Stl {
         assert!(start <= end, "invalid interval [{start},{end}]");
-        Stl::Until { start, end, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Stl::Until {
+            start,
+            end,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Boolean satisfaction at time `t`. Returns `false` when the formula
@@ -204,7 +233,11 @@ impl fmt::Display for Stl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Stl::True => write!(f, "⊤"),
-            Stl::Atom { signal, op, threshold } => write!(f, "({signal} {op} {threshold})"),
+            Stl::Atom {
+                signal,
+                op,
+                threshold,
+            } => write!(f, "({signal} {op} {threshold})"),
             Stl::Not(inner) => write!(f, "¬{inner}"),
             Stl::And(parts) => {
                 write!(f, "(")?;
@@ -228,7 +261,12 @@ impl fmt::Display for Stl {
             }
             Stl::Always { start, end, inner } => write!(f, "G[{start},{end}]{inner}"),
             Stl::Eventually { start, end, inner } => write!(f, "F[{start},{end}]{inner}"),
-            Stl::Until { start, end, lhs, rhs } => write!(f, "({lhs} U[{start},{end}] {rhs})"),
+            Stl::Until {
+                start,
+                end,
+                lhs,
+                rhs,
+            } => write!(f, "({lhs} U[{start},{end}] {rhs})"),
         }
     }
 }
@@ -263,7 +301,10 @@ mod tests {
 
     #[test]
     fn display_renders_formula() {
-        let phi = Stl::implies(Stl::gt("bg", 180.0), Stl::eventually(0, 2, Stl::lt("rate", 0.1)));
+        let phi = Stl::implies(
+            Stl::gt("bg", 180.0),
+            Stl::eventually(0, 2, Stl::lt("rate", 0.1)),
+        );
         let s = phi.to_string();
         assert!(s.contains("bg > 180"));
         assert!(s.contains("F[0,2]"));

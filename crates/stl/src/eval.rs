@@ -23,9 +23,11 @@ pub fn satisfied(phi: &Stl, trace: &SignalTrace, t: usize) -> bool {
 fn sat(phi: &Stl, trace: &SignalTrace, t: usize) -> Option<bool> {
     match phi {
         Stl::True => Some(true),
-        Stl::Atom { signal, op, threshold } => {
-            trace.value(signal, t).map(|v| op.holds(v, *threshold))
-        }
+        Stl::Atom {
+            signal,
+            op,
+            threshold,
+        } => trace.value(signal, t).map(|v| op.holds(v, *threshold)),
         Stl::Not(inner) => sat(inner, trace, t).map(|b| !b),
         Stl::And(parts) => {
             let mut all = true;
@@ -57,7 +59,12 @@ fn sat(phi: &Stl, trace: &SignalTrace, t: usize) -> Option<bool> {
             }
             Some(false)
         }
-        Stl::Until { start, end, lhs, rhs } => {
+        Stl::Until {
+            start,
+            end,
+            lhs,
+            rhs,
+        } => {
             for dt in *start..=*end {
                 let t2 = t.checked_add(dt)?;
                 if sat(rhs, trace, t2)? {
@@ -76,9 +83,11 @@ fn sat(phi: &Stl, trace: &SignalTrace, t: usize) -> Option<bool> {
 pub fn robustness(phi: &Stl, trace: &SignalTrace, t: usize) -> Option<f64> {
     match phi {
         Stl::True => Some(f64::INFINITY),
-        Stl::Atom { signal, op, threshold } => {
-            trace.value(signal, t).map(|v| op.robustness(v, *threshold))
-        }
+        Stl::Atom {
+            signal,
+            op,
+            threshold,
+        } => trace.value(signal, t).map(|v| op.robustness(v, *threshold)),
         Stl::Not(inner) => robustness(inner, trace, t).map(|r| -r),
         Stl::And(parts) => {
             let mut min = f64::INFINITY;
@@ -108,7 +117,12 @@ pub fn robustness(phi: &Stl, trace: &SignalTrace, t: usize) -> Option<f64> {
             }
             Some(max)
         }
-        Stl::Until { start, end, lhs, rhs } => {
+        Stl::Until {
+            start,
+            end,
+            lhs,
+            rhs,
+        } => {
             // ρ(φ U ψ) = max over t' of min(ρ(ψ, t'), min_{t''<t'} ρ(φ, t''))
             let mut best = f64::NEG_INFINITY;
             let mut lhs_min = f64::INFINITY;

@@ -78,8 +78,18 @@ mod tests {
     fn batch_matches_pointwise() {
         let m = RuleMonitor::default();
         let ctxs = vec![
-            ApsContext { bg: 200.0, dbg: 0.0, diob: 0.0, command: Command::StopInsulin },
-            ApsContext { bg: 100.0, dbg: 0.0, diob: 0.0, command: Command::StopInsulin },
+            ApsContext {
+                bg: 200.0,
+                dbg: 0.0,
+                diob: 0.0,
+                command: Command::StopInsulin,
+            },
+            ApsContext {
+                bg: 100.0,
+                dbg: 0.0,
+                diob: 0.0,
+                command: Command::StopInsulin,
+            },
         ];
         assert_eq!(m.predict_batch(&ctxs), vec![1, 0]);
     }

@@ -92,7 +92,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { position: self.pos, message: message.into() }
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -136,7 +139,11 @@ impl<'a> Parser<'a> {
         while self.eat("|") {
             parts.push(self.parse_and()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one element") } else { Stl::or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Stl::or(parts)
+        })
     }
 
     fn parse_and(&mut self) -> Result<Stl, ParseError> {
@@ -147,7 +154,11 @@ impl<'a> Parser<'a> {
         } {
             parts.push(self.parse_unary()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one element") } else { Stl::and(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Stl::and(parts)
+        })
     }
 
     fn parse_interval(&mut self) -> Result<(usize, usize), ParseError> {
@@ -224,7 +235,11 @@ impl<'a> Parser<'a> {
             return Err(self.err("expected comparison operator"));
         };
         let threshold = self.parse_number()?;
-        Ok(Stl::Atom { signal, op, threshold })
+        Ok(Stl::Atom {
+            signal,
+            op,
+            threshold,
+        })
     }
 
     fn parse_ident(&mut self) -> Result<String, ParseError> {
@@ -249,7 +264,9 @@ impl<'a> Parser<'a> {
         if len == 0 {
             return Err(self.err("expected integer"));
         }
-        let value = rest[..len].parse().map_err(|_| self.err("integer out of range"))?;
+        let value = rest[..len]
+            .parse()
+            .map_err(|_| self.err("integer out of range"))?;
         self.pos += len;
         Ok(value)
     }
@@ -264,7 +281,9 @@ impl<'a> Parser<'a> {
         if len == 0 {
             return Err(self.err("expected number"));
         }
-        let value: f64 = rest[..len].parse().map_err(|_| self.err("malformed number"))?;
+        let value: f64 = rest[..len]
+            .parse()
+            .map_err(|_| self.err("malformed number"))?;
         self.pos += len;
         Ok(value)
     }
@@ -285,7 +304,7 @@ mod tests {
     #[test]
     fn parses_atoms_with_all_operators() {
         for (text, expect) in [
-            ("bg > 120", true),  // at t=1: 150 > 120
+            ("bg > 120", true), // at t=1: 150 > 120
             ("bg >= 150", true),
             ("bg < 120", false),
             ("bg <= 150", true),

@@ -149,14 +149,22 @@ pub struct ApsRules {
 
 impl Default for ApsRules {
     fn default() -> Self {
-        Self { bgt: 120.0, hypo: 70.0, iob_eps: 1e-3, bg_trend_eps: 1.5 }
+        Self {
+            bgt: 120.0,
+            hypo: 70.0,
+            iob_eps: 1e-3,
+            bg_trend_eps: 1.5,
+        }
     }
 }
 
 impl ApsRules {
     /// Creates a rule set with a custom BG target.
     pub fn with_target(bgt: f64) -> Self {
-        Self { bgt, ..Self::default() }
+        Self {
+            bgt,
+            ..Self::default()
+        }
     }
 
     /// Fast direct evaluation: does *any* of the 12 rules fire for `ctx`?
@@ -170,7 +178,12 @@ impl ApsRules {
     /// (command-specific rules take precedence over the catch-all rule 10),
     /// for explainability.
     pub fn violated_rule(&self, ctx: &ApsContext) -> Option<usize> {
-        let ApsContext { bg, dbg, diob, command } = *ctx;
+        let ApsContext {
+            bg,
+            dbg,
+            diob,
+            command,
+        } = *ctx;
         let eps = self.iob_eps;
         let high = bg > self.bgt;
         let low = bg < self.bgt;
@@ -301,7 +314,12 @@ mod tests {
     use super::*;
 
     fn ctx(bg: f64, dbg: f64, diob: f64, command: Command) -> ApsContext {
-        ApsContext { bg, dbg, diob, command }
+        ApsContext {
+            bg,
+            dbg,
+            diob,
+            command,
+        }
     }
 
     #[test]
@@ -314,52 +332,109 @@ mod tests {
     #[test]
     fn rules_2_to_5_cover_decrease_contexts() {
         let rules = ApsRules::default();
-        assert_eq!(rules.violated_rule(&ctx(200.0, 2.0, 0.0, Command::DecreaseInsulin)), Some(2));
-        assert_eq!(rules.violated_rule(&ctx(200.0, -2.0, 0.1, Command::DecreaseInsulin)), Some(3));
-        assert_eq!(rules.violated_rule(&ctx(200.0, -2.0, -0.1, Command::DecreaseInsulin)), Some(4));
-        assert_eq!(rules.violated_rule(&ctx(200.0, -2.0, 0.0, Command::DecreaseInsulin)), Some(5));
+        assert_eq!(
+            rules.violated_rule(&ctx(200.0, 2.0, 0.0, Command::DecreaseInsulin)),
+            Some(2)
+        );
+        assert_eq!(
+            rules.violated_rule(&ctx(200.0, -2.0, 0.1, Command::DecreaseInsulin)),
+            Some(3)
+        );
+        assert_eq!(
+            rules.violated_rule(&ctx(200.0, -2.0, -0.1, Command::DecreaseInsulin)),
+            Some(4)
+        );
+        assert_eq!(
+            rules.violated_rule(&ctx(200.0, -2.0, 0.0, Command::DecreaseInsulin)),
+            Some(5)
+        );
     }
 
     #[test]
     fn decrease_when_low_is_fine() {
         let rules = ApsRules::default();
-        assert_eq!(rules.violated_rule(&ctx(100.0, -2.0, 0.0, Command::DecreaseInsulin)), None);
+        assert_eq!(
+            rules.violated_rule(&ctx(100.0, -2.0, 0.0, Command::DecreaseInsulin)),
+            None
+        );
     }
 
     #[test]
     fn rules_6_to_8_cover_increase_contexts() {
         let rules = ApsRules::default();
-        assert_eq!(rules.violated_rule(&ctx(90.0, -2.0, 0.1, Command::IncreaseInsulin)), Some(6));
-        assert_eq!(rules.violated_rule(&ctx(90.0, -2.0, -0.1, Command::IncreaseInsulin)), Some(7));
-        assert_eq!(rules.violated_rule(&ctx(90.0, -2.0, 0.0, Command::IncreaseInsulin)), Some(8));
+        assert_eq!(
+            rules.violated_rule(&ctx(90.0, -2.0, 0.1, Command::IncreaseInsulin)),
+            Some(6)
+        );
+        assert_eq!(
+            rules.violated_rule(&ctx(90.0, -2.0, -0.1, Command::IncreaseInsulin)),
+            Some(7)
+        );
+        assert_eq!(
+            rules.violated_rule(&ctx(90.0, -2.0, 0.0, Command::IncreaseInsulin)),
+            Some(8)
+        );
         // Increasing insulin while high is the right move.
-        assert_eq!(rules.violated_rule(&ctx(200.0, 2.0, 0.0, Command::IncreaseInsulin)), None);
+        assert_eq!(
+            rules.violated_rule(&ctx(200.0, 2.0, 0.0, Command::IncreaseInsulin)),
+            None
+        );
     }
 
     #[test]
     fn rule9_stop_while_high() {
         let rules = ApsRules::default();
-        assert_eq!(rules.violated_rule(&ctx(200.0, 0.0, 0.0, Command::StopInsulin)), Some(9));
-        assert_eq!(rules.violated_rule(&ctx(100.0, 0.0, 0.0, Command::StopInsulin)), None);
+        assert_eq!(
+            rules.violated_rule(&ctx(200.0, 0.0, 0.0, Command::StopInsulin)),
+            Some(9)
+        );
+        assert_eq!(
+            rules.violated_rule(&ctx(100.0, 0.0, 0.0, Command::StopInsulin)),
+            None
+        );
     }
 
     #[test]
     fn rule10_anything_but_stop_when_hypo() {
         let rules = ApsRules::default();
-        assert_eq!(rules.violated_rule(&ctx(60.0, 0.5, 0.2, Command::KeepInsulin)), Some(10));
-        assert_eq!(rules.violated_rule(&ctx(60.0, 0.5, 0.2, Command::IncreaseInsulin)), Some(10));
-        assert_eq!(rules.violated_rule(&ctx(60.0, 0.5, 0.2, Command::StopInsulin)), None);
+        assert_eq!(
+            rules.violated_rule(&ctx(60.0, 0.5, 0.2, Command::KeepInsulin)),
+            Some(10)
+        );
+        assert_eq!(
+            rules.violated_rule(&ctx(60.0, 0.5, 0.2, Command::IncreaseInsulin)),
+            Some(10)
+        );
+        assert_eq!(
+            rules.violated_rule(&ctx(60.0, 0.5, 0.2, Command::StopInsulin)),
+            None
+        );
     }
 
     #[test]
     fn rules_11_12_keep_contexts() {
         let rules = ApsRules::default();
-        assert_eq!(rules.violated_rule(&ctx(200.0, 2.0, -0.1, Command::KeepInsulin)), Some(11));
-        assert_eq!(rules.violated_rule(&ctx(200.0, 2.0, 0.0, Command::KeepInsulin)), Some(11));
-        assert_eq!(rules.violated_rule(&ctx(90.0, -2.0, 0.1, Command::KeepInsulin)), Some(12));
-        assert_eq!(rules.violated_rule(&ctx(90.0, -2.0, 0.0, Command::KeepInsulin)), Some(12));
+        assert_eq!(
+            rules.violated_rule(&ctx(200.0, 2.0, -0.1, Command::KeepInsulin)),
+            Some(11)
+        );
+        assert_eq!(
+            rules.violated_rule(&ctx(200.0, 2.0, 0.0, Command::KeepInsulin)),
+            Some(11)
+        );
+        assert_eq!(
+            rules.violated_rule(&ctx(90.0, -2.0, 0.1, Command::KeepInsulin)),
+            Some(12)
+        );
+        assert_eq!(
+            rules.violated_rule(&ctx(90.0, -2.0, 0.0, Command::KeepInsulin)),
+            Some(12)
+        );
         // Keep while stable and in range is safe.
-        assert_eq!(rules.violated_rule(&ctx(120.0, 0.0, 0.0, Command::KeepInsulin)), None);
+        assert_eq!(
+            rules.violated_rule(&ctx(120.0, 0.0, 0.0, Command::KeepInsulin)),
+            None
+        );
     }
 
     #[test]
@@ -371,7 +446,12 @@ mod tests {
             for &dbg in &[-2.0, -1e-9, 0.0, 1e-9, 2.0] {
                 for &diob in &[-0.5, -1e-3, -1e-4, 0.0, 1e-4, 1e-3, 0.5] {
                     for command in Command::ALL {
-                        let c = ApsContext { bg, dbg, diob, command };
+                        let c = ApsContext {
+                            bg,
+                            dbg,
+                            diob,
+                            command,
+                        };
                         let direct = rules.violated(&c);
                         let trace = ApsRules::context_trace(&c);
                         let stl = formulas.iter().any(|r| r.formula.satisfied(&trace, 0));
@@ -387,22 +467,42 @@ mod tests {
 
     #[test]
     fn formulas_have_all_twelve_ids() {
-        let ids: Vec<usize> = ApsRules::default().formulas().iter().map(|r| r.id).collect();
+        let ids: Vec<usize> = ApsRules::default()
+            .formulas()
+            .iter()
+            .map(|r| r.id)
+            .collect();
         assert_eq!(ids, (1..=12).collect::<Vec<_>>());
     }
 
     #[test]
     fn command_from_rate_change() {
-        assert_eq!(Command::from_rate_change(0.0, 0.0, 1e-6), Command::StopInsulin);
-        assert_eq!(Command::from_rate_change(1.0, 0.5, 1e-6), Command::IncreaseInsulin);
-        assert_eq!(Command::from_rate_change(1.0, -0.5, 1e-6), Command::DecreaseInsulin);
-        assert_eq!(Command::from_rate_change(1.0, 0.0, 1e-6), Command::KeepInsulin);
+        assert_eq!(
+            Command::from_rate_change(0.0, 0.0, 1e-6),
+            Command::StopInsulin
+        );
+        assert_eq!(
+            Command::from_rate_change(1.0, 0.5, 1e-6),
+            Command::IncreaseInsulin
+        );
+        assert_eq!(
+            Command::from_rate_change(1.0, -0.5, 1e-6),
+            Command::DecreaseInsulin
+        );
+        assert_eq!(
+            Command::from_rate_change(1.0, 0.0, 1e-6),
+            Command::KeepInsulin
+        );
     }
 
     #[test]
     fn hazard_types_match_table() {
         let rules = ApsRules::default().formulas();
-        let h1: Vec<usize> = rules.iter().filter(|r| r.hazard == HazardType::H1).map(|r| r.id).collect();
+        let h1: Vec<usize> = rules
+            .iter()
+            .filter(|r| r.hazard == HazardType::H1)
+            .map(|r| r.id)
+            .collect();
         assert_eq!(h1, vec![6, 7, 8, 10, 12]);
     }
 }

@@ -17,7 +17,12 @@ use std::collections::VecDeque;
 
 /// Sliding-window extrema over `values[t + start ..= t + end]` for every
 /// `t`, in `O(n)`. Positions whose window exceeds the array yield `None`.
-fn window_extremum(values: &[Option<f64>], start: usize, end: usize, maximum: bool) -> Vec<Option<f64>> {
+fn window_extremum(
+    values: &[Option<f64>],
+    start: usize,
+    end: usize,
+    maximum: bool,
+) -> Vec<Option<f64>> {
     let n = values.len();
     let width = end - start + 1;
     let mut out = vec![None; n];
@@ -74,7 +79,11 @@ pub fn robustness_series(phi: &Stl, trace: &SignalTrace) -> Vec<Option<f64>> {
     let n = trace.len();
     match phi {
         Stl::True => vec![Some(f64::INFINITY); n],
-        Stl::Atom { signal, op, threshold } => (0..n)
+        Stl::Atom {
+            signal,
+            op,
+            threshold,
+        } => (0..n)
             .map(|t| trace.value(signal, t).map(|v| op.robustness(v, *threshold)))
             .collect(),
         Stl::Not(inner) => robustness_series(inner, trace)
@@ -89,7 +98,7 @@ pub fn robustness_series(phi: &Stl, trace: &SignalTrace) -> Vec<Option<f64>> {
         Stl::Eventually { start, end, inner } => {
             window_extremum(&robustness_series(inner, trace), *start, *end, true)
         }
-        Stl::Until { start, end, lhs, rhs } => {
+        Stl::Until { .. } => {
             // Until has no simple deque form over arbitrary windows; fall
             // back to the pointwise evaluator for this node (its operands
             // are still shared through the trace).
@@ -220,7 +229,7 @@ mod tests {
     fn big_trace_series_is_consistent() {
         // A longer pseudo-random trace to exercise deque evictions.
         let values: Vec<f64> = (0..500)
-            .map(|i| ((i as f64 * 0.7).sin() * 50.0 + (i % 17) as f64))
+            .map(|i| (i as f64 * 0.7).sin() * 50.0 + (i % 17) as f64)
             .collect();
         let tr = trace(&values);
         let phi = Stl::or(vec![

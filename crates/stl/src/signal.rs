@@ -81,7 +81,9 @@ mod tests {
 
     #[test]
     fn value_lookup() {
-        let t: SignalTrace = [("a", vec![1.0, 2.0]), ("b", vec![3.0])].into_iter().collect();
+        let t: SignalTrace = [("a", vec![1.0, 2.0]), ("b", vec![3.0])]
+            .into_iter()
+            .collect();
         assert_eq!(t.value("a", 0), Some(1.0));
         assert_eq!(t.value("b", 0), Some(3.0));
         assert_eq!(t.value("b", 1), None);
@@ -90,7 +92,9 @@ mod tests {
 
     #[test]
     fn len_is_shortest_signal() {
-        let t: SignalTrace = [("a", vec![1.0, 2.0, 3.0]), ("b", vec![1.0])].into_iter().collect();
+        let t: SignalTrace = [("a", vec![1.0, 2.0, 3.0]), ("b", vec![1.0])]
+            .into_iter()
+            .collect();
         assert_eq!(t.len(), 1);
     }
 

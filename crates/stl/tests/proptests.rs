@@ -31,29 +31,31 @@ fn formula() -> impl Strategy<Value = Stl> {
             inner.clone().prop_map(Stl::not),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Stl::and(vec![a, b])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Stl::or(vec![a, b])),
-            (0usize..2, 0usize..3, inner.clone())
-                .prop_map(|(s, w, f)| Stl::always(s, s + w, f)),
-            (0usize..2, 0usize..3, inner.clone())
-                .prop_map(|(s, w, f)| Stl::eventually(s, s + w, f)),
-            (0usize..2, 0usize..2, inner.clone(), inner)
-                .prop_map(|(s, w, a, b)| Stl::until(s, s + w, a, b)),
+            (0usize..2, 0usize..3, inner.clone()).prop_map(|(s, w, f)| Stl::always(s, s + w, f)),
+            (0usize..2, 0usize..3, inner.clone()).prop_map(|(s, w, f)| Stl::eventually(
+                s,
+                s + w,
+                f
+            )),
+            (0usize..2, 0usize..2, inner.clone(), inner).prop_map(|(s, w, a, b)| Stl::until(
+                s,
+                s + w,
+                a,
+                b
+            )),
         ]
     })
 }
 
 fn context() -> impl Strategy<Value = ApsContext> {
-    (
-        20.0f64..400.0,
-        -10.0f64..10.0,
-        -1.0f64..1.0,
-        0usize..4,
-    )
-        .prop_map(|(bg, dbg, diob, cmd)| ApsContext {
+    (20.0f64..400.0, -10.0f64..10.0, -1.0f64..1.0, 0usize..4).prop_map(|(bg, dbg, diob, cmd)| {
+        ApsContext {
             bg,
             dbg,
             diob,
             command: Command::ALL[cmd],
-        })
+        }
+    })
 }
 
 proptest! {
@@ -134,10 +136,12 @@ proptest! {
     #[test]
     fn series_evaluation_matches_pointwise(phi in formula(), tr in trace(20)) {
         let fast = cpsmon_stl::series::robustness_series(&phi, &tr);
+        #[allow(clippy::needless_range_loop)]
         for t in 0..tr.len() {
             prop_assert_eq!(fast[t], phi.robustness(&tr, t), "t={} phi={}", t, phi);
         }
         let sats = cpsmon_stl::series::satisfaction_series(&phi, &tr);
+        #[allow(clippy::needless_range_loop)]
         for t in 0..tr.len() {
             prop_assert_eq!(sats[t], phi.satisfied(&tr, t), "t={} phi={}", t, phi);
         }

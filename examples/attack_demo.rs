@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..TrainConfig::default()
     };
     let monitor = MonitorKind::Mlp.train(&dataset, &config)?;
-    let model = monitor.as_grad_model().expect("ML monitor is differentiable");
+    let model = monitor
+        .as_grad_model()
+        .expect("ML monitor is differentiable");
     let clean_preds = monitor.predict(&dataset.test);
     let clean_f1 = {
         let r = monitor.evaluate(&dataset.test);

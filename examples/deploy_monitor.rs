@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut file = std::fs::File::create(&path)?;
     net.save(&mut file)?;
-    println!("saved monitor to {} ({} bytes)", path.display(), std::fs::metadata(&path)?.len());
+    println!(
+        "saved monitor to {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
 
     // …and load it back: predictions must be bit-identical.
     let loaded = cpsmon::nn::MlpNet::load(&mut BufReader::new(std::fs::File::open(&path)?))?;
@@ -57,9 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if let Some(rule_id) = rules.explain(&dataset.test.contexts[i]) {
                 explained += 1;
                 if explained <= 3 {
-                    println!(
-                        "alarm at test sample {i}: explainable by Table I rule {rule_id}"
-                    );
+                    println!("alarm at test sample {i}: explainable by Table I rule {rule_id}");
                 }
             }
         }

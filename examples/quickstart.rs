@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lstm_hidden: vec![32, 16],
         ..TrainConfig::default()
     };
-    println!("\n{:<12} {:>6} {:>6} {:>6} {:>6}", "monitor", "ACC", "P", "R", "F1");
+    println!(
+        "\n{:<12} {:>6} {:>6} {:>6} {:>6}",
+        "monitor", "ACC", "P", "R", "F1"
+    );
     for kind in MonitorKind::ALL {
         let monitor = kind.train(&dataset, &config)?;
         let report = monitor.evaluate(&dataset.test);

@@ -25,13 +25,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..TrainConfig::default()
     };
 
-    println!("{:<12} {:<18} {:>10} {:>10}", "monitor", "perturbation", "F1", "rob.err");
+    println!(
+        "{:<12} {:<18} {:>10} {:>10}",
+        "monitor", "perturbation", "F1", "rob.err"
+    );
     for kind in [MonitorKind::Mlp, MonitorKind::MlpCustom] {
         let monitor = kind.train(&dataset, &config)?;
         let model = monitor.as_grad_model().expect("differentiable");
         let clean_preds = monitor.predict(&dataset.test);
         let clean = monitor.evaluate(&dataset.test);
-        println!("{:<12} {:<18} {:>10.3} {:>10.3}", kind.label(), "none", clean.f1(), 0.0);
+        println!(
+            "{:<12} {:<18} {:>10.3} {:>10.3}",
+            kind.label(),
+            "none",
+            clean.f1(),
+            0.0
+        );
         for (i, &sigma) in SIGMA_SWEEP.iter().enumerate() {
             let noisy = GaussianNoise::new(sigma).apply(&dataset.test.x, 7 ^ i as u64);
             let preds = monitor.predict_x(&noisy);

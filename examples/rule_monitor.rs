@@ -18,7 +18,11 @@ use cpsmon_nn::rng::SmallRng;
 fn main() {
     // One 12-hour run with a pump-suspension attack at 10:00.
     let patient = GlucosymPatient::from_profile(0, 42);
-    let fault = FaultPlan { kind: FaultKind::Suspend, start_step: 120, duration_steps: 24 };
+    let fault = FaultPlan {
+        kind: FaultKind::Suspend,
+        start_step: 120,
+        duration_steps: 24,
+    };
     let mut rng = SmallRng::new(5);
     let meals = MealSchedule::generate(144, &mut rng);
     let trace = ClosedLoop::new(

@@ -1,0 +1,339 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build container has no crates.io access, so this shim implements the
+//! subset of the criterion API the workspace's bench targets use:
+//! [`Criterion::bench_function`] with [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], the `sample_size` / `measurement_time` /
+//! `warm_up_time` builders, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Two deliberate differences from the real crate:
+//!
+//! - Statistics are simple (median / mean / min of per-iteration wall time);
+//!   there is no outlier analysis or HTML report.
+//! - Results are printed to stdout **and appended to a JSON snapshot** so
+//!   perf trajectories can be tracked in-repo. The snapshot path is
+//!   `$CPSMON_BENCH_SNAPSHOT` if set, else `BENCH_<bench-name>.json` at the
+//!   workspace root.
+
+use std::time::{Duration, Instant};
+
+/// Batch-size hint of [`Bencher::iter_batched`]; accepted for API
+/// compatibility, the shim times each routine invocation individually
+/// either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; the real crate batches many per allocation.
+    SmallInput,
+    /// Large setup output; the real crate runs one per allocation.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// One benchmark's collected statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// Mean per-iteration time.
+    pub mean_ns: f64,
+    /// Fastest observed iteration.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// The benchmark driver: collects results from every `bench_function` call.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and records its statistics.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut ns = bencher.samples_ns;
+        if ns.is_empty() {
+            ns.push(0.0);
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = ns[ns.len() / 2];
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        let result = BenchResult {
+            name: name.to_string(),
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: ns[0],
+            samples: ns.len(),
+        };
+        println!(
+            "{:<32} median {:>12}  mean {:>12}  min {:>12}  ({} samples)",
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.mean_ns),
+            fmt_ns(result.min_ns),
+            result.samples
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// Collected results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints a footer and writes the JSON snapshot. Called by
+    /// [`criterion_main!`]; `bench_name` and `manifest_dir` are filled in
+    /// from the bench target's build environment.
+    pub fn finalize(&self, bench_name: &str, manifest_dir: &str) {
+        if self.results.is_empty() {
+            return;
+        }
+        let path = snapshot_path(bench_name, manifest_dir);
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"bench\": \"{bench_name}\",\n"));
+        json.push_str("  \"unit\": \"ns/iter\",\n  \"results\": {\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    \"{}\": {{\"median\": {:.0}, \"mean\": {:.0}, \"min\": {:.0}, \"samples\": {}}}{}\n",
+                r.name, r.median_ns, r.mean_ns, r.min_ns, r.samples, comma
+            ));
+        }
+        json.push_str("  }\n}\n");
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("[criterion-shim] snapshot written to {}", path.display()),
+            Err(e) => eprintln!("[criterion-shim] could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Resolves the snapshot path: `$CPSMON_BENCH_SNAPSHOT`, else
+/// `BENCH_<name>.json` in the workspace root (the nearest ancestor of the
+/// bench crate's manifest dir whose `Cargo.toml` declares `[workspace]`).
+fn snapshot_path(bench_name: &str, manifest_dir: &str) -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("CPSMON_BENCH_SNAPSHOT") {
+        return p.into();
+    }
+    let mut dir = std::path::PathBuf::from(manifest_dir);
+    loop {
+        let candidate = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&candidate) {
+            if text.contains("[workspace]") {
+                return dir.join(format!("BENCH_{bench_name}.json"));
+            }
+        }
+        if !dir.pop() {
+            return format!("BENCH_{bench_name}.json").into();
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Handed to the closure of [`Criterion::bench_function`]; runs and times
+/// the benchmarked routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` called back-to-back.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up budget is spent, measuring a rough
+        // per-iteration cost to size the timed batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Size each sample so all samples fit the measurement budget.
+        let budget_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((budget_ns / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up (one run minimum).
+        let warm_start = Instant::now();
+        loop {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Declares a benchmark group: a function running every target against a
+/// configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() -> $crate::Criterion {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+            c
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every group and writing the
+/// JSON snapshot.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                let c = $group();
+                c.finalize(env!("CARGO_CRATE_NAME"), env!("CARGO_MANIFEST_DIR"));
+            )+
+        }
+    };
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = tiny();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].samples, 3);
+        assert!(c.results()[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = tiny();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        assert_eq!(c.results()[0].samples, 3);
+    }
+
+    #[test]
+    fn snapshot_path_prefers_env() {
+        // Not using ThreadsGuard-style locking here: this is the only test
+        // in this crate touching the variable.
+        std::env::set_var("CPSMON_BENCH_SNAPSHOT", "/tmp/snap.json");
+        let p = snapshot_path("x", "/nonexistent");
+        std::env::remove_var("CPSMON_BENCH_SNAPSHOT");
+        assert_eq!(p, std::path::PathBuf::from("/tmp/snap.json"));
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1.2e4), "12.000 µs");
+        assert_eq!(fmt_ns(1.2e7), "12.000 ms");
+        assert_eq!(fmt_ns(1.2e10), "12.000 s");
+    }
+}

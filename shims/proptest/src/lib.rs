@@ -1,0 +1,180 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build container has no access to a crates.io registry, so this shim
+//! provides the subset of the proptest API the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive`, range and tuple strategies, [`collection::vec`],
+//! [`arbitrary::any`], boxed strategies with [`prop_oneof!`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case panics with the usual assertion
+//!   message; inputs are reproducible because generation is fully
+//!   deterministic (seeded from the test's module path and name plus the
+//!   case index), but no minimization is attempted.
+//! - **No persistence.** `*.proptest-regressions` files are ignored.
+//! - The default case count is 64 (override per test with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` or globally with
+//!   the `PROPTEST_CASES` environment variable).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares a block of deterministic random-input tests.
+///
+/// Supported grammar (a subset of the real macro):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]   // optional
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, n in 1usize..10) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $( $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.effective_cases();
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body (panics on failure, like
+/// `assert!` — this shim has no shrinking machinery to report back to).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -2.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_vec(v in crate::collection::vec(0.0f64..1.0, 1..8), seed in any::<u64>()) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+            let _ = seed;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_honored(_x in 0usize..5) {
+            // Body runs; the case count is what with_cases sets.
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(-1.0f64..1.0, 5);
+        let a = Strategy::generate(&strat, &mut crate::test_runner::TestRng::for_case("t", 3));
+        let b = Strategy::generate(&strat, &mut crate::test_runner::TestRng::for_case("t", 3));
+        let c = Strategy::generate(&strat, &mut crate::test_runner::TestRng::for_case("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn oneof_and_recursive_cover_arms() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Expr {
+            Leaf(i64),
+            Not(Box<Expr>),
+        }
+        fn depth(e: &Expr) -> usize {
+            match e {
+                Expr::Leaf(_) => 0,
+                Expr::Not(inner) => 1 + depth(inner),
+            }
+        }
+        let atom = prop_oneof![
+            (0i64..5).prop_map(Expr::Leaf),
+            (5i64..10).prop_map(Expr::Leaf),
+        ];
+        let strat =
+            atom.prop_recursive(3, 8, 1, |inner| inner.prop_map(|e| Expr::Not(Box::new(e))));
+        let mut max_depth = 0;
+        for case in 0..200 {
+            let e = Strategy::generate(
+                &strat,
+                &mut crate::test_runner::TestRng::for_case("rec", case),
+            );
+            max_depth = max_depth.max(depth(&e));
+        }
+        assert!(max_depth >= 1, "recursion never taken");
+        assert!(max_depth <= 3, "depth bound exceeded: {max_depth}");
+    }
+}

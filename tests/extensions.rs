@@ -17,7 +17,9 @@ fn dataset() -> LabeledDataset {
         .fault_ratio(0.6)
         .seed(201)
         .run();
-    DatasetBuilder::new().build(&traces).expect("usable dataset")
+    DatasetBuilder::new()
+        .build(&traces)
+        .expect("usable dataset")
 }
 
 fn quick_config() -> TrainConfig {
@@ -53,7 +55,12 @@ fn fgsm_evades_classical_detectors() {
     let adv = Fgsm::new(0.1).attack(model, &ds.test.x, &ds.test.labels);
     let dbg_col = ds.feature_dim() - FEATURES_PER_STEP + 2;
     // Meal-tolerant tuning (see the detector_evasion experiment).
-    let cusum_proto = Cusum::new(ds.normalizer.mean()[dbg_col], ds.normalizer.std()[dbg_col], 2.5, 10.0);
+    let cusum_proto = Cusum::new(
+        ds.normalizer.mean()[dbg_col],
+        ds.normalizer.std()[dbg_col],
+        2.5,
+        10.0,
+    );
     let inv = InvariantRange::cgm();
     let clean_streams = bg_streams(&ds, &ds.test.x);
     let adv_streams = bg_streams(&ds, &adv);
@@ -76,7 +83,12 @@ fn large_gaussian_noise_is_detectable_but_small_is_not() {
     let ds = dataset();
     let dbg_col = ds.feature_dim() - FEATURES_PER_STEP + 2;
     // Meal-tolerant tuning (see the detector_evasion experiment).
-    let cusum_proto = Cusum::new(ds.normalizer.mean()[dbg_col], ds.normalizer.std()[dbg_col], 2.5, 10.0);
+    let cusum_proto = Cusum::new(
+        ds.normalizer.mean()[dbg_col],
+        ds.normalizer.std()[dbg_col],
+        2.5,
+        10.0,
+    );
     let count_flagged = |x: &cpsmon::nn::Matrix| {
         bg_streams(&ds, x)
             .iter()
@@ -88,7 +100,10 @@ fn large_gaussian_noise_is_detectable_but_small_is_not() {
     };
     let small = count_flagged(&GaussianNoise::new(0.1).apply(&ds.test.x, 5));
     let huge = count_flagged(&GaussianNoise::new(3.0).apply(&ds.test.x, 5));
-    assert!(huge >= small, "detector should flag more at 3·std ({huge}) than at 0.1·std ({small})");
+    assert!(
+        huge >= small,
+        "detector should flag more at 3·std ({huge}) than at 0.1·std ({small})"
+    );
     assert!(huge > 0, "3·std noise should trip the CUSUM somewhere");
 }
 
@@ -146,8 +161,16 @@ fn stuck_sensor_breaks_closed_loop_regulation() {
         start_step: 85,
         duration_steps: 40,
     }));
-    let max_h = healthy.bg_true().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let max_f = faulty.bg_true().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max_h = healthy
+        .bg_true()
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let max_f = faulty
+        .bg_true()
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     assert!(
         max_f > max_h,
         "stuck sensor should worsen the post-meal excursion ({max_f} vs {max_h})"

@@ -15,7 +15,9 @@ fn dataset_for(kind: SimulatorKind, seed: u64) -> LabeledDataset {
         .fault_ratio(0.6)
         .seed(seed)
         .run();
-    DatasetBuilder::new().build(&traces).expect("campaign yields a usable dataset")
+    DatasetBuilder::new()
+        .build(&traces)
+        .expect("campaign yields a usable dataset")
 }
 
 fn quick_config() -> TrainConfig {
@@ -32,8 +34,14 @@ fn quick_config() -> TrainConfig {
 fn full_pipeline_runs_on_both_simulators() {
     for kind in SimulatorKind::ALL {
         let ds = dataset_for(kind, 101);
-        assert!(ds.train.positive_ratio() > 0.02, "{kind}: too few positives");
-        assert!(ds.train.positive_ratio() < 0.98, "{kind}: too few negatives");
+        assert!(
+            ds.train.positive_ratio() > 0.02,
+            "{kind}: too few positives"
+        );
+        assert!(
+            ds.train.positive_ratio() < 0.98,
+            "{kind}: too few negatives"
+        );
         for mk in MonitorKind::ALL {
             let monitor = mk.train(&ds, &quick_config()).unwrap();
             let report = monitor.evaluate(&ds.test);
@@ -41,7 +49,11 @@ fn full_pipeline_runs_on_both_simulators() {
                 report.counts.total() == ds.test.len(),
                 "{kind}/{mk}: metric did not cover every sample"
             );
-            assert!(report.accuracy() > 0.4, "{kind}/{mk}: accuracy {}", report.accuracy());
+            assert!(
+                report.accuracy() > 0.4,
+                "{kind}/{mk}: accuracy {}",
+                report.accuracy()
+            );
         }
     }
 }
@@ -68,7 +80,10 @@ fn fgsm_degrades_monitor_and_respects_budget() {
     // F1 under attack should not exceed clean F1 by much (degradation).
     let clean_f1 = evaluate_predictions(&ds.test, &clean_preds, 6).f1();
     let adv_f1 = evaluate_predictions(&ds.test, &monitor.predict_x(&adv), 6).f1();
-    assert!(adv_f1 <= clean_f1 + 0.05, "attack improved F1: {clean_f1} → {adv_f1}");
+    assert!(
+        adv_f1 <= clean_f1 + 0.05,
+        "attack improved F1: {clean_f1} → {adv_f1}"
+    );
 }
 
 #[test]
@@ -112,7 +127,10 @@ fn semantic_loss_reduces_fgsm_robustness_error() {
     // damp small-sample noise at CI scale.
     let mut base_total = 0.0;
     let mut custom_total = 0.0;
-    for (kind, seed) in [(SimulatorKind::Glucosym, 111), (SimulatorKind::T1ds2013, 113)] {
+    for (kind, seed) in [
+        (SimulatorKind::Glucosym, 111),
+        (SimulatorKind::T1ds2013, 113),
+    ] {
         let ds = dataset_for(kind, seed);
         for (mk, acc) in [
             (MonitorKind::Mlp, &mut base_total),
