@@ -2,12 +2,18 @@
 //! steps, inference, and attack crafting for both monitor architectures.
 
 use cpsmon_attack::{grid_cells, Fgsm};
-use cpsmon_core::{robustness_error, sweep_parallel};
+use cpsmon_core::monitor::MonitorModel;
+use cpsmon_core::{
+    robustness_error, sweep_parallel, FeatureConfig, MonitorKind, MonitorSession, Normalizer,
+    SessionPool, TrainedMonitor,
+};
 use cpsmon_nn::par::ThreadsGuard;
 use cpsmon_nn::rng::SmallRng;
 use cpsmon_nn::{
     init::random_normal, AdamTrainer, GradModel, LstmConfig, LstmNet, Matrix, MlpConfig, MlpNet,
 };
+use cpsmon_sim::StepRecord;
+use cpsmon_stl::{ApsRules, RuleMonitor};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 const BATCH: usize = 128;
@@ -128,9 +134,108 @@ fn bench_sweep(c: &mut Criterion) {
     });
 }
 
+/// A plausible CGM-shaped record stream for the session benches: smooth BG
+/// drift plus sensor jitter, so deltas and rule contexts exercise the same
+/// arithmetic as real traces.
+fn synthetic_records(steps: usize, seed: u64) -> Vec<StepRecord> {
+    let mut rng = SmallRng::new(seed);
+    let mut bg = 140.0;
+    (0..steps)
+        .map(|t| {
+            bg = (bg + 3.0 * rng.normal()).clamp(40.0, 400.0);
+            let rate = (1.0 + rng.normal().abs()).min(5.0);
+            StepRecord {
+                bg_true: bg,
+                bg_sensor: bg + rng.normal(),
+                iob: 1.5 + 0.3 * rng.normal(),
+                commanded_rate: rate,
+                delivered_rate: rate,
+                carbs: if t % 48 == 20 { 45.0 } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// Featurization for the session benches: the paper's 6-step window and a
+/// normalizer fitted on windows built from the same synthetic distribution.
+fn session_featurization() -> (FeatureConfig, Normalizer) {
+    let mut rng = SmallRng::new(8);
+    let fit = random_normal(256, WINDOW * FEATURES, 1.0, &mut rng);
+    (FeatureConfig::default(), Normalizer::fit(&fit))
+}
+
+fn bench_sessions(c: &mut Criterion) {
+    let (cfg, norm) = session_featurization();
+    let records = synthetic_records(512, 9);
+    let monitors = [
+        (
+            "session_step_rule",
+            TrainedMonitor {
+                kind: MonitorKind::RuleBased,
+                model: MonitorModel::Rule(RuleMonitor::new(ApsRules::default())),
+            },
+        ),
+        (
+            "session_step_mlp",
+            TrainedMonitor {
+                kind: MonitorKind::Mlp,
+                model: MonitorModel::Mlp(paper_mlp()),
+            },
+        ),
+        (
+            "session_step_lstm",
+            TrainedMonitor {
+                kind: MonitorKind::Lstm,
+                model: MonitorModel::Lstm(paper_lstm()),
+            },
+        ),
+    ];
+    // Steady-state per-step latency of one live session: window already
+    // full, scratch already warm — each iteration is push + classify.
+    for (name, monitor) in &monitors {
+        let mut session = MonitorSession::new(monitor, cfg, norm.clone());
+        for r in &records[..WINDOW] {
+            session.step(r);
+        }
+        let mut next = WINDOW;
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let v = session.step(&records[next]);
+                next = (next + 1) % records.len();
+                if next == 0 {
+                    next = WINDOW; // skip the refill region on wrap-around
+                }
+                v
+            })
+        });
+    }
+    // A fleet of 1000 concurrent patients: one pool step consumes one
+    // record per session and batches every ready row through a single
+    // forward pass.
+    let (_, mlp_monitor) = &monitors[1];
+    let mut pool = SessionPool::new(mlp_monitor, cfg, norm.clone(), 1000);
+    let mut step_records: Vec<StepRecord> = Vec::with_capacity(1000);
+    let mut next = 0usize;
+    for _ in 0..WINDOW {
+        step_records.clear();
+        step_records.extend((0..1000).map(|s| records[(next + s) % records.len()]));
+        pool.step(&step_records);
+        next += 1;
+    }
+    c.bench_function("session_step_pool1k_mlp", |b| {
+        b.iter(|| {
+            step_records.clear();
+            step_records.extend((0..1000).map(|s| records[(next + s) % records.len()]));
+            let out = pool.step(&step_records);
+            next += 1;
+            out
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_training, bench_inference, bench_attacks, bench_kernels, bench_sweep
+    targets = bench_training, bench_inference, bench_attacks, bench_kernels, bench_sweep, bench_sessions
 }
 criterion_main!(benches);

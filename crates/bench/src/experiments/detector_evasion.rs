@@ -39,20 +39,30 @@ fn bg_streams(sim: &SimContext, x: &Matrix) -> Vec<Vec<f64>> {
         .collect()
 }
 
-/// Fraction of streams flagged by the given detectors.
+/// Fraction of streams flagged by the given detectors, evaluated the way
+/// they would run in deployment: one sample at a time through
+/// [`Cusum::update`] and [`InvariantRange::stream`], no batch buffering.
+/// (Both batch `detects` entry points are thin wrappers over these same
+/// online updates, so the flagged fractions are identical by construction.)
 fn flagged_fraction(streams: &[Vec<f64>], cusum_proto: &Cusum, inv: &InvariantRange) -> (f64, f64) {
     let n = streams.len().max(1) as f64;
     let mut cusum_hits = 0usize;
     let mut inv_hits = 0usize;
     for s in streams {
-        let deltas: Vec<f64> = s.windows(2).map(|w| w[1] - w[0]).collect();
         let mut cusum = cusum_proto.clone();
-        if cusum.detects(&deltas) {
-            cusum_hits += 1;
+        let mut inv_stream = inv.stream();
+        let mut cusum_hit = false;
+        let mut inv_hit = false;
+        let mut prev: Option<f64> = None;
+        for &v in s {
+            if let Some(p) = prev {
+                cusum_hit |= cusum.update(v - p);
+            }
+            prev = Some(v);
+            inv_hit |= inv_stream.update(v);
         }
-        if inv.detects(s) {
-            inv_hits += 1;
-        }
+        cusum_hits += usize::from(cusum_hit);
+        inv_hits += usize::from(inv_hit);
     }
     (cusum_hits as f64 / n, inv_hits as f64 / n)
 }

@@ -4,15 +4,29 @@
 //! The paper plots the per-step signals to show how small the adversarial
 //! deltas are. We emit the BG/IOB/rate series of one positive test window
 //! (in raw clinical units, de-normalized) clean vs attacked, per model.
+//!
+//! The clean window is obtained the way a deployed attacker would see it:
+//! by replaying the source trace step-by-step through a streaming
+//! [`WindowStream`] until the sample's window ends. The streaming
+//! batch-equivalence contract guarantees (and this experiment asserts)
+//! that the replayed window is bit-identical to the batch-built dataset
+//! row.
 
 use crate::context::Context;
 use crate::report::Table;
 use cpsmon_attack::Fgsm;
 use cpsmon_core::features::FEATURES_PER_STEP;
-use cpsmon_core::MonitorKind;
+use cpsmon_core::{MonitorKind, WindowStream};
+use cpsmon_nn::Matrix;
 use cpsmon_sim::SimulatorKind;
 
 /// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if the replayed streaming window disagrees with the batch
+/// dataset row — that would be a violation of the streaming equivalence
+/// contract, not a runtime condition.
 pub fn run(ctx: &Context) -> Table {
     let sim = ctx.sim(SimulatorKind::Glucosym);
     let test = &sim.ds.test;
@@ -21,7 +35,22 @@ pub fn run(ctx: &Context) -> Table {
         .iter()
         .position(|&l| l == 1)
         .expect("test set contains positives");
-    let x = test.x.slice_rows(idx, idx + 1);
+    // Replay the sample's source trace through the online featurizer up to
+    // the window-end step recorded in the dataset.
+    let trace = &sim.traces[test.trace_idx[idx]];
+    let end = test.steps[idx];
+    let mut stream = WindowStream::new(sim.ds.feature_config, sim.ds.normalizer.clone());
+    for rec in &trace.records()[..=end] {
+        stream.push(rec);
+    }
+    assert!(stream.is_ready(), "window must be full at the sample step");
+    let mut x = Matrix::zeros(1, sim.ds.feature_dim());
+    x.row_mut(0).copy_from_slice(stream.window_x());
+    assert_eq!(
+        x.row(0),
+        test.x.row(idx),
+        "streamed window must be bit-identical to the batch dataset row"
+    );
     let mut table = Table::new(
         format!(
             "Fig 7 — example window clean vs FGSM ε=0.2 ({} scale)",

@@ -2,7 +2,7 @@
 //!
 //! The paper's conclusion calls for "a more comprehensive investigation of
 //! robustness testing"; the standard next rung on the white-box ladder is
-//! iterative FGSM / PGD (Kurakin et al., cited as [13]). This experiment
+//! iterative FGSM / PGD (Kurakin et al., cited as \[13\]). This experiment
 //! compares the robustness error of every ML monitor under FGSM and
 //! 10-step PGD at the same ε budget — PGD should dominate, and the
 //! semantic-loss monitors should retain their relative advantage.

@@ -119,12 +119,47 @@ impl InvariantRange {
     }
 
     /// Whether any sample (or step) of `signal` violates the invariant.
+    ///
+    /// This is the batch view over [`InvariantRange::stream`]: it drives a
+    /// fresh [`InvariantStream`] over the signal, so offline and online
+    /// checks share one code path.
     pub fn detects(&self, signal: &[f64]) -> bool {
-        let out_of_range = signal.iter().any(|&v| v < self.lo || v > self.hi);
-        let jump = signal
-            .windows(2)
-            .any(|w| (w[1] - w[0]).abs() > self.max_step);
+        let mut s = self.stream();
+        signal.iter().any(|&v| s.update(v))
+    }
+
+    /// Starts a stateful online checker for one signal.
+    pub fn stream(&self) -> InvariantStream {
+        InvariantStream {
+            inv: *self,
+            prev: None,
+        }
+    }
+}
+
+/// Streaming state for an [`InvariantRange`]: feeds one sample at a time,
+/// remembering the previous sample for the jump check. Used by the online
+/// monitor path; [`InvariantRange::detects`] is the batch wrapper around it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvariantStream {
+    inv: InvariantRange,
+    prev: Option<f64>,
+}
+
+impl InvariantStream {
+    /// Feeds one sample; returns `true` iff it violates the invariant
+    /// (out of `[lo, hi]`, or jumped more than `max_step` since the
+    /// previous sample).
+    pub fn update(&mut self, v: f64) -> bool {
+        let out_of_range = v < self.inv.lo || v > self.inv.hi;
+        let jump = self.prev.is_some_and(|p| (v - p).abs() > self.inv.max_step);
+        self.prev = Some(v);
         out_of_range || jump
+    }
+
+    /// Forgets the previous sample (e.g. at a trace boundary).
+    pub fn reset(&mut self) {
+        self.prev = None;
     }
 }
 
@@ -188,6 +223,32 @@ mod tests {
         let d = InvariantRange::cgm();
         assert!(d.detects(&[100.0, 160.0])); // +60 in one step
         assert!(!d.detects(&[100.0, 120.0, 140.0]));
+    }
+
+    #[test]
+    fn invariant_stream_matches_batch() {
+        let d = InvariantRange::cgm();
+        let signals: [&[f64]; 4] = [
+            &[100.0, 650.0],
+            &[100.0, 160.0],
+            &[100.0, 110.0, 120.0],
+            &[100.0, 120.0, 90.0, 700.0],
+        ];
+        for sig in signals {
+            let mut s = d.stream();
+            let streamed = sig.iter().map(|&v| s.update(v)).collect::<Vec<_>>();
+            assert_eq!(streamed.iter().any(|&a| a), d.detects(sig));
+        }
+    }
+
+    #[test]
+    fn invariant_stream_reset_forgets_prev() {
+        let d = InvariantRange::cgm();
+        let mut s = d.stream();
+        assert!(!s.update(100.0));
+        s.reset();
+        // Without reset this +60 jump would alarm.
+        assert!(!s.update(160.0));
     }
 
     #[test]

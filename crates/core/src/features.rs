@@ -19,11 +19,30 @@
 //! splits back into a sequence.
 
 use cpsmon_nn::Matrix;
-use cpsmon_sim::trace::SimTrace;
+use cpsmon_sim::trace::{SimTrace, StepRecord};
 use cpsmon_stl::{ApsContext, Command};
 
 /// Features per timestep (see the module table).
 pub const FEATURES_PER_STEP: usize = 6;
+
+/// The per-step feature vector `[bg, iob, dbg, diob, rate, drate]` for one
+/// record given its predecessor. This is the single source of truth for the
+/// window layout: batch extraction ([`FeatureConfig::windows`]) and the
+/// streaming path ([`crate::stream::WindowStream`]) both call it, so the two
+/// paths are bit-identical by construction.
+///
+/// For the first record of a trace, pass the record itself as `prev` (all
+/// deltas are then exactly `0.0`).
+pub fn step_features(r: &StepRecord, prev: &StepRecord) -> [f64; FEATURES_PER_STEP] {
+    [
+        r.bg_sensor,
+        r.iob,
+        r.bg_sensor - prev.bg_sensor,
+        r.iob - prev.iob,
+        r.delivered_rate,
+        r.delivered_rate - prev.delivered_rate,
+    ]
+}
 
 /// Whether flattened-window column `col` is sensor-derived (Gaussian noise
 /// applies) as opposed to command-derived.
@@ -96,12 +115,7 @@ impl FeatureConfig {
             for t in start..=end {
                 let r = &records[t];
                 let prev = if t > 0 { &records[t - 1] } else { r };
-                features.push(r.bg_sensor);
-                features.push(r.iob);
-                features.push(r.bg_sensor - prev.bg_sensor);
-                features.push(r.iob - prev.iob);
-                features.push(r.delivered_rate);
-                features.push(r.delivered_rate - prev.delivered_rate);
+                features.extend_from_slice(&step_features(r, prev));
             }
             samples.push(WindowSample {
                 context: self.context_of(&features),
@@ -186,11 +200,18 @@ impl Normalizer {
     pub fn transform(&self, x: &Matrix) -> Matrix {
         let mut out = x.clone();
         for r in 0..out.rows() {
-            for ((v, m), s) in out.row_mut(r).iter_mut().zip(&self.mean).zip(&self.std) {
-                *v = (*v - m) / s;
-            }
+            self.transform_row(out.row_mut(r));
         }
         out
+    }
+
+    /// Normalizes a single sample in place. [`Normalizer::transform`] and the
+    /// streaming path both go through this, so a row normalized online is
+    /// bit-identical to the same row inside a batch.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((v, m), s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+            *v = (*v - m) / s;
+        }
     }
 
     /// Inverts the normalization (for plotting raw-unit figures).

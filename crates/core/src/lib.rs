@@ -42,6 +42,7 @@ pub mod features;
 pub mod metrics;
 pub mod monitor;
 pub mod robustness;
+pub mod stream;
 pub mod train;
 
 pub use dataset::{Dataset, DatasetBuilder, LabeledDataset};
@@ -50,4 +51,5 @@ pub use features::{FeatureConfig, Normalizer, FEATURES_PER_STEP};
 pub use metrics::{ConfusionCounts, EvalReport};
 pub use monitor::{MonitorKind, TrainedMonitor};
 pub use robustness::{robustness_error, sweep_parallel};
+pub use stream::{MonitorSession, SessionPool, Verdict, WindowStream};
 pub use train::TrainConfig;

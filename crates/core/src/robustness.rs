@@ -59,6 +59,13 @@ pub fn model_robustness_error(model: &dyn GradModel, clean: &Matrix, perturbed: 
 /// layer: nested fan-out automatically degrades to inline execution, so
 /// grid-level and batch-level parallelism compose without oversubscription.
 pub fn sweep_parallel<T: Sync, R: Send>(items: &[T], eval: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    if items.len() <= 1 || par::max_threads() <= 1 {
+        // No parallelism to exploit: skip the chunk grid (range vector,
+        // per-chunk result merge) and map directly. Identical output —
+        // per-cell evaluation is independent and run_chunks with a
+        // single-item chunk visits items in the same order.
+        return items.iter().map(&eval).collect();
+    }
     // One item per chunk → the chunk-result list is exactly the item list.
     par::run_chunks(items.len(), 1, |r| eval(&items[r.start]))
 }

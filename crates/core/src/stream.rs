@@ -1,0 +1,541 @@
+//! Streaming monitor sessions: the online inference layer.
+//!
+//! The batch pipeline ([`crate::dataset`] → [`TrainedMonitor::predict`])
+//! evaluates monitors *offline*, over windows extracted from completed
+//! traces. This module provides the deployment form the paper assumes — a
+//! monitor running *inside* the control loop, predicting at every 5-minute
+//! step:
+//!
+//! - [`WindowStream`]: per-patient featurizer state (feature ring buffer,
+//!   incremental `bg/iob/rate` deltas, normalization) that accepts one
+//!   [`StepRecord`] at a time and assembles the same flattened windows the
+//!   batch path builds.
+//! - [`MonitorSession`]: a [`WindowStream`] plus a borrowed
+//!   [`TrainedMonitor`], emitting a [`Verdict`] per step once the window
+//!   fills. ML monitors classify through the reusable-scratch fast path
+//!   ([`cpsmon_nn::MlpNet::predict_proba_scratch`] /
+//!   [`cpsmon_nn::LstmNet::predict_proba_scratch`]), so the steady-state
+//!   per-step cost allocates nothing.
+//! - [`SessionPool`]: many concurrent sessions whose ready rows are batched
+//!   through **one** [`cpsmon_nn::GradModel::predict_proba`] call per step.
+//!
+//! ## Batch-equivalence contract
+//!
+//! Streaming verdicts are **bit-identical** to the batch path over the same
+//! trace. This is by construction, not by tolerance: both paths share the
+//! per-step featurization ([`crate::features::step_features`]), the same
+//! row normalization ([`Normalizer::transform_row`]), and forward kernels
+//! that are row-independent and chunk-transparent (see [`cpsmon_nn::par`]).
+//! The workspace-level `streaming` test suite proves the contract for every
+//! monitor kind and both simulators.
+
+use std::time::{Duration, Instant};
+
+use crate::dataset::LabeledDataset;
+use crate::features::{step_features, FeatureConfig, Normalizer, FEATURES_PER_STEP};
+use crate::monitor::{MonitorModel, TrainedMonitor};
+use cpsmon_nn::{LstmNetScratch, Matrix, MlpScratch};
+use cpsmon_sim::trace::StepRecord;
+use cpsmon_stl::ApsContext;
+
+/// One streaming prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Trace step the verdict's window ends at (0-based).
+    pub step: usize,
+    /// Predicted class (0 safe / 1 unsafe).
+    pub label: usize,
+    /// Predicted probability of the unsafe class. The rule-based monitor is
+    /// not probabilistic; it reports its hard label as 0.0 / 1.0.
+    pub proba: f64,
+    /// Wall-clock cost of producing this verdict: featurization plus
+    /// classification for [`MonitorSession::step`]; for pooled verdicts, the
+    /// whole pool step including the shared batched forward pass.
+    pub latency: Duration,
+}
+
+/// Per-patient streaming featurizer: consumes one [`StepRecord`] at a time
+/// and maintains the most recent flattened feature window, raw and
+/// normalized, exactly as [`FeatureConfig::windows`] would have built it
+/// from the completed trace.
+///
+/// The per-step `bg/iob/rate` deltas are computed incrementally from the
+/// previously pushed record through the shared
+/// [`step_features`] — the same function the batch
+/// extractor applies — so a streamed window is bit-identical to its batch
+/// counterpart.
+#[derive(Debug, Clone)]
+pub struct WindowStream {
+    cfg: FeatureConfig,
+    normalizer: Normalizer,
+    /// Circular buffer of the last `window` per-step feature vectors;
+    /// `head` is the slot the *next* push overwrites (= oldest entry).
+    ring: Vec<[f64; FEATURES_PER_STEP]>,
+    head: usize,
+    filled: usize,
+    prev: Option<StepRecord>,
+    steps_seen: usize,
+    raw: Vec<f64>,
+    x: Vec<f64>,
+}
+
+impl WindowStream {
+    /// Creates a featurizer. `normalizer` must be the one fitted with the
+    /// monitor's training data (see [`LabeledDataset::normalizer`]).
+    pub fn new(cfg: FeatureConfig, normalizer: Normalizer) -> Self {
+        let dim = cfg.window * FEATURES_PER_STEP;
+        Self {
+            cfg,
+            normalizer,
+            ring: vec![[0.0; FEATURES_PER_STEP]; cfg.window],
+            head: 0,
+            filled: 0,
+            prev: None,
+            steps_seen: 0,
+            raw: vec![0.0; dim],
+            x: vec![0.0; dim],
+        }
+    }
+
+    /// Feeds one record. Returns the window-end step once `window` records
+    /// have accumulated (every step from then on), or `None` while the ring
+    /// is still filling.
+    pub fn push(&mut self, rec: &StepRecord) -> Option<usize> {
+        // The batch extractor uses the record itself as "previous" for the
+        // first step of a trace (all deltas exactly 0) — mirror that here.
+        let prev = self.prev.unwrap_or(*rec);
+        self.ring[self.head] = step_features(rec, &prev);
+        self.head = (self.head + 1) % self.ring.len();
+        self.filled = (self.filled + 1).min(self.ring.len());
+        self.prev = Some(*rec);
+        let end = self.steps_seen;
+        self.steps_seen += 1;
+        if self.filled < self.ring.len() {
+            return None;
+        }
+        // Unroll the ring chronologically; after the increment above `head`
+        // points at the oldest entry.
+        for (k, chunk) in self.raw.chunks_exact_mut(FEATURES_PER_STEP).enumerate() {
+            chunk.copy_from_slice(&self.ring[(self.head + k) % self.ring.len()]);
+        }
+        self.x.copy_from_slice(&self.raw);
+        self.normalizer.transform_row(&mut self.x);
+        Some(end)
+    }
+
+    /// The latest complete window in raw units (valid after
+    /// [`push`](Self::push) returned `Some`).
+    pub fn window_raw(&self) -> &[f64] {
+        &self.raw
+    }
+
+    /// The latest complete window, normalized — the monitor-input row.
+    pub fn window_x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Rule context aggregated from the latest complete window (Eq. 2's
+    /// `f(μ(X_t))`), via the same [`FeatureConfig::context_of`] the batch
+    /// path uses.
+    pub fn context(&self) -> ApsContext {
+        self.cfg.context_of(&self.raw)
+    }
+
+    /// Records consumed so far.
+    pub fn steps_seen(&self) -> usize {
+        self.steps_seen
+    }
+
+    /// Whether a complete window is available.
+    pub fn is_ready(&self) -> bool {
+        self.filled == self.ring.len()
+    }
+
+    /// Forgets all state (e.g. at a patient hand-over): the next window
+    /// fills from scratch.
+    pub fn reset(&mut self) {
+        self.head = 0;
+        self.filled = 0;
+        self.prev = None;
+        self.steps_seen = 0;
+    }
+}
+
+/// Reusable classification scratch matching the session's model kind.
+#[derive(Debug, Clone)]
+enum NetScratch {
+    Rule,
+    Mlp(MlpScratch),
+    Lstm(LstmNetScratch),
+}
+
+impl NetScratch {
+    fn for_model(model: &MonitorModel) -> Self {
+        match model {
+            MonitorModel::Rule(_) => NetScratch::Rule,
+            MonitorModel::Mlp(_) => NetScratch::Mlp(MlpScratch::default()),
+            MonitorModel::Lstm(_) => NetScratch::Lstm(LstmNetScratch::default()),
+        }
+    }
+}
+
+/// Row argmax with the same tie-breaking as
+/// [`Matrix::argmax_rows`] (first strictly-greatest element wins), applied
+/// to a single probability row.
+fn argmax_row(row: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// A live monitor attached to one patient stream: per-patient featurizer
+/// state plus a borrowed [`TrainedMonitor`]. Feed it one [`StepRecord`] per
+/// control cycle; once the 6-step window fills it emits a [`Verdict`] per
+/// step whose label and probability are bit-identical to the batch
+/// `predict` path over the same trace.
+///
+/// To observe a running simulation, pass a closure to
+/// [`cpsmon_sim::engine::ClosedLoop::run_observed`]:
+///
+/// ```no_run
+/// # use cpsmon_core::stream::MonitorSession;
+/// # fn demo(mut session: MonitorSession<'_>, sim: cpsmon_sim::ClosedLoop<
+/// #     cpsmon_sim::glucosym::GlucosymPatient, cpsmon_sim::openaps::OpenApsController>) {
+/// let mut verdicts = Vec::new();
+/// sim.run_observed(144, "glucosym", 0, 0, &mut |_step: usize, rec: &_| {
+///     if let Some(v) = session.step(rec) {
+///         verdicts.push(v);
+///     }
+/// });
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonitorSession<'m> {
+    monitor: &'m TrainedMonitor,
+    stream: WindowStream,
+    scratch: NetScratch,
+    xrow: Matrix,
+}
+
+impl<'m> MonitorSession<'m> {
+    /// Creates a session for a monitor with explicit featurization
+    /// parameters.
+    pub fn new(monitor: &'m TrainedMonitor, cfg: FeatureConfig, normalizer: Normalizer) -> Self {
+        let dim = cfg.window * FEATURES_PER_STEP;
+        Self {
+            monitor,
+            stream: WindowStream::new(cfg, normalizer),
+            scratch: NetScratch::for_model(&monitor.model),
+            xrow: Matrix::zeros(1, dim),
+        }
+    }
+
+    /// Creates a session using the featurization the monitor was trained
+    /// with.
+    pub fn for_dataset(monitor: &'m TrainedMonitor, ds: &LabeledDataset) -> Self {
+        Self::new(monitor, ds.feature_config, ds.normalizer.clone())
+    }
+
+    /// The monitor this session wraps.
+    pub fn monitor(&self) -> &'m TrainedMonitor {
+        self.monitor
+    }
+
+    /// The underlying featurizer (e.g. for inspecting the current window).
+    pub fn window(&self) -> &WindowStream {
+        &self.stream
+    }
+
+    /// Feeds one record; returns a verdict once the window is full.
+    pub fn step(&mut self, rec: &StepRecord) -> Option<Verdict> {
+        let t0 = Instant::now();
+        let end = self.stream.push(rec)?;
+        let (label, proba) = match (&self.monitor.model, &mut self.scratch) {
+            (MonitorModel::Rule(m), NetScratch::Rule) => {
+                let label = m.predict(&self.stream.context());
+                (label, label as f64)
+            }
+            (MonitorModel::Mlp(net), NetScratch::Mlp(s)) => {
+                self.xrow.row_mut(0).copy_from_slice(self.stream.window_x());
+                let p = net.predict_proba_scratch(&self.xrow, s);
+                (argmax_row(p.row(0)), p.get(0, 1))
+            }
+            (MonitorModel::Lstm(net), NetScratch::Lstm(s)) => {
+                self.xrow.row_mut(0).copy_from_slice(self.stream.window_x());
+                let p = net.predict_proba_scratch(&self.xrow, s);
+                (argmax_row(p.row(0)), p.get(0, 1))
+            }
+            _ => unreachable!("scratch kind matches model kind by construction"),
+        };
+        Some(Verdict {
+            step: end,
+            label,
+            proba,
+            latency: t0.elapsed(),
+        })
+    }
+
+    /// Resets the featurizer state, keeping the monitor and warm scratch.
+    pub fn reset(&mut self) {
+        self.stream.reset();
+    }
+}
+
+/// Many concurrent [`WindowStream`]s (one per patient) sharing one monitor.
+/// Each [`step`](Self::step) consumes one record per session and classifies
+/// every ready row through a **single** batched
+/// [`cpsmon_nn::GradModel::predict_proba`] call — the serving layout for a fleet of
+/// patients, where per-session forward passes would waste the matmul
+/// kernel's blocking.
+///
+/// Because the forward kernels are row-independent, pooled verdicts are
+/// bit-identical to the same sessions stepped individually.
+pub struct SessionPool<'m> {
+    monitor: &'m TrainedMonitor,
+    streams: Vec<WindowStream>,
+    batch: Matrix,
+    ready: Vec<usize>,
+}
+
+impl<'m> SessionPool<'m> {
+    /// Creates `n` sessions with explicit featurization parameters.
+    pub fn new(
+        monitor: &'m TrainedMonitor,
+        cfg: FeatureConfig,
+        normalizer: Normalizer,
+        n: usize,
+    ) -> Self {
+        Self {
+            monitor,
+            streams: vec![WindowStream::new(cfg, normalizer); n],
+            batch: Matrix::zeros(0, 0),
+            ready: Vec::with_capacity(n),
+        }
+    }
+
+    /// Creates `n` sessions using the featurization the monitor was trained
+    /// with.
+    pub fn for_dataset(monitor: &'m TrainedMonitor, ds: &LabeledDataset, n: usize) -> Self {
+        Self::new(monitor, ds.feature_config, ds.normalizer.clone(), n)
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether the pool has no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// The per-session featurizers (e.g. to reset one patient).
+    pub fn sessions_mut(&mut self) -> &mut [WindowStream] {
+        &mut self.streams
+    }
+
+    /// Advances every session by one record (`records[i]` feeds session
+    /// `i`). Returns one entry per session: `None` while its window is
+    /// filling, otherwise its verdict for this step. All ready rows share
+    /// one batched forward pass and report the same pool-step latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != self.len()`.
+    pub fn step(&mut self, records: &[StepRecord]) -> Vec<Option<Verdict>> {
+        assert_eq!(records.len(), self.streams.len(), "one record per session");
+        let t0 = Instant::now();
+        self.ready.clear();
+        for (i, (stream, rec)) in self.streams.iter_mut().zip(records).enumerate() {
+            if stream.push(rec).is_some() {
+                self.ready.push(i);
+            }
+        }
+        let mut out = vec![None; records.len()];
+        if self.ready.is_empty() {
+            return out;
+        }
+        match &self.monitor.model {
+            MonitorModel::Rule(m) => {
+                for &i in &self.ready {
+                    let stream = &self.streams[i];
+                    let label = m.predict(&stream.context());
+                    out[i] = Some(Verdict {
+                        step: stream.steps_seen() - 1,
+                        label,
+                        proba: label as f64,
+                        latency: t0.elapsed(),
+                    });
+                }
+            }
+            MonitorModel::Mlp(_) | MonitorModel::Lstm(_) => {
+                let model = self
+                    .monitor
+                    .as_grad_model()
+                    .expect("ML monitors are gradient models");
+                let dim = model.input_width();
+                self.batch.reset_shape(self.ready.len(), dim);
+                for (r, &i) in self.ready.iter().enumerate() {
+                    self.batch
+                        .row_mut(r)
+                        .copy_from_slice(self.streams[i].window_x());
+                }
+                let probs = model.predict_proba(&self.batch);
+                let labels = probs.argmax_rows();
+                let latency = t0.elapsed();
+                for (r, &i) in self.ready.iter().enumerate() {
+                    out[i] = Some(Verdict {
+                        step: self.streams[i].steps_seen() - 1,
+                        label: labels[r],
+                        proba: probs.get(r, 1),
+                        latency,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::monitor::MonitorKind;
+    use crate::train::TrainConfig;
+    use cpsmon_sim::{CampaignConfig, SimulatorKind};
+
+    fn dataset() -> (Vec<cpsmon_sim::SimTrace>, LabeledDataset) {
+        let traces = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(2)
+            .runs_per_patient(2)
+            .steps(96)
+            .fault_ratio(0.5)
+            .seed(77)
+            .run();
+        let ds = DatasetBuilder::new().build(&traces).unwrap();
+        (traces, ds)
+    }
+
+    #[test]
+    fn no_verdicts_until_window_fills() {
+        let (traces, ds) = dataset();
+        let monitor = MonitorKind::RuleBased
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
+        let mut session = MonitorSession::for_dataset(&monitor, &ds);
+        let records = traces[0].records();
+        for (t, rec) in records.iter().enumerate() {
+            let verdict = session.step(rec);
+            if t + 1 < ds.feature_config.window {
+                assert!(verdict.is_none(), "premature verdict at step {t}");
+            } else {
+                let v = verdict.expect("window full");
+                assert_eq!(v.step, t);
+                assert!(v.label <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn session_matches_batch_on_one_trace() {
+        let (traces, ds) = dataset();
+        let monitor = MonitorKind::Mlp
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
+        let trace = &traces[0];
+        let labels = ds.hazard_config.labels(trace);
+        let windows = ds.feature_config.windows(trace, &labels, 0);
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for w in &windows {
+            rows.push(w.features.clone());
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let x = ds.normalizer.transform(&Matrix::from_rows(&refs));
+        let batch_labels = monitor.predict_x(&x);
+        let batch_probs = monitor.as_grad_model().unwrap().predict_proba(&x);
+
+        let mut session = MonitorSession::for_dataset(&monitor, &ds);
+        let mut k = 0;
+        for rec in trace.records() {
+            if let Some(v) = session.step(rec) {
+                assert_eq!(v.step, windows[k].step);
+                assert_eq!(v.label, batch_labels[k], "label at window {k}");
+                assert_eq!(v.proba, batch_probs.get(k, 1), "proba bits at window {k}");
+                k += 1;
+            }
+        }
+        assert_eq!(k, windows.len());
+    }
+
+    #[test]
+    fn pool_matches_individual_sessions() {
+        let (traces, ds) = dataset();
+        let monitor = MonitorKind::Lstm
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
+        let n = traces.len();
+        let steps = traces.iter().map(|t| t.len()).min().unwrap();
+        let mut pool = SessionPool::for_dataset(&monitor, &ds, n);
+        let mut singles: Vec<MonitorSession<'_>> = (0..n)
+            .map(|_| MonitorSession::for_dataset(&monitor, &ds))
+            .collect();
+        for t in 0..steps {
+            let records: Vec<StepRecord> = traces.iter().map(|trace| trace.records()[t]).collect();
+            let pooled = pool.step(&records);
+            for (i, rec) in records.iter().enumerate() {
+                let single = singles[i].step(rec);
+                match (pooled[i], single) {
+                    (Some(p), Some(s)) => {
+                        assert_eq!(p.step, s.step);
+                        assert_eq!(p.label, s.label, "session {i} step {t}");
+                        assert_eq!(p.proba, s.proba, "session {i} step {t} proba bits");
+                    }
+                    (None, None) => {}
+                    other => panic!("readiness mismatch at session {i} step {t}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_handles_staggered_sessions() {
+        let (traces, ds) = dataset();
+        let monitor = MonitorKind::RuleBased
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
+        let mut pool = SessionPool::for_dataset(&monitor, &ds, 2);
+        let records = traces[0].records();
+        // Stagger: session 1 joins 3 steps late via a reset.
+        for (t, rec) in records.iter().take(10).enumerate() {
+            if t == 3 {
+                pool.sessions_mut()[1].reset();
+            }
+            let out = pool.step(&[*rec, *rec]);
+            let w = ds.feature_config.window;
+            assert_eq!(out[0].is_some(), t + 1 >= w);
+            if t >= 3 {
+                assert_eq!(out[1].is_some(), t - 3 + 1 >= w);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_reset_refills_window() {
+        let (traces, ds) = dataset();
+        let mut ws = WindowStream::new(ds.feature_config, ds.normalizer.clone());
+        let records = traces[0].records();
+        for rec in &records[..ds.feature_config.window] {
+            ws.push(rec);
+        }
+        assert!(ws.is_ready());
+        ws.reset();
+        assert!(!ws.is_ready());
+        assert_eq!(ws.steps_seen(), 0);
+        assert_eq!(ws.push(&records[0]), None);
+    }
+}

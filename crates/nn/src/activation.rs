@@ -44,8 +44,16 @@ pub fn tanh(x: &Matrix) -> Matrix {
 /// Each row of the result sums to 1.
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
-    for r in 0..out.rows() {
-        let row = out.row_mut(r);
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// [`softmax_rows`] applied in place (allocation-free variant for the
+/// scratch-buffer prediction path — both share this implementation, so the
+/// results are bit-identical).
+pub fn softmax_rows_inplace(logits: &mut Matrix) {
+    for r in 0..logits.rows() {
+        let row = logits.row_mut(r);
         let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mut sum = 0.0;
         for v in row.iter_mut() {
@@ -56,7 +64,6 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
             *v /= sum;
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -68,9 +68,9 @@ pub use error::NnError;
 pub use gru::Gru;
 pub use gru_net::{GruConfig, GruNet};
 pub use loss::SemanticLoss;
-pub use lstm::Lstm;
-pub use lstm_net::{LstmConfig, LstmNet};
+pub use lstm::{Lstm, LstmScratch};
+pub use lstm_net::{LstmConfig, LstmNet, LstmNetScratch};
 pub use matrix::Matrix;
-pub use mlp_net::{MlpConfig, MlpNet};
+pub use mlp_net::{MlpConfig, MlpNet, MlpScratch};
 pub use model::GradModel;
 pub use serialize::LoadError;

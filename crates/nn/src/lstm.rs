@@ -5,10 +5,56 @@
 //! is initialized to 1.0, the usual trick to avoid vanishing cell gradients
 //! early in training.
 
-use crate::activation::{sigmoid, tanh};
+use crate::activation::{sigmoid, sigmoid_scalar, tanh};
 use crate::init::xavier_uniform;
 use crate::matrix::Matrix;
 use crate::rng::SmallRng;
+
+/// Reusable buffers for [`Lstm::forward_only_into`]: the fused-gate
+/// pre-activation `z`, the running cell state `c`, and the zero initial
+/// hidden state. After the first call with a given batch size, subsequent
+/// calls allocate nothing.
+#[derive(Debug, Clone)]
+pub struct LstmScratch {
+    z: Matrix,
+    c: Matrix,
+    h0: Matrix,
+}
+
+impl Default for LstmScratch {
+    fn default() -> Self {
+        Self {
+            z: Matrix::zeros(0, 0),
+            c: Matrix::zeros(0, 0),
+            h0: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+/// Advances the LSTM state one timestep from the fused pre-activation `z`
+/// (`N × 4H`, gate order `[i, f, g, o]`), updating `c` in place and writing
+/// the new hidden state into `h`.
+///
+/// Element-wise this computes exactly `c ← f⊙c + i⊙g; h ← o⊙tanh(c)` with
+/// the same operation order as the gate-matrix formulation, so every
+/// forward path funnelled through here produces identical bits.
+fn step_state(z: &Matrix, c: &mut Matrix, h: &mut Matrix, h_dim: usize) {
+    for r in 0..c.rows() {
+        let zr = z.row(r);
+        let hr = h.row_mut(r);
+        // `c` and `h` are distinct matrices, so the two mutable row borrows
+        // cannot alias; split the statements to satisfy the borrow checker.
+        for (j, cv) in c.row_mut(r).iter_mut().enumerate() {
+            let i = sigmoid_scalar(zr[j]);
+            let f = sigmoid_scalar(zr[h_dim + j]);
+            let g = zr[2 * h_dim + j].tanh();
+            let o = sigmoid_scalar(zr[3 * h_dim + j]);
+            let c_new = f * *cv + i * g;
+            *cv = c_new;
+            hr[j] = o * c_new.tanh();
+        }
+    }
+}
 
 /// One LSTM layer (`input_dim → hidden_dim`).
 #[derive(Debug, Clone, PartialEq)]
@@ -138,33 +184,55 @@ impl Lstm {
     /// Forward pass that keeps only the per-step hidden states — the
     /// prediction path. Skips every backward-cache clone (`x`, `h_prev`,
     /// `c_prev`, the gate activations) that [`forward`](Self::forward)
-    /// must retain.
+    /// must retain. Thin wrapper over
+    /// [`forward_only_into`](Self::forward_only_into), so batch and
+    /// streaming predictions share one code path.
     ///
     /// # Panics
     ///
     /// Panics if `xs` is empty or any step has the wrong width.
     pub fn forward_only(&self, xs: &[Matrix]) -> Vec<Matrix> {
+        let mut hs = Vec::new();
+        let mut scratch = LstmScratch::default();
+        self.forward_only_into(xs, &mut hs, &mut scratch);
+        hs
+    }
+
+    /// [`forward_only`](Self::forward_only) writing the per-step hidden
+    /// states into caller-owned buffers. `hs` is resized to `xs.len()`
+    /// matrices of shape `N × hidden`; with a warm `scratch` and correctly
+    /// sized `hs` no allocation occurs — the per-step latency path for
+    /// streaming monitor sessions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or any step has the wrong width.
+    pub fn forward_only_into(
+        &self,
+        xs: &[Matrix],
+        hs: &mut Vec<Matrix>,
+        scratch: &mut LstmScratch,
+    ) {
         assert!(!xs.is_empty(), "LSTM forward needs at least one timestep");
         let n = xs[0].rows();
         let h_dim = self.hidden_dim;
-        let mut h = Matrix::zeros(n, h_dim);
-        let mut c = Matrix::zeros(n, h_dim);
-        let mut hs = Vec::with_capacity(xs.len());
-        let mut z = Matrix::zeros(n, 4 * h_dim);
-        for x in xs {
+        hs.resize_with(xs.len(), || Matrix::zeros(0, 0));
+        scratch.z.reset_shape(n, 4 * h_dim);
+        scratch.c.reset_shape(n, h_dim);
+        scratch.c.map_inplace(|_| 0.0);
+        scratch.h0.reset_shape(n, h_dim);
+        scratch.h0.map_inplace(|_| 0.0);
+        for (t, x) in xs.iter().enumerate() {
             assert_eq!(x.cols(), self.input_dim, "timestep width mismatch");
             assert_eq!(x.rows(), n, "timestep batch-size mismatch");
-            x.matmul_add_bias_into(&self.wx, &self.b, &mut z);
-            h.matmul_acc(&self.wh, &mut z);
-            let i = sigmoid(&z.slice_cols(0, h_dim));
-            let f = sigmoid(&z.slice_cols(h_dim, 2 * h_dim));
-            let g = tanh(&z.slice_cols(2 * h_dim, 3 * h_dim));
-            let o = sigmoid(&z.slice_cols(3 * h_dim, 4 * h_dim));
-            c = &f.hadamard(&c) + &i.hadamard(&g);
-            h = o.hadamard(&tanh(&c));
-            hs.push(h.clone());
+            x.matmul_add_bias_into(&self.wx, &self.b, &mut scratch.z);
+            let (done, todo) = hs.split_at_mut(t);
+            let h_prev = if t == 0 { &scratch.h0 } else { &done[t - 1] };
+            h_prev.matmul_acc(&self.wh, &mut scratch.z);
+            let h_t = &mut todo[0];
+            h_t.reset_shape(n, h_dim);
+            step_state(&scratch.z, &mut scratch.c, h_t, h_dim);
         }
-        hs
     }
 
     /// BPTT backward pass.
@@ -449,5 +517,28 @@ mod tests {
     fn forward_rejects_empty_sequence() {
         let lstm = Lstm::new(2, 3, &mut SmallRng::new(7));
         let _ = lstm.forward(&[]);
+    }
+
+    #[test]
+    fn forward_only_matches_cached_forward() {
+        let mut rng = SmallRng::new(8);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let xs: Vec<Matrix> = (0..6).map(|_| random_normal(2, 3, 1.0, &mut rng)).collect();
+        let (hs, _) = lstm.forward(&xs);
+        assert_eq!(lstm.forward_only(&xs), hs);
+    }
+
+    #[test]
+    fn warm_scratch_stays_bit_identical() {
+        let mut rng = SmallRng::new(9);
+        let lstm = Lstm::new(3, 4, &mut rng);
+        let a: Vec<Matrix> = (0..4).map(|_| random_normal(2, 3, 1.0, &mut rng)).collect();
+        let b: Vec<Matrix> = (0..4).map(|_| random_normal(2, 3, 1.0, &mut rng)).collect();
+        let mut hs = Vec::new();
+        let mut scratch = LstmScratch::default();
+        lstm.forward_only_into(&a, &mut hs, &mut scratch);
+        // Second pass through the now-dirty scratch must match a fresh run.
+        lstm.forward_only_into(&b, &mut hs, &mut scratch);
+        assert_eq!(hs, lstm.forward_only(&b));
     }
 }

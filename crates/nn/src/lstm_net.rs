@@ -11,14 +11,38 @@
 //! input representation across both monitor architectures so the attack
 //! toolkit can perturb either through the same [`GradModel`] interface.
 
+use crate::activation::softmax_rows_inplace;
 use crate::adam::AdamTrainer;
 use crate::dense::Dense;
 use crate::loss::{cross_entropy, softmax_ce_grad, SemanticLoss};
-use crate::lstm::Lstm;
+use crate::lstm::{Lstm, LstmScratch};
 use crate::matrix::Matrix;
 use crate::model::GradModel;
 use crate::par;
 use crate::rng::SmallRng;
+
+/// Reusable forward buffers for [`LstmNet::predict_proba_scratch`]: the
+/// split input timesteps, each layer's hidden-state sequence, per-layer
+/// [`LstmScratch`]es, and the logits. After the first call with a given
+/// batch size, subsequent calls allocate nothing.
+#[derive(Debug, Clone)]
+pub struct LstmNetScratch {
+    steps: Vec<Matrix>,
+    seqs: Vec<Vec<Matrix>>,
+    layers: Vec<LstmScratch>,
+    logits: Matrix,
+}
+
+impl Default for LstmNetScratch {
+    fn default() -> Self {
+        Self {
+            steps: Vec::new(),
+            seqs: Vec::new(),
+            layers: Vec::new(),
+            logits: Matrix::zeros(0, 0),
+        }
+    }
+}
 
 /// Configuration for [`LstmNet::new`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -212,6 +236,57 @@ impl LstmNet {
         }
         let last_h = seq.pop().expect("at least one timestep");
         self.head.forward(&last_h)
+    }
+
+    /// Class probabilities through caller-owned scratch buffers — the
+    /// single-row/small-batch prediction fast path used by streaming
+    /// monitor sessions. Runs the same kernels as the batch path
+    /// ([`Lstm::forward_only_into`], [`Dense::forward_into`],
+    /// [`softmax_rows_inplace`]) so the result is bit-identical to
+    /// [`predict_proba`](GradModel::predict_proba) on the same rows, but
+    /// performs no allocation once the scratch is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != timesteps · feature_dim`.
+    pub fn predict_proba_scratch<'s>(
+        &self,
+        x: &Matrix,
+        scratch: &'s mut LstmNetScratch,
+    ) -> &'s Matrix {
+        assert_eq!(
+            x.cols(),
+            self.timesteps * self.feature_dim,
+            "input width mismatch: expected {}·{}",
+            self.timesteps,
+            self.feature_dim
+        );
+        let n = x.rows();
+        scratch
+            .steps
+            .resize_with(self.timesteps, || Matrix::zeros(0, 0));
+        for (t, step) in scratch.steps.iter_mut().enumerate() {
+            step.reset_shape(n, self.feature_dim);
+            x.slice_cols_into(t * self.feature_dim, (t + 1) * self.feature_dim, step);
+        }
+        scratch.seqs.resize_with(self.lstms.len(), Vec::new);
+        scratch
+            .layers
+            .resize_with(self.lstms.len(), LstmScratch::default);
+        for (i, lstm) in self.lstms.iter().enumerate() {
+            let (done, todo) = scratch.seqs.split_at_mut(i);
+            let input: &[Matrix] = if i == 0 { &scratch.steps } else { &done[i - 1] };
+            lstm.forward_only_into(input, &mut todo[0], &mut scratch.layers[i]);
+        }
+        let last_h = scratch
+            .seqs
+            .last()
+            .and_then(|seq| seq.last())
+            .expect("at least one layer and timestep");
+        scratch.logits.reset_shape(n, self.classes);
+        self.head.forward_into(last_h, &mut scratch.logits);
+        softmax_rows_inplace(&mut scratch.logits);
+        &scratch.logits
     }
 
     /// Seed gradient for the stacked backward passes: only the last timestep
@@ -507,5 +582,21 @@ mod tests {
         let net = tiny_net(12);
         let x = Matrix::zeros(1, 11);
         let _ = net.predict_proba(&x);
+    }
+
+    #[test]
+    fn scratch_path_bit_identical_to_batch() {
+        let net = tiny_net(13);
+        let x = random_normal(5, 12, 1.0, &mut SmallRng::new(14));
+        let batch = net.predict_proba(&x);
+        let mut scratch = LstmNetScratch::default();
+        for r in 0..x.rows() {
+            let row = x.slice_rows(r, r + 1);
+            let p = net.predict_proba_scratch(&row, &mut scratch);
+            assert_eq!(p.as_slice(), batch.row(r), "row {r} diverged");
+        }
+        let sub = x.slice_rows(1, 4);
+        let p = net.predict_proba_scratch(&sub, &mut scratch);
+        assert_eq!(p.as_slice(), batch.slice_rows(1, 4).as_slice());
     }
 }

@@ -260,17 +260,52 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > cols`.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, end.saturating_sub(start));
+        self.slice_cols_into(start, end, &mut out);
+        out
+    }
+
+    /// [`slice_cols`](Self::slice_cols) writing into a caller-owned buffer
+    /// of shape `rows × (end − start)` (scratch-reuse variant for the
+    /// streaming prediction path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`, `end > cols`, or `out` has the wrong shape.
+    pub fn slice_cols_into(&self, start: usize, end: usize, out: &mut Matrix) {
         assert!(
             start <= end && end <= self.cols,
             "invalid col range {start}..{end} for {} cols",
             self.cols
         );
-        let mut out = Matrix::zeros(self.rows, end - start);
+        assert_eq!(
+            out.shape(),
+            (self.rows, end - start),
+            "output shape mismatch"
+        );
         for r in 0..self.rows {
             let src = &self.row(r)[start..end];
             out.row_mut(r).copy_from_slice(src);
         }
-        out
+    }
+
+    /// Reshapes this matrix to `rows × cols`, reusing the existing buffer
+    /// when the element count is unchanged. The contents are unspecified
+    /// afterwards — intended for scratch buffers that the next kernel fully
+    /// overwrites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows · cols` overflows `usize`.
+    pub fn reset_shape(&mut self, rows: usize, cols: usize) {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        if self.data.len() != len {
+            self.data.resize(len, 0.0);
+        }
+        self.rows = rows;
+        self.cols = cols;
     }
 
     /// Writes `block` into columns `[start, start + block.cols())`.

@@ -6,7 +6,7 @@
 //! variant adds the semantic-loss term (Eq. 2) through the optional
 //! indicator argument of [`MlpNet::train_batch`].
 
-use crate::activation::{relu, relu_grad_mask, relu_inplace, softmax_rows};
+use crate::activation::{relu, relu_grad_mask, relu_inplace, softmax_rows, softmax_rows_inplace};
 use crate::adam::AdamTrainer;
 use crate::dense::{Dense, DenseGrads};
 use crate::loss::{cross_entropy, softmax_ce_grad, SemanticLoss};
@@ -38,6 +38,14 @@ impl MlpConfig {
             seed: 0,
         }
     }
+}
+
+/// Reusable per-layer activation buffers for
+/// [`MlpNet::predict_proba_scratch`]. After the first call with a given
+/// batch size, subsequent calls allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    acts: Vec<Matrix>,
 }
 
 /// A feed-forward softmax classifier with ReLU hidden layers.
@@ -128,6 +136,39 @@ impl MlpNet {
             }
         }
         cur
+    }
+
+    /// Class probabilities through caller-owned scratch buffers — the
+    /// single-row/small-batch prediction fast path used by streaming
+    /// monitor sessions. Runs the same kernels as the batch path
+    /// ([`Dense::forward_into`], [`relu_inplace`], [`softmax_rows_inplace`])
+    /// so the result is bit-identical to
+    /// [`predict_proba`](GradModel::predict_proba) on the same rows, but
+    /// performs no allocation once the scratch is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the network input width.
+    pub fn predict_proba_scratch<'s>(&self, x: &Matrix, scratch: &'s mut MlpScratch) -> &'s Matrix {
+        assert_eq!(x.cols(), self.layers[0].input_dim(), "input width mismatch");
+        let n = x.rows();
+        let last = self.layers.len() - 1;
+        scratch
+            .acts
+            .resize_with(self.layers.len(), || Matrix::zeros(0, 0));
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (done, todo) = scratch.acts.split_at_mut(i);
+            let input = if i == 0 { x } else { &done[i - 1] };
+            let out = &mut todo[0];
+            out.reset_shape(n, layer.output_dim());
+            layer.forward_into(input, out);
+            if i != last {
+                relu_inplace(out);
+            }
+        }
+        let probs = &mut scratch.acts[last];
+        softmax_rows_inplace(probs);
+        probs
     }
 
     /// Forward pass caching layer inputs and hidden pre-activations.
@@ -431,5 +472,24 @@ mod tests {
         let net = tiny_net(10);
         let x = Matrix::zeros(1, 3);
         let _ = net.predict_proba(&x);
+    }
+
+    #[test]
+    fn scratch_path_bit_identical_to_batch() {
+        let net = tiny_net(13);
+        let x = random_normal(7, 4, 1.0, &mut SmallRng::new(14));
+        let batch = net.predict_proba(&x);
+        let mut scratch = MlpScratch::default();
+        // Row by row through the reused scratch: every probability must
+        // match the batch result bit for bit.
+        for r in 0..x.rows() {
+            let row = x.slice_rows(r, r + 1);
+            let p = net.predict_proba_scratch(&row, &mut scratch);
+            assert_eq!(p.as_slice(), batch.row(r), "row {r} diverged");
+        }
+        // And a small multi-row batch through the same scratch.
+        let sub = x.slice_rows(2, 6);
+        let p = net.predict_proba_scratch(&sub, &mut scratch);
+        assert_eq!(p.as_slice(), batch.slice_rows(2, 6).as_slice());
     }
 }

@@ -17,6 +17,25 @@ use crate::trace::{SimTrace, StepRecord};
 /// physiology, like a real pump's fixed duration-of-insulin-action setting.
 const PUMP_IOB_TAU_MIN: f64 = 120.0;
 
+/// A monitor-in-the-loop hook: invoked by
+/// [`ClosedLoop::run_observed`] after each step is recorded, with exactly
+/// the [`StepRecord`] the trace will contain. A streaming safety monitor
+/// implements this to watch (and later mitigate) a run *while* it executes
+/// instead of post-processing the finished trace.
+///
+/// Any `FnMut(usize, &StepRecord)` closure works via the blanket impl.
+pub trait StepObserver {
+    /// Called once per step, after the record is produced and before the
+    /// patient state advances. `step` is the 0-based step index.
+    fn on_step(&mut self, step: usize, record: &StepRecord);
+}
+
+impl<F: FnMut(usize, &StepRecord)> StepObserver for F {
+    fn on_step(&mut self, step: usize, record: &StepRecord) {
+        self(step, record)
+    }
+}
+
 /// A ready-to-run closed loop over one patient.
 pub struct ClosedLoop<P, C> {
     patient: P,
@@ -45,12 +64,39 @@ impl<P: PatientModel, C: Controller> ClosedLoop<P, C> {
     }
 
     /// Runs `steps` steps and returns the recorded trace.
+    ///
+    /// Delegates to [`run_observed`](Self::run_observed) with a no-op
+    /// observer, so observed and unobserved runs execute the identical
+    /// simulation path and produce bit-identical traces.
     pub fn run(
+        self,
+        steps: usize,
+        simulator: &'static str,
+        patient_id: usize,
+        run_id: usize,
+    ) -> SimTrace {
+        self.run_observed(
+            steps,
+            simulator,
+            patient_id,
+            run_id,
+            &mut |_: usize, _: &StepRecord| {},
+        )
+    }
+
+    /// Runs `steps` steps, invoking `observer` after each step is recorded
+    /// (monitor-in-the-loop), and returns the recorded trace.
+    ///
+    /// The observer sees each [`StepRecord`] within the same control cycle,
+    /// before the patient state advances — the deployment position of a
+    /// run-time safety monitor.
+    pub fn run_observed(
         mut self,
         steps: usize,
         simulator: &'static str,
         patient_id: usize,
         run_id: usize,
+        observer: &mut dyn StepObserver,
     ) -> SimTrace {
         let controller_name = self.controller.name();
         let fault = self.pump.fault().copied();
@@ -84,6 +130,7 @@ impl<P: PatientModel, C: Controller> ClosedLoop<P, C> {
                 delivered_rate: delivered,
                 carbs,
             };
+            observer.on_step(step, &record);
             self.patient.step(delivered, carbs);
             for _ in 0..SUBSTEPS {
                 pump_iob.advance_minute(delivered / 60.0 * (STEP_MINUTES / SUBSTEPS as f64));
@@ -209,5 +256,26 @@ mod tests {
         let a = loop_for(None, 7);
         let b = loop_for(None, 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run() {
+        let plain = loop_for(None, 3);
+        let patient = GlucosymPatient::from_profile(0, 42);
+        let controller = OpenApsController::new();
+        let mut rng = SmallRng::new(3);
+        let meals = MealSchedule::generate(144, &mut rng.fork(1));
+        let cgm = Cgm::typical(rng.fork(2));
+        let mut seen: Vec<(usize, StepRecord)> = Vec::new();
+        let observed = ClosedLoop::new(patient, controller, InsulinPump::healthy(), cgm, meals)
+            .run_observed(144, "glucosym", 0, 0, &mut |step: usize, r: &StepRecord| {
+                seen.push((step, *r));
+            });
+        assert_eq!(observed, plain);
+        assert_eq!(seen.len(), 144);
+        for (i, (step, rec)) in seen.iter().enumerate() {
+            assert_eq!(*step, i);
+            assert_eq!(rec, &observed.records()[i]);
+        }
     }
 }

@@ -61,7 +61,7 @@ pub mod trace;
 
 pub use campaign::{CampaignConfig, SimulatorKind};
 pub use controller::{Controller, Observation};
-pub use engine::ClosedLoop;
+pub use engine::{ClosedLoop, StepObserver};
 pub use fault::{FaultKind, FaultPlan};
 pub use hazard::{HazardConfig, HazardEpisode};
 pub use patient::{PatientModel, TherapyProfile};

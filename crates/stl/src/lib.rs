@@ -40,7 +40,7 @@ pub mod series;
 pub mod signal;
 
 pub use ast::{CmpOp, Stl};
-pub use monitor::RuleMonitor;
+pub use monitor::{RuleMonitor, RuleStream};
 pub use parse::{parse, ParseError};
 pub use rules::{ApsContext, ApsRules, Command, HazardType, SafetyRule};
 pub use signal::SignalTrace;

@@ -9,6 +9,7 @@
 //! it has no access to patient-specific dynamics.
 
 use crate::rules::{ApsContext, ApsRules};
+use cpsmon_nn::par;
 
 /// A stateless rule-based anomaly detector over [`ApsContext`]s.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -33,13 +34,121 @@ impl RuleMonitor {
     }
 
     /// Batch prediction over many contexts.
+    ///
+    /// Large batches are split into fixed [`RULE_CHUNK`]-sized chunks
+    /// evaluated in parallel over [`cpsmon_nn::par`] and re-assembled in
+    /// chunk order. Rule evaluation is per-context, so the chunk grid is
+    /// bit-transparent: the result is identical to the serial map for any
+    /// `CPSMON_THREADS`. Batches of at most one chunk skip the fan-out
+    /// entirely.
     pub fn predict_batch(&self, ctxs: &[ApsContext]) -> Vec<usize> {
-        ctxs.iter().map(|c| self.predict(c)).collect()
+        if ctxs.len() <= RULE_CHUNK {
+            return ctxs.iter().map(|c| self.predict(c)).collect();
+        }
+        let chunks = par::run_chunks(ctxs.len(), RULE_CHUNK, |r| {
+            ctxs[r].iter().map(|c| self.predict(c)).collect::<Vec<_>>()
+        });
+        let mut out = Vec::with_capacity(ctxs.len());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
     }
 
     /// Explains a prediction: the id of the rule that fired, if any.
     pub fn explain(&self, ctx: &ApsContext) -> Option<usize> {
         self.rules.violated_rule(ctx)
+    }
+
+    /// Starts an incremental evaluator for a stream of contexts (the
+    /// online deployment form of this monitor).
+    pub fn stream(&self) -> RuleStream {
+        RuleStream {
+            monitor: *self,
+            steps: 0,
+            violations: 0,
+            streak: 0,
+            longest_streak: 0,
+            last_fired: None,
+        }
+    }
+}
+
+/// Contexts per parallel chunk in [`RuleMonitor::predict_batch`]. Rule
+/// evaluation is a few dozen float comparisons, so chunks must be large for
+/// the fan-out to beat its overhead.
+pub const RULE_CHUNK: usize = 4096;
+
+/// Incremental [`RuleMonitor`] evaluation over a streaming sequence of
+/// [`ApsContext`]s — one context per closed-loop step. Tracks the running
+/// statistics an online deployment needs (violation counts, consecutive
+/// streaks, the most recent fired rule) while delegating every verdict to
+/// the same [`RuleMonitor::predict`]/[`RuleMonitor::explain`] the batch
+/// path uses, so streamed labels are bit-identical to batch labels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuleStream {
+    monitor: RuleMonitor,
+    steps: usize,
+    violations: usize,
+    streak: usize,
+    longest_streak: usize,
+    last_fired: Option<usize>,
+}
+
+impl RuleStream {
+    /// Feeds one context; returns its label (1 = unsafe).
+    pub fn push(&mut self, ctx: &ApsContext) -> usize {
+        self.steps += 1;
+        let fired = self.monitor.explain(ctx);
+        if let Some(rule) = fired {
+            self.last_fired = Some(rule);
+            self.violations += 1;
+            self.streak += 1;
+            self.longest_streak = self.longest_streak.max(self.streak);
+            1
+        } else {
+            self.streak = 0;
+            0
+        }
+    }
+
+    /// Contexts seen so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Contexts flagged unsafe so far.
+    pub fn violations(&self) -> usize {
+        self.violations
+    }
+
+    /// Fraction of contexts flagged unsafe (0 when nothing was pushed).
+    pub fn violation_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.steps as f64
+        }
+    }
+
+    /// Length of the current run of consecutive violations.
+    pub fn streak(&self) -> usize {
+        self.streak
+    }
+
+    /// Longest run of consecutive violations seen so far.
+    pub fn longest_streak(&self) -> usize {
+        self.longest_streak
+    }
+
+    /// Id of the most recently fired rule, if any fired yet.
+    pub fn last_fired(&self) -> Option<usize> {
+        self.last_fired
+    }
+
+    /// Clears all running statistics (e.g. at a patient hand-over).
+    pub fn reset(&mut self) {
+        *self = self.monitor.stream();
     }
 }
 
@@ -92,5 +201,72 @@ mod tests {
             },
         ];
         assert_eq!(m.predict_batch(&ctxs), vec![1, 0]);
+    }
+
+    fn synthetic_ctxs(n: usize) -> Vec<ApsContext> {
+        (0..n)
+            .map(|i| ApsContext {
+                bg: 40.0 + (i % 50) as f64 * 5.0,
+                dbg: ((i % 11) as f64 - 5.0) / 2.0,
+                diob: ((i % 7) as f64 - 3.0) / 10.0,
+                command: match i % 4 {
+                    0 => Command::StopInsulin,
+                    1 => Command::DecreaseInsulin,
+                    2 => Command::KeepInsulin,
+                    _ => Command::IncreaseInsulin,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_batch_bit_identical_to_serial() {
+        let m = RuleMonitor::default();
+        let ctxs = synthetic_ctxs(3 * RULE_CHUNK + 17);
+        let serial: Vec<usize> = ctxs.iter().map(|c| m.predict(c)).collect();
+        for threads in [1, 2, 5] {
+            let _guard = cpsmon_nn::par::ThreadsGuard::set(threads);
+            assert_eq!(m.predict_batch(&ctxs), serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn stream_labels_match_batch() {
+        let m = RuleMonitor::default();
+        let ctxs = synthetic_ctxs(500);
+        let batch = m.predict_batch(&ctxs);
+        let mut s = m.stream();
+        let streamed: Vec<usize> = ctxs.iter().map(|c| s.push(c)).collect();
+        assert_eq!(streamed, batch);
+        assert_eq!(s.steps(), 500);
+        assert_eq!(s.violations(), batch.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn stream_tracks_streaks_and_reset() {
+        let m = RuleMonitor::default();
+        let bad = ApsContext {
+            bg: 200.0,
+            dbg: 3.0,
+            diob: -0.1,
+            command: Command::DecreaseInsulin,
+        };
+        let good = ApsContext {
+            bg: 120.0,
+            dbg: 0.0,
+            diob: 0.0,
+            command: Command::KeepInsulin,
+        };
+        let mut s = m.stream();
+        for ctx in [&bad, &bad, &good, &bad] {
+            s.push(ctx);
+        }
+        assert_eq!(s.longest_streak(), 2);
+        assert_eq!(s.streak(), 1);
+        assert_eq!(s.last_fired(), Some(1));
+        assert!((s.violation_rate() - 0.75).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.steps(), 0);
+        assert_eq!(s.last_fired(), None);
     }
 }

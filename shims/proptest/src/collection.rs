@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// Length specification for [`vec`]: a fixed length or a half-open range.
+/// Length specification for [`vec()`]: a fixed length or a half-open range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SizeRange {
     lo: usize,

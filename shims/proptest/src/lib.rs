@@ -3,7 +3,7 @@
 //!
 //! The build container has no access to a crates.io registry, so this shim
 //! provides the subset of the proptest API the workspace's property tests
-//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! use: the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_flat_map` /
 //! `prop_recursive`, range and tuple strategies, [`collection::vec`],
 //! [`arbitrary::any`], boxed strategies with [`prop_oneof!`], and the
 //! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.

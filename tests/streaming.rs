@@ -1,0 +1,223 @@
+//! Streaming-equivalence property suite: online [`MonitorSession`] /
+//! [`SessionPool`] verdicts must be **bit-identical** to the batch
+//! prediction path, for every monitor of Table III and both simulators —
+//! plus round-trip persistence checks for trained networks.
+
+use std::io::BufReader;
+
+use cpsmon::core::monitor::MonitorModel;
+use cpsmon::core::{
+    DatasetBuilder, LabeledDataset, MonitorKind, MonitorSession, SessionPool, TrainConfig,
+};
+use cpsmon::nn::{GradModel, LstmNet, Matrix, MlpNet};
+use cpsmon::sim::meal::MealSchedule;
+use cpsmon::sim::pump::InsulinPump;
+use cpsmon::sim::{CampaignConfig, Cgm, ClosedLoop, SimTrace, SimulatorKind, StepRecord};
+
+fn campaign(kind: SimulatorKind, seed: u64) -> Vec<SimTrace> {
+    CampaignConfig::new(kind)
+        .patients(2)
+        .runs_per_patient(2)
+        .steps(96)
+        .fault_ratio(0.5)
+        .seed(seed)
+        .run()
+}
+
+fn dataset_for(kind: SimulatorKind, seed: u64) -> (Vec<SimTrace>, LabeledDataset) {
+    let traces = campaign(kind, seed);
+    let ds = DatasetBuilder::new()
+        .build(&traces)
+        .expect("campaign yields a usable dataset");
+    (traces, ds)
+}
+
+/// Batch ground truth for one trace: normalized windows, window-end steps,
+/// and rule contexts, built exactly as the dataset pipeline does.
+fn batch_windows(
+    ds: &LabeledDataset,
+    trace: &SimTrace,
+) -> (Matrix, Vec<usize>, Vec<cpsmon::stl::ApsContext>) {
+    let labels = ds.hazard_config.labels(trace);
+    let windows = ds.feature_config.windows(trace, &labels, 0);
+    let rows: Vec<&[f64]> = windows.iter().map(|w| w.features.as_slice()).collect();
+    let x = ds.normalizer.transform(&Matrix::from_rows(&rows));
+    let steps = windows.iter().map(|w| w.step).collect();
+    let contexts = windows.iter().map(|w| w.context).collect();
+    (x, steps, contexts)
+}
+
+/// The tentpole contract: for every monitor kind and both simulators,
+/// replaying a trace record-by-record through a [`MonitorSession`] yields
+/// the same verdict sequence — labels always, probabilities to the bit for
+/// the ML monitors — as the batch pipeline over the same windows.
+#[test]
+fn streaming_verdicts_bit_identical_to_batch_everywhere() {
+    for (kind, seed) in [
+        (SimulatorKind::Glucosym, 201),
+        (SimulatorKind::T1ds2013, 203),
+    ] {
+        let (traces, ds) = dataset_for(kind, seed);
+        for mk in MonitorKind::ALL {
+            let monitor = mk.train(&ds, &TrainConfig::quick_test()).unwrap();
+            for trace in &traces {
+                let (x, steps, contexts) = batch_windows(&ds, trace);
+                let batch_labels: Vec<usize> = match (&monitor.model, monitor.as_grad_model()) {
+                    (_, Some(model)) => model.predict_labels(&x),
+                    (MonitorModel::Rule(m), None) => {
+                        contexts.iter().map(|c| m.predict(c)).collect()
+                    }
+                    _ => unreachable!("non-rule monitors are gradient models"),
+                };
+                let batch_probs = monitor.as_grad_model().map(|m| m.predict_proba(&x));
+                let mut session = MonitorSession::for_dataset(&monitor, &ds);
+                let mut k = 0;
+                for rec in trace.records() {
+                    if let Some(v) = session.step(rec) {
+                        assert_eq!(v.step, steps[k], "{kind}/{mk}: window-end step");
+                        assert_eq!(v.label, batch_labels[k], "{kind}/{mk}: label at {k}");
+                        if let Some(p) = &batch_probs {
+                            assert_eq!(v.proba, p.get(k, 1), "{kind}/{mk}: proba bits at {k}");
+                        }
+                        k += 1;
+                    }
+                }
+                assert_eq!(k, steps.len(), "{kind}/{mk}: verdict count");
+            }
+        }
+    }
+}
+
+/// Pooled serving: many sessions sharing one batched forward pass per step
+/// must agree to the bit with the same sessions stepped individually.
+#[test]
+fn session_pool_bit_identical_to_individual_sessions() {
+    let (traces, ds) = dataset_for(SimulatorKind::T1ds2013, 205);
+    for mk in [MonitorKind::Mlp, MonitorKind::Lstm] {
+        let monitor = mk.train(&ds, &TrainConfig::quick_test()).unwrap();
+        let n = traces.len();
+        let steps = traces.iter().map(SimTrace::len).min().unwrap();
+        let mut pool = SessionPool::for_dataset(&monitor, &ds, n);
+        let mut singles: Vec<MonitorSession<'_>> = (0..n)
+            .map(|_| MonitorSession::for_dataset(&monitor, &ds))
+            .collect();
+        for t in 0..steps {
+            let records: Vec<StepRecord> = traces.iter().map(|tr| tr.records()[t]).collect();
+            let pooled = pool.step(&records);
+            for (i, rec) in records.iter().enumerate() {
+                match (pooled[i], singles[i].step(rec)) {
+                    (Some(p), Some(s)) => {
+                        assert_eq!(p.step, s.step, "{mk}: session {i} step {t}");
+                        assert_eq!(p.label, s.label, "{mk}: session {i} step {t}");
+                        assert_eq!(p.proba, s.proba, "{mk}: session {i} step {t} proba bits");
+                    }
+                    (None, None) => {}
+                    other => panic!("{mk}: readiness mismatch at session {i} step {t}: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Monitor-in-the-loop: a session fed live from
+/// [`ClosedLoop::run_observed`] sees the same records (and so emits the
+/// same verdicts) as a post-hoc replay of the finished trace, and the
+/// observed run's trace is bit-identical to an unobserved run.
+#[test]
+fn monitor_in_the_loop_matches_post_hoc_replay() {
+    let (_, ds) = dataset_for(SimulatorKind::Glucosym, 207);
+    let monitor = MonitorKind::Mlp
+        .train(&ds, &TrainConfig::quick_test())
+        .unwrap();
+
+    let build = || {
+        let patient = cpsmon::sim::glucosym::GlucosymPatient::from_profile(0, 42);
+        let controller = cpsmon::sim::openaps::OpenApsController::new();
+        let mut rng = cpsmon::nn::rng::SmallRng::new(11);
+        let meals = MealSchedule::generate(96, &mut rng.fork(1));
+        let cgm = Cgm::typical(rng.fork(2));
+        ClosedLoop::new(patient, controller, InsulinPump::healthy(), cgm, meals)
+    };
+    let plain = build().run(96, "glucosym", 0, 0);
+
+    let mut live = MonitorSession::for_dataset(&monitor, &ds);
+    let mut live_verdicts = Vec::new();
+    let observed = build().run_observed(
+        96,
+        "glucosym",
+        0,
+        0,
+        &mut |_step: usize, rec: &StepRecord| {
+            if let Some(v) = live.step(rec) {
+                live_verdicts.push(v);
+            }
+        },
+    );
+    assert_eq!(observed, plain, "observing must not perturb the simulation");
+
+    let mut replay = MonitorSession::for_dataset(&monitor, &ds);
+    let replay_verdicts: Vec<_> = observed
+        .records()
+        .iter()
+        .filter_map(|rec| replay.step(rec))
+        .collect();
+    assert_eq!(live_verdicts.len(), replay_verdicts.len());
+    for (l, r) in live_verdicts.iter().zip(&replay_verdicts) {
+        assert_eq!(l.step, r.step);
+        assert_eq!(l.label, r.label);
+        assert_eq!(
+            l.proba, r.proba,
+            "live vs replay proba bits at step {}",
+            l.step
+        );
+    }
+}
+
+/// A *trained* MLP survives a save/load round trip with bit-identical
+/// predictions on the full test set.
+#[test]
+fn trained_mlp_roundtrips_bit_identically() {
+    let (_, ds) = dataset_for(SimulatorKind::Glucosym, 209);
+    let monitor = MonitorKind::MlpCustom
+        .train(&ds, &TrainConfig::quick_test())
+        .unwrap();
+    let MonitorModel::Mlp(net) = &monitor.model else {
+        panic!("MlpCustom wraps an MLP network");
+    };
+    let mut buf = Vec::new();
+    net.save(&mut buf).unwrap();
+    let loaded = MlpNet::load(&mut BufReader::new(buf.as_slice())).unwrap();
+    assert_eq!(
+        net.predict_proba(&ds.test.x),
+        loaded.predict_proba(&ds.test.x),
+        "probabilities must round-trip to the bit"
+    );
+    assert_eq!(
+        net.predict_labels(&ds.test.x),
+        loaded.predict_labels(&ds.test.x)
+    );
+}
+
+/// Same round-trip guarantee for a *trained* stacked LSTM.
+#[test]
+fn trained_lstm_roundtrips_bit_identically() {
+    let (_, ds) = dataset_for(SimulatorKind::T1ds2013, 211);
+    let monitor = MonitorKind::Lstm
+        .train(&ds, &TrainConfig::quick_test())
+        .unwrap();
+    let MonitorModel::Lstm(net) = &monitor.model else {
+        panic!("Lstm wraps an LSTM network");
+    };
+    let mut buf = Vec::new();
+    net.save(&mut buf).unwrap();
+    let loaded = LstmNet::load(&mut BufReader::new(buf.as_slice())).unwrap();
+    assert_eq!(
+        net.predict_proba(&ds.test.x),
+        loaded.predict_proba(&ds.test.x),
+        "probabilities must round-trip to the bit"
+    );
+    assert_eq!(
+        net.predict_labels(&ds.test.x),
+        loaded.predict_labels(&ds.test.x)
+    );
+}
