@@ -95,6 +95,33 @@ impl SubstituteAttack {
         let labels = target.predict_labels(attack_x); // query access only
         Fgsm::new(epsilon).attack(&substitute, attack_x, &labels)
     }
+
+    /// Multi-ε variant of [`craft`](Self::craft) for sweep drivers: trains
+    /// the substitute **once**, queries the target's labels on `attack_x`
+    /// **once**, runs **one** backward pass on the substitute, and
+    /// materializes every ε from the shared sign matrix. Each returned
+    /// batch is bit-identical to `craft(target, query_x, attack_x, ε)` —
+    /// [`Fgsm::attack`] is the same [`crate::fgsm::grad_sign`] +
+    /// [`crate::fgsm::apply_sign`] composition — at `1/E` of the training
+    /// and gradient cost for `E` budgets.
+    ///
+    /// Also returns the substitute's agreement rate on the query set.
+    pub fn craft_sweep(
+        &self,
+        target: &dyn GradModel,
+        query_x: &Matrix,
+        attack_x: &Matrix,
+        epsilons: &[f64],
+    ) -> (Vec<Matrix>, f64) {
+        let (substitute, agreement) = self.train_substitute(target, query_x);
+        let labels = target.predict_labels(attack_x); // query access only
+        let sign = crate::fgsm::grad_sign(&substitute, attack_x, &labels);
+        let batches = epsilons
+            .iter()
+            .map(|&eps| crate::fgsm::apply_sign(attack_x, &sign, eps))
+            .collect();
+        (batches, agreement)
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +190,24 @@ mod tests {
         assert!(flips > 0, "transfer attack flipped nothing");
         // And the perturbation respects the L∞ budget.
         assert!((&adv - &attack_points).max_abs() <= 0.6 + 1e-12);
+    }
+
+    #[test]
+    fn craft_sweep_matches_craft_per_epsilon() {
+        let queries = sample_inputs(150, 8);
+        let attack_points = sample_inputs(30, 9);
+        let atk = SubstituteAttack::new();
+        let epsilons = [0.01, 0.1, 0.2];
+        let (batches, agreement) = atk.craft_sweep(&Threshold, &queries, &attack_points, &epsilons);
+        assert_eq!(batches.len(), epsilons.len());
+        assert!((0.0..=1.0).contains(&agreement));
+        for (adv, &eps) in batches.iter().zip(&epsilons) {
+            assert_eq!(
+                *adv,
+                atk.craft(&Threshold, &queries, &attack_points, eps),
+                "ε = {eps} drifted from the one-shot pipeline"
+            );
+        }
     }
 
     #[test]

@@ -40,25 +40,17 @@ impl Fgsm {
     /// labels (the paper's setting: the attacker maximizes the loss against
     /// the true class).
     ///
+    /// Composed as [`grad_sign`] (one backward pass, ε-independent)
+    /// followed by [`apply_sign`] (the cheap `x + ε·S` step) — the exact
+    /// decomposition the amortized sweep engine
+    /// ([`SweepContext`](crate::SweepContext)) reuses, which is what makes
+    /// cached-vs-direct bit-identity hold by construction.
+    ///
     /// # Panics
     ///
     /// Panics if `labels.len() != x.rows()`.
     pub fn attack(&self, model: &dyn GradModel, x: &Matrix, labels: &[usize]) -> Matrix {
-        assert_eq!(labels.len(), x.rows(), "label count mismatch");
-        // Each fixed-size chunk is crafted independently (possibly on its own
-        // worker thread). The per-chunk gradient differs from the whole-batch
-        // gradient only by a positive scale (the 1/N of the mean loss), which
-        // the sign step erases — so chunking is exactly transparent.
-        par::map_rows(x, GRAD_CHUNK, |r, chunk| {
-            let grad = model.input_gradient(chunk, &labels[r]);
-            let mut adv = chunk.clone();
-            for row in 0..adv.rows() {
-                for (c, v) in adv.row_mut(row).iter_mut().enumerate() {
-                    *v += self.epsilon * grad.get(row, c).signum();
-                }
-            }
-            adv
-        })
+        apply_sign(x, &grad_sign(model, x, labels), self.epsilon)
     }
 
     /// Crafts adversarial examples using the model's *own predictions* as
@@ -69,6 +61,53 @@ impl Fgsm {
         let preds = model.predict_labels(x);
         self.attack(model, x, &preds)
     }
+}
+
+/// The ε-independent half of FGSM: the sign matrix `S = sign(∇_x J(x, ȳ))`
+/// of the loss gradient. One backward pass per `GRAD_CHUNK` rows — this is
+/// where essentially all of the attack's cost lives, so a multi-ε sweep
+/// should compute it once and reuse it via [`apply_sign`].
+///
+/// Each fixed-size chunk is crafted independently (possibly on its own
+/// worker thread). The per-chunk gradient differs from the whole-batch
+/// gradient only by a positive scale (the 1/N of the mean loss), which the
+/// sign step erases — so chunking is exactly transparent.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != x.rows()`.
+pub fn grad_sign(model: &dyn GradModel, x: &Matrix, labels: &[usize]) -> Matrix {
+    assert_eq!(labels.len(), x.rows(), "label count mismatch");
+    par::map_rows(x, GRAD_CHUNK, |r, chunk| {
+        let mut sign = model.input_gradient(chunk, &labels[r]);
+        sign.map_inplace(f64::signum);
+        sign
+    })
+}
+
+/// The cheap per-ε half of FGSM: `x + ε·S` element-wise, where `S` is a
+/// sign matrix from [`grad_sign`]. The per-element expression is exactly
+/// the one the fused attack historically evaluated (`v + ε·sign(g)`), so
+/// composing the two halves is bit-identical to a direct attack.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or ε is negative or non-finite.
+pub fn apply_sign(x: &Matrix, sign: &Matrix, epsilon: f64) -> Matrix {
+    assert!(
+        epsilon.is_finite() && epsilon >= 0.0,
+        "epsilon must be finite and non-negative"
+    );
+    assert_eq!(
+        (x.rows(), x.cols()),
+        (sign.rows(), sign.cols()),
+        "sign matrix shape mismatch"
+    );
+    let mut adv = x.clone();
+    for (v, &s) in adv.as_mut_slice().iter_mut().zip(sign.as_slice()) {
+        *v += epsilon * s;
+    }
+    adv
 }
 
 #[cfg(test)]

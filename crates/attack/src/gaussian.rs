@@ -41,23 +41,66 @@ impl GaussianNoise {
     /// Each row draws from its own counter-derived RNG stream (seeded from
     /// `seed` and the global row index), so the result is a pure function of
     /// `(x, seed)` no matter how rows are chunked across worker threads.
+    ///
+    /// Composed as [`unit_noise`] (the seed-determined unit-variance field,
+    /// where all the RNG cost lives) followed by [`apply_unit_noise`] (the
+    /// cheap `x + σ⊙Z` step). A multi-σ sweep over one seed reuses the same
+    /// `Z` — the amortization [`SweepContext`](crate::SweepContext) performs —
+    /// and `normal_with(0, σ) = 0 + σ·normal()` factors exactly, so the
+    /// composition is bit-identical to the historical fused draw.
     pub fn apply(&self, x: &Matrix, seed: u64) -> Matrix {
-        let base = seed ^ 0x6761_7573_7369_616e;
-        par::map_rows(x, NOISE_CHUNK, |range, chunk| {
-            let mut out = chunk.clone();
-            for (local, global) in range.enumerate() {
-                let mut rng = SmallRng::new(
-                    base.wrapping_add((global as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                );
-                for (c, v) in out.row_mut(local).iter_mut().enumerate() {
-                    if is_sensor_column(c) {
-                        *v += rng.normal_with(0.0, self.sigma_factor);
-                    }
+        apply_unit_noise(x, &unit_noise(x.rows(), x.cols(), seed), self.sigma_factor)
+    }
+}
+
+/// The σ-independent half of the noise model: a `rows × cols` field `Z`
+/// with `N(0, 1)` draws in every sensor column and exact zeros in command
+/// columns, drawn from the same counter-derived per-row streams as
+/// [`GaussianNoise::apply`].
+pub fn unit_noise(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let base = seed ^ 0x6761_7573_7369_616e;
+    par::map_rows(&Matrix::zeros(rows, cols), NOISE_CHUNK, |range, chunk| {
+        let mut out = chunk.clone();
+        for (local, global) in range.enumerate() {
+            let mut rng = SmallRng::new(
+                base.wrapping_add((global as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            for (c, v) in out.row_mut(local).iter_mut().enumerate() {
+                if is_sensor_column(c) {
+                    *v += rng.normal_with(0.0, 1.0);
                 }
             }
-            out
-        })
+        }
+        out
+    })
+}
+
+/// The cheap per-σ half of the noise model: `x + σ·Z` on sensor columns,
+/// with command columns copied bit-untouched (matching the fused path,
+/// which never writes them).
+///
+/// # Panics
+///
+/// Panics if the shapes differ or σ is negative or non-finite.
+pub fn apply_unit_noise(x: &Matrix, z: &Matrix, sigma: f64) -> Matrix {
+    assert!(
+        sigma.is_finite() && sigma >= 0.0,
+        "sigma must be finite and non-negative"
+    );
+    assert_eq!(
+        (x.rows(), x.cols()),
+        (z.rows(), z.cols()),
+        "noise field shape mismatch"
+    );
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        for (c, v) in out.row_mut(r).iter_mut().enumerate() {
+            if is_sensor_column(c) {
+                *v += sigma * z.get(r, c);
+            }
+        }
     }
+    out
 }
 
 #[cfg(test)]

@@ -58,4 +58,4 @@ pub use blackbox::SubstituteAttack;
 pub use fgsm::Fgsm;
 pub use gaussian::GaussianNoise;
 pub use pgd::Pgd;
-pub use sweep::{grid_cells, Perturbation, EPSILON_SWEEP, SIGMA_SWEEP};
+pub use sweep::{grid_cells, Perturbation, SweepContext, EPSILON_SWEEP, SIGMA_SWEEP};

@@ -1,9 +1,14 @@
 //! The perturbation-strength sweeps used across the paper's figures, plus
 //! a uniform [`Perturbation`] cell type so sweep drivers can fan the whole
-//! σ×ε grid out to data-parallel workers.
+//! σ×ε grid out to data-parallel workers, and the amortized sweep engine
+//! ([`SweepContext`]) that shares the expensive per-batch inputs — the
+//! loss-gradient sign matrix and the unit-variance noise fields — across
+//! every cell of the grid.
 
-use crate::{Fgsm, GaussianNoise};
+use crate::{fgsm, gaussian, Fgsm, GaussianNoise};
 use cpsmon_nn::{GradModel, Matrix};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Gaussian σ factors (fractions of feature std) of Fig. 5, 6 and 9.
 pub const SIGMA_SWEEP: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
@@ -72,6 +77,170 @@ pub fn grid_cells(noise_seed: u64) -> Vec<Perturbation> {
     cells
 }
 
+/// Amortized sweep engine: computes each expensive per-batch input of a
+/// robustness grid **exactly once** and materializes every cell as a cheap
+/// scale-and-clamp pass.
+///
+/// A grid of `E` FGSM budgets and `S` Gaussian strengths over a fixed
+/// `(model, x, labels)` costs `E` backward passes and (with per-σ seeds)
+/// `S` full RNG fields when each cell is evaluated directly. But the
+/// backward pass is ε-independent (`x + ε·S` with `S = sign(∇_x J)`), and
+/// a Gaussian field factors through a unit draw (`x + σ·Z` with
+/// `Z ~ N(0,1)` on sensor columns) — so the context caches:
+///
+/// - the sign matrix, in a [`OnceLock`] (one [`fgsm::grad_sign`] call ever);
+/// - one unit field per distinct seed, in a keyed cache
+///   (one [`gaussian::unit_noise`] call per seed);
+/// - the model's clean predicted labels (for drivers that score flips).
+///
+/// [`materialize`](Self::materialize) then reduces every cell to an
+/// element-wise axpy. Because [`Fgsm::attack`] and [`GaussianNoise::apply`]
+/// are themselves composed of the *same* two halves, a materialized cell is
+/// **bit-identical to the direct attack by construction** — there is no
+/// second code path to drift.
+///
+/// The context is `Sync`: after [`prepare`](Self::prepare) (or a first
+/// serial pass), concurrent workers only read the caches, so a grid can be
+/// fanned out with [`cpsmon_core::sweep_parallel`] via
+/// [`sweep`](Self::sweep).
+pub struct SweepContext<'a> {
+    model: Option<&'a dyn GradModel>,
+    x: &'a Matrix,
+    labels: &'a [usize],
+    sign: OnceLock<Matrix>,
+    clean: OnceLock<Vec<usize>>,
+    noise: Mutex<HashMap<u64, Arc<Matrix>>>,
+}
+
+impl<'a> SweepContext<'a> {
+    /// Creates a context for sweeping perturbations of `(x, labels)`
+    /// against `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != x.rows()`.
+    pub fn new(model: &'a dyn GradModel, x: &'a Matrix, labels: &'a [usize]) -> Self {
+        assert_eq!(labels.len(), x.rows(), "label count mismatch");
+        Self {
+            model: Some(model),
+            x,
+            labels,
+            sign: OnceLock::new(),
+            clean: OnceLock::new(),
+            noise: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Creates a model-free context that can only materialize Gaussian
+    /// cells (for noise-only sweeps over monitors without gradients).
+    pub fn noise_only(x: &'a Matrix) -> Self {
+        Self {
+            model: None,
+            x,
+            labels: &[],
+            sign: OnceLock::new(),
+            clean: OnceLock::new(),
+            noise: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The clean batch the context perturbs.
+    pub fn x(&self) -> &Matrix {
+        self.x
+    }
+
+    /// The loss-gradient sign matrix, computed on first use and cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`noise_only`](Self::noise_only) context.
+    pub fn grad_sign(&self) -> &Matrix {
+        self.sign.get_or_init(|| {
+            let model = self
+                .model
+                .expect("a noise-only SweepContext cannot materialize FGSM cells");
+            fgsm::grad_sign(model, self.x, self.labels)
+        })
+    }
+
+    /// The model's predictions on the clean batch, computed on first use
+    /// and cached — sweep drivers score every cell against these, so they
+    /// too should be paid for once.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`noise_only`](Self::noise_only) context.
+    pub fn clean_labels(&self) -> &[usize] {
+        self.clean.get_or_init(|| {
+            let model = self
+                .model
+                .expect("a noise-only SweepContext has no model to predict with");
+            model.predict_labels(self.x)
+        })
+    }
+
+    /// The unit-variance noise field for `seed`, drawn on first use and
+    /// cached per seed.
+    ///
+    /// Drawing happens under the cache lock (so each seed is drawn exactly
+    /// once even under concurrent access); call [`prepare`](Self::prepare)
+    /// before fanning a grid out to avoid serializing first draws behind
+    /// the lock.
+    pub fn unit_noise(&self, seed: u64) -> Arc<Matrix> {
+        let mut cache = self.noise.lock().unwrap();
+        cache
+            .entry(seed)
+            .or_insert_with(|| Arc::new(gaussian::unit_noise(self.x.rows(), self.x.cols(), seed)))
+            .clone()
+    }
+
+    /// Precomputes every cached input `cells` will need (the sign matrix if
+    /// any cell is FGSM, one unit field per distinct Gaussian seed), so a
+    /// subsequent fan-out only performs lock-free reads and cheap axpys.
+    pub fn prepare(&self, cells: &[Perturbation]) {
+        if cells.iter().any(|c| !c.is_gaussian()) {
+            let _ = self.grad_sign();
+        }
+        for cell in cells {
+            if let Perturbation::Gaussian { seed, .. } = cell {
+                let _ = self.unit_noise(*seed);
+            }
+        }
+    }
+
+    /// Materializes one grid cell from the cached inputs.
+    ///
+    /// Bit-identical to [`Perturbation::apply`] on the same
+    /// `(model, x, labels)`: both routes run [`fgsm::apply_sign`] /
+    /// [`gaussian::apply_unit_noise`] over the same cached halves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an FGSM cell is materialized on a
+    /// [`noise_only`](Self::noise_only) context.
+    pub fn materialize(&self, cell: &Perturbation) -> Matrix {
+        match *cell {
+            Perturbation::Gaussian { sigma, seed } => {
+                gaussian::apply_unit_noise(self.x, &self.unit_noise(seed), sigma)
+            }
+            Perturbation::Fgsm { epsilon } => fgsm::apply_sign(self.x, self.grad_sign(), epsilon),
+        }
+    }
+
+    /// Evaluates `eval` on every materialized cell, in cell order, fanning
+    /// out with [`cpsmon_core::sweep_parallel`]. Calls
+    /// [`prepare`](Self::prepare) first, so the expensive inputs are paid
+    /// for once up front and the workers share them read-only.
+    pub fn sweep<R: Send>(
+        &self,
+        cells: &[Perturbation],
+        eval: impl Fn(&Perturbation, Matrix) -> R + Sync,
+    ) -> Vec<R> {
+        self.prepare(cells);
+        cpsmon_core::sweep_parallel(cells, |cell| eval(cell, self.materialize(cell)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +302,86 @@ mod tests {
         assert!(g.is_gaussian() && !f.is_gaussian());
         assert_eq!(g.strength(), 0.5);
         assert_eq!(f.strength(), 0.1);
+    }
+
+    fn small_problem() -> (MlpNet, Matrix, Vec<usize>) {
+        let net = MlpNet::new(&MlpConfig {
+            input_dim: 12,
+            hidden: vec![8],
+            classes: 2,
+            seed: 3,
+        });
+        let mut rng = cpsmon_nn::rng::SmallRng::new(11);
+        let x = cpsmon_nn::init::random_normal(9, 12, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..9).map(|i| i % 2).collect();
+        (net, x, labels)
+    }
+
+    #[test]
+    fn materialized_cells_match_direct_application() {
+        let (net, x, labels) = small_problem();
+        let ctx = SweepContext::new(&net, &x, &labels);
+        for cell in grid_cells(0xfeed) {
+            assert_eq!(
+                ctx.materialize(&cell),
+                cell.apply(&net, &x, &labels),
+                "cell {cell:?} drifted from the direct path"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_cell_order_and_results() {
+        let (net, x, labels) = small_problem();
+        let ctx = SweepContext::new(&net, &x, &labels);
+        let cells = grid_cells(7);
+        let swept = ctx.sweep(&cells, |cell, adv| (cell.strength(), adv));
+        assert_eq!(swept.len(), cells.len());
+        for (got, cell) in swept.iter().zip(&cells) {
+            assert_eq!(got.0, cell.strength());
+            assert_eq!(got.1, ctx.materialize(cell));
+        }
+    }
+
+    #[test]
+    fn clean_labels_match_model_predictions() {
+        let (net, x, labels) = small_problem();
+        let ctx = SweepContext::new(&net, &x, &labels);
+        assert_eq!(ctx.clean_labels(), net.predict_labels(&x).as_slice());
+        // Cached: second call returns the same slice.
+        assert_eq!(ctx.clean_labels().as_ptr(), ctx.clean_labels().as_ptr());
+    }
+
+    #[test]
+    fn noise_only_context_handles_gaussian_cells() {
+        let (net, x, labels) = small_problem();
+        let ctx = SweepContext::noise_only(&x);
+        let cell = Perturbation::Gaussian {
+            sigma: 0.75,
+            seed: 5,
+        };
+        assert_eq!(ctx.materialize(&cell), cell.apply(&net, &x, &labels));
+    }
+
+    #[test]
+    #[should_panic(expected = "noise-only")]
+    fn noise_only_context_rejects_fgsm_cells() {
+        let x = Matrix::zeros(2, 12);
+        let ctx = SweepContext::noise_only(&x);
+        let _ = ctx.materialize(&Perturbation::Fgsm { epsilon: 0.1 });
+    }
+
+    #[test]
+    fn unit_noise_is_cached_per_seed() {
+        let x = Matrix::zeros(4, 12);
+        let ctx = SweepContext::noise_only(&x);
+        let a = ctx.unit_noise(9);
+        let b = ctx.unit_noise(9);
+        assert!(
+            std::sync::Arc::ptr_eq(&a, &b),
+            "same seed must share the field"
+        );
+        let c = ctx.unit_noise(10);
+        assert_ne!(*a, *c, "distinct seeds must draw distinct fields");
     }
 }

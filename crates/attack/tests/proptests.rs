@@ -133,3 +133,82 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Amortized sweep engine: a SweepContext-materialized cell must be
+// bit-identical to the direct attack for every strength in the paper grids,
+// and the amortized fan-out must stay thread-count invariant.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn context_fgsm_cells_bit_identical_to_direct_attack(
+        x in batch(7, 2 * FEATURES_PER_STEP),
+        seed in any::<u64>(),
+    ) {
+        use cpsmon_attack::{Perturbation, SweepContext, EPSILON_SWEEP};
+        let cols = 2 * FEATURES_PER_STEP;
+        let net = MlpNet::new(&MlpConfig { input_dim: cols, hidden: vec![8], classes: 2, seed });
+        let labels: Vec<usize> = (0..7).map(|i| i % 2).collect();
+        let ctx = SweepContext::new(&net, &x, &labels);
+        for &epsilon in &EPSILON_SWEEP {
+            let cell = Perturbation::Fgsm { epsilon };
+            prop_assert_eq!(
+                ctx.materialize(&cell),
+                Fgsm::new(epsilon).attack(&net, &x, &labels),
+                "ε = {} drifted", epsilon
+            );
+        }
+    }
+
+    #[test]
+    fn context_gaussian_cells_bit_identical_to_direct_apply(
+        x in batch(7, 2 * FEATURES_PER_STEP),
+        noise_seed in any::<u64>(),
+    ) {
+        use cpsmon_attack::{Perturbation, SweepContext, SIGMA_SWEEP};
+        let ctx = SweepContext::noise_only(&x);
+        for (i, &sigma) in SIGMA_SWEEP.iter().enumerate() {
+            let seed = noise_seed ^ i as u64;
+            let cell = Perturbation::Gaussian { sigma, seed };
+            prop_assert_eq!(
+                ctx.materialize(&cell),
+                GaussianNoise::new(sigma).apply(&x, seed),
+                "σ = {} drifted", sigma
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn amortized_sweep_is_thread_count_invariant(seed in any::<u64>()) {
+        use cpsmon_attack::{grid_cells, SweepContext};
+        use cpsmon_nn::par::ThreadsGuard;
+        use cpsmon_nn::rng::SmallRng;
+
+        let rows = 300; // spans several gradient/noise chunks
+        let cols = 2 * FEATURES_PER_STEP;
+        let mut rng = SmallRng::new(seed);
+        let x = cpsmon_nn::init::random_normal(rows, cols, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..rows).map(|_| rng.index(2)).collect();
+        let net = MlpNet::new(&MlpConfig { input_dim: cols, hidden: vec![8], classes: 2, seed });
+        let grid = grid_cells(seed);
+        let run = |threads: usize| {
+            let _guard = ThreadsGuard::set(threads);
+            // Fresh context per thread count: the cached halves themselves
+            // must not depend on how their computation was chunked.
+            let ctx = SweepContext::new(&net, &x, &labels);
+            ctx.sweep(&grid, |_, adv| adv)
+        };
+        let serial = run(1);
+        for threads in [2usize, 4] {
+            let parallel = run(threads);
+            prop_assert_eq!(&serial, &parallel, "amortized sweep differs at {} threads", threads);
+        }
+    }
+}

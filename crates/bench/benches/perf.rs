@@ -1,13 +1,13 @@
 //! Criterion micro-benchmarks of the pipeline's hot operations: training
 //! steps, inference, and attack crafting for both monitor architectures.
 
-use cpsmon_attack::{grid_cells, Fgsm};
+use cpsmon_attack::{grid_cells, Fgsm, SweepContext, EPSILON_SWEEP};
 use cpsmon_core::monitor::MonitorModel;
 use cpsmon_core::{
     robustness_error, sweep_parallel, FeatureConfig, MonitorKind, MonitorSession, Normalizer,
     SessionPool, TrainedMonitor,
 };
-use cpsmon_nn::par::ThreadsGuard;
+use cpsmon_nn::par::{self, ThreadsGuard};
 use cpsmon_nn::rng::SmallRng;
 use cpsmon_nn::{
     init::random_normal, AdamTrainer, GradModel, LstmConfig, LstmNet, Matrix, MlpConfig, MlpNet,
@@ -44,6 +44,27 @@ fn paper_lstm() -> LstmNet {
         classes: 2,
         seed: 1,
     })
+}
+
+/// Stamps the snapshot with the environment facts that perf numbers depend
+/// on: worker threads, detected CPU features, and the active kernel
+/// backend (including whether `CPSMON_SIMD` forced the scalar one).
+fn record_meta(c: &mut Criterion) {
+    c.metadata("threads", &par::max_threads().to_string());
+    #[cfg(target_arch = "x86_64")]
+    let features = format!(
+        "avx2={} fma={}",
+        std::arch::is_x86_feature_detected!("avx2"),
+        std::arch::is_x86_feature_detected!("fma")
+    );
+    #[cfg(not(target_arch = "x86_64"))]
+    let features = "non-x86_64".to_string();
+    c.metadata("cpu_features", &features);
+    c.metadata("simd_backend", cpsmon_nn::simd::backend().label());
+    c.metadata(
+        "simd_env",
+        &std::env::var("CPSMON_SIMD").unwrap_or_else(|_| "unset".into()),
+    );
 }
 
 fn bench_training(c: &mut Criterion) {
@@ -93,6 +114,32 @@ fn bench_attacks(c: &mut Criterion) {
     c.bench_function("fgsm_lstm_128", |b| {
         b.iter(|| fgsm.attack(&lstm, &x, &labels))
     });
+    // The amortized multi-ε path: a fresh SweepContext per iteration pays
+    // for ONE backward pass and materializes all five paper budgets.
+    // Divide by EPSILON_SWEEP.len() for the per-cell cost — the direct
+    // equivalent is the matching fgsm_*_128 number.
+    let eps_cells: Vec<_> = EPSILON_SWEEP
+        .iter()
+        .map(|&epsilon| cpsmon_attack::Perturbation::Fgsm { epsilon })
+        .collect();
+    c.bench_function("fgsm_mlp_128_amortized_5eps", |b| {
+        b.iter(|| {
+            let sweep = SweepContext::new(&mlp, &x, &labels);
+            eps_cells
+                .iter()
+                .map(|cell| sweep.materialize(cell))
+                .collect::<Vec<_>>()
+        })
+    });
+    c.bench_function("fgsm_lstm_128_amortized_5eps", |b| {
+        b.iter(|| {
+            let sweep = SweepContext::new(&lstm, &x, &labels);
+            eps_cells
+                .iter()
+                .map(|cell| sweep.materialize(cell))
+                .collect::<Vec<_>>()
+        })
+    });
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -113,24 +160,35 @@ fn bench_kernels(c: &mut Criterion) {
 fn bench_sweep(c: &mut Criterion) {
     // The full σ×ε grid against the paper MLP on a small batch: the unit of
     // work the robustness experiments fan out per monitor.
+    //
+    // `sweep_grid_serial` is the legacy cost model — every cell pays its
+    // own attack from scratch (five backward passes for the ε half), on one
+    // thread. `sweep_grid_parallel` is what the experiments now run: the
+    // amortized SweepContext (one backward pass, one noise field per seed)
+    // fanned out across all available workers. The gap between the two is
+    // the engine's win; both produce bit-identical errors.
     let (x, labels) = batch(64, 6);
     let mlp = paper_mlp();
     let grid = grid_cells(0xfeed);
     let clean = mlp.predict_labels(&x);
-    let eval_grid = || {
-        sweep_parallel(&grid, |cell| {
-            let perturbed = cell.apply(&mlp, &x, &labels);
-            robustness_error(&clean, &mlp.predict_labels(&perturbed))
-        })
-    };
     c.bench_function("sweep_grid_serial", |b| {
         let _guard = ThreadsGuard::set(1);
-        b.iter(eval_grid);
+        b.iter(|| {
+            sweep_parallel(&grid, |cell| {
+                let perturbed = cell.apply(&mlp, &x, &labels);
+                robustness_error(&clean, &mlp.predict_labels(&perturbed))
+            })
+        });
     });
     c.bench_function("sweep_grid_parallel", |b| {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         let _guard = ThreadsGuard::set(threads);
-        b.iter(eval_grid);
+        b.iter(|| {
+            let sweep = SweepContext::new(&mlp, &x, &labels);
+            sweep.sweep(&grid, |_, perturbed| {
+                robustness_error(&clean, &mlp.predict_labels(&perturbed))
+            })
+        });
     });
 }
 
@@ -236,6 +294,6 @@ fn bench_sessions(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_training, bench_inference, bench_attacks, bench_kernels, bench_sweep, bench_sessions
+    targets = record_meta, bench_training, bench_inference, bench_attacks, bench_kernels, bench_sweep, bench_sessions
 }
 criterion_main!(benches);

@@ -20,7 +20,7 @@
 use crate::context::{Context, SimContext};
 use crate::experiments::NOISE_SEED;
 use crate::report::{fmt3, Table};
-use cpsmon_attack::{Fgsm, GaussianNoise, EPSILON_SWEEP, SIGMA_SWEEP};
+use cpsmon_attack::{grid_cells, SweepContext, EPSILON_SWEEP, SIGMA_SWEEP};
 use cpsmon_core::detectors::{Cusum, InvariantRange};
 use cpsmon_core::features::FEATURES_PER_STEP;
 use cpsmon_core::MonitorKind;
@@ -93,17 +93,23 @@ pub fn run(ctx: &Context) -> Table {
             table.row(vec![sim.kind.label().to_string(), label, fmt3(c), fmt3(i)]);
         };
         record("none".into(), &sim.ds.test.x);
-        for (i, &sigma) in SIGMA_SWEEP.iter().enumerate() {
-            let noisy = GaussianNoise::new(sigma).apply(&sim.ds.test.x, NOISE_SEED ^ i as u64);
-            record(format!("gaussian σ={sigma}std"), &noisy);
-        }
+        // The σ cells (seeded NOISE_SEED ^ i) and ε cells below are exactly
+        // the paper grid, so the amortized SweepContext shares one backward
+        // pass and one noise field per seed across all of them.
         let model = sim
             .monitor(MonitorKind::Mlp)
             .as_grad_model()
             .expect("differentiable");
-        for &eps in &EPSILON_SWEEP {
-            let adv = Fgsm::new(eps).attack(model, &sim.ds.test.x, &sim.ds.test.labels);
-            record(format!("fgsm ε={eps}"), &adv);
+        let sweep = SweepContext::new(model, &sim.ds.test.x, &sim.ds.test.labels);
+        let grid = grid_cells(NOISE_SEED);
+        debug_assert_eq!(grid.len(), SIGMA_SWEEP.len() + EPSILON_SWEEP.len());
+        for cell in &grid {
+            let label = if cell.is_gaussian() {
+                format!("gaussian σ={}std", cell.strength())
+            } else {
+                format!("fgsm ε={}", cell.strength())
+            };
+            record(label, &sweep.materialize(cell));
         }
     }
     table

@@ -9,9 +9,9 @@
 use crate::context::Context;
 use crate::experiments::{ML_KINDS, NOISE_SEED};
 use crate::report::{fmt3, Table};
-use cpsmon_attack::{grid_cells, EPSILON_SWEEP, SIGMA_SWEEP};
+use cpsmon_attack::{grid_cells, SweepContext, EPSILON_SWEEP, SIGMA_SWEEP};
+use cpsmon_core::robustness_error;
 use cpsmon_core::MonitorKind;
-use cpsmon_core::{robustness_error, sweep_parallel};
 
 /// The per-cell results, exposed so ablations/summary can reuse them.
 pub struct HeatmapData {
@@ -21,9 +21,13 @@ pub struct HeatmapData {
 
 /// Computes the heat-map data.
 ///
-/// The σ×ε grid of each monitor is fanned out across worker threads via
-/// [`sweep_parallel`]; every grid cell carries its own seed, so the result
-/// is identical to the serial sweep for any thread count.
+/// The σ×ε grid of each monitor runs through an amortized [`SweepContext`]:
+/// one backward pass and one unit-noise field per seed are shared across
+/// the whole grid, each cell materializes as a cheap axpy (bit-identical to
+/// [`cpsmon_attack::Perturbation::apply`]), and the cells fan out across
+/// worker threads via [`SweepContext::sweep`]. Every grid cell carries its
+/// own seed, so the result is identical to the serial sweep for any thread
+/// count.
 pub fn compute(ctx: &Context) -> HeatmapData {
     let grid = grid_cells(NOISE_SEED);
     let mut cells = Vec::new();
@@ -34,8 +38,8 @@ pub fn compute(ctx: &Context) -> HeatmapData {
                 .as_grad_model()
                 .expect("ML monitors are differentiable");
             let clean_preds = monitor.predict_x(&sim.ds.test.x);
-            let errors = sweep_parallel(&grid, |cell| {
-                let perturbed = cell.apply(model, &sim.ds.test.x, &sim.ds.test.labels);
+            let sweep = SweepContext::new(model, &sim.ds.test.x, &sim.ds.test.labels);
+            let errors = sweep.sweep(&grid, |_, perturbed| {
                 robustness_error(&clean_preds, &monitor.predict_x(&perturbed))
             });
             let (gaussian, fgsm) = errors.split_at(SIGMA_SWEEP.len());

@@ -8,7 +8,7 @@
 
 use crate::context::Context;
 use crate::report::{fmt3, Table};
-use cpsmon_attack::Fgsm;
+use cpsmon_attack::{Perturbation, SweepContext};
 use cpsmon_core::monitor::evaluate_predictions;
 use cpsmon_core::robustness_error;
 use cpsmon_core::MonitorKind;
@@ -75,8 +75,10 @@ pub fn run(ctx: &Context) -> Table {
                 params.to_string(),
                 fmt3(f1),
             ];
+            // Both ε cells share one backward pass via the sweep context.
+            let sweep = SweepContext::new(model, &sim.ds.test.x, &sim.ds.test.labels);
             for eps in [0.1, 0.2] {
-                let adv = Fgsm::new(eps).attack(model, &sim.ds.test.x, &sim.ds.test.labels);
+                let adv = sweep.materialize(&Perturbation::Fgsm { epsilon: eps });
                 cells.push(fmt3(robustness_error(&clean, &model.predict_labels(&adv))));
             }
             table.row(cells);

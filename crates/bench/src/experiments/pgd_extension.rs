@@ -10,7 +10,7 @@
 use crate::context::Context;
 use crate::experiments::ML_KINDS;
 use crate::report::{fmt3, Table};
-use cpsmon_attack::{Fgsm, Pgd};
+use cpsmon_attack::{Perturbation, Pgd, SweepContext};
 use cpsmon_core::robustness_error;
 
 /// ε budgets compared.
@@ -36,9 +36,12 @@ pub fn run(ctx: &Context) -> Table {
             let monitor = sim.monitor(mk);
             let model = monitor.as_grad_model().expect("differentiable");
             let clean = monitor.predict_x(&sim.ds.test.x);
+            // FGSM budgets share one backward pass via the sweep context;
+            // PGD re-linearizes per step, so it cannot be amortized.
+            let sweep = SweepContext::new(model, &sim.ds.test.x, &sim.ds.test.labels);
             let mut cells = vec![sim.kind.label().to_string(), mk.label().to_string()];
             for &eps in &BUDGETS {
-                let fgsm = Fgsm::new(eps).attack(model, &sim.ds.test.x, &sim.ds.test.labels);
+                let fgsm = sweep.materialize(&Perturbation::Fgsm { epsilon: eps });
                 cells.push(fmt3(robustness_error(&clean, &monitor.predict_x(&fgsm))));
                 let pgd = Pgd::standard(eps).attack(model, &sim.ds.test.x, &sim.ds.test.labels);
                 cells.push(fmt3(robustness_error(&clean, &monitor.predict_x(&pgd))));

@@ -58,6 +58,12 @@ pub fn model_robustness_error(model: &dyn GradModel, clean: &Matrix, perturbed: 
 /// (`CPSMON_THREADS` honored). Item evaluation may itself use the parallel
 /// layer: nested fan-out automatically degrades to inline execution, so
 /// grid-level and batch-level parallelism compose without oversubscription.
+///
+/// Sweeps whose cells share expensive inputs (one loss gradient across an
+/// ε sweep, one noise field per seed) should hoist them into
+/// `cpsmon_attack::SweepContext`, whose `sweep` method precomputes the
+/// shared halves and then fans the cheap per-cell materializations out
+/// through this function.
 pub fn sweep_parallel<T: Sync, R: Send>(items: &[T], eval: impl Fn(&T) -> R + Sync) -> Vec<R> {
     if items.len() <= 1 || par::max_threads() <= 1 {
         // No parallelism to exploit: skip the chunk grid (range vector,

@@ -1,6 +1,14 @@
 //! Activation functions and their derivatives.
+//!
+//! The element-wise transcendentals (`sigmoid`, `tanh`, softmax) route
+//! through the runtime-dispatched kernels of [`crate::simd`]: every code
+//! path that evaluates one of these functions — matrix-at-a-time here, the
+//! fused LSTM step, streaming single rows — uses the *same* per-element
+//! implementation, so cross-path bit-identity (streaming == batch, fused ==
+//! unfused) holds under both the scalar and the AVX2 backend.
 
 use crate::matrix::Matrix;
+use crate::simd;
 
 /// Rectified linear unit applied element-wise.
 pub fn relu(x: &Matrix) -> Matrix {
@@ -19,7 +27,9 @@ pub fn relu_grad_mask(x: &Matrix) -> Matrix {
     x.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
 }
 
-/// Logistic sigmoid, numerically stable for large `|v|`.
+/// Logistic sigmoid, numerically stable for large `|v|` — the scalar
+/// backend's per-element kernel (the AVX2 backend substitutes its own
+/// mirror, see [`crate::simd::sigmoid_m`]).
 pub fn sigmoid_scalar(v: f64) -> f64 {
     if v >= 0.0 {
         1.0 / (1.0 + (-v).exp())
@@ -29,14 +39,20 @@ pub fn sigmoid_scalar(v: f64) -> f64 {
     }
 }
 
-/// Logistic sigmoid applied element-wise.
+/// Logistic sigmoid applied element-wise (dispatched, see
+/// [`crate::simd::sigmoid_slice`]).
 pub fn sigmoid(x: &Matrix) -> Matrix {
-    x.map(sigmoid_scalar)
+    let mut out = x.clone();
+    simd::sigmoid_slice(out.as_mut_slice());
+    out
 }
 
-/// Hyperbolic tangent applied element-wise.
+/// Hyperbolic tangent applied element-wise (dispatched, see
+/// [`crate::simd::tanh_slice`]).
 pub fn tanh(x: &Matrix) -> Matrix {
-    x.map(f64::tanh)
+    let mut out = x.clone();
+    simd::tanh_slice(out.as_mut_slice());
+    out
 }
 
 /// Row-wise softmax with the max-subtraction trick for stability.
@@ -50,19 +66,13 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
 
 /// [`softmax_rows`] applied in place (allocation-free variant for the
 /// scratch-buffer prediction path — both share this implementation, so the
-/// results are bit-identical).
+/// results are bit-identical). Each row goes through the dispatched
+/// per-row kernel ([`crate::simd::softmax_row`]), which touches only the
+/// row slice — a row therefore softmaxes to the same bits in a 1-row and
+/// an n-row batch.
 pub fn softmax_rows_inplace(logits: &mut Matrix) {
     for r in 0..logits.rows() {
-        let row = logits.row_mut(r);
-        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
+        simd::softmax_row(logits.row_mut(r));
     }
 }
 

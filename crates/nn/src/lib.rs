@@ -5,6 +5,9 @@
 //! the required subset from scratch:
 //!
 //! - [`Matrix`]: a row-major `f64` matrix with a blocked GEMM kernel.
+//! - [`simd`]: runtime-dispatched AVX2+FMA microkernels behind the GEMM,
+//!   softmax, sigmoid/tanh, and fused-LSTM-step hot loops, with the
+//!   portable scalar kernels as fallback (`CPSMON_SIMD=0` forces them).
 //! - [`Dense`]: fully connected layers with ReLU / linear activations.
 //! - [`Lstm`]: a standard LSTM layer with full backpropagation through time.
 //! - [`MlpNet`] / [`LstmNet`]: the two monitor architectures used in the
@@ -61,6 +64,7 @@ pub mod model;
 pub mod par;
 pub mod rng;
 pub mod serialize;
+pub mod simd;
 
 pub use adam::AdamTrainer;
 pub use dense::Dense;

@@ -5,10 +5,11 @@
 //! is initialized to 1.0, the usual trick to avoid vanishing cell gradients
 //! early in training.
 
-use crate::activation::{sigmoid, sigmoid_scalar, tanh};
+use crate::activation::{sigmoid, tanh};
 use crate::init::xavier_uniform;
 use crate::matrix::Matrix;
 use crate::rng::SmallRng;
+use crate::simd;
 
 /// Reusable buffers for [`Lstm::forward_only_into`]: the fused-gate
 /// pre-activation `z`, the running cell state `c`, and the zero initial
@@ -36,23 +37,16 @@ impl Default for LstmScratch {
 /// the new hidden state into `h`.
 ///
 /// Element-wise this computes exactly `c ← f⊙c + i⊙g; h ← o⊙tanh(c)` with
-/// the same operation order as the gate-matrix formulation, so every
-/// forward path funnelled through here produces identical bits.
+/// the same operation order and the same dispatched per-element
+/// transcendentals as the gate-matrix formulation, so every forward path
+/// funnelled through here produces identical bits (row-wise kernel:
+/// [`cpsmon_nn::simd::lstm_step_row`](crate::simd::lstm_step_row)).
 fn step_state(z: &Matrix, c: &mut Matrix, h: &mut Matrix, h_dim: usize) {
     for r in 0..c.rows() {
-        let zr = z.row(r);
-        let hr = h.row_mut(r);
         // `c` and `h` are distinct matrices, so the two mutable row borrows
         // cannot alias; split the statements to satisfy the borrow checker.
-        for (j, cv) in c.row_mut(r).iter_mut().enumerate() {
-            let i = sigmoid_scalar(zr[j]);
-            let f = sigmoid_scalar(zr[h_dim + j]);
-            let g = zr[2 * h_dim + j].tanh();
-            let o = sigmoid_scalar(zr[3 * h_dim + j]);
-            let c_new = f * *cv + i * g;
-            *cv = c_new;
-            hr[j] = o * c_new.tanh();
-        }
+        let hr = h.row_mut(r);
+        simd::lstm_step_row(z.row(r), c.row_mut(r), hr, h_dim);
     }
 }
 

@@ -9,6 +9,8 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub};
 
+use crate::simd::gemm_acc;
+
 /// A dense, row-major matrix of `f64` values.
 ///
 /// # Examples
@@ -363,11 +365,15 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self · rhs` via the cache-blocked `ikj` kernel.
+    /// Matrix product `self · rhs` via the cache-blocked, runtime-dispatched
+    /// GEMM kernel ([`cpsmon_nn::simd::gemm_acc`](crate::simd::gemm_acc)).
     ///
-    /// Accumulation over `k` is strictly ascending per output element, so
-    /// the result is bit-identical to the naive triple loop for finite
-    /// inputs (the blocking and unrolling change only the memory schedule).
+    /// Accumulation over `k` is strictly ascending per output element under
+    /// both kernel backends, so the result is bit-identical to the naive
+    /// triple loop written with the active backend's multiply-add (unfused
+    /// `+=a*b` for the scalar backend, [`f64::mul_add`] for AVX2+FMA) —
+    /// blocking, vector width, and batch slicing change only the memory
+    /// schedule, never the bits.
     ///
     /// # Panics
     ///
@@ -469,13 +475,17 @@ impl Matrix {
         );
     }
 
-    /// `self · rhsᵀ` without materializing the transpose (the backward-pass
-    /// and attack workhorse: `dx = dz·Wᵀ`).
+    /// `self · rhsᵀ` (the backward-pass and attack workhorse: `dx = dz·Wᵀ`).
     ///
-    /// Each output element is a strictly `k`-ascending dot product, so the
-    /// result is bit-identical to the naive row-dot implementation; the
-    /// kernel processes four `rhs` rows per pass so each `self` row is
-    /// streamed once per four outputs instead of once per output.
+    /// The transposed operand is packed once per call into a row-major
+    /// `k × n` panel and the product then runs through the same dispatched
+    /// GEMM kernel as [`matmul`](Self::matmul) — column-major strided reads
+    /// of `rhs` happen exactly once (during packing) instead of once per
+    /// `self` row, and the multiply itself gets the vectorized kernel.
+    ///
+    /// Each output element accumulates in strictly ascending `k` order, so
+    /// the result is bit-identical to the naive row-dot implementation
+    /// written with the active backend's multiply-add.
     ///
     /// # Panics
     ///
@@ -488,39 +498,15 @@ impl Matrix {
         );
         let k = self.cols;
         let n = rhs.rows;
-        let mut out = Matrix::zeros(self.rows, n);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            let mut j = 0;
-            while j + 4 <= n {
-                let b0 = &rhs.data[j * k..(j + 1) * k];
-                let b1 = &rhs.data[(j + 1) * k..(j + 2) * k];
-                let b2 = &rhs.data[(j + 2) * k..(j + 3) * k];
-                let b3 = &rhs.data[(j + 3) * k..(j + 4) * k];
-                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-                for (idx, &a) in a_row.iter().enumerate() {
-                    s0 += a * b0[idx];
-                    s1 += a * b1[idx];
-                    s2 += a * b2[idx];
-                    s3 += a * b3[idx];
-                }
-                out_row[j] = s0;
-                out_row[j + 1] = s1;
-                out_row[j + 2] = s2;
-                out_row[j + 3] = s3;
-                j += 4;
-            }
-            while j < n {
-                let b_row = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out_row[j] = acc;
-                j += 1;
+        let mut packed = vec![0.0; k * n];
+        for j in 0..n {
+            let src = &rhs.data[j * k..(j + 1) * k];
+            for (kk, &v) in src.iter().enumerate() {
+                packed[kk * n + j] = v;
             }
         }
+        let mut out = Matrix::zeros(self.rows, n);
+        gemm_acc(&self.data, self.rows, k, &packed, n, &mut out.data);
         out
     }
 
@@ -718,54 +704,6 @@ impl Matrix {
     }
 }
 
-/// `k`-panel height of the blocked GEMM: a `KC × n` slab of `b` (up to
-/// ~256 KiB at `n = 256`) is reused across all `m` rows before the kernel
-/// moves to the next panel, keeping it resident in L2.
-const GEMM_KC: usize = 128;
-
-/// The shared `out += a · b` kernel behind [`Matrix::matmul`],
-/// [`Matrix::matmul_acc`] and [`Matrix::matmul_add_bias`]: blocked `ikj`
-/// with a 4-wide unroll over `k`. Per output element the additions are
-/// applied in strictly ascending `k` order, so every entry point produces
-/// bits identical to the naive triple loop over whatever `out` was seeded
-/// with.
-fn gemm_acc(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
-    for k0 in (0..k).step_by(GEMM_KC) {
-        let k1 = (k0 + GEMM_KC).min(k);
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            let mut kk = k0;
-            while kk + 4 <= k1 {
-                let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
-                let b0 = &b[kk * n..(kk + 1) * n];
-                let b1 = &b[(kk + 1) * n..(kk + 2) * n];
-                let b2 = &b[(kk + 2) * n..(kk + 3) * n];
-                let b3 = &b[(kk + 3) * n..(kk + 4) * n];
-                for j in 0..n {
-                    // Sequential adds: ascending-k order, one load/store of
-                    // the output per four multiply-adds.
-                    let mut acc = out_row[j];
-                    acc += a0 * b0[j];
-                    acc += a1 * b1[j];
-                    acc += a2 * b2[j];
-                    acc += a3 * b3[j];
-                    out_row[j] = acc;
-                }
-                kk += 4;
-            }
-            while kk < k1 {
-                let a_val = a_row[kk];
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_val * bv;
-                }
-                kk += 1;
-            }
-        }
-    }
-}
-
 impl Add<&Matrix> for &Matrix {
     type Output = Matrix;
 
@@ -920,9 +858,32 @@ mod tests {
         let _ = a.get(2, 0);
     }
 
-    /// Naive reference product with per-element ascending-k accumulation —
-    /// the order the blocked kernels promise to reproduce bit-for-bit.
+    /// Naive reference product with per-element ascending-k accumulation
+    /// using the *active backend's* multiply-add (unfused for scalar,
+    /// [`f64::mul_add`] under AVX2+FMA) — the order and rounding the
+    /// dispatched GEMM promises to reproduce bit-for-bit.
     fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let fma = crate::simd::fma_active();
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    if fma {
+                        acc = a.get(i, k).mul_add(b.get(k, j), acc);
+                    } else {
+                        acc += a.get(i, k) * b.get(k, j);
+                    }
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Plain (never-fused) naive reference, for the kernels that stay
+    /// scalar under every backend (`transpose_matmul`).
+    fn reference_matmul_plain(a: &Matrix, b: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(a.rows(), b.cols());
         for i in 0..a.rows() {
             for j in 0..b.cols() {
@@ -979,7 +940,7 @@ mod tests {
             let a = arbitrary_matrix(k, m, 31);
             let b = arbitrary_matrix(k, n, 37);
             let fast = a.transpose_matmul(&b);
-            let reference = reference_matmul(&a.transpose(), &b);
+            let reference = reference_matmul_plain(&a.transpose(), &b);
             assert_eq!(fast.as_slice(), reference.as_slice(), "({k}x{m})ᵀ·{k}x{n}");
         }
     }
@@ -992,13 +953,19 @@ mod tests {
         let mut out = seed.clone();
         a.matmul_acc(&b, &mut out);
         // Bit-identity: accumulating onto `seed` element-wise in ascending-k
-        // order equals the reference loop seeded the same way.
+        // order (with the active backend's multiply-add) equals the
+        // reference loop seeded the same way.
+        let fma = crate::simd::fma_active();
         let mut reference = seed;
         for i in 0..3 {
             for j in 0..5 {
                 let mut acc = reference.get(i, j);
                 for k in 0..4 {
-                    acc += a.get(i, k) * b.get(k, j);
+                    if fma {
+                        acc = a.get(i, k).mul_add(b.get(k, j), acc);
+                    } else {
+                        acc += a.get(i, k) * b.get(k, j);
+                    }
                 }
                 reference.set(i, j, acc);
             }

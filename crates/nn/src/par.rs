@@ -22,6 +22,13 @@
 //! grouping (batches of at most [`GRAD_CHUNK`] rows take the legacy
 //! single-chunk path unchanged).
 //!
+//! The contract is independent of the kernel backend ([`crate::simd`]):
+//! both the scalar and the AVX2+FMA kernels compute each output element as
+//! a pure function of its mathematical inputs (strictly `k`-ascending
+//! accumulation, position-invariant tails), so chunk boundaries stay
+//! invisible under either backend — thread invariance and backend choice
+//! compose orthogonally.
+//!
 //! # Thread-count resolution
 //!
 //! [`max_threads`] reads the `CPSMON_THREADS` environment variable

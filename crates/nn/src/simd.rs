@@ -1,0 +1,939 @@
+//! Runtime-dispatched SIMD microkernels (AVX2+FMA) with scalar fallbacks.
+//!
+//! Every hot inner kernel — the blocked GEMM behind [`Matrix::matmul`],
+//! the sigmoid/tanh/softmax element-wise passes, and the fused LSTM state
+//! update — exists in two implementations:
+//!
+//! - a **scalar** kernel, identical to the original portable code (libm
+//!   transcendentals, unfused multiply-add), and
+//! - an **AVX2+FMA** kernel selected at runtime via
+//!   [`is_x86_feature_detected!`].
+//!
+//! The active backend is resolved once per process (see [`backend`]) from
+//! the `CPSMON_SIMD` environment variable (`CPSMON_SIMD=0` forces the
+//! scalar fallback) and the CPU's feature flags.
+//!
+//! # Determinism contract
+//!
+//! Within a backend, every kernel computes each output element with a
+//! *fixed* operation sequence that depends only on that element's
+//! mathematical inputs — never on its position in the buffer, the batch
+//! size, or the thread count:
+//!
+//! - GEMM accumulates in strictly ascending `k` order per element; the
+//!   AVX2 variant's scalar column tail uses [`f64::mul_add`], which rounds
+//!   identically to the vector `vfmadd` lanes, so an output column produces
+//!   the same bits whether it lands in a vector lane or the tail.
+//! - The vector transcendentals (`exp`/`sigmoid`/`tanh`) have scalar
+//!   mirrors (`exp_m`/`sigmoid_m`/`tanh_m`) built from the *same* operation
+//!   sequence (fused multiply-adds included), used for slice tails; a value
+//!   therefore maps to the same bits at any offset and slice length.
+//!
+//! Consequently the existing guarantees — streaming == batch inference,
+//! bit-identical results for any `CPSMON_THREADS` — hold under both
+//! backends. Results *across* backends differ in the last ulps (FMA fuses
+//! rounding steps; the polynomial `exp` is not libm's), which is why the
+//! backend is a process-wide constant rather than a per-call choice.
+//!
+//! [`Matrix::matmul`]: crate::Matrix::matmul
+
+use std::sync::OnceLock;
+
+/// Which kernel family [`backend`] resolved to for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar kernels (libm transcendentals, unfused mul+add).
+    Scalar,
+    /// AVX2 + FMA vector kernels with bit-mirroring scalar tails.
+    Avx2Fma,
+}
+
+impl Backend {
+    /// Short human-readable name, used in logs and bench metadata.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2Fma => "avx2+fma",
+        }
+    }
+}
+
+/// Pure backend resolution from the `CPSMON_SIMD` setting and the detected
+/// CPU capability; factored out of [`backend`] so the policy is unit-testable
+/// without mutating process environment.
+fn resolve(simd_env: Option<&str>, has_avx2_fma: bool) -> Backend {
+    match simd_env {
+        Some(v) if v.trim() == "0" || v.eq_ignore_ascii_case("off") => Backend::Scalar,
+        _ if has_avx2_fma => Backend::Avx2Fma,
+        _ => Backend::Scalar,
+    }
+}
+
+fn detect_avx2_fma() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The process-wide kernel backend: `CPSMON_SIMD=0` (or `off`) forces
+/// [`Backend::Scalar`]; otherwise AVX2+FMA is used when the CPU supports
+/// it. Resolved once on first use and cached — changing the environment
+/// variable afterwards has no effect, which keeps every computation in a
+/// process on one numerical profile.
+pub fn backend() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        resolve(
+            std::env::var("CPSMON_SIMD").ok().as_deref(),
+            detect_avx2_fma(),
+        )
+    })
+}
+
+/// Whether the active backend fuses multiply-adds (AVX2+FMA). Tests use
+/// this to pick the matching bit-identity reference.
+pub fn fma_active() -> bool {
+    backend() == Backend::Avx2Fma
+}
+
+/// `k`-panel height of the blocked GEMM: a `KC × n` slab of `b` (up to
+/// ~256 KiB at `n = 256`) is reused across all `m` rows before the kernel
+/// moves to the next panel, keeping it resident in L2.
+pub(crate) const GEMM_KC: usize = 128;
+
+// ---------------------------------------------------------------------------
+// GEMM: out[m×n] += a[m×k] · b[k×n]
+// ---------------------------------------------------------------------------
+
+fn check_gemm_shapes(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &[f64]) {
+    assert_eq!(a.len(), m * k, "gemm lhs buffer length mismatch");
+    assert_eq!(b.len(), k * n, "gemm rhs buffer length mismatch");
+    assert_eq!(out.len(), m * n, "gemm output buffer length mismatch");
+}
+
+/// Dispatched `out += a · b` (row-major, `a` is `m×k`, `b` is `k×n`).
+///
+/// Per output element the multiply-adds are applied in strictly ascending
+/// `k` order under both backends; the scalar backend uses unfused
+/// `acc += a*b`, the AVX2 backend fused `acc = fma(a, b, acc)`.
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with the stated shape.
+pub fn gemm_acc(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+    check_gemm_shapes(a, m, k, b, n, out);
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2Fma => unsafe { gemm_acc_avx2(a, m, k, b, n, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2Fma => gemm_acc_scalar(a, m, k, b, n, out),
+        Backend::Scalar => gemm_acc_scalar(a, m, k, b, n, out),
+    }
+}
+
+/// The portable blocked `ikj` GEMM with a 4-wide unroll over `k` —
+/// bit-identical to the naive triple loop (sequential `+=` per element)
+/// over whatever `out` was seeded with.
+pub fn gemm_acc_scalar(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+    check_gemm_shapes(a, m, k, b, n, out);
+    for k0 in (0..k).step_by(GEMM_KC) {
+        let k1 = (k0 + GEMM_KC).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            let mut kk = k0;
+            while kk + 4 <= k1 {
+                let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+                let b0 = &b[kk * n..(kk + 1) * n];
+                let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+                let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+                let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+                for j in 0..n {
+                    // Sequential adds: ascending-k order, one load/store of
+                    // the output per four multiply-adds.
+                    let mut acc = out_row[j];
+                    acc += a0 * b0[j];
+                    acc += a1 * b1[j];
+                    acc += a2 * b2[j];
+                    acc += a3 * b3[j];
+                    out_row[j] = acc;
+                }
+                kk += 4;
+            }
+            while kk < k1 {
+                let a_val = a_row[kk];
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_val * bv;
+                }
+                kk += 1;
+            }
+        }
+    }
+}
+
+/// AVX2+FMA GEMM through the safe entry used by tests and benches.
+///
+/// # Panics
+///
+/// Panics if the CPU does not support AVX2+FMA or a buffer length
+/// disagrees with the stated shape.
+#[cfg(target_arch = "x86_64")]
+pub fn gemm_acc_fma(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+    assert!(detect_avx2_fma(), "AVX2+FMA not supported on this CPU");
+    check_gemm_shapes(a, m, k, b, n, out);
+    unsafe { gemm_acc_avx2(a, m, k, b, n, out) }
+}
+
+/// Vectorized GEMM with a 4-row × 8-column register microkernel: four `a`
+/// rows share every load of a `b` panel line (¼ the L2 traffic of a
+/// row-at-a-time loop), and each of the eight accumulator chains takes one
+/// fused multiply-add per `k` step. Row remainders fall back to a
+/// single-row vector loop; column tails mirror the lanes with
+/// [`f64::mul_add`]. Per element the FMA chain is strictly `k`-ascending
+/// regardless of which micro-tile computed it, so results are independent
+/// of blocking, batch slicing, and lane/tail position.
+///
+/// # Safety
+///
+/// Requires AVX2 and FMA; buffer lengths must match the stated shapes
+/// (checked by the safe wrappers).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemm_acc_avx2(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let op = out.as_mut_ptr();
+    for k0 in (0..k).step_by(GEMM_KC) {
+        let k1 = (k0 + GEMM_KC).min(k);
+        let mut i = 0;
+        while i + 4 <= m {
+            let a0 = ap.add(i * k);
+            let a1 = ap.add((i + 1) * k);
+            let a2 = ap.add((i + 2) * k);
+            let a3 = ap.add((i + 3) * k);
+            let o0 = op.add(i * n);
+            let o1 = op.add((i + 1) * n);
+            let o2 = op.add((i + 2) * n);
+            let o3 = op.add((i + 3) * n);
+            let mut j = 0;
+            while j + 8 <= n {
+                let mut c00 = _mm256_loadu_pd(o0.add(j));
+                let mut c01 = _mm256_loadu_pd(o0.add(j + 4));
+                let mut c10 = _mm256_loadu_pd(o1.add(j));
+                let mut c11 = _mm256_loadu_pd(o1.add(j + 4));
+                let mut c20 = _mm256_loadu_pd(o2.add(j));
+                let mut c21 = _mm256_loadu_pd(o2.add(j + 4));
+                let mut c30 = _mm256_loadu_pd(o3.add(j));
+                let mut c31 = _mm256_loadu_pd(o3.add(j + 4));
+                for kk in k0..k1 {
+                    let b0 = _mm256_loadu_pd(bp.add(kk * n + j));
+                    let b1 = _mm256_loadu_pd(bp.add(kk * n + j + 4));
+                    let av = _mm256_set1_pd(*a0.add(kk));
+                    c00 = _mm256_fmadd_pd(av, b0, c00);
+                    c01 = _mm256_fmadd_pd(av, b1, c01);
+                    let av = _mm256_set1_pd(*a1.add(kk));
+                    c10 = _mm256_fmadd_pd(av, b0, c10);
+                    c11 = _mm256_fmadd_pd(av, b1, c11);
+                    let av = _mm256_set1_pd(*a2.add(kk));
+                    c20 = _mm256_fmadd_pd(av, b0, c20);
+                    c21 = _mm256_fmadd_pd(av, b1, c21);
+                    let av = _mm256_set1_pd(*a3.add(kk));
+                    c30 = _mm256_fmadd_pd(av, b0, c30);
+                    c31 = _mm256_fmadd_pd(av, b1, c31);
+                }
+                _mm256_storeu_pd(o0.add(j), c00);
+                _mm256_storeu_pd(o0.add(j + 4), c01);
+                _mm256_storeu_pd(o1.add(j), c10);
+                _mm256_storeu_pd(o1.add(j + 4), c11);
+                _mm256_storeu_pd(o2.add(j), c20);
+                _mm256_storeu_pd(o2.add(j + 4), c21);
+                _mm256_storeu_pd(o3.add(j), c30);
+                _mm256_storeu_pd(o3.add(j + 4), c31);
+                j += 8;
+            }
+            while j + 4 <= n {
+                let mut c0 = _mm256_loadu_pd(o0.add(j));
+                let mut c1 = _mm256_loadu_pd(o1.add(j));
+                let mut c2 = _mm256_loadu_pd(o2.add(j));
+                let mut c3 = _mm256_loadu_pd(o3.add(j));
+                for kk in k0..k1 {
+                    let b0 = _mm256_loadu_pd(bp.add(kk * n + j));
+                    c0 = _mm256_fmadd_pd(_mm256_set1_pd(*a0.add(kk)), b0, c0);
+                    c1 = _mm256_fmadd_pd(_mm256_set1_pd(*a1.add(kk)), b0, c1);
+                    c2 = _mm256_fmadd_pd(_mm256_set1_pd(*a2.add(kk)), b0, c2);
+                    c3 = _mm256_fmadd_pd(_mm256_set1_pd(*a3.add(kk)), b0, c3);
+                }
+                _mm256_storeu_pd(o0.add(j), c0);
+                _mm256_storeu_pd(o1.add(j), c1);
+                _mm256_storeu_pd(o2.add(j), c2);
+                _mm256_storeu_pd(o3.add(j), c3);
+                j += 4;
+            }
+            while j < n {
+                // Scalar tail: `mul_add` rounds exactly like the vector
+                // `vfmadd` lanes, so column position cannot change bits.
+                for row in 0..4 {
+                    let ar = ap.add((i + row) * k);
+                    let or = op.add((i + row) * n + j);
+                    let mut acc = *or;
+                    for kk in k0..k1 {
+                        acc = (*ar.add(kk)).mul_add(*bp.add(kk * n + j), acc);
+                    }
+                    *or = acc;
+                }
+                j += 1;
+            }
+            i += 4;
+        }
+        while i < m {
+            // Row remainder in ikj order: broadcast `a` elements and axpy
+            // across the contiguous `b` rows, keeping the out row hot in L1 —
+            // the single-row (streaming-session) shape would otherwise
+            // stream the whole `b` panel with stride-`n` loads. Per element
+            // this performs the same strictly `k`-ascending FMA chain as the
+            // register micro-kernel, so the bits cannot differ.
+            let a_row = &a[i * k..(i + 1) * k];
+            let or = op.add(i * n);
+            let mut kk = k0;
+            while kk + 4 <= k1 {
+                // Four k-steps per pass over the out row: one load/store of
+                // the accumulator amortizes four FMAs (the single-row
+                // streaming-session shape is otherwise store-bound at three
+                // memory ops per FMA). Per element the chain is still four
+                // ascending-k FMAs, exactly as if applied in four passes.
+                let av0 = _mm256_set1_pd(a_row[kk]);
+                let av1 = _mm256_set1_pd(a_row[kk + 1]);
+                let av2 = _mm256_set1_pd(a_row[kk + 2]);
+                let av3 = _mm256_set1_pd(a_row[kk + 3]);
+                let b0 = bp.add(kk * n);
+                let b1 = bp.add((kk + 1) * n);
+                let b2 = bp.add((kk + 2) * n);
+                let b3 = bp.add((kk + 3) * n);
+                let mut j = 0;
+                while j + 8 <= n {
+                    // Two independent accumulators per pass hide the FMA
+                    // latency of the four-deep chains.
+                    let mut c0 = _mm256_loadu_pd(or.add(j));
+                    let mut c1 = _mm256_loadu_pd(or.add(j + 4));
+                    c0 = _mm256_fmadd_pd(av0, _mm256_loadu_pd(b0.add(j)), c0);
+                    c1 = _mm256_fmadd_pd(av0, _mm256_loadu_pd(b0.add(j + 4)), c1);
+                    c0 = _mm256_fmadd_pd(av1, _mm256_loadu_pd(b1.add(j)), c0);
+                    c1 = _mm256_fmadd_pd(av1, _mm256_loadu_pd(b1.add(j + 4)), c1);
+                    c0 = _mm256_fmadd_pd(av2, _mm256_loadu_pd(b2.add(j)), c0);
+                    c1 = _mm256_fmadd_pd(av2, _mm256_loadu_pd(b2.add(j + 4)), c1);
+                    c0 = _mm256_fmadd_pd(av3, _mm256_loadu_pd(b3.add(j)), c0);
+                    c1 = _mm256_fmadd_pd(av3, _mm256_loadu_pd(b3.add(j + 4)), c1);
+                    _mm256_storeu_pd(or.add(j), c0);
+                    _mm256_storeu_pd(or.add(j + 4), c1);
+                    j += 8;
+                }
+                while j + 4 <= n {
+                    let mut c = _mm256_loadu_pd(or.add(j));
+                    c = _mm256_fmadd_pd(av0, _mm256_loadu_pd(b0.add(j)), c);
+                    c = _mm256_fmadd_pd(av1, _mm256_loadu_pd(b1.add(j)), c);
+                    c = _mm256_fmadd_pd(av2, _mm256_loadu_pd(b2.add(j)), c);
+                    c = _mm256_fmadd_pd(av3, _mm256_loadu_pd(b3.add(j)), c);
+                    _mm256_storeu_pd(or.add(j), c);
+                    j += 4;
+                }
+                while j < n {
+                    let mut acc = *or.add(j);
+                    acc = a_row[kk].mul_add(*b0.add(j), acc);
+                    acc = a_row[kk + 1].mul_add(*b1.add(j), acc);
+                    acc = a_row[kk + 2].mul_add(*b2.add(j), acc);
+                    acc = a_row[kk + 3].mul_add(*b3.add(j), acc);
+                    *or.add(j) = acc;
+                    j += 1;
+                }
+                kk += 4;
+            }
+            while kk < k1 {
+                let av = _mm256_set1_pd(a_row[kk]);
+                let br = bp.add(kk * n);
+                let mut j = 0;
+                while j + 4 <= n {
+                    let c0 = _mm256_loadu_pd(or.add(j));
+                    let c0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(br.add(j)), c0);
+                    _mm256_storeu_pd(or.add(j), c0);
+                    j += 4;
+                }
+                while j < n {
+                    *or.add(j) = a_row[kk].mul_add(*br.add(j), *or.add(j));
+                    j += 1;
+                }
+                kk += 1;
+            }
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector transcendentals and their bit-mirroring scalar forms
+// ---------------------------------------------------------------------------
+
+// Cephes-style expression of exp(x): range reduction x = n·ln2 + r followed
+// by a rational approximation of exp(r) on |r| ≤ ln2/2. The same constants
+// and operation order are used by the scalar mirror (`exp_m`) and the AVX2
+// lanes (`exp_pd`), so both produce identical bits for identical inputs.
+const EXP_LOG2E: f64 = std::f64::consts::LOG2_E;
+const EXP_C1: f64 = 6.931_457_519_531_25e-1;
+const EXP_C2: f64 = 1.428_606_820_309_417_2e-6;
+const EXP_P0: f64 = 1.261_771_930_748_105_9e-4;
+const EXP_P1: f64 = 3.029_944_077_074_419_6e-2;
+const EXP_P2: f64 = 9.999_999_999_999_999e-1;
+const EXP_Q0: f64 = 3.001_985_051_386_644_6e-6;
+const EXP_Q1: f64 = 2.524_483_403_496_841e-3;
+const EXP_Q2: f64 = 2.272_655_482_081_550_3e-1;
+const EXP_Q3: f64 = 2.000_000_000_000_000_2;
+/// Clamp bounds keeping `2^n` representable as a plain exponent-field
+/// bit pattern (no overflow/denormal scaling needed). Saturates at
+/// `exp(±708)`; all in-repo callers (softmax, sigmoid, tanh) pass
+/// non-positive arguments, where the low clamp only affects results that
+/// are ≈ 1e-308 anyway.
+const EXP_CLAMP: f64 = 708.0;
+
+/// Scalar mirror of the AVX2 `exp` lanes: same polynomial, same fused
+/// multiply-add sequence ([`f64::mul_add`] rounds like `vfmadd`), so for
+/// any input it returns exactly the bits a vector lane would. Used for
+/// slice tails under the AVX2 backend. Accuracy vs libm `exp` is a few
+/// ulp over the clamped range.
+pub fn exp_m(x: f64) -> f64 {
+    let x = x.clamp(-EXP_CLAMP, EXP_CLAMP);
+    let px = (EXP_LOG2E * x + 0.5).floor();
+    let n = px as i64;
+    // x -= px*C1; x -= px*C2 — fused, matching _mm256_fnmadd_pd.
+    let x = (-px).mul_add(EXP_C1, x);
+    let x = (-px).mul_add(EXP_C2, x);
+    let xx = x * x;
+    let p = x * EXP_P0.mul_add(xx, EXP_P1).mul_add(xx, EXP_P2);
+    let q = EXP_Q0
+        .mul_add(xx, EXP_Q1)
+        .mul_add(xx, EXP_Q2)
+        .mul_add(xx, EXP_Q3);
+    let r = p / (q - p);
+    let r = 2.0f64.mul_add(r, 1.0);
+    r * f64::from_bits(((n + 1023) as u64) << 52)
+}
+
+/// Scalar mirror of the AVX2 sigmoid lanes: `e/(1+e)` with
+/// `e = exp_m(-|v|)`, numerator 1 for `v ≥ 0`.
+pub fn sigmoid_m(v: f64) -> f64 {
+    let e = exp_m(-v.abs());
+    let num = if v >= 0.0 { 1.0 } else { e };
+    num / (1.0 + e)
+}
+
+/// Threshold below which `tanh(v) = v` to double precision (error is
+/// `v³/3`, relatively `v²/3 ≈ 3e-17` at the cutover), avoiding the
+/// `1 - e` cancellation of the exponential form near zero.
+const TANH_TINY: f64 = 1e-8;
+
+/// Scalar mirror of the AVX2 tanh lanes: `(1-e)/(1+e)` with
+/// `e = exp_m(-2|v|)`, sign restored by copysign, identity below
+/// `TANH_TINY`.
+pub fn tanh_m(v: f64) -> f64 {
+    let a = v.abs();
+    if a < TANH_TINY {
+        return v;
+    }
+    let e = exp_m(-2.0 * a);
+    let t = (1.0 - e) / (1.0 + e);
+    t.copysign(v)
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! The vector lanes behind the AVX2 backend. Each `_pd` helper is the
+    //! four-lane transliteration of its `_m` scalar mirror in the parent
+    //! module — same constants, same operation order — so lane and tail
+    //! results are bit-identical per element.
+    #![allow(unsafe_op_in_unsafe_fn)]
+
+    use super::*;
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn exp_pd(x: __m256d) -> __m256d {
+        let clamp = _mm256_set1_pd(EXP_CLAMP);
+        let x = _mm256_min_pd(
+            _mm256_max_pd(x, _mm256_sub_pd(_mm256_setzero_pd(), clamp)),
+            clamp,
+        );
+        let px = _mm256_floor_pd(_mm256_add_pd(
+            _mm256_mul_pd(_mm256_set1_pd(EXP_LOG2E), x),
+            _mm256_set1_pd(0.5),
+        ));
+        // px holds small exact integers: cvtpd_epi32 is exact; widen to i64
+        // and build 2^n directly in the exponent field.
+        let n32 = _mm256_cvtpd_epi32(px);
+        let n64 = _mm256_cvtepi32_epi64(n32);
+        let pow2 = _mm256_castsi256_pd(_mm256_slli_epi64::<52>(_mm256_add_epi64(
+            n64,
+            _mm256_set1_epi64x(1023),
+        )));
+        let x = _mm256_fnmadd_pd(px, _mm256_set1_pd(EXP_C1), x);
+        let x = _mm256_fnmadd_pd(px, _mm256_set1_pd(EXP_C2), x);
+        let xx = _mm256_mul_pd(x, x);
+        let p = _mm256_fmadd_pd(_mm256_set1_pd(EXP_P0), xx, _mm256_set1_pd(EXP_P1));
+        let p = _mm256_fmadd_pd(p, xx, _mm256_set1_pd(EXP_P2));
+        let p = _mm256_mul_pd(x, p);
+        let q = _mm256_fmadd_pd(_mm256_set1_pd(EXP_Q0), xx, _mm256_set1_pd(EXP_Q1));
+        let q = _mm256_fmadd_pd(q, xx, _mm256_set1_pd(EXP_Q2));
+        let q = _mm256_fmadd_pd(q, xx, _mm256_set1_pd(EXP_Q3));
+        let r = _mm256_div_pd(p, _mm256_sub_pd(q, p));
+        let r = _mm256_fmadd_pd(_mm256_set1_pd(2.0), r, _mm256_set1_pd(1.0));
+        _mm256_mul_pd(r, pow2)
+    }
+
+    const SIGN_MASK: i64 = i64::MIN; // 0x8000_0000_0000_0000
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sigmoid_pd(v: __m256d) -> __m256d {
+        let sign = _mm256_castsi256_pd(_mm256_set1_epi64x(SIGN_MASK));
+        let abs = _mm256_andnot_pd(sign, v);
+        let e = exp_pd(_mm256_sub_pd(_mm256_setzero_pd(), abs));
+        let one = _mm256_set1_pd(1.0);
+        // v ≥ 0 → numerator 1, else e (matches the stable scalar form).
+        let nonneg = _mm256_cmp_pd::<_CMP_GE_OQ>(v, _mm256_setzero_pd());
+        let num = _mm256_blendv_pd(e, one, nonneg);
+        _mm256_div_pd(num, _mm256_add_pd(one, e))
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn tanh_pd(v: __m256d) -> __m256d {
+        let sign_bit = _mm256_castsi256_pd(_mm256_set1_epi64x(SIGN_MASK));
+        let abs = _mm256_andnot_pd(sign_bit, v);
+        let e = exp_pd(_mm256_mul_pd(_mm256_set1_pd(-2.0), abs));
+        let one = _mm256_set1_pd(1.0);
+        let t = _mm256_div_pd(_mm256_sub_pd(one, e), _mm256_add_pd(one, e));
+        // copysign(t, v): take |t| (t ≥ 0 here) and v's sign bit.
+        let signed = _mm256_or_pd(t, _mm256_and_pd(sign_bit, v));
+        // |v| < TANH_TINY → identity, dodging the 1-e cancellation.
+        let tiny = _mm256_cmp_pd::<_CMP_LT_OQ>(abs, _mm256_set1_pd(TANH_TINY));
+        _mm256_blendv_pd(signed, v, tiny)
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sigmoid_slice(xs: &mut [f64]) {
+        let p = xs.as_mut_ptr();
+        let mut i = 0;
+        while i + 4 <= xs.len() {
+            _mm256_storeu_pd(p.add(i), sigmoid_pd(_mm256_loadu_pd(p.add(i))));
+            i += 4;
+        }
+        for v in &mut xs[i..] {
+            *v = sigmoid_m(*v);
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn tanh_slice(xs: &mut [f64]) {
+        let p = xs.as_mut_ptr();
+        let mut i = 0;
+        while i + 4 <= xs.len() {
+            _mm256_storeu_pd(p.add(i), tanh_pd(_mm256_loadu_pd(p.add(i))));
+            i += 4;
+        }
+        for v in &mut xs[i..] {
+            *v = tanh_m(*v);
+        }
+    }
+
+    /// Softmax of one row: vector max / exp / sum with a fixed
+    /// lane-reduction order (pairwise within the final register, then the
+    /// tail elements in ascending order), then the division pass.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn softmax_row(row: &mut [f64]) {
+        let n = row.len();
+        let p = row.as_mut_ptr();
+        // Row maximum: vector fold then ordered tail.
+        let mut i = 0;
+        let mut max = f64::NEG_INFINITY;
+        if n >= 4 {
+            let mut mv = _mm256_loadu_pd(p);
+            i = 4;
+            while i + 4 <= n {
+                mv = _mm256_max_pd(mv, _mm256_loadu_pd(p.add(i)));
+                i += 4;
+            }
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), mv);
+            max = lanes[0].max(lanes[1]).max(lanes[2]).max(lanes[3]);
+        }
+        for &v in &row[i..] {
+            max = max.max(v);
+        }
+        // Exponentiate shifted values and accumulate the sum: lane partial
+        // sums folded pairwise, tail added in ascending order afterwards —
+        // a fixed order for a given row, independent of anything else.
+        let mv = _mm256_set1_pd(max);
+        let mut i = 0;
+        let mut sum;
+        if n >= 4 {
+            let mut sv = _mm256_setzero_pd();
+            while i + 4 <= n {
+                let e = exp_pd(_mm256_sub_pd(_mm256_loadu_pd(p.add(i)), mv));
+                _mm256_storeu_pd(p.add(i), e);
+                sv = _mm256_add_pd(sv, e);
+                i += 4;
+            }
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), sv);
+            sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        } else {
+            sum = 0.0;
+        }
+        for v in &mut row[i..] {
+            *v = exp_m(*v - max);
+            sum += *v;
+        }
+        let sv = _mm256_set1_pd(sum);
+        let mut i = 0;
+        while i + 4 <= n {
+            _mm256_storeu_pd(p.add(i), _mm256_div_pd(_mm256_loadu_pd(p.add(i)), sv));
+            i += 4;
+        }
+        for v in &mut row[i..] {
+            *v /= sum;
+        }
+    }
+
+    /// Fused LSTM state update for one row — the vector form of
+    /// [`lstm_step_row_scalar`](super::lstm_step_row_scalar) under the
+    /// AVX2 transcendentals. The gate algebra deliberately uses *unfused*
+    /// mul/add so it matches the cached-forward path, which computes
+    /// `f⊙c + i⊙g` through separate element-wise passes.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn lstm_step_row(z: &[f64], c: &mut [f64], h: &mut [f64], h_dim: usize) {
+        let zp = z.as_ptr();
+        let cp = c.as_mut_ptr();
+        let hp = h.as_mut_ptr();
+        let mut j = 0;
+        while j + 4 <= h_dim {
+            let i_g = sigmoid_pd(_mm256_loadu_pd(zp.add(j)));
+            let f_g = sigmoid_pd(_mm256_loadu_pd(zp.add(h_dim + j)));
+            let g_g = tanh_pd(_mm256_loadu_pd(zp.add(2 * h_dim + j)));
+            let o_g = sigmoid_pd(_mm256_loadu_pd(zp.add(3 * h_dim + j)));
+            let c_new = _mm256_add_pd(
+                _mm256_mul_pd(f_g, _mm256_loadu_pd(cp.add(j))),
+                _mm256_mul_pd(i_g, g_g),
+            );
+            _mm256_storeu_pd(cp.add(j), c_new);
+            _mm256_storeu_pd(hp.add(j), _mm256_mul_pd(o_g, tanh_pd(c_new)));
+            j += 4;
+        }
+        while j < h_dim {
+            let i_g = sigmoid_m(z[j]);
+            let f_g = sigmoid_m(z[h_dim + j]);
+            let g_g = tanh_m(z[2 * h_dim + j]);
+            let o_g = sigmoid_m(z[3 * h_dim + j]);
+            let c_new = f_g * c[j] + i_g * g_g;
+            c[j] = c_new;
+            h[j] = o_g * tanh_m(c_new);
+            j += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched element-wise kernels
+// ---------------------------------------------------------------------------
+
+/// In-place logistic sigmoid over a slice, dispatched by [`backend`]. The
+/// scalar backend is the numerically-stable libm form
+/// ([`sigmoid_scalar`](crate::activation::sigmoid_scalar)).
+pub fn sigmoid_slice(xs: &mut [f64]) {
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2Fma => unsafe { avx2::sigmoid_slice(xs) },
+        _ => {
+            for v in xs {
+                *v = crate::activation::sigmoid_scalar(*v);
+            }
+        }
+    }
+}
+
+/// In-place hyperbolic tangent over a slice, dispatched by [`backend`].
+/// The scalar backend is libm [`f64::tanh`].
+pub fn tanh_slice(xs: &mut [f64]) {
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2Fma => unsafe { avx2::tanh_slice(xs) },
+        _ => {
+            for v in xs {
+                *v = v.tanh();
+            }
+        }
+    }
+}
+
+/// In-place softmax of one row (max-subtraction form), dispatched by
+/// [`backend`]. Operates on the row slice only, so a row maps to the same
+/// result in a 1-row and an n-row batch.
+pub fn softmax_row(row: &mut [f64]) {
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2Fma => unsafe { avx2::softmax_row(row) },
+        _ => softmax_row_scalar(row),
+    }
+}
+
+/// The portable softmax row kernel (libm `exp`, strictly ascending sum).
+pub fn softmax_row_scalar(row: &mut [f64]) {
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Fused LSTM state update for one row: given the pre-activation row `z`
+/// (`4·h_dim` wide, gate order `i|f|g|o`), updates `c ← σ(f)⊙c + σ(i)⊙tanh(g)`
+/// and `h ← σ(o)⊙tanh(c)` in place. Dispatched by [`backend`]; both
+/// implementations use the same per-element transcendentals as
+/// [`sigmoid_slice`]/[`tanh_slice`], so the fused path stays bit-identical
+/// to the unfused matrix-at-a-time path under either backend.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `h_dim`.
+pub fn lstm_step_row(z: &[f64], c: &mut [f64], h: &mut [f64], h_dim: usize) {
+    assert_eq!(z.len(), 4 * h_dim, "gate row width mismatch");
+    assert_eq!(c.len(), h_dim, "cell row width mismatch");
+    assert_eq!(h.len(), h_dim, "hidden row width mismatch");
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2Fma => unsafe { avx2::lstm_step_row(z, c, h, h_dim) },
+        _ => lstm_step_row_scalar(z, c, h, h_dim),
+    }
+}
+
+/// The portable LSTM state update (libm transcendentals) — the original
+/// fused step loop.
+pub fn lstm_step_row_scalar(z: &[f64], c: &mut [f64], h: &mut [f64], h_dim: usize) {
+    use crate::activation::sigmoid_scalar;
+    for j in 0..h_dim {
+        let i = sigmoid_scalar(z[j]);
+        let f = sigmoid_scalar(z[h_dim + j]);
+        let g = z[2 * h_dim + j].tanh();
+        let o = sigmoid_scalar(z[3 * h_dim + j]);
+        let c_new = f * c[j] + i * g;
+        c[j] = c_new;
+        h[j] = o * c_new.tanh();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_policy() {
+        assert_eq!(resolve(None, true), Backend::Avx2Fma);
+        assert_eq!(resolve(None, false), Backend::Scalar);
+        assert_eq!(resolve(Some("0"), true), Backend::Scalar);
+        assert_eq!(resolve(Some("off"), true), Backend::Scalar);
+        assert_eq!(resolve(Some(" 0 "), true), Backend::Scalar);
+        assert_eq!(resolve(Some("1"), true), Backend::Avx2Fma);
+        assert_eq!(resolve(Some("1"), false), Backend::Scalar);
+        assert_eq!(Backend::Scalar.label(), "scalar");
+        assert_eq!(Backend::Avx2Fma.label(), "avx2+fma");
+    }
+
+    #[test]
+    fn exp_mirror_tracks_libm() {
+        // A few ulp of libm over the range our callers use (args ≤ 0).
+        let mut x = -700.0;
+        while x <= 0.0 {
+            let got = exp_m(x);
+            let want = x.exp();
+            assert!(
+                (got - want).abs() <= 1e-13 * want.abs(),
+                "exp_m({x}) = {got} vs libm {want}"
+            );
+            x += 0.37;
+        }
+        assert_eq!(exp_m(0.0), 1.0);
+        // Saturation below the clamp, still positive.
+        assert!(exp_m(-1000.0) > 0.0);
+        assert!(exp_m(-1000.0) < 1e-300);
+    }
+
+    #[test]
+    fn sigmoid_tanh_mirrors_track_libm() {
+        let mut v = -30.0;
+        while v <= 30.0 {
+            let s = sigmoid_m(v);
+            let s_ref = crate::activation::sigmoid_scalar(v);
+            assert!((s - s_ref).abs() <= 1e-12, "sigmoid_m({v})");
+            let t = tanh_m(v);
+            let t_ref = v.tanh();
+            assert!((t - t_ref).abs() <= 1e-12, "tanh_m({v})");
+            v += 0.173;
+        }
+        assert_eq!(sigmoid_m(0.0), 0.5);
+        assert_eq!(tanh_m(0.0), 0.0);
+        assert_eq!(tanh_m(-0.0).to_bits(), (-0.0f64).to_bits());
+        // Tiny arguments take the identity branch exactly.
+        assert_eq!(tanh_m(1e-9), 1e-9);
+        assert_eq!(tanh_m(-1e-9), -1e-9);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_lanes_mirror_scalar_tails_bitwise() {
+        if !detect_avx2_fma() {
+            return;
+        }
+        // Values at every lane position and an odd tail: lane/tail identity
+        // means results are independent of offset and slice length.
+        let vals: Vec<f64> = (0..23)
+            .map(|i| (i as f64 - 11.0) * 1.7 + 0.013 * i as f64)
+            .collect();
+        let mut sig = vals.clone();
+        let mut th = vals.clone();
+        unsafe {
+            avx2::sigmoid_slice(&mut sig);
+            avx2::tanh_slice(&mut th);
+        }
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(sig[i].to_bits(), sigmoid_m(v).to_bits(), "sigmoid lane {i}");
+            assert_eq!(th[i].to_bits(), tanh_m(v).to_bits(), "tanh lane {i}");
+        }
+        // Same values pushed through at a different offset (drop the first
+        // element) must give the same bits per value.
+        let mut shifted = vals[1..].to_vec();
+        unsafe { avx2::sigmoid_slice(&mut shifted) };
+        for (i, &v) in shifted.iter().enumerate() {
+            assert_eq!(v.to_bits(), sig[i + 1].to_bits(), "offset invariance {i}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_gemm_matches_mul_add_reference() {
+        if !detect_avx2_fma() {
+            return;
+        }
+        // Shapes crossing the 16- and 4-column vector widths and the KC
+        // panel boundary.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 18), (2, 130, 21), (4, 7, 3)] {
+            let a: Vec<f64> = (0..m * k).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..k * n).map(|i| (i as f64 * 0.61).cos()).collect();
+            let mut out = vec![0.25; m * n];
+            let mut want = out.clone();
+            gemm_acc_fma(&a, m, k, &b, n, &mut out);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = want[i * n + j];
+                    for kk in 0..k {
+                        acc = a[i * k + kk].mul_add(b[kk * n + j], acc);
+                    }
+                    want[i * n + j] = acc;
+                }
+            }
+            assert_eq!(out, want, "{m}x{k}·{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn softmax_row_scalar_matches_definition() {
+        let mut row = [1.0, 2.0, 3.0];
+        softmax_row_scalar(&mut row);
+        let s: f64 = row.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!(row[2] > row[1] && row[1] > row[0]);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_softmax_close_to_scalar() {
+        if !detect_avx2_fma() {
+            return;
+        }
+        for n in [1usize, 2, 3, 4, 5, 8, 11] {
+            let base: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).sin() * 4.0).collect();
+            let mut simd = base.clone();
+            let mut scalar = base.clone();
+            unsafe { avx2::softmax_row(&mut simd) };
+            softmax_row_scalar(&mut scalar);
+            let sum: f64 = simd.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "n={n} sum {sum}");
+            for i in 0..n {
+                assert!(
+                    (simd[i] - scalar[i]).abs() <= 1e-12 * scalar[i].max(1e-300),
+                    "n={n} lane {i}: {} vs {}",
+                    simd[i],
+                    scalar[i]
+                );
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_lstm_step_close_to_scalar_and_tail_consistent() {
+        if !detect_avx2_fma() {
+            return;
+        }
+        for h_dim in [1usize, 3, 4, 5, 8, 13] {
+            let z: Vec<f64> = (0..4 * h_dim)
+                .map(|i| (i as f64 * 0.7).sin() * 3.0)
+                .collect();
+            let c0: Vec<f64> = (0..h_dim).map(|i| (i as f64 * 0.3).cos()).collect();
+            let mut c_simd = c0.clone();
+            let mut h_simd = vec![0.0; h_dim];
+            unsafe { avx2::lstm_step_row(&z, &mut c_simd, &mut h_simd, h_dim) };
+            let mut c_scalar = c0.clone();
+            let mut h_scalar = vec![0.0; h_dim];
+            lstm_step_row_scalar(&z, &mut c_scalar, &mut h_scalar, h_dim);
+            for j in 0..h_dim {
+                assert!(
+                    (c_simd[j] - c_scalar[j]).abs() <= 1e-9,
+                    "h_dim={h_dim} c[{j}]"
+                );
+                assert!(
+                    (h_simd[j] - h_scalar[j]).abs() <= 1e-9,
+                    "h_dim={h_dim} h[{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_kernels_run_under_active_backend() {
+        // Smoke: whatever backend() resolves to in this process, the
+        // dispatched entry points must produce sane values.
+        let mut s = vec![-2.0, -0.5, 0.0, 0.5, 2.0];
+        sigmoid_slice(&mut s);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!((s[2] - 0.5).abs() < 1e-12);
+
+        let mut t = vec![-1.0, 0.0, 1.0];
+        tanh_slice(&mut t);
+        assert!((t[1]).abs() < 1e-15 && t[0] < 0.0 && t[2] > 0.0);
+
+        let mut row = vec![0.3, 1.1];
+        softmax_row(&mut row);
+        assert!((row[0] + row[1] - 1.0).abs() < 1e-12);
+
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0; 4];
+        gemm_acc(&a, 2, 2, &b, 2, &mut out);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+    }
+}

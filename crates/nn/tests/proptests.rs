@@ -12,9 +12,36 @@ fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 
-/// Reference GEMM implementation (naive jki order) to check the optimized
-/// loop ordering against.
+/// One ascending-k multiply-add step with the *active backend's* rounding:
+/// unfused for the scalar kernels, fused (`mul_add`) under AVX2+FMA. The
+/// bit-identity contract of the GEMM entry points is stated against this.
+fn madd(acc: f64, a: f64, b: f64) -> f64 {
+    if cpsmon_nn::simd::fma_active() {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+/// Reference GEMM implementation (naive jki order, backend-matched
+/// multiply-add) to check the optimized loop ordering against.
 fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc = madd(acc, a.get(i, k), b.get(k, j));
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Never-fused naive GEMM, the reference for kernels that stay scalar
+/// under every backend (`transpose_matmul`).
+fn naive_matmul_plain(a: &Matrix, b: &Matrix) -> Matrix {
     let mut out = Matrix::zeros(a.rows(), b.cols());
     for i in 0..a.rows() {
         for j in 0..b.cols() {
@@ -132,15 +159,15 @@ proptest! {
     }
 }
 
-/// Reference A·Bᵀ with the same strictly-ascending-k accumulation the
-/// kernels guarantee.
+/// Reference A·Bᵀ with the same strictly-ascending-k accumulation (and
+/// backend-matched multiply-add) the kernels guarantee.
 fn naive_matmul_tb(a: &Matrix, b: &Matrix) -> Matrix {
     let mut out = Matrix::zeros(a.rows(), b.rows());
     for i in 0..a.rows() {
         for j in 0..b.rows() {
             let mut acc = 0.0;
             for k in 0..a.cols() {
-                acc += a.get(i, k) * b.get(j, k);
+                acc = madd(acc, a.get(i, k), b.get(j, k));
             }
             out.set(i, j, acc);
         }
@@ -179,7 +206,7 @@ proptest! {
         let mut rng = SmallRng::new(seed);
         let a = cpsmon_nn::init::random_normal(m, k, 1.0, &mut rng);
         let b = cpsmon_nn::init::random_normal(m, n, 1.0, &mut rng);
-        prop_assert_eq!(a.transpose_matmul(&b), naive_matmul(&a.transpose(), &b));
+        prop_assert_eq!(a.transpose_matmul(&b), naive_matmul_plain(&a.transpose(), &b));
     }
 
     #[test]
@@ -195,12 +222,120 @@ proptest! {
             for j in 0..n {
                 let mut acc = expect.get(i, j);
                 for kk in 0..k {
-                    acc += a.get(i, kk) * b.get(kk, j);
+                    acc = madd(acc, a.get(i, kk), b.get(kk, j));
                 }
                 expect.set(i, j, acc);
             }
         }
         prop_assert_eq!(out, expect);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD vs scalar agreement: both kernel families must compute the same
+// mathematical function to well under 1e-6 relative tolerance on random
+// shapes, and the vector lanes must be bit-identical to their scalar-tail
+// mirrors (offset/length invariance).
+// ---------------------------------------------------------------------------
+
+fn rel_close(x: f64, y: f64, tol: f64) -> bool {
+    (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+proptest! {
+    #[test]
+    fn simd_gemm_agrees_with_scalar_gemm((m, k, n) in dims(), seed in any::<u64>()) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if avx2_available() {
+                let mut rng = SmallRng::new(seed);
+                let a = cpsmon_nn::init::random_normal(m, k, 1.0, &mut rng).into_vec();
+                let b = cpsmon_nn::init::random_normal(k, n, 1.0, &mut rng).into_vec();
+                let mut scalar = vec![0.0; m * n];
+                let mut simd = vec![0.0; m * n];
+                cpsmon_nn::simd::gemm_acc_scalar(&a, m, k, &b, n, &mut scalar);
+                cpsmon_nn::simd::gemm_acc_fma(&a, m, k, &b, n, &mut simd);
+                for (i, (&s, &v)) in scalar.iter().zip(&simd).enumerate() {
+                    prop_assert!(rel_close(s, v, 1e-6), "gemm elem {}: scalar {} vs simd {}", i, s, v);
+                }
+            }
+        }
+        let _ = (m, k, n, seed);
+    }
+
+    #[test]
+    fn simd_transcendental_mirrors_agree_with_libm(vals in proptest::collection::vec(-40.0f64..40.0, 1..40)) {
+        // The scalar mirrors of the vector lanes vs the libm scalar kernels
+        // (what the two backends respectively compute per element).
+        for &v in &vals {
+            prop_assert!(rel_close(cpsmon_nn::simd::sigmoid_m(v), sigmoid_scalar(v), 1e-9), "sigmoid({})", v);
+            prop_assert!(rel_close(cpsmon_nn::simd::tanh_m(v), v.tanh(), 1e-9), "tanh({})", v);
+            prop_assert!(rel_close(cpsmon_nn::simd::exp_m(-v.abs()), (-v.abs()).exp(), 1e-9), "exp({})", -v.abs());
+        }
+    }
+
+    #[test]
+    fn simd_softmax_agrees_with_scalar(vals in proptest::collection::vec(-15.0f64..15.0, 1..24)) {
+        let mut scalar = vals.clone();
+        cpsmon_nn::simd::softmax_row_scalar(&mut scalar);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if avx2_available() {
+                // Dispatch resolves per process; exercise the AVX2 row kernel
+                // through the full slice vs the scalar reference.
+                let mut row = vals.clone();
+                cpsmon_nn::simd::softmax_row(&mut row);
+                for (i, (&s, &v)) in scalar.iter().zip(&row).enumerate() {
+                    prop_assert!(rel_close(s, v, 1e-6), "softmax elem {}: {} vs {}", i, s, v);
+                }
+            }
+        }
+        let sum: f64 = scalar.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simd_lstm_step_agrees_with_scalar(h_dim in 1usize..17, seed in any::<u64>()) {
+        let mut rng = SmallRng::new(seed);
+        let z = cpsmon_nn::init::random_normal(1, 4 * h_dim, 2.0, &mut rng).into_vec();
+        let c0 = cpsmon_nn::init::random_normal(1, h_dim, 1.0, &mut rng).into_vec();
+        let mut c_scalar = c0.clone();
+        let mut h_scalar = vec![0.0; h_dim];
+        cpsmon_nn::simd::lstm_step_row_scalar(&z, &mut c_scalar, &mut h_scalar, h_dim);
+        let mut c_any = c0.clone();
+        let mut h_any = vec![0.0; h_dim];
+        cpsmon_nn::simd::lstm_step_row(&z, &mut c_any, &mut h_any, h_dim);
+        for j in 0..h_dim {
+            prop_assert!(rel_close(c_scalar[j], c_any[j], 1e-6), "c[{}]", j);
+            prop_assert!(rel_close(h_scalar[j], h_any[j], 1e-6), "h[{}]", j);
+        }
+    }
+
+    #[test]
+    fn simd_slices_are_offset_invariant(vals in proptest::collection::vec(-30.0f64..30.0, 2..40), cut in 1usize..8) {
+        // Processing the same values at a different offset/length must give
+        // the same bits per value — the lane/tail mirror invariant that
+        // makes streaming (1-row) inference bit-identical to batch.
+        let cut = cut.min(vals.len() - 1);
+        let mut whole = vals.clone();
+        cpsmon_nn::simd::sigmoid_slice(&mut whole);
+        let mut tail = vals[cut..].to_vec();
+        cpsmon_nn::simd::sigmoid_slice(&mut tail);
+        for (i, &v) in tail.iter().enumerate() {
+            prop_assert_eq!(v.to_bits(), whole[cut + i].to_bits(), "sigmoid offset {}", i);
+        }
+        let mut whole_t = vals.clone();
+        cpsmon_nn::simd::tanh_slice(&mut whole_t);
+        let mut tail_t = vals[cut..].to_vec();
+        cpsmon_nn::simd::tanh_slice(&mut tail_t);
+        for (i, &v) in tail_t.iter().enumerate() {
+            prop_assert_eq!(v.to_bits(), whole_t[cut + i].to_bits(), "tanh offset {}", i);
+        }
     }
 }
 

@@ -6,7 +6,7 @@
 //! cargo run --release --example robustness_sweep
 //! ```
 
-use cpsmon::attack::{Fgsm, GaussianNoise, EPSILON_SWEEP, SIGMA_SWEEP};
+use cpsmon::attack::{grid_cells, SweepContext};
 use cpsmon::core::{robustness_error, DatasetBuilder, MonitorKind, TrainConfig};
 use cpsmon::sim::{CampaignConfig, SimulatorKind};
 
@@ -41,26 +41,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             clean.f1(),
             0.0
         );
-        for (i, &sigma) in SIGMA_SWEEP.iter().enumerate() {
-            let noisy = GaussianNoise::new(sigma).apply(&dataset.test.x, 7 ^ i as u64);
-            let preds = monitor.predict_x(&noisy);
+        // The amortized sweep engine pays for the loss gradient and each
+        // noise field once, then materializes every grid cell (the σ cells
+        // use the historical per-cell seeds `7 ^ i`) as a cheap axpy.
+        let sweep = SweepContext::new(model, &dataset.test.x, &dataset.test.labels);
+        for cell in grid_cells(7) {
+            let perturbed = sweep.materialize(&cell);
+            let preds = monitor.predict_x(&perturbed);
             let report = cpsmon::core::monitor::evaluate_predictions(&dataset.test, &preds, 6);
+            let label = if cell.is_gaussian() {
+                format!("gaussian σ={}", cell.strength())
+            } else {
+                format!("fgsm ε={}", cell.strength())
+            };
             println!(
                 "{:<12} {:<18} {:>10.3} {:>10.3}",
                 kind.label(),
-                format!("gaussian σ={sigma}"),
-                report.f1(),
-                robustness_error(&clean_preds, &preds)
-            );
-        }
-        for &eps in &EPSILON_SWEEP {
-            let adv = Fgsm::new(eps).attack(model, &dataset.test.x, &dataset.test.labels);
-            let preds = monitor.predict_x(&adv);
-            let report = cpsmon::core::monitor::evaluate_predictions(&dataset.test, &preds, 6);
-            println!(
-                "{:<12} {:<18} {:>10.3} {:>10.3}",
-                kind.label(),
-                format!("fgsm ε={eps}"),
+                label,
                 report.f1(),
                 robustness_error(&clean_preds, &preds)
             );

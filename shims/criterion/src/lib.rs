@@ -54,6 +54,7 @@ pub struct Criterion {
     measurement_time: Duration,
     warm_up_time: Duration,
     results: Vec<BenchResult>,
+    metadata: Vec<(String, String)>,
 }
 
 impl Default for Criterion {
@@ -63,6 +64,7 @@ impl Default for Criterion {
             measurement_time: Duration::from_secs(2),
             warm_up_time: Duration::from_millis(500),
             results: Vec::new(),
+            metadata: Vec::new(),
         }
     }
 }
@@ -86,15 +88,29 @@ impl Criterion {
         self
     }
 
+    /// Records a key/value pair emitted into the snapshot's `"meta"` object
+    /// (environment facts like thread count, CPU features, kernel backend).
+    /// Not part of the real criterion API — a shim extension.
+    pub fn metadata(&mut self, key: &str, value: &str) -> &mut Self {
+        self.metadata.push((key.to_string(), value.to_string()));
+        self
+    }
+
     /// Runs one benchmark and records its statistics.
+    ///
+    /// `CPSMON_BENCH_SAMPLES` (if set to a positive integer) overrides the
+    /// configured sample count and shrinks the warm-up/measurement budgets
+    /// proportionally — the CI smoke mode, which only checks that every
+    /// bench still runs.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        let (sample_size, warm_up, measurement) = self.effective_budget();
         let mut bencher = Bencher {
-            warm_up: self.warm_up_time,
-            measurement: self.measurement_time,
-            sample_size: self.sample_size,
+            warm_up,
+            measurement,
+            sample_size,
             samples_ns: Vec::new(),
         };
         f(&mut bencher);
@@ -129,6 +145,24 @@ impl Criterion {
         &self.results
     }
 
+    /// The `(samples, warm_up, measurement)` actually used, after the
+    /// `CPSMON_BENCH_SAMPLES` smoke override.
+    fn effective_budget(&self) -> (usize, Duration, Duration) {
+        match std::env::var("CPSMON_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            Some(n) => (
+                n,
+                self.warm_up_time.min(Duration::from_millis(10)),
+                self.measurement_time
+                    .min(Duration::from_millis(50 * n as u64)),
+            ),
+            None => (self.sample_size, self.warm_up_time, self.measurement_time),
+        }
+    }
+
     /// Prints a footer and writes the JSON snapshot. Called by
     /// [`criterion_main!`]; `bench_name` and `manifest_dir` are filled in
     /// from the bench target's build environment.
@@ -139,7 +173,20 @@ impl Criterion {
         let path = snapshot_path(bench_name, manifest_dir);
         let mut json = String::from("{\n");
         json.push_str(&format!("  \"bench\": \"{bench_name}\",\n"));
-        json.push_str("  \"unit\": \"ns/iter\",\n  \"results\": {\n");
+        json.push_str("  \"unit\": \"ns/iter\",\n");
+        if !self.metadata.is_empty() {
+            json.push_str("  \"meta\": {\n");
+            for (i, (k, v)) in self.metadata.iter().enumerate() {
+                let comma = if i + 1 == self.metadata.len() {
+                    ""
+                } else {
+                    ","
+                };
+                json.push_str(&format!("    \"{k}\": \"{v}\"{comma}\n"));
+            }
+            json.push_str("  },\n");
+        }
+        json.push_str("  \"results\": {\n");
         for (i, r) in self.results.iter().enumerate() {
             let comma = if i + 1 == self.results.len() { "" } else { "," };
             json.push_str(&format!(
@@ -303,6 +350,7 @@ mod tests {
 
     #[test]
     fn iter_collects_samples() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let mut c = tiny();
         c.bench_function("noop", |b| b.iter(|| 1 + 1));
         assert_eq!(c.results().len(), 1);
@@ -312,6 +360,7 @@ mod tests {
 
     #[test]
     fn iter_batched_times_routine_only() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let mut c = tiny();
         c.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
@@ -319,14 +368,49 @@ mod tests {
         assert_eq!(c.results()[0].samples, 3);
     }
 
+    /// Serializes tests that touch process-wide environment variables.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn snapshot_path_prefers_env() {
-        // Not using ThreadsGuard-style locking here: this is the only test
-        // in this crate touching the variable.
+        let _guard = ENV_LOCK.lock().unwrap();
         std::env::set_var("CPSMON_BENCH_SNAPSHOT", "/tmp/snap.json");
         let p = snapshot_path("x", "/nonexistent");
         std::env::remove_var("CPSMON_BENCH_SNAPSHOT");
         assert_eq!(p, std::path::PathBuf::from("/tmp/snap.json"));
+    }
+
+    #[test]
+    fn metadata_lands_in_snapshot() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let path = std::env::temp_dir().join("criterion_shim_meta_test.json");
+        std::env::set_var("CPSMON_BENCH_SNAPSHOT", &path);
+        let mut c = tiny();
+        c.metadata("threads", "4").metadata("simd", "avx2+fma");
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.finalize("meta_test", "/nonexistent");
+        std::env::remove_var("CPSMON_BENCH_SNAPSHOT");
+        let text = std::fs::read_to_string(&path).expect("snapshot written");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("\"meta\": {"), "missing meta object: {text}");
+        assert!(
+            text.contains("\"threads\": \"4\","),
+            "missing threads: {text}"
+        );
+        assert!(
+            text.contains("\"simd\": \"avx2+fma\"\n"),
+            "missing simd: {text}"
+        );
+    }
+
+    #[test]
+    fn sample_env_overrides_budget() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("CPSMON_BENCH_SAMPLES", "1");
+        let mut c = Criterion::default(); // would be 20 samples, 2 s budget
+        c.bench_function("smoke", |b| b.iter(|| 1 + 1));
+        std::env::remove_var("CPSMON_BENCH_SAMPLES");
+        assert_eq!(c.results()[0].samples, 1, "smoke override ignored");
     }
 
     #[test]
