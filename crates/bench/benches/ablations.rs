@@ -1,6 +1,4 @@
-//! Bench target: runs the ablations at quick scale.
+//! Bench target: regenerates the ablations at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment("ablations_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        cpsmon_bench::experiments::ablations::run(ctx)
-    });
+    cpsmon_bench::bench_main("ablations");
 }

@@ -1,8 +1,4 @@
-//! Bench target: detector_evasion at quick scale.
+//! Bench target: regenerates the detector_evasion rows at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment(
-        "detector_evasion_quick",
-        cpsmon_bench::Scale::Quick,
-        |ctx| vec![cpsmon_bench::experiments::detector_evasion::run(ctx)],
-    );
+    cpsmon_bench::bench_main("detector_evasion");
 }

@@ -1,6 +1,4 @@
-//! Bench target: regenerates the fig10_blackbox rows at quick scale.
+//! Bench target: regenerates the Fig. 10 black-box attack at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment("fig10_blackbox_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        vec![cpsmon_bench::experiments::fig10_blackbox::run(ctx)]
-    });
+    cpsmon_bench::bench_main("fig10_blackbox");
 }

@@ -1,6 +1,4 @@
-//! Bench target: regenerates the fig2_example rows at quick scale.
+//! Bench target: regenerates the Fig. 2 example trace at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment("fig2_example_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        vec![cpsmon_bench::experiments::fig2_example::run(ctx)]
-    });
+    cpsmon_bench::bench_main("fig2_example");
 }

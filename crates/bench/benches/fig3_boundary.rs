@@ -1,8 +1,4 @@
-//! Bench target: regenerates the Fig. 3 grid at quick scale.
+//! Bench target: regenerates the Fig. 3 decision boundaries at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment("fig3_boundary_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        let (table, sketch) = cpsmon_bench::experiments::fig3_boundary::run(ctx);
-        println!("{sketch}");
-        vec![table]
-    });
+    cpsmon_bench::bench_main("fig3_boundary");
 }

@@ -1,6 +1,4 @@
-//! Bench target: regenerates the fig4_noise_dist rows at quick scale.
+//! Bench target: regenerates the Fig. 4 noise distributions at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment("fig4_noise_dist_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        vec![cpsmon_bench::experiments::fig4_noise_dist::run(ctx)]
-    });
+    cpsmon_bench::bench_main("fig4_noise_dist");
 }

@@ -1,6 +1,4 @@
-//! Bench target: regenerates the fig5_gaussian rows at quick scale.
+//! Bench target: regenerates the Fig. 5 Gaussian-noise sweep at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment("fig5_gaussian_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        vec![cpsmon_bench::experiments::fig5_gaussian::run(ctx)]
-    });
+    cpsmon_bench::bench_main("fig5_gaussian");
 }

@@ -1,6 +1,4 @@
-//! Bench target: regenerates the fig6_pr rows at quick scale.
+//! Bench target: regenerates the Fig. 6 precision/recall at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment("fig6_pr_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        vec![cpsmon_bench::experiments::fig6_pr::run(ctx)]
-    });
+    cpsmon_bench::bench_main("fig6_pr");
 }

@@ -1,6 +1,4 @@
-//! Bench target: regenerates the fig7_adv_trace rows at quick scale.
+//! Bench target: regenerates the Fig. 7 adversarial trace at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment("fig7_adv_trace_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        vec![cpsmon_bench::experiments::fig7_adv_trace::run(ctx)]
-    });
+    cpsmon_bench::bench_main("fig7_adv_trace");
 }

@@ -1,6 +1,4 @@
-//! Bench target: regenerates the fig8_fgsm rows at quick scale.
+//! Bench target: regenerates the Fig. 8 FGSM sweep at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment("fig8_fgsm_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        vec![cpsmon_bench::experiments::fig8_fgsm::run(ctx)]
-    });
+    cpsmon_bench::bench_main("fig8_fgsm");
 }

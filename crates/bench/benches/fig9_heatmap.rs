@@ -1,7 +1,4 @@
-//! Bench target: regenerates the Fig. 9 heat-map at quick scale.
+//! Bench target: regenerates the Fig. 9 heat-map at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment("fig9_heatmap_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        let (table, summary) = cpsmon_bench::experiments::fig9_heatmap::run(ctx);
-        vec![table, summary]
-    });
+    cpsmon_bench::bench_main("fig9_heatmap");
 }

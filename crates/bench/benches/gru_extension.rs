@@ -1,6 +1,4 @@
-//! Bench target: gru_extension at quick scale.
+//! Bench target: regenerates the gru_extension rows at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment("gru_extension_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        vec![cpsmon_bench::experiments::gru_extension::run(ctx)]
-    });
+    cpsmon_bench::bench_main("gru_extension");
 }

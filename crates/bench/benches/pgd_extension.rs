@@ -1,6 +1,4 @@
-//! Bench target: pgd_extension at quick scale.
+//! Bench target: regenerates the pgd_extension rows at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment("pgd_extension_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        vec![cpsmon_bench::experiments::pgd_extension::run(ctx)]
-    });
+    cpsmon_bench::bench_main("pgd_extension");
 }

@@ -1,6 +1,4 @@
-//! Bench target: regenerates the table3 rows at quick scale.
+//! Bench target: regenerates the table3 rows at quick scale via the registry.
 fn main() {
-    cpsmon_bench::run_experiment("table3_quick", cpsmon_bench::Scale::Quick, |ctx| {
-        vec![cpsmon_bench::experiments::table3::run(ctx)]
-    });
+    cpsmon_bench::bench_main("table3");
 }

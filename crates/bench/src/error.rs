@@ -1,0 +1,83 @@
+//! Error type for the experiment harness.
+//!
+//! `Context::build`/`Context::load_or_build` used to panic on any failure
+//! down the campaign → dataset → training chain; they now surface a
+//! [`BenchError`] that wraps the layer-specific errors
+//! ([`CoreError`], [`ArtifactError`] — and through the latter's `source()`
+//! chain, [`cpsmon_nn::LoadError`] and `std::io::Error`).
+
+use cpsmon_core::{ArtifactError, CoreError};
+use cpsmon_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the `cpsmon-bench` entry points.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// Dataset construction or monitor training failed.
+    Core(CoreError),
+    /// A network-level operation failed.
+    Net(NnError),
+    /// A monitor bundle could not be saved or loaded.
+    Artifact(ArtifactError),
+    /// The requested experiment is not in the registry.
+    UnknownExperiment(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Core(e) => write!(f, "experiment context failed: {e}"),
+            BenchError::Net(e) => write!(f, "network operation failed: {e}"),
+            BenchError::Artifact(e) => write!(f, "monitor artifact failed: {e}"),
+            BenchError::UnknownExperiment(name) => {
+                write!(f, "unknown experiment '{name}' (see `cpsmon list`)")
+            }
+        }
+    }
+}
+
+impl Error for BenchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BenchError::Core(e) => Some(e),
+            BenchError::Net(e) => Some(e),
+            BenchError::Artifact(e) => Some(e),
+            BenchError::UnknownExperiment(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for BenchError {
+    fn from(e: CoreError) -> Self {
+        BenchError::Core(e)
+    }
+}
+
+impl From<NnError> for BenchError {
+    fn from(e: NnError) -> Self {
+        BenchError::Net(e)
+    }
+}
+
+impl From<ArtifactError> for BenchError {
+    fn from(e: ArtifactError) -> Self {
+        BenchError::Artifact(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = BenchError::from(CoreError::EmptyDataset);
+        assert!(e.to_string().contains("context"));
+        assert!(e.source().is_some());
+        let e = BenchError::UnknownExperiment("nope".into());
+        assert!(e.to_string().contains("nope"));
+        assert!(e.source().is_none());
+    }
+}

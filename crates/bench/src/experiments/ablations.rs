@@ -92,7 +92,7 @@ pub fn tolerance_sweep(ctx: &Context) -> Table {
         &["Model", "δ=0", "δ=3", "δ=6", "δ=12"],
     );
     for mk in MonitorKind::ALL {
-        let monitor = sim.monitor(mk);
+        let monitor = sim.expect_monitor(mk);
         let preds = monitor.predict(&sim.ds.test);
         let mut cells = vec![mk.label().to_string()];
         for delta in [0usize, 3, 6, 12] {
@@ -156,11 +156,11 @@ pub fn adversarial_training(ctx: &Context) -> Table {
         table.row(vec![label.to_string(), fmt3(f1), fmt3(err)]);
     };
     let baseline = sim
-        .monitor(MonitorKind::Mlp)
+        .expect_monitor(MonitorKind::Mlp)
         .as_grad_model()
         .expect("differentiable");
     let custom = sim
-        .monitor(MonitorKind::MlpCustom)
+        .expect_monitor(MonitorKind::MlpCustom)
         .as_grad_model()
         .expect("differentiable");
     eval_net(baseline, "none (baseline MLP)", &mut table);

@@ -97,7 +97,7 @@ pub fn run(ctx: &Context) -> Table {
         // the paper grid, so the amortized SweepContext shares one backward
         // pass and one noise field per seed across all of them.
         let model = sim
-            .monitor(MonitorKind::Mlp)
+            .expect_monitor(MonitorKind::Mlp)
             .as_grad_model()
             .expect("differentiable");
         let sweep = SweepContext::new(model, &sim.ds.test.x, &sim.ds.test.labels);

@@ -35,7 +35,7 @@ pub fn run(ctx: &Context) -> Table {
     );
     for sim in &ctx.sims {
         for mk in ML_KINDS {
-            let monitor = sim.monitor(mk);
+            let monitor = sim.expect_monitor(mk);
             let target = monitor
                 .as_grad_model()
                 .expect("ML monitors are differentiable");

@@ -12,7 +12,7 @@ use cpsmon_sim::SimulatorKind;
 /// perturbation (the paper's example flips 93.4 % unsafe → 99.98 % safe).
 pub fn run(ctx: &Context) -> Table {
     let sim = ctx.sim(SimulatorKind::Glucosym);
-    let monitor = sim.monitor(MonitorKind::Mlp);
+    let monitor = sim.expect_monitor(MonitorKind::Mlp);
     let model = monitor.as_grad_model().expect("MLP is differentiable");
     let test = &sim.ds.test;
     let probs = model.predict_proba(&test.x);

@@ -46,12 +46,12 @@ pub fn run(ctx: &Context) -> (Table, String) {
     let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
     let grid_x = Matrix::from_rows(&refs);
     let baseline = sim
-        .monitor(MonitorKind::Mlp)
+        .expect_monitor(MonitorKind::Mlp)
         .as_grad_model()
         .expect("differentiable")
         .predict_labels(&grid_x);
     let custom = sim
-        .monitor(MonitorKind::MlpCustom)
+        .expect_monitor(MonitorKind::MlpCustom)
         .as_grad_model()
         .expect("differentiable")
         .predict_labels(&grid_x);

@@ -41,7 +41,7 @@ pub fn run(ctx: &Context) -> Table {
             .collect();
         let noisy = sweep.sweep(&grid, |_, noisy| noisy);
         for mk in ML_KINDS {
-            let monitor = sim.monitor(mk);
+            let monitor = sim.expect_monitor(mk);
             let mut cells = vec![
                 sim.kind.label().to_string(),
                 mk.label().to_string(),

@@ -23,7 +23,7 @@ pub fn run(ctx: &Context) -> Table {
         &["Model", "σ factor", "precision", "recall"],
     );
     for mk in [MonitorKind::Mlp, MonitorKind::MlpCustom] {
-        let monitor = sim.monitor(mk);
+        let monitor = sim.expect_monitor(mk);
         let clean = report_on(sim, monitor, &sim.ds.test.x);
         table.row(vec![
             mk.label().to_string(),

@@ -68,7 +68,10 @@ pub fn run(ctx: &Context) -> Table {
         ],
     );
     for mk in [MonitorKind::Mlp, MonitorKind::Lstm] {
-        let model = sim.monitor(mk).as_grad_model().expect("differentiable");
+        let model = sim
+            .expect_monitor(mk)
+            .as_grad_model()
+            .expect("differentiable");
         let adv = Fgsm::new(0.2).attack(model, &x, &[1]);
         let clean_raw = sim.ds.normalizer.inverse(&x);
         let adv_raw = sim.ds.normalizer.inverse(&adv);

@@ -32,7 +32,7 @@ pub fn run(ctx: &Context) -> Table {
         .collect();
     for sim in &ctx.sims {
         for mk in ML_KINDS {
-            let monitor = sim.monitor(mk);
+            let monitor = sim.expect_monitor(mk);
             let model = monitor
                 .as_grad_model()
                 .expect("ML monitors are differentiable");

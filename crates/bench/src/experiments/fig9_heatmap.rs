@@ -33,7 +33,7 @@ pub fn compute(ctx: &Context) -> HeatmapData {
     let mut cells = Vec::new();
     for sim in &ctx.sims {
         for mk in ML_KINDS {
-            let monitor = sim.monitor(mk);
+            let monitor = sim.expect_monitor(mk);
             let model = monitor
                 .as_grad_model()
                 .expect("ML monitors are differentiable");

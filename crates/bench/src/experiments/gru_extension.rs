@@ -59,7 +59,7 @@ pub fn run(ctx: &Context) -> Table {
     );
     for sim in &ctx.sims {
         // LSTM rows come from the shared context; GRU is trained here.
-        let lstm = sim.monitor(MonitorKind::Lstm);
+        let lstm = sim.expect_monitor(MonitorKind::Lstm);
         let lstm_model = lstm.as_grad_model().expect("differentiable");
         let gru = train_gru(ctx, sim);
         let rows: Vec<(&str, &dyn GradModel, usize)> = vec![

@@ -33,7 +33,7 @@ pub fn run(ctx: &Context) -> Table {
     );
     for sim in &ctx.sims {
         for mk in ML_KINDS {
-            let monitor = sim.monitor(mk);
+            let monitor = sim.expect_monitor(mk);
             let model = monitor.as_grad_model().expect("differentiable");
             let clean = monitor.predict_x(&sim.ds.test.x);
             // FGSM budgets share one backward pass via the sweep context;

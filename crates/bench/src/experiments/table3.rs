@@ -19,7 +19,7 @@ pub fn run(ctx: &Context) -> Table {
     );
     for sim in &ctx.sims {
         for mk in MonitorKind::ALL {
-            let report = sim.monitor(mk).evaluate(&sim.ds.test);
+            let report = sim.expect_monitor(mk).evaluate(&sim.ds.test);
             table.row(vec![
                 sim.kind.label().to_string(),
                 mk.label().to_string(),

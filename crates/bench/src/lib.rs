@@ -1,49 +1,93 @@
 //! # cpsmon-bench — the experiment harness
 //!
-//! One entry point per table/figure of the paper. Each experiment is
+//! One registry entry per table/figure of the paper. Each experiment is
 //! exposed three ways:
 //!
-//! - a library function in [`experiments`] returning a formatted report;
-//! - a binary (`cargo run --release -p cpsmon-bench --bin table3`) that
-//!   runs it at the scale selected by `CPSMON_SCALE` (`quick` or `full`);
+//! - a library function in [`experiments`] returning formatted tables;
+//! - the `cpsmon` CLI (`cargo run --release --bin cpsmon -- run table3`),
+//!   which resolves names against the [`registry`] and runs at the scale
+//!   selected by `--scale`/`CPSMON_SCALE` (`quick` or `full`);
 //! - a bench target (`cargo bench -p cpsmon-bench --bench table3`) that
 //!   regenerates the same rows at quick scale.
 //!
-//! Experiment context (campaigns, datasets, trained monitors) is built
-//! once per process by [`context::Context::build`] and shared across
-//! experiments — `run_all` amortizes the training cost over all ten.
+//! Experiment context (campaigns, datasets, trained monitors) is built by
+//! [`context::Context::load_or_build`], which serves trained monitors from
+//! the versioned bundle cache under `results/cache/` — the first process
+//! trains and persists, every later process loads in milliseconds, with
+//! bit-identical predictions (`CPSMON_CACHE=0` forces retraining).
 //!
 //! Results are also written as CSV into `results/` at the workspace root.
 
 #![warn(missing_docs)]
 
 pub mod context;
+pub mod error;
 pub mod experiments;
+pub mod registry;
 pub mod report;
 pub mod scale;
 
 pub use context::{Context, SimContext};
+pub use error::BenchError;
+pub use registry::{Artifacts, Experiment, REGISTRY};
 pub use report::Table;
 pub use scale::Scale;
 
-/// Shared driver for the experiment binaries and bench targets: builds a
-/// context at `scale`, runs `f`, prints every returned table, and writes
-/// each to `results/<name>[_i].csv`.
-pub fn run_experiment(name: &str, scale: Scale, f: impl Fn(&Context) -> Vec<Table>) {
-    let started = std::time::Instant::now();
-    let ctx = Context::build(scale);
-    let tables = f(&ctx);
-    for (i, table) in tables.iter().enumerate() {
+/// Emits one experiment's artifacts: notes and tables go to stdout, tables
+/// are additionally written to `results/<csv_stem>[_i].csv` (the CSV naming
+/// of the former per-figure binaries).
+pub fn emit_artifacts(csv_stem: &str, artifacts: &Artifacts) {
+    for note in &artifacts.notes {
+        println!("{note}");
+    }
+    for (i, table) in artifacts.tables.iter().enumerate() {
         println!("{table}");
-        let suffix = if tables.len() > 1 {
-            format!("{name}_{i}")
+        let suffix = if artifacts.tables.len() > 1 {
+            format!("{csv_stem}_{i}")
         } else {
-            name.to_string()
+            csv_stem.to_string()
         };
         table.write_csv(&suffix);
     }
+}
+
+/// Runs one registered experiment on a shared context and emits its
+/// artifacts under `csv_stem`.
+///
+/// # Errors
+///
+/// [`BenchError::UnknownExperiment`] if `name` is not registered.
+pub fn run_registered_on(ctx: &Context, name: &str, csv_stem: &str) -> Result<(), BenchError> {
+    let experiment =
+        registry::find(name).ok_or_else(|| BenchError::UnknownExperiment(name.to_string()))?;
+    let started = std::time::Instant::now();
+    emit_artifacts(csv_stem, &experiment.run(ctx));
     eprintln!(
         "[cpsmon-bench] {name} finished in {:.1?}",
         started.elapsed()
     );
+    Ok(())
+}
+
+/// Builds (or loads) a context at `scale` and runs one registered
+/// experiment, writing CSVs under `csv_stem` — the driver behind the bench
+/// targets.
+///
+/// # Errors
+///
+/// Propagates context-construction failures and unknown experiment names.
+pub fn run_registered_as(csv_stem: &str, name: &str, scale: Scale) -> Result<(), BenchError> {
+    // Fail fast on unknown names before paying for the context.
+    registry::find(name).ok_or_else(|| BenchError::UnknownExperiment(name.to_string()))?;
+    let ctx = Context::load_or_build(scale)?;
+    run_registered_on(&ctx, name, csv_stem)
+}
+
+/// Bench-target entry point: runs a registered experiment at quick scale,
+/// writing CSVs under `<name>_quick`, and exits non-zero on failure.
+pub fn bench_main(name: &str) {
+    if let Err(e) = run_registered_as(&format!("{name}_quick"), name, Scale::Quick) {
+        eprintln!("[cpsmon-bench] error: {e}");
+        std::process::exit(1);
+    }
 }

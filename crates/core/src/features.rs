@@ -225,6 +225,30 @@ impl Normalizer {
         out
     }
 
+    /// Rebuilds a normalizer from previously fitted per-column statistics
+    /// (the deserialization path of the artifact store).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the inconsistency if the vectors disagree
+    /// in length, are empty, or any standard deviation is non-positive.
+    pub fn from_params(mean: Vec<f64>, std: Vec<f64>) -> Result<Normalizer, String> {
+        if mean.is_empty() {
+            return Err("normalizer statistics must be non-empty".into());
+        }
+        if mean.len() != std.len() {
+            return Err(format!(
+                "normalizer mean/std length mismatch: {} vs {}",
+                mean.len(),
+                std.len()
+            ));
+        }
+        if std.iter().any(|&s| s.is_nan() || s <= 0.0) {
+            return Err("normalizer standard deviations must be positive".into());
+        }
+        Ok(Normalizer { mean, std })
+    }
+
     /// Per-column means.
     pub fn mean(&self) -> &[f64] {
         &self.mean

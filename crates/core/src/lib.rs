@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod dataset;
 pub mod detectors;
 pub mod error;
@@ -45,6 +46,7 @@ pub mod robustness;
 pub mod stream;
 pub mod train;
 
+pub use artifact::{dataset_fingerprint, train_config_hash, ArtifactError, MonitorBundle};
 pub use dataset::{Dataset, DatasetBuilder, LabeledDataset};
 pub use error::CoreError;
 pub use features::{FeatureConfig, Normalizer, FEATURES_PER_STEP};

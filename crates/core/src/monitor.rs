@@ -60,6 +60,22 @@ impl MonitorKind {
         matches!(self, MonitorKind::MlpCustom | MonitorKind::LstmCustom)
     }
 
+    /// Stable lower-case tag used in artifact files and cache-file names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            MonitorKind::RuleBased => "rule-based",
+            MonitorKind::Mlp => "mlp",
+            MonitorKind::Lstm => "lstm",
+            MonitorKind::MlpCustom => "mlp-custom",
+            MonitorKind::LstmCustom => "lstm-custom",
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(tag: &str) -> Option<MonitorKind> {
+        MonitorKind::ALL.into_iter().find(|k| k.tag() == tag)
+    }
+
     /// Trains (or synthesizes) this monitor on a dataset.
     ///
     /// # Errors

@@ -98,6 +98,59 @@ impl Gru {
             + 3 * self.hidden_dim
     }
 
+    /// The nine parameter matrices in
+    /// `[wxz, wxr, wxn, whz, whr, whn, bz, br, bn]` order (the layout
+    /// [`from_params`](Self::from_params) consumes).
+    pub fn params(&self) -> [&Matrix; 9] {
+        [
+            &self.wxz, &self.wxr, &self.wxn, &self.whz, &self.whr, &self.whn, &self.bz, &self.br,
+            &self.bn,
+        ]
+    }
+
+    /// Rebuilds a layer from the matrices of [`params`](Self::params) (used
+    /// by deserialization).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first shape inconsistency, if any.
+    pub fn from_params(ms: [Matrix; 9]) -> Result<Gru, String> {
+        let [wxz, wxr, wxn, whz, whr, whn, bz, br, bn] = ms;
+        let input_dim = wxz.rows();
+        let hidden_dim = wxz.cols();
+        if input_dim == 0 || hidden_dim == 0 {
+            return Err("GRU dimensions must be positive".into());
+        }
+        for (name, m) in [("wxr", &wxr), ("wxn", &wxn)] {
+            if m.rows() != input_dim || m.cols() != hidden_dim {
+                return Err(format!("{name} shape inconsistent with wxz"));
+            }
+        }
+        for (name, m) in [("whz", &whz), ("whr", &whr), ("whn", &whn)] {
+            if m.rows() != hidden_dim || m.cols() != hidden_dim {
+                return Err(format!("{name} must be hidden×hidden"));
+            }
+        }
+        for (name, m) in [("bz", &bz), ("br", &br), ("bn", &bn)] {
+            if m.rows() != 1 || m.cols() != hidden_dim {
+                return Err(format!("{name} must be a 1×hidden row vector"));
+            }
+        }
+        Ok(Gru {
+            wxz,
+            wxr,
+            wxn,
+            whz,
+            whr,
+            whn,
+            bz,
+            br,
+            bn,
+            input_dim,
+            hidden_dim,
+        })
+    }
+
     /// Runs the layer over a sequence; returns per-step hidden states and
     /// the backward cache.
     ///

@@ -75,6 +75,61 @@ impl GruNet {
         self.grus.iter().map(Gru::param_count).sum::<usize>() + self.head.param_count()
     }
 
+    /// Number of timesteps per window.
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    /// Features per timestep.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// The stacked GRU layers in forward order.
+    pub fn gru_layers(&self) -> &[Gru] {
+        &self.grus
+    }
+
+    /// The dense softmax head.
+    pub fn head(&self) -> &Dense {
+        &self.head
+    }
+
+    /// Replaces all parameters (used by deserialization). Each GRU layer is
+    /// given as the nine matrices of [`Gru::params`] order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first shape inconsistency, if any.
+    pub fn set_params(&mut self, gru_params: Vec<[Matrix; 9]>, head: Dense) -> Result<(), String> {
+        if gru_params.is_empty() {
+            return Err("at least one GRU layer required".into());
+        }
+        let mut grus = Vec::with_capacity(gru_params.len());
+        let mut prev = self.feature_dim;
+        for (i, ms) in gru_params.into_iter().enumerate() {
+            let gru = Gru::from_params(ms).map_err(|e| format!("gru{i}: {e}"))?;
+            if gru.input_dim() != prev {
+                return Err(format!(
+                    "gru{i} input width {} != expected {prev}",
+                    gru.input_dim()
+                ));
+            }
+            prev = gru.hidden_dim();
+            grus.push(gru);
+        }
+        if head.input_dim() != prev {
+            return Err(format!(
+                "head input width {} != top hidden {prev}",
+                head.input_dim()
+            ));
+        }
+        self.classes = head.output_dim();
+        self.grus = grus;
+        self.head = head;
+        Ok(())
+    }
+
     fn split_steps(&self, x: &Matrix) -> Vec<Matrix> {
         assert_eq!(
             x.cols(),

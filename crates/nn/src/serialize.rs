@@ -18,6 +18,7 @@
 //! ```
 
 use crate::dense::Dense;
+use crate::gru_net::{GruConfig, GruNet};
 use crate::loss::SemanticLoss;
 use crate::lstm_net::{LstmConfig, LstmNet};
 use crate::matrix::Matrix;
@@ -279,6 +280,84 @@ impl LstmNet {
     }
 }
 
+/// Names of the nine per-layer GRU tensors, in [`crate::Gru::params`] order.
+const GRU_TENSORS: [&str; 9] = ["wxz", "wxr", "wxn", "whz", "whr", "whn", "bz", "br", "bn"];
+
+impl GruNet {
+    /// Writes the network to `w` in the cpsmon-net v1 format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        writeln!(w, "cpsmon-net v1 gru")?;
+        writeln!(w, "semantic {}", self.semantic.weight)?;
+        writeln!(w, "shape {} {}", self.feature_dim(), self.timesteps())?;
+        writeln!(w, "grus {}", self.gru_layers().len())?;
+        for (i, gru) in self.gru_layers().iter().enumerate() {
+            for (name, m) in GRU_TENSORS.iter().zip(gru.params()) {
+                write_matrix(w, &format!("gru{i}.{name}"), m)?;
+            }
+        }
+        write_matrix(w, "head.w", self.head().weights())?;
+        write_matrix(w, "head.b", self.head().bias())?;
+        Ok(())
+    }
+
+    /// Reads a network previously written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError`] on I/O failure or malformed input.
+    pub fn load(r: &mut impl BufRead) -> Result<GruNet, LoadError> {
+        let mut lines = Lines::new(r);
+        let magic = lines.next()?;
+        if magic != "cpsmon-net v1 gru" {
+            return Err(lines.err(format!("bad magic '{magic}'")));
+        }
+        let semantic: f64 = lines.read_kv("semantic")?[0]
+            .parse()
+            .map_err(|_| lines.err("bad semantic weight"))?;
+        let shape = lines.read_kv("shape")?;
+        if shape.len() != 2 {
+            return Err(lines.err("bad shape line"));
+        }
+        let feature_dim: usize = shape[0].parse().map_err(|_| lines.err("bad feature dim"))?;
+        let timesteps: usize = shape[1].parse().map_err(|_| lines.err("bad timesteps"))?;
+        let count: usize = lines.read_kv("grus")?[0]
+            .parse()
+            .map_err(|_| lines.err("bad gru count"))?;
+        if count == 0 {
+            return Err(lines.err("network must have at least one GRU layer"));
+        }
+        let mut gru_params = Vec::with_capacity(count);
+        let mut hidden = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut ms = Vec::with_capacity(9);
+            for name in GRU_TENSORS {
+                ms.push(lines.read_matrix(&format!("gru{i}.{name}"))?);
+            }
+            let ms: [Matrix; 9] = ms.try_into().expect("exactly nine tensors read");
+            hidden.push(ms[3].rows());
+            gru_params.push(ms);
+        }
+        let head_w = lines.read_matrix("head.w")?;
+        let head_b = lines.read_matrix("head.b")?;
+        let classes = head_w.cols();
+        let mut net = GruNet::new(&GruConfig {
+            feature_dim,
+            timesteps,
+            hidden,
+            classes,
+            seed: 0,
+        });
+        net.semantic = SemanticLoss::new(semantic);
+        net.set_params(gru_params, Dense::from_params(head_w, head_b))
+            .map_err(|msg| lines.err(msg))?;
+        Ok(net)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +396,41 @@ mod tests {
         let loaded = LstmNet::load(&mut BufReader::new(buf.as_slice())).unwrap();
         let x = random_normal(3, 12, 1.0, &mut SmallRng::new(2));
         assert_eq!(net.predict_proba(&x), loaded.predict_proba(&x));
+    }
+
+    #[test]
+    fn gru_roundtrip_is_exact() {
+        let mut net = GruNet::new(&GruConfig {
+            feature_dim: 3,
+            timesteps: 4,
+            hidden: vec![6, 5],
+            classes: 2,
+            seed: 13,
+        });
+        net.semantic = SemanticLoss::new(0.5);
+        let mut buf = Vec::new();
+        net.save(&mut buf).unwrap();
+        let loaded = GruNet::load(&mut BufReader::new(buf.as_slice())).unwrap();
+        let x = random_normal(5, 12, 1.0, &mut SmallRng::new(3));
+        assert_eq!(net.predict_proba(&x), loaded.predict_proba(&x));
+        assert_eq!(net.semantic, loaded.semantic);
+        assert_eq!(net.param_count(), loaded.param_count());
+    }
+
+    #[test]
+    fn gru_load_rejects_truncated_file() {
+        let net = GruNet::new(&GruConfig {
+            feature_dim: 2,
+            timesteps: 3,
+            hidden: vec![4],
+            classes: 2,
+            seed: 1,
+        });
+        let mut buf = Vec::new();
+        net.save(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = GruNet::load(&mut BufReader::new(buf.as_slice())).unwrap_err();
+        assert!(matches!(err, LoadError::Parse { .. }), "{err}");
     }
 
     #[test]

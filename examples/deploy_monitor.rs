@@ -1,5 +1,6 @@
-//! Deployment round-trip: train a monitor, save it to disk, load it back,
-//! and cross-check its alarms against the STL safety rules — the paper's
+//! Deployment round-trip: train a monitor, persist it as a versioned
+//! [`MonitorBundle`], load it back under fingerprint validation, and
+//! cross-check its alarms against the STL safety rules — the paper's
 //! transparency argument ("simple rules to check the output of the ML
 //! model") as a program.
 //!
@@ -7,11 +8,11 @@
 //! cargo run --release --example deploy_monitor
 //! ```
 
-use cpsmon::core::monitor::MonitorModel;
-use cpsmon::core::{DatasetBuilder, MonitorKind, TrainConfig};
+use cpsmon::core::{
+    dataset_fingerprint, ArtifactError, DatasetBuilder, MonitorBundle, MonitorKind, TrainConfig,
+};
 use cpsmon::sim::{CampaignConfig, SimulatorKind};
 use cpsmon::stl::RuleMonitor;
-use std::io::BufReader;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let traces = CampaignConfig::new(SimulatorKind::Glucosym)
@@ -29,26 +30,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let monitor = MonitorKind::MlpCustom.train(&dataset, &config)?;
 
-    // Save the trained network to a file…
-    let path = std::env::temp_dir().join("cpsmon_monitor.net");
-    let MonitorModel::Mlp(net) = &monitor.model else {
-        unreachable!("MlpCustom wraps an MLP");
-    };
-    let mut file = std::fs::File::create(&path)?;
-    net.save(&mut file)?;
+    // Bundle the trained monitor with its normalizer, train config, and the
+    // dataset fingerprint, and persist it as one artifact…
+    let bundle = MonitorBundle::new(monitor, &dataset, &config);
+    let path = std::env::temp_dir().join("cpsmon_monitor.bundle");
+    bundle.save_to_path(&path)?;
     println!(
-        "saved monitor to {} ({} bytes)",
+        "saved {} bundle to {} ({} bytes, fingerprint {:016x})",
+        bundle.monitor.kind,
         path.display(),
-        std::fs::metadata(&path)?.len()
+        std::fs::metadata(&path)?.len(),
+        bundle.fingerprint
     );
 
-    // …and load it back: predictions must be bit-identical.
-    let loaded = cpsmon::nn::MlpNet::load(&mut BufReader::new(std::fs::File::open(&path)?))?;
-    use cpsmon::nn::GradModel;
+    // …and load it back, validated against the live dataset's fingerprint:
+    // predictions must be bit-identical.
+    let loaded = MonitorBundle::load_from_path(&path, dataset_fingerprint(&dataset))?;
+    let net = bundle.monitor.as_grad_model().expect("MlpCustom is ML");
     let original = net.predict_labels(&dataset.test.x);
-    let roundtrip = loaded.predict_labels(&dataset.test.x);
+    let roundtrip = loaded
+        .monitor
+        .as_grad_model()
+        .expect("loaded monitor is ML")
+        .predict_labels(&dataset.test.x);
     assert_eq!(original, roundtrip);
     println!("round-trip verified on {} test samples", roundtrip.len());
+
+    // A bundle trained on different data is rejected, not silently served.
+    match MonitorBundle::load_from_path(&path, dataset_fingerprint(&dataset) ^ 1) {
+        Err(ArtifactError::FingerprintMismatch { .. }) => {
+            println!("stale-fingerprint load correctly rejected");
+        }
+        other => panic!("expected a fingerprint mismatch, got {other:?}"),
+    }
 
     // Transparency check: for each ML alarm, ask the rule engine whether a
     // Table I rule explains it.

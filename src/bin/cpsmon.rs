@@ -1,0 +1,137 @@
+//! `cpsmon` — the one experiment CLI.
+//!
+//! Replaces the former 15 per-figure binaries with a registry-driven
+//! interface over one shared, cache-aware context:
+//!
+//! ```sh
+//! cpsmon list                 # all registered experiments
+//! cpsmon run table3 fig8_fgsm # run selected experiments
+//! cpsmon run-all              # every experiment on one shared context
+//! ```
+//!
+//! Scale is `--scale quick|full` (default: `CPSMON_SCALE`, then quick).
+//! Trained monitors are served from the bundle cache under
+//! `results/cache/` — the first run trains and persists, later runs load
+//! in milliseconds with bit-identical predictions. `CPSMON_CACHE=0`
+//! forces retraining; `CPSMON_CACHE_DIR` relocates the cache.
+
+use cpsmon_bench::{registry, BenchError, Context, Scale};
+
+const USAGE: &str = "\
+Usage: cpsmon <COMMAND> [OPTIONS]
+
+Commands:
+  list                 List all registered experiments
+  run <NAME>...        Run the named experiments on one shared context
+  run-all              Run every registered experiment
+
+Options:
+  --scale quick|full   Experiment scale (default: CPSMON_SCALE, then quick)
+  -h, --help           Show this help
+
+Environment:
+  CPSMON_SCALE         Default scale (quick|full)
+  CPSMON_CACHE         Set to 0 to force retraining (default: cache enabled)
+  CPSMON_CACHE_DIR     Bundle cache directory (default: results/cache/)
+  CPSMON_THREADS       Worker threads for the data-parallel layer
+  CPSMON_SIMD          Set to 0 to force scalar kernels";
+
+fn main() {
+    match run() {
+        Ok(()) => {}
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        Err(CliError::Bench(e)) => {
+            eprintln!("error: {e}");
+            let mut source = std::error::Error::source(&e);
+            while let Some(cause) = source {
+                eprintln!("  caused by: {cause}");
+                source = cause.source();
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+enum CliError {
+    Usage(String),
+    Bench(BenchError),
+}
+
+impl From<BenchError> for CliError {
+    fn from(e: BenchError) -> Self {
+        CliError::Bench(e)
+    }
+}
+
+fn run() -> Result<(), CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::from_env();
+    let mut command: Option<&str> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("quick") => Scale::Quick,
+                    Some("full") => Scale::Full,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "--scale expects quick|full, got '{}'",
+                            other.unwrap_or("")
+                        )))
+                    }
+                };
+            }
+            "list" | "run" | "run-all" if command.is_none() => command = Some(arg),
+            name if command == Some("run") => names.push(name.to_string()),
+            other => return Err(CliError::Usage(format!("unexpected argument '{other}'"))),
+        }
+    }
+    match command {
+        Some("list") => {
+            for e in registry::REGISTRY {
+                println!("{:<18} {}", e.name(), e.description());
+            }
+            Ok(())
+        }
+        Some("run") => {
+            if names.is_empty() {
+                return Err(CliError::Usage(
+                    "run expects at least one experiment".into(),
+                ));
+            }
+            // Resolve every name before paying for the context.
+            for name in &names {
+                if registry::find(name).is_none() {
+                    return Err(CliError::Bench(BenchError::UnknownExperiment(name.clone())));
+                }
+            }
+            let ctx = Context::load_or_build(scale)?;
+            for name in &names {
+                cpsmon_bench::run_registered_on(&ctx, name, name)?;
+            }
+            Ok(())
+        }
+        Some("run-all") => {
+            let ctx = Context::load_or_build(scale)?;
+            let started = std::time::Instant::now();
+            for e in registry::REGISTRY {
+                cpsmon_bench::run_registered_on(&ctx, e.name(), e.name())?;
+            }
+            eprintln!(
+                "[cpsmon-bench] run-all finished in {:.1?}",
+                started.elapsed()
+            );
+            Ok(())
+        }
+        Some(_) | None => Err(CliError::Usage("expected a command".into())),
+    }
+}

@@ -22,6 +22,10 @@
 //!   robustness-error metric.
 //! - [`attack`] — the perturbation toolkit: Gaussian noise, white-box FGSM,
 //!   and black-box substitute-model attacks.
+//! - [`bench`](mod@bench) — the experiment registry behind the `cpsmon` CLI
+//!   (`cargo run --release --bin cpsmon -- run table3`): one named entry
+//!   per paper table/figure, a shared cache-aware experiment context, and
+//!   the monitor-bundle cache.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +53,7 @@
 //! ```
 
 pub use cpsmon_attack as attack;
+pub use cpsmon_bench as bench;
 pub use cpsmon_core as core;
 pub use cpsmon_nn as nn;
 pub use cpsmon_sim as sim;
