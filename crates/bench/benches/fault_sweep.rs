@@ -1,0 +1,4 @@
+//! Bench target: regenerates the fault_sweep tables at quick scale via the registry.
+fn main() {
+    cpsmon_bench::bench_main("fault_sweep");
+}

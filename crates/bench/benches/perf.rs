@@ -4,8 +4,8 @@
 use cpsmon_attack::{grid_cells, Fgsm, SweepContext, EPSILON_SWEEP};
 use cpsmon_core::monitor::MonitorModel;
 use cpsmon_core::{
-    robustness_error, sweep_parallel, FeatureConfig, MonitorKind, MonitorSession, Normalizer,
-    SessionPool, TrainedMonitor,
+    robustness_error, sweep_parallel, FeatureConfig, GuardPolicy, GuardedSession, MonitorKind,
+    MonitorSession, Normalizer, SessionPool, TrainedMonitor,
 };
 use cpsmon_nn::par::{self, ThreadsGuard};
 use cpsmon_nn::rng::SmallRng;
@@ -257,6 +257,37 @@ fn bench_sessions(c: &mut Criterion) {
         }
         let mut next = WINDOW;
         c.bench_function(name, |b| {
+            b.iter(|| {
+                let v = session.step(&records[next]);
+                next = (next + 1) % records.len();
+                if next == 0 {
+                    next = WINDOW; // skip the refill region on wrap-around
+                }
+                v
+            })
+        });
+    }
+    // The guarded variants: identical workload behind an InputGuard plus
+    // rule fallback. The delta vs the session_step_* numbers is the price
+    // of input validation on the clean-path (budgeted ≤ 10%).
+    for (name, monitor) in &monitors {
+        let guarded_name = match *name {
+            "session_step_rule" => "session_step_guarded_rule",
+            "session_step_mlp" => "session_step_guarded_mlp",
+            _ => "session_step_guarded_lstm",
+        };
+        let mut session = GuardedSession::new(
+            monitor,
+            cfg,
+            norm.clone(),
+            RuleMonitor::new(ApsRules::default()),
+            GuardPolicy::aps(),
+        );
+        for r in &records[..WINDOW] {
+            session.step(r);
+        }
+        let mut next = WINDOW;
+        c.bench_function(guarded_name, |b| {
             b.iter(|| {
                 let v = session.step(&records[next]);
                 next = (next + 1) % records.len();

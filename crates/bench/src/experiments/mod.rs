@@ -6,6 +6,7 @@
 
 pub mod ablations;
 pub mod detector_evasion;
+pub mod fault_sweep;
 pub mod fig10_blackbox;
 pub mod fig2_example;
 pub mod fig3_boundary;

@@ -78,7 +78,7 @@ impl Experiment for Entry {
 }
 
 /// All registered experiments, in paper order (the former binaries).
-pub static REGISTRY: [&dyn Experiment; 14] = [
+pub static REGISTRY: [&dyn Experiment; 15] = [
     &Entry {
         name: "table3",
         description: "Table III: clean accuracy of all five monitors on both simulators",
@@ -155,6 +155,15 @@ pub static REGISTRY: [&dyn Experiment; 14] = [
         description: "Ablations: semantic weight, window length, tolerance, adversarial training",
         run: |ctx| Artifacts::tables(exp::ablations::run(ctx)),
     },
+    &Entry {
+        name: "fault_sweep",
+        description:
+            "Extension: sensor-fault type × intensity robustness sweep through guarded sessions",
+        run: |ctx| {
+            let (grid, summary) = exp::fault_sweep::run(ctx);
+            Artifacts::tables(vec![grid, summary])
+        },
+    },
 ];
 
 /// Looks up a registered experiment by name.
@@ -169,12 +178,13 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 15);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 14, "duplicate registry names");
+        assert_eq!(names.len(), 15, "duplicate registry names");
         assert!(find("table3").is_some());
         assert!(find("fig9_heatmap").is_some());
+        assert!(find("fault_sweep").is_some());
         assert!(find("no_such_experiment").is_none());
     }
 

@@ -319,7 +319,8 @@ impl MonitorBundle {
         let lstm_hidden = lines.read_usizes(r, "lstm-hidden")?;
         let mean = lines.read_f64s(r, "normalizer-mean")?;
         let std = lines.read_f64s(r, "normalizer-std")?;
-        let normalizer = Normalizer::from_params(mean, std).map_err(|e| lines.err(e))?;
+        let normalizer =
+            Normalizer::from_params(mean, std).map_err(|e| lines.err(e.to_string()))?;
         let model = match kind {
             MonitorKind::RuleBased => {
                 let params = lines.read_f64s(r, "rules")?;

@@ -65,7 +65,15 @@ impl Cusum {
     }
 
     /// Feeds one sample; returns `true` if the detector alarms on it.
+    ///
+    /// A non-finite sample (NaN/±inf) alarms unconditionally and leaves
+    /// the accumulated statistics untouched: `f64::max` would otherwise
+    /// silently absorb a NaN into `S⁺`/`S⁻` and the broken sample would
+    /// pass undetected.
     pub fn update(&mut self, x: f64) -> bool {
+        if !x.is_finite() {
+            return true;
+        }
         let z = (x - self.mean) / self.std;
         self.s_pos = (self.s_pos + z - self.k).max(0.0);
         self.s_neg = (self.s_neg - z - self.k).max(0.0);
@@ -148,9 +156,16 @@ pub struct InvariantStream {
 
 impl InvariantStream {
     /// Feeds one sample; returns `true` iff it violates the invariant
-    /// (out of `[lo, hi]`, or jumped more than `max_step` since the
-    /// previous sample).
+    /// (non-finite, out of `[lo, hi]`, or jumped more than `max_step`
+    /// since the previous sample).
+    ///
+    /// A non-finite sample alarms without becoming the jump reference —
+    /// NaN compares false against everything, so it would otherwise pass
+    /// both checks *and* poison the next sample's jump test.
     pub fn update(&mut self, v: f64) -> bool {
+        if !v.is_finite() {
+            return true;
+        }
         let out_of_range = v < self.inv.lo || v > self.inv.hi;
         let jump = self.prev.is_some_and(|p| (v - p).abs() > self.inv.max_step);
         self.prev = Some(v);
@@ -249,6 +264,82 @@ mod tests {
         s.reset();
         // Without reset this +60 jump would alarm.
         assert!(!s.update(160.0));
+    }
+
+    #[test]
+    fn cusum_alarms_on_non_finite_without_poisoning_state() {
+        let mut d = Cusum::standard(0.0, 1.0);
+        assert!(d.update(f64::NAN));
+        assert!(d.update(f64::INFINITY));
+        assert!(d.update(f64::NEG_INFINITY));
+        // State untouched: an in-band sample right after is still quiet.
+        assert!(!d.update(0.0));
+        // And reset after NaN behaves like a fresh detector.
+        d.update(f64::NAN);
+        d.reset();
+        assert!(!d.update(0.3));
+    }
+
+    #[test]
+    fn invariant_alarms_on_non_finite_without_becoming_jump_reference() {
+        let d = InvariantRange::cgm();
+        let mut s = d.stream();
+        assert!(!s.update(100.0));
+        assert!(s.update(f64::NAN));
+        assert!(s.update(f64::INFINITY));
+        // The jump reference is still 100: a +60 jump must alarm even
+        // though the in-between samples were non-finite…
+        assert!(s.update(160.0));
+        // …and a nearby sample must not.
+        let mut s2 = d.stream();
+        s2.update(100.0);
+        s2.update(f64::NAN);
+        assert!(!s2.update(110.0));
+    }
+
+    #[test]
+    fn invariant_boundary_values_are_inside() {
+        let d = InvariantRange::new(20.0, 600.0, 25.0);
+        let mut s = d.stream();
+        assert!(!s.update(20.0), "v == lo is in range");
+        s.reset();
+        assert!(!s.update(600.0), "v == hi is in range");
+        s.reset();
+        assert!(
+            s.update(f64::from_bits(20.0_f64.to_bits() - 1)),
+            "just below lo"
+        );
+        s.reset();
+        assert!(s.update(600.0 + 1e-9), "just above hi");
+    }
+
+    #[test]
+    fn invariant_first_sample_never_jumps() {
+        let d = InvariantRange::new(0.0, 1000.0, 1.0);
+        // However extreme the first sample, there is no previous sample to
+        // jump from.
+        assert!(!d.stream().update(999.0));
+    }
+
+    #[test]
+    fn invariant_jump_exactly_max_step_is_allowed() {
+        let d = InvariantRange::cgm();
+        let mut s = d.stream();
+        s.update(100.0);
+        assert!(!s.update(125.0), "Δ == max_step passes");
+        assert!(s.update(150.0 + 1e-9), "Δ just over max_step alarms");
+    }
+
+    #[test]
+    fn invariant_stream_reset_after_alarm() {
+        let d = InvariantRange::cgm();
+        let mut s = d.stream();
+        s.update(100.0);
+        assert!(s.update(700.0), "out of range");
+        s.reset();
+        // Fresh stream semantics: no jump reference, range still enforced.
+        assert!(!s.update(130.0));
+        assert!(s.update(10.0));
     }
 
     #[test]

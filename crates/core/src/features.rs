@@ -18,6 +18,7 @@
 //! `[step0 f0..f5, step1 f0..f5, …]` — the layout [`cpsmon_nn::LstmNet`]
 //! splits back into a sequence.
 
+use crate::error::CoreError;
 use cpsmon_nn::Matrix;
 use cpsmon_sim::trace::{SimTrace, StepRecord};
 use cpsmon_stl::{ApsContext, Command};
@@ -230,21 +231,25 @@ impl Normalizer {
     ///
     /// # Errors
     ///
-    /// Returns a description of the inconsistency if the vectors disagree
-    /// in length, are empty, or any standard deviation is non-positive.
-    pub fn from_params(mean: Vec<f64>, std: Vec<f64>) -> Result<Normalizer, String> {
+    /// Returns [`CoreError::InvalidConfig`] if the vectors disagree in
+    /// length, are empty, or any standard deviation is non-positive.
+    pub fn from_params(mean: Vec<f64>, std: Vec<f64>) -> Result<Normalizer, CoreError> {
         if mean.is_empty() {
-            return Err("normalizer statistics must be non-empty".into());
+            return Err(CoreError::InvalidConfig(
+                "normalizer statistics must be non-empty".into(),
+            ));
         }
         if mean.len() != std.len() {
-            return Err(format!(
+            return Err(CoreError::InvalidConfig(format!(
                 "normalizer mean/std length mismatch: {} vs {}",
                 mean.len(),
                 std.len()
-            ));
+            )));
         }
         if std.iter().any(|&s| s.is_nan() || s <= 0.0) {
-            return Err("normalizer standard deviations must be positive".into());
+            return Err(CoreError::InvalidConfig(
+                "normalizer standard deviations must be positive".into(),
+            ));
         }
         Ok(Normalizer { mean, std })
     }
@@ -392,5 +397,22 @@ mod tests {
         assert!(!is_sensor_column(5));
         assert!(is_sensor_column(6)); // step 1 bg
         assert!(!is_sensor_column(11)); // step 1 drate
+    }
+
+    #[test]
+    fn from_params_reports_typed_errors() {
+        let ok = Normalizer::from_params(vec![1.0, 2.0], vec![0.5, 0.5]);
+        assert!(ok.is_ok());
+        for (mean, std) in [
+            (vec![], vec![]),
+            (vec![1.0], vec![0.5, 0.5]),
+            (vec![1.0], vec![0.0]),
+            (vec![1.0], vec![f64::NAN]),
+        ] {
+            match Normalizer::from_params(mean, std) {
+                Err(CoreError::InvalidConfig(msg)) => assert!(msg.contains("normalizer")),
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
     }
 }

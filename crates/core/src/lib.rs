@@ -40,6 +40,7 @@ pub mod dataset;
 pub mod detectors;
 pub mod error;
 pub mod features;
+pub mod guard;
 pub mod metrics;
 pub mod monitor;
 pub mod robustness;
@@ -50,8 +51,11 @@ pub use artifact::{dataset_fingerprint, train_config_hash, ArtifactError, Monito
 pub use dataset::{Dataset, DatasetBuilder, LabeledDataset};
 pub use error::CoreError;
 pub use features::{FeatureConfig, Normalizer, FEATURES_PER_STEP};
+pub use guard::{GuardPolicy, GuardStatus, HealthState, Imputation, InputGuard};
 pub use metrics::{ConfusionCounts, EvalReport};
 pub use monitor::{MonitorKind, TrainedMonitor};
 pub use robustness::{robustness_error, sweep_parallel};
-pub use stream::{MonitorSession, SessionPool, Verdict, WindowStream};
+pub use stream::{
+    GuardedSession, GuardedVerdict, MonitorSession, SessionPool, Verdict, WindowStream,
+};
 pub use train::TrainConfig;

@@ -33,10 +33,11 @@ use std::time::{Duration, Instant};
 
 use crate::dataset::LabeledDataset;
 use crate::features::{step_features, FeatureConfig, Normalizer, FEATURES_PER_STEP};
+use crate::guard::{GuardPolicy, HealthState, InputGuard};
 use crate::monitor::{MonitorModel, TrainedMonitor};
 use cpsmon_nn::{LstmNetScratch, Matrix, MlpScratch};
 use cpsmon_sim::trace::StepRecord;
-use cpsmon_stl::ApsContext;
+use cpsmon_stl::{ApsContext, RuleMonitor};
 
 /// One streaming prediction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,6 +102,19 @@ impl WindowStream {
     /// have accumulated (every step from then on), or `None` while the ring
     /// is still filling.
     pub fn push(&mut self, rec: &StepRecord) -> Option<usize> {
+        // Reject invalid sensor input at the session boundary: a NaN/inf
+        // would silently flow through normalization into the network and
+        // poison every later window in the ring. Deployments with unreliable
+        // inputs should sanitize through an [`InputGuard`] /
+        // [`GuardedSession`] first.
+        assert!(
+            rec.bg_sensor.is_finite() && rec.iob.is_finite() && rec.delivered_rate.is_finite(),
+            "non-finite sensor input at session boundary (bg={}, iob={}, rate={}); \
+             wrap the session in a GuardedSession to impute invalid samples",
+            rec.bg_sensor,
+            rec.iob,
+            rec.delivered_rate
+        );
         // The batch extractor uses the record itself as "previous" for the
         // first step of a trace (all deltas exactly 0) — mirror that here.
         let prev = self.prev.unwrap_or(*rec);
@@ -401,6 +415,106 @@ impl<'m> SessionPool<'m> {
     }
 }
 
+/// A [`Verdict`] annotated with the guard's per-step health assessment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardedVerdict {
+    /// The verdict (the rule fallback's when `health` is
+    /// [`HealthState::Fallback`], the wrapped monitor's otherwise).
+    pub verdict: Verdict,
+    /// Session health at this step.
+    pub health: HealthState,
+    /// Whether any input channel was imputed this step.
+    pub imputed: bool,
+}
+
+/// A [`MonitorSession`] behind an [`InputGuard`]: the deployment form for
+/// unreliable inputs.
+///
+/// Every record is sanitized first (invalid samples imputed within the
+/// policy's staleness budget), then fed to the wrapped monitor. While the
+/// guard reports [`HealthState::Fallback`] the emitted label/probability
+/// come from the knowledge-only [`RuleMonitor`] evaluated on the imputed
+/// window context — the paper's robust fallback — and the ML verdict is
+/// suppressed; recovery is automatic after the policy's clean-step run.
+///
+/// On a fully clean stream the guard passes every record through
+/// bit-identically, so guarded verdicts equal unguarded ones to the bit
+/// (property-tested in the workspace `faults` suite).
+#[derive(Debug, Clone)]
+pub struct GuardedSession<'m> {
+    session: MonitorSession<'m>,
+    fallback: RuleMonitor,
+    guard: InputGuard,
+}
+
+impl<'m> GuardedSession<'m> {
+    /// Creates a guarded session with explicit featurization parameters
+    /// and fallback rules.
+    pub fn new(
+        monitor: &'m TrainedMonitor,
+        cfg: FeatureConfig,
+        normalizer: Normalizer,
+        fallback: RuleMonitor,
+        policy: GuardPolicy,
+    ) -> Self {
+        Self {
+            session: MonitorSession::new(monitor, cfg, normalizer),
+            fallback,
+            guard: InputGuard::new(policy),
+        }
+    }
+
+    /// Creates a guarded session using the featurization and safety rules
+    /// the monitor's dataset was built with.
+    pub fn for_dataset(
+        monitor: &'m TrainedMonitor,
+        ds: &LabeledDataset,
+        policy: GuardPolicy,
+    ) -> Self {
+        Self::new(
+            monitor,
+            ds.feature_config,
+            ds.normalizer.clone(),
+            RuleMonitor::new(ds.rules),
+            policy,
+        )
+    }
+
+    /// Current guard health (as of the last step).
+    pub fn health(&self) -> HealthState {
+        self.guard.health()
+    }
+
+    /// The wrapped session (e.g. for window inspection).
+    pub fn session(&self) -> &MonitorSession<'m> {
+        &self.session
+    }
+
+    /// Sanitizes and feeds one record; returns a verdict once the window
+    /// is full.
+    pub fn step(&mut self, rec: &StepRecord) -> Option<GuardedVerdict> {
+        let (clean, status) = self.guard.sanitize(rec);
+        let mut verdict = self.session.step(&clean)?;
+        if status.health == HealthState::Fallback {
+            let label = self.fallback.predict(&self.session.window().context());
+            verdict.label = label;
+            verdict.proba = label as f64;
+        }
+        Some(GuardedVerdict {
+            verdict,
+            health: status.health,
+            imputed: status.any_imputed(),
+        })
+    }
+
+    /// Resets featurizer and guard state (the monitor and scratch stay
+    /// warm).
+    pub fn reset(&mut self) {
+        self.session.reset();
+        self.guard.reset();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,6 +636,72 @@ mod tests {
                 assert_eq!(out[1].is_some(), t - 3 + 1 >= w);
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sensor input")]
+    fn non_finite_input_is_rejected_at_session_boundary() {
+        // Regression: NaN used to flow silently through normalization into
+        // the network and poison every later window of the ring.
+        let (traces, ds) = dataset();
+        let mut ws = WindowStream::new(ds.feature_config, ds.normalizer.clone());
+        let mut bad = traces[0].records()[0];
+        bad.bg_sensor = f64::NAN;
+        ws.push(&bad);
+    }
+
+    #[test]
+    fn guarded_session_matches_unguarded_on_clean_trace() {
+        let (traces, ds) = dataset();
+        let monitor = MonitorKind::Mlp
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
+        let mut plain = MonitorSession::for_dataset(&monitor, &ds);
+        let mut guarded =
+            GuardedSession::for_dataset(&monitor, &ds, crate::guard::GuardPolicy::aps());
+        for rec in traces[0].records() {
+            let a = plain.step(rec);
+            let b = guarded.step(rec);
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(b.health, HealthState::Healthy);
+                    assert!(!b.imputed);
+                    assert_eq!(a.step, b.verdict.step);
+                    assert_eq!(a.label, b.verdict.label);
+                    assert_eq!(a.proba, b.verdict.proba, "proba bits must match");
+                }
+                (None, None) => {}
+                other => panic!("readiness mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_session_survives_nan_and_falls_back() {
+        let (traces, ds) = dataset();
+        let monitor = MonitorKind::Mlp
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
+        let policy = crate::guard::GuardPolicy::aps();
+        let mut guarded = GuardedSession::for_dataset(&monitor, &ds, policy);
+        let rules = cpsmon_stl::RuleMonitor::new(ds.rules);
+        let mut saw_fallback = false;
+        for (t, rec) in traces[0].records().iter().enumerate() {
+            let mut r = *rec;
+            if t >= 20 {
+                r.bg_sensor = f64::NAN; // total CGM loss from step 20 on
+            }
+            if let Some(v) = guarded.step(&r) {
+                if v.health == HealthState::Fallback {
+                    saw_fallback = true;
+                    let expect = rules.predict(&guarded.session().window().context());
+                    assert_eq!(v.verdict.label, expect, "fallback label is the rule's");
+                    assert_eq!(v.verdict.proba, expect as f64);
+                }
+            }
+        }
+        assert!(saw_fallback, "budget exhaustion must reach Fallback");
+        assert_eq!(guarded.health(), HealthState::Fallback);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! - [`pump::InsulinPump`] + [`fault::FaultPlan`] — actuation with
 //!   accidental/malicious fault injection (overdose, underdose, stuck rate,
 //!   suspension).
+//! - [`faults::FaultPlan`] (re-exported as [`SensorFaultPlan`]) — seeded
+//!   *sensor-side* fault injection (dropout, stuck-at, spikes, drift, bias,
+//!   quantization, delay) for robustness testing of monitors.
 //! - [`engine::ClosedLoop`] — wires everything together and records a
 //!   [`trace::SimTrace`].
 //! - [`campaign::CampaignConfig`] — seeded multi-patient simulation
@@ -49,6 +52,7 @@ pub mod campaign;
 pub mod controller;
 pub mod engine;
 pub mod fault;
+pub mod faults;
 pub mod glucosym;
 pub mod hazard;
 pub mod meal;
@@ -63,6 +67,10 @@ pub use campaign::{CampaignConfig, SimulatorKind};
 pub use controller::{Controller, Observation};
 pub use engine::{ClosedLoop, StepObserver};
 pub use fault::{FaultKind, FaultPlan};
+pub use faults::{
+    ChannelFault, FaultInjector, FaultModel, FaultPlan as SensorFaultPlan, FaultedObserver,
+    SensorChannel,
+};
 pub use hazard::{HazardConfig, HazardEpisode};
 pub use patient::{PatientModel, TherapyProfile};
 pub use sensor::{Cgm, CgmFault, CgmFaultKind};

@@ -66,6 +66,35 @@ impl From<BenchError> for CliError {
     }
 }
 
+/// The registered experiment closest to `name` by edit distance, if it is
+/// close enough to plausibly be a typo (distance ≤ 1 + len/3).
+fn closest_experiment(name: &str) -> Option<&'static str> {
+    registry::REGISTRY
+        .iter()
+        .map(|e| (levenshtein(name, e.name()), e.name()))
+        .min()
+        .filter(|&(d, _)| d <= 1 + name.len() / 3)
+        .map(|(_, n)| n)
+}
+
+/// Plain O(len(a)·len(b)) Levenshtein distance — the registry has 15
+/// short names, so simplicity beats cleverness.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(prev + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
+}
+
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::from_env();
@@ -111,7 +140,12 @@ fn run() -> Result<(), CliError> {
             // Resolve every name before paying for the context.
             for name in &names {
                 if registry::find(name).is_none() {
-                    return Err(CliError::Bench(BenchError::UnknownExperiment(name.clone())));
+                    let mut msg = format!("unknown experiment '{name}'");
+                    if let Some(candidate) = closest_experiment(name) {
+                        msg.push_str(&format!("; did you mean '{candidate}'?"));
+                    }
+                    msg.push_str(" (see 'cpsmon list')");
+                    return Err(CliError::Usage(msg));
                 }
             }
             let ctx = Context::load_or_build(scale)?;
