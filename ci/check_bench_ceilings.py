@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Fail when a benchmark's median exceeds its checked-in ceiling.
+
+Usage: check_bench_ceilings.py <snapshot.json>
+
+The snapshot is the JSON written by the criterion shim
+(`CPSMON_BENCH_SNAPSHOT`); the ceilings live next to this script in
+`bench_ceilings.json`. Keys starting with `_` are comments.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def main() -> int:
+    snapshot = json.loads(pathlib.Path(sys.argv[1]).read_text())
+    ceilings = json.loads(
+        (pathlib.Path(__file__).parent / "bench_ceilings.json").read_text()
+    )
+    failed = False
+    for name, ceiling_ns in ceilings.items():
+        if name.startswith("_"):
+            continue
+        entry = snapshot["results"].get(name)
+        if entry is None:
+            print(f"FAIL {name}: missing from snapshot")
+            failed = True
+            continue
+        median = entry["median"]
+        over = median > ceiling_ns
+        print(
+            f"{'FAIL' if over else 'ok  '} {name}: "
+            f"median {median:.0f} ns vs ceiling {ceiling_ns} ns"
+        )
+        failed |= over
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,13 +4,14 @@
 use cpsmon_attack::{grid_cells, Fgsm, SweepContext, EPSILON_SWEEP};
 use cpsmon_core::monitor::MonitorModel;
 use cpsmon_core::{
-    robustness_error, sweep_parallel, FeatureConfig, GuardPolicy, GuardedSession, MonitorKind,
-    MonitorSession, Normalizer, SessionPool, TrainedMonitor,
+    robustness_error, sweep_parallel, FeatureConfig, GuardPolicy, GuardedSession, LstmEngine,
+    LstmSessionPool, MonitorKind, MonitorSession, Normalizer, SessionPool, TrainedMonitor,
 };
 use cpsmon_nn::par::{self, ThreadsGuard};
 use cpsmon_nn::rng::SmallRng;
 use cpsmon_nn::{
     init::random_normal, AdamTrainer, GradModel, LstmConfig, LstmNet, Matrix, MlpConfig, MlpNet,
+    WeightPrecision,
 };
 use cpsmon_sim::StepRecord;
 use cpsmon_stl::{ApsRules, RuleMonitor};
@@ -53,9 +54,10 @@ fn record_meta(c: &mut Criterion) {
     c.metadata("threads", &par::max_threads().to_string());
     #[cfg(target_arch = "x86_64")]
     let features = format!(
-        "avx2={} fma={}",
+        "avx2={} fma={} avx512f={}",
         std::arch::is_x86_feature_detected!("avx2"),
-        std::arch::is_x86_feature_detected!("fma")
+        std::arch::is_x86_feature_detected!("fma"),
+        std::arch::is_x86_feature_detected!("avx512f")
     );
     #[cfg(not(target_arch = "x86_64"))]
     let features = "non-x86_64".to_string();
@@ -322,9 +324,55 @@ fn bench_sessions(c: &mut Criterion) {
     });
 }
 
+fn bench_lstm_pools(c: &mut Criterion) {
+    // The stateful batched LSTM engine (DESIGN.md §12): 1000 concurrent
+    // sessions, one recurrent timestep per tick, packed through shared
+    // gate-block GEMMs. Divide the per-iteration time by 1000 for the
+    // per-session step cost; the per-session windowed equivalent is
+    // `session_step_lstm`.
+    let (cfg, norm) = session_featurization();
+    let records = synthetic_records(512, 11);
+    let lstm = paper_lstm();
+    // The int8 variant serves realized-precision weights: quantize through
+    // the on-disk format and dequantize back, exactly what a deployment
+    // loading a v2 int8 bundle would run.
+    let mut buf = Vec::new();
+    lstm.save_quantized(&mut buf, WeightPrecision::Int8)
+        .expect("in-memory save cannot fail");
+    let (qnet, precision) =
+        LstmNet::load_with_precision(&mut buf.as_slice()).expect("quantized roundtrip");
+    assert_eq!(precision, WeightPrecision::Int8);
+    let engines = [
+        ("session_step_pool1k_lstm", LstmEngine::F64(&lstm)),
+        ("session_step_pool1k_lstm_int8", LstmEngine::f32_from(&qnet)),
+    ];
+    for (name, engine) in engines {
+        let mut pool = LstmSessionPool::new(engine, cfg, &norm, 1000);
+        let mut step_records: Vec<StepRecord> = Vec::with_capacity(1000);
+        let mut next = 0usize;
+        // Warm one window's worth of ticks so ring buffers, recurrent
+        // state, and the arena are all in steady state.
+        for _ in 0..WINDOW {
+            step_records.clear();
+            step_records.extend((0..1000).map(|s| records[(next + s) % records.len()]));
+            pool.step(&step_records);
+            next += 1;
+        }
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                step_records.clear();
+                step_records.extend((0..1000).map(|s| records[(next + s) % records.len()]));
+                let out = pool.step(&step_records);
+                next += 1;
+                out
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = record_meta, bench_training, bench_inference, bench_attacks, bench_kernels, bench_sweep, bench_sessions
+    targets = record_meta, bench_training, bench_inference, bench_attacks, bench_kernels, bench_sweep, bench_sessions, bench_lstm_pools
 }
 criterion_main!(benches);

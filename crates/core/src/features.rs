@@ -254,6 +254,31 @@ impl Normalizer {
         Ok(Normalizer { mean, std })
     }
 
+    /// Restricts the normalizer to its last `cols` columns.
+    ///
+    /// A windowed monitor is fitted on flattened `timesteps × features`
+    /// windows, so each window *position* carries its own column
+    /// statistics. The stateful streaming engine sees one record at a
+    /// time instead; it normalizes every incoming record with the final
+    /// timestep's statistics — the position whose distribution a "current
+    /// record" actually matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is zero or exceeds the fitted width.
+    pub fn tail(&self, cols: usize) -> Normalizer {
+        assert!(
+            cols > 0 && cols <= self.mean.len(),
+            "tail width {cols} out of range for {}-column normalizer",
+            self.mean.len()
+        );
+        let at = self.mean.len() - cols;
+        Normalizer {
+            mean: self.mean[at..].to_vec(),
+            std: self.std[at..].to_vec(),
+        }
+    }
+
     /// Per-column means.
     pub fn mean(&self) -> &[f64] {
         &self.mean

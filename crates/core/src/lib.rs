@@ -51,11 +51,12 @@ pub use artifact::{dataset_fingerprint, train_config_hash, ArtifactError, Monito
 pub use dataset::{Dataset, DatasetBuilder, LabeledDataset};
 pub use error::CoreError;
 pub use features::{FeatureConfig, Normalizer, FEATURES_PER_STEP};
-pub use guard::{GuardPolicy, GuardStatus, HealthState, Imputation, InputGuard};
+pub use guard::{GuardBank, GuardPolicy, GuardStatus, HealthState, Imputation, InputGuard};
 pub use metrics::{ConfusionCounts, EvalReport};
 pub use monitor::{MonitorKind, TrainedMonitor};
 pub use robustness::{robustness_error, sweep_parallel};
 pub use stream::{
-    GuardedSession, GuardedVerdict, MonitorSession, SessionPool, Verdict, WindowStream,
+    GuardedSession, GuardedVerdict, LstmEngine, LstmSessionPool, LstmStreamSession, MonitorSession,
+    SessionPool, StepStream, Verdict, WindowStream,
 };
 pub use train::TrainConfig;

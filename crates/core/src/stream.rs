@@ -18,6 +18,12 @@
 //!   per-step cost allocates nothing.
 //! - [`SessionPool`]: many concurrent sessions whose ready rows are batched
 //!   through **one** [`cpsmon_nn::GradModel::predict_proba`] call per step.
+//! - [`LstmStreamSession`] / [`LstmSessionPool`]: the *stateful* LSTM
+//!   serving engine — hidden/cell state carried across records
+//!   (one timestep of compute per record instead of a full-window
+//!   recompute), pooled structure-of-arrays so a whole fleet advances
+//!   through one fused GEMM per gate block, at either f64 or f32
+//!   ([`LstmEngine`]) precision. See DESIGN.md §12.
 //!
 //! ## Batch-equivalence contract
 //!
@@ -33,9 +39,9 @@ use std::time::{Duration, Instant};
 
 use crate::dataset::LabeledDataset;
 use crate::features::{step_features, FeatureConfig, Normalizer, FEATURES_PER_STEP};
-use crate::guard::{GuardPolicy, HealthState, InputGuard};
+use crate::guard::{GuardBank, GuardPolicy, HealthState, InputGuard};
 use crate::monitor::{MonitorModel, TrainedMonitor};
-use cpsmon_nn::{LstmNetScratch, Matrix, MlpScratch};
+use cpsmon_nn::{LstmNet, LstmNetF32, LstmNetScratch, LstmStreamState, Matrix, MlpScratch};
 use cpsmon_sim::trace::StepRecord;
 use cpsmon_stl::{ApsContext, RuleMonitor};
 
@@ -50,8 +56,11 @@ pub struct Verdict {
     /// not probabilistic; it reports its hard label as 0.0 / 1.0.
     pub proba: f64,
     /// Wall-clock cost of producing this verdict: featurization plus
-    /// classification for [`MonitorSession::step`]; for pooled verdicts, the
-    /// whole pool step including the shared batched forward pass.
+    /// classification for [`MonitorSession::step`]. Pooled verdicts report
+    /// their *attributed* share — the session's queue wait (push to
+    /// classify start) plus the batched forward pass divided by the number
+    /// of rows that shared it — so a 1000-session pool tick no longer
+    /// charges every session the full batch time.
     pub latency: Duration,
 }
 
@@ -308,11 +317,20 @@ impl<'m> MonitorSession<'m> {
 ///
 /// Because the forward kernels are row-independent, pooled verdicts are
 /// bit-identical to the same sessions stepped individually.
+///
+/// Records arrive through [`push`](Self::push) (or the
+/// [`step`](Self::step) convenience that pushes one record per session);
+/// [`drain_ready`](Self::drain_ready) classifies everything queued since
+/// the last drain in one batch and attributes latency per session: queue
+/// wait plus an equal share of the batched forward pass.
 pub struct SessionPool<'m> {
     monitor: &'m TrainedMonitor,
     streams: Vec<WindowStream>,
     batch: Matrix,
     ready: Vec<usize>,
+    /// Push timestamp per session whose window became ready and has not
+    /// been drained yet.
+    pending: Vec<Option<Instant>>,
 }
 
 impl<'m> SessionPool<'m> {
@@ -328,6 +346,7 @@ impl<'m> SessionPool<'m> {
             streams: vec![WindowStream::new(cfg, normalizer); n],
             batch: Matrix::zeros(0, 0),
             ready: Vec::with_capacity(n),
+            pending: vec![None; n],
         }
     }
 
@@ -352,37 +371,55 @@ impl<'m> SessionPool<'m> {
         &mut self.streams
     }
 
-    /// Advances every session by one record (`records[i]` feeds session
-    /// `i`). Returns one entry per session: `None` while its window is
-    /// filling, otherwise its verdict for this step. All ready rows share
-    /// one batched forward pass and report the same pool-step latency.
+    /// Feeds one record to session `i`. Returns `true` when the session's
+    /// window is complete and a verdict will be emitted by the next
+    /// [`drain_ready`](Self::drain_ready).
+    ///
+    /// Pushing the same session again before draining just slides its
+    /// window one more step — only the latest window is classified.
     ///
     /// # Panics
     ///
-    /// Panics if `records.len() != self.len()`.
-    pub fn step(&mut self, records: &[StepRecord]) -> Vec<Option<Verdict>> {
-        assert_eq!(records.len(), self.streams.len(), "one record per session");
-        let t0 = Instant::now();
+    /// Panics if `i` is out of range.
+    pub fn push(&mut self, i: usize, rec: &StepRecord) -> bool {
+        let ready = self.streams[i].push(rec).is_some();
+        if ready {
+            self.pending[i] = Some(Instant::now());
+        }
+        ready
+    }
+
+    /// Classifies every session whose window completed since the last
+    /// drain, all in one batched forward pass. Returns one entry per
+    /// session: `None` if nothing was queued for it.
+    ///
+    /// Each verdict's latency is attributed per session: its queue wait
+    /// (push to classify start) plus `batch time / ready rows` — not the
+    /// whole pool step, so pooled latencies are comparable to
+    /// [`MonitorSession::step`] ones.
+    pub fn drain_ready(&mut self) -> Vec<Option<Verdict>> {
         self.ready.clear();
-        for (i, (stream, rec)) in self.streams.iter_mut().zip(records).enumerate() {
-            if stream.push(rec).is_some() {
+        for (i, p) in self.pending.iter().enumerate() {
+            if p.is_some() {
                 self.ready.push(i);
             }
         }
-        let mut out = vec![None; records.len()];
+        let mut out = vec![None; self.streams.len()];
         if self.ready.is_empty() {
             return out;
         }
         match &self.monitor.model {
             MonitorModel::Rule(m) => {
                 for &i in &self.ready {
+                    let pushed = self.pending[i].take().expect("queued");
                     let stream = &self.streams[i];
+                    let t0 = Instant::now();
                     let label = m.predict(&stream.context());
                     out[i] = Some(Verdict {
                         step: stream.steps_seen() - 1,
                         label,
                         proba: label as f64,
-                        latency: t0.elapsed(),
+                        latency: (t0 - pushed) + t0.elapsed(),
                     });
                 }
             }
@@ -398,20 +435,38 @@ impl<'m> SessionPool<'m> {
                         .row_mut(r)
                         .copy_from_slice(self.streams[i].window_x());
                 }
+                let t0 = Instant::now();
                 let probs = model.predict_proba(&self.batch);
                 let labels = probs.argmax_rows();
-                let latency = t0.elapsed();
+                let share = t0.elapsed() / self.ready.len() as u32;
                 for (r, &i) in self.ready.iter().enumerate() {
+                    let pushed = self.pending[i].take().expect("queued");
                     out[i] = Some(Verdict {
                         step: self.streams[i].steps_seen() - 1,
                         label: labels[r],
                         proba: probs.get(r, 1),
-                        latency,
+                        latency: (t0 - pushed) + share,
                     });
                 }
             }
         }
         out
+    }
+
+    /// Advances every session by one record (`records[i]` feeds session
+    /// `i`) and drains: returns one entry per session, `None` while its
+    /// window is filling, otherwise its verdict for this step. All ready
+    /// rows share one batched forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != self.len()`.
+    pub fn step(&mut self, records: &[StepRecord]) -> Vec<Option<Verdict>> {
+        assert_eq!(records.len(), self.streams.len(), "one record per session");
+        for (i, rec) in records.iter().enumerate() {
+            self.push(i, rec);
+        }
+        self.drain_ready()
     }
 }
 
@@ -512,6 +567,458 @@ impl<'m> GuardedSession<'m> {
     pub fn reset(&mut self) {
         self.session.reset();
         self.guard.reset();
+    }
+}
+
+/// Per-record featurizer for the *stateful* LSTM engine: one normalized
+/// feature row per pushed record, plus a raw ring of the last `window`
+/// per-step features so the rule fallback's [`ApsContext`] stays available.
+///
+/// Unlike [`WindowStream`] — which assembles the full flattened window the
+/// batch extractor builds — this normalizes each record with the *final*
+/// timestep's column statistics ([`Normalizer::tail`]): the stateful engine
+/// carries its own temporal memory in `h`/`c`, so the input at every tick
+/// is "the current record", the position whose training-time distribution
+/// is the window's last slot.
+///
+/// Until the ring fills, the missing older slots are padded with the first
+/// record's features (a constant-history assumption), so
+/// [`context`](Self::context) is well-defined from the very first push.
+#[derive(Debug, Clone)]
+pub struct StepStream {
+    cfg: FeatureConfig,
+    tail: Normalizer,
+    ring: Vec<[f64; FEATURES_PER_STEP]>,
+    head: usize,
+    filled: usize,
+    prev: Option<StepRecord>,
+    steps_seen: usize,
+    raw: Vec<f64>,
+    x: [f64; FEATURES_PER_STEP],
+}
+
+impl StepStream {
+    /// Creates a per-record featurizer. `normalizer` is the monitor's full
+    /// windowed normalizer (`window × FEATURES_PER_STEP` columns); its tail
+    /// is extracted here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the normalizer width does not match `cfg.window`.
+    pub fn new(cfg: FeatureConfig, normalizer: &Normalizer) -> Self {
+        assert_eq!(
+            normalizer.mean().len(),
+            cfg.window * FEATURES_PER_STEP,
+            "normalizer width does not match the feature window"
+        );
+        Self {
+            cfg,
+            tail: normalizer.tail(FEATURES_PER_STEP),
+            ring: vec![[0.0; FEATURES_PER_STEP]; cfg.window],
+            head: 0,
+            filled: 0,
+            prev: None,
+            steps_seen: 0,
+            raw: vec![0.0; cfg.window * FEATURES_PER_STEP],
+            x: [0.0; FEATURES_PER_STEP],
+        }
+    }
+
+    /// Feeds one record and returns its 0-based step index. Every push
+    /// yields a usable feature row — stateful sessions emit verdicts from
+    /// the first record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite sensor input, like [`WindowStream::push`];
+    /// guard unreliable inputs with a [`GuardBank`].
+    pub fn push(&mut self, rec: &StepRecord) -> usize {
+        assert!(
+            rec.bg_sensor.is_finite() && rec.iob.is_finite() && rec.delivered_rate.is_finite(),
+            "non-finite sensor input at session boundary (bg={}, iob={}, rate={}); \
+             wrap the pool in a GuardBank to impute invalid samples",
+            rec.bg_sensor,
+            rec.iob,
+            rec.delivered_rate
+        );
+        let prev = self.prev.unwrap_or(*rec);
+        let feats = step_features(rec, &prev);
+        if self.filled == 0 {
+            // Constant-history padding: the context window starts as if the
+            // first record had been seen `window` times.
+            self.ring.fill(feats);
+        }
+        self.ring[self.head] = feats;
+        self.head = (self.head + 1) % self.ring.len();
+        self.filled = (self.filled + 1).min(self.ring.len());
+        self.prev = Some(*rec);
+        self.x = feats;
+        self.tail.transform_row(&mut self.x);
+        let step = self.steps_seen;
+        self.steps_seen += 1;
+        step
+    }
+
+    /// The latest record's normalized feature row — the engine input.
+    pub fn features(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Rule context aggregated from the raw ring (padded until it fills),
+    /// via the same [`FeatureConfig::context_of`] the batch path uses.
+    pub fn context(&mut self) -> ApsContext {
+        for (k, chunk) in self.raw.chunks_exact_mut(FEATURES_PER_STEP).enumerate() {
+            chunk.copy_from_slice(&self.ring[(self.head + k) % self.ring.len()]);
+        }
+        self.cfg.context_of(&self.raw)
+    }
+
+    /// Records consumed so far.
+    pub fn steps_seen(&self) -> usize {
+        self.steps_seen
+    }
+
+    /// Forgets all state; the next push starts a fresh session.
+    pub fn reset(&mut self) {
+        self.head = 0;
+        self.filled = 0;
+        self.prev = None;
+        self.steps_seen = 0;
+    }
+}
+
+/// The numeric engine behind a stateful LSTM session or pool: the
+/// full-precision network, or the f32 serving engine quantized bundles
+/// dequantize into.
+pub enum LstmEngine<'m> {
+    /// Borrowed f64 network — bit-identical to the training-time forward.
+    F64(&'m LstmNet),
+    /// Owned single-precision engine (see [`LstmNetF32`]).
+    F32(LstmNetF32),
+}
+
+impl<'m> LstmEngine<'m> {
+    /// Builds the f32 serving engine from a (possibly dequantized) network.
+    pub fn f32_from(net: &LstmNet) -> Self {
+        LstmEngine::F32(LstmNetF32::from_net(net))
+    }
+
+    /// Features per timestep.
+    pub fn feature_dim(&self) -> usize {
+        match self {
+            LstmEngine::F64(n) => n.feature_dim(),
+            LstmEngine::F32(n) => n.feature_dim(),
+        }
+    }
+
+    /// Precision label for logs and bench metadata.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LstmEngine::F64(_) => "f64",
+            LstmEngine::F32(_) => "f32",
+        }
+    }
+
+    fn stream_state(&self, rows: usize) -> LstmStreamState {
+        match self {
+            LstmEngine::F64(n) => n.stream_state(rows),
+            LstmEngine::F32(n) => n.stream_state(rows),
+        }
+    }
+
+    fn step<'s>(&self, x: &Matrix, st: &'s mut LstmStreamState) -> &'s Matrix {
+        match self {
+            LstmEngine::F64(n) => n.step_stream(x, st),
+            LstmEngine::F32(n) => n.step_stream(x, st),
+        }
+    }
+}
+
+/// One *stateful* streaming LSTM session: carries `h`/`c` across records
+/// instead of recomputing a window per step, so each record costs one
+/// timestep of LSTM compute (~1/6 of the windowed path) and a verdict is
+/// emitted for every record from the first.
+///
+/// Note the semantics differ from [`MonitorSession`] with an LSTM monitor:
+/// verdicts reflect the whole stream since the session started, not a
+/// sliding 6-step window, so they are *not* comparable bit-for-bit to the
+/// batch path. What **is** guaranteed (and property-tested) is
+/// pool-transparency: this session and any [`LstmSessionPool`] slot fed
+/// the same records produce bit-identical verdicts.
+pub struct LstmStreamSession<'m> {
+    engine: LstmEngine<'m>,
+    stream: StepStream,
+    state: LstmStreamState,
+    x: Matrix,
+}
+
+impl<'m> LstmStreamSession<'m> {
+    /// Creates a stateful session with explicit featurization parameters.
+    pub fn new(engine: LstmEngine<'m>, cfg: FeatureConfig, normalizer: &Normalizer) -> Self {
+        let dim = engine.feature_dim();
+        Self {
+            state: engine.stream_state(1),
+            engine,
+            stream: StepStream::new(cfg, normalizer),
+            x: Matrix::zeros(1, dim),
+        }
+    }
+
+    /// Creates a stateful session using the featurization the monitor was
+    /// trained with.
+    pub fn for_dataset(engine: LstmEngine<'m>, ds: &LabeledDataset) -> Self {
+        Self::new(engine, ds.feature_config, &ds.normalizer)
+    }
+
+    /// Feeds one record; always yields a verdict.
+    pub fn step(&mut self, rec: &StepRecord) -> Verdict {
+        let t0 = Instant::now();
+        let step = self.stream.push(rec);
+        self.x.row_mut(0).copy_from_slice(self.stream.features());
+        let probs = self.engine.step(&self.x, &mut self.state);
+        Verdict {
+            step,
+            label: argmax_row(probs.row(0)),
+            proba: probs.get(0, 1),
+            latency: t0.elapsed(),
+        }
+    }
+
+    /// Resets featurizer and recurrent state.
+    pub fn reset(&mut self) {
+        self.stream.reset();
+        self.state.reset();
+    }
+}
+
+/// Queue entry for a pool slot that was pushed and awaits the next drain.
+#[derive(Clone, Copy)]
+struct PendingTick {
+    at: Instant,
+    health: HealthState,
+    imputed: bool,
+}
+
+/// Reusable scratch for one pool tick: the packed ready-row state, the
+/// batched input, and the ready index list. Lives across ticks so the
+/// steady state performs no allocation — buffers only grow, to the
+/// high-water mark of concurrent ready rows.
+struct PoolArena {
+    packed: LstmStreamState,
+    x: Matrix,
+    ready: Vec<usize>,
+}
+
+/// A fleet of *stateful* LSTM sessions advanced in lockstep: the
+/// hidden/cell state of every session lives as one row of
+/// structure-of-arrays matrices ([`LstmStreamState`]), and each
+/// [`drain_ready`](Self::drain_ready) gathers the pushed rows, advances
+/// them through **one** fused GEMM per gate block (the M dimension is the
+/// number of ready sessions), and scatters the state back.
+///
+/// Because every kernel in the engine is row-independent, a pooled
+/// session's verdict stream is bit-identical to the same records fed to a
+/// standalone [`LstmStreamSession`] — regardless of pool size or which
+/// other sessions happen to be ready in the same tick (property-tested in
+/// the workspace `streaming` suite).
+///
+/// With [`with_guards`](Self::with_guards) the pool becomes the guarded
+/// deployment form: each slot's records are sanitized by its own
+/// [`InputGuard`], and while a slot is in [`HealthState::Fallback`] its
+/// emitted verdict comes from the knowledge-only rule monitor evaluated on
+/// the imputed context (the recurrent state still advances on imputed
+/// inputs, so recovery is seamless).
+pub struct LstmSessionPool<'m> {
+    engine: LstmEngine<'m>,
+    streams: Vec<StepStream>,
+    state: LstmStreamState,
+    arena: PoolArena,
+    pending: Vec<Option<PendingTick>>,
+    guards: Option<GuardBank>,
+    fallback: Option<RuleMonitor>,
+}
+
+impl<'m> LstmSessionPool<'m> {
+    /// Creates `n` stateful sessions with explicit featurization
+    /// parameters.
+    pub fn new(
+        engine: LstmEngine<'m>,
+        cfg: FeatureConfig,
+        normalizer: &Normalizer,
+        n: usize,
+    ) -> Self {
+        Self {
+            state: engine.stream_state(n),
+            arena: PoolArena {
+                packed: engine.stream_state(0),
+                x: Matrix::zeros(0, 0),
+                ready: Vec::with_capacity(n),
+            },
+            engine,
+            streams: vec![StepStream::new(cfg, normalizer); n],
+            pending: vec![None; n],
+            guards: None,
+            fallback: None,
+        }
+    }
+
+    /// Creates `n` stateful sessions using the featurization the monitor
+    /// was trained with.
+    pub fn for_dataset(engine: LstmEngine<'m>, ds: &LabeledDataset, n: usize) -> Self {
+        Self::new(engine, ds.feature_config, &ds.normalizer, n)
+    }
+
+    /// Arms per-session input guards with a shared policy and a rule
+    /// fallback for slots that degrade to [`HealthState::Fallback`].
+    pub fn with_guards(mut self, policy: GuardPolicy, fallback: RuleMonitor) -> Self {
+        self.guards = Some(GuardBank::new(policy, self.streams.len()));
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether the pool has no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// The engine precision ("f64" / "f32").
+    pub fn engine_label(&self) -> &'static str {
+        self.engine.label()
+    }
+
+    /// Feeds one record to session `i` (sanitized through its guard when
+    /// guards are armed). The verdict is produced by the next
+    /// [`drain_ready`](Self::drain_ready).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range, or if session `i` was already pushed
+    /// since the last drain — a stateful session must advance once per
+    /// record, so dropping a queued record would silently skip state.
+    pub fn push(&mut self, i: usize, rec: &StepRecord) {
+        assert!(
+            self.pending[i].is_none(),
+            "session {i} pushed twice without drain_ready; \
+             stateful sessions must drain between records"
+        );
+        let at = Instant::now();
+        let (health, imputed) = match &mut self.guards {
+            Some(bank) => {
+                let (clean, status) = bank.sanitize(i, rec);
+                self.streams[i].push(&clean);
+                (status.health, status.any_imputed())
+            }
+            None => {
+                self.streams[i].push(rec);
+                (HealthState::Healthy, false)
+            }
+        };
+        self.pending[i] = Some(PendingTick {
+            at,
+            health,
+            imputed,
+        });
+    }
+
+    /// Advances every pushed session by one timestep through a single
+    /// batched engine step and returns one entry per session (`None` if it
+    /// was not pushed since the last drain).
+    ///
+    /// Latency is attributed per session — queue wait plus an equal share
+    /// of the batched step.
+    pub fn drain_ready(&mut self) -> Vec<Option<GuardedVerdict>> {
+        let n = self.streams.len();
+        let mut out = vec![None; n];
+        let arena = &mut self.arena;
+        arena.ready.clear();
+        for (i, p) in self.pending.iter().enumerate() {
+            if p.is_some() {
+                arena.ready.push(i);
+            }
+        }
+        if arena.ready.is_empty() {
+            return out;
+        }
+        let rows = arena.ready.len();
+        // Lockstep fast path: with every session ready the pool state IS
+        // the batch (ready = 0..n in order), so the gather/scatter row
+        // copies — ~2 × state-size of pure memcpy per tick — are skipped
+        // and the engine steps the pool state in place.
+        let full = rows == n;
+        if !full {
+            arena.packed.gather_from(&self.state, &arena.ready);
+        }
+        arena.x.reset_shape(rows, self.engine.feature_dim());
+        for (r, &i) in arena.ready.iter().enumerate() {
+            arena
+                .x
+                .row_mut(r)
+                .copy_from_slice(self.streams[i].features());
+        }
+        let t0 = Instant::now();
+        let state = if full {
+            &mut self.state
+        } else {
+            &mut arena.packed
+        };
+        let probs = self.engine.step(&arena.x, state);
+        let share = t0.elapsed() / rows as u32;
+        for (r, &i) in arena.ready.iter().enumerate() {
+            let tick = self.pending[i].take().expect("queued");
+            let (mut label, mut proba) = (argmax_row(probs.row(r)), probs.get(r, 1));
+            if tick.health == HealthState::Fallback {
+                let rules = self
+                    .fallback
+                    .as_ref()
+                    .expect("fallback rules exist when guards are armed");
+                label = rules.predict(&self.streams[i].context());
+                proba = label as f64;
+            }
+            out[i] = Some(GuardedVerdict {
+                verdict: Verdict {
+                    step: self.streams[i].steps_seen() - 1,
+                    label,
+                    proba,
+                    latency: (t0 - tick.at) + share,
+                },
+                health: tick.health,
+                imputed: tick.imputed,
+            });
+        }
+        if !full {
+            arena.packed.scatter_to(&mut self.state, &arena.ready);
+        }
+        out
+    }
+
+    /// Pushes one record per session and drains — the lockstep
+    /// convenience.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != self.len()`.
+    pub fn step(&mut self, records: &[StepRecord]) -> Vec<Option<GuardedVerdict>> {
+        assert_eq!(records.len(), self.streams.len(), "one record per session");
+        for (i, rec) in records.iter().enumerate() {
+            self.push(i, rec);
+        }
+        self.drain_ready()
+    }
+
+    /// Resets one session: featurizer, recurrent state row, guard slot,
+    /// and any queued record.
+    pub fn reset_session(&mut self, i: usize) {
+        self.streams[i].reset();
+        self.state.reset_row(i);
+        self.pending[i] = None;
+        if let Some(bank) = &mut self.guards {
+            bank.reset(i);
+        }
     }
 }
 
@@ -702,6 +1209,196 @@ mod tests {
         }
         assert!(saw_fallback, "budget exhaustion must reach Fallback");
         assert_eq!(guarded.health(), HealthState::Fallback);
+    }
+
+    fn lstm_net(ds: &LabeledDataset) -> TrainedMonitor {
+        MonitorKind::Lstm
+            .train(ds, &TrainConfig::quick_test())
+            .unwrap()
+    }
+
+    fn net_of(monitor: &TrainedMonitor) -> &cpsmon_nn::LstmNet {
+        match &monitor.model {
+            MonitorModel::Lstm(net) => net,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn stateful_pool_bit_identical_to_individual_sessions() {
+        let (traces, ds) = dataset();
+        let monitor = lstm_net(&ds);
+        let net = net_of(&monitor);
+        let n = traces.len();
+        let steps = traces.iter().map(|t| t.len()).min().unwrap();
+        let mut pool = LstmSessionPool::for_dataset(LstmEngine::F64(net), &ds, n);
+        let mut singles: Vec<LstmStreamSession<'_>> = (0..n)
+            .map(|_| LstmStreamSession::for_dataset(LstmEngine::F64(net), &ds))
+            .collect();
+        for t in 0..steps {
+            let records: Vec<StepRecord> = traces.iter().map(|tr| tr.records()[t]).collect();
+            let pooled = pool.step(&records);
+            for (i, rec) in records.iter().enumerate() {
+                let s = singles[i].step(rec);
+                let p = pooled[i].expect("stateful sessions always emit").verdict;
+                assert_eq!(p.step, s.step);
+                assert_eq!(p.label, s.label, "session {i} step {t}");
+                assert_eq!(
+                    p.proba.to_bits(),
+                    s.proba.to_bits(),
+                    "session {i} step {t} proba bits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stateful_pool_ragged_pushes_match_individual_sessions() {
+        let (traces, ds) = dataset();
+        let monitor = lstm_net(&ds);
+        let net = net_of(&monitor);
+        let records = traces[0].records();
+        let mut pool = LstmSessionPool::for_dataset(LstmEngine::F64(net), &ds, 3);
+        let mut singles: Vec<LstmStreamSession<'_>> = (0..3)
+            .map(|_| LstmStreamSession::for_dataset(LstmEngine::F64(net), &ds))
+            .collect();
+        // Session i is pushed only on ticks where t % (i + 1) == 0, so every
+        // drain sees a different ragged ready-set (including singletons).
+        for (t, rec) in records.iter().take(24).enumerate() {
+            for i in 0..3 {
+                if t % (i + 1) == 0 {
+                    pool.push(i, rec);
+                }
+            }
+            let pooled = pool.drain_ready();
+            for (i, slot) in pooled.iter().enumerate() {
+                if t % (i + 1) == 0 {
+                    let s = singles[i].step(rec);
+                    let p = slot.expect("pushed sessions emit").verdict;
+                    assert_eq!(p.step, s.step, "session {i} tick {t}");
+                    assert_eq!(
+                        p.proba.to_bits(),
+                        s.proba.to_bits(),
+                        "session {i} tick {t} proba bits"
+                    );
+                } else {
+                    assert!(slot.is_none(), "unpushed session {i} emitted at {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stateful_pool_f32_engine_matches_individual_f32_sessions() {
+        let (traces, ds) = dataset();
+        let monitor = lstm_net(&ds);
+        let net = net_of(&monitor);
+        let records = traces[0].records();
+        let mut pool = LstmSessionPool::for_dataset(LstmEngine::f32_from(net), &ds, 2);
+        let mut single = LstmStreamSession::for_dataset(LstmEngine::f32_from(net), &ds);
+        assert_eq!(pool.engine_label(), "f32");
+        for rec in records.iter().take(20) {
+            let pooled = pool.step(&[*rec, *rec]);
+            let s = single.step(rec);
+            for slot in &pooled {
+                let p = slot.expect("emits").verdict;
+                assert_eq!(p.proba.to_bits(), s.proba.to_bits(), "f32 pool diverged");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed twice without drain_ready")]
+    fn stateful_pool_rejects_double_push() {
+        let (traces, ds) = dataset();
+        let monitor = lstm_net(&ds);
+        let net = net_of(&monitor);
+        let mut pool = LstmSessionPool::for_dataset(LstmEngine::F64(net), &ds, 1);
+        let rec = traces[0].records()[0];
+        pool.push(0, &rec);
+        pool.push(0, &rec);
+    }
+
+    #[test]
+    fn stateful_pool_reset_session_restarts_stream() {
+        let (traces, ds) = dataset();
+        let monitor = lstm_net(&ds);
+        let net = net_of(&monitor);
+        let records = traces[0].records();
+        let mut pool = LstmSessionPool::for_dataset(LstmEngine::F64(net), &ds, 2);
+        let mut fresh = LstmStreamSession::for_dataset(LstmEngine::F64(net), &ds);
+        for rec in records.iter().take(8) {
+            pool.step(&[*rec, *rec]);
+        }
+        pool.reset_session(1);
+        for (k, rec) in records.iter().take(8).enumerate() {
+            let pooled = pool.step(&[*rec, *rec]);
+            let s = fresh.step(rec);
+            let p = pooled[1].expect("emits").verdict;
+            assert_eq!(p.step, k, "reset session restarts step numbering");
+            assert_eq!(p.proba.to_bits(), s.proba.to_bits(), "reset slot diverged");
+        }
+    }
+
+    #[test]
+    fn guarded_stateful_pool_falls_back_per_slot() {
+        let (traces, ds) = dataset();
+        let monitor = lstm_net(&ds);
+        let net = net_of(&monitor);
+        let rules = RuleMonitor::new(ds.rules);
+        let mut pool = LstmSessionPool::for_dataset(LstmEngine::F64(net), &ds, 2)
+            .with_guards(crate::guard::GuardPolicy::aps(), rules);
+        let mut clean_single = LstmStreamSession::for_dataset(LstmEngine::F64(net), &ds);
+        let mut saw_fallback = false;
+        for (t, rec) in traces[0].records().iter().take(60).enumerate() {
+            let mut bad = *rec;
+            if t >= 10 {
+                bad.bg_sensor = f64::NAN; // slot 1 loses its CGM
+            }
+            pool.push(0, rec);
+            pool.push(1, &bad);
+            let out = pool.drain_ready();
+            let clean = clean_single.step(rec);
+            let v0 = out[0].expect("emits");
+            // Slot 0's stream is clean: guard passthrough is bit-exact.
+            assert_eq!(v0.health, HealthState::Healthy);
+            assert!(!v0.imputed);
+            assert_eq!(v0.verdict.proba.to_bits(), clean.proba.to_bits());
+            let v1 = out[1].expect("emits");
+            if v1.health == HealthState::Fallback {
+                saw_fallback = true;
+                assert!(v1.verdict.proba == 0.0 || v1.verdict.proba == 1.0);
+            }
+        }
+        assert!(saw_fallback, "budget exhaustion must reach Fallback");
+    }
+
+    #[test]
+    fn pool_latency_attribution_stays_below_pool_step() {
+        // A windowed pool of n sessions must not charge each verdict the
+        // full batch: the attributed share decreases with pool size.
+        let (traces, ds) = dataset();
+        let monitor = lstm_net(&ds);
+        let n = 4;
+        let mut pool = SessionPool::for_dataset(&monitor, &ds, n);
+        let records = traces[0].records();
+        let mut checked = false;
+        for rec in records.iter().take(12) {
+            let recs: Vec<StepRecord> = vec![*rec; n];
+            let t0 = Instant::now();
+            let out = pool.step(&recs);
+            let whole = t0.elapsed();
+            for v in out.into_iter().flatten() {
+                assert!(
+                    v.latency <= whole,
+                    "attributed latency {:?} exceeds whole pool step {:?}",
+                    v.latency,
+                    whole
+                );
+                checked = true;
+            }
+        }
+        assert!(checked, "pool never became ready");
     }
 
     #[test]

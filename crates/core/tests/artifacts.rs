@@ -111,12 +111,17 @@ fn bad_magic_and_wrong_version_are_rejected() {
     let err = MonitorBundle::load(&mut BufReader::new(wrong_magic.as_bytes())).unwrap_err();
     assert!(matches!(err, ArtifactError::BadMagic(_)), "{err}");
 
-    let wrong_version = text.replacen("cpsmon-bundle v1", "cpsmon-bundle v2", 1);
+    let wrong_version = text.replacen("cpsmon-bundle v1", "cpsmon-bundle v3", 1);
     let err = MonitorBundle::load(&mut BufReader::new(wrong_version.as_bytes())).unwrap_err();
     assert!(
-        matches!(err, ArtifactError::UnsupportedVersion(v) if v == "v2"),
+        matches!(err, ArtifactError::UnsupportedVersion(v) if v == "v3"),
         "wrong variant"
     );
+
+    // v2 is a real version now (quantized bundles), but a v1 body merely
+    // relabeled v2 lacks the mandatory precision line and must not load.
+    let relabeled = text.replacen("cpsmon-bundle v1", "cpsmon-bundle v2", 1);
+    assert!(MonitorBundle::load(&mut BufReader::new(relabeled.as_bytes())).is_err());
 }
 
 #[test]

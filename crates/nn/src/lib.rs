@@ -73,8 +73,8 @@ pub use gru::Gru;
 pub use gru_net::{GruConfig, GruNet};
 pub use loss::SemanticLoss;
 pub use lstm::{Lstm, LstmScratch};
-pub use lstm_net::{LstmConfig, LstmNet, LstmNetScratch};
+pub use lstm_net::{LstmConfig, LstmNet, LstmNetF32, LstmNetScratch, LstmStreamState};
 pub use matrix::Matrix;
 pub use mlp_net::{MlpConfig, MlpNet, MlpScratch};
 pub use model::GradModel;
-pub use serialize::LoadError;
+pub use serialize::{LoadError, WeightPrecision};

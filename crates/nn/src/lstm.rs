@@ -229,6 +229,32 @@ impl Lstm {
         }
     }
 
+    /// Advances `rows` independent recurrent states by **one** timestep:
+    /// `z = x·Wx + b + h·Wh`, then the fused gate update rewrites `h` and
+    /// `c` in place. `x` is `N × input_dim`; `h` and `c` are `N × hidden`
+    /// (row `r` is session `r`'s carried state); `z` is an `N × 4H` scratch
+    /// fully overwritten here.
+    ///
+    /// Row `r` of the batch goes through exactly the per-element operation
+    /// sequence a 1-row call would apply (the GEMM accumulates ascending-`k`
+    /// per element and [`simd::lstm_step_row`] is row-wise), so batching
+    /// sessions together never changes any session's bits — the invariant
+    /// the pooled streaming engine's equivalence tests pin down.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn step_rows(&self, x: &Matrix, h: &mut Matrix, c: &mut Matrix, z: &mut Matrix) {
+        let n = x.rows();
+        assert_eq!(x.cols(), self.input_dim, "step input width mismatch");
+        assert_eq!(h.shape(), (n, self.hidden_dim), "hidden state shape");
+        assert_eq!(c.shape(), (n, self.hidden_dim), "cell state shape");
+        z.reset_shape(n, 4 * self.hidden_dim);
+        x.matmul_add_bias_into(&self.wx, &self.b, z);
+        h.matmul_acc(&self.wh, z);
+        step_state(z, c, h, self.hidden_dim);
+    }
+
     /// BPTT backward pass.
     ///
     /// `dhs[t]` is the gradient of the loss w.r.t. the hidden state emitted

@@ -443,6 +443,333 @@ impl LstmNet {
     }
 }
 
+/// Carried recurrent state for a batch of independent streaming sessions,
+/// laid out structure-of-arrays: row `r` of every per-layer `h`/`c` matrix
+/// is session `r`'s state. One state serves both the f64 engine
+/// ([`LstmNet::step_stream`]) and the f32 quantized engine
+/// ([`LstmNetF32::step_stream`]) — the f32 engine keeps its master state in
+/// f64 too (only weights and GEMMs are single precision), so pools can
+/// gather/scatter rows without caring which engine advances them.
+///
+/// The `z`/`probs`/f32 buffers are per-tick scratch, fully overwritten by
+/// each step; after the first tick at a given row count the steady state
+/// allocates nothing.
+#[derive(Debug, Clone)]
+pub struct LstmStreamState {
+    h: Vec<Matrix>,
+    c: Vec<Matrix>,
+    z: Matrix,
+    probs: Matrix,
+    rows: usize,
+    // f32 engine scratch (empty unless LstmNetF32 drives this state).
+    f32_in: Vec<f32>,
+    f32_h: Vec<f32>,
+    f32_z: Vec<f32>,
+}
+
+impl Default for LstmStreamState {
+    fn default() -> Self {
+        Self {
+            h: Vec::new(),
+            c: Vec::new(),
+            z: Matrix::zeros(0, 0),
+            probs: Matrix::zeros(0, 0),
+            rows: 0,
+            f32_in: Vec::new(),
+            f32_h: Vec::new(),
+            f32_z: Vec::new(),
+        }
+    }
+}
+
+impl LstmStreamState {
+    /// Number of session rows this state carries.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Zeroes row `i`'s hidden and cell state across all layers — a fresh
+    /// session in that slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows()`.
+    pub fn reset_row(&mut self, i: usize) {
+        assert!(i < self.rows, "row {i} out of {}", self.rows);
+        for m in self.h.iter_mut().chain(self.c.iter_mut()) {
+            m.row_mut(i).fill(0.0);
+        }
+    }
+
+    /// Zeroes every row (all sessions restart).
+    pub fn reset(&mut self) {
+        for m in self.h.iter_mut().chain(self.c.iter_mut()) {
+            m.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// Packs rows `idx` of `src` into this state (resizing to
+    /// `idx.len()` rows) — the pool's gather step before a batched tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states belong to different architectures or any
+    /// index is out of range.
+    pub fn gather_from(&mut self, src: &LstmStreamState, idx: &[usize]) {
+        assert_eq!(self.h.len(), src.h.len(), "layer count mismatch");
+        let n = idx.len();
+        for (dst, s) in self.h.iter_mut().zip(&src.h) {
+            dst.reset_shape(n, s.cols());
+            for (r, &i) in idx.iter().enumerate() {
+                dst.row_mut(r).copy_from_slice(s.row(i));
+            }
+        }
+        for (dst, s) in self.c.iter_mut().zip(&src.c) {
+            dst.reset_shape(n, s.cols());
+            for (r, &i) in idx.iter().enumerate() {
+                dst.row_mut(r).copy_from_slice(s.row(i));
+            }
+        }
+        self.rows = n;
+    }
+
+    /// Writes this state's rows back into rows `idx` of `dst` — the pool's
+    /// scatter step after a batched tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics on architecture mismatch, `idx.len() != rows()`, or any index
+    /// out of range.
+    pub fn scatter_to(&self, dst: &mut LstmStreamState, idx: &[usize]) {
+        assert_eq!(idx.len(), self.rows, "index count mismatch");
+        for (s, d) in self.h.iter().zip(dst.h.iter_mut()) {
+            for (r, &i) in idx.iter().enumerate() {
+                d.row_mut(i).copy_from_slice(s.row(r));
+            }
+        }
+        for (s, d) in self.c.iter().zip(dst.c.iter_mut()) {
+            for (r, &i) in idx.iter().enumerate() {
+                d.row_mut(i).copy_from_slice(s.row(r));
+            }
+        }
+    }
+}
+
+impl LstmNet {
+    /// Fresh zeroed recurrent state for `rows` streaming sessions.
+    pub fn stream_state(&self, rows: usize) -> LstmStreamState {
+        LstmStreamState {
+            h: self
+                .lstms
+                .iter()
+                .map(|l| Matrix::zeros(rows, l.hidden_dim()))
+                .collect(),
+            c: self
+                .lstms
+                .iter()
+                .map(|l| Matrix::zeros(rows, l.hidden_dim()))
+                .collect(),
+            rows,
+            ..LstmStreamState::default()
+        }
+    }
+
+    /// Advances every session row by one timestep and returns the class
+    /// probabilities per row (`rows × classes`).
+    ///
+    /// Unlike the windowed [`predict_proba_scratch`] path — which recomputes
+    /// the whole fixed-length window every step — this *carries* `h`/`c`
+    /// across calls, costing one timestep of compute per record. Verdicts
+    /// therefore reflect the entire stream since the session started (or
+    /// since [`LstmStreamState::reset_row`]), not a sliding window, and are
+    /// emitted from the very first record (zero initial state).
+    ///
+    /// Every kernel invoked here is row-wise with a fixed per-element
+    /// operation sequence, so row `r`'s outputs are bit-identical whether
+    /// stepped alone or batched with any other sessions — the pooled
+    /// engine's core invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `state.rows() × feature_dim`.
+    ///
+    /// [`predict_proba_scratch`]: Self::predict_proba_scratch
+    pub fn step_stream<'s>(&self, x: &Matrix, state: &'s mut LstmStreamState) -> &'s Matrix {
+        let n = x.rows();
+        assert_eq!(x.cols(), self.feature_dim, "step width mismatch");
+        assert_eq!(n, state.rows, "state row-count mismatch");
+        assert_eq!(state.h.len(), self.lstms.len(), "state layer mismatch");
+        let LstmStreamState { h, c, z, probs, .. } = state;
+        for (i, lstm) in self.lstms.iter().enumerate() {
+            let (done, todo) = h.split_at_mut(i);
+            let input: &Matrix = if i == 0 { x } else { &done[i - 1] };
+            lstm.step_rows(input, &mut todo[0], &mut c[i], z);
+        }
+        let last_h = h.last().expect("at least one layer");
+        probs.reset_shape(n, self.classes);
+        self.head.forward_into(last_h, probs);
+        softmax_rows_inplace(probs);
+        &state.probs
+    }
+}
+
+/// One LSTM layer's weights in single precision, row-major.
+#[derive(Debug, Clone)]
+struct LstmLayerF32 {
+    wx: Vec<f32>,
+    wh: Vec<f32>,
+    b: Vec<f32>,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+/// Single-precision serving engine for a [`LstmNet`] — the execution mode
+/// behind quantized (`f16`/`int8`) monitor bundles.
+///
+/// Weights and the two gate GEMMs per layer are f32
+/// ([`simd::gemm_acc_f32`](crate::simd::gemm_acc_f32)); the recurrent
+/// state, gate transcendentals and softmax stay f64 (converted per
+/// element), so the nonlinear tail adds no further precision loss and the
+/// engine reuses the same dispatched `lstm_step_row` kernels as the f64
+/// path. Accuracy relative to the f64 engine is bounded by the quantized
+/// bundle's documented F1 tolerance, enforced by the artifact tests.
+#[derive(Debug, Clone)]
+pub struct LstmNetF32 {
+    layers: Vec<LstmLayerF32>,
+    head_w: Vec<f32>,
+    head_b: Vec<f32>,
+    feature_dim: usize,
+    classes: usize,
+}
+
+fn to_f32(m: &Matrix) -> Vec<f32> {
+    m.as_slice().iter().map(|&v| v as f32).collect()
+}
+
+impl LstmNetF32 {
+    /// Converts a (typically dequantized) network's weights to f32.
+    pub fn from_net(net: &LstmNet) -> Self {
+        Self {
+            layers: net
+                .lstms
+                .iter()
+                .map(|l| LstmLayerF32 {
+                    wx: to_f32(l.wx()),
+                    wh: to_f32(l.wh()),
+                    b: to_f32(l.gate_bias()),
+                    input_dim: l.input_dim(),
+                    hidden_dim: l.hidden_dim(),
+                })
+                .collect(),
+            head_w: to_f32(net.head.weights()),
+            head_b: to_f32(net.head.bias()),
+            feature_dim: net.feature_dim,
+            classes: net.classes,
+        }
+    }
+
+    /// Features per timestep.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Fresh zeroed recurrent state for `rows` streaming sessions;
+    /// interchangeable with [`LstmNet::stream_state`] for the same
+    /// architecture.
+    pub fn stream_state(&self, rows: usize) -> LstmStreamState {
+        LstmStreamState {
+            h: self
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(rows, l.hidden_dim))
+                .collect(),
+            c: self
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(rows, l.hidden_dim))
+                .collect(),
+            rows,
+            ..LstmStreamState::default()
+        }
+    }
+
+    /// Advances every session row by one timestep — the f32 analogue of
+    /// [`LstmNet::step_stream`], with the same row-independence guarantee
+    /// (each row's bits are unchanged by batching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `state.rows() × feature_dim`.
+    pub fn step_stream<'s>(&self, x: &Matrix, state: &'s mut LstmStreamState) -> &'s Matrix {
+        use crate::simd::{gemm_acc_f32, lstm_step_row};
+        let n = x.rows();
+        assert_eq!(x.cols(), self.feature_dim, "step width mismatch");
+        assert_eq!(n, state.rows, "state row-count mismatch");
+        assert_eq!(state.h.len(), self.layers.len(), "state layer mismatch");
+        let LstmStreamState {
+            h,
+            c,
+            z,
+            probs,
+            f32_in,
+            f32_h,
+            f32_z,
+            ..
+        } = state;
+        // Layer input in f32; starts as the record batch itself.
+        f32_in.clear();
+        f32_in.extend(x.as_slice().iter().map(|&v| v as f32));
+        let mut in_dim = self.feature_dim;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let hd = layer.hidden_dim;
+            debug_assert_eq!(in_dim, layer.input_dim);
+            let (done, todo) = h.split_at_mut(i);
+            let _ = done;
+            let h_i = &mut todo[0];
+            // Pre-update hidden state → f32 for the recurrent GEMM.
+            f32_h.clear();
+            f32_h.extend(h_i.as_slice().iter().map(|&v| v as f32));
+            // z = b (seed) + x·Wx + h·Wh, all single precision.
+            f32_z.clear();
+            for _ in 0..n {
+                f32_z.extend_from_slice(&layer.b);
+            }
+            gemm_acc_f32(f32_in, n, layer.input_dim, &layer.wx, 4 * hd, f32_z);
+            gemm_acc_f32(f32_h, n, hd, &layer.wh, 4 * hd, f32_z);
+            // Gate nonlinearities in f64 through the dispatched kernel.
+            z.reset_shape(n, 4 * hd);
+            for (d, &s) in z.as_mut_slice().iter_mut().zip(f32_z.iter()) {
+                *d = f64::from(s);
+            }
+            for r in 0..n {
+                let hr = h_i.row_mut(r);
+                lstm_step_row(z.row(r), c[i].row_mut(r), hr, hd);
+            }
+            // Post-update hidden state feeds the next layer.
+            f32_in.clear();
+            f32_in.extend(h_i.as_slice().iter().map(|&v| v as f32));
+            in_dim = hd;
+        }
+        // Head + softmax: f32 GEMM, f64 normalization.
+        f32_z.clear();
+        for _ in 0..n {
+            f32_z.extend_from_slice(&self.head_b);
+        }
+        gemm_acc_f32(f32_in, n, in_dim, &self.head_w, self.classes, f32_z);
+        probs.reset_shape(n, self.classes);
+        for (d, &s) in probs.as_mut_slice().iter_mut().zip(f32_z.iter()) {
+            *d = f64::from(s);
+        }
+        softmax_rows_inplace(probs);
+        &state.probs
+    }
+}
+
 impl GradModel for LstmNet {
     fn classes(&self) -> usize {
         self.classes
@@ -598,5 +925,110 @@ mod tests {
         let sub = x.slice_rows(1, 4);
         let p = net.predict_proba_scratch(&sub, &mut scratch);
         assert_eq!(p.as_slice(), batch.slice_rows(1, 4).as_slice());
+    }
+
+    #[test]
+    fn step_stream_pooled_rows_bit_identical_to_individual() {
+        let net = tiny_net(21);
+        let n = 5;
+        let ticks: Vec<Matrix> = (0..7)
+            .map(|t| random_normal(n, 3, 1.0, &mut SmallRng::new(100 + t)))
+            .collect();
+        let mut pooled = net.stream_state(n);
+        let mut singles: Vec<_> = (0..n).map(|_| net.stream_state(1)).collect();
+        for x in &ticks {
+            let batch = net.step_stream(x, &mut pooled).clone();
+            for (r, st) in singles.iter_mut().enumerate() {
+                let row = x.slice_rows(r, r + 1);
+                let p = net.step_stream(&row, st);
+                for (a, b) in p.as_slice().iter().zip(batch.row(r)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {r} diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_stream_f32_pooled_rows_bit_identical_to_individual() {
+        let net = tiny_net(22);
+        let eng = LstmNetF32::from_net(&net);
+        let n = 4;
+        let ticks: Vec<Matrix> = (0..6)
+            .map(|t| random_normal(n, 3, 1.0, &mut SmallRng::new(200 + t)))
+            .collect();
+        let mut pooled = eng.stream_state(n);
+        let mut singles: Vec<_> = (0..n).map(|_| eng.stream_state(1)).collect();
+        for x in &ticks {
+            let batch = eng.step_stream(x, &mut pooled).clone();
+            for (r, st) in singles.iter_mut().enumerate() {
+                let row = x.slice_rows(r, r + 1);
+                let p = eng.step_stream(&row, st);
+                for (a, b) in p.as_slice().iter().zip(batch.row(r)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {r} diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_stream_f32_tracks_f64_engine() {
+        let net = tiny_net(23);
+        let eng = LstmNetF32::from_net(&net);
+        let mut s64 = net.stream_state(3);
+        let mut s32 = eng.stream_state(3);
+        for t in 0..8 {
+            let x = random_normal(3, 3, 0.8, &mut SmallRng::new(300 + t));
+            let p64 = net.step_stream(&x, &mut s64).clone();
+            let p32 = eng.step_stream(&x, &mut s32).clone();
+            for (a, b) in p64.as_slice().iter().zip(p32.as_slice()) {
+                assert!((a - b).abs() < 1e-3, "f32 engine drifted: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_and_reset_row() {
+        let net = tiny_net(24);
+        let n = 6;
+        let mut master = net.stream_state(n);
+        let x = random_normal(n, 3, 1.0, &mut SmallRng::new(400));
+        net.step_stream(&x, &mut master);
+        // Gather a ragged subset, advance it, scatter back: untouched rows
+        // must be unchanged and gathered rows must match a full-batch step
+        // of the same inputs.
+        let idx = [4usize, 1, 5];
+        let mut packed = net.stream_state(0);
+        packed.gather_from(&master, &idx);
+        assert_eq!(packed.rows(), 3);
+        let x2 = random_normal(n, 3, 1.0, &mut SmallRng::new(401));
+        let mut reference = master.clone();
+        let xsub = Matrix::from_rows(&[x2.row(4), x2.row(1), x2.row(5)]);
+        let p_packed = net.step_stream(&xsub, &mut packed).clone();
+        let p_full = net.step_stream(&x2, &mut reference).clone();
+        for (r, &i) in idx.iter().enumerate() {
+            for (a, b) in p_packed.row(r).iter().zip(p_full.row(i)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "gathered row {i} diverged");
+            }
+        }
+        packed.scatter_to(&mut master, &idx);
+        // Scattered-back state must step identically to the reference state.
+        let x3 = random_normal(n, 3, 1.0, &mut SmallRng::new(402));
+        let q1 = net.step_stream(&x3, &mut master).clone();
+        let q2 = net.step_stream(&x3, &mut reference).clone();
+        let touched: Vec<usize> = idx.to_vec();
+        for i in touched {
+            for (a, b) in q1.row(i).iter().zip(q2.row(i)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "post-scatter row {i}");
+            }
+        }
+        // reset_row gives the same verdict stream as a brand-new session.
+        master.reset_row(2);
+        let mut fresh = net.stream_state(1);
+        let x4 = random_normal(n, 3, 1.0, &mut SmallRng::new(403));
+        let pm = net.step_stream(&x4, &mut master).clone();
+        let pf = net.step_stream(&x4.slice_rows(2, 3), &mut fresh).clone();
+        for (a, b) in pm.row(2).iter().zip(pf.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "reset row diverged");
+        }
     }
 }

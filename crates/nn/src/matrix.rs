@@ -11,6 +11,14 @@ use std::ops::{Add, AddAssign, Mul, Sub};
 
 use crate::simd::gemm_acc;
 
+thread_local! {
+    /// Reusable transpose-pack buffer for [`Matrix::matmul_tb`]. Per
+    /// thread so the backward pass's per-timestep `dz·Wᵀ` calls stop
+    /// paying a fresh `k·n` allocation (and the allocator-layout jitter it
+    /// induced on the output buffer) on every call.
+    static PACK_SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// A dense, row-major matrix of `f64` values.
 ///
 /// # Examples
@@ -498,16 +506,30 @@ impl Matrix {
         );
         let k = self.cols;
         let n = rhs.rows;
-        let mut packed = vec![0.0; k * n];
-        for j in 0..n {
-            let src = &rhs.data[j * k..(j + 1) * k];
-            for (kk, &v) in src.iter().enumerate() {
-                packed[kk * n + j] = v;
+        // Transpose kk-major into a thread-local pack scratch. kk-major
+        // keeps the writes contiguous (the j-major form scatters writes at
+        // stride `8n` bytes, stalling on a read-for-ownership round trip
+        // per element — measured ~6× the pack cost on the 256×36 backward
+        // shape), and reusing one long-lived buffer keeps the allocator
+        // pattern identical to `matmul` (interleaving a fresh `k·n` chunk
+        // with the output allocation measurably perturbed how the output
+        // buffer itself was served, costing more than the pack).
+        PACK_SCRATCH.with(|cell| {
+            let mut packed = cell.borrow_mut();
+            if packed.len() < k * n {
+                packed.resize(k * n, 0.0);
             }
-        }
-        let mut out = Matrix::zeros(self.rows, n);
-        gemm_acc(&self.data, self.rows, k, &packed, n, &mut out.data);
-        out
+            let rp = rhs.data.as_ptr();
+            for (kk, dst) in packed[..k * n].chunks_exact_mut(n).enumerate() {
+                // SAFETY: j*k + kk < n*k = rhs.data.len().
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = unsafe { *rp.add(j * k + kk) };
+                }
+            }
+            let mut out = Matrix::zeros(self.rows, n);
+            gemm_acc(&self.data, self.rows, k, &packed[..k * n], n, &mut out.data);
+            out
+        })
     }
 
     /// Alias for [`matmul_tb`](Self::matmul_tb), kept for callers written

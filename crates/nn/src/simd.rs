@@ -1,17 +1,28 @@
-//! Runtime-dispatched SIMD microkernels (AVX2+FMA) with scalar fallbacks.
+//! Runtime-dispatched SIMD microkernels with scalar fallbacks.
 //!
 //! Every hot inner kernel — the blocked GEMM behind [`Matrix::matmul`],
 //! the sigmoid/tanh/softmax element-wise passes, and the fused LSTM state
-//! update — exists in two implementations:
+//! update — exists in up to four implementations:
 //!
 //! - a **scalar** kernel, identical to the original portable code (libm
-//!   transcendentals, unfused multiply-add), and
-//! - an **AVX2+FMA** kernel selected at runtime via
-//!   [`is_x86_feature_detected!`].
+//!   transcendentals, unfused multiply-add),
+//! - an **AVX2+FMA** kernel (256-bit lanes),
+//! - an **AVX-512F** kernel (512-bit lanes, same ascending-`k` FMA chains
+//!   as the AVX2 tier so the two x86 vector tiers are bit-identical per
+//!   element), and
+//! - a **NEON** GEMM tier on `aarch64` (128-bit fused lanes; the
+//!   element-wise passes use the portable scalar kernels there).
 //!
 //! The active backend is resolved once per process (see [`backend`]) from
-//! the `CPSMON_SIMD` environment variable (`CPSMON_SIMD=0` forces the
-//! scalar fallback) and the CPU's feature flags.
+//! the `CPSMON_SIMD` environment variable and the CPU's feature flags:
+//!
+//! | `CPSMON_SIMD`    | effect                                              |
+//! |------------------|-----------------------------------------------------|
+//! | `0`, `off`, `scalar` | force the portable scalar kernels               |
+//! | `avx2`           | cap at AVX2+FMA (scalar if unsupported)             |
+//! | `avx512`         | request AVX-512 (degrades to AVX2+FMA, then scalar) |
+//! | `neon`           | request NEON (scalar if unsupported)                |
+//! | `max`, `1`, unset | widest backend the CPU supports                    |
 //!
 //! # Determinism contract
 //!
@@ -46,6 +57,13 @@ pub enum Backend {
     Scalar,
     /// AVX2 + FMA vector kernels with bit-mirroring scalar tails.
     Avx2Fma,
+    /// AVX-512F vector kernels (512-bit GEMM tiles, 8-lane
+    /// transcendentals); per element bit-identical to [`Backend::Avx2Fma`].
+    Avx512,
+    /// NEON fused GEMM on `aarch64`; element-wise passes run the portable
+    /// scalar kernels (`f64::mul_add` fuses natively there, matching the
+    /// `vfmaq` lanes).
+    Neon,
 }
 
 impl Backend {
@@ -54,18 +72,64 @@ impl Backend {
         match self {
             Backend::Scalar => "scalar",
             Backend::Avx2Fma => "avx2+fma",
+            Backend::Avx512 => "avx512",
+            Backend::Neon => "neon",
         }
     }
 }
 
+/// CPU capability snapshot feeding [`resolve`]; factored out so the policy
+/// is unit-testable without mutating process environment.
+#[derive(Debug, Clone, Copy, Default)]
+struct Caps {
+    avx2_fma: bool,
+    avx512: bool,
+    neon: bool,
+}
+
 /// Pure backend resolution from the `CPSMON_SIMD` setting and the detected
-/// CPU capability; factored out of [`backend`] so the policy is unit-testable
-/// without mutating process environment.
-fn resolve(simd_env: Option<&str>, has_avx2_fma: bool) -> Backend {
-    match simd_env {
-        Some(v) if v.trim() == "0" || v.eq_ignore_ascii_case("off") => Backend::Scalar,
-        _ if has_avx2_fma => Backend::Avx2Fma,
-        _ => Backend::Scalar,
+/// CPU capabilities. Forced backends degrade gracefully to the next-widest
+/// supported tier rather than aborting, so CI can set `CPSMON_SIMD=avx512`
+/// on heterogeneous runners.
+fn resolve(simd_env: Option<&str>, caps: Caps) -> Backend {
+    let widest = if caps.avx512 {
+        Backend::Avx512
+    } else if caps.avx2_fma {
+        Backend::Avx2Fma
+    } else if caps.neon {
+        Backend::Neon
+    } else {
+        Backend::Scalar
+    };
+    let v = match simd_env.map(str::trim) {
+        Some(v) => v,
+        None => return widest,
+    };
+    if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("scalar") {
+        Backend::Scalar
+    } else if v.eq_ignore_ascii_case("avx2") {
+        if caps.avx2_fma {
+            Backend::Avx2Fma
+        } else {
+            Backend::Scalar
+        }
+    } else if v.eq_ignore_ascii_case("avx512") {
+        if caps.avx512 {
+            Backend::Avx512
+        } else if caps.avx2_fma {
+            Backend::Avx2Fma
+        } else {
+            Backend::Scalar
+        }
+    } else if v.eq_ignore_ascii_case("neon") {
+        if caps.neon {
+            Backend::Neon
+        } else {
+            Backend::Scalar
+        }
+    } else {
+        // `max`, `1`, or anything unrecognised: widest available.
+        widest
     }
 }
 
@@ -80,25 +144,44 @@ fn detect_avx2_fma() -> bool {
     }
 }
 
-/// The process-wide kernel backend: `CPSMON_SIMD=0` (or `off`) forces
-/// [`Backend::Scalar`]; otherwise AVX2+FMA is used when the CPU supports
-/// it. Resolved once on first use and cached — changing the environment
-/// variable afterwards has no effect, which keeps every computation in a
-/// process on one numerical profile.
-pub fn backend() -> Backend {
-    static BACKEND: OnceLock<Backend> = OnceLock::new();
-    *BACKEND.get_or_init(|| {
-        resolve(
-            std::env::var("CPSMON_SIMD").ok().as_deref(),
-            detect_avx2_fma(),
-        )
-    })
+/// AVX-512 here means `avx512f` *plus* AVX2+FMA: the 512-bit kernels use
+/// 256-bit registers for their mid-width tails.
+fn detect_avx512() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f") && detect_avx2_fma()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
 }
 
-/// Whether the active backend fuses multiply-adds (AVX2+FMA). Tests use
-/// this to pick the matching bit-identity reference.
+fn detect_caps() -> Caps {
+    #[cfg(target_arch = "aarch64")]
+    let neon = std::arch::is_aarch64_feature_detected!("neon");
+    #[cfg(not(target_arch = "aarch64"))]
+    let neon = false;
+    Caps {
+        avx2_fma: detect_avx2_fma(),
+        avx512: detect_avx512(),
+        neon,
+    }
+}
+
+/// The process-wide kernel backend: resolved once on first use from
+/// `CPSMON_SIMD` and the CPU's feature flags (see the module table) and
+/// cached — changing the environment variable afterwards has no effect,
+/// which keeps every computation in a process on one numerical profile.
+pub fn backend() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(|| resolve(std::env::var("CPSMON_SIMD").ok().as_deref(), detect_caps()))
+}
+
+/// Whether the active backend fuses multiply-adds. Tests use this to pick
+/// the matching bit-identity reference.
 pub fn fma_active() -> bool {
-    backend() == Backend::Avx2Fma
+    backend() != Backend::Scalar
 }
 
 /// `k`-panel height of the blocked GEMM: a `KC × n` slab of `b` (up to
@@ -129,10 +212,12 @@ pub fn gemm_acc(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f
     check_gemm_shapes(a, m, k, b, n, out);
     match backend() {
         #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 => unsafe { avx512::gemm_acc(a, m, k, b, n, out) },
+        #[cfg(target_arch = "x86_64")]
         Backend::Avx2Fma => unsafe { gemm_acc_avx2(a, m, k, b, n, out) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Backend::Avx2Fma => gemm_acc_scalar(a, m, k, b, n, out),
-        Backend::Scalar => gemm_acc_scalar(a, m, k, b, n, out),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { neon::gemm_acc(a, m, k, b, n, out) },
+        _ => gemm_acc_scalar(a, m, k, b, n, out),
     }
 }
 
@@ -188,6 +273,22 @@ pub fn gemm_acc_fma(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mu
     assert!(detect_avx2_fma(), "AVX2+FMA not supported on this CPU");
     check_gemm_shapes(a, m, k, b, n, out);
     unsafe { gemm_acc_avx2(a, m, k, b, n, out) }
+}
+
+/// AVX-512 GEMM through the safe entry used by tests and benches. Bit-
+/// identical to [`gemm_acc_fma`]: both apply one fused multiply-add per
+/// `k` step in strictly ascending order per output element, and identical
+/// FMA chains round identically regardless of register width.
+///
+/// # Panics
+///
+/// Panics if the CPU does not support AVX-512F (plus AVX2+FMA) or a buffer
+/// length disagrees with the stated shape.
+#[cfg(target_arch = "x86_64")]
+pub fn gemm_acc_avx512(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+    assert!(detect_avx512(), "AVX-512F not supported on this CPU");
+    check_gemm_shapes(a, m, k, b, n, out);
+    unsafe { avx512::gemm_acc(a, m, k, b, n, out) }
 }
 
 /// Vectorized GEMM with a 4-row × 8-column register microkernel: four `a`
@@ -643,6 +744,704 @@ mod avx2 {
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    //! The 512-bit kernel tier. The GEMM applies the same strictly
+    //! `k`-ascending one-FMA-per-step chain per output element as the AVX2
+    //! tier, and the 8-lane transcendentals are transliterations of the
+    //! same `_m` scalar mirrors — so every kernel here is bit-identical
+    //! per element to its AVX2 counterpart; only throughput differs.
+    #![allow(unsafe_op_in_unsafe_fn)]
+
+    use super::*;
+    use std::arch::x86_64::*;
+    use std::cell::RefCell;
+
+    /// Row count above which packing B pays for itself: the pack streams
+    /// `k·n` doubles once and every 4-row block then reads contiguous
+    /// panels instead of `n`-strided rows.
+    const PACK_MIN_M: usize = 64;
+
+    thread_local! {
+        /// Reused kk-major B-panel scratch (see [`gemm_acc`]); thread-local
+        /// so concurrent worker GEMMs never contend.
+        static PACK_B: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// 4-row × 16-column register microkernel (8 zmm accumulators), with
+    /// 8-, 4- (ymm) and scalar-`mul_add` column tails, then a single-row
+    /// axpy remainder with a 4-deep `k` unroll. Per element every path is
+    /// the same ascending-`k` FMA chain.
+    ///
+    /// Large-`m` calls (the pooled stateful LSTM engine) first repack B
+    /// into kk-major 16-column panels: the raw layout walks B with an
+    /// `n`-element stride, which for the monitor shapes (n = 256/512) is a
+    /// multiple of 4 KiB per step — every load in a panel lands in the
+    /// same L1 set and the panel thrashes instead of caching. Packing only
+    /// rearranges memory; each output element keeps the identical
+    /// ascending-`k` FMA chain, so results are bit-identical with and
+    /// without it.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F plus AVX2+FMA; buffer lengths must match the
+    /// stated shapes (checked by the safe wrappers).
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    pub unsafe fn gemm_acc(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+        if m >= PACK_MIN_M && n >= 16 {
+            return PACK_B.with(|cell| {
+                let mut buf = cell.borrow_mut();
+                let n16 = n - n % 16;
+                buf.resize(k * n16, 0.0);
+                for jt in 0..n16 / 16 {
+                    let panel = &mut buf[jt * k * 16..(jt + 1) * k * 16];
+                    for kk in 0..k {
+                        panel[kk * 16..kk * 16 + 16]
+                            .copy_from_slice(&b[kk * n + jt * 16..kk * n + jt * 16 + 16]);
+                    }
+                }
+                unsafe { gemm_acc_inner(a, m, k, b, n, out, buf.as_ptr()) }
+            });
+        }
+        gemm_acc_inner(a, m, k, b, n, out, std::ptr::null());
+    }
+
+    /// The microkernel proper. `pack` is either null (read B rows in
+    /// place) or the kk-major panel buffer covering the first
+    /// `n - n % 16` columns.
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    unsafe fn gemm_acc_inner(
+        a: &[f64],
+        m: usize,
+        k: usize,
+        b: &[f64],
+        n: usize,
+        out: &mut [f64],
+        pack: *const f64,
+    ) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        for k0 in (0..k).step_by(GEMM_KC) {
+            let k1 = (k0 + GEMM_KC).min(k);
+            let mut i = 0;
+            while i + 4 <= m {
+                let a0 = ap.add(i * k);
+                let a1 = ap.add((i + 1) * k);
+                let a2 = ap.add((i + 2) * k);
+                let a3 = ap.add((i + 3) * k);
+                let o0 = op.add(i * n);
+                let o1 = op.add((i + 1) * n);
+                let o2 = op.add((i + 2) * n);
+                let o3 = op.add((i + 3) * n);
+                let mut j = 0;
+                while j + 16 <= n {
+                    // Inside this loop j < n - n%16 always holds, so the
+                    // packed panels (when present) cover every iteration.
+                    let (pb, bs) = if pack.is_null() {
+                        (bp.add(j), n)
+                    } else {
+                        (pack.add((j / 16) * k * 16), 16)
+                    };
+                    let mut c00 = _mm512_loadu_pd(o0.add(j));
+                    let mut c01 = _mm512_loadu_pd(o0.add(j + 8));
+                    let mut c10 = _mm512_loadu_pd(o1.add(j));
+                    let mut c11 = _mm512_loadu_pd(o1.add(j + 8));
+                    let mut c20 = _mm512_loadu_pd(o2.add(j));
+                    let mut c21 = _mm512_loadu_pd(o2.add(j + 8));
+                    let mut c30 = _mm512_loadu_pd(o3.add(j));
+                    let mut c31 = _mm512_loadu_pd(o3.add(j + 8));
+                    for kk in k0..k1 {
+                        let b0 = _mm512_loadu_pd(pb.add(kk * bs));
+                        let b1 = _mm512_loadu_pd(pb.add(kk * bs + 8));
+                        let av = _mm512_set1_pd(*a0.add(kk));
+                        c00 = _mm512_fmadd_pd(av, b0, c00);
+                        c01 = _mm512_fmadd_pd(av, b1, c01);
+                        let av = _mm512_set1_pd(*a1.add(kk));
+                        c10 = _mm512_fmadd_pd(av, b0, c10);
+                        c11 = _mm512_fmadd_pd(av, b1, c11);
+                        let av = _mm512_set1_pd(*a2.add(kk));
+                        c20 = _mm512_fmadd_pd(av, b0, c20);
+                        c21 = _mm512_fmadd_pd(av, b1, c21);
+                        let av = _mm512_set1_pd(*a3.add(kk));
+                        c30 = _mm512_fmadd_pd(av, b0, c30);
+                        c31 = _mm512_fmadd_pd(av, b1, c31);
+                    }
+                    _mm512_storeu_pd(o0.add(j), c00);
+                    _mm512_storeu_pd(o0.add(j + 8), c01);
+                    _mm512_storeu_pd(o1.add(j), c10);
+                    _mm512_storeu_pd(o1.add(j + 8), c11);
+                    _mm512_storeu_pd(o2.add(j), c20);
+                    _mm512_storeu_pd(o2.add(j + 8), c21);
+                    _mm512_storeu_pd(o3.add(j), c30);
+                    _mm512_storeu_pd(o3.add(j + 8), c31);
+                    j += 16;
+                }
+                while j + 8 <= n {
+                    let mut c0 = _mm512_loadu_pd(o0.add(j));
+                    let mut c1 = _mm512_loadu_pd(o1.add(j));
+                    let mut c2 = _mm512_loadu_pd(o2.add(j));
+                    let mut c3 = _mm512_loadu_pd(o3.add(j));
+                    for kk in k0..k1 {
+                        let b0 = _mm512_loadu_pd(bp.add(kk * n + j));
+                        c0 = _mm512_fmadd_pd(_mm512_set1_pd(*a0.add(kk)), b0, c0);
+                        c1 = _mm512_fmadd_pd(_mm512_set1_pd(*a1.add(kk)), b0, c1);
+                        c2 = _mm512_fmadd_pd(_mm512_set1_pd(*a2.add(kk)), b0, c2);
+                        c3 = _mm512_fmadd_pd(_mm512_set1_pd(*a3.add(kk)), b0, c3);
+                    }
+                    _mm512_storeu_pd(o0.add(j), c0);
+                    _mm512_storeu_pd(o1.add(j), c1);
+                    _mm512_storeu_pd(o2.add(j), c2);
+                    _mm512_storeu_pd(o3.add(j), c3);
+                    j += 8;
+                }
+                while j + 4 <= n {
+                    let mut c0 = _mm256_loadu_pd(o0.add(j));
+                    let mut c1 = _mm256_loadu_pd(o1.add(j));
+                    let mut c2 = _mm256_loadu_pd(o2.add(j));
+                    let mut c3 = _mm256_loadu_pd(o3.add(j));
+                    for kk in k0..k1 {
+                        let b0 = _mm256_loadu_pd(bp.add(kk * n + j));
+                        c0 = _mm256_fmadd_pd(_mm256_set1_pd(*a0.add(kk)), b0, c0);
+                        c1 = _mm256_fmadd_pd(_mm256_set1_pd(*a1.add(kk)), b0, c1);
+                        c2 = _mm256_fmadd_pd(_mm256_set1_pd(*a2.add(kk)), b0, c2);
+                        c3 = _mm256_fmadd_pd(_mm256_set1_pd(*a3.add(kk)), b0, c3);
+                    }
+                    _mm256_storeu_pd(o0.add(j), c0);
+                    _mm256_storeu_pd(o1.add(j), c1);
+                    _mm256_storeu_pd(o2.add(j), c2);
+                    _mm256_storeu_pd(o3.add(j), c3);
+                    j += 4;
+                }
+                while j < n {
+                    for row in 0..4 {
+                        let ar = ap.add((i + row) * k);
+                        let or = op.add((i + row) * n + j);
+                        let mut acc = *or;
+                        for kk in k0..k1 {
+                            acc = (*ar.add(kk)).mul_add(*bp.add(kk * n + j), acc);
+                        }
+                        *or = acc;
+                    }
+                    j += 1;
+                }
+                i += 4;
+            }
+            while i < m {
+                // Single-row axpy remainder, 4 k-steps per pass over the out
+                // row (see the AVX2 kernel for the rationale — identical
+                // per-element chains, twice the lane width).
+                let a_row = &a[i * k..(i + 1) * k];
+                let or = op.add(i * n);
+                let mut kk = k0;
+                while kk + 4 <= k1 {
+                    let av0 = _mm512_set1_pd(a_row[kk]);
+                    let av1 = _mm512_set1_pd(a_row[kk + 1]);
+                    let av2 = _mm512_set1_pd(a_row[kk + 2]);
+                    let av3 = _mm512_set1_pd(a_row[kk + 3]);
+                    let b0 = bp.add(kk * n);
+                    let b1 = bp.add((kk + 1) * n);
+                    let b2 = bp.add((kk + 2) * n);
+                    let b3 = bp.add((kk + 3) * n);
+                    let mut j = 0;
+                    while j + 16 <= n {
+                        let mut c0 = _mm512_loadu_pd(or.add(j));
+                        let mut c1 = _mm512_loadu_pd(or.add(j + 8));
+                        c0 = _mm512_fmadd_pd(av0, _mm512_loadu_pd(b0.add(j)), c0);
+                        c1 = _mm512_fmadd_pd(av0, _mm512_loadu_pd(b0.add(j + 8)), c1);
+                        c0 = _mm512_fmadd_pd(av1, _mm512_loadu_pd(b1.add(j)), c0);
+                        c1 = _mm512_fmadd_pd(av1, _mm512_loadu_pd(b1.add(j + 8)), c1);
+                        c0 = _mm512_fmadd_pd(av2, _mm512_loadu_pd(b2.add(j)), c0);
+                        c1 = _mm512_fmadd_pd(av2, _mm512_loadu_pd(b2.add(j + 8)), c1);
+                        c0 = _mm512_fmadd_pd(av3, _mm512_loadu_pd(b3.add(j)), c0);
+                        c1 = _mm512_fmadd_pd(av3, _mm512_loadu_pd(b3.add(j + 8)), c1);
+                        _mm512_storeu_pd(or.add(j), c0);
+                        _mm512_storeu_pd(or.add(j + 8), c1);
+                        j += 16;
+                    }
+                    while j + 8 <= n {
+                        let mut c = _mm512_loadu_pd(or.add(j));
+                        c = _mm512_fmadd_pd(av0, _mm512_loadu_pd(b0.add(j)), c);
+                        c = _mm512_fmadd_pd(av1, _mm512_loadu_pd(b1.add(j)), c);
+                        c = _mm512_fmadd_pd(av2, _mm512_loadu_pd(b2.add(j)), c);
+                        c = _mm512_fmadd_pd(av3, _mm512_loadu_pd(b3.add(j)), c);
+                        _mm512_storeu_pd(or.add(j), c);
+                        j += 8;
+                    }
+                    while j < n {
+                        let mut acc = *or.add(j);
+                        acc = a_row[kk].mul_add(*b0.add(j), acc);
+                        acc = a_row[kk + 1].mul_add(*b1.add(j), acc);
+                        acc = a_row[kk + 2].mul_add(*b2.add(j), acc);
+                        acc = a_row[kk + 3].mul_add(*b3.add(j), acc);
+                        *or.add(j) = acc;
+                        j += 1;
+                    }
+                    kk += 4;
+                }
+                while kk < k1 {
+                    let av = _mm512_set1_pd(a_row[kk]);
+                    let br = bp.add(kk * n);
+                    let mut j = 0;
+                    while j + 8 <= n {
+                        let c = _mm512_loadu_pd(or.add(j));
+                        let c = _mm512_fmadd_pd(av, _mm512_loadu_pd(br.add(j)), c);
+                        _mm512_storeu_pd(or.add(j), c);
+                        j += 8;
+                    }
+                    while j < n {
+                        *or.add(j) = a_row[kk].mul_add(*br.add(j), *or.add(j));
+                        j += 1;
+                    }
+                    kk += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    const SIGN_MASK: i64 = i64::MIN;
+
+    /// floor + suppress-exceptions immediate for `_mm512_roundscale_pd`.
+    const FLOOR_IMM: i32 = 0x09; // _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC
+
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    pub unsafe fn exp_pd(x: __m512d) -> __m512d {
+        let clamp = _mm512_set1_pd(EXP_CLAMP);
+        let x = _mm512_min_pd(
+            _mm512_max_pd(x, _mm512_sub_pd(_mm512_setzero_pd(), clamp)),
+            clamp,
+        );
+        let px = _mm512_roundscale_pd::<FLOOR_IMM>(_mm512_add_pd(
+            _mm512_mul_pd(_mm512_set1_pd(EXP_LOG2E), x),
+            _mm512_set1_pd(0.5),
+        ));
+        let n32 = _mm512_cvtpd_epi32(px);
+        let n64 = _mm512_cvtepi32_epi64(n32);
+        let pow2 = _mm512_castsi512_pd(_mm512_slli_epi64::<52>(_mm512_add_epi64(
+            n64,
+            _mm512_set1_epi64(1023),
+        )));
+        let x = _mm512_fnmadd_pd(px, _mm512_set1_pd(EXP_C1), x);
+        let x = _mm512_fnmadd_pd(px, _mm512_set1_pd(EXP_C2), x);
+        let xx = _mm512_mul_pd(x, x);
+        let p = _mm512_fmadd_pd(_mm512_set1_pd(EXP_P0), xx, _mm512_set1_pd(EXP_P1));
+        let p = _mm512_fmadd_pd(p, xx, _mm512_set1_pd(EXP_P2));
+        let p = _mm512_mul_pd(x, p);
+        let q = _mm512_fmadd_pd(_mm512_set1_pd(EXP_Q0), xx, _mm512_set1_pd(EXP_Q1));
+        let q = _mm512_fmadd_pd(q, xx, _mm512_set1_pd(EXP_Q2));
+        let q = _mm512_fmadd_pd(q, xx, _mm512_set1_pd(EXP_Q3));
+        let r = _mm512_div_pd(p, _mm512_sub_pd(q, p));
+        let r = _mm512_fmadd_pd(_mm512_set1_pd(2.0), r, _mm512_set1_pd(1.0));
+        _mm512_mul_pd(r, pow2)
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    unsafe fn abs_pd(v: __m512d) -> __m512d {
+        _mm512_castsi512_pd(_mm512_andnot_si512(
+            _mm512_set1_epi64(SIGN_MASK),
+            _mm512_castpd_si512(v),
+        ))
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    pub unsafe fn sigmoid_pd(v: __m512d) -> __m512d {
+        let abs = abs_pd(v);
+        let e = exp_pd(_mm512_sub_pd(_mm512_setzero_pd(), abs));
+        let one = _mm512_set1_pd(1.0);
+        let nonneg = _mm512_cmp_pd_mask::<_CMP_GE_OQ>(v, _mm512_setzero_pd());
+        let num = _mm512_mask_blend_pd(nonneg, e, one);
+        _mm512_div_pd(num, _mm512_add_pd(one, e))
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    pub unsafe fn tanh_pd(v: __m512d) -> __m512d {
+        let abs = abs_pd(v);
+        let e = exp_pd(_mm512_mul_pd(_mm512_set1_pd(-2.0), abs));
+        let one = _mm512_set1_pd(1.0);
+        let t = _mm512_div_pd(_mm512_sub_pd(one, e), _mm512_add_pd(one, e));
+        // copysign(t, v): t ≥ 0 here, so OR in v's sign bit.
+        let sign = _mm512_set1_epi64(SIGN_MASK);
+        let signed = _mm512_castsi512_pd(_mm512_or_si512(
+            _mm512_castpd_si512(t),
+            _mm512_and_si512(sign, _mm512_castpd_si512(v)),
+        ));
+        let tiny = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(abs, _mm512_set1_pd(TANH_TINY));
+        _mm512_mask_blend_pd(tiny, signed, v)
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    pub unsafe fn sigmoid_slice(xs: &mut [f64]) {
+        let p = xs.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= xs.len() {
+            _mm512_storeu_pd(p.add(i), sigmoid_pd(_mm512_loadu_pd(p.add(i))));
+            i += 8;
+        }
+        for v in &mut xs[i..] {
+            *v = sigmoid_m(*v);
+        }
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    pub unsafe fn tanh_slice(xs: &mut [f64]) {
+        let p = xs.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= xs.len() {
+            _mm512_storeu_pd(p.add(i), tanh_pd(_mm512_loadu_pd(p.add(i))));
+            i += 8;
+        }
+        for v in &mut xs[i..] {
+            *v = tanh_m(*v);
+        }
+    }
+
+    /// Softmax of one row; same shape as the AVX2 kernel with 8-lane
+    /// blocks. The lane partial sums fold pairwise
+    /// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` — a fixed order for a given
+    /// row, independent of everything else.
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    pub unsafe fn softmax_row(row: &mut [f64]) {
+        let n = row.len();
+        let p = row.as_mut_ptr();
+        let mut i = 0;
+        let mut max = f64::NEG_INFINITY;
+        if n >= 8 {
+            let mut mv = _mm512_loadu_pd(p);
+            i = 8;
+            while i + 8 <= n {
+                mv = _mm512_max_pd(mv, _mm512_loadu_pd(p.add(i)));
+                i += 8;
+            }
+            // max is exact under any association.
+            max = _mm512_reduce_max_pd(mv);
+        }
+        for &v in &row[i..] {
+            max = max.max(v);
+        }
+        let mv = _mm512_set1_pd(max);
+        let mut i = 0;
+        let mut sum;
+        if n >= 8 {
+            let mut sv = _mm512_setzero_pd();
+            while i + 8 <= n {
+                let e = exp_pd(_mm512_sub_pd(_mm512_loadu_pd(p.add(i)), mv));
+                _mm512_storeu_pd(p.add(i), e);
+                sv = _mm512_add_pd(sv, e);
+                i += 8;
+            }
+            let mut lanes = [0.0f64; 8];
+            _mm512_storeu_pd(lanes.as_mut_ptr(), sv);
+            sum = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+                + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+        } else {
+            sum = 0.0;
+        }
+        for v in &mut row[i..] {
+            *v = exp_m(*v - max);
+            sum += *v;
+        }
+        let sv = _mm512_set1_pd(sum);
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm512_storeu_pd(p.add(i), _mm512_div_pd(_mm512_loadu_pd(p.add(i)), sv));
+            i += 8;
+        }
+        for v in &mut row[i..] {
+            *v /= sum;
+        }
+    }
+
+    /// Fused LSTM state update for one row — the 8-lane form of the AVX2
+    /// kernel. Gate algebra stays *unfused* mul/add to match the cached
+    /// forward path.
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    pub unsafe fn lstm_step_row(z: &[f64], c: &mut [f64], h: &mut [f64], h_dim: usize) {
+        let zp = z.as_ptr();
+        let cp = c.as_mut_ptr();
+        let hp = h.as_mut_ptr();
+        let mut j = 0;
+        while j + 8 <= h_dim {
+            let i_g = sigmoid_pd(_mm512_loadu_pd(zp.add(j)));
+            let f_g = sigmoid_pd(_mm512_loadu_pd(zp.add(h_dim + j)));
+            let g_g = tanh_pd(_mm512_loadu_pd(zp.add(2 * h_dim + j)));
+            let o_g = sigmoid_pd(_mm512_loadu_pd(zp.add(3 * h_dim + j)));
+            let c_new = _mm512_add_pd(
+                _mm512_mul_pd(f_g, _mm512_loadu_pd(cp.add(j))),
+                _mm512_mul_pd(i_g, g_g),
+            );
+            _mm512_storeu_pd(cp.add(j), c_new);
+            _mm512_storeu_pd(hp.add(j), _mm512_mul_pd(o_g, tanh_pd(c_new)));
+            j += 8;
+        }
+        while j < h_dim {
+            let i_g = sigmoid_m(z[j]);
+            let f_g = sigmoid_m(z[h_dim + j]);
+            let g_g = tanh_m(z[2 * h_dim + j]);
+            let o_g = sigmoid_m(z[3 * h_dim + j]);
+            let c_new = f_g * c[j] + i_g * g_g;
+            c[j] = c_new;
+            h[j] = o_g * tanh_m(c_new);
+            j += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! NEON GEMM tier (2-lane f64 `vfmaq_f64`). Only the GEMM is
+    //! vectorized; the element-wise transcendental passes use the portable
+    //! scalar kernels under [`Backend::Neon`](super::Backend::Neon). The
+    //! scalar column tail's `f64::mul_add` lowers to a native fused
+    //! multiply-add on aarch64, matching the vector lanes bit-for-bit.
+    #![allow(unsafe_op_in_unsafe_fn)]
+
+    use super::*;
+    use std::arch::aarch64::*;
+
+    /// Blocked ikj axpy GEMM: per output element one fused multiply-add
+    /// per `k` step in strictly ascending order.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON; buffer lengths must match the stated shapes (checked
+    /// by the safe wrappers).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn gemm_acc(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        for k0 in (0..k).step_by(GEMM_KC) {
+            let k1 = (k0 + GEMM_KC).min(k);
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let or = op.add(i * n);
+                for kk in k0..k1 {
+                    let av = vdupq_n_f64(a_row[kk]);
+                    let br = bp.add(kk * n);
+                    let mut j = 0;
+                    while j + 2 <= n {
+                        let c = vld1q_f64(or.add(j));
+                        let c = vfmaq_f64(c, av, vld1q_f64(br.add(j)));
+                        vst1q_f64(or.add(j), c);
+                        j += 2;
+                    }
+                    while j < n {
+                        *or.add(j) = a_row[kk].mul_add(*br.add(j), *or.add(j));
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f32 GEMM (quantized serving engine)
+// ---------------------------------------------------------------------------
+
+fn check_gemm_shapes_f32(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &[f32]) {
+    assert_eq!(a.len(), m * k, "gemm lhs buffer length mismatch");
+    assert_eq!(b.len(), k * n, "gemm rhs buffer length mismatch");
+    assert_eq!(out.len(), m * n, "gemm output buffer length mismatch");
+}
+
+/// Dispatched `out += a · b` in single precision — the GEMM behind the
+/// quantized (`f16`/`int8`-sourced) serving engine. Per output element the
+/// multiply-adds are applied in strictly ascending `k` order under every
+/// backend (scalar: unfused; vector tiers: fused with `f32::mul_add`
+/// tails, which round identically to the `ps` lanes), so each row of a
+/// batch gets the same bits it would get in a 1-row call.
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with the stated shape.
+pub fn gemm_acc_f32(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    check_gemm_shapes_f32(a, m, k, b, n, out);
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 => unsafe { gemm_acc_f32_avx512(a, m, k, b, n, out) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2Fma => unsafe { gemm_acc_f32_avx2(a, m, k, b, n, out) },
+        _ => gemm_acc_f32_scalar(a, m, k, b, n, out),
+    }
+}
+
+/// Portable f32 GEMM: blocked ikj with sequential unfused `+=` per
+/// element, ascending `k`.
+pub fn gemm_acc_f32_scalar(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    check_gemm_shapes_f32(a, m, k, b, n, out);
+    for k0 in (0..k).step_by(GEMM_KC) {
+        let k1 = (k0 + GEMM_KC).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for kk in k0..k1 {
+                let a_val = a_row[kk];
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_val * bv;
+                }
+            }
+        }
+    }
+}
+
+/// AVX2+FMA f32 GEMM: 4-row × 8-lane microkernel with `f32::mul_add`
+/// scalar tails, single-row axpy remainder. Ascending-`k` FMA chain per
+/// element everywhere.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemm_acc_f32_avx2(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let op = out.as_mut_ptr();
+    for k0 in (0..k).step_by(GEMM_KC) {
+        let k1 = (k0 + GEMM_KC).min(k);
+        let mut i = 0;
+        while i + 4 <= m {
+            let a0 = ap.add(i * k);
+            let a1 = ap.add((i + 1) * k);
+            let a2 = ap.add((i + 2) * k);
+            let a3 = ap.add((i + 3) * k);
+            let o0 = op.add(i * n);
+            let o1 = op.add((i + 1) * n);
+            let o2 = op.add((i + 2) * n);
+            let o3 = op.add((i + 3) * n);
+            let mut j = 0;
+            while j + 8 <= n {
+                let mut c0 = _mm256_loadu_ps(o0.add(j));
+                let mut c1 = _mm256_loadu_ps(o1.add(j));
+                let mut c2 = _mm256_loadu_ps(o2.add(j));
+                let mut c3 = _mm256_loadu_ps(o3.add(j));
+                for kk in k0..k1 {
+                    let b0 = _mm256_loadu_ps(bp.add(kk * n + j));
+                    c0 = _mm256_fmadd_ps(_mm256_set1_ps(*a0.add(kk)), b0, c0);
+                    c1 = _mm256_fmadd_ps(_mm256_set1_ps(*a1.add(kk)), b0, c1);
+                    c2 = _mm256_fmadd_ps(_mm256_set1_ps(*a2.add(kk)), b0, c2);
+                    c3 = _mm256_fmadd_ps(_mm256_set1_ps(*a3.add(kk)), b0, c3);
+                }
+                _mm256_storeu_ps(o0.add(j), c0);
+                _mm256_storeu_ps(o1.add(j), c1);
+                _mm256_storeu_ps(o2.add(j), c2);
+                _mm256_storeu_ps(o3.add(j), c3);
+                j += 8;
+            }
+            while j < n {
+                for row in 0..4 {
+                    let ar = ap.add((i + row) * k);
+                    let or = op.add((i + row) * n + j);
+                    let mut acc = *or;
+                    for kk in k0..k1 {
+                        acc = (*ar.add(kk)).mul_add(*bp.add(kk * n + j), acc);
+                    }
+                    *or = acc;
+                }
+                j += 1;
+            }
+            i += 4;
+        }
+        while i < m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let or = op.add(i * n);
+            #[allow(clippy::needless_range_loop)] // kk also strides into b
+            for kk in k0..k1 {
+                let av = _mm256_set1_ps(a_row[kk]);
+                let br = bp.add(kk * n);
+                let mut j = 0;
+                while j + 8 <= n {
+                    let c = _mm256_loadu_ps(or.add(j));
+                    let c = _mm256_fmadd_ps(av, _mm256_loadu_ps(br.add(j)), c);
+                    _mm256_storeu_ps(or.add(j), c);
+                    j += 8;
+                }
+                while j < n {
+                    *or.add(j) = a_row[kk].mul_add(*br.add(j), *or.add(j));
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// AVX-512 f32 GEMM: 4-row × 16-lane microkernel, same chain discipline.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+unsafe fn gemm_acc_f32_avx512(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let op = out.as_mut_ptr();
+    for k0 in (0..k).step_by(GEMM_KC) {
+        let k1 = (k0 + GEMM_KC).min(k);
+        let mut i = 0;
+        while i + 4 <= m {
+            let a0 = ap.add(i * k);
+            let a1 = ap.add((i + 1) * k);
+            let a2 = ap.add((i + 2) * k);
+            let a3 = ap.add((i + 3) * k);
+            let o0 = op.add(i * n);
+            let o1 = op.add((i + 1) * n);
+            let o2 = op.add((i + 2) * n);
+            let o3 = op.add((i + 3) * n);
+            let mut j = 0;
+            while j + 16 <= n {
+                let mut c0 = _mm512_loadu_ps(o0.add(j));
+                let mut c1 = _mm512_loadu_ps(o1.add(j));
+                let mut c2 = _mm512_loadu_ps(o2.add(j));
+                let mut c3 = _mm512_loadu_ps(o3.add(j));
+                for kk in k0..k1 {
+                    let b0 = _mm512_loadu_ps(bp.add(kk * n + j));
+                    c0 = _mm512_fmadd_ps(_mm512_set1_ps(*a0.add(kk)), b0, c0);
+                    c1 = _mm512_fmadd_ps(_mm512_set1_ps(*a1.add(kk)), b0, c1);
+                    c2 = _mm512_fmadd_ps(_mm512_set1_ps(*a2.add(kk)), b0, c2);
+                    c3 = _mm512_fmadd_ps(_mm512_set1_ps(*a3.add(kk)), b0, c3);
+                }
+                _mm512_storeu_ps(o0.add(j), c0);
+                _mm512_storeu_ps(o1.add(j), c1);
+                _mm512_storeu_ps(o2.add(j), c2);
+                _mm512_storeu_ps(o3.add(j), c3);
+                j += 16;
+            }
+            while j < n {
+                for row in 0..4 {
+                    let ar = ap.add((i + row) * k);
+                    let or = op.add((i + row) * n + j);
+                    let mut acc = *or;
+                    for kk in k0..k1 {
+                        acc = (*ar.add(kk)).mul_add(*bp.add(kk * n + j), acc);
+                    }
+                    *or = acc;
+                }
+                j += 1;
+            }
+            i += 4;
+        }
+        while i < m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let or = op.add(i * n);
+            #[allow(clippy::needless_range_loop)] // kk also strides into b
+            for kk in k0..k1 {
+                let av = _mm512_set1_ps(a_row[kk]);
+                let br = bp.add(kk * n);
+                let mut j = 0;
+                while j + 16 <= n {
+                    let c = _mm512_loadu_ps(or.add(j));
+                    let c = _mm512_fmadd_ps(av, _mm512_loadu_ps(br.add(j)), c);
+                    _mm512_storeu_ps(or.add(j), c);
+                    j += 16;
+                }
+                while j < n {
+                    *or.add(j) = a_row[kk].mul_add(*br.add(j), *or.add(j));
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Dispatched element-wise kernels
 // ---------------------------------------------------------------------------
@@ -652,6 +1451,8 @@ mod avx2 {
 /// ([`sigmoid_scalar`](crate::activation::sigmoid_scalar)).
 pub fn sigmoid_slice(xs: &mut [f64]) {
     match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 => unsafe { avx512::sigmoid_slice(xs) },
         #[cfg(target_arch = "x86_64")]
         Backend::Avx2Fma => unsafe { avx2::sigmoid_slice(xs) },
         _ => {
@@ -667,6 +1468,8 @@ pub fn sigmoid_slice(xs: &mut [f64]) {
 pub fn tanh_slice(xs: &mut [f64]) {
     match backend() {
         #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 => unsafe { avx512::tanh_slice(xs) },
+        #[cfg(target_arch = "x86_64")]
         Backend::Avx2Fma => unsafe { avx2::tanh_slice(xs) },
         _ => {
             for v in xs {
@@ -681,6 +1484,8 @@ pub fn tanh_slice(xs: &mut [f64]) {
 /// result in a 1-row and an n-row batch.
 pub fn softmax_row(row: &mut [f64]) {
     match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 => unsafe { avx512::softmax_row(row) },
         #[cfg(target_arch = "x86_64")]
         Backend::Avx2Fma => unsafe { avx2::softmax_row(row) },
         _ => softmax_row_scalar(row),
@@ -716,6 +1521,8 @@ pub fn lstm_step_row(z: &[f64], c: &mut [f64], h: &mut [f64], h_dim: usize) {
     assert_eq!(h.len(), h_dim, "hidden row width mismatch");
     match backend() {
         #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 => unsafe { avx512::lstm_step_row(z, c, h, h_dim) },
+        #[cfg(target_arch = "x86_64")]
         Backend::Avx2Fma => unsafe { avx2::lstm_step_row(z, c, h, h_dim) },
         _ => lstm_step_row_scalar(z, c, h, h_dim),
     }
@@ -742,15 +1549,49 @@ mod tests {
 
     #[test]
     fn resolve_policy() {
-        assert_eq!(resolve(None, true), Backend::Avx2Fma);
-        assert_eq!(resolve(None, false), Backend::Scalar);
-        assert_eq!(resolve(Some("0"), true), Backend::Scalar);
-        assert_eq!(resolve(Some("off"), true), Backend::Scalar);
-        assert_eq!(resolve(Some(" 0 "), true), Backend::Scalar);
-        assert_eq!(resolve(Some("1"), true), Backend::Avx2Fma);
-        assert_eq!(resolve(Some("1"), false), Backend::Scalar);
+        let x86_512 = Caps {
+            avx2_fma: true,
+            avx512: true,
+            neon: false,
+        };
+        let x86_256 = Caps {
+            avx2_fma: true,
+            avx512: false,
+            neon: false,
+        };
+        let arm = Caps {
+            avx2_fma: false,
+            avx512: false,
+            neon: true,
+        };
+        let none = Caps::default();
+        // Unset / max / unrecognised: widest available.
+        assert_eq!(resolve(None, x86_512), Backend::Avx512);
+        assert_eq!(resolve(None, x86_256), Backend::Avx2Fma);
+        assert_eq!(resolve(None, arm), Backend::Neon);
+        assert_eq!(resolve(None, none), Backend::Scalar);
+        assert_eq!(resolve(Some("max"), x86_512), Backend::Avx512);
+        assert_eq!(resolve(Some("1"), x86_256), Backend::Avx2Fma);
+        assert_eq!(resolve(Some("1"), none), Backend::Scalar);
+        // Forced scalar.
+        assert_eq!(resolve(Some("0"), x86_512), Backend::Scalar);
+        assert_eq!(resolve(Some("off"), x86_512), Backend::Scalar);
+        assert_eq!(resolve(Some(" 0 "), x86_512), Backend::Scalar);
+        assert_eq!(resolve(Some("scalar"), x86_512), Backend::Scalar);
+        // Forced tiers cap below the widest...
+        assert_eq!(resolve(Some("avx2"), x86_512), Backend::Avx2Fma);
+        // ...and degrade gracefully when the CPU lacks them.
+        assert_eq!(resolve(Some("avx512"), x86_512), Backend::Avx512);
+        assert_eq!(resolve(Some("avx512"), x86_256), Backend::Avx2Fma);
+        assert_eq!(resolve(Some("avx512"), none), Backend::Scalar);
+        assert_eq!(resolve(Some("avx2"), arm), Backend::Scalar);
+        assert_eq!(resolve(Some("neon"), arm), Backend::Neon);
+        assert_eq!(resolve(Some("neon"), x86_512), Backend::Scalar);
+        assert_eq!(resolve(Some("AVX512"), x86_512), Backend::Avx512);
         assert_eq!(Backend::Scalar.label(), "scalar");
         assert_eq!(Backend::Avx2Fma.label(), "avx2+fma");
+        assert_eq!(Backend::Avx512.label(), "avx512");
+        assert_eq!(Backend::Neon.label(), "neon");
     }
 
     #[test]
@@ -846,6 +1687,124 @@ mod tests {
                 }
             }
             assert_eq!(out, want, "{m}x{k}·{k}x{n}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_kernels_bit_identical_to_avx2() {
+        if !detect_avx512() {
+            return;
+        }
+        // GEMM: both tiers are one-FMA-per-k-step ascending chains, so the
+        // 512-bit kernel must reproduce the 256-bit kernel exactly. Shapes
+        // cross the 16/8/4-lane tails, the 4-row microkernel boundary, the
+        // KC panel boundary, and the m >= 64 B-packing threshold (with and
+        // without a non-16-multiple column tail).
+        for (m, k, n) in [
+            (1, 1, 1),
+            (5, 9, 37),
+            (4, 130, 16),
+            (7, 33, 19),
+            (64, 10, 16),
+            (70, 5, 37),
+            (129, 130, 48),
+        ] {
+            let a: Vec<f64> = (0..m * k).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..k * n).map(|i| (i as f64 * 0.61).cos()).collect();
+            let mut got = vec![0.25; m * n];
+            let mut want = got.clone();
+            gemm_acc_avx512(&a, m, k, &b, n, &mut got);
+            gemm_acc_fma(&a, m, k, &b, n, &mut want);
+            assert_eq!(got, want, "{m}x{k}·{k}x{n}");
+        }
+        // Transcendental lanes mirror the scalar `_m` forms (and therefore
+        // the AVX2 lanes) bitwise, at every lane position.
+        let vals: Vec<f64> = (0..29)
+            .map(|i| (i as f64 - 14.0) * 1.3 + 0.017 * i as f64)
+            .collect();
+        let mut sig = vals.clone();
+        let mut th = vals.clone();
+        unsafe {
+            avx512::sigmoid_slice(&mut sig);
+            avx512::tanh_slice(&mut th);
+        }
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(sig[i].to_bits(), sigmoid_m(v).to_bits(), "sigmoid lane {i}");
+            assert_eq!(th[i].to_bits(), tanh_m(v).to_bits(), "tanh lane {i}");
+        }
+        // Fused LSTM step: identical to the AVX2 kernel per element.
+        for h_dim in [1usize, 7, 8, 9, 16, 21] {
+            let z: Vec<f64> = (0..4 * h_dim)
+                .map(|i| (i as f64 * 0.7).sin() * 3.0)
+                .collect();
+            let c0: Vec<f64> = (0..h_dim).map(|i| (i as f64 * 0.3).cos()).collect();
+            let mut c_512 = c0.clone();
+            let mut h_512 = vec![0.0; h_dim];
+            let mut c_256 = c0.clone();
+            let mut h_256 = vec![0.0; h_dim];
+            unsafe {
+                avx512::lstm_step_row(&z, &mut c_512, &mut h_512, h_dim);
+                avx2::lstm_step_row(&z, &mut c_256, &mut h_256, h_dim);
+            }
+            for j in 0..h_dim {
+                assert_eq!(c_512[j].to_bits(), c_256[j].to_bits(), "{h_dim} c[{j}]");
+                assert_eq!(h_512[j].to_bits(), h_256[j].to_bits(), "{h_dim} h[{j}]");
+            }
+        }
+        // Softmax: same max-shift/exp/normalize; lane sums fold pairwise so
+        // values agree to ulps (association differs from 4-lane AVX2).
+        for n in [1usize, 2, 7, 8, 9, 16, 19] {
+            let base: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).sin() * 4.0).collect();
+            let mut got = base.clone();
+            let mut want = base.clone();
+            unsafe {
+                avx512::softmax_row(&mut got);
+                avx2::softmax_row(&mut want);
+            }
+            for i in 0..n {
+                assert!(
+                    (got[i] - want[i]).abs() <= 1e-14 * want[i].max(1e-300),
+                    "n={n} lane {i}: {} vs {}",
+                    got[i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_gemm_backends_agree() {
+        // Scalar f32 reference vs whatever vector tier is active, plus a
+        // row-independence check: row r of a batched call must equal a
+        // 1-row call on that row (the pooled-engine invariant).
+        for (m, k, n) in [(1, 1, 1), (5, 9, 37), (6, 130, 33), (4, 16, 16)] {
+            let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.61).cos()).collect();
+            let mut got = vec![0.5f32; m * n];
+            gemm_acc_f32(&a, m, k, &b, n, &mut got);
+            let mut want = vec![0.5f32; m * n];
+            gemm_acc_f32_scalar(&a, m, k, &b, n, &mut want);
+            for i in 0..m * n {
+                assert!(
+                    (got[i] - want[i]).abs() <= 1e-4 * want[i].abs().max(1.0),
+                    "{m}x{k}·{k}x{n} elt {i}: {} vs {}",
+                    got[i],
+                    want[i]
+                );
+            }
+            for i in 0..m {
+                let mut row = vec![0.5f32; n];
+                gemm_acc_f32(&a[i * k..(i + 1) * k], 1, k, &b, n, &mut row);
+                assert_eq!(
+                    row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got[i * n..(i + 1) * n]
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    "{m}x{k}·{k}x{n} row {i} not independent"
+                );
+            }
         }
     }
 
