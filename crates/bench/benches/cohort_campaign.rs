@@ -1,0 +1,3 @@
+fn main() {
+    cpsmon_bench::bench_main("cohort_campaign");
+}

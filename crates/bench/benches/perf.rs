@@ -3,6 +3,7 @@
 
 use cpsmon_attack::{grid_cells, Fgsm, SweepContext, EPSILON_SWEEP};
 use cpsmon_core::monitor::MonitorModel;
+use cpsmon_core::CohortLstmBridge;
 use cpsmon_core::{
     robustness_error, sweep_parallel, FeatureConfig, GuardPolicy, GuardedSession, LstmEngine,
     LstmSessionPool, MonitorKind, MonitorSession, Normalizer, SessionPool, TrainedMonitor,
@@ -13,7 +14,13 @@ use cpsmon_nn::{
     init::random_normal, AdamTrainer, GradModel, LstmConfig, LstmNet, Matrix, MlpConfig, MlpNet,
     WeightPrecision,
 };
-use cpsmon_sim::StepRecord;
+use cpsmon_sim::basal_bolus::BasalBolusController;
+use cpsmon_sim::engine::ClosedLoop;
+use cpsmon_sim::meal::MealSchedule;
+use cpsmon_sim::pump::InsulinPump;
+use cpsmon_sim::sensor::Cgm;
+use cpsmon_sim::t1ds::T1dsPatient;
+use cpsmon_sim::{CohortEngine, CohortMember, SimulatorKind, StepRecord};
 use cpsmon_stl::{ApsRules, RuleMonitor};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
@@ -370,9 +377,97 @@ fn bench_lstm_pools(c: &mut Criterion) {
     }
 }
 
+const COHORT_N: usize = 1000;
+const COHORT_STEPS: usize = 24;
+
+/// A 1000-member T1DS fleet built from 20 calibrated prototypes, each
+/// member with its own meal schedule and CGM noise stream. The same fleet
+/// feeds both the per-patient baseline and the batched engine so the two
+/// benches measure identical work.
+fn cohort_fleet() -> Vec<(T1dsPatient, CohortMember)> {
+    let protos: Vec<T1dsPatient> = (0..20)
+        .map(|pid| T1dsPatient::calibrated(pid, 2022))
+        .collect();
+    let mut root = SmallRng::new(0x636f_686f);
+    (0..COHORT_N)
+        .map(|j| {
+            let mut rng = root.fork(j as u64);
+            let meals = MealSchedule::generate(COHORT_STEPS, &mut rng);
+            let cgm = Cgm::typical(rng.fork(1));
+            (
+                protos[j % protos.len()].clone(),
+                CohortMember {
+                    patient_id: j,
+                    run_id: 0,
+                    cgm,
+                    pump: InsulinPump::healthy(),
+                    meals,
+                    steps: COHORT_STEPS,
+                },
+            )
+        })
+        .collect()
+}
+
+fn bench_cohort(c: &mut Criterion) {
+    let fleet = cohort_fleet();
+    // Per-patient baseline: the campaign's scalar path, one ClosedLoop per
+    // member. `sim_cohort_1k` runs the same 1000 × 24-step workload through
+    // the SoA engine; the ratio of the two medians is the batching speedup
+    // the CI ceiling guards.
+    c.bench_function("sim_step_scalar", |b| {
+        b.iter_batched(
+            || fleet.clone(),
+            |fleet| {
+                fleet
+                    .into_iter()
+                    .map(|(patient, m)| {
+                        ClosedLoop::new(
+                            patient,
+                            BasalBolusController::new(),
+                            m.pump,
+                            m.cgm,
+                            m.meals,
+                        )
+                        .run(m.steps, "t1ds2013", m.patient_id, m.run_id)
+                    })
+                    .collect::<Vec<_>>()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    let mut engine = CohortEngine::new(SimulatorKind::T1ds2013);
+    for (patient, member) in fleet {
+        engine.push(patient, member);
+    }
+    c.bench_function("sim_cohort_1k", |b| {
+        b.iter_batched(|| engine.clone(), |e| e.run(), BatchSize::LargeInput);
+    });
+    // Monitor-in-the-loop variant: every member streams through a shared
+    // stateful LSTM fleet (DESIGN.md §12) via the cohort bridge. Recording
+    // is off — the verdict stream is the product here, as in a deployed
+    // screening campaign. The pool stays warm across iterations, so this
+    // measures steady-state simulate+monitor throughput.
+    let (fcfg, norm) = session_featurization();
+    let lstm = paper_lstm();
+    let mut pool = LstmSessionPool::new(LstmEngine::F64(&lstm), fcfg, &norm, COHORT_N);
+    engine.set_recording(false);
+    c.bench_function("sim_cohort_1k_monitored", |b| {
+        b.iter_batched(
+            || engine.clone(),
+            |mut e| {
+                let mut bridge = CohortLstmBridge::new(&mut pool);
+                while e.advance(&mut bridge) {}
+                bridge.take_verdicts()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = record_meta, bench_training, bench_inference, bench_attacks, bench_kernels, bench_sweep, bench_sessions, bench_lstm_pools
+    targets = record_meta, bench_training, bench_inference, bench_attacks, bench_kernels, bench_sweep, bench_sessions, bench_lstm_pools, bench_cohort
 }
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! write CSVs. See `DESIGN.md` for the experiment index.
 
 pub mod ablations;
+pub mod cohort_campaign;
 pub mod detector_evasion;
 pub mod fault_sweep;
 pub mod fig10_blackbox;

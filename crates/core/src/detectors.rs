@@ -7,7 +7,7 @@
 //! implements those two reference detectors so the claim can be *tested*
 //! (see the `detector_evasion` experiment): Gaussian noise at σ ≤ 1·std
 //! and FGSM at ε ≤ 0.2 should stay under their alarm thresholds, while the
-//! blunt faults of `cpsmon_sim::fault` should not.
+//! blunt faults of `cpsmon_sim::faults::PumpFault` should not.
 
 /// A one-sided-pair CUSUM change detector over a scalar signal
 /// (Page's test, the variant cited by Cárdenas et al. for control

@@ -56,7 +56,8 @@ pub use metrics::{ConfusionCounts, EvalReport};
 pub use monitor::{MonitorKind, TrainedMonitor};
 pub use robustness::{robustness_error, sweep_parallel};
 pub use stream::{
-    GuardedSession, GuardedVerdict, LstmEngine, LstmSessionPool, LstmStreamSession, MonitorSession,
-    SessionPool, StepStream, Verdict, WindowStream,
+    CohortLstmBridge, CohortPoolBridge, GuardedSession, GuardedVerdict, LstmEngine,
+    LstmSessionPool, LstmStreamSession, MonitorSession, SessionPool, StepStream, Verdict,
+    WindowStream,
 };
 pub use train::TrainConfig;

@@ -1022,6 +1022,98 @@ impl<'m> LstmSessionPool<'m> {
     }
 }
 
+/// Bridges a cohort run into a [`SessionPool`]: monitor-in-the-loop over an
+/// entire population.
+///
+/// Used as the observer of a [`cpsmon_sim::CohortEngine`] run, it routes
+/// member `j`'s record to pool session `j` during the per-member front end
+/// and drains one batched forward pass at each step boundary
+/// (`on_step_end`), so the whole cohort costs one classifier call per step.
+/// Verdicts accumulate as `(member, step, verdict)` triples; fetch them
+/// with [`take_verdicts`](Self::take_verdicts).
+///
+/// The pool must have one session per cohort member (index-aligned).
+pub struct CohortPoolBridge<'p, 'm> {
+    pool: &'p mut SessionPool<'m>,
+    verdicts: Vec<(usize, usize, Verdict)>,
+}
+
+impl<'p, 'm> CohortPoolBridge<'p, 'm> {
+    /// Wraps a pool sized to the cohort.
+    pub fn new(pool: &'p mut SessionPool<'m>) -> Self {
+        Self {
+            pool,
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Verdicts collected so far, in emission order.
+    pub fn verdicts(&self) -> &[(usize, usize, Verdict)] {
+        &self.verdicts
+    }
+
+    /// Drains the collected verdicts (for steady-memory benchmark loops).
+    pub fn take_verdicts(&mut self) -> Vec<(usize, usize, Verdict)> {
+        std::mem::take(&mut self.verdicts)
+    }
+}
+
+impl cpsmon_sim::CohortObserver for CohortPoolBridge<'_, '_> {
+    fn on_step(&mut self, member: usize, _step: usize, record: &StepRecord) {
+        self.pool.push(member, record);
+    }
+
+    fn on_step_end(&mut self, step: usize) {
+        for (member, verdict) in self.pool.drain_ready().into_iter().enumerate() {
+            if let Some(v) = verdict {
+                self.verdicts.push((member, step, v));
+            }
+        }
+    }
+}
+
+/// [`CohortPoolBridge`]'s stateful-LSTM counterpart: feeds a cohort run
+/// through an [`LstmSessionPool`], one fused gate-block GEMM per step for
+/// the whole population. See [`CohortPoolBridge`] for the protocol.
+pub struct CohortLstmBridge<'p, 'm> {
+    pool: &'p mut LstmSessionPool<'m>,
+    verdicts: Vec<(usize, usize, GuardedVerdict)>,
+}
+
+impl<'p, 'm> CohortLstmBridge<'p, 'm> {
+    /// Wraps a pool sized to the cohort.
+    pub fn new(pool: &'p mut LstmSessionPool<'m>) -> Self {
+        Self {
+            pool,
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Verdicts collected so far, in emission order.
+    pub fn verdicts(&self) -> &[(usize, usize, GuardedVerdict)] {
+        &self.verdicts
+    }
+
+    /// Drains the collected verdicts (for steady-memory benchmark loops).
+    pub fn take_verdicts(&mut self) -> Vec<(usize, usize, GuardedVerdict)> {
+        std::mem::take(&mut self.verdicts)
+    }
+}
+
+impl cpsmon_sim::CohortObserver for CohortLstmBridge<'_, '_> {
+    fn on_step(&mut self, member: usize, _step: usize, record: &StepRecord) {
+        self.pool.push(member, record);
+    }
+
+    fn on_step_end(&mut self, step: usize) {
+        for (member, verdict) in self.pool.drain_ready().into_iter().enumerate() {
+            if let Some(v) = verdict {
+                self.verdicts.push((member, step, v));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1414,5 +1506,79 @@ mod tests {
         assert!(!ws.is_ready());
         assert_eq!(ws.steps_seen(), 0);
         assert_eq!(ws.push(&records[0]), None);
+    }
+
+    #[test]
+    fn cohort_bridge_matches_pool_over_scalar_traces() {
+        let (traces, ds) = dataset();
+        let monitor = MonitorKind::Mlp
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
+        let cfg = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(2)
+            .runs_per_patient(2)
+            .steps(96)
+            .fault_ratio(0.5)
+            .seed(77);
+        let n = traces.len();
+        // Reference: the same records through a pool driven per-step from
+        // the scalar traces.
+        let mut ref_pool = SessionPool::for_dataset(&monitor, &ds, n);
+        let mut expected: Vec<(usize, usize, usize, u64)> = Vec::new();
+        let steps = traces[0].len();
+        for t in 0..steps {
+            let records: Vec<StepRecord> = traces.iter().map(|tr| tr.records()[t]).collect();
+            for (i, v) in ref_pool.step(&records).into_iter().enumerate() {
+                if let Some(v) = v {
+                    expected.push((i, t, v.label, v.proba.to_bits()));
+                }
+            }
+        }
+        // Cohort run with the bridge as monitor-in-the-loop observer.
+        let mut pool = SessionPool::for_dataset(&monitor, &ds, n);
+        let mut bridge = CohortPoolBridge::new(&mut pool);
+        cpsmon_sim::CohortEngine::from_campaign(&cfg).run_observed(&mut bridge);
+        let got: Vec<(usize, usize, usize, u64)> = bridge
+            .take_verdicts()
+            .into_iter()
+            .map(|(m, t, v)| (m, t, v.label, v.proba.to_bits()))
+            .collect();
+        assert!(!got.is_empty());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn cohort_lstm_bridge_matches_pool_over_scalar_traces() {
+        let (traces, ds) = dataset();
+        let monitor = lstm_net(&ds);
+        let net = net_of(&monitor);
+        let cfg = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(2)
+            .runs_per_patient(2)
+            .steps(96)
+            .fault_ratio(0.5)
+            .seed(77);
+        let n = traces.len();
+        let mut ref_pool = LstmSessionPool::for_dataset(LstmEngine::F64(net), &ds, n);
+        let mut expected: Vec<(usize, usize, usize, u64)> = Vec::new();
+        let steps = traces[0].len();
+        for t in 0..steps {
+            let records: Vec<StepRecord> = traces.iter().map(|tr| tr.records()[t]).collect();
+            for (i, v) in ref_pool.step(&records).into_iter().enumerate() {
+                if let Some(v) = v {
+                    expected.push((i, t, v.verdict.label, v.verdict.proba.to_bits()));
+                }
+            }
+        }
+        let mut pool = LstmSessionPool::for_dataset(LstmEngine::F64(net), &ds, n);
+        let mut bridge = CohortLstmBridge::new(&mut pool);
+        cpsmon_sim::CohortEngine::from_campaign(&cfg).run_observed(&mut bridge);
+        let got: Vec<(usize, usize, usize, u64)> = bridge
+            .take_verdicts()
+            .into_iter()
+            .map(|(m, t, v)| (m, t, v.verdict.label, v.verdict.proba.to_bits()))
+            .collect();
+        assert!(!got.is_empty());
+        assert_eq!(got, expected);
     }
 }

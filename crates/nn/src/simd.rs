@@ -76,6 +76,20 @@ impl Backend {
             Backend::Neon => "neon",
         }
     }
+
+    /// Native `f64` vector width of the backend's registers. Batched
+    /// structure-of-arrays passes (e.g. the cohort ODE integrators in
+    /// `cpsmon-sim`) use this to size their lane blocks; the NEON answer is
+    /// 2 even though those element-wise passes currently fall back to the
+    /// scalar kernels.
+    pub fn f64_lanes(self) -> usize {
+        match self {
+            Backend::Scalar => 1,
+            Backend::Neon => 2,
+            Backend::Avx2Fma => 4,
+            Backend::Avx512 => 8,
+        }
+    }
 }
 
 /// CPU capability snapshot feeding [`resolve`]; factored out so the policy

@@ -7,7 +7,7 @@
 
 use crate::basal_bolus::BasalBolusController;
 use crate::engine::ClosedLoop;
-use crate::fault::FaultPlan;
+use crate::faults::PumpFault;
 use crate::glucosym::GlucosymPatient;
 use crate::meal::MealSchedule;
 use crate::openaps::OpenApsController;
@@ -17,6 +17,11 @@ use crate::sensor::Cgm;
 use crate::t1ds::T1dsPatient;
 use crate::trace::SimTrace;
 use cpsmon_nn::rng::SmallRng;
+
+/// Salt mixed into the campaign seed before forking per-run RNG streams.
+/// Shared with the cohort engine so `CohortEngine::from_campaign` and
+/// `Cohort::engine` fork the exact same streams as [`CampaignConfig::run`].
+pub(crate) const CAMPAIGN_SALT: u64 = 0x6361_6d70_6169_676e;
 
 /// The two APS simulation environments of the paper (§IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,12 +68,12 @@ impl std::fmt::Display for SimulatorKind {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
-    kind: SimulatorKind,
-    patients: usize,
-    runs_per_patient: usize,
-    steps: usize,
-    fault_ratio: f64,
-    seed: u64,
+    pub(crate) kind: SimulatorKind,
+    pub(crate) patients: usize,
+    pub(crate) runs_per_patient: usize,
+    pub(crate) steps: usize,
+    pub(crate) fault_ratio: f64,
+    pub(crate) seed: u64,
 }
 
 impl CampaignConfig {
@@ -134,10 +139,20 @@ impl CampaignConfig {
         self.patients * self.runs_per_patient
     }
 
+    /// Executes the campaign through the batched cohort engine.
+    ///
+    /// Bit-identical to [`run`](Self::run) — every run's RNG streams are
+    /// forked the same way and every patient's floating-point op sequence
+    /// is preserved by the structure-of-arrays integrators — but all runs
+    /// advance together, one fused SIMD pass per Euler substep.
+    pub fn run_batched(&self) -> Vec<SimTrace> {
+        crate::cohort::CohortEngine::from_campaign(self).run()
+    }
+
     /// Executes the campaign, returning one trace per run.
     pub fn run(&self) -> Vec<SimTrace> {
         let mut traces = Vec::with_capacity(self.total_runs());
-        let mut root = SmallRng::new(self.seed ^ 0x6361_6d70_6169_676e);
+        let mut root = SmallRng::new(self.seed ^ CAMPAIGN_SALT);
         for pid in 0..self.patients {
             // Patient construction is per-profile; runs share the profile.
             let glucosym_proto = match self.kind {
@@ -170,7 +185,7 @@ impl CampaignConfig {
                 };
                 let fault = rng
                     .bernoulli(self.fault_ratio)
-                    .then(|| FaultPlan::sample(self.steps, basal, &mut rng));
+                    .then(|| PumpFault::sample(self.steps, basal, &mut rng));
                 let pump = match fault {
                     Some(f) => InsulinPump::with_fault(f),
                     None => InsulinPump::healthy(),

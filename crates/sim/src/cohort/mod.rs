@@ -1,0 +1,1330 @@
+//! Structure-of-arrays cohort simulation engine.
+//!
+//! [`CohortEngine`] steps an entire population of closed loops together:
+//! every member's physiological state lives in structure-of-arrays buffers
+//! (the private `soa` module) and each control step advances all members
+//! in one fused pass
+//! that keeps each lane block's state in registers across every Euler
+//! substep — scalar, AVX2, or AVX-512, selected via
+//! [`cpsmon_nn::simd::Backend`].
+//! The per-step front end (CGM sampling, controller decisions, pump fault
+//! windows, observer callbacks) stays scalar per member, because CGM noise
+//! draws member-specific RNG streams; only the ODE integration and
+//! pump-IOB bookkeeping — where virtually all the time goes — are batched.
+//!
+//! The engine is *transparent*: batched trajectories are bit-identical to
+//! running each member through [`crate::engine::ClosedLoop`] on its own,
+//! because the loop interchange (patients inside substeps instead of
+//! substeps inside patients) preserves every member's floating-point
+//! operation sequence, and the vector kernels replicate the scalar
+//! expression trees with IEEE-exact element-wise arithmetic (the `soa`
+//! and `kernels` modules document the discipline).
+//! `CampaignConfig::run_batched` relies on this to be a drop-in, faster
+//! `run`.
+//!
+//! ```
+//! use cpsmon_sim::{CampaignConfig, SimulatorKind};
+//!
+//! let cfg = CampaignConfig::new(SimulatorKind::Glucosym)
+//!     .patients(1)
+//!     .runs_per_patient(2)
+//!     .steps(24)
+//!     .seed(7);
+//! assert_eq!(cfg.run_batched(), cfg.run());
+//! ```
+
+mod kernels;
+mod soa;
+
+use crate::basal_bolus::BasalBolusController;
+use crate::campaign::{CampaignConfig, SimulatorKind, CAMPAIGN_SALT};
+use crate::controller::{Controller, Observation};
+use crate::engine::PUMP_IOB_TAU_MIN;
+use crate::faults::{FaultInjector, FaultPlan, PumpFault};
+use crate::glucosym::{GlucosymParams, GlucosymPatient};
+use crate::meal::MealSchedule;
+use crate::openaps::OpenApsController;
+use crate::patient::{PatientModel, TherapyProfile, SUBSTEPS};
+use crate::pump::InsulinPump;
+use crate::sensor::{Cgm, CgmFault, CgmFaultKind};
+use crate::t1ds::{T1dsParams, T1dsPatient};
+use crate::trace::{SimTrace, StepRecord};
+use cpsmon_nn::rng::SmallRng;
+use cpsmon_nn::simd::Backend;
+use soa::{GlucosymSoa, T1dsSoa, DT};
+
+/// Pump-firmware IOB decay per minute; same computation as
+/// `IobTracker::new(PUMP_IOB_TAU_MIN)` performs.
+const PUMP_IOB_DECAY: f64 = 1.0 / PUMP_IOB_TAU_MIN;
+
+/// Salt for [`Cohort::sample`]'s latin-hypercube streams.
+const COHORT_SALT: u64 = 0x636f_686f_7274_6c68; // "cohortlh"
+
+/// A patient of either simulator family, as stored in a [`Cohort`] and
+/// accepted by [`CohortEngine::push`].
+// A cohort is homogeneous in practice, so padding the smaller variant
+// wastes less than an indirection on every push/drain would cost.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum CohortPatient {
+    /// A Glucosym-style (extended Bergman) patient.
+    Glucosym(GlucosymPatient),
+    /// A T1DS2013-style (reduced Dalla Man) patient.
+    T1ds(T1dsPatient),
+}
+
+impl CohortPatient {
+    /// Which simulator family this patient belongs to.
+    pub fn kind(&self) -> SimulatorKind {
+        match self {
+            CohortPatient::Glucosym(_) => SimulatorKind::Glucosym,
+            CohortPatient::T1ds(_) => SimulatorKind::T1ds2013,
+        }
+    }
+
+    /// The patient's therapy profile.
+    pub fn therapy(&self) -> &TherapyProfile {
+        match self {
+            CohortPatient::Glucosym(p) => p.therapy(),
+            CohortPatient::T1ds(p) => p.therapy(),
+        }
+    }
+}
+
+impl From<GlucosymPatient> for CohortPatient {
+    fn from(p: GlucosymPatient) -> Self {
+        CohortPatient::Glucosym(p)
+    }
+}
+
+impl From<T1dsPatient> for CohortPatient {
+    fn from(p: T1dsPatient) -> Self {
+        CohortPatient::T1ds(p)
+    }
+}
+
+/// Per-member loop equipment handed to [`CohortEngine::push`]: everything a
+/// [`crate::engine::ClosedLoop`] would own besides the patient and
+/// controller.
+#[derive(Debug, Clone)]
+pub struct CohortMember {
+    /// Patient profile id recorded in the trace.
+    pub patient_id: usize,
+    /// Run id recorded in the trace.
+    pub run_id: usize,
+    /// The member's CGM sensor (owns its noise RNG stream).
+    pub cgm: Cgm,
+    /// The member's pump, possibly carrying a fault.
+    pub pump: InsulinPump,
+    /// The member's meal schedule.
+    pub meals: MealSchedule,
+    /// This member's horizon in 5-minute steps. Members may have different
+    /// horizons (ragged dropout); a member past its horizon stops producing
+    /// records while the rest of the cohort keeps running.
+    pub steps: usize,
+}
+
+/// Observer invoked by [`CohortEngine`] as the cohort advances —
+/// the population analogue of [`crate::engine::StepObserver`].
+///
+/// Any `FnMut(usize, usize, &StepRecord)` closure works via the blanket
+/// impl (with a no-op `on_step_end`).
+pub trait CohortObserver {
+    /// Called once per *active* member per step, in member order, with the
+    /// record that member's trace will contain.
+    fn on_step(&mut self, member: usize, step: usize, record: &StepRecord);
+
+    /// Called once per step after every active member's `on_step`. Batch
+    /// consumers (e.g. pooled monitor sessions) drain their verdicts here.
+    fn on_step_end(&mut self, step: usize) {
+        let _ = step;
+    }
+}
+
+impl<F: FnMut(usize, usize, &StepRecord)> CohortObserver for F {
+    fn on_step(&mut self, member: usize, step: usize, record: &StepRecord) {
+        self(member, step, record)
+    }
+}
+
+/// Applies per-member sensor-fault injectors in front of another cohort
+/// observer — the population analogue of [`crate::faults::FaultedObserver`].
+///
+/// Each member's injector sees exactly the record sequence that member's
+/// per-trace [`FaultInjector`] would see, so a monitor behind this observer
+/// receives bit-identical faulted records in batched and scalar runs.
+pub struct FaultedCohortObserver<'a> {
+    injectors: Vec<FaultInjector>,
+    inner: &'a mut dyn CohortObserver,
+}
+
+impl<'a> FaultedCohortObserver<'a> {
+    /// Wraps `inner` with one injector per cohort member (index-aligned).
+    pub fn new(injectors: Vec<FaultInjector>, inner: &'a mut dyn CohortObserver) -> Self {
+        Self { injectors, inner }
+    }
+
+    /// Builds the injectors from `plan`, keyed to each member's trace
+    /// identity exactly like [`FaultPlan::injector_for`], so injected noise
+    /// matches a scalar per-trace run of the same plan.
+    pub fn for_engine(
+        plan: &FaultPlan,
+        engine: &CohortEngine,
+        inner: &'a mut dyn CohortObserver,
+    ) -> Self {
+        let label = engine.kind().label();
+        let injectors = (0..engine.len())
+            .map(|j| {
+                let (pid, run) = engine.identity(j);
+                plan.injector_for(label, pid, run)
+            })
+            .collect();
+        Self::new(injectors, inner)
+    }
+}
+
+impl CohortObserver for FaultedCohortObserver<'_> {
+    fn on_step(&mut self, member: usize, step: usize, record: &StepRecord) {
+        let faulted = self.injectors[member].apply(record);
+        self.inner.on_step(member, step, &faulted);
+    }
+
+    fn on_step_end(&mut self, step: usize) {
+        self.inner.on_step_end(step);
+    }
+}
+
+/// The per-member controller, matching the paper's simulator pairing.
+#[derive(Debug, Clone)]
+enum MemberController {
+    OpenAps(OpenApsController),
+    BasalBolus(BasalBolusController),
+}
+
+impl MemberController {
+    fn for_kind(kind: SimulatorKind) -> Self {
+        match kind {
+            SimulatorKind::Glucosym => MemberController::OpenAps(OpenApsController::new()),
+            SimulatorKind::T1ds2013 => MemberController::BasalBolus(BasalBolusController::new()),
+        }
+    }
+
+    fn control(&mut self, obs: &Observation, therapy: &TherapyProfile) -> f64 {
+        match self {
+            MemberController::OpenAps(c) => c.control(obs, therapy),
+            MemberController::BasalBolus(c) => c.control(obs, therapy),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            MemberController::OpenAps(c) => c.name(),
+            MemberController::BasalBolus(c) => c.name(),
+        }
+    }
+}
+
+/// Cold per-member trace identity; never touched by the hot step loop
+/// (which runs over the engine's dense columns) — only by
+/// [`CohortEngine::into_traces`].
+#[derive(Debug, Clone)]
+struct MemberState {
+    patient_id: usize,
+    run_id: usize,
+    horizon: usize,
+    fault: Option<PumpFault>,
+}
+
+/// Sparse CGM-fault lane: the engine applies the honest sensor pipeline
+/// densely and fixes up the few faulted members afterwards, replicating
+/// [`Cgm::measure`]'s fault arm exactly (including the stuck-value latch
+/// and its reset outside the window).
+#[derive(Debug, Clone)]
+struct CgmFaultLane {
+    member: usize,
+    fault: CgmFault,
+    /// The member's CGM internal step counter at push time; its counter at
+    /// engine step `t` is `step0 + t` because active members measure at
+    /// every step of their (prefix) lifetime.
+    step0: usize,
+    stuck: Option<f64>,
+}
+
+// One instance per engine; boxing would put a pointer dereference in
+// front of every hot-path column access.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum SoaState {
+    Glucosym(GlucosymSoa),
+    T1ds(T1dsSoa),
+}
+
+impl SoaState {
+    fn new(kind: SimulatorKind) -> Self {
+        match kind {
+            SimulatorKind::Glucosym => SoaState::Glucosym(GlucosymSoa::default()),
+            SimulatorKind::T1ds2013 => SoaState::T1ds(T1dsSoa::default()),
+        }
+    }
+
+    fn push(&mut self, patient: &CohortPatient) {
+        match (self, patient) {
+            (SoaState::Glucosym(s), CohortPatient::Glucosym(p)) => s.push(p),
+            (SoaState::T1ds(s), CohortPatient::T1ds(p)) => s.push(p),
+            _ => panic!("patient kind does not match the engine's simulator"),
+        }
+    }
+
+    /// Current blood glucose of every lane — same expression as the
+    /// scalar models' `bg()`, evaluated densely into `out`.
+    fn bg_into(&self, out: &mut [f64]) {
+        match self {
+            SoaState::Glucosym(s) => out.copy_from_slice(&s.g),
+            SoaState::T1ds(s) => {
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o = s.gp[j] / s.vg[j];
+                }
+            }
+        }
+    }
+
+    fn begin_step(&mut self, delivered: &[f64], carbs: &[f64]) {
+        match self {
+            SoaState::Glucosym(s) => s.begin_step(delivered, carbs),
+            SoaState::T1ds(s) => s.begin_step(delivered, carbs),
+        }
+    }
+
+    fn integrate(&mut self, backend: Backend) {
+        match self {
+            SoaState::Glucosym(s) => s.integrate(backend),
+            SoaState::T1ds(s) => s.integrate(backend),
+        }
+    }
+}
+
+/// Backends whose cohort kernels can run on this machine, scalar first.
+///
+/// Useful for in-process bit-identity tests across every available kernel
+/// (the `CPSMON_SIMD` override is latched once per process, so tests use
+/// [`CohortEngine::with_backend`] instead).
+pub fn available_backends() -> Vec<Backend> {
+    let mut backends = vec![Backend::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            backends.push(Backend::Avx2Fma);
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            backends.push(Backend::Avx512);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    backends.push(Backend::Neon);
+    backends
+}
+
+fn backend_available(backend: Backend) -> bool {
+    match backend {
+        Backend::Scalar => true,
+        _ => available_backends().contains(&backend),
+    }
+}
+
+/// A batched closed-loop engine over a cohort of patients.
+///
+/// Build one with [`new`](Self::new) + [`push`](Self::push), from a
+/// campaign via [`from_campaign`](Self::from_campaign), or from a sampled
+/// population via [`Cohort::engine`]; then either [`run`](Self::run) it to
+/// completion or drive it step by step with [`advance`](Self::advance).
+#[derive(Debug, Clone)]
+pub struct CohortEngine {
+    kind: SimulatorKind,
+    backend: Backend,
+    record: bool,
+    step: usize,
+    max_horizon: usize,
+    members: Vec<MemberState>,
+    /// Per-member recorded steps (`records[j]` parallels `members[j]`);
+    /// kept out of [`MemberState`] so the recording hot path indexes a
+    /// dense array of `Vec` headers instead of walking member structs.
+    records: Vec<Vec<StepRecord>>,
+    state: SoaState,
+    // Dense front-end columns (one lane per member): everything the scalar
+    // per-step loop needs, packed contiguously so a step streams a few
+    // flat arrays instead of a thousand scattered structs.
+    /// Member horizon in steps.
+    horizon: Vec<usize>,
+    /// The member's therapy profile (controller input).
+    therapy: Vec<TherapyProfile>,
+    /// `basal_rate / 60 * PUMP_IOB_TAU_MIN`, hoisted out of the step loop
+    /// (same expression `ClosedLoop` evaluates every step — bit-identical
+    /// because its inputs never change).
+    basal_iob: Vec<f64>,
+    /// CGM lag coefficient and its precomputed complement `1.0 - lag`
+    /// (the same subtraction `Cgm::measure` performs per reading).
+    cgm_lag: Vec<f64>,
+    cgm_one_minus_lag: Vec<f64>,
+    /// CGM lag-filter state; valid once `cgm_primed` (or after step 0).
+    cgm_filt: Vec<f64>,
+    cgm_primed: Vec<bool>,
+    /// Previous sensor reading (trend input); valid after step 0.
+    prev_bg: Vec<f64>,
+    /// Per-member controllers and pumps (small structs, dense).
+    controllers: Vec<MemberController>,
+    pumps: Vec<InsulinPump>,
+    /// `pumps[j].max_rate`, hoisted: a fault-free
+    /// [`InsulinPump::deliver`] is exactly `commanded.clamp(0.0,
+    /// max_rate)`, so healthy lanes skip the pump struct entirely.
+    pump_max_rate: Vec<f64>,
+    /// Whether `pumps[j]` carries a fault plan (the slow `deliver` path).
+    pump_has_fault: Vec<bool>,
+    /// Start of member `j`'s rows in `carbs_flat` / `noise_flat`.
+    front_off: Vec<usize>,
+    /// `meals.carbs_at(t)` for `t < horizon`, tabulated at push time so the
+    /// hot loop indexes instead of re-scanning the schedule.
+    carbs_flat: Vec<f64>,
+    /// CGM noise samples for `t < horizon`, prerolled from the member's
+    /// sensor stream at push time (the draw is position-dependent only, so
+    /// replaying them through the lag filter is bit-identical to drawing
+    /// inline — see [`Cgm::draw_noise`]).
+    noise_flat: Vec<f64>,
+    /// Members whose CGM carries a fault (sparse fix-up list).
+    cgm_faults: Vec<CgmFaultLane>,
+    /// Pump-firmware IOB estimate per member (SoA lane).
+    pump_iob: Vec<f64>,
+    /// Scratch: true BG of each member this step (mg/dL).
+    bg_true: Vec<f64>,
+    /// Scratch: sensor reading of each member this step (mg/dL).
+    bg_sensor: Vec<f64>,
+    /// Scratch: insulin rate delivered to each member this step (U/h).
+    delivered: Vec<f64>,
+    /// Scratch: carbs announced to each member this step (g).
+    carbs: Vec<f64>,
+}
+
+impl CohortEngine {
+    /// Creates an empty engine for one simulator family, using the
+    /// process-wide SIMD backend (the `CPSMON_SIMD` policy).
+    pub fn new(kind: SimulatorKind) -> Self {
+        Self {
+            kind,
+            backend: cpsmon_nn::simd::backend(),
+            record: true,
+            step: 0,
+            max_horizon: 0,
+            members: Vec::new(),
+            records: Vec::new(),
+            state: SoaState::new(kind),
+            horizon: Vec::new(),
+            therapy: Vec::new(),
+            basal_iob: Vec::new(),
+            cgm_lag: Vec::new(),
+            cgm_one_minus_lag: Vec::new(),
+            cgm_filt: Vec::new(),
+            cgm_primed: Vec::new(),
+            prev_bg: Vec::new(),
+            controllers: Vec::new(),
+            pumps: Vec::new(),
+            pump_max_rate: Vec::new(),
+            pump_has_fault: Vec::new(),
+            front_off: Vec::new(),
+            carbs_flat: Vec::new(),
+            noise_flat: Vec::new(),
+            cgm_faults: Vec::new(),
+            pump_iob: Vec::new(),
+            bg_true: Vec::new(),
+            bg_sensor: Vec::new(),
+            delivered: Vec::new(),
+            carbs: Vec::new(),
+        }
+    }
+
+    /// Overrides the SIMD backend (for tests and benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested backend's kernels cannot run on this CPU.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        assert!(
+            backend_available(backend),
+            "backend {} not available on this CPU",
+            backend.label()
+        );
+        self.backend = backend;
+        self
+    }
+
+    /// Disables (or re-enables) trace recording. With recording off the
+    /// engine can be advanced indefinitely at steady memory — the mode
+    /// throughput benchmarks use. [`into_traces`](Self::into_traces) then
+    /// returns traces with empty record lists.
+    pub fn set_recording(&mut self, record: bool) {
+        self.record = record;
+    }
+
+    /// Adds one member to the cohort, packing its patient into the SoA
+    /// buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patient's simulator family does not match the
+    /// engine's, or if the engine has already been stepped — the cohort
+    /// must be fully assembled before the first [`advance`](Self::advance)
+    /// (member lifetimes are horizon prefixes of the engine's step clock).
+    pub fn push(&mut self, patient: impl Into<CohortPatient>, member: CohortMember) {
+        let patient = patient.into();
+        assert_eq!(
+            patient.kind(),
+            self.kind,
+            "patient kind does not match the engine's simulator"
+        );
+        assert_eq!(self.step, 0, "members must be pushed before stepping");
+        self.state.push(&patient);
+        let j = self.members.len();
+        let fault = member.pump.fault().copied();
+        let therapy = *patient.therapy();
+        self.members.push(MemberState {
+            patient_id: member.patient_id,
+            run_id: member.run_id,
+            horizon: member.steps,
+            fault,
+        });
+        self.records.push(Vec::new());
+        self.max_horizon = self.max_horizon.max(member.steps);
+        self.horizon.push(member.steps);
+        self.therapy.push(therapy);
+        self.basal_iob
+            .push(therapy.basal_rate / 60.0 * PUMP_IOB_TAU_MIN);
+        // Unpack the member's CGM into dense columns (+ a sparse fault
+        // lane), prerolling its noise stream over the whole horizon.
+        let mut cgm = member.cgm;
+        self.cgm_lag.push(cgm.lag());
+        self.cgm_one_minus_lag.push(1.0 - cgm.lag());
+        self.cgm_filt.push(cgm.filter_state().unwrap_or(0.0));
+        self.cgm_primed.push(cgm.filter_state().is_some());
+        if let Some(cgm_fault) = cgm.fault() {
+            self.cgm_faults.push(CgmFaultLane {
+                member: j,
+                fault: cgm_fault,
+                step0: cgm.steps_taken(),
+                stuck: cgm.stuck_reading(),
+            });
+        }
+        self.front_off.push(self.carbs_flat.len());
+        self.carbs_flat
+            .extend((0..member.steps).map(|t| member.meals.carbs_at(t)));
+        self.noise_flat.extend(cgm.draw_noise(member.steps));
+        self.prev_bg.push(0.0);
+        self.controllers.push(MemberController::for_kind(self.kind));
+        self.pump_max_rate.push(member.pump.max_rate);
+        self.pump_has_fault.push(member.pump.fault().is_some());
+        self.pumps.push(member.pump);
+        self.pump_iob.push(0.0);
+        self.bg_true.push(0.0);
+        self.bg_sensor.push(0.0);
+        self.delivered.push(0.0);
+        self.carbs.push(0.0);
+    }
+
+    /// Number of cohort members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cohort is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The engine's simulator family.
+    pub fn kind(&self) -> SimulatorKind {
+        self.kind
+    }
+
+    /// The SIMD backend the integration kernels run on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// `(patient_id, run_id)` of member `j`.
+    pub fn identity(&self, member: usize) -> (usize, usize) {
+        let m = &self.members[member];
+        (m.patient_id, m.run_id)
+    }
+
+    /// Steps advanced so far.
+    pub fn steps_done(&self) -> usize {
+        self.step
+    }
+
+    /// The longest member horizon (the step count [`run`](Self::run) runs
+    /// to).
+    pub fn horizon(&self) -> usize {
+        self.members.iter().map(|m| m.horizon).max().unwrap_or(0)
+    }
+
+    /// Advances the whole cohort by one 5-minute step, invoking `observer`
+    /// for every active member. Returns `false` once every member is past
+    /// its horizon (in which case no state moved).
+    ///
+    /// Per member the step performs exactly the
+    /// [`crate::engine::ClosedLoop`] cycle — CGM → controller → pump →
+    /// record → observer — scalar and in member order (CGM noise is an
+    /// inherently sequential RNG draw); the `SUBSTEPS` Euler substeps and
+    /// pump-IOB updates then advance all members in one fused pass through
+    /// the SoA kernels.
+    pub fn advance(&mut self, observer: &mut dyn CohortObserver) -> bool {
+        self.advance_inner(observer)
+    }
+
+    /// Generic body of [`advance`](Self::advance) — monomorphized for
+    /// concrete observers (e.g. [`run`](Self::run)'s no-op) so the observer
+    /// call disappears instead of costing an indirect call per member-step.
+    fn advance_inner<O: CohortObserver + ?Sized>(&mut self, observer: &mut O) -> bool {
+        let step = self.step;
+        if step >= self.max_horizon {
+            // Every member is past its horizon: no state moves.
+            return false;
+        }
+        let n = self.members.len();
+        if self.record && step == 0 {
+            // One exact allocation per member up front instead of a
+            // realloc ladder per push (`Vec::clone` does not carry spare
+            // capacity, so cloned engines re-reserve here, not in `push`).
+            for (r, &h) in self.records.iter_mut().zip(&self.horizon) {
+                r.reserve_exact(h);
+            }
+        }
+        // Pass 1: true BG of every lane, densely.
+        self.state.bg_into(&mut self.bg_true);
+        // Pass 2: honest sensor pipeline, densely — the expressions
+        // replicate `Cgm::measure` bit for bit. At step 0 an unprimed
+        // filter passes the true BG through; afterwards every filter is
+        // primed, so the loop splits on the step instead of per member.
+        // All columns are re-sliced to length `n` so the loops index
+        // without bounds checks.
+        {
+            let horizon = &self.horizon[..n];
+            let bg_true = &self.bg_true[..n];
+            let cgm_lag = &self.cgm_lag[..n];
+            let oml = &self.cgm_one_minus_lag[..n];
+            let cgm_filt = &mut self.cgm_filt[..n];
+            let bg_sensor = &mut self.bg_sensor[..n];
+            let front_off = &self.front_off[..n];
+            let noise = self.noise_flat.as_slice();
+            if step == 0 {
+                let primed = &self.cgm_primed[..n];
+                for j in 0..n {
+                    if horizon[j] == 0 {
+                        continue;
+                    }
+                    let bt = bg_true[j];
+                    let filtered = if primed[j] {
+                        cgm_lag[j] * cgm_filt[j] + oml[j] * bt
+                    } else {
+                        bt
+                    };
+                    cgm_filt[j] = filtered;
+                    bg_sensor[j] = (filtered + noise[front_off[j]]).max(1.0);
+                }
+            } else {
+                for j in 0..n {
+                    if step >= horizon[j] {
+                        continue;
+                    }
+                    let bt = bg_true[j];
+                    let filtered = cgm_lag[j] * cgm_filt[j] + oml[j] * bt;
+                    cgm_filt[j] = filtered;
+                    bg_sensor[j] = (filtered + noise[front_off[j] + step]).max(1.0);
+                }
+            }
+        }
+        // Pass 2b: sparse CGM-fault fix-up, mirroring `Cgm::measure`'s
+        // fault arm (including the stuck latch and its reset outside the
+        // window; `cstep` is the sensor's own reading counter).
+        for lane in &mut self.cgm_faults {
+            let j = lane.member;
+            if step >= self.horizon[j] {
+                continue;
+            }
+            let honest = self.bg_sensor[j];
+            let cstep = lane.step0 + step;
+            if !lane.fault.active_at(cstep) {
+                lane.stuck = None;
+                continue;
+            }
+            self.bg_sensor[j] = match lane.fault.kind {
+                CgmFaultKind::Bias { offset } => (honest + offset).max(1.0),
+                CgmFaultKind::Drift { per_step } => {
+                    (honest + per_step * (cstep - lane.fault.start_step + 1) as f64).max(1.0)
+                }
+                CgmFaultKind::StuckValue => *lane.stuck.get_or_insert(honest),
+            };
+        }
+        // Pass 3: trend → controller → pump → record → observer, scalar
+        // and in member order — exactly the `ClosedLoop` cycle.
+        {
+            let horizon = &self.horizon[..n];
+            let bg_true = &self.bg_true[..n];
+            let bg_sensor_col = &self.bg_sensor[..n];
+            let prev_bg = &mut self.prev_bg[..n];
+            let front_off = &self.front_off[..n];
+            let carbs_flat = self.carbs_flat.as_slice();
+            let pump_iob = &self.pump_iob[..n];
+            let basal_iob = &self.basal_iob[..n];
+            let therapy = &self.therapy[..n];
+            let controllers = &mut self.controllers[..n];
+            let pumps = &mut self.pumps[..n];
+            let pump_max_rate = &self.pump_max_rate[..n];
+            let pump_has_fault = &self.pump_has_fault[..n];
+            let delivered_col = &mut self.delivered[..n];
+            let carbs_col = &mut self.carbs[..n];
+            let records = &mut self.records[..n];
+            let record_on = self.record;
+            for j in 0..n {
+                if step >= horizon[j] {
+                    // Drop-out lane: keep integrating with zero
+                    // insulin/carbs contributions suppressed by delivering
+                    // nothing new.
+                    delivered_col[j] = 0.0;
+                    carbs_col[j] = 0.0;
+                    continue;
+                }
+                let bg_sensor = bg_sensor_col[j];
+                let bg_trend = if step == 0 {
+                    0.0
+                } else {
+                    bg_sensor - prev_bg[j]
+                };
+                prev_bg[j] = bg_sensor;
+                let carbs = carbs_flat[front_off[j] + step];
+                let iob_estimate = pump_iob[j];
+                let obs = Observation {
+                    bg: bg_sensor,
+                    bg_trend,
+                    iob: iob_estimate - basal_iob[j],
+                    announced_carbs: carbs,
+                };
+                let commanded = controllers[j].control(&obs, &therapy[j]);
+                let delivered = if pump_has_fault[j] {
+                    pumps[j].deliver(step, commanded)
+                } else {
+                    // Fault-free `InsulinPump::deliver` is exactly this
+                    // clamp; healthy lanes skip the pump struct.
+                    commanded.clamp(0.0, pump_max_rate[j])
+                };
+                let record = StepRecord {
+                    bg_true: bg_true[j],
+                    bg_sensor,
+                    iob: iob_estimate,
+                    commanded_rate: commanded,
+                    delivered_rate: delivered,
+                    carbs,
+                };
+                observer.on_step(j, step, &record);
+                if record_on {
+                    records[j].push(record);
+                }
+                delivered_col[j] = delivered;
+                carbs_col[j] = carbs;
+            }
+        }
+        observer.on_step_end(step);
+        self.state.begin_step(&self.delivered, &self.carbs);
+        self.state.integrate(self.backend);
+        // Pump-firmware IOB: same per-substep recurrence as ClosedLoop,
+        // fused per member (members are independent, so interchanging the
+        // substep and member loops is bit-transparent).
+        {
+            let delivered = &self.delivered[..n];
+            let pump_iob = &mut self.pump_iob[..n];
+            for j in 0..n {
+                let iob_d = delivered[j] / 60.0 * DT;
+                let mut io = pump_iob[j];
+                for _ in 0..SUBSTEPS {
+                    io += iob_d;
+                    io -= io * PUMP_IOB_DECAY;
+                    io = if io < 0.0 { 0.0 } else { io };
+                }
+                pump_iob[j] = io;
+            }
+        }
+        self.step += 1;
+        true
+    }
+
+    /// Runs every member to its horizon and returns the traces, invoking
+    /// `observer` throughout (monitor-in-the-loop over the whole cohort).
+    pub fn run_observed(mut self, observer: &mut dyn CohortObserver) -> Vec<SimTrace> {
+        while self.advance_inner(observer) {}
+        self.into_traces()
+    }
+
+    /// Runs every member to its horizon and returns the traces, in push
+    /// order.
+    pub fn run(mut self) -> Vec<SimTrace> {
+        struct Noop;
+        impl CohortObserver for Noop {
+            #[inline]
+            fn on_step(&mut self, _member: usize, _step: usize, _record: &StepRecord) {}
+        }
+        let mut noop = Noop;
+        while self.advance_inner(&mut noop) {}
+        self.into_traces()
+    }
+
+    /// Consumes the engine, yielding one trace per member in push order.
+    pub fn into_traces(self) -> Vec<SimTrace> {
+        let label = self.kind.label();
+        let controller = MemberController::for_kind(self.kind).name();
+        self.members
+            .into_iter()
+            .zip(self.records)
+            .map(|(m, records)| {
+                SimTrace::new(label, controller, m.patient_id, m.run_id, m.fault, records)
+            })
+            .collect()
+    }
+
+    /// Builds the batched equivalent of [`CampaignConfig::run`]: same
+    /// patients, meal schedules, CGM streams, and fault draws, forked from
+    /// the campaign seed in the identical order, so
+    /// [`run`](Self::run) reproduces `cfg.run()` bit for bit.
+    pub fn from_campaign(cfg: &CampaignConfig) -> Self {
+        let mut engine = Self::new(cfg.kind);
+        let mut root = SmallRng::new(cfg.seed ^ CAMPAIGN_SALT);
+        for pid in 0..cfg.patients {
+            let proto: CohortPatient = match cfg.kind {
+                SimulatorKind::Glucosym => GlucosymPatient::from_profile(pid, cfg.seed).into(),
+                SimulatorKind::T1ds2013 => T1dsPatient::calibrated(pid, cfg.seed).into(),
+            };
+            for run in 0..cfg.runs_per_patient {
+                let mut rng = root.fork((pid * 10_007 + run) as u64);
+                let meals = MealSchedule::generate(cfg.steps, &mut rng);
+                let cgm = Cgm::typical(rng.fork(1));
+                let basal = proto.therapy().basal_rate;
+                let fault = rng
+                    .bernoulli(cfg.fault_ratio)
+                    .then(|| PumpFault::sample(cfg.steps, basal, &mut rng));
+                let pump = match fault {
+                    Some(f) => InsulinPump::with_fault(f),
+                    None => InsulinPump::healthy(),
+                };
+                engine.push(
+                    proto.clone(),
+                    CohortMember {
+                        patient_id: pid,
+                        run_id: run,
+                        cgm,
+                        pump,
+                        meals,
+                        steps: cfg.steps,
+                    },
+                );
+            }
+        }
+        engine
+    }
+}
+
+/// One latin-hypercube axis: a seeded stratum permutation plus intra-stratum
+/// jitter, both forked from `root` so the draw for dimension `dim` is
+/// independent of every other dimension and of cohort iteration order.
+fn lhs_axis(root: &mut SmallRng, dim: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut prng = root.fork(dim * 2);
+    for i in (1..n).rev() {
+        let k = prng.index(i + 1);
+        perm.swap(i, k);
+    }
+    let mut jrng = root.fork(dim * 2 + 1);
+    (0..n)
+        .map(|j| {
+            let u = jrng.uniform_range(0.0, 1.0);
+            lo + (perm[j] as f64 + u) * (hi - lo) / n as f64
+        })
+        .collect()
+}
+
+/// A seeded population of virtual patients, sampled by latin-hypercube over
+/// the same physiological ranges as the 20-profile paper cohorts — but
+/// scaling to thousands of members with even coverage of every parameter
+/// axis.
+///
+/// ```
+/// use cpsmon_sim::{Cohort, SimulatorKind};
+///
+/// let cohort = Cohort::sample(SimulatorKind::Glucosym, 9, 8);
+/// let traces = cohort.engine(12, 9, 0.0).run();
+/// assert_eq!(traces.len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cohort {
+    kind: SimulatorKind,
+    patients: Vec<CohortPatient>,
+}
+
+impl Cohort {
+    /// Samples `n` patients deterministically from `seed`.
+    ///
+    /// Every parameter axis is stratified into `n` bins (latin hypercube)
+    /// with uniform jitter inside each bin, over the ranges of
+    /// [`GlucosymParams::profile`] / [`T1dsParams::profile`] — so the
+    /// cohort covers the plausible physiological box instead of clustering
+    /// around it. T1DS basal rates are calibrated per member (bisection to
+    /// the member's `gb`), which makes T1DS sampling markedly slower than
+    /// Glucosym sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample(kind: SimulatorKind, seed: u64, n: usize) -> Self {
+        assert!(n > 0, "cohort size must be positive");
+        let patients = match kind {
+            SimulatorKind::Glucosym => Self::sample_glucosym(seed, n),
+            SimulatorKind::T1ds2013 => Self::sample_t1ds(seed, n),
+        };
+        Self { kind, patients }
+    }
+
+    fn sample_glucosym(seed: u64, n: usize) -> Vec<CohortPatient> {
+        let mut root = SmallRng::new(seed ^ COHORT_SALT);
+        let p1 = lhs_axis(&mut root, 0, n, 0.02, 0.035);
+        let p2 = lhs_axis(&mut root, 1, n, 0.02, 0.03);
+        let p3 = lhs_axis(&mut root, 2, n, 2.2e-5, 3.4e-5);
+        let nn = lhs_axis(&mut root, 3, n, 0.08, 0.10);
+        let gb = lhs_axis(&mut root, 4, n, 110.0, 150.0);
+        let vi = lhs_axis(&mut root, 5, n, 11.0, 13.0);
+        let vg = lhs_axis(&mut root, 6, n, 100.0, 140.0);
+        let ka = lhs_axis(&mut root, 7, n, 0.015, 0.025);
+        let iob_tau = lhs_axis(&mut root, 8, n, 100.0, 140.0);
+        let basal = lhs_axis(&mut root, 9, n, 0.6, 1.6);
+        let isf = lhs_axis(&mut root, 10, n, 35.0, 65.0);
+        let carb_ratio = lhs_axis(&mut root, 11, n, 8.0, 15.0);
+        (0..n)
+            .map(|j| {
+                let params = GlucosymParams {
+                    p1: p1[j],
+                    p2: p2[j],
+                    p3: p3[j],
+                    n: nn[j],
+                    gb: gb[j],
+                    vi: vi[j],
+                    vg: vg[j],
+                    ka: ka[j],
+                    f: 0.9,
+                    iob_tau: iob_tau[j],
+                };
+                let therapy = TherapyProfile {
+                    basal_rate: basal[j],
+                    isf: isf[j],
+                    carb_ratio: carb_ratio[j],
+                    target_bg: 120.0,
+                };
+                GlucosymPatient::new(params, therapy).into()
+            })
+            .collect()
+    }
+
+    fn sample_t1ds(seed: u64, n: usize) -> Vec<CohortPatient> {
+        let mut root = SmallRng::new(seed ^ COHORT_SALT);
+        // center * (1 ± spread), the ranges of `T1dsParams::profile`.
+        let c = |center: f64, spread: f64| (center * (1.0 - spread), center * (1.0 + spread));
+        let mut dim = 0u64;
+        let mut axis = |root: &mut SmallRng, (lo, hi): (f64, f64)| {
+            let a = lhs_axis(root, dim, n, lo, hi);
+            dim += 1;
+            a
+        };
+        let bw = axis(&mut root, (55.0, 95.0));
+        let vg = axis(&mut root, c(1.88, 0.10));
+        let k1 = axis(&mut root, c(0.065, 0.15));
+        let k2 = axis(&mut root, c(0.079, 0.15));
+        let kp1 = axis(&mut root, c(2.90, 0.10));
+        let kp2 = axis(&mut root, c(0.0021, 0.15));
+        let kp3 = axis(&mut root, c(0.012, 0.15));
+        let ki = axis(&mut root, c(0.0079, 0.15));
+        let vm0 = axis(&mut root, c(0.80, 0.15));
+        let vmx = axis(&mut root, c(0.060, 0.25));
+        let km0 = axis(&mut root, c(225.59, 0.10));
+        let p2u = axis(&mut root, c(0.0331, 0.15));
+        let m1 = axis(&mut root, c(0.190, 0.10));
+        let m2 = axis(&mut root, c(0.484, 0.10));
+        let m3 = axis(&mut root, c(0.277, 0.10));
+        let m4 = axis(&mut root, c(0.194, 0.10));
+        let kd = axis(&mut root, c(0.0164, 0.15));
+        let ka1 = axis(&mut root, c(0.0018, 0.15));
+        let ka2 = axis(&mut root, c(0.0182, 0.15));
+        let vi = axis(&mut root, c(0.05, 0.10));
+        let kgri = axis(&mut root, c(0.0558, 0.15));
+        let kempt = axis(&mut root, c(0.035, 0.20));
+        let kabs = axis(&mut root, c(0.057, 0.20));
+        let iob_tau = axis(&mut root, (100.0, 140.0));
+        let gb = axis(&mut root, (110.0, 145.0));
+        let isf = axis(&mut root, (35.0, 65.0));
+        let carb_ratio = axis(&mut root, (8.0, 15.0));
+        (0..n)
+            .map(|j| {
+                let params = T1dsParams {
+                    bw: bw[j],
+                    vg: vg[j],
+                    k1: k1[j],
+                    k2: k2[j],
+                    kp1: kp1[j],
+                    kp2: kp2[j],
+                    kp3: kp3[j],
+                    ki: ki[j],
+                    fsnc: 1.0,
+                    vm0: vm0[j],
+                    vmx: vmx[j],
+                    km0: km0[j],
+                    p2u: p2u[j],
+                    m1: m1[j],
+                    m2: m2[j],
+                    m3: m3[j],
+                    m4: m4[j],
+                    kd: kd[j],
+                    ka1: ka1[j],
+                    ka2: ka2[j],
+                    vi: vi[j],
+                    ke1: 0.0005,
+                    ke2: 339.0,
+                    kgri: kgri[j],
+                    kempt: kempt[j],
+                    kabs: kabs[j],
+                    f: 0.90,
+                    iob_tau: iob_tau[j],
+                    gb: gb[j],
+                };
+                let therapy = TherapyProfile {
+                    basal_rate: 1.0, // calibrated below
+                    isf: isf[j],
+                    carb_ratio: carb_ratio[j],
+                    target_bg: 120.0,
+                };
+                T1dsPatient::calibrated_from(params, therapy).into()
+            })
+            .collect()
+    }
+
+    /// The simulator family of every member.
+    pub fn kind(&self) -> SimulatorKind {
+        self.kind
+    }
+
+    /// Cohort size.
+    pub fn len(&self) -> usize {
+        self.patients.len()
+    }
+
+    /// Whether the cohort is empty (never true for sampled cohorts).
+    pub fn is_empty(&self) -> bool {
+        self.patients.is_empty()
+    }
+
+    /// The sampled patients.
+    pub fn patients(&self) -> &[CohortPatient] {
+        &self.patients
+    }
+
+    /// Equips the cohort for a closed-loop run — meals, CGM streams, and
+    /// pump-fault draws forked per member like a campaign's — and returns
+    /// the ready engine. Member `j` gets `patient_id = j`, `run_id = 0`.
+    pub fn engine(&self, steps: usize, seed: u64, fault_ratio: f64) -> CohortEngine {
+        assert!(steps > 0, "steps must be positive");
+        assert!(
+            (0.0..=1.0).contains(&fault_ratio),
+            "fault_ratio must be in [0,1]"
+        );
+        let mut engine = CohortEngine::new(self.kind);
+        let mut root = SmallRng::new(seed ^ CAMPAIGN_SALT);
+        for (j, patient) in self.patients.iter().enumerate() {
+            let mut rng = root.fork((j * 10_007) as u64);
+            let meals = MealSchedule::generate(steps, &mut rng);
+            let cgm = Cgm::typical(rng.fork(1));
+            let basal = patient.therapy().basal_rate;
+            let fault = rng
+                .bernoulli(fault_ratio)
+                .then(|| PumpFault::sample(steps, basal, &mut rng));
+            let pump = match fault {
+                Some(f) => InsulinPump::with_fault(f),
+                None => InsulinPump::healthy(),
+            };
+            engine.push(
+                patient.clone(),
+                CohortMember {
+                    patient_id: j,
+                    run_id: 0,
+                    cgm,
+                    pump,
+                    meals,
+                    steps,
+                },
+            );
+        }
+        engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Asserts two traces are equal *bitwise* on every recorded float —
+    /// stricter than `PartialEq` (which would treat `-0.0 == 0.0`).
+    fn assert_traces_bit_identical(batched: &[SimTrace], scalar: &[SimTrace]) {
+        assert_eq!(batched.len(), scalar.len());
+        for (b, s) in batched.iter().zip(scalar) {
+            assert_eq!(b.simulator, s.simulator);
+            assert_eq!(b.controller, s.controller);
+            assert_eq!(b.patient_id, s.patient_id);
+            assert_eq!(b.run_id, s.run_id);
+            assert_eq!(b.fault, s.fault);
+            assert_eq!(b.len(), s.len());
+            for (t, (rb, rs)) in b.records().iter().zip(s.records()).enumerate() {
+                for (name, vb, vs) in [
+                    ("bg_true", rb.bg_true, rs.bg_true),
+                    ("bg_sensor", rb.bg_sensor, rs.bg_sensor),
+                    ("iob", rb.iob, rs.iob),
+                    ("commanded_rate", rb.commanded_rate, rs.commanded_rate),
+                    ("delivered_rate", rb.delivered_rate, rs.delivered_rate),
+                    ("carbs", rb.carbs, rs.carbs),
+                ] {
+                    assert_eq!(
+                        vb.to_bits(),
+                        vs.to_bits(),
+                        "patient {} run {} step {t} field {name}: {vb} != {vs}",
+                        b.patient_id,
+                        b.run_id,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn glucosym_campaign_batched_matches_scalar_bitwise() {
+        let cfg = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(2)
+            .runs_per_patient(3)
+            .steps(48)
+            .seed(11);
+        assert_traces_bit_identical(&cfg.run_batched(), &cfg.run());
+    }
+
+    #[test]
+    fn t1ds_campaign_batched_matches_scalar_bitwise() {
+        let cfg = CampaignConfig::new(SimulatorKind::T1ds2013)
+            .patients(1)
+            .runs_per_patient(3)
+            .steps(48)
+            .seed(13);
+        assert_traces_bit_identical(&cfg.run_batched(), &cfg.run());
+    }
+
+    #[test]
+    fn every_available_backend_is_bit_identical() {
+        let cfg = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(2)
+            .runs_per_patient(5) // 10 members: full AVX-512 lane + tail
+            .steps(36)
+            .seed(17);
+        let reference = CohortEngine::from_campaign(&cfg)
+            .with_backend(Backend::Scalar)
+            .run();
+        for backend in available_backends() {
+            let traces = CohortEngine::from_campaign(&cfg)
+                .with_backend(backend)
+                .run();
+            assert_traces_bit_identical(&traces, &reference);
+        }
+    }
+
+    #[test]
+    fn ragged_horizons_match_separate_scalar_runs() {
+        // Three members with different horizons; each must reproduce its
+        // own standalone ClosedLoop run exactly even though the cohort
+        // keeps stepping after the short members finish.
+        let horizons = [10usize, 31, 24];
+        let mut engine = CohortEngine::new(SimulatorKind::Glucosym);
+        let mut scalar = Vec::new();
+        for (i, &h) in horizons.iter().enumerate() {
+            let patient = GlucosymPatient::from_profile(i, 5);
+            let mut rng = SmallRng::new(99).fork(i as u64);
+            let meals = MealSchedule::generate(h, &mut rng);
+            let cgm = Cgm::typical(rng.fork(1));
+            engine.push(
+                patient.clone(),
+                CohortMember {
+                    patient_id: i,
+                    run_id: 0,
+                    cgm: cgm.clone(),
+                    pump: InsulinPump::healthy(),
+                    meals: meals.clone(),
+                    steps: h,
+                },
+            );
+            scalar.push(
+                crate::engine::ClosedLoop::new(
+                    patient,
+                    OpenApsController::new(),
+                    InsulinPump::healthy(),
+                    cgm,
+                    meals,
+                )
+                .run(h, "glucosym", i, 0),
+            );
+        }
+        assert_traces_bit_identical(&engine.run(), &scalar);
+    }
+
+    #[test]
+    fn observer_sees_each_active_member_once_per_step() {
+        let cfg = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(1)
+            .runs_per_patient(3)
+            .steps(12)
+            .seed(3);
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        let mut ends = 0usize;
+        struct Obs<'a> {
+            seen: &'a mut Vec<(usize, usize)>,
+            ends: &'a mut usize,
+        }
+        impl CohortObserver for Obs<'_> {
+            fn on_step(&mut self, member: usize, step: usize, _r: &StepRecord) {
+                self.seen.push((member, step));
+            }
+            fn on_step_end(&mut self, _step: usize) {
+                *self.ends += 1;
+            }
+        }
+        let traces = CohortEngine::from_campaign(&cfg).run_observed(&mut Obs {
+            seen: &mut seen,
+            ends: &mut ends,
+        });
+        assert_eq!(traces.len(), 3);
+        assert_eq!(seen.len(), 3 * 12);
+        assert_eq!(ends, 12);
+        for step in 0..12 {
+            for member in 0..3 {
+                assert_eq!(seen[step * 3 + member], (member, step));
+            }
+        }
+    }
+
+    #[test]
+    fn recording_toggle_empties_traces_but_keeps_dynamics() {
+        let cfg = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(1)
+            .runs_per_patient(2)
+            .steps(10)
+            .seed(21);
+        let mut engine = CohortEngine::from_campaign(&cfg);
+        engine.set_recording(false);
+        let mut last_bg = Vec::new();
+        let mut obs = |_m: usize, _s: usize, r: &StepRecord| last_bg.push(r.bg_true);
+        let traces = engine.run_observed(&mut obs);
+        assert!(traces.iter().all(|t| t.records().is_empty()));
+        // Observer still saw live records.
+        assert_eq!(last_bg.len(), 2 * 10);
+        let recorded: Vec<f64> = cfg
+            .run()
+            .iter()
+            .flat_map(|t| t.records().iter().map(|r| r.bg_true))
+            .collect();
+        // Same dynamics, interleaved member-major per step vs run-major:
+        // just compare as multisets of bits.
+        let mut a: Vec<u64> = last_bg.iter().map(|v| v.to_bits()).collect();
+        let mut b: Vec<u64> = recorded.iter().map(|v| v.to_bits()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cohort_sampler_is_deterministic_and_in_bounds() {
+        let a = Cohort::sample(SimulatorKind::Glucosym, 42, 16);
+        let b = Cohort::sample(SimulatorKind::Glucosym, 42, 16);
+        assert_eq!(a.len(), 16);
+        for (pa, pb) in a.patients().iter().zip(b.patients()) {
+            match (pa, pb) {
+                (CohortPatient::Glucosym(x), CohortPatient::Glucosym(y)) => {
+                    assert_eq!(x.params(), y.params());
+                    assert_eq!(x.therapy(), y.therapy());
+                }
+                _ => panic!("wrong kind"),
+            }
+        }
+        for p in a.patients() {
+            let CohortPatient::Glucosym(p) = p else {
+                panic!("wrong kind")
+            };
+            let prm = p.params();
+            assert!((0.02..=0.035).contains(&prm.p1));
+            assert!((110.0..=150.0).contains(&prm.gb));
+            assert!((100.0..=140.0).contains(&prm.vg));
+            assert!((0.6..=1.6).contains(&p.therapy().basal_rate));
+        }
+    }
+
+    #[test]
+    fn lhs_covers_each_stratum_once() {
+        let n = 10;
+        let mut root = SmallRng::new(7 ^ COHORT_SALT);
+        let axis = lhs_axis(&mut root, 0, n, 0.0, 1.0);
+        let mut strata: Vec<usize> = axis
+            .iter()
+            .map(|v| ((v * n as f64).floor() as usize).min(n - 1))
+            .collect();
+        strata.sort_unstable();
+        assert_eq!(strata, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn t1ds_sampled_cohort_is_calibrated() {
+        let cohort = Cohort::sample(SimulatorKind::T1ds2013, 8, 4);
+        for p in cohort.patients() {
+            let CohortPatient::T1ds(p) = p else {
+                panic!("wrong kind")
+            };
+            // Calibration targets bg == gb at basal equilibrium.
+            assert!(
+                (p.bg() - p.params().gb).abs() < 5.0,
+                "bg {} far from gb {}",
+                p.bg(),
+                p.params().gb
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_cohort_observer_matches_scalar_injectors() {
+        use crate::faults::{FaultModel, SensorChannel};
+        let cfg = CampaignConfig::new(SimulatorKind::Glucosym)
+            .patients(2)
+            .runs_per_patient(2)
+            .steps(24)
+            .seed(31);
+        let plan = FaultPlan::new(77).with(crate::faults::ChannelFault::new(
+            SensorChannel::BgSensor,
+            FaultModel::Spike { magnitude: 25.0 },
+            4,
+            12,
+        ));
+        // Batched: collect faulted records per member.
+        let engine = CohortEngine::from_campaign(&cfg);
+        let mut batched: Vec<Vec<StepRecord>> = vec![Vec::new(); engine.len()];
+        {
+            let mut sink = |m: usize, _s: usize, r: &StepRecord| batched[m].push(*r);
+            let mut faulted = FaultedCohortObserver::for_engine(&plan, &engine, &mut sink);
+            engine.run_observed(&mut faulted);
+        }
+        // Scalar: inject each trace post-hoc with the same plan.
+        for (m, trace) in cfg.run().iter().enumerate() {
+            let injected = plan.inject(trace);
+            assert_eq!(&batched[m], injected.records(), "member {m}");
+        }
+    }
+}

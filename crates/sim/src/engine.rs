@@ -15,7 +15,7 @@ use crate::trace::{SimTrace, StepRecord};
 /// Nominal insulin-action time constant (minutes) the pump firmware uses
 /// for its IOB estimate. Deliberately independent of the (unknown) patient
 /// physiology, like a real pump's fixed duration-of-insulin-action setting.
-const PUMP_IOB_TAU_MIN: f64 = 120.0;
+pub(crate) const PUMP_IOB_TAU_MIN: f64 = 120.0;
 
 /// A monitor-in-the-loop hook: invoked by
 /// [`ClosedLoop::run_observed`] after each step is recorded, with exactly
@@ -151,12 +151,12 @@ impl<P: PatientModel, C: Controller> ClosedLoop<P, C> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::{FaultKind, FaultPlan};
+    use crate::faults::{PumpFault, PumpFaultKind};
     use crate::glucosym::GlucosymPatient;
     use crate::openaps::OpenApsController;
     use cpsmon_nn::rng::SmallRng;
 
-    fn loop_for(fault: Option<FaultPlan>, seed: u64) -> SimTrace {
+    fn loop_for(fault: Option<PumpFault>, seed: u64) -> SimTrace {
         let patient = GlucosymPatient::from_profile(0, 42);
         let controller = OpenApsController::new();
         let pump = match fault {
@@ -186,8 +186,8 @@ mod tests {
 
     #[test]
     fn overdose_fault_drives_bg_down() {
-        let fault = FaultPlan {
-            kind: FaultKind::Overdose { rate: 5.0 },
+        let fault = PumpFault {
+            kind: PumpFaultKind::Overdose { rate: 5.0 },
             start_step: 30,
             duration_steps: 36,
         };
@@ -211,8 +211,8 @@ mod tests {
 
     #[test]
     fn suspend_fault_drives_bg_up() {
-        let fault = FaultPlan {
-            kind: FaultKind::Suspend,
+        let fault = PumpFault {
+            kind: PumpFaultKind::Suspend,
             start_step: 30,
             duration_steps: 40,
         };
@@ -236,8 +236,8 @@ mod tests {
 
     #[test]
     fn trace_records_fault_metadata() {
-        let fault = FaultPlan {
-            kind: FaultKind::Suspend,
+        let fault = PumpFault {
+            kind: PumpFaultKind::Suspend,
             start_step: 10,
             duration_steps: 5,
         };

@@ -10,11 +10,14 @@
 //! live [`crate::engine::ClosedLoop`] run through the
 //! [`StepObserver`] hook ([`FaultedObserver`]).
 //!
-//! Naming note: [`crate::fault`] models *pump-side* actuation faults that
-//! alter the physics of the run (overdose, suspension). This module's
-//! faults corrupt only what the *monitor observes* — the patient dynamics
-//! are untouched, which is exactly the property a robustness sweep needs
-//! (ground-truth labels stay valid).
+//! Two fault families live here:
+//!
+//! - [`PumpFault`] models *pump-side* actuation faults that alter the
+//!   physics of the run (overdose, suspension) — the paper's §III threat
+//!   model, applied on the command path by [`crate::pump::InsulinPump`].
+//! - [`FaultPlan`]/[`ChannelFault`] corrupt only what the *monitor
+//!   observes* — the patient dynamics are untouched, which is exactly the
+//!   property a robustness sweep needs (ground-truth labels stay valid).
 //!
 //! ## Determinism contract
 //!
@@ -432,6 +435,94 @@ impl StepObserver for FaultedObserver<'_> {
     }
 }
 
+/// The kinds of pump-command corruption we can inject.
+///
+/// The paper's threat model (§III) includes an attacker who "can remotely
+/// login to an insulin pump and change the output control commands" and
+/// accidental malfunctions where "the pump can deliver an incorrect insulin
+/// dosage". We model both as transformations applied to the commanded rate
+/// during a contiguous window of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PumpFaultKind {
+    /// Attacker forces a fixed high delivery rate regardless of commands
+    /// (insulin overdose → hypoglycemia). Absolute, so the controller's
+    /// defensive suspension cannot neutralize it — the attacker owns the
+    /// pump.
+    Overdose {
+        /// Forced delivery rate (U/h).
+        rate: f64,
+    },
+    /// Rate multiplied by a factor < 1 (underdose → hyperglycemia).
+    Underdose {
+        /// Multiplicative factor (< 1).
+        factor: f64,
+    },
+    /// Pump ignores new commands and keeps delivering the rate it had when
+    /// the fault began.
+    StuckRate,
+    /// Delivery suspended entirely.
+    Suspend,
+}
+
+/// A pump-side fault occurrence: what, when, and for how long.
+///
+/// Unlike the sensor-side [`FaultPlan`], a pump fault changes the plant's
+/// actual insulin delivery, so the physiological trajectory (and its hazard
+/// labels) change with it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PumpFault {
+    /// The corruption applied.
+    pub kind: PumpFaultKind,
+    /// First affected step.
+    pub start_step: usize,
+    /// Number of affected steps.
+    pub duration_steps: usize,
+}
+
+impl PumpFault {
+    /// Whether `step` falls inside the fault window.
+    pub fn active_at(&self, step: usize) -> bool {
+        step >= self.start_step && step < self.start_step + self.duration_steps
+    }
+
+    /// Samples a random fault for a scenario of `steps` steps.
+    ///
+    /// `reference_rate` is the patient's basal rate; overdose attacks force
+    /// a multiple of it. The window starts in the 15–60 % span of the
+    /// scenario and lasts 1–6 hours, so there is always clean lead-in data
+    /// and room for the hazard to develop — mirroring the paper's
+    /// fault-injection campaigns.
+    pub fn sample(steps: usize, reference_rate: f64, rng: &mut SmallRng) -> Self {
+        let kind = match rng.index(4) {
+            0 => PumpFaultKind::Overdose {
+                rate: reference_rate * rng.uniform_range(3.0, 8.0),
+            },
+            1 => PumpFaultKind::Underdose {
+                factor: rng.uniform_range(0.0, 0.4),
+            },
+            2 => PumpFaultKind::StuckRate,
+            _ => PumpFaultKind::Suspend,
+        };
+        let start = (steps as f64 * rng.uniform_range(0.15, 0.60)) as usize;
+        let duration = ((rng.uniform_range(60.0, 360.0) / 5.0) as usize).max(1);
+        Self {
+            kind,
+            start_step: start,
+            duration_steps: duration,
+        }
+    }
+
+    /// Short label for reports ("overdose", "suspend", …).
+    pub fn label(&self) -> &'static str {
+        match self.kind {
+            PumpFaultKind::Overdose { .. } => "overdose",
+            PumpFaultKind::Underdose { .. } => "underdose",
+            PumpFaultKind::StuckRate => "stuck",
+            PumpFaultKind::Suspend => "suspend",
+        }
+    }
+}
+
 /// FNV-1a stream key over a trace identity, mixing the simulator label and
 /// both indices so every trace of a campaign gets a decoupled RNG stream.
 fn trace_stream(simulator: &str, patient_id: usize, run_id: usize) -> u64 {
@@ -661,6 +752,53 @@ mod tests {
             }
         }
         assert_eq!(live, offline.records());
+    }
+
+    #[test]
+    fn pump_fault_active_window() {
+        let f = PumpFault {
+            kind: PumpFaultKind::Suspend,
+            start_step: 10,
+            duration_steps: 5,
+        };
+        assert!(!f.active_at(9));
+        assert!(f.active_at(10));
+        assert!(f.active_at(14));
+        assert!(!f.active_at(15));
+    }
+
+    #[test]
+    fn pump_fault_sample_within_bounds() {
+        let mut rng = SmallRng::new(5);
+        for _ in 0..200 {
+            let f = PumpFault::sample(288, 1.0, &mut rng);
+            assert!(
+                f.start_step >= 43 && f.start_step <= 173,
+                "start {}",
+                f.start_step
+            );
+            assert!(f.duration_steps >= 12 && f.duration_steps <= 72);
+            match f.kind {
+                PumpFaultKind::Overdose { rate } => assert!(rate > 1.0),
+                PumpFaultKind::Underdose { factor } => assert!(factor < 1.0),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn pump_fault_sample_covers_all_kinds() {
+        let mut rng = SmallRng::new(6);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            match PumpFault::sample(288, 1.0, &mut rng).kind {
+                PumpFaultKind::Overdose { .. } => seen[0] = true,
+                PumpFaultKind::Underdose { .. } => seen[1] = true,
+                PumpFaultKind::StuckRate => seen[2] = true,
+                PumpFaultKind::Suspend => seen[3] = true,
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "kinds seen: {seen:?}");
     }
 
     #[test]

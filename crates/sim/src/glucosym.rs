@@ -118,6 +118,22 @@ impl GlucosymPatient {
         &self.params
     }
 
+    /// The dynamic state `(g, x, i, q1, q2)` — read by the cohort engine
+    /// when packing a patient into structure-of-arrays buffers.
+    pub(crate) fn state(&self) -> (f64, f64, f64, f64, f64) {
+        (self.g, self.x, self.i, self.q1, self.q2)
+    }
+
+    /// Basal plasma insulin (mU/L), fixed at construction.
+    pub(crate) fn ib(&self) -> f64 {
+        self.ib
+    }
+
+    /// The internal IOB tracker (value + decay), for SoA packing.
+    pub(crate) fn iob_tracker(&self) -> &IobTracker {
+        &self.iob
+    }
+
     fn derivs(&self, u_mu_per_min: f64) -> (f64, f64, f64, f64, f64) {
         let p = &self.params;
         let ra = p.f * p.ka * self.q2;

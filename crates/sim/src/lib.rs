@@ -15,12 +15,12 @@
 //! - [`openaps::OpenApsController`] / [`basal_bolus::BasalBolusController`]
 //!   — the two control algorithms.
 //! - [`sensor::Cgm`] — a continuous glucose monitor with calibration noise.
-//! - [`pump::InsulinPump`] + [`fault::FaultPlan`] — actuation with
+//! - [`pump::InsulinPump`] + [`faults::PumpFault`] — actuation with
 //!   accidental/malicious fault injection (overdose, underdose, stuck rate,
 //!   suspension).
-//! - [`faults::FaultPlan`] (re-exported as [`SensorFaultPlan`]) — seeded
-//!   *sensor-side* fault injection (dropout, stuck-at, spikes, drift, bias,
-//!   quantization, delay) for robustness testing of monitors.
+//! - [`faults::FaultPlan`] — seeded *sensor-side* fault injection (dropout,
+//!   stuck-at, spikes, drift, bias, quantization, delay) for robustness
+//!   testing of monitors.
 //! - [`engine::ClosedLoop`] — wires everything together and records a
 //!   [`trace::SimTrace`].
 //! - [`campaign::CampaignConfig`] — seeded multi-patient simulation
@@ -49,9 +49,9 @@
 
 pub mod basal_bolus;
 pub mod campaign;
+pub mod cohort;
 pub mod controller;
 pub mod engine;
-pub mod fault;
 pub mod faults;
 pub mod glucosym;
 pub mod hazard;
@@ -64,11 +64,14 @@ pub mod t1ds;
 pub mod trace;
 
 pub use campaign::{CampaignConfig, SimulatorKind};
+pub use cohort::{
+    available_backends, Cohort, CohortEngine, CohortMember, CohortObserver, CohortPatient,
+    FaultedCohortObserver,
+};
 pub use controller::{Controller, Observation};
 pub use engine::{ClosedLoop, StepObserver};
-pub use fault::{FaultKind, FaultPlan};
 pub use faults::{
-    ChannelFault, FaultInjector, FaultModel, FaultPlan as SensorFaultPlan, FaultedObserver,
+    ChannelFault, FaultInjector, FaultModel, FaultPlan, FaultedObserver, PumpFault, PumpFaultKind,
     SensorChannel,
 };
 pub use hazard::{HazardConfig, HazardEpisode};

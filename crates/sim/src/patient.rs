@@ -107,6 +107,13 @@ impl IobTracker {
         self.iob
     }
 
+    /// The per-minute decay fraction (`1 / tau_minutes`). The cohort
+    /// engine reads this to mirror [`advance_minute`](Self::advance_minute)
+    /// across structure-of-arrays lanes.
+    pub fn decay_per_min(&self) -> f64 {
+        self.decay_per_min
+    }
+
     /// Advances one minute with `delivered` units infused during it.
     pub fn advance_minute(&mut self, delivered: f64) {
         self.iob += delivered;

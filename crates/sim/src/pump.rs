@@ -1,12 +1,12 @@
 //! The insulin pump: turns commanded rates into delivered rates, applying
 //! any active fault.
 
-use crate::fault::{FaultKind, FaultPlan};
+use crate::faults::{PumpFault, PumpFaultKind};
 
 /// An insulin pump with an optional fault plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InsulinPump {
-    fault: Option<FaultPlan>,
+    fault: Option<PumpFault>,
     stuck_rate: Option<f64>,
     /// Hardware ceiling on deliverable rate (U/h).
     pub max_rate: f64,
@@ -29,7 +29,7 @@ impl InsulinPump {
     }
 
     /// A pump that will exhibit `fault`.
-    pub fn with_fault(fault: FaultPlan) -> Self {
+    pub fn with_fault(fault: PumpFault) -> Self {
         Self {
             fault: Some(fault),
             ..Self::default()
@@ -37,7 +37,7 @@ impl InsulinPump {
     }
 
     /// The configured fault plan, if any.
-    pub fn fault(&self) -> Option<&FaultPlan> {
+    pub fn fault(&self) -> Option<&PumpFault> {
         self.fault.as_ref()
     }
 
@@ -57,10 +57,10 @@ impl InsulinPump {
             return commanded;
         }
         match fault.kind {
-            FaultKind::Overdose { rate } => rate.clamp(0.0, self.max_rate),
-            FaultKind::Underdose { factor } => (commanded * factor).clamp(0.0, self.max_rate),
-            FaultKind::StuckRate => *self.stuck_rate.get_or_insert(commanded),
-            FaultKind::Suspend => 0.0,
+            PumpFaultKind::Overdose { rate } => rate.clamp(0.0, self.max_rate),
+            PumpFaultKind::Underdose { factor } => (commanded * factor).clamp(0.0, self.max_rate),
+            PumpFaultKind::StuckRate => *self.stuck_rate.get_or_insert(commanded),
+            PumpFaultKind::Suspend => 0.0,
         }
     }
 }
@@ -79,8 +79,8 @@ mod tests {
 
     #[test]
     fn overdose_multiplies_inside_window() {
-        let f = FaultPlan {
-            kind: FaultKind::Overdose { rate: 3.0 },
+        let f = PumpFault {
+            kind: PumpFaultKind::Overdose { rate: 3.0 },
             start_step: 5,
             duration_steps: 2,
         };
@@ -93,8 +93,8 @@ mod tests {
 
     #[test]
     fn stuck_holds_first_faulty_rate() {
-        let f = FaultPlan {
-            kind: FaultKind::StuckRate,
+        let f = PumpFault {
+            kind: PumpFaultKind::StuckRate,
             start_step: 2,
             duration_steps: 3,
         };
@@ -107,8 +107,8 @@ mod tests {
 
     #[test]
     fn suspend_zeroes_delivery() {
-        let f = FaultPlan {
-            kind: FaultKind::Suspend,
+        let f = PumpFault {
+            kind: PumpFaultKind::Suspend,
             start_step: 0,
             duration_steps: 10,
         };
@@ -118,8 +118,8 @@ mod tests {
 
     #[test]
     fn stuck_rate_resets_after_window() {
-        let f = FaultPlan {
-            kind: FaultKind::StuckRate,
+        let f = PumpFault {
+            kind: PumpFaultKind::StuckRate,
             start_step: 1,
             duration_steps: 1,
         };

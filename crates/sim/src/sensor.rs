@@ -4,7 +4,7 @@ use cpsmon_nn::rng::SmallRng;
 
 /// A sensor-side fault/attack corrupting CGM readings.
 ///
-/// Complements the pump-side faults of [`crate::fault`]: the Medtronic
+/// Complements the pump-side faults of [`crate::faults::PumpFault`]: the Medtronic
 /// recalls the paper cites cover both malicious command injection and
 /// sensor malfunction. Each variant is applied inside a step window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,12 +98,60 @@ impl Cgm {
 
     /// Reads the sensor given the true plasma glucose.
     pub fn measure(&mut self, true_bg: f64) -> f64 {
+        let noise = self.rng.normal_with(0.0, self.noise_std);
+        self.measure_with_noise(true_bg, noise)
+    }
+
+    /// The lag coefficient (cohort engine column extraction).
+    pub(crate) fn lag(&self) -> f64 {
+        self.lag
+    }
+
+    /// The current lag-filter state, if any reading has been taken.
+    pub(crate) fn filter_state(&self) -> Option<f64> {
+        self.state
+    }
+
+    /// The attached fault, if any.
+    pub(crate) fn fault(&self) -> Option<CgmFault> {
+        self.fault
+    }
+
+    /// How many readings this sensor has already produced.
+    pub(crate) fn steps_taken(&self) -> usize {
+        self.step
+    }
+
+    /// The latched reading, if the sensor is mid `StuckValue` fault.
+    pub(crate) fn stuck_reading(&self) -> Option<f64> {
+        self.stuck_value
+    }
+
+    /// Draws the next `n` noise samples this sensor would add to readings,
+    /// consuming its RNG stream.
+    ///
+    /// The Gaussian draw depends only on the stream position — never on
+    /// the measured value — so the cohort engine prerolls a horizon's
+    /// worth per member and feeds them back through
+    /// [`measure_with_noise`](Self::measure_with_noise), moving the
+    /// Box-Muller transcendentals out of the hot loop while reproducing
+    /// [`measure`](Self::measure) bit for bit.
+    pub(crate) fn draw_noise(&mut self, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| self.rng.normal_with(0.0, self.noise_std))
+            .collect()
+    }
+
+    /// [`measure`](Self::measure) with an externally supplied noise sample;
+    /// `noise` must be the next sample of this sensor's own stream for the
+    /// reading to match.
+    pub(crate) fn measure_with_noise(&mut self, true_bg: f64, noise: f64) -> f64 {
         let filtered = match self.state {
             Some(prev) => self.lag * prev + (1.0 - self.lag) * true_bg,
             None => true_bg,
         };
         self.state = Some(filtered);
-        let honest = (filtered + self.rng.normal_with(0.0, self.noise_std)).max(1.0);
+        let honest = (filtered + noise).max(1.0);
         let step = self.step;
         self.step += 1;
         let Some(fault) = self.fault else {

@@ -178,7 +178,16 @@ impl T1dsPatient {
     /// bisection so that the open-loop steady state lands near the
     /// profile's `gb`, then warms the state up to that equilibrium.
     pub fn calibrated(id: usize, seed: u64) -> Self {
-        let (params, mut therapy) = T1dsParams::profile(id, seed);
+        let (params, therapy) = T1dsParams::profile(id, seed);
+        Self::calibrated_from(params, therapy)
+    }
+
+    /// [`calibrated`](Self::calibrated) for explicit parameters: bisects
+    /// the basal rate (`therapy.basal_rate` is overwritten) until the
+    /// 24-hour open-loop steady state lands near `params.gb`, then warms
+    /// up to that equilibrium. Used by the latin-hypercube cohort sampler,
+    /// whose parameters do not come from [`T1dsParams::profile`].
+    pub fn calibrated_from(params: T1dsParams, mut therapy: TherapyProfile) -> Self {
         let (mut lo, mut hi) = (0.1, 4.0);
         for _ in 0..14 {
             let mid = 0.5 * (lo + hi);
@@ -200,6 +209,27 @@ impl T1dsPatient {
     /// The model parameters.
     pub fn params(&self) -> &T1dsParams {
         &self.params
+    }
+
+    /// The dynamic state in packing order
+    /// `[gp, gt, ip, il, isc1, isc2, i1, id, x, qsto1, qsto2, qgut]` —
+    /// read by the cohort engine when packing a patient into
+    /// structure-of-arrays buffers.
+    pub(crate) fn state(&self) -> [f64; 12] {
+        [
+            self.gp, self.gt, self.ip, self.il, self.isc1, self.isc2, self.i1, self.id, self.x,
+            self.qsto1, self.qsto2, self.qgut,
+        ]
+    }
+
+    /// Basal plasma insulin concentration (pmol/L), fixed at calibration.
+    pub(crate) fn ib(&self) -> f64 {
+        self.ib
+    }
+
+    /// The internal IOB tracker (value + decay), for SoA packing.
+    pub(crate) fn iob_tracker(&self) -> &IobTracker {
+        &self.iob
     }
 
     fn advance_minute(&mut self, iir: f64, delivered_u: f64) {

@@ -1,6 +1,6 @@
 //! Recorded simulation traces.
 
-use crate::fault::FaultPlan;
+use crate::faults::PumpFault;
 
 /// One 5-minute step of a closed-loop run, as recorded by the engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,7 +32,7 @@ pub struct SimTrace {
     /// Run index within the campaign.
     pub run_id: usize,
     /// The injected fault, if any.
-    pub fault: Option<FaultPlan>,
+    pub fault: Option<PumpFault>,
     records: Vec<StepRecord>,
 }
 
@@ -43,7 +43,7 @@ impl SimTrace {
         controller: &'static str,
         patient_id: usize,
         run_id: usize,
-        fault: Option<FaultPlan>,
+        fault: Option<PumpFault>,
         records: Vec<StepRecord>,
     ) -> Self {
         Self {

@@ -2,7 +2,7 @@
 //! plausibility under arbitrary (bounded) insulin policies, labeling
 //! equivalence with a brute-force oracle, and pump safety clamps.
 
-use cpsmon_sim::fault::{FaultKind, FaultPlan};
+use cpsmon_sim::faults::{PumpFault, PumpFaultKind};
 use cpsmon_sim::glucosym::GlucosymPatient;
 use cpsmon_sim::hazard::HazardConfig;
 use cpsmon_sim::patient::PatientModel;
@@ -106,12 +106,12 @@ proptest! {
         start in 0usize..20,
         dur in 1usize..20,
     ) {
-        let fault = FaultPlan {
+        let fault = PumpFault {
             kind: match kind {
-                0 => FaultKind::Overdose { rate: 300.0 },
-                1 => FaultKind::Underdose { factor: 0.2 },
-                2 => FaultKind::StuckRate,
-                _ => FaultKind::Suspend,
+                0 => PumpFaultKind::Overdose { rate: 300.0 },
+                1 => PumpFaultKind::Underdose { factor: 0.2 },
+                2 => PumpFaultKind::StuckRate,
+                _ => PumpFaultKind::Suspend,
             },
             start_step: start,
             duration_steps: dur,
@@ -128,7 +128,7 @@ proptest! {
     fn pump_outside_fault_window_is_exact(
         commands in proptest::collection::vec(0.0f64..50.0, 1..30),
     ) {
-        let fault = FaultPlan { kind: FaultKind::Suspend, start_step: 5, duration_steps: 3 };
+        let fault = PumpFault { kind: PumpFaultKind::Suspend, start_step: 5, duration_steps: 3 };
         let mut pump = InsulinPump::with_fault(fault);
         for (step, &cmd) in commands.iter().enumerate() {
             let delivered = pump.deliver(step, cmd);

@@ -15,7 +15,7 @@
 
 use cpsmon::core::{DatasetBuilder, MonitorKind, MonitorSession, TrainConfig};
 use cpsmon::nn::rng::SmallRng;
-use cpsmon::sim::fault::{FaultKind, FaultPlan};
+use cpsmon::sim::faults::{PumpFault, PumpFaultKind};
 use cpsmon::sim::glucosym::GlucosymPatient;
 use cpsmon::sim::meal::MealSchedule;
 use cpsmon::sim::openaps::OpenApsController;
@@ -42,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let monitor = MonitorKind::MlpCustom.train(&dataset, &config)?;
 
     // A fresh patient with an overdose fault starting at step 60.
-    let fault = FaultPlan {
-        kind: FaultKind::Overdose { rate: 5.0 },
+    let fault = PumpFault {
+        kind: PumpFaultKind::Overdose { rate: 5.0 },
         start_step: 60,
         duration_steps: 36,
     };

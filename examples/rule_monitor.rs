@@ -5,7 +5,7 @@
 //! cargo run --release --example rule_monitor
 //! ```
 
-use cpsmon::sim::fault::{FaultKind, FaultPlan};
+use cpsmon::sim::faults::{PumpFault, PumpFaultKind};
 use cpsmon::sim::glucosym::GlucosymPatient;
 use cpsmon::sim::meal::MealSchedule;
 use cpsmon::sim::openaps::OpenApsController;
@@ -18,8 +18,8 @@ use cpsmon_nn::rng::SmallRng;
 fn main() {
     // One 12-hour run with a pump-suspension attack at 10:00.
     let patient = GlucosymPatient::from_profile(0, 42);
-    let fault = FaultPlan {
-        kind: FaultKind::Suspend,
+    let fault = PumpFault {
+        kind: PumpFaultKind::Suspend,
         start_step: 120,
         duration_steps: 24,
     };
