@@ -5,7 +5,12 @@ Usage: check_bench_ceilings.py <snapshot.json>
 
 The snapshot is the JSON written by the criterion shim
 (`CPSMON_BENCH_SNAPSHOT`); the ceilings live next to this script in
-`bench_ceilings.json`. Keys starting with `_` are comments.
+`bench_ceilings.json`. Keys starting with `_` are comments. A ceiling is
+either an absolute ns/iter number, or a relative entry
+`{"max_ratio_vs": "<other bench>", "ratio": 1.10}` that bounds this
+bench's median to `ratio` times the referenced bench's median from the
+same snapshot — immune to runner speed, it pins the *overhead* of one
+code path over another.
 """
 
 import json
@@ -28,11 +33,26 @@ def main() -> int:
             failed = True
             continue
         median = entry["median"]
-        over = median > ceiling_ns
-        print(
-            f"{'FAIL' if over else 'ok  '} {name}: "
-            f"median {median:.0f} ns vs ceiling {ceiling_ns} ns"
-        )
+        if isinstance(ceiling_ns, dict):
+            base_name = ceiling_ns["max_ratio_vs"]
+            base = snapshot["results"].get(base_name)
+            if base is None:
+                print(f"FAIL {name}: ratio base {base_name} missing from snapshot")
+                failed = True
+                continue
+            ceiling = ceiling_ns["ratio"] * base["median"]
+            over = median > ceiling
+            print(
+                f"{'FAIL' if over else 'ok  '} {name}: "
+                f"median {median:.0f} ns vs {ceiling_ns['ratio']:.2f}x "
+                f"{base_name} = {ceiling:.0f} ns"
+            )
+        else:
+            over = median > ceiling_ns
+            print(
+                f"{'FAIL' if over else 'ok  '} {name}: "
+                f"median {median:.0f} ns vs ceiling {ceiling_ns} ns"
+            )
         failed |= over
     return 1 if failed else 0
 

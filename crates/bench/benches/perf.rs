@@ -6,7 +6,8 @@ use cpsmon_core::monitor::MonitorModel;
 use cpsmon_core::CohortLstmBridge;
 use cpsmon_core::{
     robustness_error, sweep_parallel, FeatureConfig, GuardPolicy, GuardedSession, LstmEngine,
-    LstmSessionPool, MonitorKind, MonitorSession, Normalizer, SessionPool, TrainedMonitor,
+    LstmSessionPool, Mitigator, MonitorKind, MonitorSession, Normalizer, PipelineSession,
+    SessionPool, TrainedMonitor,
 };
 use cpsmon_nn::par::{self, ThreadsGuard};
 use cpsmon_nn::rng::SmallRng;
@@ -297,6 +298,34 @@ fn bench_sessions(c: &mut Criterion) {
         }
         let mut next = WINDOW;
         c.bench_function(guarded_name, |b| {
+            b.iter(|| {
+                let v = session.step(&records[next]);
+                next = (next + 1) % records.len();
+                if next == 0 {
+                    next = WINDOW; // skip the refill region on wrap-around
+                }
+                v
+            })
+        });
+    }
+    // The full stage pipeline: guard → featurize → monitor → mitigate.
+    // Mitigation is a pure function of the verdict plus the rule context,
+    // so its clean-path price over the matching guarded session is
+    // budgeted ≤ 10% (ratio entries in ci/bench_ceilings.json).
+    for (name, monitor) in &monitors {
+        let mitigated_name = match *name {
+            "session_step_rule" => "session_step_mitigated_rule",
+            "session_step_mlp" => "session_step_mitigated_mlp",
+            _ => "session_step_mitigated_lstm",
+        };
+        let mut session = PipelineSession::new(MonitorSession::new(monitor, cfg, norm.clone()))
+            .with_guard(GuardPolicy::aps(), RuleMonitor::new(ApsRules::default()))
+            .with_mitigator(Mitigator::aps());
+        for r in &records[..WINDOW] {
+            session.step(r);
+        }
+        let mut next = WINDOW;
+        c.bench_function(mitigated_name, |b| {
             b.iter(|| {
                 let v = session.step(&records[next]);
                 next = (next + 1) % records.len();

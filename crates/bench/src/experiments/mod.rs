@@ -18,6 +18,7 @@ pub mod fig7_adv_trace;
 pub mod fig8_fgsm;
 pub mod fig9_heatmap;
 pub mod gru_extension;
+pub mod mitigation_sweep;
 pub mod pgd_extension;
 pub mod table3;
 

@@ -78,7 +78,7 @@ impl Experiment for Entry {
 }
 
 /// All registered experiments, in paper order (the former binaries).
-pub static REGISTRY: [&dyn Experiment; 16] = [
+pub static REGISTRY: [&dyn Experiment; 17] = [
     &Entry {
         name: "table3",
         description: "Table III: clean accuracy of all five monitors on both simulators",
@@ -165,6 +165,15 @@ pub static REGISTRY: [&dyn Experiment; 16] = [
         },
     },
     &Entry {
+        name: "mitigation_sweep",
+        description:
+            "Extension: closed-loop mitigation — hazards averted vs false-stop harm, per monitor × trace condition",
+        run: |ctx| {
+            let (grid, summary) = exp::mitigation_sweep::run(ctx);
+            Artifacts::tables(vec![grid, summary])
+        },
+    },
+    &Entry {
         name: "cohort_campaign",
         description:
             "Extension: SoA cohort screening campaign — population outcomes, LSTM alarm rate, scalar parity",
@@ -184,13 +193,14 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 17);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 16, "duplicate registry names");
+        assert_eq!(names.len(), 17, "duplicate registry names");
         assert!(find("table3").is_some());
         assert!(find("fig9_heatmap").is_some());
         assert!(find("fault_sweep").is_some());
+        assert!(find("mitigation_sweep").is_some());
         assert!(find("cohort_campaign").is_some());
         assert!(find("no_such_experiment").is_none());
     }

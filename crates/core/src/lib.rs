@@ -43,6 +43,7 @@ pub mod features;
 pub mod guard;
 pub mod metrics;
 pub mod monitor;
+pub mod pipeline;
 pub mod robustness;
 pub mod stream;
 pub mod train;
@@ -54,6 +55,10 @@ pub use features::{FeatureConfig, Normalizer, FEATURES_PER_STEP};
 pub use guard::{GuardBank, GuardPolicy, GuardStatus, HealthState, Imputation, InputGuard};
 pub use metrics::{ConfusionCounts, EvalReport};
 pub use monitor::{MonitorKind, TrainedMonitor};
+pub use pipeline::{
+    Action, GuardStage, LatencyAttribution, MitigatedObserver, MitigationPolicy, Mitigator,
+    PipelineSession, SessionStage,
+};
 pub use robustness::{robustness_error, sweep_parallel};
 pub use stream::{
     CohortLstmBridge, CohortPoolBridge, GuardedSession, GuardedVerdict, LstmEngine,

@@ -39,8 +39,9 @@ use std::time::{Duration, Instant};
 
 use crate::dataset::LabeledDataset;
 use crate::features::{step_features, FeatureConfig, Normalizer, FEATURES_PER_STEP};
-use crate::guard::{GuardBank, GuardPolicy, HealthState, InputGuard};
+use crate::guard::{GuardBank, GuardPolicy, HealthState};
 use crate::monitor::{MonitorModel, TrainedMonitor};
+use crate::pipeline::{Action, LatencyAttribution, Mitigator, PipelineSession};
 use cpsmon_nn::{LstmNet, LstmNetF32, LstmNetScratch, LstmStreamState, Matrix, MlpScratch};
 use cpsmon_sim::trace::StepRecord;
 use cpsmon_stl::{ApsContext, RuleMonitor};
@@ -60,8 +61,15 @@ pub struct Verdict {
     /// their *attributed* share — the session's queue wait (push to
     /// classify start) plus the batched forward pass divided by the number
     /// of rows that shared it — so a 1000-session pool tick no longer
-    /// charges every session the full batch time.
+    /// charges every session the full batch time. Always exactly
+    /// `attribution.total()`.
     pub latency: Duration,
+    /// Corrective action derived by the mitigation stage
+    /// ([`Action::None`] when no [`Mitigator`] is armed — mitigation
+    /// never alters `label`/`proba`, only annotates).
+    pub action: Action,
+    /// Stage-by-stage breakdown of `latency`.
+    pub attribution: LatencyAttribution,
 }
 
 /// Per-patient streaming featurizer: consumes one [`StepRecord`] at a time
@@ -114,7 +122,7 @@ impl WindowStream {
         // Reject invalid sensor input at the session boundary: a NaN/inf
         // would silently flow through normalization into the network and
         // poison every later window in the ring. Deployments with unreliable
-        // inputs should sanitize through an [`InputGuard`] /
+        // inputs should sanitize through an [`InputGuard`](crate::guard::InputGuard) /
         // [`GuardedSession`] first.
         assert!(
             rec.bg_sensor.is_finite() && rec.iob.is_finite() && rec.delivered_rate.is_finite(),
@@ -242,6 +250,9 @@ pub struct MonitorSession<'m> {
     stream: WindowStream,
     scratch: NetScratch,
     xrow: Matrix,
+    /// The rule context the latest step classified with (rule monitors
+    /// only) — downstream stages reuse it instead of re-aggregating.
+    last_ctx: Option<ApsContext>,
 }
 
 impl<'m> MonitorSession<'m> {
@@ -254,6 +265,7 @@ impl<'m> MonitorSession<'m> {
             stream: WindowStream::new(cfg, normalizer),
             scratch: NetScratch::for_model(&monitor.model),
             xrow: Matrix::zeros(1, dim),
+            last_ctx: None,
         }
     }
 
@@ -275,11 +287,20 @@ impl<'m> MonitorSession<'m> {
 
     /// Feeds one record; returns a verdict once the window is full.
     pub fn step(&mut self, rec: &StepRecord) -> Option<Verdict> {
+        self.step_timed(rec).map(|(v, _)| v)
+    }
+
+    /// [`step`](Self::step), also returning the instant the compute
+    /// measurement ended — downstream stages time themselves against it
+    /// instead of paying an extra clock read per step.
+    pub fn step_timed(&mut self, rec: &StepRecord) -> Option<(Verdict, Instant)> {
         let t0 = Instant::now();
         let end = self.stream.push(rec)?;
         let (label, proba) = match (&self.monitor.model, &mut self.scratch) {
             (MonitorModel::Rule(m), NetScratch::Rule) => {
-                let label = m.predict(&self.stream.context());
+                let ctx = self.stream.context();
+                let label = m.predict(&ctx);
+                self.last_ctx = Some(ctx);
                 (label, label as f64)
             }
             (MonitorModel::Mlp(net), NetScratch::Mlp(s)) => {
@@ -294,17 +315,32 @@ impl<'m> MonitorSession<'m> {
             }
             _ => unreachable!("scratch kind matches model kind by construction"),
         };
-        Some(Verdict {
-            step: end,
-            label,
-            proba,
-            latency: t0.elapsed(),
-        })
+        let ended = Instant::now();
+        let attribution = LatencyAttribution::compute_only(ended - t0);
+        Some((
+            Verdict {
+                step: end,
+                label,
+                proba,
+                latency: attribution.total(),
+                action: Action::None,
+                attribution,
+            },
+            ended,
+        ))
+    }
+
+    /// The rule context the latest step classified with, if this session
+    /// wraps a rule monitor. Bit-identical to re-aggregating
+    /// `window().context()` at the same step — it *is* that value, cached.
+    pub fn last_rule_context(&self) -> Option<ApsContext> {
+        self.last_ctx
     }
 
     /// Resets the featurizer state, keeping the monitor and warm scratch.
     pub fn reset(&mut self) {
         self.stream.reset();
+        self.last_ctx = None;
     }
 }
 
@@ -328,9 +364,12 @@ pub struct SessionPool<'m> {
     streams: Vec<WindowStream>,
     batch: Matrix,
     ready: Vec<usize>,
-    /// Push timestamp per session whose window became ready and has not
+    /// Queue entry per session whose window became ready and has not
     /// been drained yet.
-    pending: Vec<Option<Instant>>,
+    pending: Vec<Option<PendingTick>>,
+    guards: Option<GuardBank>,
+    fallback: Option<RuleMonitor>,
+    mitigator: Option<Mitigator>,
 }
 
 impl<'m> SessionPool<'m> {
@@ -347,7 +386,27 @@ impl<'m> SessionPool<'m> {
             batch: Matrix::zeros(0, 0),
             ready: Vec::with_capacity(n),
             pending: vec![None; n],
+            guards: None,
+            fallback: None,
+            mitigator: None,
         }
+    }
+
+    /// Arms per-session input guards with a shared policy and a rule
+    /// fallback for slots that degrade to [`HealthState::Fallback`] —
+    /// the pooled form of the pipeline's guard stage.
+    pub fn with_guards(mut self, policy: GuardPolicy, fallback: RuleMonitor) -> Self {
+        self.guards = Some(GuardBank::new(policy, self.streams.len()));
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Arms the mitigation stage: every drained verdict carries the
+    /// [`Action`] the mitigator derives for it. Classification is
+    /// untouched, so armed pools stay bit-identical to unarmed ones.
+    pub fn with_mitigator(mut self, mitigator: Mitigator) -> Self {
+        self.mitigator = Some(mitigator);
+        self
     }
 
     /// Creates `n` sessions using the featurization the monitor was trained
@@ -382,22 +441,90 @@ impl<'m> SessionPool<'m> {
     ///
     /// Panics if `i` is out of range.
     pub fn push(&mut self, i: usize, rec: &StepRecord) -> bool {
-        let ready = self.streams[i].push(rec).is_some();
+        let at = Instant::now();
+        let (ready, health, imputed) = match &mut self.guards {
+            Some(bank) => {
+                let (clean, status) = bank.sanitize(i, rec);
+                (
+                    self.streams[i].push(&clean).is_some(),
+                    status.health,
+                    status.any_imputed(),
+                )
+            }
+            None => (
+                self.streams[i].push(rec).is_some(),
+                HealthState::Healthy,
+                false,
+            ),
+        };
         if ready {
-            self.pending[i] = Some(Instant::now());
+            self.pending[i] = Some(PendingTick {
+                at,
+                health,
+                imputed,
+            });
         }
         ready
     }
 
+    /// The shared tail of the per-slot stage graph: fallback override,
+    /// mitigation, latency attribution. Free-standing so the drain loops
+    /// can call it while `self.ready` is borrowed.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_slot(
+        stream: &WindowStream,
+        fallback: Option<&RuleMonitor>,
+        mitigator: Option<&Mitigator>,
+        tick: PendingTick,
+        mut label: usize,
+        mut proba: f64,
+        queue: Duration,
+        compute: Duration,
+    ) -> GuardedVerdict {
+        if tick.health == HealthState::Fallback {
+            let rules = fallback.expect("fallback rules exist when guards are armed");
+            label = rules.predict(&stream.context());
+            proba = label as f64;
+        }
+        let (action, mitigation) = match mitigator {
+            // Alarm-free slots skip the stage (decide is the identity
+            // there), clock reads included.
+            Some(m) if label == 1 => {
+                let m0 = Instant::now();
+                let action = m.decide(label, proba, || stream.context());
+                (action, m0.elapsed())
+            }
+            _ => (Action::None, Duration::ZERO),
+        };
+        let attribution = LatencyAttribution {
+            queue,
+            compute,
+            mitigation,
+        };
+        GuardedVerdict {
+            verdict: Verdict {
+                step: stream.steps_seen() - 1,
+                label,
+                proba,
+                latency: attribution.total(),
+                action,
+                attribution,
+            },
+            health: tick.health,
+            imputed: tick.imputed,
+        }
+    }
+
     /// Classifies every session whose window completed since the last
-    /// drain, all in one batched forward pass. Returns one entry per
-    /// session: `None` if nothing was queued for it.
+    /// drain, all in one batched forward pass, and runs the per-slot
+    /// fallback/mitigation tail. Returns one entry per session: `None` if
+    /// nothing was queued for it.
     ///
     /// Each verdict's latency is attributed per session: its queue wait
-    /// (push to classify start) plus `batch time / ready rows` — not the
-    /// whole pool step, so pooled latencies are comparable to
-    /// [`MonitorSession::step`] ones.
-    pub fn drain_ready(&mut self) -> Vec<Option<Verdict>> {
+    /// (push to classify start) plus `batch time / ready rows` plus its
+    /// own mitigation time — not the whole pool step, so pooled latencies
+    /// are comparable to [`MonitorSession::step`] ones.
+    pub fn drain_ready_guarded(&mut self) -> Vec<Option<GuardedVerdict>> {
         self.ready.clear();
         for (i, p) in self.pending.iter().enumerate() {
             if p.is_some() {
@@ -411,16 +538,21 @@ impl<'m> SessionPool<'m> {
         match &self.monitor.model {
             MonitorModel::Rule(m) => {
                 for &i in &self.ready {
-                    let pushed = self.pending[i].take().expect("queued");
+                    let tick = self.pending[i].take().expect("queued");
                     let stream = &self.streams[i];
                     let t0 = Instant::now();
                     let label = m.predict(&stream.context());
-                    out[i] = Some(Verdict {
-                        step: stream.steps_seen() - 1,
+                    let compute = t0.elapsed();
+                    out[i] = Some(Self::finish_slot(
+                        stream,
+                        self.fallback.as_ref(),
+                        self.mitigator.as_ref(),
+                        tick,
                         label,
-                        proba: label as f64,
-                        latency: (t0 - pushed) + t0.elapsed(),
-                    });
+                        label as f64,
+                        t0 - tick.at,
+                        compute,
+                    ));
                 }
             }
             MonitorModel::Mlp(_) | MonitorModel::Lstm(_) => {
@@ -440,17 +572,50 @@ impl<'m> SessionPool<'m> {
                 let labels = probs.argmax_rows();
                 let share = t0.elapsed() / self.ready.len() as u32;
                 for (r, &i) in self.ready.iter().enumerate() {
-                    let pushed = self.pending[i].take().expect("queued");
-                    out[i] = Some(Verdict {
-                        step: self.streams[i].steps_seen() - 1,
-                        label: labels[r],
-                        proba: probs.get(r, 1),
-                        latency: (t0 - pushed) + share,
-                    });
+                    let tick = self.pending[i].take().expect("queued");
+                    out[i] = Some(Self::finish_slot(
+                        &self.streams[i],
+                        self.fallback.as_ref(),
+                        self.mitigator.as_ref(),
+                        tick,
+                        labels[r],
+                        probs.get(r, 1),
+                        t0 - tick.at,
+                        share,
+                    ));
                 }
             }
         }
         out
+    }
+
+    /// [`drain_ready_guarded`](Self::drain_ready_guarded) stripped to the
+    /// bare verdicts — the historical pool interface.
+    pub fn drain_ready(&mut self) -> Vec<Option<Verdict>> {
+        self.drain_ready_guarded()
+            .into_iter()
+            .map(|o| o.map(|g| g.verdict))
+            .collect()
+    }
+
+    /// Resets one session end to end: featurizer, guard slot, and any
+    /// queued record. Unlike `sessions_mut()[i].reset()`, this cannot
+    /// leave a stale pending tick (which the next drain would classify
+    /// against the reset stream) or carry the old trace's staleness
+    /// budget into the next one.
+    pub fn reset_session(&mut self, i: usize) {
+        self.streams[i].reset();
+        self.pending[i] = None;
+        if let Some(bank) = &mut self.guards {
+            bank.reset(i);
+        }
+    }
+
+    /// Resets every session (a whole-fleet trace boundary).
+    pub fn reset_all(&mut self) {
+        for i in 0..self.streams.len() {
+            self.reset_session(i);
+        }
     }
 
     /// Advances every session by one record (`records[i]` feeds session
@@ -482,7 +647,7 @@ pub struct GuardedVerdict {
     pub imputed: bool,
 }
 
-/// A [`MonitorSession`] behind an [`InputGuard`]: the deployment form for
+/// A [`MonitorSession`] behind an [`InputGuard`](crate::guard::InputGuard): the deployment form for
 /// unreliable inputs.
 ///
 /// Every record is sanitized first (invalid samples imputed within the
@@ -497,9 +662,7 @@ pub struct GuardedVerdict {
 /// (property-tested in the workspace `faults` suite).
 #[derive(Debug, Clone)]
 pub struct GuardedSession<'m> {
-    session: MonitorSession<'m>,
-    fallback: RuleMonitor,
-    guard: InputGuard,
+    pipeline: PipelineSession<'m>,
 }
 
 impl<'m> GuardedSession<'m> {
@@ -513,9 +676,8 @@ impl<'m> GuardedSession<'m> {
         policy: GuardPolicy,
     ) -> Self {
         Self {
-            session: MonitorSession::new(monitor, cfg, normalizer),
-            fallback,
-            guard: InputGuard::new(policy),
+            pipeline: PipelineSession::new(MonitorSession::new(monitor, cfg, normalizer))
+                .with_guard(policy, fallback),
         }
     }
 
@@ -535,38 +697,38 @@ impl<'m> GuardedSession<'m> {
         )
     }
 
+    /// Arms the mitigation stage (see [`Mitigator`]); verdicts then carry
+    /// corrective [`Action`]s.
+    pub fn with_mitigator(mut self, mitigator: Mitigator) -> Self {
+        self.pipeline = self.pipeline.with_mitigator(mitigator);
+        self
+    }
+
     /// Current guard health (as of the last step).
     pub fn health(&self) -> HealthState {
-        self.guard.health()
+        self.pipeline.health()
     }
 
     /// The wrapped session (e.g. for window inspection).
     pub fn session(&self) -> &MonitorSession<'m> {
-        &self.session
+        self.pipeline.core()
+    }
+
+    /// The underlying stage pipeline.
+    pub fn pipeline(&self) -> &PipelineSession<'m> {
+        &self.pipeline
     }
 
     /// Sanitizes and feeds one record; returns a verdict once the window
     /// is full.
     pub fn step(&mut self, rec: &StepRecord) -> Option<GuardedVerdict> {
-        let (clean, status) = self.guard.sanitize(rec);
-        let mut verdict = self.session.step(&clean)?;
-        if status.health == HealthState::Fallback {
-            let label = self.fallback.predict(&self.session.window().context());
-            verdict.label = label;
-            verdict.proba = label as f64;
-        }
-        Some(GuardedVerdict {
-            verdict,
-            health: status.health,
-            imputed: status.any_imputed(),
-        })
+        self.pipeline.step(rec)
     }
 
     /// Resets featurizer and guard state (the monitor and scratch stay
     /// warm).
     pub fn reset(&mut self) {
-        self.session.reset();
-        self.guard.reset();
+        self.pipeline.reset();
     }
 }
 
@@ -776,11 +938,14 @@ impl<'m> LstmStreamSession<'m> {
         let step = self.stream.push(rec);
         self.x.row_mut(0).copy_from_slice(self.stream.features());
         let probs = self.engine.step(&self.x, &mut self.state);
+        let attribution = LatencyAttribution::compute_only(t0.elapsed());
         Verdict {
             step,
             label: argmax_row(probs.row(0)),
             proba: probs.get(0, 1),
-            latency: t0.elapsed(),
+            latency: attribution.total(),
+            action: Action::None,
+            attribution,
         }
     }
 
@@ -824,7 +989,7 @@ struct PoolArena {
 ///
 /// With [`with_guards`](Self::with_guards) the pool becomes the guarded
 /// deployment form: each slot's records are sanitized by its own
-/// [`InputGuard`], and while a slot is in [`HealthState::Fallback`] its
+/// [`InputGuard`](crate::guard::InputGuard), and while a slot is in [`HealthState::Fallback`] its
 /// emitted verdict comes from the knowledge-only rule monitor evaluated on
 /// the imputed context (the recurrent state still advances on imputed
 /// inputs, so recovery is seamless).
@@ -836,6 +1001,7 @@ pub struct LstmSessionPool<'m> {
     pending: Vec<Option<PendingTick>>,
     guards: Option<GuardBank>,
     fallback: Option<RuleMonitor>,
+    mitigator: Option<Mitigator>,
 }
 
 impl<'m> LstmSessionPool<'m> {
@@ -859,6 +1025,7 @@ impl<'m> LstmSessionPool<'m> {
             pending: vec![None; n],
             guards: None,
             fallback: None,
+            mitigator: None,
         }
     }
 
@@ -873,6 +1040,14 @@ impl<'m> LstmSessionPool<'m> {
     pub fn with_guards(mut self, policy: GuardPolicy, fallback: RuleMonitor) -> Self {
         self.guards = Some(GuardBank::new(policy, self.streams.len()));
         self.fallback = Some(fallback);
+        self
+    }
+
+    /// Arms the mitigation stage: every drained verdict carries the
+    /// [`Action`] the mitigator derives for it. Classification is
+    /// untouched, so armed pools stay bit-identical to unarmed ones.
+    pub fn with_mitigator(mut self, mitigator: Mitigator) -> Self {
+        self.mitigator = Some(mitigator);
         self
     }
 
@@ -979,12 +1154,29 @@ impl<'m> LstmSessionPool<'m> {
                 label = rules.predict(&self.streams[i].context());
                 proba = label as f64;
             }
+            let (action, mitigation) = match &self.mitigator {
+                // Alarm-free slots skip the stage (decide is the identity
+                // there), clock reads included.
+                Some(m) if label == 1 => {
+                    let m0 = Instant::now();
+                    let action = m.decide(label, proba, || self.streams[i].context());
+                    (action, m0.elapsed())
+                }
+                _ => (Action::None, Duration::ZERO),
+            };
+            let attribution = LatencyAttribution {
+                queue: t0 - tick.at,
+                compute: share,
+                mitigation,
+            };
             out[i] = Some(GuardedVerdict {
                 verdict: Verdict {
                     step: self.streams[i].steps_seen() - 1,
                     label,
                     proba,
-                    latency: (t0 - tick.at) + share,
+                    latency: attribution.total(),
+                    action,
+                    attribution,
                 },
                 health: tick.health,
                 imputed: tick.imputed,
@@ -1018,6 +1210,13 @@ impl<'m> LstmSessionPool<'m> {
         self.pending[i] = None;
         if let Some(bank) = &mut self.guards {
             bank.reset(i);
+        }
+    }
+
+    /// Resets every session (a whole-fleet trace boundary).
+    pub fn reset_all(&mut self) {
+        for i in 0..self.streams.len() {
+            self.reset_session(i);
         }
     }
 }
@@ -1491,6 +1690,125 @@ mod tests {
             }
         }
         assert!(checked, "pool never became ready");
+    }
+
+    #[test]
+    fn solo_pipeline_attribution_sums_to_latency() {
+        let (traces, ds) = dataset();
+        let monitor = MonitorKind::Mlp
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
+        let mut session = PipelineSession::new(MonitorSession::for_dataset(&monitor, &ds))
+            .with_guard(crate::guard::GuardPolicy::aps(), RuleMonitor::new(ds.rules))
+            .with_mitigator(Mitigator::aps());
+        assert_eq!(
+            session.stage_names(),
+            ["guard", "featurize", "monitor", "mitigate"]
+        );
+        let mut checked = 0;
+        for rec in traces[0].records() {
+            if let Some(v) = session.step(rec) {
+                assert_eq!(v.verdict.latency, v.verdict.attribution.total());
+                assert_eq!(v.verdict.attribution.queue, Duration::ZERO, "solo session");
+                assert!(v.verdict.attribution.compute > Duration::ZERO);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn mitigated_pool_attribution_sums_to_latency() {
+        let (traces, ds) = dataset();
+        let monitor = MonitorKind::Mlp
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
+        let n = traces.len();
+        let mut pool = SessionPool::for_dataset(&monitor, &ds, n).with_mitigator(Mitigator::aps());
+        let steps = traces.iter().map(|t| t.len()).min().unwrap();
+        let mut checked = 0;
+        for t in 0..steps {
+            let records: Vec<StepRecord> = traces.iter().map(|tr| tr.records()[t]).collect();
+            for (i, rec) in records.iter().enumerate() {
+                pool.push(i, rec);
+            }
+            for v in pool.drain_ready_guarded().into_iter().flatten() {
+                let a = v.verdict.attribution;
+                assert_eq!(v.verdict.latency, a.total(), "queue+batch share+mitigation");
+                assert!(a.compute > Duration::ZERO);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn mitigated_lstm_pool_attribution_sums_to_latency() {
+        let (traces, ds) = dataset();
+        let monitor = lstm_net(&ds);
+        let net = net_of(&monitor);
+        let mut pool = LstmSessionPool::for_dataset(LstmEngine::F64(net), &ds, 2)
+            .with_mitigator(Mitigator::aps());
+        for rec in traces[0].records().iter().take(16) {
+            for v in pool.step(&[*rec, *rec]).into_iter().flatten() {
+                assert_eq!(v.verdict.latency, v.verdict.attribution.total());
+            }
+        }
+    }
+
+    #[test]
+    fn mitigator_never_alters_classification() {
+        // Armed vs. unarmed pools over the same records: label and proba
+        // bit-identical; only the action annotation differs.
+        let (traces, ds) = dataset();
+        let monitor = MonitorKind::Mlp
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
+        let n = traces.len();
+        let mut plain = SessionPool::for_dataset(&monitor, &ds, n);
+        let mut armed = SessionPool::for_dataset(&monitor, &ds, n).with_mitigator(Mitigator::aps());
+        let steps = traces.iter().map(|t| t.len()).min().unwrap();
+        for t in 0..steps {
+            let records: Vec<StepRecord> = traces.iter().map(|tr| tr.records()[t]).collect();
+            let a = plain.step(&records);
+            let b = armed.step(&records);
+            for i in 0..n {
+                match (a[i], b[i]) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.label, y.label, "session {i} step {t}");
+                        assert_eq!(x.proba.to_bits(), y.proba.to_bits());
+                    }
+                    (None, None) => {}
+                    other => panic!("readiness mismatch: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_pool_reset_session_clears_pending_and_guard() {
+        // Regression (see DESIGN.md §14): resetting a slot through
+        // `sessions_mut()[i].reset()` used to leave the queued tick — and,
+        // with guards armed, the old trace's staleness budget — behind.
+        let (traces, ds) = dataset();
+        let monitor = MonitorKind::RuleBased
+            .train(&ds, &TrainConfig::quick_test())
+            .unwrap();
+        let mut pool = SessionPool::for_dataset(&monitor, &ds, 1)
+            .with_guards(crate::guard::GuardPolicy::aps(), RuleMonitor::new(ds.rules));
+        // Push past the window so a pending tick is queued, then reset
+        // without draining: the stale tick must not survive.
+        for rec in traces[0].records().iter().take(ds.feature_config.window) {
+            pool.push(0, rec);
+        }
+        pool.reset_session(0);
+        assert!(pool.drain_ready()[0].is_none(), "stale pending tick leaked");
+        for (k, rec) in traces[0].records().iter().take(8).enumerate() {
+            let out = pool.step(std::slice::from_ref(rec));
+            if let Some(v) = out[0] {
+                assert_eq!(v.step, k, "step numbering restarts after reset");
+            }
+        }
     }
 
     #[test]

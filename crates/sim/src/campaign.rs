@@ -6,7 +6,7 @@
 //! (Glucosym + OpenAPS, T1DS2013 + Basal-Bolus).
 
 use crate::basal_bolus::BasalBolusController;
-use crate::engine::ClosedLoop;
+use crate::engine::{ClosedLoop, StepObserver};
 use crate::faults::PumpFault;
 use crate::glucosym::GlucosymPatient;
 use crate::meal::MealSchedule;
@@ -149,6 +149,93 @@ impl CampaignConfig {
         crate::cohort::CohortEngine::from_campaign(self).run()
     }
 
+    /// Reassembles one campaign member in isolation: the exact patient,
+    /// pump (with any drawn fault), CGM stream, and meal schedule that
+    /// [`run`](Self::run) gives run `run` of patient `pid` — so a single
+    /// member can be re-simulated under an observer (e.g. a mitigating
+    /// monitor) and, with a no-op observer, reproduce the campaign trace
+    /// bit for bit.
+    ///
+    /// The campaign root RNG is advanced through every earlier member's
+    /// fork in campaign order, because forking mutates the root stream;
+    /// this mirrors the loop structure of [`run`](Self::run) exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid >= patients` or `run >= runs_per_patient`.
+    pub fn member(&self, pid: usize, run: usize) -> MemberLoop {
+        assert!(pid < self.patients, "pid {pid} out of range");
+        assert!(run < self.runs_per_patient, "run {run} out of range");
+        let mut root = SmallRng::new(self.seed ^ CAMPAIGN_SALT);
+        let mut rng = None;
+        'replay: for p in 0..self.patients {
+            for r in 0..self.runs_per_patient {
+                let forked = root.fork((p * 10_007 + r) as u64);
+                if p == pid && r == run {
+                    rng = Some(forked);
+                    break 'replay;
+                }
+            }
+        }
+        let mut rng = rng.expect("member indices validated above");
+        let meals = MealSchedule::generate(self.steps, &mut rng);
+        let cgm = Cgm::typical(rng.fork(1));
+        let glucosym_proto = match self.kind {
+            SimulatorKind::Glucosym => Some(GlucosymPatient::from_profile(pid, self.seed)),
+            SimulatorKind::T1ds2013 => None,
+        };
+        let t1ds_proto = match self.kind {
+            SimulatorKind::Glucosym => None,
+            SimulatorKind::T1ds2013 => Some(T1dsPatient::calibrated(pid, self.seed)),
+        };
+        let basal = match self.kind {
+            SimulatorKind::Glucosym => {
+                glucosym_proto
+                    .as_ref()
+                    .expect("proto built above")
+                    .therapy()
+                    .basal_rate
+            }
+            SimulatorKind::T1ds2013 => {
+                t1ds_proto
+                    .as_ref()
+                    .expect("proto built above")
+                    .therapy()
+                    .basal_rate
+            }
+        };
+        let fault = rng
+            .bernoulli(self.fault_ratio)
+            .then(|| PumpFault::sample(self.steps, basal, &mut rng));
+        let pump = match fault {
+            Some(f) => InsulinPump::with_fault(f),
+            None => InsulinPump::healthy(),
+        };
+        let inner = match self.kind {
+            SimulatorKind::Glucosym => MemberLoopInner::Glucosym(Box::new(ClosedLoop::new(
+                glucosym_proto.expect("proto built above"),
+                OpenApsController::new(),
+                pump,
+                cgm,
+                meals,
+            ))),
+            SimulatorKind::T1ds2013 => MemberLoopInner::T1ds(Box::new(ClosedLoop::new(
+                t1ds_proto.expect("proto built above"),
+                BasalBolusController::new(),
+                pump,
+                cgm,
+                meals,
+            ))),
+        };
+        MemberLoop {
+            inner,
+            steps: self.steps,
+            label: self.kind.label(),
+            pid,
+            run,
+        }
+    }
+
     /// Executes the campaign, returning one trace per run.
     pub fn run(&self) -> Vec<SimTrace> {
         let mut traces = Vec::with_capacity(self.total_runs());
@@ -210,6 +297,52 @@ impl CampaignConfig {
     }
 }
 
+/// The simulator-specific closed loop inside a [`MemberLoop`].
+enum MemberLoopInner {
+    Glucosym(Box<ClosedLoop<GlucosymPatient, OpenApsController>>),
+    T1ds(Box<ClosedLoop<T1dsPatient, BasalBolusController>>),
+}
+
+/// One campaign member ready to run, produced by
+/// [`CampaignConfig::member`]. Running it with a no-op observer reproduces
+/// the corresponding [`CampaignConfig::run`] trace bit for bit; running it
+/// with a mitigating observer is how an alarm gets to change the simulated
+/// patient's future.
+pub struct MemberLoop {
+    inner: MemberLoopInner,
+    steps: usize,
+    label: &'static str,
+    pid: usize,
+    run: usize,
+}
+
+impl MemberLoop {
+    /// Steps this member's run covers.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Runs the member to completion without an observer.
+    pub fn run(self) -> SimTrace {
+        let mut noop = |_: usize, _: &crate::trace::StepRecord| {};
+        self.run_observed(&mut noop)
+    }
+
+    /// Runs the member with a monitor-in-the-loop observer (see
+    /// [`crate::engine::StepObserver`]); mitigation commands the observer
+    /// returns are applied to the pump on the next control step.
+    pub fn run_observed(self, observer: &mut dyn StepObserver) -> SimTrace {
+        match self.inner {
+            MemberLoopInner::Glucosym(cl) => {
+                cl.run_observed(self.steps, self.label, self.pid, self.run, observer)
+            }
+            MemberLoopInner::T1ds(cl) => {
+                cl.run_observed(self.steps, self.label, self.pid, self.run, observer)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +396,25 @@ mod tests {
                 .run()
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn member_loops_reproduce_campaign_traces() {
+        for kind in SimulatorKind::ALL {
+            let cfg = CampaignConfig::new(kind)
+                .patients(2)
+                .runs_per_patient(3)
+                .steps(36)
+                .fault_ratio(0.5)
+                .seed(9);
+            let traces = cfg.run();
+            for pid in 0..2 {
+                for run in 0..3 {
+                    let solo = cfg.member(pid, run).run();
+                    assert_eq!(solo, traces[pid * 3 + run], "{kind} pid {pid} run {run}");
+                }
+            }
+        }
     }
 
     #[test]

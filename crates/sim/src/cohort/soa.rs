@@ -34,6 +34,48 @@ pub(crate) const DT: f64 = STEP_MINUTES / SUBSTEPS as f64;
 #[cfg(target_arch = "x86_64")]
 const TILE_LANES: usize = 64;
 
+/// Lanes per parallel work chunk when the cohort is large enough to fan
+/// integration out across `cpsmon_nn::par` workers. A multiple of both
+/// vector widths (4 and 8) and of [`TILE_LANES`], so chunk boundaries fall
+/// exactly where the serial tile walk would already split: every lane sees
+/// the same vector-vs-scalar-tail partition and the same op sequence as
+/// the single-threaded sweep, which is what keeps parallel integration
+/// bit-identical for any `CPSMON_THREADS`.
+const PAR_BLOCK: usize = 256;
+
+/// Shares a raw SoA pointer with `par` workers. Sound only because
+/// [`run_chunks`](cpsmon_nn::par::run_chunks) hands every worker a
+/// *disjoint* lane range and `integrate_range` touches nothing outside its
+/// range (the kernels in [`super::kernels`] load/store lanes
+/// `j..j + lanes` exclusively).
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// The wrapped pointer. A method (not field access) so closures
+    /// capture the `Sync` wrapper, not the bare `*mut T`.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Fans `integrate_range` out over [`PAR_BLOCK`]-lane chunks. Inlined to a
+/// plain serial call by `run_chunks` when only one worker (or one chunk)
+/// is available, so small cohorts pay no thread overhead.
+fn integrate_chunked<S: Send + Sync>(
+    soa: &mut S,
+    n: usize,
+    range: impl Fn(&mut S, usize, usize) + Sync,
+) {
+    let ptr = SyncPtr(soa as *mut S);
+    cpsmon_nn::par::run_chunks(n, PAR_BLOCK, |r| {
+        // SAFETY: chunks partition 0..n into disjoint lane ranges and
+        // `range` only reads/writes lanes inside r (see SyncPtr).
+        let soa = unsafe { &mut *ptr.get() };
+        range(soa, r.start, r.end);
+    });
+}
+
 /// SoA state of a Glucosym (extended Bergman minimal model) cohort.
 ///
 /// Column order groups the hot dynamic state first; `neg_*` columns hold
@@ -126,6 +168,25 @@ impl GlucosymSoa {
     /// Advances every lane through one whole control step (all
     /// [`SUBSTEPS`] Euler substeps), via the selected backend.
     ///
+    /// Cohorts above [`PAR_BLOCK`] lanes fan the lane range out across
+    /// `cpsmon_nn::par` workers in fixed [`PAR_BLOCK`] chunks. The chunk
+    /// grid is independent of the worker count and chunk boundaries are
+    /// multiples of both vector widths, so every lane's op sequence — and
+    /// therefore the whole cohort's state — is bit-identical for any
+    /// `CPSMON_THREADS` (and to the serial sweep).
+    pub(crate) fn integrate(&mut self, backend: Backend) {
+        let n = self.len();
+        if n <= PAR_BLOCK {
+            self.integrate_range(backend, 0, n);
+        } else {
+            integrate_chunked(self, n, |s, lo, hi| s.integrate_range(backend, lo, hi));
+        }
+    }
+
+    /// [`integrate`](Self::integrate) restricted to lanes `lo..hi`
+    /// (`lo` must be a multiple of the vector widths; chunk boundaries
+    /// are).
+    ///
     /// Vector lanes are walked in L1-resident tiles of [`TILE_LANES`]:
     /// within a tile the substep loop is outermost, so each substep
     /// sweeps several independent vector blocks back to back — their
@@ -133,13 +194,14 @@ impl GlucosymSoa {
     /// column the tile touches stays in L1 between substeps and streams
     /// from L2 only once per step. Patients are independent, so the
     /// loop-nest order leaves each lane's op sequence unchanged.
-    pub(crate) fn integrate(&mut self, backend: Backend) {
-        let n = self.len();
-        let mut j = 0;
+    fn integrate_range(&mut self, backend: Backend, lo: usize, hi: usize) {
+        let mut j = lo;
         #[cfg(target_arch = "x86_64")]
         match backend {
             Backend::Avx512 => {
-                let full = n / 8 * 8;
+                // With `lo` a multiple of 8, this is exactly the serial
+                // sweep's `n / 8 * 8` boundary restricted to the range.
+                let full = lo + (hi - lo) / 8 * 8;
                 while j < full {
                     let lanes = (full - j).min(TILE_LANES);
                     // SAFETY: Avx512 is only selected when avx512f is
@@ -150,7 +212,7 @@ impl GlucosymSoa {
                 }
             }
             Backend::Avx2Fma => {
-                let full = n / 4 * 4;
+                let full = lo + (hi - lo) / 4 * 4;
                 while j < full {
                     let lanes = (full - j).min(TILE_LANES);
                     // SAFETY: as above, for avx2; `lanes` is a multiple
@@ -162,7 +224,7 @@ impl GlucosymSoa {
             Backend::Scalar | Backend::Neon => {}
         }
         let _ = backend;
-        self.integrate_scalar(j, n);
+        self.integrate_scalar(j, hi);
     }
 
     /// Batched scalar whole-step kernel for lanes `lo..hi`; the
@@ -353,15 +415,27 @@ impl T1dsSoa {
 
     /// Advances every lane through one whole control step (all
     /// [`SUBSTEPS`] Euler substeps), via the selected backend. See
-    /// [`GlucosymSoa::integrate`] for the tile rationale and why the
-    /// loop-nest order is bit-transparent.
+    /// [`GlucosymSoa::integrate`] for the chunking/tile rationale and why
+    /// both the loop-nest order and the parallel fan-out are
+    /// bit-transparent.
     pub(crate) fn integrate(&mut self, backend: Backend) {
         let n = self.len();
-        let mut j = 0;
+        if n <= PAR_BLOCK {
+            self.integrate_range(backend, 0, n);
+        } else {
+            integrate_chunked(self, n, |s, lo, hi| s.integrate_range(backend, lo, hi));
+        }
+    }
+
+    /// [`integrate`](Self::integrate) restricted to lanes `lo..hi`
+    /// (`lo` must be a multiple of the vector widths; chunk boundaries
+    /// are).
+    fn integrate_range(&mut self, backend: Backend, lo: usize, hi: usize) {
+        let mut j = lo;
         #[cfg(target_arch = "x86_64")]
         match backend {
             Backend::Avx512 => {
-                let full = n / 8 * 8;
+                let full = lo + (hi - lo) / 8 * 8;
                 while j < full {
                     let lanes = (full - j).min(TILE_LANES);
                     // SAFETY: Avx512 is only selected when avx512f is
@@ -372,7 +446,7 @@ impl T1dsSoa {
                 }
             }
             Backend::Avx2Fma => {
-                let full = n / 4 * 4;
+                let full = lo + (hi - lo) / 4 * 4;
                 while j < full {
                     let lanes = (full - j).min(TILE_LANES);
                     // SAFETY: as above, for avx2; `lanes` is a multiple
@@ -384,7 +458,7 @@ impl T1dsSoa {
             Backend::Scalar | Backend::Neon => {}
         }
         let _ = backend;
-        self.integrate_scalar(j, n);
+        self.integrate_scalar(j, hi);
     }
 
     /// Batched scalar whole-step kernel for lanes `lo..hi`; the substep

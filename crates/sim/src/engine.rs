@@ -8,7 +8,7 @@
 use crate::controller::{Controller, Observation};
 use crate::meal::MealSchedule;
 use crate::patient::{IobTracker, PatientModel, STEP_MINUTES, SUBSTEPS};
-use crate::pump::InsulinPump;
+use crate::pump::{InsulinPump, PumpCommand};
 use crate::sensor::Cgm;
 use crate::trace::{SimTrace, StepRecord};
 
@@ -28,6 +28,16 @@ pub trait StepObserver {
     /// Called once per step, after the record is produced and before the
     /// patient state advances. `step` is the 0-based step index.
     fn on_step(&mut self, step: usize, record: &StepRecord);
+
+    /// Polled by [`ClosedLoop::run_observed`] right after
+    /// [`on_step`](Self::on_step): a returned [`PumpCommand`] is applied to
+    /// the pump starting at the *next* control step — the mitigation path
+    /// from a monitor's alarm back into the loop. The default (and the
+    /// closure blanket impl) returns `None`, so purely-observing runs stay
+    /// bit-identical to unobserved ones.
+    fn mitigation(&mut self) -> Option<PumpCommand> {
+        None
+    }
 }
 
 impl<F: FnMut(usize, &StepRecord)> StepObserver for F {
@@ -131,6 +141,10 @@ impl<P: PatientModel, C: Controller> ClosedLoop<P, C> {
                 carbs,
             };
             observer.on_step(step, &record);
+            if let Some(cmd) = observer.mitigation() {
+                self.pump
+                    .apply_mitigation(step + 1, cmd.steps, cmd.max_rate);
+            }
             self.patient.step(delivered, carbs);
             for _ in 0..SUBSTEPS {
                 pump_iob.advance_minute(delivered / 60.0 * (STEP_MINUTES / SUBSTEPS as f64));
@@ -256,6 +270,64 @@ mod tests {
         let a = loop_for(None, 7);
         let b = loop_for(None, 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mitigating_observer_changes_the_future() {
+        struct SuspendOnce {
+            at: usize,
+            last: usize,
+            fired: bool,
+        }
+        impl StepObserver for SuspendOnce {
+            fn on_step(&mut self, step: usize, _record: &StepRecord) {
+                self.last = step;
+            }
+            fn mitigation(&mut self) -> Option<PumpCommand> {
+                if !self.fired && self.last >= self.at {
+                    self.fired = true;
+                    Some(PumpCommand::suspend(40))
+                } else {
+                    None
+                }
+            }
+        }
+        let plain = loop_for(None, 3);
+        let patient = GlucosymPatient::from_profile(0, 42);
+        let controller = OpenApsController::new();
+        let mut rng = SmallRng::new(3);
+        let meals = MealSchedule::generate(144, &mut rng.fork(1));
+        let cgm = Cgm::typical(rng.fork(2));
+        let mut obs = SuspendOnce {
+            at: 30,
+            last: 0,
+            fired: false,
+        };
+        let mitigated = ClosedLoop::new(patient, controller, InsulinPump::healthy(), cgm, meals)
+            .run_observed(144, "glucosym", 0, 0, &mut obs);
+        // The command lands on the *next* control step: everything through
+        // step 30 is bit-identical, steps 31..71 deliver nothing.
+        for t in 0..=30 {
+            assert_eq!(mitigated.records()[t], plain.records()[t], "step {t}");
+        }
+        for t in 31..71 {
+            assert_eq!(mitigated.records()[t].delivered_rate, 0.0, "step {t}");
+        }
+        // Withholding insulin raises glucose relative to the plain run.
+        let max_m = mitigated
+            .bg_true()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let max_p = plain
+            .bg_true()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            max_m > max_p,
+            "suspension had no effect: {max_m} vs {max_p}"
+        );
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod sensor;
 pub mod t1ds;
 pub mod trace;
 
-pub use campaign::{CampaignConfig, SimulatorKind};
+pub use campaign::{CampaignConfig, MemberLoop, SimulatorKind};
 pub use cohort::{
     available_backends, Cohort, CohortEngine, CohortMember, CohortObserver, CohortPatient,
     FaultedCohortObserver,
@@ -76,5 +76,6 @@ pub use faults::{
 };
 pub use hazard::{HazardConfig, HazardEpisode};
 pub use patient::{PatientModel, TherapyProfile};
+pub use pump::{InsulinPump, PumpCommand};
 pub use sensor::{Cgm, CgmFault, CgmFaultKind};
 pub use trace::{SimTrace, StepRecord};

@@ -3,11 +3,42 @@
 
 use crate::faults::{PumpFault, PumpFaultKind};
 
+/// A corrective command a safety monitor issues to the pump: cap delivery
+/// at `max_rate` U/h for the next `steps` control steps. `max_rate == 0.0`
+/// is a full basal suspension. Commands take effect on the *next* control
+/// step (a monitor reacts to a record it has already seen), mirroring how
+/// a deployed mitigation path sits one cycle behind the sensor bus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PumpCommand {
+    /// Delivery ceiling while the command is active (U/h).
+    pub max_rate: f64,
+    /// How many control steps the ceiling stays in force.
+    pub steps: usize,
+}
+
+impl PumpCommand {
+    /// A full basal suspension for `steps` control steps.
+    pub fn suspend(steps: usize) -> Self {
+        Self {
+            max_rate: 0.0,
+            steps,
+        }
+    }
+
+    /// A delivery cap at `max_rate` U/h for `steps` control steps.
+    pub fn cap(max_rate: f64, steps: usize) -> Self {
+        Self { max_rate, steps }
+    }
+}
+
 /// An insulin pump with an optional fault plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InsulinPump {
     fault: Option<PumpFault>,
     stuck_rate: Option<f64>,
+    /// Active mitigation window: `(first_step, end_step, cap)` caps the
+    /// commanded rate at `cap` for steps in `first_step..end_step`.
+    mitigation: Option<(usize, usize, f64)>,
     /// Hardware ceiling on deliverable rate (U/h).
     pub max_rate: f64,
 }
@@ -17,6 +48,7 @@ impl Default for InsulinPump {
         Self {
             fault: None,
             stuck_rate: None,
+            mitigation: None,
             max_rate: 130.0,
         }
     }
@@ -41,6 +73,19 @@ impl InsulinPump {
         self.fault.as_ref()
     }
 
+    /// Arms a mitigation window: from `from_step` on, commanded rates are
+    /// capped at `max_rate` for `steps` control steps. A later command
+    /// replaces the current window (the monitor's most recent decision
+    /// wins), so repeated suspensions extend naturally.
+    pub fn apply_mitigation(&mut self, from_step: usize, steps: usize, max_rate: f64) {
+        self.mitigation = Some((from_step, from_step.saturating_add(steps), max_rate));
+    }
+
+    /// Whether a mitigation window caps delivery at `step`.
+    pub fn mitigation_active_at(&self, step: usize) -> bool {
+        matches!(self.mitigation, Some((from, end, _)) if (from..end).contains(&step))
+    }
+
     /// Computes the rate actually delivered at `step` for a commanded rate.
     ///
     /// The returned value is what both the patient receives and the safety
@@ -48,7 +93,18 @@ impl InsulinPump {
     /// monitor sees sensor data and the control commands as issued to the
     /// actuator — which is exactly where the corruption happens).
     pub fn deliver(&mut self, step: usize, commanded: f64) -> f64 {
-        let commanded = commanded.clamp(0.0, self.max_rate);
+        let mut commanded = commanded.clamp(0.0, self.max_rate);
+        // Safety mitigation caps the *commanded* rate: it models the
+        // controller-side override a monitor issues, so a faulty pump
+        // (e.g. Overdose, StuckRate) can still defeat it — mitigation is
+        // not allowed to silently repair broken hardware.
+        if let Some((from, end, cap)) = self.mitigation {
+            if step >= end {
+                self.mitigation = None;
+            } else if step >= from {
+                commanded = commanded.min(cap.max(0.0));
+            }
+        }
         let Some(fault) = self.fault else {
             return commanded;
         };
@@ -114,6 +170,45 @@ mod tests {
         };
         let mut p = InsulinPump::with_fault(f);
         assert_eq!(p.deliver(0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn mitigation_caps_then_expires() {
+        let mut p = InsulinPump::healthy();
+        p.apply_mitigation(3, 2, 0.5);
+        assert_eq!(p.deliver(2, 2.0), 2.0, "window not yet open");
+        assert!(p.mitigation_active_at(3));
+        assert_eq!(p.deliver(3, 2.0), 0.5);
+        assert_eq!(p.deliver(4, 0.2), 0.2, "cap is a ceiling, not a floor");
+        assert_eq!(p.deliver(5, 2.0), 2.0, "window expired");
+        assert!(!p.mitigation_active_at(5));
+    }
+
+    #[test]
+    fn mitigation_suspend_zeroes_but_cannot_fix_overdose() {
+        let f = PumpFault {
+            kind: PumpFaultKind::Overdose { rate: 3.0 },
+            start_step: 1,
+            duration_steps: 1,
+        };
+        let mut p = InsulinPump::with_fault(f);
+        p.apply_mitigation(0, 4, 0.0);
+        assert_eq!(p.deliver(0, 2.0), 0.0, "suspension zeroes a healthy step");
+        assert_eq!(
+            p.deliver(1, 2.0),
+            3.0,
+            "a faulty pump overrides the mitigation cap"
+        );
+        assert_eq!(p.deliver(2, 2.0), 0.0);
+    }
+
+    #[test]
+    fn later_mitigation_replaces_earlier() {
+        let mut p = InsulinPump::healthy();
+        p.apply_mitigation(0, 10, 0.0);
+        p.apply_mitigation(1, 1, 1.0);
+        assert_eq!(p.deliver(1, 2.0), 1.0);
+        assert_eq!(p.deliver(3, 2.0), 2.0, "replaced window is gone");
     }
 
     #[test]

@@ -230,6 +230,33 @@ proptest! {
         }
     }
 
+    /// Parallel lane-block integration is bit-transparent: a cohort large
+    /// enough to fan integration out across `par` workers (above the
+    /// 256-lane chunk size) produces bit-identical traces for any
+    /// `CPSMON_THREADS`, on every backend this machine can run.
+    #[test]
+    fn large_cohort_is_thread_invariant(seed in 0u64..100) {
+        use cpsmon_nn::par::ThreadsGuard;
+        let cohort = Cohort::sample(SimulatorKind::Glucosym, seed, 300);
+        for backend in available_backends() {
+            let reference = {
+                let _guard = ThreadsGuard::set(1);
+                cohort.engine(8, seed, 0.2).with_backend(backend).run()
+            };
+            for threads in [2usize, 5] {
+                let _guard = ThreadsGuard::set(threads);
+                let traces = cohort.engine(8, seed, 0.2).with_backend(backend).run();
+                prop_assert!(
+                    traces_bit_identical(&traces, &reference).is_ok(),
+                    "backend {} with {} threads diverged: {:?}",
+                    backend.label(),
+                    threads,
+                    traces_bit_identical(&traces, &reference)
+                );
+            }
+        }
+    }
+
     /// The latin-hypercube sampler is order-stable: member `j` of a size-n
     /// cohort has the same parameters regardless of when it is read, and
     /// resampling with the same seed reproduces it exactly.

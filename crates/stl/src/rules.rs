@@ -243,6 +243,16 @@ impl ApsRules {
         rule
     }
 
+    /// Hazard class a Table I rule id contributes to (see
+    /// [`SafetyRule::hazard`]; rules 6–8, 10, and 12 are the
+    /// too-much-insulin H1 contexts).
+    pub fn hazard_of(id: usize) -> HazardType {
+        match id {
+            6 | 7 | 8 | 10 | 12 => HazardType::H1,
+            _ => HazardType::H2,
+        }
+    }
+
     /// The 12 rules as STL formulas over the signals
     /// `bg`, `dbg`, `diob`, `u1`…`u4` (command signals are 0/1-valued).
     pub fn formulas(&self) -> Vec<SafetyRule> {
@@ -504,5 +514,8 @@ mod tests {
             .map(|r| r.id)
             .collect();
         assert_eq!(h1, vec![6, 7, 8, 10, 12]);
+        for r in &rules {
+            assert_eq!(ApsRules::hazard_of(r.id), r.hazard, "rule {}", r.id);
+        }
     }
 }

@@ -1,0 +1,124 @@
+//! Closed-loop hazard mitigation: alarms that change the patient's future.
+//!
+//! ```bash
+//! cargo run --release --example mitigation
+//! ```
+//!
+//! Every other deployment example in this repo observes a finished trace.
+//! This one closes the loop: a [`PipelineSession`] armed with a
+//! [`Mitigator`] rides inside the simulation via [`MitigatedObserver`],
+//! and when the monitor raises a hypoglycemia-side alarm the derived
+//! [`cpsmon::core::Action`] is applied to the insulin pump on the next
+//! control step (suspend basal, or cap the delivered rate).
+//!
+//! The demo builds a quick T1DS2013 campaign, trains the knowledge-only
+//! rule monitor (cheap and deterministic), then re-runs every campaign
+//! member mitigated and compares it against its own unmitigated baseline:
+//! hypoglycemic exposure (steps under 70 mg/dL), hazard episodes, actions
+//! issued, and where the two traces first diverge.
+//!
+//! Three things worth noticing in the output:
+//!
+//! - hypoglycemia driven by *commanded* insulin (Basal-Bolus boluses,
+//!   basal on a healthy or stuck pump) is avertable — several members go
+//!   from double-digit hypo steps to zero;
+//! - mitigation caps the **commanded** rate, so an Overdose pump fault is
+//!   not repaired during its window — what the suspensions buy there is
+//!   at most a shorter hypoglycemic tail;
+//! - members whose baseline never goes low still collect a few
+//!   precautionary actions — the false-stop cost the `mitigation_sweep`
+//!   experiment quantifies against the hazards averted.
+
+use cpsmon::core::guard::GuardPolicy;
+use cpsmon::core::{
+    DatasetBuilder, MitigatedObserver, Mitigator, MonitorKind, MonitorSession, PipelineSession,
+    TrainConfig,
+};
+use cpsmon::sim::{CampaignConfig, HazardConfig, SimTrace, SimulatorKind};
+use cpsmon::stl::RuleMonitor;
+
+/// Steps spent under the hypo threshold (ground-truth BG).
+fn hypo_steps(trace: &SimTrace, hc: &HazardConfig) -> usize {
+    trace
+        .records()
+        .iter()
+        .filter(|r| r.bg_true < hc.hypo)
+        .count()
+}
+
+/// Hypoglycemia episodes (H1 only).
+fn hypo_episodes(trace: &SimTrace, hc: &HazardConfig) -> usize {
+    hc.episodes(trace).iter().filter(|e| e.hypo).count()
+}
+
+/// First step where two traces disagree on ground-truth BG bits.
+fn first_divergence(a: &SimTrace, b: &SimTrace) -> Option<usize> {
+    a.records()
+        .iter()
+        .zip(b.records())
+        .position(|(x, y)| x.bg_true.to_bits() != y.bg_true.to_bits())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const PATIENTS: usize = 6;
+    const RUNS: usize = 3;
+    let cfg = CampaignConfig::new(SimulatorKind::T1ds2013)
+        .patients(PATIENTS)
+        .runs_per_patient(RUNS)
+        .steps(288)
+        .fault_ratio(0.5)
+        .seed(1);
+    println!("campaign: t1ds2013, {PATIENTS} patients x {RUNS} runs x 288 steps, seed 1\n");
+
+    let baselines = cfg.run();
+    let ds = DatasetBuilder::new().build(&baselines)?;
+    let monitor = MonitorKind::RuleBased.train(&ds, &TrainConfig::quick_test())?;
+    let hc = HazardConfig::default();
+
+    println!(
+        "{:<10} {:>5} {:>12} {:>12} {:>8} {:>8} {:>9}",
+        "member", "fault", "hypo steps", "episodes", "actions", "diverge", "averted"
+    );
+    let mut total_baseline = 0usize;
+    let mut total_mitigated = 0usize;
+    let mut total_actions = 0usize;
+    for pid in 0..PATIENTS {
+        for run in 0..RUNS {
+            let baseline = &baselines[pid * RUNS + run];
+            let mut session = PipelineSession::new(MonitorSession::for_dataset(&monitor, &ds))
+                .with_guard(GuardPolicy::aps(), RuleMonitor::new(ds.rules))
+                .with_mitigator(Mitigator::aps());
+            let mut observer = MitigatedObserver::new(&mut session, |_, r| *r);
+            let mitigated = cfg.member(pid, run).run_observed(&mut observer);
+            let actions = observer.actions().len();
+
+            let (b_steps, m_steps) = (hypo_steps(baseline, &hc), hypo_steps(&mitigated, &hc));
+            let (b_eps, m_eps) = (hypo_episodes(baseline, &hc), hypo_episodes(&mitigated, &hc));
+            let diverge = first_divergence(baseline, &mitigated);
+            total_baseline += b_steps;
+            total_mitigated += m_steps;
+            total_actions += actions;
+            println!(
+                "p{pid:<2}r{run:<6} {:>5} {:>5} -> {:>4} {:>5} -> {:>4} {:>8} {:>8} {:>9}",
+                if baseline.fault.is_some() {
+                    "yes"
+                } else {
+                    "no"
+                },
+                b_steps,
+                m_steps,
+                b_eps,
+                m_eps,
+                actions,
+                diverge.map_or("-".into(), |s| s.to_string()),
+                if b_steps > m_steps { "yes" } else { "" },
+            );
+        }
+    }
+    println!(
+        "\ntotal hypo steps: {total_baseline} baseline -> {total_mitigated} mitigated \
+         ({} averted), {total_actions} actions issued",
+        total_baseline.saturating_sub(total_mitigated)
+    );
+    Ok(())
+}

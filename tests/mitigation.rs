@@ -1,0 +1,263 @@
+//! Mitigation-pipeline property suite.
+//!
+//! Three contracts from the stage-pipeline refactor (DESIGN.md §14):
+//!
+//! 1. **Zero-mitigation bit-identity** — a [`PipelineSession`] with no
+//!    mitigator, and a fully armed one (guard + mitigator), emit verdicts
+//!    whose classification fields (`step`, `label`, `proba` bits) are
+//!    identical to the bare [`MonitorSession`] on clean traces — for every
+//!    monitor of Table III and both simulators, solo and pooled. The
+//!    mitigation stage is pure post-processing.
+//! 2. **Closed-loop hazard aversion** — for a pinned campaign member whose
+//!    baseline run has a hypoglycemia episode driven by commanded insulin,
+//!    the mitigated re-run suspends delivery and erases the episode; the
+//!    two traces are bit-identical up to the first applied action and
+//!    diverge only after it.
+//! 3. **Determinism** — mitigated runs are a pure function of the member
+//!    and the monitor: bit-identical traces, verdicts, and action logs
+//!    across repeated runs and worker thread counts.
+
+use cpsmon::core::guard::{GuardPolicy, HealthState};
+use cpsmon::core::{
+    DatasetBuilder, LabeledDataset, MitigatedObserver, Mitigator, MonitorKind, MonitorSession,
+    PipelineSession, SessionPool, TrainConfig,
+};
+use cpsmon::nn::par::ThreadsGuard;
+use cpsmon::sim::{CampaignConfig, HazardConfig, SimTrace, SimulatorKind};
+use cpsmon::stl::RuleMonitor;
+
+fn campaign(kind: SimulatorKind, seed: u64) -> Vec<SimTrace> {
+    CampaignConfig::new(kind)
+        .patients(2)
+        .runs_per_patient(2)
+        .steps(96)
+        .fault_ratio(0.5)
+        .seed(seed)
+        .run()
+}
+
+fn dataset_for(kind: SimulatorKind, seed: u64) -> (Vec<SimTrace>, LabeledDataset) {
+    let traces = campaign(kind, seed);
+    let ds = DatasetBuilder::new()
+        .build(&traces)
+        .expect("campaign yields a usable dataset");
+    (traces, ds)
+}
+
+fn hypo_steps(trace: &SimTrace, hc: &HazardConfig) -> usize {
+    trace
+        .records()
+        .iter()
+        .filter(|r| r.bg_true < hc.hypo)
+        .count()
+}
+
+/// Contract 1: for every monitor kind on both simulators, the bare
+/// pipeline wrapper and the fully armed pipeline (guard + mitigator)
+/// reproduce the bare [`MonitorSession`]'s classification bit for bit on
+/// clean traces — and the pooled executor armed with guards and a
+/// mitigator matches the unarmed pool the same way.
+#[test]
+fn zero_mitigation_sessions_and_pools_bit_identical_everywhere() {
+    for (kind, seed) in [
+        (SimulatorKind::Glucosym, 311),
+        (SimulatorKind::T1ds2013, 313),
+    ] {
+        let (traces, ds) = dataset_for(kind, seed);
+        for mk in MonitorKind::ALL {
+            let monitor = mk
+                .train(&ds, &TrainConfig::quick_test())
+                .expect("training succeeds");
+            // Solo: bare core vs. bare pipeline vs. armed pipeline.
+            let mut plain = MonitorSession::for_dataset(&monitor, &ds);
+            let mut pipe = PipelineSession::new(MonitorSession::for_dataset(&monitor, &ds));
+            let mut armed = PipelineSession::new(MonitorSession::for_dataset(&monitor, &ds))
+                .with_guard(GuardPolicy::aps(), RuleMonitor::new(ds.rules))
+                .with_mitigator(Mitigator::aps());
+            for trace in &traces {
+                plain.reset();
+                pipe.reset();
+                armed.reset();
+                for (t, rec) in trace.records().iter().enumerate() {
+                    match (plain.step(rec), pipe.step(rec), armed.step(rec)) {
+                        (Some(a), Some(b), Some(c)) => {
+                            assert_eq!(a.step, b.verdict.step, "{kind} {mk} step {t}");
+                            assert_eq!(a.label, b.verdict.label, "{kind} {mk} step {t}");
+                            assert_eq!(
+                                a.proba.to_bits(),
+                                b.verdict.proba.to_bits(),
+                                "{kind} {mk} step {t}: bare pipeline proba bits"
+                            );
+                            assert!(b.verdict.action.is_none(), "no mitigator, no action");
+                            assert_eq!(b.health, HealthState::Healthy);
+                            // The armed pipeline may annotate an action but
+                            // must never touch the classification.
+                            assert_eq!(a.step, c.verdict.step);
+                            assert_eq!(a.label, c.verdict.label, "{kind} {mk} step {t}");
+                            assert_eq!(
+                                a.proba.to_bits(),
+                                c.verdict.proba.to_bits(),
+                                "{kind} {mk} step {t}: armed pipeline proba bits"
+                            );
+                        }
+                        (None, None, None) => {}
+                        other => panic!("readiness mismatch {kind} {mk} step {t}: {other:?}"),
+                    }
+                }
+            }
+            // Pooled: one slot per trace, lockstep; armed pool (guards +
+            // mitigator) vs. unarmed pool.
+            let n = traces.len();
+            let mut pool = SessionPool::for_dataset(&monitor, &ds, n);
+            let mut pool_armed = SessionPool::for_dataset(&monitor, &ds, n)
+                .with_guards(GuardPolicy::aps(), RuleMonitor::new(ds.rules))
+                .with_mitigator(Mitigator::aps());
+            for t in 0..traces[0].len() {
+                for (i, trace) in traces.iter().enumerate() {
+                    pool.push(i, &trace.records()[t]);
+                    pool_armed.push(i, &trace.records()[t]);
+                }
+                let plain = pool.drain_ready();
+                let armed = pool_armed.drain_ready_guarded();
+                for i in 0..n {
+                    match (&plain[i], &armed[i]) {
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.step, b.verdict.step, "{kind} {mk} slot {i} step {t}");
+                            assert_eq!(a.label, b.verdict.label, "{kind} {mk} slot {i} step {t}");
+                            assert_eq!(
+                                a.proba.to_bits(),
+                                b.verdict.proba.to_bits(),
+                                "{kind} {mk} slot {i} step {t}: pooled proba bits"
+                            );
+                            assert_eq!(b.health, HealthState::Healthy);
+                        }
+                        (None, None) => {}
+                        other => {
+                            panic!(
+                                "pool readiness mismatch {kind} {mk} slot {i} step {t}: {other:?}"
+                            )
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Contract 2, pinned scenario: T1DS2013 campaign seed 1, patient 3 run 1
+/// carries a StuckRate pump fault whose baseline run spends 29 steps under
+/// 70 mg/dL. The rule-monitor pipeline suspends basal ahead of the crash
+/// and the mitigated run never goes hypoglycemic at all. The monitor only
+/// *reads* the trace until its first action is applied, so both runs are
+/// bit-identical up to that step and diverge after it.
+#[test]
+fn closed_loop_mitigation_averts_pinned_hazard() {
+    let cfg = CampaignConfig::new(SimulatorKind::T1ds2013)
+        .patients(4)
+        .runs_per_patient(3)
+        .steps(288)
+        .fault_ratio(0.5)
+        .seed(1);
+    let baseline = cfg.member(3, 1).run();
+    let hc = HazardConfig::default();
+    let base_hypo = hypo_steps(&baseline, &hc);
+    assert_eq!(base_hypo, 29, "pinned baseline hypoglycemic exposure");
+    assert!(baseline.fault.is_some(), "pinned member is fault-injected");
+
+    // The rule monitor classifies from the raw window context, so any
+    // training corpus yields the same deployed behavior.
+    let (_, ds) = dataset_for(SimulatorKind::T1ds2013, 313);
+    let monitor = MonitorKind::RuleBased
+        .train(&ds, &TrainConfig::quick_test())
+        .expect("training succeeds");
+    let mut session = PipelineSession::new(MonitorSession::for_dataset(&monitor, &ds))
+        .with_guard(GuardPolicy::aps(), RuleMonitor::new(ds.rules))
+        .with_mitigator(Mitigator::aps());
+    let mut observer = MitigatedObserver::new(&mut session, |_, r| *r);
+    let mitigated = cfg.member(3, 1).run_observed(&mut observer);
+    let actions = observer.actions().to_vec();
+
+    assert!(!actions.is_empty(), "the alarm must act");
+    assert_eq!(
+        hypo_steps(&mitigated, &hc),
+        0,
+        "pinned scenario: the episode is fully averted"
+    );
+    assert!(
+        hc.episodes(&mitigated).iter().all(|e| !e.hypo),
+        "no hypoglycemia episodes remain"
+    );
+
+    // Bit-identity before the first action (commands apply on the *next*
+    // control step), divergence strictly after it.
+    let first_action = actions[0].0;
+    let diverge = baseline
+        .records()
+        .iter()
+        .zip(mitigated.records())
+        .position(|(a, b)| a.bg_true.to_bits() != b.bg_true.to_bits())
+        .expect("an applied suspension must change the trajectory");
+    assert!(
+        diverge > first_action,
+        "divergence at {diverge} must follow the first action at {first_action}"
+    );
+    for (t, (a, b)) in baseline
+        .records()
+        .iter()
+        .zip(mitigated.records())
+        .take(first_action + 1)
+        .enumerate()
+    {
+        assert_eq!(
+            a, b,
+            "step {t}: records must be bit-identical before the first action"
+        );
+    }
+}
+
+/// Contract 3: a mitigated member re-run is bit-identical — trace records,
+/// verdict classification bits, and the action log — across repeated runs
+/// and worker thread counts, here with the batched-matmul MLP monitor
+/// whose forward pass is the thread-sensitive part.
+#[test]
+fn mitigated_runs_deterministic_across_threads() {
+    let (_, ds) = dataset_for(SimulatorKind::T1ds2013, 313);
+    let monitor = MonitorKind::Mlp
+        .train(&ds, &TrainConfig::quick_test())
+        .expect("training succeeds");
+    let cfg = CampaignConfig::new(SimulatorKind::T1ds2013)
+        .patients(2)
+        .runs_per_patient(2)
+        .steps(96)
+        .fault_ratio(0.5)
+        .seed(313);
+
+    let run_once = || {
+        let mut session = PipelineSession::new(MonitorSession::for_dataset(&monitor, &ds))
+            .with_guard(GuardPolicy::aps(), RuleMonitor::new(ds.rules))
+            .with_mitigator(Mitigator::aps());
+        let mut observer = MitigatedObserver::new(&mut session, |_, r| *r);
+        let trace = cfg.member(1, 1).run_observed(&mut observer);
+        let (verdicts, actions) = observer.into_parts();
+        let verdict_bits: Vec<(usize, usize, u64)> = verdicts
+            .iter()
+            .map(|(t, v)| (*t, v.verdict.label, v.verdict.proba.to_bits()))
+            .collect();
+        (trace, verdict_bits, actions)
+    };
+
+    let one = {
+        let _t = ThreadsGuard::set(1);
+        run_once()
+    };
+    let four = {
+        let _t = ThreadsGuard::set(4);
+        run_once()
+    };
+    let rerun = run_once();
+    for (label, other) in [("threads", &four), ("rerun", &rerun)] {
+        assert_eq!(one.0, other.0, "mitigated trace differs under {label}");
+        assert_eq!(one.1, other.1, "verdict bits differ under {label}");
+        assert_eq!(one.2, other.2, "action log differs under {label}");
+    }
+}
