@@ -6,8 +6,8 @@ use cpsmon_core::monitor::MonitorModel;
 use cpsmon_core::CohortLstmBridge;
 use cpsmon_core::{
     robustness_error, sweep_parallel, FeatureConfig, GuardPolicy, GuardedSession, LstmEngine,
-    LstmSessionPool, Mitigator, MonitorKind, MonitorSession, Normalizer, PipelineSession,
-    SessionPool, TrainedMonitor,
+    LstmSessionPool, Mitigator, MonitorBundle, MonitorKind, MonitorSession, Normalizer,
+    PipelineSession, SessionPool, TrainConfig, TrainedMonitor,
 };
 use cpsmon_nn::par::{self, ThreadsGuard};
 use cpsmon_nn::rng::SmallRng;
@@ -15,6 +15,7 @@ use cpsmon_nn::{
     init::random_normal, AdamTrainer, GradModel, LstmConfig, LstmNet, Matrix, MlpConfig, MlpNet,
     WeightPrecision,
 };
+use cpsmon_serve::{IngestItem, IngestKind, OverloadPolicy, ServingBundle, Shard, ShardConfig};
 use cpsmon_sim::basal_bolus::BasalBolusController;
 use cpsmon_sim::engine::ClosedLoop;
 use cpsmon_sim::meal::MealSchedule;
@@ -494,9 +495,99 @@ fn bench_cohort(c: &mut Criterion) {
     });
 }
 
+const SERVE_FLEET: usize = 1000;
+
+/// A serving bundle over a hand-built [`MonitorBundle`]: the benches need
+/// the shard's data path, not a trained model, so the bundle is assembled
+/// directly from the paper-shaped nets and the synthetic normalizer.
+fn serve_bundle(monitor: TrainedMonitor) -> ServingBundle {
+    let (_, normalizer) = session_featurization();
+    ServingBundle::new(MonitorBundle {
+        monitor,
+        normalizer,
+        train_config: TrainConfig::quick_test(),
+        fingerprint: 1,
+        precision: WeightPrecision::F64,
+    })
+}
+
+fn bench_serve(c: &mut Criterion) {
+    // One iteration = one shard tick serving a 1000-session fleet: offer
+    // one record per patient, drain them all, batch every ready window
+    // through the bundle. Divide by 1000 for the per-record serve cost;
+    // the shard-free equivalent is `session_step_pool1k_mlp`.
+    let records = synthetic_records(512, 12);
+    let shard_config = ShardConfig {
+        queue_cap: 2 * SERVE_FLEET + 48, // pressure stays below degrade (0.5)
+        drain_max: 2 * SERVE_FLEET,
+        tick_budget: None,
+        max_sessions: SERVE_FLEET,
+        ..ShardConfig::default()
+    };
+    let monitors = [
+        (
+            "serve_shard_tick_1k_rule",
+            TrainedMonitor {
+                kind: MonitorKind::RuleBased,
+                model: MonitorModel::Rule(RuleMonitor::new(ApsRules::default())),
+            },
+            shard_config,
+        ),
+        (
+            "serve_shard_tick_1k_mlp",
+            TrainedMonitor {
+                kind: MonitorKind::Mlp,
+                model: MonitorModel::Mlp(paper_mlp()),
+            },
+            shard_config,
+        ),
+        (
+            "serve_shard_tick_1k_mlp_shed",
+            TrainedMonitor {
+                kind: MonitorKind::Mlp,
+                model: MonitorModel::Mlp(paper_mlp()),
+            },
+            // Shed from the first tick: the ML model is installed but every
+            // verdict takes the rule-fallback path — the floor the service
+            // degrades to under sustained overload.
+            ShardConfig {
+                overload: OverloadPolicy {
+                    shed_pressure: 0.0,
+                    recover_pressure: 0.0,
+                    ..OverloadPolicy::default()
+                },
+                ..shard_config
+            },
+        ),
+    ];
+    for (name, monitor, config) in monitors {
+        let mut shard = Shard::new(config, serve_bundle(monitor));
+        let mut seq = 0u32;
+        let mut offer_tick = |shard: &mut Shard| {
+            for p in 0..SERVE_FLEET {
+                let item = IngestItem {
+                    conn: p as u64,
+                    patient: p as u64,
+                    seq,
+                    kind: IngestKind::Step(records[(seq as usize + p) % records.len()]),
+                };
+                shard.offer(item).expect("bench queue never fills");
+            }
+            seq += 1;
+            shard.tick()
+        };
+        // Warm one window per session so every subsequent tick classifies
+        // all 1000 windows (steady-state serving).
+        for _ in 0..WINDOW {
+            offer_tick(&mut shard);
+        }
+        c.bench_function(name, |b| b.iter(|| offer_tick(&mut shard)));
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = record_meta, bench_training, bench_inference, bench_attacks, bench_kernels, bench_sweep, bench_sessions, bench_lstm_pools, bench_cohort
+    targets = record_meta, bench_training, bench_inference, bench_attacks, bench_kernels, bench_sweep, bench_sessions, bench_lstm_pools, bench_cohort, bench_serve
 }
 criterion_main!(benches);

@@ -20,6 +20,7 @@ pub mod fig9_heatmap;
 pub mod gru_extension;
 pub mod mitigation_sweep;
 pub mod pgd_extension;
+pub mod serve_chaos;
 pub mod table3;
 
 use crate::context::SimContext;

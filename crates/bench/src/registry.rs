@@ -78,7 +78,7 @@ impl Experiment for Entry {
 }
 
 /// All registered experiments, in paper order (the former binaries).
-pub static REGISTRY: [&dyn Experiment; 17] = [
+pub static REGISTRY: [&dyn Experiment; 18] = [
     &Entry {
         name: "table3",
         description: "Table III: clean accuracy of all five monitors on both simulators",
@@ -179,6 +179,12 @@ pub static REGISTRY: [&dyn Experiment; 17] = [
             "Extension: SoA cohort screening campaign — population outcomes, LSTM alarm rate, scalar parity",
         run: |ctx| Artifacts::table(exp::cohort_campaign::run(ctx)),
     },
+    &Entry {
+        name: "serve_chaos",
+        description:
+            "Extension: serve-shard degradation under fault storms, overload, and hot reloads",
+        run: |ctx| Artifacts::table(exp::serve_chaos::run(ctx)),
+    },
 ];
 
 /// Looks up a registered experiment by name.
@@ -193,10 +199,10 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 17);
+        assert_eq!(names.len(), 18);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 17, "duplicate registry names");
+        assert_eq!(names.len(), 18, "duplicate registry names");
         assert!(find("table3").is_some());
         assert!(find("fig9_heatmap").is_some());
         assert!(find("fault_sweep").is_some());

@@ -61,7 +61,7 @@ pub use pipeline::{
 };
 pub use robustness::{robustness_error, sweep_parallel};
 pub use stream::{
-    CohortLstmBridge, CohortPoolBridge, GuardedSession, GuardedVerdict, LstmEngine,
+    CohortLstmBridge, CohortPoolBridge, GuardedSession, GuardedVerdict, InvalidSample, LstmEngine,
     LstmSessionPool, LstmStreamSession, MonitorSession, SessionPool, StepStream, Verdict,
     WindowStream,
 };

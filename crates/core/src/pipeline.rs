@@ -390,7 +390,29 @@ impl<'m> PipelineSession<'m> {
 
     /// Feeds one record through every armed stage; returns a verdict once
     /// the window is full.
+    ///
+    /// # Panics
+    ///
+    /// With no guard armed, panics on non-finite sensor input (see
+    /// [`WindowStream::push`]); a guarded pipeline imputes instead. Use
+    /// [`try_step`](Self::try_step) when the input is untrusted.
     pub fn step(&mut self, rec: &StepRecord) -> Option<GuardedVerdict> {
+        match self.try_step(rec) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`step`](Self::step) for untrusted per-step input: with a
+    /// guard armed the error is unreachable (invalid samples are imputed
+    /// and, past the staleness budget, surface as
+    /// [`HealthState::Fallback`] rule verdicts); without one, non-finite
+    /// input returns the typed [`InvalidSample`](crate::stream::InvalidSample)
+    /// error instead of aborting the session.
+    pub fn try_step(
+        &mut self,
+        rec: &StepRecord,
+    ) -> Result<Option<GuardedVerdict>, crate::stream::InvalidSample> {
         let (clean, status) = match &mut self.guard {
             Some(g) => {
                 let (clean, status) = g.sanitize(rec);
@@ -398,7 +420,9 @@ impl<'m> PipelineSession<'m> {
             }
             None => (*rec, None),
         };
-        let (mut verdict, mut ended) = self.core.step_timed(&clean)?;
+        let Some((mut verdict, mut ended)) = self.core.try_step_timed(&clean)? else {
+            return Ok(None);
+        };
         let (health, imputed) = status.map_or((HealthState::Healthy, false), |s| {
             (s.health, s.any_imputed())
         });
@@ -427,11 +451,11 @@ impl<'m> PipelineSession<'m> {
                 verdict.latency = verdict.attribution.total();
             }
         }
-        Some(GuardedVerdict {
+        Ok(Some(GuardedVerdict {
             verdict,
             health,
             imputed,
-        })
+        }))
     }
 
     /// Resets every armed stage (the monitor and scratch stay warm).

@@ -35,6 +35,8 @@
 //! The workspace-level `streaming` test suite proves the contract for every
 //! monitor kind and both simulators.
 
+use std::error::Error;
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use crate::dataset::LabeledDataset;
@@ -45,6 +47,53 @@ use crate::pipeline::{Action, LatencyAttribution, Mitigator, PipelineSession};
 use cpsmon_nn::{LstmNet, LstmNetF32, LstmNetScratch, LstmStreamState, Matrix, MlpScratch};
 use cpsmon_sim::trace::StepRecord;
 use cpsmon_stl::{ApsContext, RuleMonitor};
+
+/// A non-finite sensor sample reached a session boundary that has no
+/// guard in front of it.
+///
+/// The infallible entry points ([`WindowStream::push`],
+/// [`StepStream::push`]) panic on this condition because silently admitting
+/// a NaN/inf would poison every later window in the ring; the fallible
+/// `try_*` counterparts return this typed error instead, so untrusted
+/// per-step input (e.g. frames decoded off the wire by `cpsmon-serve`) can
+/// surface as a degraded-mode verdict rather than aborting the session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidSample {
+    /// The offending CGM reading.
+    pub bg: f64,
+    /// The offending insulin-on-board estimate.
+    pub iob: f64,
+    /// The offending delivered rate.
+    pub rate: f64,
+}
+
+impl InvalidSample {
+    fn check(rec: &StepRecord) -> Result<(), InvalidSample> {
+        if rec.bg_sensor.is_finite() && rec.iob.is_finite() && rec.delivered_rate.is_finite() {
+            Ok(())
+        } else {
+            Err(InvalidSample {
+                bg: rec.bg_sensor,
+                iob: rec.iob,
+                rate: rec.delivered_rate,
+            })
+        }
+    }
+}
+
+impl fmt::Display for InvalidSample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-finite sensor input at session boundary \
+             (bg={}, iob={}, rate={}); wrap the session in an input guard \
+             to impute invalid samples",
+            self.bg, self.iob, self.rate
+        )
+    }
+}
+
+impl Error for InvalidSample {}
 
 /// One streaming prediction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -118,20 +167,28 @@ impl WindowStream {
     /// Feeds one record. Returns the window-end step once `window` records
     /// have accumulated (every step from then on), or `None` while the ring
     /// is still filling.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite sensor input — a NaN/inf would silently flow
+    /// through normalization into the network and poison every later
+    /// window in the ring. Deployments with unreliable inputs should
+    /// sanitize through an [`InputGuard`](crate::guard::InputGuard) /
+    /// [`GuardedSession`] first, or use [`try_push`](Self::try_push) to
+    /// receive the typed [`InvalidSample`] error instead.
     pub fn push(&mut self, rec: &StepRecord) -> Option<usize> {
-        // Reject invalid sensor input at the session boundary: a NaN/inf
-        // would silently flow through normalization into the network and
-        // poison every later window in the ring. Deployments with unreliable
-        // inputs should sanitize through an [`InputGuard`](crate::guard::InputGuard) /
-        // [`GuardedSession`] first.
-        assert!(
-            rec.bg_sensor.is_finite() && rec.iob.is_finite() && rec.delivered_rate.is_finite(),
-            "non-finite sensor input at session boundary (bg={}, iob={}, rate={}); \
-             wrap the session in a GuardedSession to impute invalid samples",
-            rec.bg_sensor,
-            rec.iob,
-            rec.delivered_rate
-        );
+        match self.try_push(rec) {
+            Ok(end) => end,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`push`](Self::push) for untrusted input: a non-finite sample is
+    /// rejected with a typed [`InvalidSample`] error, leaving the ring,
+    /// deltas, and step count untouched — the caller can impute or degrade
+    /// and keep the session alive.
+    pub fn try_push(&mut self, rec: &StepRecord) -> Result<Option<usize>, InvalidSample> {
+        InvalidSample::check(rec)?;
         // The batch extractor uses the record itself as "previous" for the
         // first step of a trace (all deltas exactly 0) — mirror that here.
         let prev = self.prev.unwrap_or(*rec);
@@ -142,7 +199,7 @@ impl WindowStream {
         let end = self.steps_seen;
         self.steps_seen += 1;
         if self.filled < self.ring.len() {
-            return None;
+            return Ok(None);
         }
         // Unroll the ring chronologically; after the increment above `head`
         // points at the oldest entry.
@@ -151,7 +208,32 @@ impl WindowStream {
         }
         self.x.copy_from_slice(&self.raw);
         self.normalizer.transform_row(&mut self.x);
-        Some(end)
+        Ok(Some(end))
+    }
+
+    /// Swaps the normalization statistics in place — the hot-reload seam:
+    /// a freshly installed [`MonitorBundle`](crate::artifact::MonitorBundle)
+    /// brings its own normalizer, and live sessions must start normalizing
+    /// with it without losing their accumulated window state. The current
+    /// complete window (if any) is re-normalized immediately, so the next
+    /// classification already sees the new statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new normalizer's width differs from the window width
+    /// this stream was built with (incompatible bundles must be rejected
+    /// before they reach live sessions).
+    pub fn set_normalizer(&mut self, normalizer: Normalizer) {
+        assert_eq!(
+            normalizer.mean().len(),
+            self.raw.len(),
+            "replacement normalizer width does not match the feature window"
+        );
+        self.normalizer = normalizer;
+        if self.is_ready() {
+            self.x.copy_from_slice(&self.raw);
+            self.normalizer.transform_row(&mut self.x);
+        }
     }
 
     /// The latest complete window in raw units (valid after
@@ -286,16 +368,42 @@ impl<'m> MonitorSession<'m> {
     }
 
     /// Feeds one record; returns a verdict once the window is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite sensor input (see [`WindowStream::push`]); use
+    /// [`try_step`](Self::try_step) for untrusted input.
     pub fn step(&mut self, rec: &StepRecord) -> Option<Verdict> {
         self.step_timed(rec).map(|(v, _)| v)
+    }
+
+    /// Fallible [`step`](Self::step): non-finite input surfaces as a typed
+    /// [`InvalidSample`] error instead of a panic, leaving the session
+    /// state untouched so the caller can degrade and keep serving.
+    pub fn try_step(&mut self, rec: &StepRecord) -> Result<Option<Verdict>, InvalidSample> {
+        Ok(self.try_step_timed(rec)?.map(|(v, _)| v))
     }
 
     /// [`step`](Self::step), also returning the instant the compute
     /// measurement ended — downstream stages time themselves against it
     /// instead of paying an extra clock read per step.
     pub fn step_timed(&mut self, rec: &StepRecord) -> Option<(Verdict, Instant)> {
+        match self.try_step_timed(rec) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`step_timed`](Self::step_timed) with the typed [`InvalidSample`]
+    /// error instead of the boundary panic.
+    pub fn try_step_timed(
+        &mut self,
+        rec: &StepRecord,
+    ) -> Result<Option<(Verdict, Instant)>, InvalidSample> {
         let t0 = Instant::now();
-        let end = self.stream.push(rec)?;
+        let Some(end) = self.stream.try_push(rec)? else {
+            return Ok(None);
+        };
         let (label, proba) = match (&self.monitor.model, &mut self.scratch) {
             (MonitorModel::Rule(m), NetScratch::Rule) => {
                 let ctx = self.stream.context();
@@ -317,7 +425,7 @@ impl<'m> MonitorSession<'m> {
         };
         let ended = Instant::now();
         let attribution = LatencyAttribution::compute_only(ended - t0);
-        Some((
+        Ok(Some((
             Verdict {
                 step: end,
                 label,
@@ -327,7 +435,7 @@ impl<'m> MonitorSession<'m> {
                 attribution,
             },
             ended,
-        ))
+        )))
     }
 
     /// The rule context the latest step classified with, if this session
@@ -793,16 +901,20 @@ impl StepStream {
     /// # Panics
     ///
     /// Panics on non-finite sensor input, like [`WindowStream::push`];
-    /// guard unreliable inputs with a [`GuardBank`].
+    /// guard unreliable inputs with a [`GuardBank`], or use
+    /// [`try_push`](Self::try_push) for the typed error.
     pub fn push(&mut self, rec: &StepRecord) -> usize {
-        assert!(
-            rec.bg_sensor.is_finite() && rec.iob.is_finite() && rec.delivered_rate.is_finite(),
-            "non-finite sensor input at session boundary (bg={}, iob={}, rate={}); \
-             wrap the pool in a GuardBank to impute invalid samples",
-            rec.bg_sensor,
-            rec.iob,
-            rec.delivered_rate
-        );
+        match self.try_push(rec) {
+            Ok(step) => step,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`push`](Self::push) for untrusted input: rejects non-finite
+    /// samples with a typed [`InvalidSample`] error instead of panicking,
+    /// leaving the featurizer state untouched.
+    pub fn try_push(&mut self, rec: &StepRecord) -> Result<usize, InvalidSample> {
+        InvalidSample::check(rec)?;
         let prev = self.prev.unwrap_or(*rec);
         let feats = step_features(rec, &prev);
         if self.filled == 0 {
@@ -818,7 +930,7 @@ impl StepStream {
         self.tail.transform_row(&mut self.x);
         let step = self.steps_seen;
         self.steps_seen += 1;
-        step
+        Ok(step)
     }
 
     /// The latest record's normalized feature row — the engine input.

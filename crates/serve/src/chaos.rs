@@ -1,0 +1,209 @@
+//! Deterministic transport-chaos harness.
+//!
+//! A [`ChaosPlan`] is a seeded, pure description of transport
+//! misbehaviour: given the same plan and the same input, the mangled
+//! output is byte-identical — chaos tests and the `serve_chaos`
+//! registry experiment replay exact storms, and CI can diff two runs.
+//!
+//! Two mangling levels match the two layers under test:
+//!
+//! - [`mangle_items`](ChaosPlan::mangle_items) drops / duplicates /
+//!   reorders / delays whole ingest items — the sans-IO storm driven
+//!   straight into a [`crate::Shard`], where the session-level sequence
+//!   high-water mark must absorb it.
+//! - [`mangle_bytes`](ChaosPlan::mangle_bytes) additionally truncates
+//!   and corrupts encoded frames and re-chunks the stream into
+//!   arbitrary slices — the wire-level storm driven into a
+//!   [`crate::FrameDecoder`], which must never panic and must answer
+//!   a typed error once framing is lost.
+
+use cpsmon_nn::rng::SmallRng;
+
+/// Seeded transport-fault probabilities. All probabilities are in
+/// `[0, 1]`; `0.0` disables the fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    /// RNG seed; two plans differing only in seed produce different but
+    /// individually reproducible storms.
+    pub seed: u64,
+    /// Probability a frame/item is silently dropped.
+    pub drop: f64,
+    /// Probability a frame/item is delivered twice back-to-back.
+    pub dup: f64,
+    /// Probability a frame/item swaps places with its predecessor.
+    pub reorder: f64,
+    /// Probability a frame/item is held back and re-delivered a few
+    /// positions later (bounded delay).
+    pub delay: f64,
+    /// Byte level only: probability a frame loses a non-empty suffix
+    /// (framing is destroyed from that point on).
+    pub truncate: f64,
+    /// Byte level only: probability one byte of a frame is bit-flipped.
+    pub corrupt: f64,
+}
+
+impl ChaosPlan {
+    /// No faults at all — the identity transport (still re-chunks at
+    /// the byte level, which a correct decoder must not care about).
+    pub fn clean(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            drop: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            delay: 0.0,
+            truncate: 0.0,
+            corrupt: 0.0,
+        }
+    }
+
+    /// Mild background fault rate: occasional drops, dups, reorders.
+    pub fn light(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            drop: 0.01,
+            dup: 0.02,
+            reorder: 0.02,
+            delay: 0.02,
+            truncate: 0.0,
+            corrupt: 0.0,
+        }
+    }
+
+    /// A fault storm: heavy duplication, reordering and delay with
+    /// non-trivial loss — the headline robustness condition.
+    pub fn storm(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            drop: 0.05,
+            dup: 0.15,
+            reorder: 0.15,
+            delay: 0.10,
+            truncate: 0.0,
+            corrupt: 0.0,
+        }
+    }
+
+    /// A hostile wire: a storm that additionally truncates and corrupts
+    /// frames (byte level only; item-level mangling ignores these).
+    pub fn hostile(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            truncate: 0.03,
+            corrupt: 0.03,
+            ..ChaosPlan::storm(seed)
+        }
+    }
+
+    /// Applies drop/dup/reorder/delay to a sequence of items. Pure:
+    /// same plan + same input → same output.
+    pub fn mangle_items<T: Clone>(&self, items: &[T]) -> Vec<T> {
+        let mut rng = SmallRng::new(self.seed ^ 0x6368_616f_735f_6231);
+        let mut out: Vec<T> = Vec::with_capacity(items.len() + items.len() / 4);
+        // Items held back for delayed re-delivery: (due position, item).
+        let mut held: Vec<(usize, T)> = Vec::new();
+        for (pos, item) in items.iter().enumerate() {
+            // Release anything whose delay expired.
+            let mut k = 0;
+            while k < held.len() {
+                if held[k].0 <= pos {
+                    out.push(held.remove(k).1);
+                } else {
+                    k += 1;
+                }
+            }
+            if rng.bernoulli(self.drop) {
+                continue;
+            }
+            if rng.bernoulli(self.delay) {
+                let by = 1 + rng.index(4);
+                held.push((pos + 1 + by, item.clone()));
+                continue;
+            }
+            out.push(item.clone());
+            if rng.bernoulli(self.dup) {
+                out.push(item.clone());
+            }
+            if out.len() >= 2 && rng.bernoulli(self.reorder) {
+                let n = out.len();
+                out.swap(n - 1, n - 2);
+            }
+        }
+        // Flush stragglers in hold order.
+        for (_, item) in held {
+            out.push(item);
+        }
+        out
+    }
+
+    /// Applies the full fault set to a sequence of encoded frames and
+    /// re-chunks the surviving bytes into arbitrary small slices, so the
+    /// decoder's incremental buffering is exercised on every run. Pure.
+    pub fn mangle_bytes(&self, frames: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let mut rng = SmallRng::new(self.seed ^ 0x6368_616f_735f_6232);
+        let mut mangled = self.mangle_items(frames);
+        let mut frng = SmallRng::new(self.seed ^ 0x6368_616f_735f_6233);
+        for frame in &mut mangled {
+            if !frame.is_empty() && frng.bernoulli(self.truncate) {
+                let keep = frng.index(frame.len());
+                frame.truncate(keep);
+            }
+            if !frame.is_empty() && frng.bernoulli(self.corrupt) {
+                let at = frng.index(frame.len());
+                let bit = 1u8 << frng.index(8);
+                frame[at] ^= bit;
+            }
+        }
+        let stream: Vec<u8> = mangled.concat();
+        let mut chunks = Vec::new();
+        let mut at = 0;
+        while at < stream.len() {
+            let n = (1 + rng.index(17)).min(stream.len() - at);
+            chunks.push(stream[at..at + n].to_vec());
+            at += n;
+        }
+        chunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<Vec<u8>> {
+        (0u8..50).map(|i| vec![i; 8]).collect()
+    }
+
+    #[test]
+    fn same_seed_same_storm() {
+        let plan = ChaosPlan::storm(7);
+        assert_eq!(plan.mangle_bytes(&frames()), plan.mangle_bytes(&frames()));
+        assert_eq!(plan.mangle_items(&frames()), plan.mangle_items(&frames()));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChaosPlan::storm(7).mangle_bytes(&frames());
+        let b = ChaosPlan::storm(8).mangle_bytes(&frames());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clean_plan_preserves_content() {
+        let plan = ChaosPlan::clean(1);
+        let input = frames();
+        assert_eq!(plan.mangle_items(&input), input);
+        let rejoined: Vec<u8> = plan.mangle_bytes(&input).concat();
+        assert_eq!(rejoined, input.concat());
+    }
+
+    #[test]
+    fn storm_actually_mangles() {
+        let input = frames();
+        let out = ChaosPlan::storm(3).mangle_items(&input);
+        assert_ne!(out, input, "a storm must perturb the sequence");
+        // Every surviving item is a real input item (no fabrication).
+        for item in &out {
+            assert!(input.contains(item));
+        }
+    }
+}

@@ -1,0 +1,631 @@
+//! The compact length-prefixed binary ingest protocol.
+//!
+//! Every frame is `u32 length (LE)` followed by `length` body bytes; the
+//! first body byte is the frame type. All multi-byte integers are
+//! little-endian; floats travel as their IEEE-754 bit patterns. Frames are
+//! small and fixed-layout, so a 1 kHz fleet feed costs ~64 B/step/session
+//! on the wire.
+//!
+//! The decoder is **panic-free by construction** over arbitrary bytes:
+//! every length is checked before indexing, bodies longer than
+//! [`MAX_BODY_LEN`] are rejected before buffering (bounded memory per
+//! connection), and any malformed frame surfaces as a typed
+//! [`ProtocolError`] the daemon answers with an [`Frame::Error`] before
+//! closing the connection. The `protocol` test suite feeds seeded
+//! arbitrary/truncated/oversized byte streams through the decoder and
+//! asserts exactly that.
+
+use std::error::Error;
+use std::fmt;
+
+use cpsmon_sim::trace::StepRecord;
+
+/// Protocol revision; [`Frame::Hello`] carries it and the daemon rejects
+/// mismatches with [`ErrorCode::BadVersion`].
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a frame body. The largest legitimate frame is
+/// [`Frame::Error`] with a bounded message; anything larger is a corrupt
+/// or hostile length prefix and is rejected *before* buffer growth, so a
+/// malicious 4 GiB length cannot balloon connection memory.
+pub const MAX_BODY_LEN: usize = 512;
+
+/// Longest error message shipped in an [`Frame::Error`] frame; longer
+/// messages are truncated at a char boundary.
+pub const MAX_ERROR_MSG: usize = 256;
+
+const TY_HELLO: u8 = 0x01;
+const TY_STEP: u8 = 0x02;
+const TY_END_SESSION: u8 = 0x03;
+const TY_GOODBYE: u8 = 0x04;
+const TY_VERDICT: u8 = 0x81;
+const TY_BUSY: u8 = 0x82;
+const TY_ERROR: u8 = 0x83;
+const TY_BYE: u8 = 0x84;
+
+/// Machine-readable error category carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The byte stream violated the framing or a frame's layout.
+    Malformed = 1,
+    /// The client's [`Frame::Hello`] announced an unsupported version.
+    BadVersion = 2,
+    /// The shard's session table is full; try another instance.
+    SessionCapacity = 3,
+    /// The daemon is shutting down.
+    ShuttingDown = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::Malformed),
+            2 => Some(ErrorCode::BadVersion),
+            3 => Some(ErrorCode::SessionCapacity),
+            4 => Some(ErrorCode::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+/// One protocol frame, client→server (`Hello`, `Step`, `EndSession`,
+/// `Goodbye`) or server→client (`Verdict`, `Busy`, `Error`, `Bye`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Connection handshake; must be the first client frame.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u16,
+    },
+    /// One control-step observation for one patient session.
+    Step {
+        /// Fleet-wide patient identifier (shard pinning key).
+        patient: u64,
+        /// Client-side monotone sequence number within the session. The
+        /// shard accepts only increasing values, so duplicated or
+        /// reordered-stale frames injected by a faulty transport are
+        /// dropped instead of corrupting the window.
+        seq: u32,
+        /// The observed record. Non-finite floats are representable on the
+        /// wire; the shard's input guard imputes them.
+        rec: StepRecord,
+    },
+    /// Ends one patient session, freeing its table slot.
+    EndSession {
+        /// The session to close.
+        patient: u64,
+    },
+    /// Client is done; the server flushes pending verdicts and answers
+    /// [`Frame::Bye`].
+    Goodbye,
+    /// One monitor verdict.
+    Verdict {
+        /// The session the verdict belongs to.
+        patient: u64,
+        /// 0-based accepted-record index the verdict's window ends at.
+        step: u32,
+        /// Predicted class (0 safe / 1 unsafe).
+        label: u8,
+        /// Predicted probability of the unsafe class.
+        proba: f64,
+        /// Session-level [`cpsmon_core::HealthState`] as a byte
+        /// (0 healthy / 1 degraded / 2 fallback).
+        health: u8,
+        /// Whether the service-level overload controller shed this
+        /// verdict's ML inference to the rule path.
+        shed: bool,
+    },
+    /// Explicit backpressure: the shard's ingest queue was full and the
+    /// step frame was dropped. The client should back off and resend.
+    Busy {
+        /// The session whose frame was rejected.
+        patient: u64,
+        /// Queue occupancy at rejection time.
+        queue_len: u32,
+    },
+    /// Fatal protocol or admission error; the server closes after sending.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable description (bounded by [`MAX_ERROR_MSG`]).
+        message: String,
+    },
+    /// Graceful close acknowledgement.
+    Bye,
+}
+
+/// Typed decoding failure. Every variant is reachable from crafted bytes
+/// and none of them panics; the connection is closed after reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A length prefix exceeded [`MAX_BODY_LEN`].
+    Oversized {
+        /// The declared body length.
+        declared: usize,
+    },
+    /// A declared body of zero bytes (no type byte).
+    EmptyBody,
+    /// The type byte is not a known frame type.
+    UnknownType(u8),
+    /// The body length does not match the type's layout.
+    BadLength {
+        /// The offending frame type byte.
+        ty: u8,
+        /// Bytes the body held.
+        got: usize,
+        /// Bytes the layout requires.
+        want: usize,
+    },
+    /// An embedded string was not valid UTF-8.
+    BadUtf8,
+    /// An embedded enum byte was out of range.
+    BadEnum {
+        /// Which field was malformed.
+        field: &'static str,
+        /// The offending byte.
+        got: u8,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Oversized { declared } => write!(
+                f,
+                "frame body of {declared} bytes exceeds the {MAX_BODY_LEN}-byte cap"
+            ),
+            ProtocolError::EmptyBody => write!(f, "frame body is empty (no type byte)"),
+            ProtocolError::UnknownType(t) => write!(f, "unknown frame type 0x{t:02x}"),
+            ProtocolError::BadLength { ty, got, want } => write!(
+                f,
+                "frame type 0x{ty:02x} carried {got} body bytes, layout requires {want}"
+            ),
+            ProtocolError::BadUtf8 => write!(f, "embedded string is not valid UTF-8"),
+            ProtocolError::BadEnum { field, got } => {
+                write!(f, "field '{field}' holds out-of-range byte {got}")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+/// Little-endian field reader over a frame body; every read is
+/// bounds-checked so crafted bodies cannot cause indexing panics.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(s);
+            u64::from_le_bytes(b)
+        })
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+impl Frame {
+    /// Appends the encoded frame (length prefix included) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let at = out.len();
+        put_u32(out, 0); // length back-patched below
+        match self {
+            Frame::Hello { version } => {
+                out.push(TY_HELLO);
+                put_u16(out, *version);
+            }
+            Frame::Step { patient, seq, rec } => {
+                out.push(TY_STEP);
+                put_u64(out, *patient);
+                put_u32(out, *seq);
+                put_f64(out, rec.bg_true);
+                put_f64(out, rec.bg_sensor);
+                put_f64(out, rec.iob);
+                put_f64(out, rec.commanded_rate);
+                put_f64(out, rec.delivered_rate);
+                put_f64(out, rec.carbs);
+            }
+            Frame::EndSession { patient } => {
+                out.push(TY_END_SESSION);
+                put_u64(out, *patient);
+            }
+            Frame::Goodbye => out.push(TY_GOODBYE),
+            Frame::Verdict {
+                patient,
+                step,
+                label,
+                proba,
+                health,
+                shed,
+            } => {
+                out.push(TY_VERDICT);
+                put_u64(out, *patient);
+                put_u32(out, *step);
+                out.push(*label);
+                put_f64(out, *proba);
+                out.push(*health);
+                out.push(u8::from(*shed));
+            }
+            Frame::Busy { patient, queue_len } => {
+                out.push(TY_BUSY);
+                put_u64(out, *patient);
+                put_u32(out, *queue_len);
+            }
+            Frame::Error { code, message } => {
+                out.push(TY_ERROR);
+                out.push(*code as u8);
+                let mut msg = message.as_str();
+                while msg.len() > MAX_ERROR_MSG {
+                    let mut cut = MAX_ERROR_MSG;
+                    while !msg.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    msg = &msg[..cut];
+                }
+                put_u16(out, msg.len() as u16);
+                out.extend_from_slice(msg.as_bytes());
+            }
+            Frame::Bye => out.push(TY_BYE),
+        }
+        let body = (out.len() - at - 4) as u32;
+        out[at..at + 4].copy_from_slice(&body.to_le_bytes());
+    }
+
+    /// The encoded frame as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one frame *body* (the bytes after the length prefix).
+    fn decode_body(body: &[u8]) -> Result<Frame, ProtocolError> {
+        let mut r = Reader::new(body);
+        let Some(ty) = r.u8() else {
+            return Err(ProtocolError::EmptyBody);
+        };
+        let want = match ty {
+            TY_HELLO => 2,
+            TY_STEP => 8 + 4 + 6 * 8,
+            TY_END_SESSION => 8,
+            TY_GOODBYE => 0,
+            TY_VERDICT => 8 + 4 + 1 + 8 + 1 + 1,
+            TY_BUSY => 8 + 4,
+            TY_ERROR => usize::MAX, // variable, checked below
+            TY_BYE => 0,
+            other => return Err(ProtocolError::UnknownType(other)),
+        };
+        if want != usize::MAX && r.remaining() != want {
+            return Err(ProtocolError::BadLength {
+                ty,
+                got: r.remaining(),
+                want,
+            });
+        }
+        let frame = match ty {
+            TY_HELLO => Frame::Hello {
+                version: r.u16().ok_or(ProtocolError::EmptyBody)?,
+            },
+            TY_STEP => Frame::Step {
+                patient: r.u64().unwrap_or(0),
+                seq: r.u32().unwrap_or(0),
+                rec: StepRecord {
+                    bg_true: r.f64().unwrap_or(f64::NAN),
+                    bg_sensor: r.f64().unwrap_or(f64::NAN),
+                    iob: r.f64().unwrap_or(f64::NAN),
+                    commanded_rate: r.f64().unwrap_or(f64::NAN),
+                    delivered_rate: r.f64().unwrap_or(f64::NAN),
+                    carbs: r.f64().unwrap_or(f64::NAN),
+                },
+            },
+            TY_END_SESSION => Frame::EndSession {
+                patient: r.u64().unwrap_or(0),
+            },
+            TY_GOODBYE => Frame::Goodbye,
+            TY_VERDICT => Frame::Verdict {
+                patient: r.u64().unwrap_or(0),
+                step: r.u32().unwrap_or(0),
+                label: r.u8().unwrap_or(0),
+                proba: r.f64().unwrap_or(f64::NAN),
+                health: r.u8().unwrap_or(0),
+                shed: r.u8().unwrap_or(0) != 0,
+            },
+            TY_BUSY => Frame::Busy {
+                patient: r.u64().unwrap_or(0),
+                queue_len: r.u32().unwrap_or(0),
+            },
+            TY_ERROR => {
+                let code = r.u8().ok_or(ProtocolError::BadLength {
+                    ty,
+                    got: body.len() - 1,
+                    want: 3,
+                })?;
+                let code = ErrorCode::from_u8(code).ok_or(ProtocolError::BadEnum {
+                    field: "error code",
+                    got: code,
+                })?;
+                let len = r.u16().ok_or(ProtocolError::BadLength {
+                    ty,
+                    got: body.len() - 1,
+                    want: 3,
+                })? as usize;
+                let bytes = r.take(len).ok_or(ProtocolError::BadLength {
+                    ty,
+                    got: body.len() - 1,
+                    want: 3 + len,
+                })?;
+                if r.remaining() != 0 {
+                    return Err(ProtocolError::BadLength {
+                        ty,
+                        got: body.len() - 1,
+                        want: 3 + len,
+                    });
+                }
+                Frame::Error {
+                    code,
+                    message: std::str::from_utf8(bytes)
+                        .map_err(|_| ProtocolError::BadUtf8)?
+                        .to_string(),
+                }
+            }
+            TY_BYE => Frame::Bye,
+            _ => unreachable!("filtered above"),
+        };
+        Ok(frame)
+    }
+}
+
+/// Incremental frame decoder: feed it raw socket bytes in arbitrary
+/// chunks, pull complete frames out. Holds at most one frame of buffered
+/// bytes past the last complete frame (bounded by `4 +`
+/// [`MAX_BODY_LEN`] before an oversized prefix is rejected), so a
+/// slow-trickling or hostile peer cannot grow memory.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Read cursor into `buf`; consumed bytes are compacted away once the
+    /// cursor passes half the buffer.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered and not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Decodes the next complete frame, `Ok(None)` if more bytes are
+    /// needed. A returned error is terminal for the stream: framing is
+    /// lost, so the caller should report and close.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtocolError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let p = self.pos;
+        let declared = u32::from_le_bytes([
+            self.buf[p],
+            self.buf[p + 1],
+            self.buf[p + 2],
+            self.buf[p + 3],
+        ]) as usize;
+        if declared > MAX_BODY_LEN {
+            return Err(ProtocolError::Oversized { declared });
+        }
+        if avail < 4 + declared {
+            return Ok(None);
+        }
+        let body = &self.buf[p + 4..p + 4 + declared];
+        let frame = Frame::decode_body(body)?;
+        self.pos += 4 + declared;
+        self.compact();
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: usize) -> StepRecord {
+        StepRecord {
+            bg_true: 120.0 + step as f64,
+            bg_sensor: 119.5 + step as f64,
+            iob: 1.25,
+            commanded_rate: 1.0,
+            delivered_rate: 1.0,
+            carbs: 0.0,
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_frame_kind() {
+        let frames = vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Frame::Step {
+                patient: 42,
+                seq: 7,
+                rec: rec(3),
+            },
+            Frame::EndSession { patient: 42 },
+            Frame::Goodbye,
+            Frame::Verdict {
+                patient: 42,
+                step: 11,
+                label: 1,
+                proba: 0.875,
+                health: 2,
+                shed: true,
+            },
+            Frame::Busy {
+                patient: 9,
+                queue_len: 4096,
+            },
+            Frame::Error {
+                code: ErrorCode::Malformed,
+                message: "bad frame".into(),
+            },
+            Frame::Bye,
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut wire);
+        }
+        let mut dec = FrameDecoder::new();
+        // Feed byte-by-byte to exercise partial-frame handling.
+        for &b in &wire {
+            dec.feed(&[b]);
+        }
+        let mut decoded = Vec::new();
+        while let Some(f) = dec.next_frame().expect("valid stream") {
+            decoded.push(f);
+        }
+        assert_eq!(decoded, frames);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_buffering() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(ProtocolError::Oversized {
+                declared: u32::MAX as usize
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_type_and_bad_length_are_typed() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&2u32.to_le_bytes());
+        dec.feed(&[0x7f, 0x00]);
+        assert_eq!(dec.next_frame(), Err(ProtocolError::UnknownType(0x7f)));
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&3u32.to_le_bytes());
+        dec.feed(&[TY_STEP, 0x00, 0x00]); // STEP with a 2-byte payload
+        assert_eq!(
+            dec.next_frame(),
+            Err(ProtocolError::BadLength {
+                ty: TY_STEP,
+                got: 2,
+                want: 60,
+            })
+        );
+    }
+
+    #[test]
+    fn error_message_is_truncated_at_cap() {
+        let f = Frame::Error {
+            code: ErrorCode::Malformed,
+            message: "x".repeat(2 * MAX_ERROR_MSG),
+        };
+        let wire = f.encode();
+        assert!(wire.len() <= 4 + 1 + 1 + 2 + MAX_ERROR_MSG);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        match dec.next_frame().unwrap().unwrap() {
+            Frame::Error { message, .. } => assert_eq!(message.len(), MAX_ERROR_MSG),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_survive_the_wire() {
+        let mut r = rec(0);
+        r.bg_sensor = f64::NAN;
+        r.iob = f64::INFINITY;
+        let f = Frame::Step {
+            patient: 1,
+            seq: 0,
+            rec: r,
+        };
+        let mut dec = FrameDecoder::new();
+        dec.feed(&f.encode());
+        match dec.next_frame().unwrap().unwrap() {
+            Frame::Step { rec, .. } => {
+                assert!(rec.bg_sensor.is_nan());
+                assert!(rec.iob.is_infinite());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,647 @@
+//! The sans-IO serving engine: one [`Shard`] owns a bounded ingest
+//! queue, a table of live patient sessions, and the closed-loop
+//! [`OverloadController`].
+//!
+//! The shard has **no sockets, threads, or (optionally) clock**: callers
+//! [`offer`](Shard::offer) ingest items and [`tick`](Shard::tick) the
+//! engine, and it answers with [`OutEvent`]s. The daemon wraps it in a
+//! mutex and threads; the chaos tests and the `serve_chaos` experiment
+//! drive it synchronously, which is what makes overload and fault-storm
+//! behaviour reproducible byte-for-byte.
+//!
+//! ## Degradation ladder
+//!
+//! Two independent mechanisms guard a tick, mirroring the per-session
+//! guard ladder at service scope:
+//!
+//! - **Backpressure:** [`Shard::offer`] rejects step items once the
+//!   queue holds [`ShardConfig::queue_cap`] entries. The caller reports
+//!   the rejection to the client as an explicit `Busy` frame — load is
+//!   shed at the boundary, memory stays bounded.
+//! - **Load shedding:** while the controller reports
+//!   [`ServiceHealth::Shedding`], ready windows are classified by the
+//!   Table-I rule fallback instead of the ML model. Windows still
+//!   advance, so when pressure drains the ML path resumes on exactly
+//!   the state it would have had — post-recovery verdicts are
+//!   bit-identical to an offline replay (asserted by the chaos suite).
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use cpsmon_core::artifact::MonitorBundle;
+use cpsmon_core::monitor::MonitorModel;
+use cpsmon_core::{FeatureConfig, GuardPolicy, HealthState, InputGuard, WindowStream};
+use cpsmon_nn::Matrix;
+use cpsmon_sim::trace::StepRecord;
+use cpsmon_stl::RuleMonitor;
+
+use crate::health::{OverloadController, OverloadPolicy, ServiceHealth};
+
+/// A [`MonitorBundle`] prepared for serving: the bundle plus the rule
+/// fallback used for guard-degraded sessions *and* for service-level
+/// load shedding, and the featurization every session window uses.
+#[derive(Debug, Clone)]
+pub struct ServingBundle {
+    bundle: MonitorBundle,
+    fallback: RuleMonitor,
+    feature_config: FeatureConfig,
+}
+
+impl ServingBundle {
+    /// Prepares a bundle for serving. The window width comes from the
+    /// bundle's own normalizer (the bundle knows what it was trained
+    /// on); if the bundle *is* a rule monitor its embedded rules double
+    /// as the fallback, otherwise the Table-I defaults apply.
+    pub fn new(bundle: MonitorBundle) -> ServingBundle {
+        let window = bundle.normalizer.mean().len() / cpsmon_core::FEATURES_PER_STEP;
+        let fallback = match &bundle.monitor.model {
+            MonitorModel::Rule(m) => *m,
+            _ => RuleMonitor::default(),
+        };
+        ServingBundle {
+            bundle,
+            fallback,
+            feature_config: FeatureConfig {
+                window,
+                ..FeatureConfig::default()
+            },
+        }
+    }
+
+    /// The wrapped bundle.
+    pub fn bundle(&self) -> &MonitorBundle {
+        &self.bundle
+    }
+
+    /// The dataset fingerprint the bundle was built against.
+    pub fn fingerprint(&self) -> u64 {
+        self.bundle.fingerprint
+    }
+
+    /// The featurization served sessions use.
+    pub fn feature_config(&self) -> FeatureConfig {
+        self.feature_config
+    }
+
+    /// The rule fallback (guard degradation and load shedding).
+    pub fn fallback(&self) -> &RuleMonitor {
+        &self.fallback
+    }
+
+    /// Flattened feature-window width (normalizer columns).
+    pub fn feature_dim(&self) -> usize {
+        self.bundle.normalizer.mean().len()
+    }
+}
+
+/// Shard tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Ingest queue bound; offers beyond it are rejected with
+    /// [`OfferError::QueueFull`] (→ `Busy` frame).
+    pub queue_cap: usize,
+    /// Items drained per tick — the work budget that turns queue
+    /// occupancy into a meaningful pressure signal.
+    pub drain_max: usize,
+    /// Wall-clock budget per tick; `None` disables the deadline check
+    /// entirely (and with it every clock read), which is what the
+    /// deterministic chaos harness runs under.
+    pub tick_budget: Option<Duration>,
+    /// Overload controller thresholds.
+    pub overload: OverloadPolicy,
+    /// Per-session input-guard policy.
+    pub guard: GuardPolicy,
+    /// Session-table bound; admissions beyond it are refused.
+    pub max_sessions: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            queue_cap: 1024,
+            drain_max: 256,
+            tick_budget: None,
+            overload: OverloadPolicy::default(),
+            guard: GuardPolicy::aps(),
+            max_sessions: 4096,
+        }
+    }
+}
+
+/// What an ingest item asks the shard to do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestKind {
+    /// Feed one record to the patient's session.
+    Step(StepRecord),
+    /// Close the patient's session, freeing its slot.
+    End,
+}
+
+/// One unit of ingest work, as queued by [`Shard::offer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestItem {
+    /// Opaque connection id, echoed into [`OutEvent`]s so the daemon can
+    /// route replies.
+    pub conn: u64,
+    /// Fleet-wide patient id.
+    pub patient: u64,
+    /// Client-side sequence number; items at or below the session's
+    /// high-water mark are dropped (duplicate / stale-reorder defence).
+    pub seq: u32,
+    /// The work itself.
+    pub kind: IngestKind,
+}
+
+/// Why [`Shard::offer`] refused an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferError {
+    /// The ingest queue is at capacity — explicit backpressure; the
+    /// caller should answer with a `Busy` frame.
+    QueueFull {
+        /// Occupancy at rejection time (= the configured cap).
+        queue_len: usize,
+    },
+}
+
+impl fmt::Display for OfferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OfferError::QueueFull { queue_len } => {
+                write!(f, "ingest queue full ({queue_len} items)")
+            }
+        }
+    }
+}
+
+impl Error for OfferError {}
+
+/// Something the shard wants delivered after a tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutEvent {
+    /// A monitor verdict for one session step.
+    Verdict {
+        /// Connection to route the frame to.
+        conn: u64,
+        /// The session.
+        patient: u64,
+        /// Window-end step (0-based accepted-record index).
+        step: u32,
+        /// Predicted class (0 safe / 1 unsafe).
+        label: u8,
+        /// Probability of the unsafe class (hard 0/1 for rule verdicts).
+        proba: f64,
+        /// Session guard health byte (0 healthy / 1 degraded / 2 fallback).
+        health: u8,
+        /// Whether service-level shedding produced this verdict.
+        shed: bool,
+    },
+    /// A session could not be admitted: the table is full.
+    SessionRefused {
+        /// Connection to notify.
+        conn: u64,
+        /// The patient whose admission was refused.
+        patient: u64,
+        /// Live sessions at refusal time.
+        sessions: usize,
+    },
+}
+
+/// One live patient session: featurizer window + input guard + routing.
+#[derive(Debug, Clone)]
+struct Slot {
+    patient: u64,
+    conn: u64,
+    guard: InputGuard,
+    stream: WindowStream,
+    last_seq: Option<u32>,
+}
+
+/// A window that became ready during the current tick, snapshotted at
+/// push time. One accepted record past warm-up produces exactly one row
+/// — a tick that drains several records of the same session classifies
+/// each intermediate window, and a session closed *later in the same
+/// tick* still gets its pending verdicts (the row no longer needs the
+/// slot). The feature row itself lives in `Shard::ready_x` at
+/// `index · feature_dim`.
+#[derive(Debug, Clone, Copy)]
+struct ReadyRow {
+    conn: u64,
+    patient: u64,
+    step: u32,
+    health: HealthState,
+    /// Rule context at readiness, for the guard-fallback and shedding
+    /// paths (matches the offline pipeline's per-step context).
+    ctx: cpsmon_stl::ApsContext,
+}
+
+/// Monotonic shard counters, cheap enough to bump unconditionally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Items accepted by [`Shard::offer`].
+    pub offered: u64,
+    /// Step items rejected with [`OfferError::QueueFull`].
+    pub rejected_busy: u64,
+    /// Items dropped by the sequence high-water mark (duplicates and
+    /// stale reorders).
+    pub dropped_stale: u64,
+    /// Records rejected by the window boundary even after guard
+    /// imputation (defensive; unreachable with the stock guard).
+    pub invalid_samples: u64,
+    /// Sessions admitted over the shard's lifetime.
+    pub sessions_opened: u64,
+    /// Sessions closed (explicit end or connection teardown).
+    pub sessions_closed: u64,
+    /// Admissions refused because the table was full.
+    pub sessions_refused: u64,
+    /// Verdicts emitted.
+    pub verdicts: u64,
+    /// Verdicts produced by the rule path because of service-level
+    /// shedding (guard fallbacks not included).
+    pub shed_verdicts: u64,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Ticks that blew their [`ShardConfig::tick_budget`].
+    pub deadline_overruns: u64,
+    /// Successful hot bundle installs.
+    pub reloads: u64,
+    /// Rejected bundle installs (width mismatch).
+    pub reloads_rejected: u64,
+}
+
+/// Why [`Shard::install_bundle`] refused a replacement bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallError {
+    /// The replacement's feature-window width differs from the one live
+    /// sessions were built with; installing it would corrupt every
+    /// window in flight.
+    WidthMismatch {
+        /// Replacement bundle's flattened window width.
+        got: usize,
+        /// Width the serving sessions use.
+        want: usize,
+    },
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::WidthMismatch { got, want } => write!(
+                f,
+                "bundle feature width {got} does not match serving width {want}"
+            ),
+        }
+    }
+}
+
+impl Error for InstallError {}
+
+/// The serving engine for one slice of the patient fleet. See the
+/// module docs for the degradation ladder.
+pub struct Shard {
+    config: ShardConfig,
+    serving: ServingBundle,
+    /// Bundle generation, bumped by every successful install — lets
+    /// `/stats` prove which bundle produced a verdict stream.
+    epoch: u64,
+    queue: VecDeque<IngestItem>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    by_patient: HashMap<u64, usize>,
+    controller: OverloadController,
+    stats: ShardStats,
+    batch: Matrix,
+    ready: Vec<ReadyRow>,
+    /// Flat `ready.len() × feature_dim` snapshot of ready windows.
+    ready_x: Vec<f64>,
+    events: Vec<OutEvent>,
+}
+
+impl Shard {
+    /// Creates a shard serving `bundle` under `config`.
+    pub fn new(config: ShardConfig, bundle: ServingBundle) -> Shard {
+        Shard {
+            controller: OverloadController::new(config.overload),
+            config,
+            serving: bundle,
+            epoch: 0,
+            queue: VecDeque::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_patient: HashMap::new(),
+            stats: ShardStats::default(),
+            batch: Matrix::zeros(0, 0),
+            ready: Vec::new(),
+            ready_x: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The health the next tick will serve under.
+    pub fn health(&self) -> ServiceHealth {
+        self.controller.health()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// The overload controller (transition counts for `/stats`).
+    pub fn controller(&self) -> &OverloadController {
+        &self.controller
+    }
+
+    /// Live session count.
+    pub fn sessions(&self) -> usize {
+        self.by_patient.len()
+    }
+
+    /// Current ingest-queue occupancy.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Bundle generation (0 = the boot bundle).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The bundle currently serving.
+    pub fn serving(&self) -> &ServingBundle {
+        &self.serving
+    }
+
+    /// Queues one ingest item, or rejects it if the queue is at
+    /// capacity. Rejection is the backpressure signal: the daemon turns
+    /// it into a `Busy` frame and the item is dropped here, not
+    /// buffered.
+    pub fn offer(&mut self, item: IngestItem) -> Result<(), OfferError> {
+        if self.queue.len() >= self.config.queue_cap {
+            self.stats.rejected_busy += 1;
+            return Err(OfferError::QueueFull {
+                queue_len: self.queue.len(),
+            });
+        }
+        self.stats.offered += 1;
+        self.queue.push_back(item);
+        Ok(())
+    }
+
+    /// Runs one engine tick: drains up to [`ShardConfig::drain_max`]
+    /// queued items through the session table, classifies every window
+    /// that became ready (ML batch, or rule path when shedding), feeds
+    /// the controller, and returns the tick's events.
+    pub fn tick(&mut self) -> Vec<OutEvent> {
+        let started = self.config.tick_budget.map(|_| Instant::now());
+        let serving_health = self.controller.health();
+        self.events.clear();
+        self.ready.clear();
+        self.ready_x.clear();
+
+        // Pressure is demand at tick entry, not the post-drain residue:
+        // a full queue reads 1.0 even though the drain budget will eat
+        // part of it, so `shed_pressure` fires exactly when offers are
+        // about to bounce — the post-drain residue can never exceed
+        // `1 - drain_max/queue_cap` and would leave Shedding unreachable.
+        let demand = self.queue.len();
+        let budget = self.config.drain_max.min(self.queue.len());
+        for _ in 0..budget {
+            let item = self.queue.pop_front().expect("sized by budget");
+            self.apply(item);
+        }
+        self.flush_ready(serving_health);
+
+        let overrun = match (started, self.config.tick_budget) {
+            (Some(t0), Some(budget)) => t0.elapsed() > budget,
+            _ => false,
+        };
+        if overrun {
+            self.stats.deadline_overruns += 1;
+        }
+        let pressure = if self.config.queue_cap == 0 {
+            0.0
+        } else {
+            demand as f64 / self.config.queue_cap as f64
+        };
+        self.controller.observe(pressure, overrun);
+        self.stats.ticks += 1;
+        std::mem::take(&mut self.events)
+    }
+
+    /// Routes one drained item into its slot.
+    fn apply(&mut self, item: IngestItem) {
+        match item.kind {
+            IngestKind::End => {
+                if let Some(&idx) = self.by_patient.get(&item.patient) {
+                    // End frames are not seq-deduped: closing twice is
+                    // harmless, and a storm-duplicated End must still
+                    // close.
+                    self.close_slot(idx, item.patient);
+                }
+            }
+            IngestKind::Step(rec) => {
+                let idx = match self.by_patient.entry(item.patient) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        if self.slots.len() - self.free.len() >= self.config.max_sessions {
+                            self.stats.sessions_refused += 1;
+                            self.events.push(OutEvent::SessionRefused {
+                                conn: item.conn,
+                                patient: item.patient,
+                                sessions: self.slots.len() - self.free.len(),
+                            });
+                            return;
+                        }
+                        let slot = Slot {
+                            patient: item.patient,
+                            conn: item.conn,
+                            guard: InputGuard::new(self.config.guard),
+                            stream: WindowStream::new(
+                                self.serving.feature_config,
+                                self.serving.bundle.normalizer.clone(),
+                            ),
+                            last_seq: None,
+                        };
+                        let idx = match self.free.pop() {
+                            Some(i) => {
+                                self.slots[i] = Some(slot);
+                                i
+                            }
+                            None => {
+                                self.slots.push(Some(slot));
+                                self.slots.len() - 1
+                            }
+                        };
+                        self.stats.sessions_opened += 1;
+                        e.insert(idx);
+                        idx
+                    }
+                };
+                let slot = self.slots[idx].as_mut().expect("mapped slots are live");
+                // A reconnect adopts the session: verdicts follow the
+                // most recent connection that fed it.
+                slot.conn = item.conn;
+                if slot.last_seq.is_some_and(|hw| item.seq <= hw) {
+                    self.stats.dropped_stale += 1;
+                    return;
+                }
+                slot.last_seq = Some(item.seq);
+                let (clean, status) = slot.guard.sanitize(&rec);
+                match slot.stream.try_push(&clean) {
+                    Ok(Some(_)) => {
+                        self.ready.push(ReadyRow {
+                            conn: slot.conn,
+                            patient: slot.patient,
+                            step: (slot.stream.steps_seen() - 1) as u32,
+                            health: status.health,
+                            ctx: slot.stream.context(),
+                        });
+                        self.ready_x.extend_from_slice(slot.stream.window_x());
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        // The guard imputes every channel the window
+                        // checks, so this arm is unreachable with the
+                        // stock policy — counted, not panicked, in case
+                        // a custom policy lets something through.
+                        self.stats.invalid_samples += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classifies every slot whose window became ready this tick.
+    ///
+    /// The ML path mirrors `SessionPool::drain_ready_guarded`: all ready
+    /// rows share one batched forward pass, and because the forward
+    /// kernels are row-independent the verdicts are bit-identical to the
+    /// same sessions stepped individually offline.
+    fn flush_ready(&mut self, serving_health: ServiceHealth) {
+        if self.ready.is_empty() {
+            return;
+        }
+        let shed = serving_health == ServiceHealth::Shedding;
+        let model = if shed {
+            None
+        } else {
+            self.serving.bundle.monitor.as_grad_model()
+        };
+        match model {
+            Some(model) => {
+                let dim = model.input_width();
+                self.batch.reset_shape(self.ready.len(), dim);
+                for r in 0..self.ready.len() {
+                    self.batch
+                        .row_mut(r)
+                        .copy_from_slice(&self.ready_x[r * dim..(r + 1) * dim]);
+                }
+                let probs = model.predict_proba(&self.batch);
+                let labels = probs.argmax_rows();
+                for (r, row) in self.ready.iter().enumerate() {
+                    let (label, proba) = if row.health == HealthState::Fallback {
+                        let l = self.serving.fallback.predict(&row.ctx);
+                        (l, l as f64)
+                    } else {
+                        (labels[r], probs.get(r, 1))
+                    };
+                    Self::emit(&mut self.events, &mut self.stats, row, label, proba, false);
+                }
+            }
+            None => {
+                // Rule path: the serving monitor is rule-based, or the
+                // controller is shedding ML inference.
+                for row in &self.ready {
+                    let label = self.serving.fallback.predict(&row.ctx);
+                    Self::emit(
+                        &mut self.events,
+                        &mut self.stats,
+                        row,
+                        label,
+                        label as f64,
+                        shed,
+                    );
+                }
+            }
+        }
+        self.ready.clear();
+        self.ready_x.clear();
+    }
+
+    fn emit(
+        events: &mut Vec<OutEvent>,
+        stats: &mut ShardStats,
+        row: &ReadyRow,
+        label: usize,
+        proba: f64,
+        shed: bool,
+    ) {
+        stats.verdicts += 1;
+        if shed {
+            stats.shed_verdicts += 1;
+        }
+        events.push(OutEvent::Verdict {
+            conn: row.conn,
+            patient: row.patient,
+            step: row.step,
+            label: label as u8,
+            proba,
+            health: match row.health {
+                HealthState::Healthy => 0,
+                HealthState::Degraded => 1,
+                HealthState::Fallback => 2,
+            },
+            shed,
+        });
+    }
+
+    fn close_slot(&mut self, idx: usize, patient: u64) {
+        self.by_patient.remove(&patient);
+        self.slots[idx] = None;
+        self.free.push(idx);
+        self.stats.sessions_closed += 1;
+    }
+
+    /// Closes every session fed by connection `conn` (daemon teardown
+    /// path: the peer vanished, its sessions must not leak).
+    pub fn close_conn(&mut self, conn: u64) -> usize {
+        let patients: Vec<u64> = self
+            .by_patient
+            .iter()
+            .filter(|&(_, &idx)| self.slots[idx].as_ref().is_some_and(|s| s.conn == conn))
+            .map(|(&p, _)| p)
+            .collect();
+        for p in &patients {
+            let idx = self.by_patient[p];
+            self.close_slot(idx, *p);
+        }
+        // Purge queued work for the dead connection so a storm of
+        // disconnects cannot replay into fresh sessions.
+        self.queue.retain(|item| item.conn != conn);
+        patients.len()
+    }
+
+    /// Atomically swaps the serving bundle. Live sessions keep their
+    /// accumulated windows — only the normalization statistics are
+    /// re-pointed — and an incompatible bundle is rejected *before* any
+    /// session is touched, so a failed install leaves the shard serving
+    /// the previous bundle untouched.
+    pub fn install_bundle(&mut self, next: ServingBundle) -> Result<u64, InstallError> {
+        let want = self.serving.feature_dim();
+        let got = next.feature_dim();
+        if got != want {
+            self.stats.reloads_rejected += 1;
+            return Err(InstallError::WidthMismatch { got, want });
+        }
+        for slot in self.slots.iter_mut().flatten() {
+            slot.stream.set_normalizer(next.bundle.normalizer.clone());
+        }
+        self.serving = next;
+        self.epoch += 1;
+        self.stats.reloads += 1;
+        Ok(self.epoch)
+    }
+}

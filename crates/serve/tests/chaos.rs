@@ -1,0 +1,483 @@
+//! Chaos-harness tests of the sans-IO shard: transport storms, sustained
+//! overload, and hot reloads must degrade the service gracefully —
+//! never panic, never grow unbounded, never silently corrupt a verdict.
+//!
+//! The headline transparency property: every verdict produced while the
+//! shard is **not** shedding is bit-identical to an offline
+//! [`PipelineSession`] replay of exactly the records the shard accepted.
+//! Shedding swaps in the Table-I rule path but keeps windows advancing,
+//! so recovery is seamless.
+
+use cpsmon_core::artifact::MonitorBundle;
+use cpsmon_core::stream::MonitorSession;
+use cpsmon_core::{
+    DatasetBuilder, GuardPolicy, HealthState, LabeledDataset, MonitorKind, Normalizer,
+    PipelineSession, TrainConfig,
+};
+use cpsmon_nn::Matrix;
+use cpsmon_serve::{
+    ChaosPlan, IngestItem, IngestKind, OutEvent, ServiceHealth, ServingBundle, Shard, ShardConfig,
+};
+use cpsmon_sim::{CampaignConfig, SimulatorKind, StepRecord};
+
+fn dataset() -> LabeledDataset {
+    let traces = CampaignConfig::new(SimulatorKind::Glucosym)
+        .patients(2)
+        .runs_per_patient(2)
+        .steps(144)
+        .fault_ratio(0.5)
+        .seed(41)
+        .run();
+    DatasetBuilder::new().seed(41).build(&traces).unwrap()
+}
+
+fn mlp_bundle(ds: &LabeledDataset, seed: u64) -> MonitorBundle {
+    let cfg = TrainConfig {
+        seed,
+        ..TrainConfig::quick_test()
+    };
+    let monitor = MonitorKind::Mlp.train(ds, &cfg).unwrap();
+    MonitorBundle::new(monitor, ds, &cfg)
+}
+
+/// Per-patient serving traces, distinct from the training campaign.
+fn serve_traces(patients: usize, steps: usize) -> Vec<Vec<StepRecord>> {
+    CampaignConfig::new(SimulatorKind::Glucosym)
+        .patients(patients)
+        .runs_per_patient(1)
+        .steps(steps)
+        .fault_ratio(0.3)
+        .seed(77)
+        .run()
+        .into_iter()
+        .map(|t| t.records().to_vec())
+        .collect()
+}
+
+/// Round-robin ingest items (seq = step index), the fleet arrival order.
+fn round_robin_items(traces: &[Vec<StepRecord>]) -> Vec<IngestItem> {
+    let steps = traces.iter().map(Vec::len).max().unwrap_or(0);
+    let mut items = Vec::new();
+    for step in 0..steps {
+        for (pid, t) in traces.iter().enumerate() {
+            if let Some(rec) = t.get(step) {
+                items.push(IngestItem {
+                    conn: 1,
+                    patient: pid as u64,
+                    seq: step as u32,
+                    kind: IngestKind::Step(*rec),
+                });
+            }
+        }
+    }
+    items
+}
+
+fn shard_config() -> ShardConfig {
+    ShardConfig {
+        queue_cap: 256,
+        drain_max: 64,
+        tick_budget: None, // deterministic: no clock reads
+        max_sessions: 64,
+        ..ShardConfig::default()
+    }
+}
+
+/// Drives items into the shard at `per_tick` offers per tick, collecting
+/// every event. Asserts queue occupancy never exceeds the cap.
+fn drive(shard: &mut Shard, items: &[IngestItem], per_tick: usize) -> (Vec<OutEvent>, usize) {
+    let cap = shard_config().queue_cap;
+    let mut events = Vec::new();
+    let mut rejected = 0;
+    for chunk in items.chunks(per_tick.max(1)) {
+        for item in chunk {
+            if shard.offer(*item).is_err() {
+                rejected += 1;
+            }
+            assert!(shard.queue_len() <= cap, "queue must stay bounded");
+        }
+        events.extend(shard.tick());
+    }
+    while shard.queue_len() > 0 {
+        events.extend(shard.tick());
+    }
+    (events, rejected)
+}
+
+/// Replays exactly `accepted` (the records the shard admitted for one
+/// patient) through the offline stage pipeline and returns
+/// `(step, label, proba, health)` tuples for comparison.
+fn offline_replay(bundle: &MonitorBundle, accepted: &[StepRecord]) -> Vec<(u32, u8, f64, u8)> {
+    let serving = ServingBundle::new(bundle.clone());
+    let core = MonitorSession::new(
+        &bundle.monitor,
+        serving.feature_config(),
+        bundle.normalizer.clone(),
+    );
+    let mut session =
+        PipelineSession::new(core).with_guard(GuardPolicy::aps(), *serving.fallback());
+    let mut out = Vec::new();
+    for rec in accepted {
+        if let Some(gv) = session.step(rec) {
+            out.push((
+                gv.verdict.step as u32,
+                gv.verdict.label as u8,
+                gv.verdict.proba,
+                match gv.health {
+                    HealthState::Healthy => 0,
+                    HealthState::Degraded => 1,
+                    HealthState::Fallback => 2,
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Computes the per-patient subsequence of records the shard's sequence
+/// high-water mark accepts, in delivery order.
+fn accepted_per_patient(items: &[IngestItem], patients: usize) -> Vec<Vec<StepRecord>> {
+    let mut hw: Vec<Option<u32>> = vec![None; patients];
+    let mut out: Vec<Vec<StepRecord>> = vec![Vec::new(); patients];
+    for item in items {
+        let IngestKind::Step(rec) = item.kind else {
+            continue;
+        };
+        let p = item.patient as usize;
+        if hw[p].is_some_and(|h| item.seq <= h) {
+            continue;
+        }
+        hw[p] = Some(item.seq);
+        out[p].push(rec);
+    }
+    out
+}
+
+type FlatVerdict = (u32, u8, f64, u8, bool);
+
+fn verdicts_by_patient(events: &[OutEvent], patients: usize) -> Vec<Vec<FlatVerdict>> {
+    let mut out = vec![Vec::new(); patients];
+    for ev in events {
+        if let OutEvent::Verdict {
+            patient,
+            step,
+            label,
+            proba,
+            health,
+            shed,
+            ..
+        } = ev
+        {
+            out[*patient as usize].push((*step, *label, *proba, *health, *shed));
+        }
+    }
+    out
+}
+
+#[test]
+fn clean_serving_is_bit_identical_to_offline_replay() {
+    let ds = dataset();
+    let bundle = mlp_bundle(&ds, 0);
+    let traces = serve_traces(6, 80);
+    let items = round_robin_items(&traces);
+
+    let mut shard = Shard::new(shard_config(), ServingBundle::new(bundle.clone()));
+    // Offer well under drain_max per tick: pressure stays low, no shedding.
+    let (events, rejected) = drive(&mut shard, &items, 48);
+    assert_eq!(rejected, 0, "no backpressure expected at low load");
+    assert_eq!(shard.health(), ServiceHealth::Healthy);
+
+    let got = verdicts_by_patient(&events, traces.len());
+    for (pid, trace) in traces.iter().enumerate() {
+        let want = offline_replay(&bundle, trace);
+        assert!(!want.is_empty());
+        let flat: Vec<(u32, u8, f64, u8)> = got[pid]
+            .iter()
+            .map(|&(s, l, p, h, shed)| {
+                assert!(!shed, "no shedding under low load");
+                (s, l, p, h)
+            })
+            .collect();
+        assert_eq!(flat, want, "patient {pid} diverged from offline replay");
+    }
+}
+
+#[test]
+fn storm_of_dups_reorders_and_delays_never_corrupts_accepted_stream() {
+    let ds = dataset();
+    let bundle = mlp_bundle(&ds, 0);
+    let traces = serve_traces(5, 70);
+    let items = round_robin_items(&traces);
+    let plan = ChaosPlan::storm(99);
+    let mangled = plan.mangle_items(&items);
+    assert_ne!(mangled, items, "the storm must actually perturb delivery");
+
+    let mut shard = Shard::new(shard_config(), ServingBundle::new(bundle.clone()));
+    let (events, _) = drive(&mut shard, &mangled, 48);
+    assert!(shard.stats().dropped_stale > 0, "storm dups must be caught");
+
+    // The shard's verdicts must match an offline replay of exactly the
+    // records the seq high-water mark accepted — the storm may thin the
+    // stream, but it must never corrupt what survives.
+    let accepted = accepted_per_patient(&mangled, traces.len());
+    let got = verdicts_by_patient(&events, traces.len());
+    for pid in 0..traces.len() {
+        let want = offline_replay(&bundle, &accepted[pid]);
+        let flat: Vec<(u32, u8, f64, u8)> = got[pid]
+            .iter()
+            .map(|&(s, l, p, h, _)| (s, l, p, h))
+            .collect();
+        assert_eq!(flat, want, "patient {pid} diverged under storm");
+    }
+}
+
+#[test]
+fn sustained_overload_sheds_to_rules_and_recovers_within_budget() {
+    let ds = dataset();
+    let bundle = mlp_bundle(&ds, 0);
+    let traces = serve_traces(8, 200);
+    let items = round_robin_items(&traces);
+
+    let config = shard_config();
+    let mut shard = Shard::new(config, ServingBundle::new(bundle.clone()));
+
+    // Offer at 4× the drain budget: demand pressure passes shed_pressure.
+    let mut events = Vec::new();
+    let mut rejected = 0;
+    let mut shed_seen = false;
+    for chunk in items.chunks(4 * config.drain_max) {
+        for item in chunk {
+            if shard.offer(*item).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(shard.queue_len() <= config.queue_cap, "bounded queue");
+        events.extend(shard.tick());
+        if shard.health() == ServiceHealth::Shedding {
+            shed_seen = true;
+        }
+    }
+    assert!(shed_seen, "2x+ overload must reach Shedding");
+    assert!(rejected > 0, "overload must trigger explicit backpressure");
+
+    // Shed verdicts are rule verdicts: hard 0/1 probabilities.
+    let shed: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            OutEvent::Verdict {
+                proba,
+                shed: true,
+                label,
+                ..
+            } => Some((*label, *proba)),
+            _ => None,
+        })
+        .collect();
+    assert!(!shed.is_empty(), "shedding must produce rule verdicts");
+    for (label, proba) in &shed {
+        assert_eq!(*proba, *label as f64, "rule verdicts are hard 0/1");
+    }
+
+    // Drain the backlog, then count calm ticks: the controller must walk
+    // back to Healthy within the hysteresis budget
+    // (2 × recovery_intervals calm observations).
+    while shard.queue_len() > 0 {
+        shard.tick();
+    }
+    let budget = 2 * config.overload.recovery_intervals;
+    let mut calm = 0;
+    while shard.health() != ServiceHealth::Healthy {
+        shard.tick();
+        calm += 1;
+        assert!(calm <= budget, "recovery exceeded the hysteresis budget");
+    }
+
+    // Post-recovery verdicts come from the ML path again.
+    let tail: Vec<IngestItem> = (0..20)
+        .map(|k| IngestItem {
+            conn: 1,
+            patient: 0,
+            seq: 10_000 + k,
+            kind: IngestKind::Step(traces[0][k as usize % traces[0].len()]),
+        })
+        .collect();
+    let (tail_events, _) = drive(&mut shard, &tail, 8);
+    let any_unshed = tail_events
+        .iter()
+        .any(|e| matches!(e, OutEvent::Verdict { shed: false, .. }));
+    assert!(any_unshed, "recovered shard must serve ML verdicts again");
+}
+
+#[test]
+fn hot_reload_swaps_bundles_without_dropping_sessions() {
+    let ds = dataset();
+    let bundle_a = mlp_bundle(&ds, 0);
+    let bundle_b = mlp_bundle(&ds, 7); // same dataset → same fingerprint
+    assert_eq!(bundle_a.fingerprint, bundle_b.fingerprint);
+
+    let traces = serve_traces(4, 60);
+    let items = round_robin_items(&traces);
+    let (first, second) = items.split_at(items.len() / 2);
+
+    // Twin shards fed identically; one hot-swaps to bundle B mid-stream.
+    let mut stay = Shard::new(shard_config(), ServingBundle::new(bundle_a.clone()));
+    let mut swap = Shard::new(shard_config(), ServingBundle::new(bundle_a.clone()));
+    let (ev_stay_1, _) = drive(&mut stay, first, 32);
+    let (ev_swap_1, _) = drive(&mut swap, first, 32);
+    assert_eq!(ev_stay_1, ev_swap_1, "identical until the reload");
+
+    let live_before = swap.sessions();
+    assert!(live_before > 0);
+    let epoch = swap
+        .install_bundle(ServingBundle::new(bundle_b.clone()))
+        .expect("compatible bundle installs");
+    assert_eq!(epoch, 1);
+    assert_eq!(
+        swap.sessions(),
+        live_before,
+        "reload must not drop a session"
+    );
+
+    let (ev_stay_2, _) = drive(&mut stay, second, 32);
+    let (ev_swap_2, _) = drive(&mut swap, second, 32);
+    assert_eq!(
+        ev_stay_2.len(),
+        ev_swap_2.len(),
+        "swapped shard keeps every session producing"
+    );
+    assert!(!ev_swap_2.is_empty());
+    assert_ne!(
+        ev_stay_2, ev_swap_2,
+        "the swapped-in model must actually serve (verdicts differ)"
+    );
+}
+
+#[test]
+fn incompatible_reload_is_rejected_and_previous_bundle_keeps_serving() {
+    let ds = dataset();
+    let bundle = mlp_bundle(&ds, 0);
+    let traces = serve_traces(3, 40);
+    let items = round_robin_items(&traces);
+    let (first, second) = items.split_at(items.len() / 2);
+
+    let mut shard = Shard::new(shard_config(), ServingBundle::new(bundle.clone()));
+    drive(&mut shard, first, 16);
+    let live = shard.sessions();
+    let epoch = shard.epoch();
+
+    // A bundle whose normalizer width disagrees with the serving window
+    // (e.g. exported with a different feature config) must be rejected
+    // before any session is touched.
+    let mut corrupt = bundle.clone();
+    corrupt.normalizer = Normalizer::fit(&Matrix::zeros(4, 12));
+    let err = shard
+        .install_bundle(ServingBundle::new(corrupt))
+        .expect_err("width mismatch must be rejected");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("12") && msg.contains("36"),
+        "typed widths: {msg}"
+    );
+
+    assert_eq!(shard.epoch(), epoch, "failed install must not bump epoch");
+    assert_eq!(shard.sessions(), live, "failed install drops no sessions");
+    assert_eq!(shard.stats().reloads_rejected, 1);
+
+    // And the old bundle still serves, bit-identically to a shard that
+    // never saw the failed install.
+    let mut control = Shard::new(shard_config(), ServingBundle::new(bundle));
+    drive(&mut control, first, 16);
+    let (events, _) = drive(&mut shard, second, 16);
+    let (control_events, _) = drive(&mut control, second, 16);
+    assert_eq!(
+        events, control_events,
+        "a rejected install must leave serving untouched"
+    );
+    assert!(events.iter().any(|e| matches!(e, OutEvent::Verdict { .. })));
+}
+
+#[test]
+fn reload_during_storm_keeps_the_shard_serving() {
+    let ds = dataset();
+    let bundle_a = mlp_bundle(&ds, 0);
+    let bundle_b = mlp_bundle(&ds, 7);
+    let traces = serve_traces(4, 80);
+    let items = round_robin_items(&traces);
+    let mangled = ChaosPlan::storm(5).mangle_items(&items);
+    let (first, second) = mangled.split_at(mangled.len() / 2);
+
+    let mut shard = Shard::new(shard_config(), ServingBundle::new(bundle_a));
+    drive(&mut shard, first, 48);
+    shard
+        .install_bundle(ServingBundle::new(bundle_b))
+        .expect("reload mid-storm");
+    let (events, _) = drive(&mut shard, second, 48);
+
+    assert!(shard.stats().dropped_stale > 0);
+    assert_eq!(shard.epoch(), 1);
+    for ev in &events {
+        if let OutEvent::Verdict { proba, .. } = ev {
+            assert!(proba.is_finite(), "verdicts stay well-formed mid-storm");
+        }
+    }
+    assert!(
+        events.iter().any(|e| matches!(e, OutEvent::Verdict { .. })),
+        "storm + reload must not silence the shard"
+    );
+}
+
+#[test]
+fn session_table_capacity_is_enforced() {
+    let ds = dataset();
+    let bundle = mlp_bundle(&ds, 0);
+    let config = ShardConfig {
+        max_sessions: 3,
+        ..shard_config()
+    };
+    let mut shard = Shard::new(config, ServingBundle::new(bundle));
+    let rec = serve_traces(1, 8)[0][0];
+    for pid in 0..6u64 {
+        shard
+            .offer(IngestItem {
+                conn: 1,
+                patient: pid,
+                seq: 0,
+                kind: IngestKind::Step(rec),
+            })
+            .unwrap();
+    }
+    let events = shard.tick();
+    let refused = events
+        .iter()
+        .filter(|e| matches!(e, OutEvent::SessionRefused { .. }))
+        .count();
+    assert_eq!(refused, 3, "patients beyond the table bound are refused");
+    assert_eq!(shard.sessions(), 3);
+
+    // Ending a session frees a slot for a new patient.
+    shard
+        .offer(IngestItem {
+            conn: 1,
+            patient: 0,
+            seq: 0,
+            kind: IngestKind::End,
+        })
+        .unwrap();
+    shard.tick();
+    shard
+        .offer(IngestItem {
+            conn: 1,
+            patient: 99,
+            seq: 0,
+            kind: IngestKind::Step(rec),
+        })
+        .unwrap();
+    let events = shard.tick();
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, OutEvent::SessionRefused { .. })),
+        "freed slot admits a new session"
+    );
+    assert_eq!(shard.sessions(), 3);
+}

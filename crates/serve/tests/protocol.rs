@@ -1,0 +1,204 @@
+//! Ingest-decode hardening: the wire decoder faces a byte stream an
+//! attacker (or a broken transport) controls, so these properties pin the
+//! only acceptable behaviours — a decoded frame, a quiet "need more
+//! bytes", or a *typed* [`ProtocolError`]. Panics, unbounded buffering,
+//! and fabricated frames are all bugs.
+
+use cpsmon_serve::protocol::MAX_BODY_LEN;
+use cpsmon_serve::{Frame, FrameDecoder, ProtocolError, PROTOCOL_VERSION};
+use cpsmon_sim::StepRecord;
+use proptest::prelude::*;
+
+fn record_strategy() -> impl Strategy<Value = StepRecord> {
+    (
+        40.0f64..400.0,
+        -3.0f64..3.0,
+        0.0f64..5.0,
+        0.0f64..5.0,
+        any::<bool>(),
+    )
+        .prop_map(|(bg, noise, iob, rate, carb)| StepRecord {
+            bg_true: bg,
+            bg_sensor: bg + noise,
+            iob,
+            commanded_rate: rate,
+            delivered_rate: rate,
+            carbs: if carb { 45.0 } else { 0.0 },
+        })
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (
+        (0usize..6, any::<u64>()),
+        any::<u32>(),
+        any::<u16>(),
+        record_strategy(),
+        0.0f64..1.0,
+        any::<bool>(),
+    )
+        .prop_map(
+            |((pick, patient), seq, small, rec, proba, flag)| match pick {
+                0 => Frame::Hello {
+                    version: PROTOCOL_VERSION,
+                },
+                1 => Frame::Step { patient, seq, rec },
+                2 => Frame::EndSession { patient },
+                3 => Frame::Verdict {
+                    patient,
+                    step: seq,
+                    label: (small % 2) as u8,
+                    proba,
+                    health: (small % 3) as u8,
+                    shed: flag,
+                },
+                4 => Frame::Busy {
+                    patient,
+                    queue_len: seq,
+                },
+                _ => {
+                    if flag {
+                        Frame::Goodbye
+                    } else {
+                        Frame::Bye
+                    }
+                }
+            },
+        )
+}
+
+/// Splits `bytes` into chunks at pseudo-arbitrary boundaries derived from
+/// `cuts`, feeds them to a fresh decoder, and drains it.
+fn decode_chunked(bytes: &[u8], cuts: &[u8]) -> Result<Vec<Frame>, ProtocolError> {
+    let mut decoder = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut at = 0;
+    let mut k = 0;
+    while at < bytes.len() {
+        let step = 1 + cuts.get(k).copied().unwrap_or(7) as usize % 19;
+        k += 1;
+        let end = (at + step).min(bytes.len());
+        decoder.feed(&bytes[at..end]);
+        at = end;
+        while let Some(f) = decoder.next_frame()? {
+            frames.push(f);
+        }
+    }
+    Ok(frames)
+}
+
+proptest! {
+    /// Arbitrary bytes, arbitrarily chunked, must never panic the
+    /// decoder: every outcome is a frame, "need more", or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+        cuts in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let _ = decode_chunked(&bytes, &cuts);
+    }
+
+    /// A valid frame sequence roundtrips exactly, no matter how the
+    /// transport slices the byte stream.
+    #[test]
+    fn valid_frames_roundtrip_under_any_chunking(
+        frames in proptest::collection::vec(frame_strategy(), 1..12),
+        cuts in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let bytes: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+        let decoded = decode_chunked(&bytes, &cuts).expect("valid stream decodes");
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// A truncated tail frame is indistinguishable from one still in
+    /// flight: the decoder must report "need more bytes" — never a
+    /// fabricated frame, never an error — and buffer only the remainder.
+    #[test]
+    fn truncation_never_fabricates_a_frame(
+        frame in frame_strategy(),
+        keep_frac in 0.0f64..1.0,
+    ) {
+        let bytes = frame.encode();
+        let keep = ((bytes.len() - 1) as f64 * keep_frac) as usize;
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes[..keep]);
+        prop_assert_eq!(decoder.next_frame().expect("prefix is not an error"), None);
+        prop_assert!(decoder.pending() <= keep);
+        // Delivering the rest completes the original frame.
+        decoder.feed(&bytes[keep..]);
+        prop_assert_eq!(decoder.next_frame().expect("whole frame decodes"), Some(frame));
+    }
+
+    /// A length prefix beyond the protocol bound is rejected *before* the
+    /// body is buffered — the typed error carries the declared length.
+    #[test]
+    fn oversized_declared_length_is_rejected_up_front(
+        extra in 1u32..1_000_000,
+        junk in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let declared = MAX_BODY_LEN as u32 + extra;
+        let mut bytes = declared.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&junk);
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes);
+        match decoder.next_frame() {
+            Err(ProtocolError::Oversized { declared: got }) => {
+                prop_assert_eq!(got, declared as usize);
+            }
+            other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+    }
+
+    /// An unknown frame-type byte is a typed error naming the byte, not a
+    /// guess at the payload.
+    #[test]
+    fn unknown_frame_type_is_a_typed_error(
+        ty in any::<u8>(),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let known = [0x01u8, 0x02, 0x03, 0x04, 0x81, 0x82, 0x83, 0x84];
+        let ty = if known.contains(&ty) { 0x7f } else { ty };
+        let mut bytes = ((body.len() + 1) as u32).to_le_bytes().to_vec();
+        bytes.push(ty);
+        bytes.extend_from_slice(&body);
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes);
+        match decoder.next_frame() {
+            Err(ProtocolError::UnknownType(got)) => prop_assert_eq!(got, ty),
+            other => prop_assert!(false, "expected UnknownType, got {:?}", other),
+        }
+    }
+
+    /// A known frame type with the wrong body length is a typed error —
+    /// the decoder never reads past the declared body or invents fields.
+    #[test]
+    fn wrong_body_length_is_a_typed_error(
+        patient in any::<u64>(),
+        cut in 1usize..8,
+    ) {
+        // A Step frame with its body shortened below the fixed layout.
+        let frame = Frame::Step {
+            patient,
+            seq: 1,
+            rec: StepRecord {
+                bg_true: 120.0,
+                bg_sensor: 120.0,
+                iob: 1.0,
+                commanded_rate: 0.5,
+                delivered_rate: 0.5,
+                carbs: 0.0,
+            },
+        };
+        let full = frame.encode();
+        let body_len = full.len() - 4;
+        let cut = cut.min(body_len - 1);
+        let shortened = body_len - cut;
+        let mut bytes = (shortened as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&full[4..4 + shortened]);
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes);
+        match decoder.next_frame() {
+            Err(ProtocolError::BadLength { .. }) => {}
+            other => prop_assert!(false, "expected BadLength, got {:?}", other),
+        }
+    }
+}

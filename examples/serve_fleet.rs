@@ -1,0 +1,149 @@
+//! Fleet serving with graceful degradation: train a monitor, wrap it in a
+//! [`ServingBundle`](cpsmon::serve::ServingBundle), and drive the sans-IO
+//! [`Shard`](cpsmon::serve::Shard) through a load ramp — calm traffic,
+//! then a sustained burst past the tick's drain budget, then calm again.
+//! Watch the closed-loop overload controller climb the degradation ladder
+//! (`healthy → degraded → shedding`), answer overflow with backpressure
+//! rejections, serve rule-fallback verdicts while shedding, and recover
+//! hysteretically once the queue drains. A hot bundle reload mid-run swaps
+//! the model without dropping a single session.
+//!
+//! This is the same engine `cpsmon serve` runs behind TCP — the example
+//! just calls `offer`/`tick` directly, so every run is deterministic.
+//!
+//! ```sh
+//! cargo run --release --example serve_fleet
+//! ```
+
+use cpsmon::core::artifact::MonitorBundle;
+use cpsmon::core::{DatasetBuilder, MonitorKind, TrainConfig};
+use cpsmon::serve::{IngestItem, IngestKind, OutEvent, ServingBundle, Shard, ShardConfig};
+use cpsmon::sim::{CampaignConfig, SimulatorKind, StepRecord};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train two compatible monitors on one campaign: the MLP serves, the
+    // semantic-loss variant stands by as the hot-reload candidate (same
+    // dataset → same fingerprint → reload-compatible).
+    let traces = CampaignConfig::new(SimulatorKind::Glucosym)
+        .patients(3)
+        .runs_per_patient(4)
+        .steps(144)
+        .fault_ratio(0.5)
+        .seed(23)
+        .run();
+    let dataset = DatasetBuilder::new().build(&traces)?;
+    let config = TrainConfig {
+        epochs: 10,
+        lr: 2e-3,
+        mlp_hidden: vec![64, 32],
+        ..TrainConfig::default()
+    };
+    let mlp = MonitorKind::Mlp.train(&dataset, &config)?;
+    let mlp_custom = MonitorKind::MlpCustom.train(&dataset, &config)?;
+    let bundle = MonitorBundle::new(mlp, &dataset, &config);
+    let upgrade = MonitorBundle::new(mlp_custom, &dataset, &config);
+
+    // A serving fleet of 16 patients with fresh fault-injected traffic.
+    let fleet: Vec<Vec<StepRecord>> = CampaignConfig::new(SimulatorKind::Glucosym)
+        .patients(16)
+        .runs_per_patient(1)
+        .steps(96)
+        .fault_ratio(0.3)
+        .seed(77)
+        .run()
+        .into_iter()
+        .map(|t| t.records().to_vec())
+        .collect();
+
+    let shard_config = ShardConfig {
+        queue_cap: 64,
+        drain_max: 16,
+        tick_budget: None, // no clock: deterministic output
+        max_sessions: 32,
+        ..ShardConfig::default()
+    };
+    let mut shard = Shard::new(shard_config, ServingBundle::new(bundle));
+
+    // Load ramp: 8 offers/tick (calm) for 24 ticks, then 64/tick (4x the
+    // drain budget) for 24 ticks, then calm again until the traces run
+    // out. The reload lands mid-burst, at tick 36.
+    let mut cursor = vec![0usize; fleet.len()];
+    let mut next_patient = 0usize;
+    let mut offer_burst = |shard: &mut Shard, cursor: &mut Vec<usize>, n: usize| {
+        let mut busy = 0usize;
+        for _ in 0..n {
+            let p = next_patient % fleet.len();
+            next_patient += 1;
+            let Some(&rec) = fleet[p].get(cursor[p]) else {
+                continue;
+            };
+            let item = IngestItem {
+                conn: p as u64,
+                patient: p as u64,
+                seq: cursor[p] as u32,
+                kind: IngestKind::Step(rec),
+            };
+            match shard.offer(item) {
+                Ok(()) => cursor[p] += 1,
+                Err(_) => busy += 1, // backpressure: the record is NOT consumed
+            }
+        }
+        busy
+    };
+
+    println!("tick | offered busy | queue | health   | verdicts (shed)");
+    println!("-----+--------------+-------+----------+----------------");
+    let mut reloaded = false;
+    for tick in 0..120 {
+        let offers = if (24..48).contains(&tick) { 64 } else { 8 };
+        let busy = offer_burst(&mut shard, &mut cursor, offers);
+        if tick == 36 && !reloaded {
+            shard.install_bundle(ServingBundle::new(upgrade.clone()))?;
+            reloaded = true;
+            println!(
+                "     | -- hot reload: mlp -> mlp-custom (epoch {}) --",
+                shard.epoch()
+            );
+        }
+        let events = shard.tick();
+        let verdicts = events
+            .iter()
+            .filter(|e| matches!(e, OutEvent::Verdict { .. }))
+            .count();
+        let shed = events
+            .iter()
+            .filter(|e| matches!(e, OutEvent::Verdict { shed: true, .. }))
+            .count();
+        if tick % 4 == 0 || busy > 0 || shed > 0 {
+            println!(
+                "{tick:>4} | {offers:>7} {busy:>4} | {:>5} | {:<8} | {verdicts:>4} ({shed})",
+                shard.queue_len(),
+                shard.health().label(),
+            );
+        }
+        if cursor.iter().zip(&fleet).all(|(&c, t)| c >= t.len()) && shard.queue_len() == 0 {
+            break;
+        }
+    }
+
+    let stats = shard.stats();
+    println!(
+        "\nserved {} verdicts ({} shed to the rule fallback, {:.1}%)",
+        stats.verdicts,
+        stats.shed_verdicts,
+        100.0 * stats.shed_verdicts as f64 / stats.verdicts.max(1) as f64
+    );
+    println!(
+        "backpressure rejections: {}, stale drops: {}, health transitions: {}",
+        stats.rejected_busy,
+        stats.dropped_stale,
+        shard.controller().transitions()
+    );
+    println!(
+        "final health: {} (epoch {}, {} live sessions)",
+        shard.health().label(),
+        shard.epoch(),
+        shard.sessions()
+    );
+    Ok(())
+}

@@ -15,7 +15,13 @@
 //! in milliseconds with bit-identical predictions. `CPSMON_CACHE=0`
 //! forces retraining; `CPSMON_CACHE_DIR` relocates the cache.
 
+use std::path::PathBuf;
+use std::time::Duration;
+
 use cpsmon_bench::{registry, BenchError, Context, Scale};
+use cpsmon_core::{MonitorBundle, MonitorKind};
+use cpsmon_serve::{ChaosPlan, Daemon, ReplayConfig, ServeConfig, ServingBundle};
+use cpsmon_sim::SimulatorKind;
 
 const USAGE: &str = "\
 Usage: cpsmon <COMMAND> [OPTIONS]
@@ -24,10 +30,29 @@ Commands:
   list                 List all registered experiments
   run <NAME>...        Run the named experiments on one shared context
   run-all              Run every registered experiment
+  bundle <OUT>         Train (or load cached) a monitor and save it as a bundle
+  serve <BUNDLE>       Run the monitor-fleet daemon until SIGINT/SIGTERM
+  replay <ADDR>        Stream a simulated patient fleet at a running daemon
 
 Options:
   --scale quick|full   Experiment scale (default: CPSMON_SCALE, then quick)
   -h, --help           Show this help
+
+Bundle options:
+  --monitor KIND       rule-based|mlp|lstm|mlp-custom|lstm-custom (default: mlp)
+  --sim KIND           glucosym|t1ds2013 (default: glucosym)
+
+Serve options:
+  --addr HOST:PORT     Ingest listener (default: 127.0.0.1:9090)
+  --admin HOST:PORT    Admin HTTP listener (default: 127.0.0.1:9091, 'off' disables)
+  --shards N           Session shards (default: 4)
+  --verdict-log PATH   Write the sorted verdict CSV here at shutdown
+
+Replay options:
+  --patients N         Simulated patients (default: 8)
+  --steps N            Steps per patient (default: 96)
+  --seed S             Campaign seed (default: 2022)
+  --chaos PLAN         clean|light|storm|hostile transport chaos (default: clean)
 
 Environment:
   CPSMON_SCALE         Default scale (quick|full)
@@ -52,17 +77,33 @@ fn main() {
             }
             std::process::exit(1);
         }
+        Err(CliError::Serve(e)) => {
+            eprintln!("error: {e}");
+            let mut source = e.source();
+            while let Some(cause) = source {
+                eprintln!("  caused by: {cause}");
+                source = cause.source();
+            }
+            std::process::exit(1);
+        }
     }
 }
 
 enum CliError {
     Usage(String),
     Bench(BenchError),
+    Serve(Box<dyn std::error::Error>),
 }
 
 impl From<BenchError> for CliError {
     fn from(e: BenchError) -> Self {
         CliError::Bench(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Serve(Box::new(e))
     }
 }
 
@@ -95,9 +136,183 @@ fn levenshtein(a: &str, b: &str) -> usize {
     row[b.len()]
 }
 
+/// Parses `--flag value` pairs after the positional argument, routing each
+/// pair through `set`. Shared by the serve-family subcommands, which all
+/// follow `cpsmon <cmd> <POSITIONAL> [--flag value]...`.
+fn parse_flags(
+    args: &[String],
+    mut set: impl FnMut(&str, &str) -> Result<(), String>,
+) -> Result<(), CliError> {
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("{flag} expects a value")))?;
+        set(flag, value).map_err(CliError::Usage)?;
+    }
+    Ok(())
+}
+
+fn parse_usize(flag: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag} expects an integer, got '{value}'"))
+}
+
+/// `cpsmon bundle <OUT>`: materializes a cache-aware trained monitor as a
+/// standalone bundle file the daemon can serve and hot-reload.
+fn cmd_bundle(out: &str, rest: &[String], mut scale: Scale) -> Result<(), CliError> {
+    let mut monitor = MonitorKind::Mlp;
+    let mut sim = SimulatorKind::Glucosym;
+    parse_flags(rest, |flag, value| match flag {
+        "--scale" => {
+            scale = match value {
+                "quick" => Scale::Quick,
+                "full" => Scale::Full,
+                _ => return Err(format!("--scale expects quick|full, got '{value}'")),
+            };
+            Ok(())
+        }
+        "--monitor" => {
+            monitor = MonitorKind::from_tag(value)
+                .ok_or_else(|| format!("unknown monitor kind '{value}'"))?;
+            Ok(())
+        }
+        "--sim" => {
+            sim = match value {
+                "glucosym" => SimulatorKind::Glucosym,
+                "t1ds2013" => SimulatorKind::T1ds2013,
+                _ => return Err(format!("unknown simulator '{value}'")),
+            };
+            Ok(())
+        }
+        other => Err(format!("unexpected argument '{other}'")),
+    })?;
+    let ctx = Context::load_or_build(scale)?;
+    let sc = ctx.sim(sim);
+    let bundle = MonitorBundle::new(sc.expect_monitor(monitor).clone(), &sc.ds, &sc.train_config);
+    let path = PathBuf::from(out);
+    bundle.save_to_path(&path)?;
+    eprintln!(
+        "[cpsmon] wrote {} bundle (fingerprint {:016x}) to {}",
+        monitor.tag(),
+        bundle.fingerprint,
+        path.display()
+    );
+    Ok(())
+}
+
+/// `cpsmon serve <BUNDLE>`: the monitor-fleet daemon. Blocks until
+/// SIGINT/SIGTERM, then drains and writes the verdict log.
+fn cmd_serve(bundle_path: &str, rest: &[String]) -> Result<(), CliError> {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:9090".to_string(),
+        admin_addr: Some("127.0.0.1:9091".to_string()),
+        ..ServeConfig::default()
+    };
+    parse_flags(rest, |flag, value| match flag {
+        "--addr" => {
+            config.addr = value.to_string();
+            Ok(())
+        }
+        "--admin" => {
+            config.admin_addr = (value != "off").then(|| value.to_string());
+            Ok(())
+        }
+        "--shards" => {
+            config.shards = parse_usize(flag, value)?.max(1);
+            Ok(())
+        }
+        "--verdict-log" => {
+            config.verdict_log = Some(PathBuf::from(value));
+            Ok(())
+        }
+        other => Err(format!("unexpected argument '{other}'")),
+    })?;
+    let file = std::fs::File::open(bundle_path)?;
+    let bundle = MonitorBundle::load(&mut std::io::BufReader::new(file))
+        .map_err(|e| CliError::Serve(Box::new(e)))?;
+    eprintln!(
+        "[cpsmon] serving {} bundle (fingerprint {:016x})",
+        bundle.monitor.kind.tag(),
+        bundle.fingerprint
+    );
+    cpsmon_serve::daemon::install_signal_handlers();
+    let daemon = Daemon::start(config, ServingBundle::new(bundle))?;
+    eprintln!("[cpsmon] ingest on {}", daemon.addr());
+    if let Some(admin) = daemon.admin_addr() {
+        eprintln!("[cpsmon] admin on http://{admin}");
+    }
+    daemon.run_until_signalled()?;
+    eprintln!("[cpsmon] shut down cleanly");
+    Ok(())
+}
+
+/// `cpsmon replay <ADDR>`: streams a deterministic simulated fleet at a
+/// running daemon and reports what came back.
+fn cmd_replay(addr: &str, rest: &[String]) -> Result<(), CliError> {
+    let mut config = ReplayConfig {
+        addr: addr.to_string(),
+        ..ReplayConfig::default()
+    };
+    parse_flags(rest, |flag, value| match flag {
+        "--patients" => {
+            config.patients = parse_usize(flag, value)?;
+            Ok(())
+        }
+        "--steps" => {
+            config.steps = parse_usize(flag, value)?;
+            Ok(())
+        }
+        "--seed" => {
+            config.seed = value
+                .parse()
+                .map_err(|_| format!("--seed expects an integer, got '{value}'"))?;
+            Ok(())
+        }
+        "--chaos" => {
+            config.chaos = match value {
+                "clean" => None,
+                "light" => Some(ChaosPlan::light(config.seed)),
+                "storm" => Some(ChaosPlan::storm(config.seed)),
+                "hostile" => Some(ChaosPlan::hostile(config.seed)),
+                _ => return Err(format!("unknown chaos plan '{value}'")),
+            };
+            Ok(())
+        }
+        other => Err(format!("unexpected argument '{other}'")),
+    })?;
+    config.pacing = Duration::ZERO;
+    let report = cpsmon_serve::replay(&config)?;
+    println!(
+        "sent_steps={} verdicts={} shed_verdicts={} busy={} errors={} clean_close={}",
+        report.sent_steps,
+        report.verdicts,
+        report.shed_verdicts,
+        report.busy,
+        report.errors,
+        report.clean_close
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::from_env();
+    // The serve-family commands own their argument tail (flags carry
+    // values that must not be mistaken for experiment names).
+    match args.first().map(String::as_str) {
+        Some("bundle" | "serve" | "replay") if args.len() < 2 => {
+            return Err(CliError::Usage(format!(
+                "{} expects a positional argument",
+                args[0]
+            )));
+        }
+        Some("bundle") => return cmd_bundle(&args[1], &args[2..], scale),
+        Some("serve") => return cmd_serve(&args[1], &args[2..]),
+        Some("replay") => return cmd_replay(&args[1], &args[2..]),
+        _ => {}
+    }
     let mut command: Option<&str> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();

@@ -26,6 +26,9 @@
 //!   (`cargo run --release --bin cpsmon -- run table3`): one named entry
 //!   per paper table/figure, a shared cache-aware experiment context, and
 //!   the monitor-bundle cache.
+//! - [`serve`] — the monitor-fleet daemon (`cpsmon serve`): sharded
+//!   session tables over a binary TCP protocol, closed-loop overload
+//!   control with rule-fallback load shedding, and hot bundle reloads.
 //!
 //! ## Quickstart
 //!
@@ -56,5 +59,6 @@ pub use cpsmon_attack as attack;
 pub use cpsmon_bench as bench;
 pub use cpsmon_core as core;
 pub use cpsmon_nn as nn;
+pub use cpsmon_serve as serve;
 pub use cpsmon_sim as sim;
 pub use cpsmon_stl as stl;
